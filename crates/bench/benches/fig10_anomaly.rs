@@ -1,0 +1,25 @@
+//! Fig. 10 bench: range-based anomaly detection on the Grid World NN policy
+//! (mitigated vs unmitigated inference under weight faults).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use navft_core::experiments::fig10;
+use navft_core::Scale;
+
+fn bench(c: &mut Criterion) {
+    let params = Scale::Smoke.grid();
+    let mut group = c.benchmark_group("fig10_anomaly");
+    group.sample_size(10);
+    for (label, mitigated) in [("unmitigated", false), ("mitigated", true)] {
+        group.bench_function(label, |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                fig10::grid_success_with_guard(0.01, mitigated, &params, seed)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Fig. 2 bench: Grid World training under training-time faults (one
+//! representative heatmap cell per policy kind, smoke-sized).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use navft_core::experiments::fig2;
+use navft_core::grid_policies::PolicyKind;
+use navft_core::Scale;
+use navft_fault::FaultKind;
+
+fn bench(c: &mut Criterion) {
+    let params = Scale::Smoke.grid();
+    let mut group = c.benchmark_group("fig2_training");
+    group.sample_size(10);
+    for kind in [PolicyKind::Tabular, PolicyKind::Network] {
+        group.bench_function(format!("{kind}_transient_cell"), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                fig2::faulty_training_success(kind, FaultKind::BitFlip, 0.005, 50, &params, seed)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

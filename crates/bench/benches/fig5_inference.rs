@@ -1,0 +1,26 @@
+//! Fig. 5 bench: Grid World inference under the four fault modes (one BER
+//! point per mode, smoke-sized).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use navft_core::experiments::fig5::{self, InferenceMode};
+use navft_core::grid_policies::PolicyKind;
+use navft_core::Scale;
+
+fn bench(c: &mut Criterion) {
+    let params = Scale::Smoke.grid();
+    let mut group = c.benchmark_group("fig5_inference");
+    group.sample_size(10);
+    for mode in InferenceMode::ALL {
+        group.bench_function(format!("tabular_{}", mode.label()), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                fig5::inference_success(PolicyKind::Tabular, mode, 0.005, &params, seed)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

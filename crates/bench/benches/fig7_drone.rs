@@ -1,0 +1,62 @@
+//! Fig. 7 bench: drone inference under weight faults (environment, layer and
+//! data-type sensitivity at one representative point each), plus the raw
+//! simulator step rate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use navft_core::drone_policy::{heuristic_action, train_drone_policy};
+use navft_core::Scale;
+use navft_dronesim::{DepthCamera, DroneSim, DroneWorld};
+use navft_fault::{FaultKind, FaultSite, FaultTarget, Injector};
+use navft_qformat::QFormat;
+use navft_rl::{evaluate_network_vision, InferenceFaultMode, VisionEnvironment};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let params = Scale::Smoke.drone();
+    let world = DroneWorld::indoor_long();
+    let policy = train_drone_policy(&world, &params, 1);
+
+    let mut group = c.benchmark_group("fig7_drone");
+    group.sample_size(10);
+
+    group.bench_function("simulator_step_with_heuristic_pilot", |b| {
+        let mut sim = DroneSim::indoor_long();
+        let mut frame = sim.reset();
+        b.iter(|| {
+            let t = sim.step(heuristic_action(&frame));
+            frame = if t.terminal { sim.reset() } else { t.observation };
+        });
+    });
+
+    group.bench_function("weight_fault_flight_evaluation", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let injector = Injector::sample(
+                FaultTarget::new(FaultSite::WeightBuffer),
+                policy.weight_count(),
+                QFormat::Q4_11,
+                1e-3,
+                FaultKind::BitFlip,
+                &mut rng,
+            );
+            let mut sim = DroneSim::new(world.clone(), DepthCamera::scaled(), params.max_steps);
+            evaluate_network_vision(
+                &mut sim,
+                &policy,
+                1,
+                params.max_steps,
+                &InferenceFaultMode::TransientWholeEpisode(injector),
+                &mut rng,
+            )
+            .mean_distance
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Fig. 8 bench: Grid World training with the adaptive exploration-rate
+//! mitigation attached (one representative cell).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use navft_core::experiments::fig8;
+use navft_core::grid_policies::PolicyKind;
+use navft_core::Scale;
+use navft_fault::FaultKind;
+
+fn bench(c: &mut Criterion) {
+    let params = Scale::Smoke.grid();
+    let mut group = c.benchmark_group("fig8_mitigation");
+    group.sample_size(10);
+    group.bench_function("tabular_mitigated_transient_cell", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            fig8::mitigated_training_success(
+                PolicyKind::Tabular,
+                FaultKind::BitFlip,
+                0.005,
+                50,
+                &params,
+                seed,
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

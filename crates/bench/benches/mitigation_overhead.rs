@@ -1,0 +1,41 @@
+//! The headline overhead claim: range-based anomaly detection adds a small
+//! runtime overhead compared to the unprotected forward pass (the paper
+//! reports < 3 %).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use navft_core::drone_policy::train_drone_policy;
+use navft_core::Scale;
+use navft_dronesim::{DepthCamera, DroneWorld};
+use navft_mitigation::{RangeGuard, RangeGuardConfig};
+use navft_nn::Tensor;
+use navft_qformat::QFormat;
+
+fn bench(c: &mut Criterion) {
+    let params = Scale::Smoke.drone();
+    let world = DroneWorld::indoor_long();
+    let policy = train_drone_policy(&world, &params, 2);
+    let guard = RangeGuard::from_network(&policy, QFormat::Q4_11, RangeGuardConfig::paper());
+    let frame = Tensor::full(&DepthCamera::scaled().frame_shape(), 0.4);
+
+    let mut group = c.benchmark_group("mitigation_overhead");
+    group.bench_function("forward_unprotected", |b| b.iter(|| policy.forward(&frame)));
+    group.bench_function("forward_with_periodic_scrub", |b| {
+        let mut protected = policy.clone();
+        let mut i = 0usize;
+        b.iter(|| {
+            if i % 25 == 0 {
+                guard.scrub(&mut protected);
+            }
+            i += 1;
+            protected.forward(&frame)
+        });
+    });
+    group.bench_function("weight_scrub_alone", |b| {
+        let mut protected = policy.clone();
+        b.iter(|| guard.scrub(&mut protected));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

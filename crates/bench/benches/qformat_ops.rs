@@ -1,0 +1,48 @@
+//! Component microbench: fixed-point quantization and bit-level fault
+//! application — the inner loop of every fault-injection campaign.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use navft_fault::{FaultKind, FaultMap};
+use navft_qformat::{QFormat, QValue};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qformat_ops");
+
+    group.bench_function("quantize_dequantize_q4_11", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for i in 0..1024 {
+                let v = (i as f32 - 512.0) * 0.01;
+                acc += QValue::quantize(black_box(v), QFormat::Q4_11).to_f32();
+            }
+            acc
+        });
+    });
+
+    group.bench_function("sample_fault_map_1pct_over_64k_bits", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = SmallRng::seed_from_u64(seed);
+            FaultMap::sample(4096, QFormat::Q4_11, 0.01, FaultKind::BitFlip, &mut rng).len()
+        });
+    });
+
+    group.bench_function("corrupt_4096_word_buffer", |b| {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let map = FaultMap::sample(4096, QFormat::Q4_11, 0.01, FaultKind::BitFlip, &mut rng);
+        let clean: Vec<f32> = (0..4096).map(|i| (i % 97) as f32 * 0.01).collect();
+        b.iter(|| {
+            let mut buf = clean.clone();
+            map.corrupt_f32(&mut buf, QFormat::Q4_11);
+            buf[0]
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

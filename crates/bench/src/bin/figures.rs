@@ -1,0 +1,72 @@
+//! Regenerates the paper's figures as plain-text tables.
+//!
+//! Usage:
+//!
+//! ```text
+//! figures all                  # every figure at the default (quick) scale
+//! figures fig5 fig10           # selected figures
+//! figures --scale smoke all    # smoke-sized campaign (seconds)
+//! figures --scale paper fig2   # paper-sized campaign (hours)
+//! figures --list               # list available figure ids
+//! ```
+
+use std::process::ExitCode;
+
+use navft_bench::parse_scale;
+use navft_core::{experiments, Scale};
+
+fn main() -> ExitCode {
+    let mut scale = Scale::Quick;
+    let mut requested: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let Some(value) = args.next() else {
+                    eprintln!("--scale needs a value (smoke | quick | paper)");
+                    return ExitCode::FAILURE;
+                };
+                let Some(parsed) = parse_scale(&value) else {
+                    eprintln!("unknown scale {value:?} (expected smoke | quick | paper)");
+                    return ExitCode::FAILURE;
+                };
+                scale = parsed;
+            }
+            "--list" => {
+                for id in experiments::figure_ids() {
+                    println!("{id}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("usage: figures [--scale smoke|quick|paper] [--list] <figure-id>... | all");
+                return ExitCode::SUCCESS;
+            }
+            other => requested.push(other.to_string()),
+        }
+    }
+    if requested.is_empty() {
+        eprintln!("nothing to do: pass figure ids or `all` (see --list)");
+        return ExitCode::FAILURE;
+    }
+
+    let drivers = experiments::all_figures(scale);
+    let run_all = requested.iter().any(|r| r == "all");
+    let mut matched = 0;
+    for (id, driver) in drivers {
+        if run_all || requested.iter().any(|r| r == id) {
+            matched += 1;
+            eprintln!("[figures] running {id} at {scale:?} scale...");
+            let start = std::time::Instant::now();
+            for figure in driver(scale) {
+                println!("{figure}");
+            }
+            eprintln!("[figures] {id} finished in {:.1} s", start.elapsed().as_secs_f64());
+        }
+    }
+    if matched == 0 {
+        eprintln!("no figure matched {requested:?}; use --list to see the available ids");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

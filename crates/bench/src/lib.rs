@@ -1,0 +1,47 @@
+//! Benchmark and figure-regeneration harness for the navft workspace.
+//!
+//! * The `figures` binary regenerates every figure of the paper's evaluation
+//!   as plain-text tables: `cargo run --release -p navft-bench --bin figures
+//!   -- all` (or a single figure id, e.g. `fig5`; add `--scale smoke|quick|paper`).
+//! * The Criterion benches (`cargo bench -p navft-bench`) time representative
+//!   cells of each experiment so regressions in the simulator or the
+//!   fault-injection tool-chain are visible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use navft_core::Scale;
+
+/// Parses a `--scale` argument value.
+///
+/// # Examples
+///
+/// ```
+/// use navft_bench::parse_scale;
+/// use navft_core::Scale;
+///
+/// assert_eq!(parse_scale("smoke"), Some(Scale::Smoke));
+/// assert_eq!(parse_scale("quick"), Some(Scale::Quick));
+/// assert_eq!(parse_scale("paper"), Some(Scale::Paper));
+/// assert_eq!(parse_scale("huge"), None);
+/// ```
+pub fn parse_scale(text: &str) -> Option<Scale> {
+    match text.to_ascii_lowercase().as_str() {
+        "smoke" => Some(Scale::Smoke),
+        "quick" => Some(Scale::Quick),
+        "paper" => Some(Scale::Paper),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing_is_case_insensitive() {
+        assert_eq!(parse_scale("SMOKE"), Some(Scale::Smoke));
+        assert_eq!(parse_scale("Quick"), Some(Scale::Quick));
+        assert_eq!(parse_scale(""), None);
+    }
+}

@@ -1,0 +1,159 @@
+//! Ablation studies over the design choices the paper fixes without sweeping:
+//! the mitigation's detection threshold and adjustment coefficient, the
+//! anomaly detector's margin and comparison precision, and an extended
+//! data-type sweep.
+
+use navft_fault::{FaultKind, FaultSite, FaultTarget, InjectionSchedule, Injector};
+use navft_gridworld::ObstacleDensity;
+use navft_mitigation::{ExplorationAdjuster, ExplorationAdjusterConfig, RangeGuard, RangeGuardConfig};
+use navft_qformat::QFormat;
+use navft_rl::FaultPlan;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::experiments::fig2::policy_words;
+use crate::experiments::{campaign, fig7};
+use crate::grid_policies::{train_clean_policy, train_grid_policy, PolicyKind};
+use crate::{FigureData, GridParams, Scale, Series};
+
+/// Final success rate (%) of tabular training under a late transient fault
+/// with a custom mitigation configuration.
+fn mitigated_success_with(
+    config: ExplorationAdjusterConfig,
+    ber: f64,
+    params: &GridParams,
+    seed: u64,
+) -> f64 {
+    let injection = (params.training_episodes as f64 * 0.9) as usize;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let injector = Injector::sample(
+        FaultTarget::new(FaultSite::TabularBuffer),
+        policy_words(PolicyKind::Tabular),
+        QFormat::Q3_4,
+        ber,
+        FaultKind::BitFlip,
+        &mut rng,
+    );
+    let plan = FaultPlan::new(injector, InjectionSchedule::at_episode(injection));
+    let mut adjuster = ExplorationAdjuster::new(config);
+    let run = train_grid_policy(
+        PolicyKind::Tabular,
+        ObstacleDensity::Middle,
+        params,
+        &plan,
+        seed ^ 0xAB1,
+        |episode, trace, epsilon| adjuster.observe(episode, trace, epsilon),
+    );
+    run.final_success_rate * 100.0
+}
+
+/// All ablation figures.
+pub fn ablations(scale: Scale) -> Vec<FigureData> {
+    let params = scale.grid();
+    let reps = (params.repetitions / 2).max(1);
+    let ber = *params.bit_error_rates.last().expect("non-empty BER sweep");
+    let mut figures = Vec::new();
+
+    // Ablation 1: the adjustment coefficient α.
+    let mut alpha_points = Vec::new();
+    for alpha in [0.0, 0.2, 0.4, 0.8, 1.0] {
+        let config = ExplorationAdjusterConfig { alpha, ..ExplorationAdjusterConfig::tabular() };
+        let summary = campaign(scale, reps, (alpha * 100.0) as u64 ^ 0xA1fa, |seed, _| {
+            mitigated_success_with(config, ber, &params, seed)
+        });
+        alpha_points.push((alpha, summary.mean()));
+    }
+    figures.push(FigureData::lines(
+        "ablation-alpha",
+        "mitigated tabular training vs adjustment coefficient alpha",
+        "final success rate (%) vs alpha (late transient fault at the highest BER)",
+        vec![Series::new("alpha sweep", alpha_points)],
+    ));
+
+    // Ablation 2: the detection threshold x (reward-drop fraction).
+    let mut threshold_points = Vec::new();
+    for threshold in [0.1, 0.25, 0.5, 0.75] {
+        let config = ExplorationAdjusterConfig {
+            reward_drop_fraction: threshold,
+            ..ExplorationAdjusterConfig::tabular()
+        };
+        let summary = campaign(scale, reps, (threshold * 100.0) as u64 ^ 0x7123, |seed, _| {
+            mitigated_success_with(config, ber, &params, seed)
+        });
+        threshold_points.push((threshold, summary.mean()));
+    }
+    figures.push(FigureData::lines(
+        "ablation-detection-threshold",
+        "mitigated tabular training vs reward-drop detection threshold",
+        "final success rate (%) vs detection threshold x",
+        vec![Series::new("threshold sweep", threshold_points)],
+    ));
+
+    // Ablation 3: the anomaly-detection margin and comparison precision.
+    let mut margin_series = Vec::new();
+    for (label, integer_only) in [("sign+integer bits", true), ("full precision", false)] {
+        let mut points = Vec::new();
+        for margin in [0.0, 0.05, 0.1, 0.25, 0.5] {
+            let summary = campaign(scale, reps, (margin * 1000.0) as u64 ^ 0x3a6, |seed, _| {
+                guarded_success_with_margin(margin, integer_only, ber, &params, seed)
+            });
+            points.push((margin, summary.mean()));
+        }
+        margin_series.push(Series::new(label, points));
+    }
+    figures.push(FigureData::lines(
+        "ablation-margin",
+        "anomaly-detection margin and comparison precision",
+        "Grid World NN success rate (%) vs detection margin (weight bit flips at the highest BER)",
+        margin_series,
+    ));
+
+    // Ablation 4: extended data-type sweep (adds Q(1,2,13) to Fig. 7e).
+    figures.extend(fig7::data_type_sensitivity(
+        scale,
+        &[QFormat::Q2_13, QFormat::Q4_11, QFormat::Q7_8, QFormat::Q10_5],
+        "ablation-data-types",
+    ));
+
+    figures
+}
+
+/// Success rate (%) of the guarded Grid World NN policy with a custom
+/// anomaly-detection configuration.
+fn guarded_success_with_margin(
+    margin: f64,
+    integer_only: bool,
+    ber: f64,
+    params: &GridParams,
+    seed: u64,
+) -> f64 {
+    use navft_rl::{corrupt_network_weights, evaluate_network_discrete, InferenceFaultMode};
+
+    let run = train_clean_policy(PolicyKind::Network, ObstacleDensity::Middle, params, seed);
+    let clean = run.network.as_ref().expect("network policy").network();
+    let config = RangeGuardConfig { margin, integer_bits_only: integer_only };
+    let guard = RangeGuard::from_network(clean, QFormat::Q3_4, config);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xAB3);
+    let injector = Injector::sample(
+        FaultTarget::new(FaultSite::WeightBuffer),
+        clean.weight_count(),
+        QFormat::Q3_4,
+        ber,
+        FaultKind::BitFlip,
+        &mut rng,
+    );
+    let mut corrupted =
+        corrupt_network_weights(clean, &InferenceFaultMode::TransientWholeEpisode(injector));
+    guard.scrub(&mut corrupted);
+    let mut world = navft_gridworld::GridWorld::with_density(ObstacleDensity::Middle);
+    evaluate_network_discrete(
+        &mut world,
+        &corrupted,
+        params.eval_episodes,
+        params.max_steps,
+        &InferenceFaultMode::None,
+        &mut rng,
+    )
+    .success_rate
+        * 100.0
+}

@@ -1,0 +1,185 @@
+//! Fig. 10 — the effectiveness of range-based anomaly detection during
+//! inference: success rate (Grid World) and flight distance (drone) with and
+//! without the mitigation, plus the headline improvement factors and the
+//! runtime-overhead measurement.
+
+use navft_dronesim::{DepthCamera, DroneSim, DroneWorld};
+use navft_fault::{FaultKind, FaultSite, FaultTarget, Injector};
+use navft_gridworld::{GridWorld, ObstacleDensity};
+use navft_mitigation::{measure_overhead, RangeGuard, RangeGuardConfig};
+use navft_nn::{Network, Tensor};
+use navft_qformat::QFormat;
+use navft_rl::{
+    corrupt_network_weights, evaluate_network_discrete, evaluate_network_vision, InferenceFaultMode,
+};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::drone_policy::train_drone_policy;
+use crate::experiments::campaign;
+use crate::grid_policies::{train_clean_policy, PolicyKind};
+use crate::{FigureData, GridParams, Scale, Series};
+
+/// Success rate (%) of the NN Grid World policy under weight bit flips, with
+/// or without the range guard scrubbing the corrupted weights first.
+pub fn grid_success_with_guard(
+    ber: f64,
+    mitigated: bool,
+    params: &GridParams,
+    seed: u64,
+) -> f64 {
+    let run = train_clean_policy(PolicyKind::Network, ObstacleDensity::Middle, params, seed);
+    let agent = run.network.as_ref().expect("network policy");
+    let clean = agent.network();
+    let guard = RangeGuard::from_network(clean, QFormat::Q3_4, RangeGuardConfig::paper());
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x10A);
+    let injector = Injector::sample(
+        FaultTarget::new(FaultSite::WeightBuffer),
+        clean.weight_count(),
+        QFormat::Q3_4,
+        ber,
+        FaultKind::BitFlip,
+        &mut rng,
+    );
+    let mut corrupted =
+        corrupt_network_weights(clean, &InferenceFaultMode::TransientWholeEpisode(injector));
+    if mitigated {
+        guard.scrub(&mut corrupted);
+    }
+    let mut world = GridWorld::with_density(ObstacleDensity::Middle);
+    evaluate_network_discrete(
+        &mut world,
+        &corrupted,
+        params.eval_episodes,
+        params.max_steps,
+        &InferenceFaultMode::None,
+        &mut rng,
+    )
+    .success_rate
+        * 100.0
+}
+
+/// Mean safe flight distance of the drone policy under weight bit flips, with
+/// or without the range guard.
+fn drone_distance_with_guard(
+    policy: &Network,
+    world: &DroneWorld,
+    ber: f64,
+    mitigated: bool,
+    params: &crate::DroneParams,
+    seed: u64,
+) -> f64 {
+    let guard = RangeGuard::from_network(policy, QFormat::Q4_11, RangeGuardConfig::paper());
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x10B);
+    let injector = Injector::sample(
+        FaultTarget::new(FaultSite::WeightBuffer),
+        policy.weight_count(),
+        QFormat::Q4_11,
+        ber,
+        FaultKind::BitFlip,
+        &mut rng,
+    );
+    let mut corrupted =
+        corrupt_network_weights(policy, &InferenceFaultMode::TransientWholeEpisode(injector));
+    if mitigated {
+        guard.scrub(&mut corrupted);
+    }
+    let mut sim = DroneSim::new(world.clone(), DepthCamera::scaled(), params.max_steps);
+    evaluate_network_vision(
+        &mut sim,
+        &corrupted,
+        params.eval_episodes,
+        params.max_steps,
+        &InferenceFaultMode::None,
+        &mut rng,
+    )
+    .mean_distance
+}
+
+/// Fig. 10a / 10b plus the headline facts: anomaly-detection effectiveness on
+/// Grid World inference and drone inference, and the measured runtime
+/// overhead of the guard.
+pub fn anomaly_detection_effectiveness(scale: Scale) -> Vec<FigureData> {
+    let grid_params = scale.grid();
+    let drone_params = scale.drone();
+    let mut figures = Vec::new();
+
+    // Fig. 10a: Grid World NN policy.
+    let mut unmitigated = Vec::new();
+    let mut mitigated = Vec::new();
+    for &ber in &grid_params.bit_error_rates {
+        let base = campaign(scale, grid_params.repetitions, (ber * 1e6) as u64 ^ 0xA0, |seed, _| {
+            grid_success_with_guard(ber, false, &grid_params, seed)
+        });
+        let guarded = campaign(scale, grid_params.repetitions, (ber * 1e6) as u64 ^ 0xA1, |seed, _| {
+            grid_success_with_guard(ber, true, &grid_params, seed)
+        });
+        unmitigated.push((ber, base.mean()));
+        mitigated.push((ber, guarded.mean()));
+    }
+    figures.push(FigureData::lines(
+        "fig10a",
+        "Grid World NN inference with range-based anomaly detection",
+        "success rate (%) vs BER (weight bit flips)",
+        vec![Series::new("no mitigation", unmitigated.clone()), Series::new("mitigation", mitigated.clone())],
+    ));
+
+    // Fig. 10b: drone policy.
+    let world = DroneWorld::indoor_long();
+    let policy = train_drone_policy(&world, &drone_params, 0x0D0E);
+    let mut drone_unmitigated = Vec::new();
+    let mut drone_mitigated = Vec::new();
+    for &ber in &drone_params.bit_error_rates {
+        let base = campaign(scale, drone_params.repetitions, (ber * 1e7) as u64 ^ 0xB0, |seed, _| {
+            drone_distance_with_guard(&policy, &world, ber, false, &drone_params, seed)
+        });
+        let guarded = campaign(scale, drone_params.repetitions, (ber * 1e7) as u64 ^ 0xB1, |seed, _| {
+            drone_distance_with_guard(&policy, &world, ber, true, &drone_params, seed)
+        });
+        drone_unmitigated.push((ber, base.mean()));
+        drone_mitigated.push((ber, guarded.mean()));
+    }
+    figures.push(FigureData::lines(
+        "fig10b",
+        "drone inference with range-based anomaly detection",
+        "mean safe flight distance (m) vs BER (weight bit flips)",
+        vec![
+            Series::new("no mitigation", drone_unmitigated.clone()),
+            Series::new("mitigation", drone_mitigated.clone()),
+        ],
+    ));
+
+    // Headline facts: improvement factors at the highest BER and the runtime
+    // overhead of the protected inference path.
+    let improvement = |base: &[(f64, f64)], guarded: &[(f64, f64)]| -> f64 {
+        let (mut best, mut found) = (1.0f64, false);
+        for ((_, b), (_, g)) in base.iter().zip(guarded.iter()) {
+            if *b > 1e-9 {
+                best = best.max(*g / *b);
+                found = true;
+            }
+        }
+        if found {
+            best
+        } else {
+            1.0
+        }
+    };
+    let guard = RangeGuard::from_network(&policy, QFormat::Q4_11, RangeGuardConfig::paper());
+    let camera = DepthCamera::scaled();
+    let frame = Tensor::zeros(&camera.frame_shape());
+    let overhead = measure_overhead(&policy, &guard, &frame, 60, 50);
+    figures.push(FigureData::facts(
+        "fig10-headline",
+        "headline mitigation results",
+        vec![
+            ("Grid World success-rate improvement (x)".to_string(), improvement(&unmitigated, &mitigated)),
+            (
+                "drone flight-distance improvement (x)".to_string(),
+                improvement(&drone_unmitigated, &drone_mitigated),
+            ),
+            ("anomaly-detection runtime overhead (%)".to_string(), overhead.relative_overhead() * 100.0),
+        ],
+    ));
+    figures
+}

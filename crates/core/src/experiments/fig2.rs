@@ -1,0 +1,177 @@
+//! Fig. 2 — the impact of transient and permanent faults on Grid World
+//! *training* (heatmaps of final success rate), plus the trained-policy value
+//! histograms and bit statistics (Fig. 2b/2d) that explain the stuck-at
+//! asymmetry.
+
+use navft_fault::{FaultKind, FaultSite, FaultTarget, InjectionSchedule, Injector};
+use navft_gridworld::ObstacleDensity;
+use navft_qformat::bitstats::{BitStats, ValueHistogram};
+use navft_qformat::{QFormat, QValue};
+use navft_rl::{trainer, FaultPlan};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::experiments::{ber_label, campaign};
+use crate::grid_policies::{train_clean_policy, train_grid_policy, PolicyKind};
+use crate::{FigureData, Heatmap, Scale, Series};
+
+/// The number of policy-storage words for a Grid World policy of `kind`
+/// (before training, which is when campaign fault maps are sized).
+pub fn policy_words(kind: PolicyKind) -> usize {
+    match kind {
+        PolicyKind::Tabular => 10 * 10 * 4,
+        PolicyKind::Network => {
+            crate::grid_policies::grid_mlp(100, 4, 0).weight_count()
+        }
+    }
+}
+
+/// Trains a Grid World policy of `kind` under a fault of `fault_kind` at
+/// `ber`, injected at `episode`, and returns the final success rate in
+/// percent.
+pub fn faulty_training_success(
+    kind: PolicyKind,
+    fault_kind: FaultKind,
+    ber: f64,
+    episode: usize,
+    params: &crate::GridParams,
+    seed: u64,
+) -> f64 {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let words = policy_words(kind);
+    let injector = Injector::sample(
+        FaultTarget::new(match kind {
+            PolicyKind::Tabular => FaultSite::TabularBuffer,
+            PolicyKind::Network => FaultSite::WeightBuffer,
+        }),
+        words,
+        QFormat::Q3_4,
+        ber,
+        fault_kind,
+        &mut rng,
+    );
+    let schedule = if fault_kind.is_permanent() {
+        InjectionSchedule::from_start()
+    } else {
+        InjectionSchedule::at_episode(episode)
+    };
+    let plan = FaultPlan::new(injector, schedule);
+    let run = train_grid_policy(
+        kind,
+        ObstacleDensity::Middle,
+        params,
+        &plan,
+        seed ^ 0xF16_2,
+        trainer::no_mitigation(),
+    );
+    run.final_success_rate * 100.0
+}
+
+/// Fig. 2a / 2c: success-rate heatmaps for training under transient bit flips
+/// (rows: BER, columns: injection episode) and stuck-at faults (rows: BER),
+/// for both the tabular and the NN-based policy.
+pub fn training_fault_heatmaps(scale: Scale) -> Vec<FigureData> {
+    let params = scale.grid();
+    let mut figures = Vec::new();
+    for (kind, id) in [(PolicyKind::Tabular, "fig2a"), (PolicyKind::Network, "fig2c")] {
+        // Transient heatmap.
+        let episodes = params.injection_episodes();
+        let mut rows = Vec::new();
+        for &ber in &params.bit_error_rates {
+            let mut row = Vec::new();
+            for &episode in &episodes {
+                let summary = campaign(scale, params.repetitions, hash_cell(ber, episode), |seed, _| {
+                    faulty_training_success(kind, FaultKind::BitFlip, ber, episode, &params, seed)
+                });
+                row.push(summary.mean());
+            }
+            rows.push(row);
+        }
+        figures.push(FigureData::heatmap(
+            format!("{id}-transient"),
+            format!("{kind} training under transient bit flips"),
+            "final success rate (%) vs (BER, fault-injection episode)",
+            Heatmap::new(
+                params.bit_error_rates.iter().map(|&b| ber_label(b)).collect(),
+                episodes.iter().map(|e| e.to_string()).collect(),
+                rows,
+            ),
+        ));
+
+        // Stuck-at rows (permanent faults are active from the start).
+        for fault_kind in [FaultKind::StuckAt0, FaultKind::StuckAt1] {
+            let points: Vec<(f64, f64)> = params
+                .bit_error_rates
+                .iter()
+                .map(|&ber| {
+                    let summary = campaign(scale, params.repetitions, hash_cell(ber, 777), |seed, _| {
+                        faulty_training_success(kind, fault_kind, ber, 0, &params, seed)
+                    });
+                    (ber, summary.mean())
+                })
+                .collect();
+            figures.push(FigureData::lines(
+                format!("{id}-{fault_kind}"),
+                format!("{kind} training under {fault_kind} faults"),
+                "final success rate (%) vs BER",
+                vec![Series::new(fault_kind.to_string(), points)],
+            ));
+        }
+    }
+    figures
+}
+
+/// Fig. 2b / 2d: histograms and bit statistics of the trained tabular values
+/// and NN weights.
+pub fn value_histograms(scale: Scale) -> Vec<FigureData> {
+    let params = scale.grid();
+    let mut figures = Vec::new();
+    for (kind, id, title) in [
+        (PolicyKind::Tabular, "fig2b", "trained tabular value distribution"),
+        (PolicyKind::Network, "fig2d", "trained NN weight distribution"),
+    ] {
+        let run = train_clean_policy(kind, ObstacleDensity::Middle, &params, 0x2B);
+        let values: Vec<f32> = match kind {
+            PolicyKind::Tabular => run.tabular.as_ref().expect("tabular run").table.values().to_vec(),
+            PolicyKind::Network => run.network.as_ref().expect("network run").network().flat_weights(),
+        };
+        let words: Vec<QValue> = values.iter().map(|&v| QValue::quantize(v, QFormat::Q3_4)).collect();
+        let stats = BitStats::from_values(&words);
+        let mut histogram = ValueHistogram::new(-8.0, 8.0, 16);
+        histogram.record_all(values.iter().copied());
+
+        let mut facts = vec![
+            ("'0' bits (%)".to_string(), stats.zero_fraction() * 100.0),
+            ("'1' bits (%)".to_string(), stats.one_fraction() * 100.0),
+            ("0-to-1 bit ratio".to_string(), stats.zero_to_one_ratio()),
+            ("max value".to_string(), f64::from(histogram.max().unwrap_or(0.0))),
+            ("min value".to_string(), f64::from(histogram.min().unwrap_or(0.0))),
+        ];
+        for (bin, &count) in histogram.counts().iter().enumerate() {
+            facts.push((format!("histogram bin centred at {:+.1}", histogram.bin_center(bin)), count as f64));
+        }
+        figures.push(FigureData::facts(id, title, facts));
+    }
+    figures
+}
+
+fn hash_cell(ber: f64, episode: usize) -> u64 {
+    (ber * 1e6) as u64 ^ ((episode as u64) << 32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_word_counts_are_plausible() {
+        assert_eq!(policy_words(PolicyKind::Tabular), 400);
+        assert!(policy_words(PolicyKind::Network) > 3000);
+    }
+
+    #[test]
+    fn cell_hashes_differ_across_cells() {
+        assert_ne!(hash_cell(0.001, 0), hash_cell(0.002, 0));
+        assert_ne!(hash_cell(0.001, 0), hash_cell(0.001, 500));
+    }
+}

@@ -1,0 +1,133 @@
+//! Fig. 3 — example cumulative-return curves during training under transient
+//! and permanent faults, showing the reward collapse at the injection episode
+//! and the (faster NN / slower tabular) recovery.
+
+use navft_fault::{FaultKind, FaultSite, FaultTarget, InjectionSchedule, Injector};
+use navft_gridworld::ObstacleDensity;
+use navft_qformat::QFormat;
+use navft_rl::{trainer, FaultPlan};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::experiments::fig2::policy_words;
+use crate::grid_policies::{train_grid_policy, PolicyKind};
+use crate::{FigureData, Scale, Series};
+
+/// One fault configuration shown in Fig. 3.
+struct CurveSpec {
+    label: String,
+    kind: FaultKind,
+    ber: f64,
+    injection_fraction: f64,
+}
+
+/// Fig. 3a / 3b: cumulative return per episode under four example fault
+/// configurations (two transient injection times, stuck-at-0, stuck-at-1),
+/// for the tabular and the NN-based policy.
+pub fn cumulative_return_curves(scale: Scale) -> Vec<FigureData> {
+    let params = scale.grid();
+    let specs = vec![
+        CurveSpec {
+            label: "transient, BER=0.6%, early".to_string(),
+            kind: FaultKind::BitFlip,
+            ber: 0.006,
+            injection_fraction: 0.25,
+        },
+        CurveSpec {
+            label: "transient, BER=0.6%, late".to_string(),
+            kind: FaultKind::BitFlip,
+            ber: 0.006,
+            injection_fraction: 0.85,
+        },
+        CurveSpec {
+            label: "stuck-at-0, BER=0.3%".to_string(),
+            kind: FaultKind::StuckAt0,
+            ber: 0.003,
+            injection_fraction: 0.0,
+        },
+        CurveSpec {
+            label: "stuck-at-1, BER=0.2%".to_string(),
+            kind: FaultKind::StuckAt1,
+            ber: 0.002,
+            injection_fraction: 0.0,
+        },
+    ];
+
+    let mut figures = Vec::new();
+    for (kind, id) in [(PolicyKind::Tabular, "fig3a"), (PolicyKind::Network, "fig3b")] {
+        let mut series = Vec::new();
+        for (i, spec) in specs.iter().enumerate() {
+            let episode =
+                ((spec.injection_fraction * params.training_episodes as f64) as usize)
+                    .min(params.training_episodes - 1);
+            let mut rng = SmallRng::seed_from_u64(0x316 + i as u64);
+            let injector = Injector::sample(
+                FaultTarget::new(match kind {
+                    PolicyKind::Tabular => FaultSite::TabularBuffer,
+                    PolicyKind::Network => FaultSite::WeightBuffer,
+                }),
+                policy_words(kind),
+                QFormat::Q3_4,
+                spec.ber,
+                spec.kind,
+                &mut rng,
+            );
+            let schedule = if spec.kind.is_permanent() {
+                InjectionSchedule::from_start()
+            } else {
+                InjectionSchedule::at_episode(episode)
+            };
+            let plan = FaultPlan::new(injector, schedule);
+            let run = train_grid_policy(
+                kind,
+                ObstacleDensity::Middle,
+                &params,
+                &plan,
+                0x316_5EED + i as u64,
+                trainer::no_mitigation(),
+            );
+            series.push(Series::new(spec.label.clone(), smoothed_rewards(&run.trace.rewards, 10)));
+        }
+        figures.push(FigureData::lines(
+            id,
+            format!(
+                "{} cumulative return during training under faults",
+                match kind {
+                    PolicyKind::Tabular => "tabular",
+                    PolicyKind::Network => "NN",
+                }
+            ),
+            "cumulative return (10-episode moving average) vs training episode",
+            series,
+        ));
+    }
+    figures
+}
+
+/// A moving average of the episode rewards, sampled every few episodes to
+/// keep the series compact.
+fn smoothed_rewards(rewards: &[f32], window: usize) -> Vec<(f64, f64)> {
+    let stride = (rewards.len() / 100).max(1);
+    (0..rewards.len())
+        .step_by(stride)
+        .map(|i| {
+            let start = i.saturating_sub(window);
+            let slice = &rewards[start..=i];
+            let mean = slice.iter().map(|&r| f64::from(r)).sum::<f64>() / slice.len() as f64;
+            (i as f64, mean)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoothing_preserves_length_scale_and_bounds() {
+        let rewards = vec![1.0f32; 250];
+        let smooth = smoothed_rewards(&rewards, 10);
+        assert!(smooth.len() >= 100 && smooth.len() <= 130);
+        assert!(smooth.iter().all(|&(_, y)| (y - 1.0).abs() < 1e-9));
+    }
+}

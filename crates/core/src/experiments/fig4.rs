@@ -1,0 +1,167 @@
+//! Fig. 4 — convergence analysis: how many episodes training needs to
+//! re-converge after a late transient fault, and whether extra training
+//! recovers policies afflicted by permanent faults.
+
+use navft_fault::{FaultKind, FaultSite, FaultTarget, InjectionSchedule, Injector};
+use navft_gridworld::ObstacleDensity;
+use navft_qformat::QFormat;
+use navft_rl::{episodes_to_converge, trainer, FaultPlan};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::experiments::fig2::policy_words;
+use crate::experiments::{ber_label, campaign};
+use crate::grid_policies::{train_grid_policy, PolicyKind};
+use crate::{FigureData, GridParams, Scale, Series};
+
+fn fault_site(kind: PolicyKind) -> FaultTarget {
+    FaultTarget::new(match kind {
+        PolicyKind::Tabular => FaultSite::TabularBuffer,
+        PolicyKind::Network => FaultSite::WeightBuffer,
+    })
+}
+
+/// Trains with a late transient fault and reports how many episodes after the
+/// injection the sliding-window success rate returns above 95 % (the
+/// full remaining training length if it never does).
+fn recovery_episodes(kind: PolicyKind, ber: f64, params: &GridParams, seed: u64) -> f64 {
+    // Train longer than the base schedule so there is room to re-converge.
+    let mut extended = params.clone();
+    extended.training_episodes = params.training_episodes * 2;
+    let injection = (params.training_episodes as f64 * 0.9) as usize;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let injector = Injector::sample(
+        fault_site(kind),
+        policy_words(kind),
+        QFormat::Q3_4,
+        ber,
+        FaultKind::BitFlip,
+        &mut rng,
+    );
+    let plan = FaultPlan::new(injector, InjectionSchedule::at_episode(injection));
+    let run = train_grid_policy(
+        kind,
+        ObstacleDensity::Middle,
+        &extended,
+        &plan,
+        seed ^ 0x41,
+        trainer::no_mitigation(),
+    );
+    let window = 20.min(params.training_episodes / 4).max(5);
+    episodes_to_converge(&run.trace, injection, window, 0.95)
+        .unwrap_or(extended.training_episodes - injection) as f64
+}
+
+/// Trains with permanent faults present from the start for `ei` episodes plus
+/// one extra base-length block, and reports the final success rate (%).
+fn permanent_success_after_extra_training(
+    kind: PolicyKind,
+    fault_kind: FaultKind,
+    ber: f64,
+    ei_multiplier: usize,
+    params: &GridParams,
+    seed: u64,
+) -> f64 {
+    let mut extended = params.clone();
+    extended.training_episodes = params.training_episodes * (ei_multiplier + 1);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let injector = Injector::sample(
+        fault_site(kind),
+        policy_words(kind),
+        QFormat::Q3_4,
+        ber,
+        fault_kind,
+        &mut rng,
+    );
+    let plan = FaultPlan::new(injector, InjectionSchedule::from_start());
+    let run = train_grid_policy(
+        kind,
+        ObstacleDensity::Middle,
+        &extended,
+        &plan,
+        seed ^ 0x4B,
+        trainer::no_mitigation(),
+    );
+    run.final_success_rate * 100.0
+}
+
+/// Fig. 4a–4d: episodes to re-converge after a late transient fault
+/// (tabular / NN), and the success rate reachable with extra training under
+/// permanent faults at two fault-onset points.
+pub fn convergence_analysis(scale: Scale) -> Vec<FigureData> {
+    let params = scale.grid();
+    // Use a trimmed repetition count: each cell trains for 2-3x the base
+    // episode budget.
+    let reps = (params.repetitions / 2).max(1);
+    let mut figures = Vec::new();
+
+    for (kind, id_conv, id_perm) in [
+        (PolicyKind::Tabular, "fig4a", "fig4b"),
+        (PolicyKind::Network, "fig4c", "fig4d"),
+    ] {
+        // (a)/(c): episodes to converge after a transient fault vs BER.
+        let points: Vec<(f64, f64)> = params
+            .bit_error_rates
+            .iter()
+            .map(|&ber| {
+                let summary = campaign(scale, reps, (ber * 1e6) as u64 ^ 0x44, |seed, _| {
+                    recovery_episodes(kind, ber, &params, seed)
+                });
+                (ber, summary.mean())
+            })
+            .collect();
+        figures.push(FigureData::lines(
+            id_conv,
+            format!("{kind} episodes to re-converge after a late transient fault"),
+            "episodes to >95% success after injection vs BER",
+            vec![Series::new("transient faults", points)],
+        ));
+
+        // (b)/(d): success rate after extra training under permanent faults.
+        let mut series = Vec::new();
+        for fault_kind in [FaultKind::StuckAt0, FaultKind::StuckAt1] {
+            for (ei_multiplier, ei_label) in [(1usize, "EI=1x"), (2, "EI=2x")] {
+                let points: Vec<(f64, f64)> = params
+                    .bit_error_rates
+                    .iter()
+                    .map(|&ber| {
+                        let summary =
+                            campaign(scale, reps, (ber * 1e6) as u64 ^ (ei_multiplier as u64) << 8, |seed, _| {
+                                permanent_success_after_extra_training(
+                                    kind,
+                                    fault_kind,
+                                    ber,
+                                    ei_multiplier,
+                                    &params,
+                                    seed,
+                                )
+                            });
+                        (ber, summary.mean())
+                    })
+                    .collect();
+                series.push(Series::new(format!("{fault_kind} ({ei_label})"), points));
+            }
+        }
+        figures.push(FigureData::lines(
+            id_perm,
+            format!("{kind} success rate after extra training under permanent faults"),
+            "final success rate (%) vs BER (labels: {ber_label})".replace(
+                "{ber_label}",
+                &params.bit_error_rates.iter().map(|&b| ber_label(b)).collect::<Vec<_>>().join(", "),
+            ),
+            series,
+        ));
+    }
+    figures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_sites_follow_policy_kind() {
+        assert_eq!(fault_site(PolicyKind::Tabular).site(), FaultSite::TabularBuffer);
+        assert_eq!(fault_site(PolicyKind::Network).site(), FaultSite::WeightBuffer);
+    }
+}

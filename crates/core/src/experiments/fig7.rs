@@ -1,0 +1,368 @@
+//! Fig. 7 — drone navigation fault characterization: training under faults
+//! (7a), environment sensitivity (7b), fault-location sensitivity (7c),
+//! per-layer sensitivity (7d) and data-type sensitivity (7e).
+
+use navft_dronesim::{DepthCamera, DroneSim, DroneWorld};
+use navft_fault::{FaultKind, FaultMap, FaultSite, FaultTarget, InjectionSchedule, Injector};
+use navft_nn::{parametric_layer_names, Network};
+use navft_qformat::QFormat;
+use navft_rl::{
+    evaluate_network_vision, evaluate_network_vision_hooked, trainer, FaultPlan, InferenceFaultMode,
+};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::drone_policy::{drone_agent, train_drone_policy};
+use crate::experiments::{ber_label, campaign};
+use crate::hooks::{BufferFaultHook, HookPersistence, HookTarget};
+use crate::{DroneParams, FigureData, Heatmap, Scale, Series};
+
+/// The fixed-point format drone policy weights are stored in.
+const DRONE_FORMAT: QFormat = QFormat::Q4_11;
+
+/// Trains the drone policy used by the inference experiments (deterministic
+/// for a given scale).
+fn trained_policy(world: &DroneWorld, params: &DroneParams) -> Network {
+    train_drone_policy(world, params, 0x0D0E)
+}
+
+/// Samples a weight-buffer injector over the whole network.
+fn weight_injector(network: &Network, ber: f64, kind: FaultKind, format: QFormat, seed: u64) -> Injector {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    Injector::sample(
+        FaultTarget::new(FaultSite::WeightBuffer),
+        network.weight_count(),
+        format,
+        ber,
+        kind,
+        &mut rng,
+    )
+}
+
+/// Samples an injector whose faults are confined to one layer's weight span.
+fn layer_injector(network: &Network, layer: usize, ber: f64, seed: u64) -> Injector {
+    let span = network.weight_span(layer);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let local = FaultMap::sample(span.len(), DRONE_FORMAT, ber, FaultKind::BitFlip, &mut rng);
+    let shifted: FaultMap = local
+        .faults()
+        .iter()
+        .map(|f| navft_fault::BitFault { word: f.word + span.start, bit: f.bit, kind: f.kind })
+        .collect();
+    Injector::new(FaultTarget::layer(FaultSite::WeightBuffer, layer), DRONE_FORMAT, shifted)
+}
+
+/// Evaluates the mean safe flight distance of `network` in `world` under the
+/// given weight fault mode.
+fn flight_distance(
+    network: &Network,
+    world: &DroneWorld,
+    params: &DroneParams,
+    fault: &InferenceFaultMode,
+    seed: u64,
+) -> f64 {
+    let mut sim = DroneSim::new(world.clone(), DepthCamera::scaled(), params.max_steps);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    evaluate_network_vision(&mut sim, network, params.eval_episodes, params.max_steps, fault, &mut rng)
+        .mean_distance
+}
+
+/// Fig. 7a: online fine-tuning (the transfer-learning stage) under transient
+/// faults injected at different points, plus permanent stuck-at faults, with
+/// the quality of the resulting flights as the metric.
+pub fn drone_training_faults(scale: Scale) -> Vec<FigureData> {
+    let params = scale.drone();
+    let world = DroneWorld::indoor_long();
+    let base_policy = trained_policy(&world, &params);
+    // Fine-tuning is the most expensive experiment: cap the repetitions.
+    let reps = params.repetitions.min(3);
+    let injection_fractions = [0.0, 0.5, 0.9];
+    let bers: Vec<f64> = params.bit_error_rates.clone();
+
+    let finetune_distance = |kind: FaultKind, ber: f64, fraction: f64, seed: u64| -> f64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let injector = Injector::sample(
+            FaultTarget::new(FaultSite::WeightBuffer),
+            base_policy.weight_count(),
+            DRONE_FORMAT,
+            ber,
+            kind,
+            &mut rng,
+        );
+        let episode = ((fraction * params.finetune_episodes as f64) as usize)
+            .min(params.finetune_episodes.saturating_sub(1));
+        let schedule = if kind.is_permanent() {
+            InjectionSchedule::from_start()
+        } else {
+            InjectionSchedule::at_episode(episode)
+        };
+        let plan = FaultPlan::new(injector, schedule);
+        let mut agent = drone_agent(base_policy.clone(), params.finetune_episodes / 2);
+        let mut sim = DroneSim::new(world.clone(), DepthCamera::scaled(), params.max_steps);
+        let trace = trainer::train_dqn_vision(
+            &mut sim,
+            &mut agent,
+            trainer::TrainingConfig::new(params.finetune_episodes, params.max_steps),
+            &plan,
+            &mut rng,
+            trainer::no_mitigation(),
+        );
+        trace.recent_mean_distance((params.finetune_episodes / 4).max(1))
+    };
+
+    // Transient heatmap: rows = BER, cols = injection fraction.
+    let mut rows = Vec::new();
+    for &ber in &bers {
+        let mut row = Vec::new();
+        for &fraction in &injection_fractions {
+            let summary = campaign(scale, reps, (ber * 1e7) as u64 ^ ((fraction * 10.0) as u64), |seed, _| {
+                finetune_distance(FaultKind::BitFlip, ber, fraction, seed)
+            });
+            row.push(summary.mean());
+        }
+        rows.push(row);
+    }
+    let transient = FigureData::heatmap(
+        "fig7a-transient",
+        "drone online fine-tuning under transient weight bit flips",
+        "mean safe flight distance (m) vs (BER, fault-injection point)",
+        Heatmap::new(
+            bers.iter().map(|&b| ber_label(b)).collect(),
+            injection_fractions.iter().map(|f| format!("{:.0}%", f * 100.0)).collect(),
+            rows,
+        ),
+    );
+
+    // Permanent faults at a representative BER.
+    let representative_ber = bers[bers.len() / 2];
+    let mut series = Vec::new();
+    for kind in [FaultKind::StuckAt0, FaultKind::StuckAt1] {
+        let summary = campaign(scale, reps, 0x7A ^ kind as u64, |seed, _| {
+            finetune_distance(kind, representative_ber, 0.0, seed)
+        });
+        series.push(Series::new(kind.to_string(), vec![(representative_ber, summary.mean())]));
+    }
+    let clean = campaign(scale, reps, 0x7A_C1EA, |seed, _| {
+        finetune_distance(FaultKind::BitFlip, 0.0, 0.0, seed)
+    });
+    series.push(Series::new("fault-free", vec![(0.0, clean.mean())]));
+    let permanent = FigureData::lines(
+        "fig7a-permanent",
+        "drone online fine-tuning under permanent faults",
+        "mean safe flight distance (m) at the marked BER",
+        series,
+    );
+
+    vec![transient, permanent]
+}
+
+/// Fig. 7b: transient weight faults evaluated in both indoor environments.
+pub fn drone_environment_sensitivity(scale: Scale) -> Vec<FigureData> {
+    let params = scale.drone();
+    let mut series = Vec::new();
+    for world in [DroneWorld::indoor_long(), DroneWorld::indoor_vanleer()] {
+        let policy = trained_policy(&world, &params);
+        let mut points = Vec::new();
+        for &ber in &params.bit_error_rates {
+            let summary = campaign(scale, params.repetitions, (ber * 1e7) as u64 ^ 0x7B, |seed, _| {
+                let injector = weight_injector(&policy, ber, FaultKind::BitFlip, DRONE_FORMAT, seed);
+                flight_distance(
+                    &policy,
+                    &world,
+                    &params,
+                    &InferenceFaultMode::TransientWholeEpisode(injector),
+                    seed ^ 0xF11,
+                )
+            });
+            points.push((ber, summary.mean()));
+        }
+        series.push(Series::new(world.name(), points));
+    }
+    vec![FigureData::lines(
+        "fig7b",
+        "drone inference under weight bit flips in two environments",
+        "mean safe flight distance (m) vs BER",
+        series,
+    )]
+}
+
+/// Fig. 7c: fault-location sensitivity — faults in the input buffer, the
+/// weight buffer, and the activation buffers (transient and permanent).
+pub fn drone_fault_location_sensitivity(scale: Scale) -> Vec<FigureData> {
+    let params = scale.drone();
+    let world = DroneWorld::indoor_long();
+    let policy = trained_policy(&world, &params);
+
+    let hooked_distance = |target: HookTarget, persistence: HookPersistence, ber: f64, seed: u64| -> f64 {
+        let mut sim = DroneSim::new(world.clone(), DepthCamera::scaled(), params.max_steps);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        evaluate_network_vision_hooked(
+            &mut sim,
+            &policy,
+            params.eval_episodes,
+            params.max_steps,
+            &InferenceFaultMode::None,
+            &mut rng,
+            |episode| {
+                BufferFaultHook::new(
+                    target,
+                    persistence,
+                    ber,
+                    FaultKind::BitFlip,
+                    DRONE_FORMAT,
+                    seed ^ (episode as u64) << 16,
+                )
+            },
+        )
+        .mean_distance
+    };
+
+    let mut series = Vec::new();
+    for (label, runner) in [
+        (
+            "input buffer",
+            Box::new(|ber: f64, seed: u64| hooked_distance(HookTarget::Input, HookPersistence::Transient, ber, seed))
+                as Box<dyn Fn(f64, u64) -> f64 + Sync>,
+        ),
+        (
+            "weights",
+            Box::new(|ber: f64, seed: u64| {
+                let injector = weight_injector(&policy, ber, FaultKind::BitFlip, DRONE_FORMAT, seed);
+                flight_distance(
+                    &policy,
+                    &world,
+                    &params,
+                    &InferenceFaultMode::TransientWholeEpisode(injector),
+                    seed ^ 0xAC,
+                )
+            }),
+        ),
+        (
+            "activations (transient)",
+            Box::new(|ber: f64, seed: u64| {
+                hooked_distance(HookTarget::Activations, HookPersistence::Transient, ber, seed)
+            }),
+        ),
+        (
+            "activations (permanent)",
+            Box::new(|ber: f64, seed: u64| {
+                hooked_distance(HookTarget::Activations, HookPersistence::Permanent, ber, seed)
+            }),
+        ),
+    ] {
+        let mut points = Vec::new();
+        for &ber in &params.bit_error_rates {
+            let summary = campaign(scale, params.repetitions, (ber * 1e7) as u64 ^ 0x7C, |seed, _| {
+                runner(ber, seed)
+            });
+            points.push((ber, summary.mean()));
+        }
+        series.push(Series::new(label, points));
+    }
+    vec![FigureData::lines(
+        "fig7c",
+        "drone inference sensitivity by fault location",
+        "mean safe flight distance (m) vs BER",
+        series,
+    )]
+}
+
+/// Fig. 7d: per-layer sensitivity — bit flips confined to each layer's
+/// weights in turn.
+pub fn drone_layer_sensitivity(scale: Scale) -> Vec<FigureData> {
+    let params = scale.drone();
+    let world = DroneWorld::indoor_long();
+    let policy = trained_policy(&world, &params);
+    let mut series = Vec::new();
+    for (name, layer) in parametric_layer_names(&policy) {
+        let mut points = Vec::new();
+        for &ber in &params.bit_error_rates {
+            let summary =
+                campaign(scale, params.repetitions, (ber * 1e7) as u64 ^ (layer as u64) << 8, |seed, _| {
+                    let injector = layer_injector(&policy, layer, ber, seed);
+                    flight_distance(
+                        &policy,
+                        &world,
+                        &params,
+                        &InferenceFaultMode::TransientWholeEpisode(injector),
+                        seed ^ 0x7D,
+                    )
+                });
+            points.push((ber, summary.mean()));
+        }
+        series.push(Series::new(name, points));
+    }
+    vec![FigureData::lines(
+        "fig7d",
+        "drone inference sensitivity by faulted layer",
+        "mean safe flight distance (m) vs BER (bit flips confined to one layer's weights)",
+        series,
+    )]
+}
+
+/// Fig. 7e: data-type sensitivity — the policy quantized to Q(1,4,11),
+/// Q(1,7,8) and Q(1,10,5), each exposed to weight bit flips.
+pub fn drone_data_type_sensitivity(scale: Scale) -> Vec<FigureData> {
+    data_type_sensitivity(scale, &[QFormat::Q4_11, QFormat::Q7_8, QFormat::Q10_5], "fig7e")
+}
+
+/// Shared driver for the data-type sweep (also used by the extended
+/// ablation).
+pub(crate) fn data_type_sensitivity(scale: Scale, formats: &[QFormat], id: &str) -> Vec<FigureData> {
+    let params = scale.drone();
+    let world = DroneWorld::indoor_long();
+    let base_policy = trained_policy(&world, &params);
+    let mut series = Vec::new();
+    for &format in formats {
+        let mut policy = base_policy.clone();
+        policy.quantize_weights(format);
+        let mut points = Vec::new();
+        for &ber in &params.bit_error_rates {
+            let summary = campaign(
+                scale,
+                params.repetitions,
+                (ber * 1e7) as u64 ^ u64::from(format.int_bits()),
+                |seed, _| {
+                    let injector = weight_injector(&policy, ber, FaultKind::BitFlip, format, seed);
+                    flight_distance(
+                        &policy,
+                        &world,
+                        &params,
+                        &InferenceFaultMode::TransientWholeEpisode(injector),
+                        seed ^ 0x7E,
+                    )
+                },
+            );
+            points.push((ber, summary.mean()));
+        }
+        series.push(Series::new(format.to_string(), points));
+    }
+    vec![FigureData::lines(
+        id,
+        "drone inference sensitivity by fixed-point data type",
+        "mean safe flight distance (m) vs BER (weight bit flips)",
+        series,
+    )]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_injector_confines_faults_to_the_span() {
+        let params = Scale::Smoke.drone();
+        let world = DroneWorld::indoor_long();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let policy = navft_nn::C3f2Config::scaled().build(&mut rng);
+        let _ = (&world, &params);
+        let layers = policy.parametric_layers();
+        let last = *layers.last().expect("layers");
+        let injector = layer_injector(&policy, last, 0.05, 1);
+        let span = policy.weight_span(last);
+        assert!(injector.fault_count() > 0);
+        for fault in injector.map().faults() {
+            assert!(span.contains(&fault.word));
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Fig. 8 — Grid World training heatmaps with the adaptive exploration-rate
+//! adjustment (the training-time mitigation) enabled, for direct comparison
+//! against Fig. 2.
+
+use navft_fault::{FaultKind, FaultSite, FaultTarget, InjectionSchedule, Injector};
+use navft_gridworld::ObstacleDensity;
+use navft_mitigation::ExplorationAdjuster;
+use navft_qformat::QFormat;
+use navft_rl::FaultPlan;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::experiments::fig2::policy_words;
+use crate::experiments::{ber_label, campaign};
+use crate::grid_policies::{train_grid_policy, PolicyKind};
+use crate::{FigureData, GridParams, Heatmap, Scale, Series};
+
+/// Trains a policy of `kind` under a fault, with the exploration-rate
+/// mitigation attached, and returns the final success rate in percent.
+pub fn mitigated_training_success(
+    kind: PolicyKind,
+    fault_kind: FaultKind,
+    ber: f64,
+    episode: usize,
+    params: &GridParams,
+    seed: u64,
+) -> f64 {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let injector = Injector::sample(
+        FaultTarget::new(match kind {
+            PolicyKind::Tabular => FaultSite::TabularBuffer,
+            PolicyKind::Network => FaultSite::WeightBuffer,
+        }),
+        policy_words(kind),
+        QFormat::Q3_4,
+        ber,
+        fault_kind,
+        &mut rng,
+    );
+    let schedule = if fault_kind.is_permanent() {
+        InjectionSchedule::from_start()
+    } else {
+        InjectionSchedule::at_episode(episode)
+    };
+    let plan = FaultPlan::new(injector, schedule);
+    let mut adjuster = match kind {
+        PolicyKind::Tabular => ExplorationAdjuster::for_tabular(),
+        PolicyKind::Network => ExplorationAdjuster::for_network(),
+    };
+    let run = train_grid_policy(
+        kind,
+        ObstacleDensity::Middle,
+        params,
+        &plan,
+        seed ^ 0xF18,
+        |episode, trace, epsilon| adjuster.observe(episode, trace, epsilon),
+    );
+    run.final_success_rate * 100.0
+}
+
+/// Fig. 8a / 8b: mitigated-training success-rate heatmaps (transient faults)
+/// and stuck-at sweeps, for tabular and NN policies.
+pub fn mitigated_training_heatmaps(scale: Scale) -> Vec<FigureData> {
+    let params = scale.grid();
+    let mut figures = Vec::new();
+    for (kind, id) in [(PolicyKind::Tabular, "fig8a"), (PolicyKind::Network, "fig8b")] {
+        let episodes = params.injection_episodes();
+        let mut rows = Vec::new();
+        for &ber in &params.bit_error_rates {
+            let mut row = Vec::new();
+            for &episode in &episodes {
+                let summary =
+                    campaign(scale, params.repetitions, (ber * 1e6) as u64 ^ (episode as u64) << 20, |seed, _| {
+                        mitigated_training_success(kind, FaultKind::BitFlip, ber, episode, &params, seed)
+                    });
+                row.push(summary.mean());
+            }
+            rows.push(row);
+        }
+        figures.push(FigureData::heatmap(
+            format!("{id}-transient"),
+            format!("{kind} training under transient faults with exploration-rate mitigation"),
+            "final success rate (%) vs (BER, fault-injection episode)",
+            Heatmap::new(
+                params.bit_error_rates.iter().map(|&b| ber_label(b)).collect(),
+                episodes.iter().map(|e| e.to_string()).collect(),
+                rows,
+            ),
+        ));
+
+        for fault_kind in [FaultKind::StuckAt0, FaultKind::StuckAt1] {
+            let points: Vec<(f64, f64)> = params
+                .bit_error_rates
+                .iter()
+                .map(|&ber| {
+                    let summary =
+                        campaign(scale, params.repetitions, (ber * 1e6) as u64 ^ 0x88, |seed, _| {
+                            mitigated_training_success(kind, fault_kind, ber, 0, &params, seed)
+                        });
+                    (ber, summary.mean())
+                })
+                .collect();
+            figures.push(FigureData::lines(
+                format!("{id}-{fault_kind}"),
+                format!("{kind} training under {fault_kind} faults with mitigation"),
+                "final success rate (%) vs BER",
+                vec![Series::new(fault_kind.to_string(), points)],
+            ));
+        }
+    }
+    figures
+}

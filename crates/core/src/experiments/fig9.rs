@@ -1,0 +1,151 @@
+//! Fig. 9 — the behaviour of the exploration-rate mitigation: how far the
+//! exploration ratio is raised, how long the agent takes to return to steady
+//! exploitation, and the trade-off between adjusted exploration and recovery
+//! speed.
+
+use navft_fault::{FaultKind, FaultSite, FaultTarget, InjectionSchedule, Injector};
+use navft_gridworld::ObstacleDensity;
+use navft_mitigation::ExplorationAdjuster;
+use navft_qformat::QFormat;
+use navft_rl::{episodes_to_converge, FaultPlan};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::experiments::fig2::policy_words;
+use crate::experiments::campaign;
+use crate::grid_policies::{train_grid_policy, PolicyKind};
+use crate::{FigureData, GridParams, Scale, Series};
+
+/// The observables of one mitigated training run.
+#[derive(Debug, Clone, Copy)]
+struct MitigationOutcome {
+    /// Highest exploration ratio reached after the fault struck (%).
+    peak_exploration: f64,
+    /// Episodes from the fault until ε returned to its floor (steady
+    /// exploitation), or the remaining training length if it never did.
+    episodes_to_steady: f64,
+    /// Episodes from the fault until the success rate recovered above 95 %.
+    recovery_episodes: f64,
+}
+
+fn run_mitigated(
+    kind: PolicyKind,
+    fault_kind: FaultKind,
+    ber: f64,
+    params: &GridParams,
+    seed: u64,
+) -> MitigationOutcome {
+    let mut extended = params.clone();
+    extended.training_episodes = params.training_episodes * 2;
+    let injection = if fault_kind.is_permanent() {
+        0
+    } else {
+        (params.training_episodes as f64 * 0.9) as usize
+    };
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let injector = Injector::sample(
+        FaultTarget::new(match kind {
+            PolicyKind::Tabular => FaultSite::TabularBuffer,
+            PolicyKind::Network => FaultSite::WeightBuffer,
+        }),
+        policy_words(kind),
+        QFormat::Q3_4,
+        ber,
+        fault_kind,
+        &mut rng,
+    );
+    let schedule = if fault_kind.is_permanent() {
+        InjectionSchedule::from_start()
+    } else {
+        InjectionSchedule::at_episode(injection)
+    };
+    let plan = FaultPlan::new(injector, schedule);
+    let mut adjuster = match kind {
+        PolicyKind::Tabular => ExplorationAdjuster::for_tabular(),
+        PolicyKind::Network => ExplorationAdjuster::for_network(),
+    };
+    let run = train_grid_policy(
+        kind,
+        ObstacleDensity::Middle,
+        &extended,
+        &plan,
+        seed ^ 0xF19,
+        |episode, trace, epsilon| adjuster.observe(episode, trace, epsilon),
+    );
+
+    let post_fault = &run.trace.epsilons[injection.min(run.trace.epsilons.len().saturating_sub(1))..];
+    let peak_exploration = post_fault.iter().copied().fold(0.0f64, f64::max) * 100.0;
+    let floor = 0.05 + 1e-9;
+    let episodes_to_steady = post_fault
+        .iter()
+        .position(|&e| e <= floor)
+        .map(|p| {
+            // Find the first return to the floor *after* any boost.
+            post_fault[p..].iter().position(|&e| e <= floor).map(|q| p + q).unwrap_or(p)
+        })
+        .unwrap_or(post_fault.len()) as f64;
+    let window = 20.min(params.training_episodes / 4).max(5);
+    let recovery_episodes = episodes_to_converge(&run.trace, injection, window, 0.95)
+        .unwrap_or(extended.training_episodes - injection) as f64;
+    MitigationOutcome { peak_exploration, episodes_to_steady, recovery_episodes }
+}
+
+/// Fig. 9a/9b/9c: exploration ratio and episodes-to-steady-exploitation vs
+/// BER per fault kind (tabular and NN), plus the recovery-time vs
+/// exploration-ratio trade-off.
+pub fn exploration_adjustment_analysis(scale: Scale) -> Vec<FigureData> {
+    let params = scale.grid();
+    let reps = (params.repetitions / 2).max(1);
+    let mut figures = Vec::new();
+    let mut tradeoff_series = Vec::new();
+
+    for (kind, id) in [(PolicyKind::Tabular, "fig9a"), (PolicyKind::Network, "fig9b")] {
+        let mut ratio_series = Vec::new();
+        let mut steady_series = Vec::new();
+        let mut tradeoff_points = Vec::new();
+        for fault_kind in [FaultKind::BitFlip, FaultKind::StuckAt0, FaultKind::StuckAt1] {
+            let mut ratio_points = Vec::new();
+            let mut steady_points = Vec::new();
+            for &ber in &params.bit_error_rates {
+                let peak = campaign(scale, reps, (ber * 1e6) as u64 ^ 0x91, |seed, _| {
+                    run_mitigated(kind, fault_kind, ber, &params, seed).peak_exploration
+                });
+                let steady = campaign(scale, reps, (ber * 1e6) as u64 ^ 0x92, |seed, _| {
+                    run_mitigated(kind, fault_kind, ber, &params, seed).episodes_to_steady
+                });
+                ratio_points.push((ber, peak.mean()));
+                steady_points.push((ber, steady.mean()));
+                if fault_kind == FaultKind::BitFlip {
+                    let recovery = campaign(scale, reps, (ber * 1e6) as u64 ^ 0x93, |seed, _| {
+                        run_mitigated(kind, fault_kind, ber, &params, seed).recovery_episodes
+                    });
+                    tradeoff_points.push((peak.mean(), recovery.mean()));
+                }
+            }
+            ratio_series.push(Series::new(format!("{fault_kind}"), ratio_points));
+            steady_series.push(Series::new(format!("{fault_kind}"), steady_points));
+        }
+        figures.push(FigureData::lines(
+            format!("{id}-exploration-ratio"),
+            format!("{kind} adjusted exploration ratio vs BER"),
+            "peak exploration ratio after the fault (%) vs BER",
+            ratio_series,
+        ));
+        figures.push(FigureData::lines(
+            format!("{id}-episodes-to-steady"),
+            format!("{kind} episodes to steady exploitation vs BER"),
+            "episodes from fault to steady exploitation vs BER",
+            steady_series,
+        ));
+        tradeoff_points.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        tradeoff_series.push(Series::new(kind.to_string(), tradeoff_points));
+    }
+
+    figures.push(FigureData::lines(
+        "fig9c",
+        "recovery time vs adjusted exploration ratio",
+        "episodes to recover >95% success vs peak exploration ratio (%)",
+        tradeoff_series,
+    ));
+    figures
+}

@@ -1,0 +1,101 @@
+//! Experiment drivers: one module per figure of the paper's evaluation.
+//!
+//! Every driver takes a [`Scale`](crate::Scale) and returns
+//! [`FigureData`](crate::FigureData) holding the same rows/series the paper
+//! plots. The `figures` binary in `navft-bench` renders them as text tables;
+//! the Criterion benches time representative cells.
+
+pub mod ablation;
+pub mod fig10;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+
+use navft_fault::campaign::{run_parallel, CampaignConfig, Summary};
+
+use crate::{FigureData, Scale};
+
+/// Runs `experiment` for `repetitions` deterministic seeds across the scale's
+/// worker threads and returns the summary.
+pub(crate) fn campaign<F>(scale: Scale, repetitions: usize, base_seed: u64, experiment: F) -> Summary
+where
+    F: Fn(u64, usize) -> f64 + Sync,
+{
+    let config = CampaignConfig::new(repetitions, base_seed);
+    run_parallel(&config, scale.threads(), experiment)
+}
+
+/// Formats a bit error rate the way the paper labels its axes.
+pub(crate) fn ber_label(ber: f64) -> String {
+    if ber == 0.0 {
+        "0".to_string()
+    } else if ber >= 0.001 {
+        format!("{:.1}%", ber * 100.0)
+    } else {
+        format!("{ber:.0e}")
+    }
+}
+
+/// Every figure driver, keyed by figure id, at the given scale.
+///
+/// This is the complete per-experiment index used by the `figures` binary:
+/// `figures all` regenerates every entry, `figures <id>` a single one.
+pub fn all_figures(scale: Scale) -> Vec<(&'static str, fn(Scale) -> Vec<FigureData>)> {
+    let _ = scale;
+    vec![
+        ("fig2", fig2::training_fault_heatmaps as fn(Scale) -> Vec<FigureData>),
+        ("fig2hist", fig2::value_histograms),
+        ("fig3", fig3::cumulative_return_curves),
+        ("fig4", fig4::convergence_analysis),
+        ("fig5", fig5::grid_inference_sensitivity),
+        ("fig7a", fig7::drone_training_faults),
+        ("fig7b", fig7::drone_environment_sensitivity),
+        ("fig7c", fig7::drone_fault_location_sensitivity),
+        ("fig7d", fig7::drone_layer_sensitivity),
+        ("fig7e", fig7::drone_data_type_sensitivity),
+        ("fig8", fig8::mitigated_training_heatmaps),
+        ("fig9", fig9::exploration_adjustment_analysis),
+        ("fig10", fig10::anomaly_detection_effectiveness),
+        ("ablation", ablation::ablations),
+    ]
+}
+
+/// The list of valid figure identifiers.
+pub fn figure_ids() -> Vec<&'static str> {
+    all_figures(Scale::Quick).into_iter().map(|(id, _)| id).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ber_labels_match_paper_axis_style() {
+        assert_eq!(ber_label(0.0), "0");
+        assert_eq!(ber_label(0.001), "0.1%");
+        assert_eq!(ber_label(0.01), "1.0%");
+        assert_eq!(ber_label(1e-4), "1e-4");
+        assert_eq!(ber_label(1e-5), "1e-5");
+    }
+
+    #[test]
+    fn figure_index_covers_every_evaluation_figure() {
+        let ids = figure_ids();
+        for expected in
+            ["fig2", "fig3", "fig4", "fig5", "fig7a", "fig7b", "fig7c", "fig7d", "fig7e", "fig8", "fig9", "fig10"]
+        {
+            assert!(ids.contains(&expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let a = campaign(Scale::Smoke, 5, 3, |seed, _| (seed % 97) as f64);
+        let b = campaign(Scale::Smoke, 5, 3, |seed, _| (seed % 97) as f64);
+        assert_eq!(a.values(), b.values());
+    }
+}

@@ -1,0 +1,46 @@
+//! High-level experiment orchestration for the navft reproduction of
+//! *Analyzing and Improving Fault Tolerance of Learning-Based Navigation
+//! Systems* (DAC 2021).
+//!
+//! The lower-level crates provide the building blocks — fixed-point numerics
+//! (`navft-qformat`), the fault-injection tool-chain (`navft-fault`), the
+//! Grid World and drone environments (`navft-gridworld`, `navft-dronesim`),
+//! the quantized NN library (`navft-nn`), the learning algorithms
+//! (`navft-rl`) and the two mitigation techniques (`navft-mitigation`).
+//! This crate assembles them into the paper's experiments:
+//!
+//! * [`Scale`] — how big a campaign to run (smoke / quick / paper-sized).
+//! * [`FigureData`] — structured results matching the paper's figures, with
+//!   plain-text rendering.
+//! * [`grid_policies`] / [`drone_policy`] — policy training helpers for both
+//!   benchmark tasks.
+//! * [`experiments`] — one driver per figure of the paper's evaluation
+//!   (Fig. 2 through Fig. 10) plus ablations; see
+//!   [`experiments::all_figures`].
+//!
+//! # Examples
+//!
+//! Reproduce the Grid World inference-sensitivity figure at smoke scale:
+//!
+//! ```no_run
+//! use navft_core::{experiments, Scale};
+//!
+//! for figure in experiments::fig5::grid_inference_sensitivity(Scale::Smoke) {
+//!     println!("{figure}");
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod drone_policy;
+pub mod experiments;
+pub mod grid_policies;
+
+mod figure;
+mod hooks;
+mod scale;
+
+pub use figure::{FigureContent, FigureData, Heatmap, Series};
+pub use hooks::{BufferFaultHook, HookPersistence, HookTarget};
+pub use scale::{DroneParams, GridParams, Scale};

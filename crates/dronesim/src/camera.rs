@@ -1,0 +1,145 @@
+//! A synthetic monocular depth camera.
+//!
+//! PEDRA feeds the policy a monocular RGB frame rendered by Unreal Engine;
+//! what the navigation policy actually extracts from it is the proximity of
+//! obstacles across the field of view. The substitute camera produces a
+//! depth-like grey image directly: each image column is derived from a ray
+//! cast into the world across the horizontal field of view, and rows fade
+//! with a vertical falloff so the image has 2-D structure for the
+//! convolutional layers to exploit.
+
+use navft_nn::Tensor;
+
+use crate::geometry::Vec2;
+use crate::world::DroneWorld;
+
+/// Synthetic depth camera parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DepthCamera {
+    /// Image width in pixels (one ray per column).
+    pub width: usize,
+    /// Image height in pixels.
+    pub height: usize,
+    /// Number of image channels (1 for depth, 3 to mimic an RGB pipeline).
+    pub channels: usize,
+    /// Horizontal field of view, in radians.
+    pub fov: f32,
+    /// Maximum sensing range, in metres.
+    pub max_range: f32,
+}
+
+impl DepthCamera {
+    /// The camera matching the paper's 103×103×3 network input.
+    pub fn paper() -> DepthCamera {
+        DepthCamera { width: 103, height: 103, channels: 3, fov: 1.57, max_range: 20.0 }
+    }
+
+    /// A reduced 31×31×1 camera matching
+    /// [`C3f2Config::scaled`](navft_nn::C3f2Config::scaled).
+    pub fn scaled() -> DepthCamera {
+        DepthCamera { width: 31, height: 31, channels: 1, fov: 1.57, max_range: 20.0 }
+    }
+
+    /// The shape of rendered frames, `[channels, height, width]`.
+    pub fn frame_shape(&self) -> [usize; 3] {
+        [self.channels, self.height, self.width]
+    }
+
+    /// Renders a frame from `position` looking along `heading` (radians).
+    ///
+    /// Pixel values are *proximities* in `[0, 1]`: 0 means nothing within
+    /// range, 1 means an obstacle touching the camera. Proximity (rather than
+    /// raw depth) keeps "danger" as the high-magnitude signal, which mirrors
+    /// how the paper's reward penalises closeness to obstacles.
+    pub fn render(&self, world: &DroneWorld, position: Vec2, heading: f32) -> Tensor {
+        let mut frame = Tensor::zeros(&self.frame_shape());
+        let data = frame.data_mut();
+        let plane = self.height * self.width;
+        for col in 0..self.width {
+            let t = if self.width > 1 { col as f32 / (self.width - 1) as f32 } else { 0.5 };
+            let angle = heading - self.fov / 2.0 + t * self.fov;
+            let distance = world.ray_distance(position, Vec2::from_heading(angle), self.max_range);
+            let proximity = 1.0 - (distance / self.max_range).clamp(0.0, 1.0);
+            for row in 0..self.height {
+                // Vertical falloff: the obstacle occupies the middle band of
+                // the image, fading toward the top (sky/ceiling) and bottom
+                // (floor) rows.
+                let v = if self.height > 1 { row as f32 / (self.height - 1) as f32 } else { 0.5 };
+                let falloff = 1.0 - (2.0 * v - 1.0).abs() * 0.7;
+                let value = proximity * falloff;
+                for ch in 0..self.channels {
+                    data[ch * plane + row * self.width + col] = value;
+                }
+            }
+        }
+        frame
+    }
+
+    /// The minimum clear distance across the field of view from `position`
+    /// looking along `heading` — the quantity the reward shaping uses.
+    pub fn min_clearance(&self, world: &DroneWorld, position: Vec2, heading: f32) -> f32 {
+        let mut min = self.max_range;
+        for col in 0..self.width.max(2) {
+            let t = col as f32 / (self.width.max(2) - 1) as f32;
+            let angle = heading - self.fov / 2.0 + t * self.fov;
+            min = min.min(world.ray_distance(position, Vec2::from_heading(angle), self.max_range));
+        }
+        min
+    }
+}
+
+impl Default for DepthCamera {
+    fn default() -> Self {
+        DepthCamera::scaled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_shape_matches_configuration() {
+        assert_eq!(DepthCamera::paper().frame_shape(), [3, 103, 103]);
+        assert_eq!(DepthCamera::scaled().frame_shape(), [1, 31, 31]);
+        assert_eq!(DepthCamera::default(), DepthCamera::scaled());
+    }
+
+    #[test]
+    fn render_produces_values_in_unit_range() {
+        let world = DroneWorld::indoor_long();
+        let cam = DepthCamera::scaled();
+        let frame = cam.render(&world, world.start(), world.start_heading());
+        assert_eq!(frame.shape(), &[1, 31, 31]);
+        assert!(frame.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn closer_walls_look_brighter() {
+        let world = DroneWorld::indoor_long();
+        let cam = DepthCamera::scaled();
+        // Facing the nearby side wall vs facing down the long corridor.
+        let facing_wall = cam.render(&world, world.start(), std::f32::consts::FRAC_PI_2);
+        let facing_corridor = cam.render(&world, world.start(), 0.0);
+        let mean = |t: &Tensor| t.data().iter().sum::<f32>() / t.len() as f32;
+        assert!(mean(&facing_wall) > mean(&facing_corridor));
+    }
+
+    #[test]
+    fn min_clearance_is_bounded_by_the_corridor_width() {
+        let world = DroneWorld::indoor_long();
+        let cam = DepthCamera::scaled();
+        let clearance = cam.min_clearance(&world, world.start(), 0.0);
+        assert!(clearance > 0.0);
+        assert!(clearance <= cam.max_range);
+    }
+
+    #[test]
+    fn multi_channel_frames_replicate_the_depth_plane() {
+        let world = DroneWorld::indoor_long();
+        let cam = DepthCamera { channels: 3, ..DepthCamera::scaled() };
+        let frame = cam.render(&world, world.start(), 0.0);
+        let plane = 31 * 31;
+        assert_eq!(frame.data()[..plane], frame.data()[plane..2 * plane]);
+    }
+}

@@ -1,0 +1,172 @@
+//! Minimal 2-D geometry used by the drone world: points, axis-aligned boxes
+//! and ray casting.
+//!
+//! The drone flies at a fixed altitude, so the world is modelled in the
+//! horizontal plane; the synthetic depth camera is produced by casting rays
+//! against the obstacle boxes.
+
+/// A 2-D point / vector in metres.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec2 {
+    /// X coordinate (metres).
+    pub x: f32,
+    /// Y coordinate (metres).
+    pub y: f32,
+}
+
+impl Vec2 {
+    /// Creates a vector.
+    pub fn new(x: f32, y: f32) -> Vec2 {
+        Vec2 { x, y }
+    }
+
+    /// The zero vector.
+    pub fn zero() -> Vec2 {
+        Vec2::default()
+    }
+
+    /// Euclidean length.
+    pub fn length(&self) -> f32 {
+        (self.x * self.x + self.y * self.y).sqrt()
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn distance(&self, other: Vec2) -> f32 {
+        Vec2::new(self.x - other.x, self.y - other.y).length()
+    }
+
+    /// The unit vector pointing along `heading` radians (0 = +x axis).
+    pub fn from_heading(heading: f32) -> Vec2 {
+        Vec2::new(heading.cos(), heading.sin())
+    }
+
+    /// This point translated by `direction * distance`.
+    pub fn advanced(&self, direction: Vec2, distance: f32) -> Vec2 {
+        Vec2::new(self.x + direction.x * distance, self.y + direction.y * distance)
+    }
+}
+
+/// An axis-aligned rectangle (an obstacle footprint or the world boundary).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aabb {
+    /// Minimum corner.
+    pub min: Vec2,
+    /// Maximum corner.
+    pub max: Vec2,
+}
+
+impl Aabb {
+    /// Creates a box from two opposite corners (in any order).
+    pub fn new(a: Vec2, b: Vec2) -> Aabb {
+        Aabb {
+            min: Vec2::new(a.x.min(b.x), a.y.min(b.y)),
+            max: Vec2::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// Creates a box centred at `center` with the given full extents.
+    pub fn centered(center: Vec2, width: f32, height: f32) -> Aabb {
+        Aabb::new(
+            Vec2::new(center.x - width / 2.0, center.y - height / 2.0),
+            Vec2::new(center.x + width / 2.0, center.y + height / 2.0),
+        )
+    }
+
+    /// Whether `point` lies inside (or on the boundary of) the box.
+    pub fn contains(&self, point: Vec2) -> bool {
+        point.x >= self.min.x && point.x <= self.max.x && point.y >= self.min.y && point.y <= self.max.y
+    }
+
+    /// The distance along a ray from `origin` in `direction` (unit vector) at
+    /// which the ray first enters this box, if it does within `max_range`.
+    pub fn ray_hit(&self, origin: Vec2, direction: Vec2, max_range: f32) -> Option<f32> {
+        // Slab method.
+        let mut t_min = 0.0f32;
+        let mut t_max = max_range;
+        for (o, d, lo, hi) in [
+            (origin.x, direction.x, self.min.x, self.max.x),
+            (origin.y, direction.y, self.min.y, self.max.y),
+        ] {
+            if d.abs() < 1e-9 {
+                if o < lo || o > hi {
+                    return None;
+                }
+            } else {
+                let inv = 1.0 / d;
+                let (mut t0, mut t1) = ((lo - o) * inv, (hi - o) * inv);
+                if t0 > t1 {
+                    std::mem::swap(&mut t0, &mut t1);
+                }
+                t_min = t_min.max(t0);
+                t_max = t_max.min(t1);
+                if t_min > t_max {
+                    return None;
+                }
+            }
+        }
+        Some(t_min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_length_and_distance() {
+        assert_eq!(Vec2::new(3.0, 4.0).length(), 5.0);
+        assert_eq!(Vec2::new(1.0, 1.0).distance(Vec2::new(4.0, 5.0)), 5.0);
+        assert_eq!(Vec2::zero().length(), 0.0);
+    }
+
+    #[test]
+    fn heading_vectors_are_unit_length() {
+        for deg in [0.0f32, 45.0, 90.0, 180.0, 270.0] {
+            let v = Vec2::from_heading(deg.to_radians());
+            assert!((v.length() - 1.0).abs() < 1e-6);
+        }
+        let east = Vec2::from_heading(0.0);
+        assert!((east.x - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn advanced_moves_along_direction() {
+        let p = Vec2::new(1.0, 2.0).advanced(Vec2::new(0.0, 1.0), 3.0);
+        assert_eq!(p, Vec2::new(1.0, 5.0));
+    }
+
+    #[test]
+    fn aabb_contains_points_inside() {
+        let b = Aabb::centered(Vec2::new(0.0, 0.0), 2.0, 4.0);
+        assert!(b.contains(Vec2::zero()));
+        assert!(b.contains(Vec2::new(1.0, 2.0)));
+        assert!(!b.contains(Vec2::new(1.1, 0.0)));
+        assert!(!b.contains(Vec2::new(0.0, -2.1)));
+    }
+
+    #[test]
+    fn ray_hits_box_straight_ahead() {
+        let b = Aabb::new(Vec2::new(5.0, -1.0), Vec2::new(6.0, 1.0));
+        let hit = b.ray_hit(Vec2::zero(), Vec2::new(1.0, 0.0), 100.0).expect("hits");
+        assert!((hit - 5.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn ray_misses_box_to_the_side() {
+        let b = Aabb::new(Vec2::new(5.0, 2.0), Vec2::new(6.0, 3.0));
+        assert!(b.ray_hit(Vec2::zero(), Vec2::new(1.0, 0.0), 100.0).is_none());
+    }
+
+    #[test]
+    fn ray_beyond_max_range_is_a_miss() {
+        let b = Aabb::new(Vec2::new(50.0, -1.0), Vec2::new(51.0, 1.0));
+        assert!(b.ray_hit(Vec2::zero(), Vec2::new(1.0, 0.0), 10.0).is_none());
+    }
+
+    #[test]
+    fn ray_starting_inside_hits_at_zero() {
+        let b = Aabb::centered(Vec2::zero(), 2.0, 2.0);
+        let hit = b.ray_hit(Vec2::zero(), Vec2::new(1.0, 0.0), 10.0).expect("inside");
+        assert_eq!(hit, 0.0);
+    }
+}

@@ -1,0 +1,54 @@
+//! A synthetic 3-D drone navigation simulator — the PEDRA / Unreal Engine
+//! substitute for §4.2 of the paper.
+//!
+//! The real PEDRA platform renders photorealistic indoor scenes with Unreal
+//! Engine and feeds monocular camera frames to the policy. What the fault
+//! tolerance study needs from the simulator is (a) an image-like observation
+//! processed by the C3F2 policy network, (b) a 25-way perception-based action
+//! space, (c) collision-terminated flights whose quality is measured as Mean
+//! Safe Flight, and (d) obstacle-avoidance reward shaping. This crate provides
+//! exactly that with a deterministic geometric world and a synthetic depth
+//! camera, so fault-injection campaigns are fast and reproducible:
+//!
+//! * [`DroneWorld`] — bounded worlds with axis-aligned obstacles, including
+//!   substitutes for the paper's `indoor-long` and `indoor-vanleer`
+//!   environments.
+//! * [`DepthCamera`] — renders proximity images (103×103×3 full size or
+//!   31×31×1 scaled) by ray casting.
+//! * [`DroneSim`] — the [`navft_rl::VisionEnvironment`] implementation with
+//!   the 25-action space ([`ActionSpace`]) and obstacle-avoidance reward.
+//!
+//! # Examples
+//!
+//! ```
+//! use navft_dronesim::{ActionSpace, DroneSim};
+//! use navft_rl::VisionEnvironment;
+//!
+//! let mut sim = DroneSim::indoor_long();
+//! let mut frame = sim.reset();
+//! let mut flown = 0.0;
+//! for _ in 0..10 {
+//!     let transition = sim.step(ActionSpace::encode(2, 4)); // straight ahead, full speed
+//!     flown += transition.distance;
+//!     frame = transition.observation;
+//!     if transition.terminal {
+//!         break;
+//!     }
+//! }
+//! assert!(flown > 0.0);
+//! assert_eq!(frame.shape(), &[1, 31, 31]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod geometry;
+
+mod camera;
+mod sim;
+mod world;
+
+pub use camera::DepthCamera;
+pub use geometry::{Aabb, Vec2};
+pub use sim::{ActionSpace, DroneSim};
+pub use world::DroneWorld;

@@ -1,0 +1,244 @@
+//! Drone worlds: the boundary, the obstacle boxes and the start pose.
+
+use rand::Rng;
+
+use crate::geometry::{Aabb, Vec2};
+
+/// A named indoor world the drone flies through.
+///
+/// The world is a bounded region containing axis-aligned obstacle boxes.
+/// Colliding with an obstacle or leaving the boundary ends the flight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DroneWorld {
+    name: String,
+    bounds: Aabb,
+    obstacles: Vec<Aabb>,
+    start: Vec2,
+    start_heading: f32,
+}
+
+impl DroneWorld {
+    /// Creates a world from its parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the start pose is outside the boundary or inside an
+    /// obstacle.
+    pub fn new(
+        name: impl Into<String>,
+        bounds: Aabb,
+        obstacles: Vec<Aabb>,
+        start: Vec2,
+        start_heading: f32,
+    ) -> DroneWorld {
+        assert!(bounds.contains(start), "start position must lie inside the world bounds");
+        assert!(
+            !obstacles.iter().any(|o| o.contains(start)),
+            "start position must not lie inside an obstacle"
+        );
+        DroneWorld { name: name.into(), bounds, obstacles, start, start_heading }
+    }
+
+    /// The `indoor-long` environment substitute: a long, straight 60 m × 8 m
+    /// corridor with staggered pillar obstacles. The paper's indoor-long is a
+    /// long hallway with sparse furniture; the dominant skill is sustained
+    /// forward flight with small corrections.
+    pub fn indoor_long() -> DroneWorld {
+        let bounds = Aabb::new(Vec2::new(0.0, 0.0), Vec2::new(60.0, 8.0));
+        let mut obstacles = Vec::new();
+        // Staggered pillars every ~7 m, alternating sides of the corridor.
+        for i in 0..8 {
+            let x = 8.0 + i as f32 * 7.0;
+            let y = if i % 2 == 0 { 2.2 } else { 5.8 };
+            obstacles.push(Aabb::centered(Vec2::new(x, y), 1.2, 1.2));
+        }
+        DroneWorld::new("indoor-long", bounds, obstacles, Vec2::new(1.5, 4.0), 0.0)
+    }
+
+    /// The `indoor-vanleer` environment substitute: a 40 m × 24 m suite of
+    /// rooms connected by door openings, requiring several turns. The paper's
+    /// indoor-vanleer is an office-like floor (Van Leer building) with rooms
+    /// and corridors.
+    pub fn indoor_vanleer() -> DroneWorld {
+        let bounds = Aabb::new(Vec2::new(0.0, 0.0), Vec2::new(40.0, 24.0));
+        let mut obstacles = Vec::new();
+        // Interior walls with door gaps (walls are thin boxes).
+        // Vertical wall at x = 13 with a gap at y in [10, 14].
+        obstacles.push(Aabb::new(Vec2::new(12.5, 0.0), Vec2::new(13.5, 10.0)));
+        obstacles.push(Aabb::new(Vec2::new(12.5, 14.0), Vec2::new(13.5, 24.0)));
+        // Vertical wall at x = 26 with a gap at y in [4, 8].
+        obstacles.push(Aabb::new(Vec2::new(25.5, 0.0), Vec2::new(26.5, 4.0)));
+        obstacles.push(Aabb::new(Vec2::new(25.5, 8.0), Vec2::new(26.5, 24.0)));
+        // Horizontal wall at y = 16 between the first two rooms, gap at x in [4, 7].
+        obstacles.push(Aabb::new(Vec2::new(0.0, 15.5), Vec2::new(4.0, 16.5)));
+        obstacles.push(Aabb::new(Vec2::new(7.0, 15.5), Vec2::new(12.5, 16.5)));
+        // Furniture blocks.
+        obstacles.push(Aabb::centered(Vec2::new(7.0, 6.0), 2.0, 2.0));
+        obstacles.push(Aabb::centered(Vec2::new(19.0, 18.0), 2.5, 2.0));
+        obstacles.push(Aabb::centered(Vec2::new(32.0, 14.0), 2.0, 2.5));
+        DroneWorld::new("indoor-vanleer", bounds, obstacles, Vec2::new(2.0, 2.0), 0.3)
+    }
+
+    /// Generates a random corridor world with `pillars` pillar obstacles —
+    /// useful for property tests and wider campaigns.
+    pub fn random_corridor<R: Rng + ?Sized>(pillars: usize, rng: &mut R) -> DroneWorld {
+        let length = 40.0 + rng.gen_range(0.0..30.0);
+        let width = 6.0 + rng.gen_range(0.0..4.0);
+        let bounds = Aabb::new(Vec2::zero(), Vec2::new(length, width));
+        let obstacles = (0..pillars)
+            .map(|i| {
+                let x = 6.0 + (length - 12.0) * (i as f32 + 0.5) / pillars.max(1) as f32;
+                let y = rng.gen_range(1.0..width - 1.0);
+                Aabb::centered(Vec2::new(x, y), 1.0, 1.0)
+            })
+            .collect();
+        DroneWorld::new("random-corridor", bounds, obstacles, Vec2::new(1.5, width / 2.0), 0.0)
+    }
+
+    /// The world's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The world boundary.
+    pub fn bounds(&self) -> Aabb {
+        self.bounds
+    }
+
+    /// The obstacle boxes.
+    pub fn obstacles(&self) -> &[Aabb] {
+        &self.obstacles
+    }
+
+    /// The drone's start position.
+    pub fn start(&self) -> Vec2 {
+        self.start
+    }
+
+    /// The drone's start heading, in radians.
+    pub fn start_heading(&self) -> f32 {
+        self.start_heading
+    }
+
+    /// Whether `point` is in free space (inside the bounds and outside every
+    /// obstacle).
+    pub fn is_free(&self, point: Vec2) -> bool {
+        self.bounds.contains(point) && !self.obstacles.iter().any(|o| o.contains(point))
+    }
+
+    /// The distance from `origin` along `direction` (unit vector) to the
+    /// nearest obstacle or boundary wall, capped at `max_range`.
+    pub fn ray_distance(&self, origin: Vec2, direction: Vec2, max_range: f32) -> f32 {
+        let mut nearest = max_range;
+        for obstacle in &self.obstacles {
+            if let Some(t) = obstacle.ray_hit(origin, direction, max_range) {
+                nearest = nearest.min(t);
+            }
+        }
+        // Distance to the boundary: cast against each wall plane.
+        let bounds = self.bounds;
+        for (o, d, lo, hi) in [
+            (origin.x, direction.x, bounds.min.x, bounds.max.x),
+            (origin.y, direction.y, bounds.min.y, bounds.max.y),
+        ] {
+            if d.abs() > 1e-9 {
+                for wall in [lo, hi] {
+                    let t = (wall - o) / d;
+                    if t > 0.0 {
+                        nearest = nearest.min(t);
+                    }
+                }
+            }
+        }
+        nearest.max(0.0)
+    }
+
+    /// Moves from `from` along `direction` by up to `distance`, stopping at
+    /// the first collision. Returns the final position, the distance actually
+    /// covered and whether a collision occurred.
+    pub fn sweep(&self, from: Vec2, direction: Vec2, distance: f32) -> (Vec2, f32, bool) {
+        const STEP: f32 = 0.05;
+        let mut travelled = 0.0f32;
+        let mut position = from;
+        while travelled < distance {
+            let step = STEP.min(distance - travelled);
+            let next = position.advanced(direction, step);
+            if !self.is_free(next) {
+                return (position, travelled, true);
+            }
+            position = next;
+            travelled += step;
+        }
+        (position, travelled, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn preset_worlds_have_free_start_positions() {
+        for world in [DroneWorld::indoor_long(), DroneWorld::indoor_vanleer()] {
+            assert!(world.is_free(world.start()), "{} start must be free", world.name());
+            assert!(!world.obstacles().is_empty());
+        }
+    }
+
+    #[test]
+    fn indoor_long_is_longer_than_vanleer_is_wide() {
+        let long = DroneWorld::indoor_long();
+        let vanleer = DroneWorld::indoor_vanleer();
+        assert!(long.bounds().max.x > vanleer.bounds().max.x);
+        assert!(vanleer.bounds().max.y > long.bounds().max.y);
+        assert_eq!(long.name(), "indoor-long");
+        assert_eq!(vanleer.name(), "indoor-vanleer");
+    }
+
+    #[test]
+    fn ray_distance_sees_the_corridor_end_and_pillars() {
+        let world = DroneWorld::indoor_long();
+        let ahead = world.ray_distance(world.start(), Vec2::from_heading(0.0), 100.0);
+        // The first pillar is at x = 8 on the start's side of the corridor or
+        // the corridor end at x = 60; either way the ray terminates.
+        assert!(ahead > 1.0 && ahead <= 60.0);
+        let sideways = world.ray_distance(world.start(), Vec2::from_heading(std::f32::consts::FRAC_PI_2), 100.0);
+        assert!(sideways <= 8.0);
+    }
+
+    #[test]
+    fn sweep_stops_at_obstacles() {
+        let world = DroneWorld::indoor_long();
+        let (_pos, travelled, collided) =
+            world.sweep(world.start(), Vec2::from_heading(std::f32::consts::FRAC_PI_2), 100.0);
+        assert!(collided);
+        assert!(travelled < 8.0);
+        let (_pos, travelled, collided) = world.sweep(world.start(), Vec2::from_heading(0.0), 2.0);
+        assert!(!collided);
+        assert!((travelled - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "inside the world bounds")]
+    fn start_outside_bounds_is_rejected() {
+        let _ = DroneWorld::new(
+            "bad",
+            Aabb::new(Vec2::zero(), Vec2::new(10.0, 10.0)),
+            vec![],
+            Vec2::new(20.0, 0.0),
+            0.0,
+        );
+    }
+
+    #[test]
+    fn random_corridors_are_valid_worlds() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        for _ in 0..5 {
+            let world = DroneWorld::random_corridor(5, &mut rng);
+            assert!(world.is_free(world.start()));
+            assert_eq!(world.obstacles().len(), 5);
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! Fault-injection campaign machinery: repetitions, seeding and statistics.
+//!
+//! The paper repeats every fault-injection configuration many times (1000
+//! repetitions for Grid World, 100 for the drone task) and reports the mean
+//! outcome. [`CampaignConfig`] captures the repetition count and base seed,
+//! [`run`] executes a closure once per repetition with a derived deterministic
+//! seed, and [`Summary`] provides the aggregate statistics (mean, standard
+//! deviation, 95 % confidence interval).
+
+use std::fmt;
+
+/// Configuration of a repetition campaign.
+///
+/// # Examples
+///
+/// ```
+/// use navft_fault::campaign::{run, CampaignConfig};
+///
+/// let config = CampaignConfig::new(100, 42);
+/// let summary = run(&config, |seed, _rep| (seed % 7) as f64);
+/// assert_eq!(summary.count(), 100);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CampaignConfig {
+    repetitions: usize,
+    base_seed: u64,
+}
+
+impl CampaignConfig {
+    /// A campaign of `repetitions` runs seeded from `base_seed`.
+    pub fn new(repetitions: usize, base_seed: u64) -> CampaignConfig {
+        CampaignConfig { repetitions, base_seed }
+    }
+
+    /// Number of repetitions.
+    pub fn repetitions(&self) -> usize {
+        self.repetitions
+    }
+
+    /// The base seed from which per-repetition seeds are derived.
+    pub fn base_seed(&self) -> u64 {
+        self.base_seed
+    }
+
+    /// The deterministic seed for repetition `rep`.
+    ///
+    /// Seeds are spread with a SplitMix64-style mix so that neighbouring
+    /// repetitions do not share correlated random streams.
+    pub fn seed_for(&self, rep: usize) -> u64 {
+        let mut z = self.base_seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(rep as u64 + 1));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl Default for CampaignConfig {
+    /// 100 repetitions with base seed 0.
+    fn default() -> Self {
+        CampaignConfig::new(100, 0)
+    }
+}
+
+/// Summary statistics of a campaign metric.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Summary {
+    values: Vec<f64>,
+}
+
+impl Summary {
+    /// Builds a summary from raw per-repetition values.
+    pub fn from_values(values: Vec<f64>) -> Summary {
+        Summary { values }
+    }
+
+    /// Number of repetitions summarized.
+    pub fn count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The raw per-repetition values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mean of the metric (0 for an empty summary).
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<f64>() / self.values.len() as f64
+        }
+    }
+
+    /// Sample standard deviation (0 for fewer than two repetitions).
+    pub fn std_dev(&self) -> f64 {
+        if self.values.len() < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let var = self.values.iter().map(|v| (v - mean).powi(2)).sum::<f64>()
+            / (self.values.len() - 1) as f64;
+        var.sqrt()
+    }
+
+    /// Minimum observed value (0 for an empty summary).
+    pub fn min(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().copied().fold(f64::INFINITY, f64::min)
+        }
+    }
+
+    /// Maximum observed value (0 for an empty summary).
+    pub fn max(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        }
+    }
+
+    /// Half-width of the 95 % confidence interval of the mean (normal
+    /// approximation, as used by the paper's 1000-repetition campaigns).
+    pub fn confidence_95(&self) -> f64 {
+        if self.values.len() < 2 {
+            return 0.0;
+        }
+        1.96 * self.std_dev() / (self.values.len() as f64).sqrt()
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "mean {:.4} ± {:.4} (n = {}, σ = {:.4})",
+            self.mean(),
+            self.confidence_95(),
+            self.count(),
+            self.std_dev()
+        )
+    }
+}
+
+/// Runs `experiment` once per repetition and summarizes the returned metric.
+///
+/// The closure receives the derived deterministic seed and the repetition
+/// index; campaigns with the same configuration therefore produce identical
+/// results run-to-run.
+pub fn run<F>(config: &CampaignConfig, mut experiment: F) -> Summary
+where
+    F: FnMut(u64, usize) -> f64,
+{
+    let values =
+        (0..config.repetitions()).map(|rep| experiment(config.seed_for(rep), rep)).collect();
+    Summary::from_values(values)
+}
+
+/// Runs `experiment` once per repetition across `threads` worker threads.
+///
+/// Results are returned in repetition order regardless of scheduling, so the
+/// summary is identical to the serial [`run`].
+pub fn run_parallel<F>(config: &CampaignConfig, threads: usize, experiment: F) -> Summary
+where
+    F: Fn(u64, usize) -> f64 + Sync,
+{
+    let reps = config.repetitions();
+    if threads <= 1 || reps <= 1 {
+        let mut values = Vec::with_capacity(reps);
+        for rep in 0..reps {
+            values.push(experiment(config.seed_for(rep), rep));
+        }
+        return Summary::from_values(values);
+    }
+    let threads = threads.min(reps);
+    let mut values = vec![0.0f64; reps];
+    std::thread::scope(|scope| {
+        let chunks: Vec<(usize, &mut [f64])> = {
+            let mut remaining: &mut [f64] = &mut values;
+            let mut start = 0;
+            let chunk = reps.div_ceil(threads);
+            let mut out = Vec::new();
+            while !remaining.is_empty() {
+                let take = chunk.min(remaining.len());
+                let (head, tail) = remaining.split_at_mut(take);
+                out.push((start, head));
+                start += take;
+                remaining = tail;
+            }
+            out
+        };
+        for (start, slot) in chunks {
+            let experiment = &experiment;
+            scope.spawn(move || {
+                for (offset, out) in slot.iter_mut().enumerate() {
+                    let rep = start + offset;
+                    *out = experiment(config.seed_for(rep), rep);
+                }
+            });
+        }
+    });
+    Summary::from_values(values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_are_deterministic_and_distinct() {
+        let c = CampaignConfig::new(10, 99);
+        assert_eq!(c.seed_for(3), c.seed_for(3));
+        let seeds: std::collections::HashSet<u64> = (0..1000).map(|r| c.seed_for(r)).collect();
+        assert_eq!(seeds.len(), 1000);
+    }
+
+    #[test]
+    fn different_base_seeds_give_different_streams() {
+        let a = CampaignConfig::new(10, 1);
+        let b = CampaignConfig::new(10, 2);
+        assert_ne!(a.seed_for(0), b.seed_for(0));
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let s = Summary::from_values(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.mean(), 2.5);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 4.0);
+        assert!((s.std_dev() - 1.290_994_4).abs() < 1e-6);
+        assert!(s.confidence_95() > 0.0);
+        assert_eq!(s.count(), 4);
+    }
+
+    #[test]
+    fn empty_and_singleton_summaries_are_well_behaved() {
+        let empty = Summary::from_values(vec![]);
+        assert_eq!(empty.mean(), 0.0);
+        assert_eq!(empty.std_dev(), 0.0);
+        assert_eq!(empty.confidence_95(), 0.0);
+        let one = Summary::from_values(vec![5.0]);
+        assert_eq!(one.mean(), 5.0);
+        assert_eq!(one.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn run_passes_derived_seeds_in_order() {
+        let config = CampaignConfig::new(5, 7);
+        let mut seen = Vec::new();
+        let summary = run(&config, |seed, rep| {
+            seen.push((seed, rep));
+            rep as f64
+        });
+        assert_eq!(summary.values(), &[0.0, 1.0, 2.0, 3.0, 4.0]);
+        for (i, (seed, rep)) in seen.iter().enumerate() {
+            assert_eq!(*rep, i);
+            assert_eq!(*seed, config.seed_for(i));
+        }
+    }
+
+    #[test]
+    fn parallel_run_matches_serial_run() {
+        let config = CampaignConfig::new(37, 11);
+        let f = |seed: u64, rep: usize| (seed % 101) as f64 + rep as f64;
+        let serial = run(&config, f);
+        let parallel = run_parallel(&config, 4, f);
+        assert_eq!(serial.values(), parallel.values());
+    }
+
+    #[test]
+    fn parallel_run_with_one_thread_is_serial() {
+        let config = CampaignConfig::new(5, 0);
+        let summary = run_parallel(&config, 1, |_, rep| rep as f64);
+        assert_eq!(summary.values(), &[0.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn display_shows_mean_and_count() {
+        let s = Summary::from_values(vec![1.0, 1.0]);
+        let text = s.to_string();
+        assert!(text.contains("mean 1.0000"));
+        assert!(text.contains("n = 2"));
+    }
+
+    #[test]
+    fn default_config_is_100_reps() {
+        assert_eq!(CampaignConfig::default().repetitions(), 100);
+    }
+}

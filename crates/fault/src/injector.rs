@@ -1,0 +1,148 @@
+use rand::Rng;
+
+use navft_qformat::QFormat;
+
+use crate::{FaultKind, FaultMap, FaultTarget};
+
+/// A reusable fault injector bound to a target buffer description.
+///
+/// [`FaultMap`] is a one-shot sampled pattern; `Injector` wraps the pattern
+/// together with the buffer's quantization format and target description so
+/// higher-level code (training loops, inference engines) can hand buffers to
+/// it without tracking formats and sites separately.
+///
+/// # Examples
+///
+/// ```
+/// use navft_fault::{FaultKind, FaultSite, FaultTarget, Injector};
+/// use navft_qformat::QFormat;
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let mut rng = SmallRng::seed_from_u64(3);
+/// let injector = Injector::sample(
+///     FaultTarget::new(FaultSite::WeightBuffer),
+///     256,
+///     QFormat::Q4_11,
+///     0.001,
+///     FaultKind::BitFlip,
+///     &mut rng,
+/// );
+/// let mut weights = vec![0.1f32; 256];
+/// injector.corrupt(&mut weights);
+/// assert_eq!(injector.fault_count(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Injector {
+    target: FaultTarget,
+    format: QFormat,
+    map: FaultMap,
+}
+
+impl Injector {
+    /// Creates an injector from an already-sampled fault map.
+    pub fn new(target: FaultTarget, format: QFormat, map: FaultMap) -> Injector {
+        Injector { target, format, map }
+    }
+
+    /// Creates an injector that injects no faults (the fault-free baseline).
+    pub fn fault_free(target: FaultTarget, format: QFormat) -> Injector {
+        Injector { target, format, map: FaultMap::new() }
+    }
+
+    /// Samples a fresh fault pattern at the given bit error rate.
+    pub fn sample<R: Rng + ?Sized>(
+        target: FaultTarget,
+        num_words: usize,
+        format: QFormat,
+        ber: f64,
+        kind: FaultKind,
+        rng: &mut R,
+    ) -> Injector {
+        let map = FaultMap::sample(num_words, format, ber, kind, rng);
+        Injector { target, format, map }
+    }
+
+    /// The buffer this injector targets.
+    pub fn target(&self) -> FaultTarget {
+        self.target
+    }
+
+    /// The quantization format of the target buffer.
+    pub fn format(&self) -> QFormat {
+        self.format
+    }
+
+    /// The underlying fault map.
+    pub fn map(&self) -> &FaultMap {
+        &self.map
+    }
+
+    /// Number of faulty bits.
+    pub fn fault_count(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Applies the fault pattern once to `values` (transient semantics).
+    pub fn corrupt(&self, values: &mut [f32]) {
+        self.map.corrupt_f32(values, self.format);
+    }
+
+    /// Re-enforces the permanent faults of the pattern on `values`.
+    pub fn enforce(&self, values: &mut [f32]) {
+        self.map.enforce_f32(values, self.format);
+    }
+
+    /// Whether this injector carries permanent faults that must be re-enforced
+    /// after every buffer update.
+    pub fn has_permanent(&self) -> bool {
+        self.map.has_permanent()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FaultSite;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fault_free_injector_is_a_no_op() {
+        let injector =
+            Injector::fault_free(FaultTarget::new(FaultSite::WeightBuffer), QFormat::Q4_11);
+        let mut buf = vec![0.5f32; 16];
+        injector.corrupt(&mut buf);
+        injector.enforce(&mut buf);
+        assert!(buf.iter().all(|&v| v == 0.5));
+        assert_eq!(injector.fault_count(), 0);
+        assert!(!injector.has_permanent());
+    }
+
+    #[test]
+    fn sampled_injector_reports_its_configuration() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let target = FaultTarget::layer(FaultSite::ActivationBuffer, 2);
+        let injector = Injector::sample(target, 64, QFormat::Q3_4, 0.01, FaultKind::StuckAt1, &mut rng);
+        assert_eq!(injector.target(), target);
+        assert_eq!(injector.format(), QFormat::Q3_4);
+        assert_eq!(injector.fault_count(), 5); // 1% of 512 bits
+        assert!(injector.has_permanent());
+        assert_eq!(injector.map().len(), 5);
+    }
+
+    #[test]
+    fn corrupt_changes_some_value_at_high_ber() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let injector = Injector::sample(
+            FaultTarget::new(FaultSite::InputBuffer),
+            32,
+            QFormat::Q4_11,
+            0.1,
+            FaultKind::BitFlip,
+            &mut rng,
+        );
+        let mut buf = vec![0.25f32; 32];
+        injector.corrupt(&mut buf);
+        assert!(buf.iter().any(|&v| v != 0.25));
+    }
+}

@@ -1,0 +1,56 @@
+//! Hardware fault models, injectors and campaign machinery.
+//!
+//! This crate is the fault-injection tool-chain of the paper: it emulates the
+//! memory faults that afflict learning-based navigation accelerators —
+//! permanent *stuck-at-0* / *stuck-at-1* defects and transient *bit flips*
+//! (single-event upsets) — at the level of the quantized fixed-point words
+//! stored in the accelerator's buffers.
+//!
+//! The abstractions mirror §3.2–3.3 of the paper:
+//!
+//! * [`FaultKind`] — stuck-at-0, stuck-at-1, or bit flip.
+//! * [`FaultSite`] / [`FaultTarget`] — which buffer is hit (tabular values,
+//!   input feature maps, weights, activations) and optionally which layer.
+//! * [`FaultMap`] — a concrete set of (word, bit) faults sampled from a bit
+//!   error rate (BER); permanent faults are re-enforced on every access while
+//!   transient flips are applied once.
+//! * [`Injector`] — applies a fault map to `f32` buffers through a
+//!   quantize–corrupt–dequantize round trip, which is how the paper models
+//!   faults in buffers feeding fixed-point accelerators.
+//! * [`InjectionSchedule`] — *when* the fault strikes (which training episode
+//!   or inference step) and whether it is injected statically (before
+//!   execution) or dynamically (during execution).
+//! * [`campaign`] — repetition/seeding machinery plus summary statistics for
+//!   large fault-injection campaigns.
+//!
+//! # Examples
+//!
+//! ```
+//! use navft_fault::{FaultKind, FaultMap};
+//! use navft_qformat::QFormat;
+//! use rand::{rngs::SmallRng, SeedableRng};
+//!
+//! let mut rng = SmallRng::seed_from_u64(7);
+//! // Sample a 1% BER bit-flip pattern over 64 words of 16 bits each.
+//! let map = FaultMap::sample(64, QFormat::Q4_11, 0.01, FaultKind::BitFlip, &mut rng);
+//! let mut weights = vec![0.5f32; 64];
+//! map.corrupt_f32(&mut weights, QFormat::Q4_11);
+//! assert!(weights.iter().any(|&w| w != 0.5));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+
+mod injector;
+mod location;
+mod map;
+mod model;
+mod schedule;
+
+pub use injector::Injector;
+pub use location::{FaultSite, FaultTarget};
+pub use map::{BitFault, FaultMap};
+pub use model::{FaultKind, TransientScope};
+pub use schedule::{InjectionMode, InjectionSchedule};

@@ -1,0 +1,136 @@
+use std::fmt;
+
+/// The accelerator memory structure a fault lands in.
+///
+/// §3.2 of the paper considers faults in memory: the data buffer of tabular
+/// policies and the input / filter (weight) / output (activation) buffers of
+/// neural-network policies. Datapath (MAC) faults are modelled as corrupted
+/// values in the output buffer, so they are covered by
+/// [`FaultSite::ActivationBuffer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// The buffer holding tabular Q-values.
+    TabularBuffer,
+    /// The buffer holding the input feature map (for NN policies, the camera
+    /// frame).
+    InputBuffer,
+    /// The buffer holding layer weights (filters and fully-connected
+    /// matrices).
+    WeightBuffer,
+    /// The buffer holding layer outputs / activations; also where datapath
+    /// faults manifest.
+    ActivationBuffer,
+}
+
+impl FaultSite {
+    /// All sites swept by the fault-location experiment (Fig. 7c).
+    pub const ALL: [FaultSite; 4] = [
+        FaultSite::TabularBuffer,
+        FaultSite::InputBuffer,
+        FaultSite::WeightBuffer,
+        FaultSite::ActivationBuffer,
+    ];
+}
+
+impl fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            FaultSite::TabularBuffer => "tabular buffer",
+            FaultSite::InputBuffer => "input buffer",
+            FaultSite::WeightBuffer => "weight buffer",
+            FaultSite::ActivationBuffer => "activation buffer",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A fault target: a memory site, optionally narrowed to a single layer.
+///
+/// The per-layer sensitivity experiment (Fig. 7d) injects bit flips into the
+/// weights of one layer at a time; `layer: Some(i)` expresses that.
+///
+/// # Examples
+///
+/// ```
+/// use navft_fault::{FaultSite, FaultTarget};
+///
+/// let whole_network = FaultTarget::new(FaultSite::WeightBuffer);
+/// let conv1_only = FaultTarget::layer(FaultSite::WeightBuffer, 0);
+/// assert!(whole_network.covers_layer(3));
+/// assert!(!conv1_only.covers_layer(3));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FaultTarget {
+    site: FaultSite,
+    layer: Option<usize>,
+}
+
+impl FaultTarget {
+    /// Targets every layer's instance of `site`.
+    pub fn new(site: FaultSite) -> FaultTarget {
+        FaultTarget { site, layer: None }
+    }
+
+    /// Targets only layer `layer`'s instance of `site`.
+    pub fn layer(site: FaultSite, layer: usize) -> FaultTarget {
+        FaultTarget { site, layer: Some(layer) }
+    }
+
+    /// The memory site targeted.
+    pub fn site(&self) -> FaultSite {
+        self.site
+    }
+
+    /// The layer restriction, if any.
+    pub fn layer_index(&self) -> Option<usize> {
+        self.layer
+    }
+
+    /// Whether faults under this target should be injected into layer
+    /// `layer`.
+    pub fn covers_layer(&self, layer: usize) -> bool {
+        self.layer.map_or(true, |l| l == layer)
+    }
+}
+
+impl fmt::Display for FaultTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.layer {
+            Some(layer) => write!(f, "{} (layer {layer})", self.site),
+            None => write!(f, "{}", self.site),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_sites_listed_once() {
+        assert_eq!(FaultSite::ALL.len(), 4);
+    }
+
+    #[test]
+    fn target_layer_coverage() {
+        let t = FaultTarget::layer(FaultSite::WeightBuffer, 2);
+        assert!(t.covers_layer(2));
+        assert!(!t.covers_layer(0));
+        assert_eq!(t.layer_index(), Some(2));
+        assert_eq!(t.site(), FaultSite::WeightBuffer);
+
+        let any = FaultTarget::new(FaultSite::ActivationBuffer);
+        assert!(any.covers_layer(0));
+        assert!(any.covers_layer(99));
+        assert_eq!(any.layer_index(), None);
+    }
+
+    #[test]
+    fn display_mentions_layer_when_present() {
+        assert_eq!(FaultTarget::new(FaultSite::InputBuffer).to_string(), "input buffer");
+        assert_eq!(
+            FaultTarget::layer(FaultSite::WeightBuffer, 4).to_string(),
+            "weight buffer (layer 4)"
+        );
+    }
+}

@@ -1,0 +1,372 @@
+use rand::seq::index::sample;
+use rand::Rng;
+
+use navft_qformat::{QFormat, QValue};
+
+use crate::FaultKind;
+
+/// A single bit-level fault: which word, which bit, which mechanism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BitFault {
+    /// Index of the affected word within the buffer.
+    pub word: usize,
+    /// Index of the affected bit within the word (0 = LSB).
+    pub bit: u8,
+    /// The fault mechanism.
+    pub kind: FaultKind,
+}
+
+/// A concrete set of bit faults over a buffer of quantized words.
+///
+/// A fault map is sampled once from a bit error rate (the fraction of bits in
+/// the buffer that are faulty) and can then be applied to the buffer —
+/// transiently (bit flips, applied once) or persistently (stuck-at faults,
+/// re-enforced on every access via [`FaultMap::enforce_f32`]).
+///
+/// # Examples
+///
+/// ```
+/// use navft_fault::{FaultKind, FaultMap};
+/// use navft_qformat::QFormat;
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let mut rng = SmallRng::seed_from_u64(42);
+/// let map = FaultMap::sample(100, QFormat::Q3_4, 0.01, FaultKind::StuckAt1, &mut rng);
+/// assert_eq!(map.len(), 8); // 1% of 100 words x 8 bits
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultMap {
+    faults: Vec<BitFault>,
+}
+
+impl FaultMap {
+    /// Creates an empty fault map (a fault-free run).
+    pub fn new() -> FaultMap {
+        FaultMap::default()
+    }
+
+    /// Creates a fault map from an explicit list of faults.
+    pub fn from_faults(faults: Vec<BitFault>) -> FaultMap {
+        FaultMap { faults }
+    }
+
+    /// Samples a fault map over a buffer of `num_words` words in `format`.
+    ///
+    /// The number of faulty bits is `round(ber * num_words * total_bits)`,
+    /// drawn uniformly without replacement over all (word, bit) positions —
+    /// the standard BER-parameterized fault model of the paper.
+    pub fn sample<R: Rng + ?Sized>(
+        num_words: usize,
+        format: QFormat,
+        ber: f64,
+        kind: FaultKind,
+        rng: &mut R,
+    ) -> FaultMap {
+        let word_bits = usize::from(format.total_bits());
+        let total_bits = num_words * word_bits;
+        if total_bits == 0 {
+            return FaultMap::new();
+        }
+        let count = ((ber * total_bits as f64).round() as usize).min(total_bits);
+        let faults = sample(rng, total_bits, count)
+            .into_iter()
+            .map(|flat| BitFault { word: flat / word_bits, bit: (flat % word_bits) as u8, kind })
+            .collect();
+        FaultMap { faults }
+    }
+
+    /// Samples exactly `count` faults over the buffer (used when the paper
+    /// reports an absolute number of faults rather than a rate).
+    pub fn sample_count<R: Rng + ?Sized>(
+        num_words: usize,
+        format: QFormat,
+        count: usize,
+        kind: FaultKind,
+        rng: &mut R,
+    ) -> FaultMap {
+        let word_bits = usize::from(format.total_bits());
+        let total_bits = num_words * word_bits;
+        let count = count.min(total_bits);
+        let faults = sample(rng, total_bits, count)
+            .into_iter()
+            .map(|flat| BitFault { word: flat / word_bits, bit: (flat % word_bits) as u8, kind })
+            .collect();
+        FaultMap { faults }
+    }
+
+    /// Number of faulty bits in the map.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether the map contains no faults.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The individual faults.
+    pub fn faults(&self) -> &[BitFault] {
+        &self.faults
+    }
+
+    /// Restricts the map to faults whose word index lies in `range`,
+    /// re-basing word indices to the start of the range.
+    ///
+    /// Useful to carve a whole-buffer fault map into per-layer slices.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> FaultMap {
+        let faults = self
+            .faults
+            .iter()
+            .filter(|f| range.contains(&f.word))
+            .map(|f| BitFault { word: f.word - range.start, bit: f.bit, kind: f.kind })
+            .collect();
+        FaultMap { faults }
+    }
+
+    /// Applies every fault to a buffer of quantized words.
+    ///
+    /// Faults whose word index falls outside the buffer are ignored (this
+    /// makes a map sampled for a larger buffer safely applicable to a slice).
+    pub fn apply(&self, words: &mut [QValue]) {
+        for fault in &self.faults {
+            if let Some(word) = words.get_mut(fault.word) {
+                if let Ok(corrupted) = fault.kind.apply(*word, fault.bit) {
+                    *word = corrupted;
+                }
+            }
+        }
+    }
+
+    /// Applies every fault to an `f32` buffer through a quantize → corrupt →
+    /// dequantize round trip in `format`.
+    ///
+    /// This models a buffer that physically stores `format` words: the
+    /// faulty bits perturb the stored word and the accelerator consumes the
+    /// dequantized result.
+    pub fn corrupt_f32(&self, values: &mut [f32], format: QFormat) {
+        for fault in &self.faults {
+            if let Some(value) = values.get_mut(fault.word) {
+                let word = QValue::quantize(*value, format);
+                if let Ok(corrupted) = fault.kind.apply(word, fault.bit) {
+                    *value = corrupted.to_f32();
+                }
+            }
+        }
+    }
+
+    /// Re-enforces the *permanent* faults of the map on an `f32` buffer.
+    ///
+    /// Transient bit flips are skipped: once flipped they do not re-assert
+    /// themselves, whereas stuck-at bits override every write. Call this after
+    /// each update of a buffer afflicted by permanent faults.
+    pub fn enforce_f32(&self, values: &mut [f32], format: QFormat) {
+        for fault in &self.faults {
+            if !fault.kind.is_permanent() {
+                continue;
+            }
+            if let Some(value) = values.get_mut(fault.word) {
+                let word = QValue::quantize(*value, format);
+                if let Ok(corrupted) = fault.kind.apply(word, fault.bit) {
+                    *value = corrupted.to_f32();
+                }
+            }
+        }
+    }
+
+    /// Whether the map contains at least one permanent (stuck-at) fault.
+    pub fn has_permanent(&self) -> bool {
+        self.faults.iter().any(|f| f.kind.is_permanent())
+    }
+}
+
+impl FromIterator<BitFault> for FaultMap {
+    fn from_iter<T: IntoIterator<Item = BitFault>>(iter: T) -> Self {
+        FaultMap { faults: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<BitFault> for FaultMap {
+    fn extend<T: IntoIterator<Item = BitFault>>(&mut self, iter: T) {
+        self.faults.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sample_count_matches_ber() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let map = FaultMap::sample(1000, QFormat::Q3_4, 0.001, FaultKind::BitFlip, &mut rng);
+        assert_eq!(map.len(), 8); // 0.1% of 8000 bits
+        let map = FaultMap::sample(1000, QFormat::Q3_4, 0.0, FaultKind::BitFlip, &mut rng);
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn sampled_positions_are_unique_and_in_range() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let map = FaultMap::sample(10, QFormat::Q3_4, 0.5, FaultKind::BitFlip, &mut rng);
+        let mut seen = std::collections::HashSet::new();
+        for f in map.faults() {
+            assert!(f.word < 10);
+            assert!(f.bit < 8);
+            assert!(seen.insert((f.word, f.bit)), "duplicate fault position");
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let map_a = FaultMap::sample(
+            64,
+            QFormat::Q4_11,
+            0.05,
+            FaultKind::StuckAt0,
+            &mut SmallRng::seed_from_u64(7),
+        );
+        let map_b = FaultMap::sample(
+            64,
+            QFormat::Q4_11,
+            0.05,
+            FaultKind::StuckAt0,
+            &mut SmallRng::seed_from_u64(7),
+        );
+        assert_eq!(map_a, map_b);
+    }
+
+    #[test]
+    fn corrupt_f32_changes_values_and_enforce_reasserts_stuck_bits() {
+        let fmt = QFormat::Q3_4;
+        let map = FaultMap::from_faults(vec![BitFault { word: 0, bit: 7, kind: FaultKind::StuckAt1 }]);
+        let mut buf = vec![1.0f32, 2.0];
+        map.corrupt_f32(&mut buf, fmt);
+        assert!(buf[0] < 0.0, "sign bit stuck at 1 makes the value negative");
+        assert_eq!(buf[1], 2.0);
+
+        // A write "repairs" the value, then enforcement re-asserts the defect.
+        buf[0] = 1.0;
+        map.enforce_f32(&mut buf, fmt);
+        assert!(buf[0] < 0.0);
+    }
+
+    #[test]
+    fn enforce_skips_transient_flips() {
+        let fmt = QFormat::Q3_4;
+        let map = FaultMap::from_faults(vec![BitFault { word: 0, bit: 7, kind: FaultKind::BitFlip }]);
+        let mut buf = vec![1.0f32];
+        map.enforce_f32(&mut buf, fmt);
+        assert_eq!(buf[0], 1.0);
+        map.corrupt_f32(&mut buf, fmt);
+        assert!(buf[0] < 0.0);
+    }
+
+    #[test]
+    fn stuck_at_0_on_zero_bits_is_benign() {
+        let fmt = QFormat::Q3_4;
+        let map = FaultMap::from_faults(vec![BitFault { word: 0, bit: 6, kind: FaultKind::StuckAt0 }]);
+        let mut buf = vec![0.5f32];
+        map.corrupt_f32(&mut buf, fmt);
+        assert_eq!(buf[0], 0.5);
+    }
+
+    #[test]
+    fn out_of_range_words_are_ignored() {
+        let map = FaultMap::from_faults(vec![BitFault { word: 10, bit: 0, kind: FaultKind::BitFlip }]);
+        let mut buf = vec![1.0f32; 2];
+        map.corrupt_f32(&mut buf, QFormat::Q3_4);
+        assert_eq!(buf, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn slice_rebases_word_indices() {
+        let map = FaultMap::from_faults(vec![
+            BitFault { word: 2, bit: 1, kind: FaultKind::BitFlip },
+            BitFault { word: 5, bit: 2, kind: FaultKind::BitFlip },
+            BitFault { word: 9, bit: 3, kind: FaultKind::BitFlip },
+        ]);
+        let sliced = map.slice(3..8);
+        assert_eq!(sliced.len(), 1);
+        assert_eq!(sliced.faults()[0].word, 2);
+        assert_eq!(sliced.faults()[0].bit, 2);
+    }
+
+    #[test]
+    fn apply_on_qvalues_matches_corrupt_on_f32() {
+        let fmt = QFormat::Q4_11;
+        let map = FaultMap::from_faults(vec![BitFault { word: 1, bit: 14, kind: FaultKind::BitFlip }]);
+        let mut words: Vec<QValue> = [0.25f32, 0.75].iter().map(|&v| QValue::quantize(v, fmt)).collect();
+        let mut floats = vec![0.25f32, 0.75];
+        map.apply(&mut words);
+        map.corrupt_f32(&mut floats, fmt);
+        assert_eq!(words[1].to_f32(), floats[1]);
+        assert_eq!(words[0].to_f32(), floats[0]);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut map: FaultMap =
+            vec![BitFault { word: 0, bit: 0, kind: FaultKind::BitFlip }].into_iter().collect();
+        map.extend(vec![BitFault { word: 1, bit: 1, kind: FaultKind::StuckAt0 }]);
+        assert_eq!(map.len(), 2);
+        assert!(map.has_permanent());
+    }
+
+    #[test]
+    fn ber_one_faults_every_bit() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let map = FaultMap::sample(4, QFormat::Q3_4, 1.0, FaultKind::BitFlip, &mut rng);
+        assert_eq!(map.len(), 32);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    proptest! {
+        #[test]
+        fn sampled_map_size_tracks_ber(
+            words in 1usize..200,
+            ber in 0.0f64..1.0,
+            seed in 0u64..1000,
+        ) {
+            let fmt = QFormat::Q3_4;
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let map = FaultMap::sample(words, fmt, ber, FaultKind::BitFlip, &mut rng);
+            let expected = (ber * (words * 8) as f64).round() as usize;
+            prop_assert_eq!(map.len(), expected.min(words * 8));
+        }
+
+        #[test]
+        fn double_corruption_with_flips_is_identity(seed in 0u64..500) {
+            // Applying the same bit-flip map twice restores the original buffer
+            // (for values that are exactly representable).
+            let fmt = QFormat::Q3_4;
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let map = FaultMap::sample(32, fmt, 0.1, FaultKind::BitFlip, &mut rng);
+            let original: Vec<f32> = (0..32).map(|i| (i as f32 - 16.0) * 0.25).collect();
+            let mut buf = original.clone();
+            map.corrupt_f32(&mut buf, fmt);
+            map.corrupt_f32(&mut buf, fmt);
+            prop_assert_eq!(buf, original);
+        }
+
+        #[test]
+        fn stuck_at_application_is_idempotent(seed in 0u64..500) {
+            let fmt = QFormat::Q4_11;
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let map = FaultMap::sample(32, fmt, 0.1, FaultKind::StuckAt1, &mut rng);
+            let mut once: Vec<f32> = (0..32).map(|i| i as f32 * 0.01).collect();
+            map.corrupt_f32(&mut once, fmt);
+            let mut twice = once.clone();
+            map.corrupt_f32(&mut twice, fmt);
+            prop_assert_eq!(once, twice);
+        }
+    }
+}

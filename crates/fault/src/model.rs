@@ -1,0 +1,136 @@
+use std::fmt;
+
+use navft_qformat::QValue;
+
+/// The physical fault mechanism applied to a single bit.
+///
+/// Following §3.2 of the paper, permanent faults (manufacturing defects)
+/// manifest as bits held at a fixed logic level (*stuck-at-0*/*stuck-at-1*),
+/// while transient faults (particle strikes, voltage droops) manifest as
+/// random *bit flips*.
+///
+/// # Examples
+///
+/// ```
+/// use navft_fault::FaultKind;
+/// use navft_qformat::{QFormat, QValue};
+///
+/// let word = QValue::quantize(1.0, QFormat::Q3_4);
+/// let hit = FaultKind::StuckAt1.apply(word, QFormat::Q3_4.sign_bit()).unwrap();
+/// assert!(hit.to_f32() < 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// The bit is permanently held at logic `0`.
+    StuckAt0,
+    /// The bit is permanently held at logic `1`.
+    StuckAt1,
+    /// The bit's logic value is inverted once (single-event upset).
+    BitFlip,
+}
+
+impl FaultKind {
+    /// All fault kinds, in the order the paper's figures sweep them.
+    pub const ALL: [FaultKind; 3] = [FaultKind::BitFlip, FaultKind::StuckAt0, FaultKind::StuckAt1];
+
+    /// Whether this fault persists for the lifetime of the device (stuck-at
+    /// faults) rather than striking once (bit flips).
+    pub fn is_permanent(&self) -> bool {
+        matches!(self, FaultKind::StuckAt0 | FaultKind::StuckAt1)
+    }
+
+    /// Applies the fault to bit `bit` of `word`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`navft_qformat::FormatError`] if `bit` is outside the word.
+    pub fn apply(&self, word: QValue, bit: u8) -> Result<QValue, navft_qformat::FormatError> {
+        match self {
+            FaultKind::StuckAt0 => word.with_stuck_bit(bit, false),
+            FaultKind::StuckAt1 => word.with_stuck_bit(bit, true),
+            FaultKind::BitFlip => word.with_flipped_bit(bit),
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            FaultKind::StuckAt0 => "stuck-at-0",
+            FaultKind::StuckAt1 => "stuck-at-1",
+            FaultKind::BitFlip => "bit-flip",
+        };
+        f.write_str(name)
+    }
+}
+
+/// How long a *transient* fault remains visible during inference.
+///
+/// §4.1.2 of the paper distinguishes two transient modes: a flip in a read
+/// register corrupts only the single decision step that reads it
+/// (*Transient-1*), while a flip in memory corrupts every subsequent step of
+/// the episode (*Transient-M*).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TransientScope {
+    /// The corrupted value is consumed by a single action step only.
+    SingleStep,
+    /// The corrupted value persists in memory for the whole episode.
+    #[default]
+    WholeExecution,
+}
+
+impl fmt::Display for TransientScope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            TransientScope::SingleStep => "transient-1",
+            TransientScope::WholeExecution => "transient-M",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use navft_qformat::QFormat;
+
+    #[test]
+    fn stuck_at_is_permanent_and_flip_is_not() {
+        assert!(FaultKind::StuckAt0.is_permanent());
+        assert!(FaultKind::StuckAt1.is_permanent());
+        assert!(!FaultKind::BitFlip.is_permanent());
+    }
+
+    #[test]
+    fn apply_matches_semantics() {
+        let fmt = QFormat::Q3_4;
+        let word = QValue::quantize(1.0, fmt); // 0b0001_0000
+        assert_eq!(FaultKind::StuckAt0.apply(word, 4).unwrap().to_f32(), 0.0);
+        assert_eq!(FaultKind::StuckAt1.apply(word, 4).unwrap(), word);
+        assert_eq!(FaultKind::BitFlip.apply(word, 4).unwrap().to_f32(), 0.0);
+        assert_eq!(FaultKind::BitFlip.apply(word, 0).unwrap().to_f32(), 1.0625);
+    }
+
+    #[test]
+    fn apply_rejects_bad_bit() {
+        let word = QValue::quantize(0.0, QFormat::Q3_4);
+        assert!(FaultKind::BitFlip.apply(word, 8).is_err());
+    }
+
+    #[test]
+    fn display_names_match_paper_terms() {
+        assert_eq!(FaultKind::StuckAt0.to_string(), "stuck-at-0");
+        assert_eq!(FaultKind::StuckAt1.to_string(), "stuck-at-1");
+        assert_eq!(FaultKind::BitFlip.to_string(), "bit-flip");
+        assert_eq!(TransientScope::SingleStep.to_string(), "transient-1");
+        assert_eq!(TransientScope::WholeExecution.to_string(), "transient-M");
+    }
+
+    #[test]
+    fn all_lists_every_kind_once() {
+        assert_eq!(FaultKind::ALL.len(), 3);
+        assert!(FaultKind::ALL.contains(&FaultKind::StuckAt0));
+        assert!(FaultKind::ALL.contains(&FaultKind::StuckAt1));
+        assert!(FaultKind::ALL.contains(&FaultKind::BitFlip));
+    }
+}

@@ -1,0 +1,141 @@
+use std::fmt;
+
+/// Whether a fault pattern is injected before execution or while it runs.
+///
+/// §3.3 of the paper: permanent faults and transient faults in weights are
+/// injected *statically* (they are known before the run starts), while
+/// transient faults in activations are injected *dynamically* because the
+/// corrupted values depend on the input being processed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum InjectionMode {
+    /// The fault pattern is applied to the buffer before the run starts.
+    #[default]
+    Static,
+    /// The fault pattern is applied to values as they are produced during the
+    /// run (implemented as tensor-operation hooks, as in the paper).
+    Dynamic,
+}
+
+impl fmt::Display for InjectionMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            InjectionMode::Static => "static",
+            InjectionMode::Dynamic => "dynamic",
+        })
+    }
+}
+
+/// When, during a training run or flight, the fault strikes.
+///
+/// Training-time experiments (Fig. 2, Fig. 7a) inject transient faults at a
+/// single episode index and permanent faults from episode 0 onwards; the
+/// schedule captures both.
+///
+/// # Examples
+///
+/// ```
+/// use navft_fault::InjectionSchedule;
+///
+/// let schedule = InjectionSchedule::at_episode(900);
+/// assert!(schedule.triggers_at(900));
+/// assert!(!schedule.triggers_at(899));
+/// assert!(InjectionSchedule::from_start().triggers_at(0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct InjectionSchedule {
+    episode: usize,
+    mode: InjectionMode,
+}
+
+impl InjectionSchedule {
+    /// The fault strikes at the beginning of `episode` (0-based).
+    pub fn at_episode(episode: usize) -> InjectionSchedule {
+        InjectionSchedule { episode, mode: InjectionMode::Static }
+    }
+
+    /// The fault is present from the very first episode (permanent-fault
+    /// semantics).
+    pub fn from_start() -> InjectionSchedule {
+        InjectionSchedule { episode: 0, mode: InjectionMode::Static }
+    }
+
+    /// Selects dynamic (during-execution) injection for this schedule.
+    pub fn dynamic(mut self) -> InjectionSchedule {
+        self.mode = InjectionMode::Dynamic;
+        self
+    }
+
+    /// The episode (or step) index at which the fault strikes.
+    pub fn episode(&self) -> usize {
+        self.episode
+    }
+
+    /// The injection mode.
+    pub fn mode(&self) -> InjectionMode {
+        self.mode
+    }
+
+    /// Whether the fault should be injected when execution reaches
+    /// `episode`.
+    pub fn triggers_at(&self, episode: usize) -> bool {
+        episode == self.episode
+    }
+
+    /// Whether the fault has already been injected by the time execution
+    /// reaches `episode`.
+    pub fn active_at(&self, episode: usize) -> bool {
+        episode >= self.episode
+    }
+}
+
+impl Default for InjectionSchedule {
+    fn default() -> Self {
+        InjectionSchedule::from_start()
+    }
+}
+
+impl fmt::Display for InjectionSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} injection at episode {}", self.mode, self.episode)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trigger_and_active_semantics() {
+        let s = InjectionSchedule::at_episode(250);
+        assert!(!s.triggers_at(249));
+        assert!(s.triggers_at(250));
+        assert!(!s.triggers_at(251));
+        assert!(!s.active_at(249));
+        assert!(s.active_at(250));
+        assert!(s.active_at(1000));
+    }
+
+    #[test]
+    fn from_start_is_always_active() {
+        let s = InjectionSchedule::from_start();
+        assert_eq!(s.episode(), 0);
+        assert!(s.active_at(0));
+        assert!(s.triggers_at(0));
+    }
+
+    #[test]
+    fn dynamic_builder_sets_mode() {
+        let s = InjectionSchedule::at_episode(10).dynamic();
+        assert_eq!(s.mode(), InjectionMode::Dynamic);
+        assert_eq!(InjectionSchedule::default().mode(), InjectionMode::Static);
+    }
+
+    #[test]
+    fn display_is_descriptive() {
+        assert_eq!(
+            InjectionSchedule::at_episode(5).to_string(),
+            "static injection at episode 5"
+        );
+        assert_eq!(InjectionMode::Dynamic.to_string(), "dynamic");
+    }
+}

@@ -1,0 +1,107 @@
+//! The three 10×10 Grid World layouts of Fig. 1.
+//!
+//! The paper's figure shows a 10×10 grid (rows 0–9, columns a–j) with the
+//! agent in the top-left region and the goal towards the bottom-right, at
+//! three obstacle densities. The exact obstacle coordinates are not tabulated
+//! in the paper, so these layouts reproduce the *structure*: the same grid
+//! size, start/goal placement, and low / middle / high obstacle counts
+//! (8, 17 and 25 obstacles — roughly 8 %, 17 % and 25 % of cells), each with multiple viable routes at
+//! low density narrowing to few routes at high density.
+
+use crate::ObstacleDensity;
+
+/// The 10×10 map for the given obstacle density.
+///
+/// Returned as ASCII rows compatible with
+/// [`GridWorld::from_ascii`](crate::GridWorld::from_ascii).
+pub fn layout(density: ObstacleDensity) -> [&'static str; 10] {
+    match density {
+        ObstacleDensity::Low => LOW,
+        ObstacleDensity::Middle => MIDDLE,
+        ObstacleDensity::High => HIGH,
+    }
+}
+
+/// Low obstacle density (Fig. 1a): 8 obstacles.
+const LOW: [&str; 10] = [
+    "S.........",
+    "..........",
+    "...#......",
+    ".....#....",
+    ".#........",
+    "......#...",
+    "...#....#.",
+    ".....#....",
+    "..#.......",
+    ".........G",
+];
+
+/// Middle obstacle density (Fig. 1b): 17 obstacles.
+const MIDDLE: [&str; 10] = [
+    "S.........",
+    "..#...#...",
+    "....#....#",
+    ".#...#....",
+    "...#....#.",
+    ".#....#...",
+    "....#....#",
+    ".#...#....",
+    "...#....#.",
+    "......#..G",
+];
+
+/// High obstacle density (Fig. 1c): 25 obstacles.
+const HIGH: [&str; 10] = [
+    "S..#....#.",
+    "..#...#...",
+    "....#....#",
+    ".#.#.#..#.",
+    "...#....#.",
+    ".#...#.#..",
+    "..#.#....#",
+    ".#...#.#..",
+    "...#...#..",
+    ".#....#..G",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GridWorld;
+
+    #[test]
+    fn all_layouts_are_square_and_solvable() {
+        for density in ObstacleDensity::ALL {
+            let world = GridWorld::from_ascii(&layout(density));
+            assert_eq!(world.size(), 10);
+            assert!(world.has_path(), "{density} density layout must be solvable");
+        }
+    }
+
+    #[test]
+    fn obstacle_counts_increase_with_density() {
+        let low = GridWorld::with_density(ObstacleDensity::Low).obstacle_count();
+        let mid = GridWorld::with_density(ObstacleDensity::Middle).obstacle_count();
+        let high = GridWorld::with_density(ObstacleDensity::High).obstacle_count();
+        assert!(low < mid && mid < high, "{low} < {mid} < {high} expected");
+        assert_eq!(low, 8);
+        assert_eq!(mid, 17);
+        assert_eq!(high, 25);
+    }
+
+    #[test]
+    fn source_and_goal_are_at_opposite_corners() {
+        for density in ObstacleDensity::ALL {
+            let world = GridWorld::with_density(density);
+            assert_eq!(world.source_state(), 0);
+            assert_eq!(world.goal_state(), 99);
+        }
+    }
+
+    #[test]
+    fn middle_layout_shortest_path_is_reasonable() {
+        let world = GridWorld::with_density(ObstacleDensity::Middle);
+        let len = world.shortest_path_len().expect("solvable");
+        assert!((18..=30).contains(&len), "path length {len}");
+    }
+}

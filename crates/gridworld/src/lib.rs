@@ -1,0 +1,44 @@
+//! The Grid World navigation environment of §4.1 of the paper.
+//!
+//! The environment is an `n × n` grid of `source` / `goal` / `hell` / `free`
+//! cells. The agent starts at the source, takes one of four movement actions
+//! per step, receives +1 for reaching the goal, −1 for stepping into a hell
+//! cell and 0 otherwise, and the episode ends on either terminal cell.
+//!
+//! Three preset 10×10 layouts reproduce the obstacle densities of Fig. 1
+//! ([`ObstacleDensity`]); [`GridWorld::random`] generates additional solvable
+//! layouts for wider testing.
+//!
+//! The environment implements
+//! [`DiscreteEnvironment`](navft_rl::DiscreteEnvironment), so it plugs
+//! directly into the tabular and NN-based training loops of `navft-rl`.
+//!
+//! # Examples
+//!
+//! ```
+//! use navft_gridworld::{GridWorld, ObstacleDensity};
+//! use navft_rl::{trainer, FaultPlan, TabularAgent, DiscreteEnvironment};
+//! use rand::{rngs::SmallRng, SeedableRng};
+//!
+//! let mut world = GridWorld::with_density(ObstacleDensity::Low);
+//! let mut agent = TabularAgent::for_grid_world(world.num_states(), world.num_actions());
+//! let mut rng = SmallRng::seed_from_u64(1);
+//! let trace = trainer::train_tabular(
+//!     &mut world,
+//!     &mut agent,
+//!     trainer::TrainingConfig::new(50, 100),
+//!     &FaultPlan::none(),
+//!     &mut rng,
+//!     trainer::no_mitigation(),
+//! );
+//! assert_eq!(trace.len(), 50);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod layouts;
+
+mod grid;
+
+pub use grid::{Action, Cell, GridWorld, ObstacleDensity};

@@ -1,0 +1,341 @@
+//! Inference-time mitigation: range-based anomaly detection (§5.2).
+//!
+//! Once a policy is trained, the value range `(aᵢ, bᵢ)` of every layer's
+//! parameters is instrumented. During inference each consumed value is checked
+//! against its layer's range widened by a detection margin (10 % in the
+//! paper); the comparison only looks at the *sign and integer bits* of the
+//! fixed-point word, because fractional-bit corruption cannot move a value
+//! outside the margin. Detected outliers are skipped (their contribution is
+//! zeroed), exploiting the sparsity of trained policies: a small weight whose
+//! high-order bit flipped is far more likely to be a fault than a legitimate
+//! large value.
+
+use navft_nn::{ForwardHooks, LayerKind, Network};
+use navft_qformat::{QFormat, QValue};
+
+/// Parameters of the range-based anomaly detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RangeGuardConfig {
+    /// Detection margin applied to the instrumented bounds (the paper uses
+    /// 10 %).
+    pub margin: f64,
+    /// Whether to compare only the sign and integer bits of the word (the
+    /// paper's hardware-cheap variant) or the full value.
+    pub integer_bits_only: bool,
+}
+
+impl RangeGuardConfig {
+    /// The paper's configuration: 10 % margin, sign+integer-bit comparison.
+    pub fn paper() -> RangeGuardConfig {
+        RangeGuardConfig { margin: 0.1, integer_bits_only: true }
+    }
+
+    /// Full-precision comparison (used by the ablation study).
+    pub fn full_precision(margin: f64) -> RangeGuardConfig {
+        RangeGuardConfig { margin, integer_bits_only: false }
+    }
+}
+
+impl Default for RangeGuardConfig {
+    fn default() -> Self {
+        RangeGuardConfig::paper()
+    }
+}
+
+/// The instrumented per-layer value range of a trained policy, plus the
+/// detection logic.
+///
+/// # Examples
+///
+/// ```
+/// use navft_mitigation::{RangeGuard, RangeGuardConfig};
+/// use navft_nn::mlp;
+/// use navft_qformat::QFormat;
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let mut rng = SmallRng::seed_from_u64(0);
+/// let mut policy = mlp(&[10, 16, 4], &mut rng);
+/// let guard = RangeGuard::from_network(&policy, QFormat::Q4_11, RangeGuardConfig::paper());
+///
+/// // A fault makes one weight explode; the guard scrubs it back to zero.
+/// policy.layer_weights_mut(0).unwrap()[3] = 14.0;
+/// let detected = guard.scrub(&mut policy);
+/// assert_eq!(detected, 1);
+/// assert_eq!(policy.layer_weights(0).unwrap()[3], 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RangeGuard {
+    format: QFormat,
+    config: RangeGuardConfig,
+    /// Per parametric layer: `(layer index, guarded lower bound, guarded upper bound)`.
+    bounds: Vec<(usize, f32, f32)>,
+}
+
+impl RangeGuard {
+    /// Instruments the per-layer weight ranges of a trained network.
+    pub fn from_network(network: &Network, format: QFormat, config: RangeGuardConfig) -> RangeGuard {
+        let bounds = network
+            .weight_ranges()
+            .into_iter()
+            .map(|(layer, lo, hi)| {
+                let (lo, hi) = widen(lo, hi, config.margin);
+                (layer, lo, hi)
+            })
+            .collect();
+        RangeGuard { format, config, bounds }
+    }
+
+    /// Builds a guard from explicit per-layer bounds (before the margin is
+    /// applied).
+    pub fn from_bounds(
+        bounds: impl IntoIterator<Item = (usize, f32, f32)>,
+        format: QFormat,
+        config: RangeGuardConfig,
+    ) -> RangeGuard {
+        let bounds = bounds
+            .into_iter()
+            .map(|(layer, lo, hi)| {
+                let (lo, hi) = widen(lo, hi, config.margin);
+                (layer, lo, hi)
+            })
+            .collect();
+        RangeGuard { format, config, bounds }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> RangeGuardConfig {
+        self.config
+    }
+
+    /// The guarded (margin-widened) bounds per layer.
+    pub fn bounds(&self) -> &[(usize, f32, f32)] {
+        &self.bounds
+    }
+
+    /// Whether `value` is anomalous for layer `layer`.
+    ///
+    /// Values in layers the guard has no bounds for are never anomalous.
+    pub fn is_anomalous(&self, layer: usize, value: f32) -> bool {
+        let Some(&(_, lo, hi)) = self.bounds.iter().find(|(l, _, _)| *l == layer) else {
+            return false;
+        };
+        if self.config.integer_bits_only {
+            compare_integer_bits(value, self.format) > compare_integer_bits(hi, self.format)
+                || compare_integer_bits(value, self.format) < compare_integer_bits(lo, self.format)
+        } else {
+            value > hi || value < lo
+        }
+    }
+
+    /// Scans every guarded layer of `network` and zeroes anomalous weights
+    /// (the "skip the operations around this data" recovery). Returns the
+    /// number of weights scrubbed.
+    pub fn scrub(&self, network: &mut Network) -> usize {
+        let mut scrubbed = 0;
+        for &(layer, _, _) in &self.bounds {
+            if let Some(weights) = network.layer_weights_mut(layer) {
+                for w in weights.iter_mut() {
+                    if self.is_anomalous(layer, *w) {
+                        *w = 0.0;
+                        scrubbed += 1;
+                    }
+                }
+            }
+        }
+        scrubbed
+    }
+
+    /// Counts anomalous weights without modifying the network.
+    pub fn count_anomalies(&self, network: &Network) -> usize {
+        self.bounds
+            .iter()
+            .filter_map(|&(layer, _, _)| network.layer_weights(layer))
+            .enumerate()
+            .map(|(i, weights)| {
+                let layer = self.bounds[i].0;
+                weights.iter().filter(|&&w| self.is_anomalous(layer, w)).count()
+            })
+            .sum()
+    }
+}
+
+/// Widens `(lo, hi)` by `margin` (relative, away from zero on both sides).
+fn widen(lo: f32, hi: f32, margin: f64) -> (f32, f32) {
+    let m = margin as f32;
+    let widen_one = |v: f32| if v >= 0.0 { v * (1.0 + m) } else { v * (1.0 + m) };
+    let lo = if lo > 0.0 { lo * (1.0 - m) } else { widen_one(lo) };
+    let hi = if hi < 0.0 { hi * (1.0 - m) } else { widen_one(hi) };
+    (lo, hi)
+}
+
+/// Reduces a value to its sign-and-integer-bit representation in `format`:
+/// the fractional bits are discarded, so two values that differ only in the
+/// fraction compare equal.
+fn compare_integer_bits(value: f32, format: QFormat) -> i32 {
+    let word = QValue::quantize(value, format);
+    word.raw() >> format.frac_bits()
+}
+
+/// An activation guard: clamps activation values that escape the range
+/// observed during fault-free calibration.
+///
+/// Attach it as [`ForwardHooks`] during inference to protect the activation
+/// buffers in addition to the weight scrub.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActivationGuard {
+    /// Per-layer `(lower, upper)` bounds after the margin is applied.
+    bounds: Vec<(f32, f32)>,
+    /// Number of values clamped so far.
+    clamped: usize,
+}
+
+impl ActivationGuard {
+    /// Builds a guard from per-layer activation ranges (e.g. from
+    /// [`navft_nn::RangeRecorder`]) and a detection margin.
+    pub fn new(ranges: &[(f32, f32)], margin: f64) -> ActivationGuard {
+        let bounds = ranges.iter().map(|&(lo, hi)| widen(lo, hi, margin)).collect();
+        ActivationGuard { bounds, clamped: 0 }
+    }
+
+    /// Number of activation values clamped so far.
+    pub fn clamped(&self) -> usize {
+        self.clamped
+    }
+}
+
+impl ForwardHooks for ActivationGuard {
+    fn on_activation(&mut self, layer_index: usize, _kind: LayerKind, values: &mut [f32]) {
+        let Some(&(lo, hi)) = self.bounds.get(layer_index) else { return };
+        if !lo.is_finite() || !hi.is_finite() {
+            return;
+        }
+        for v in values.iter_mut() {
+            if *v > hi || *v < lo {
+                *v = 0.0;
+                self.clamped += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use navft_nn::{mlp, RangeRecorder, Tensor};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn network(seed: u64) -> Network {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        mlp(&[8, 16, 4], &mut rng)
+    }
+
+    #[test]
+    fn clean_network_has_no_anomalies() {
+        let net = network(0);
+        let guard = RangeGuard::from_network(&net, QFormat::Q4_11, RangeGuardConfig::paper());
+        assert_eq!(guard.count_anomalies(&net), 0);
+        let mut copy = net.clone();
+        assert_eq!(guard.scrub(&mut copy), 0);
+        assert_eq!(copy.flat_weights(), net.flat_weights());
+    }
+
+    #[test]
+    fn corrupted_weight_is_detected_and_zeroed() {
+        let net = network(1);
+        let guard = RangeGuard::from_network(&net, QFormat::Q4_11, RangeGuardConfig::paper());
+        let mut corrupted = net.clone();
+        corrupted.layer_weights_mut(0).expect("weights")[5] = -15.0;
+        assert_eq!(guard.count_anomalies(&corrupted), 1);
+        assert_eq!(guard.scrub(&mut corrupted), 1);
+        assert_eq!(corrupted.layer_weights(0).expect("weights")[5], 0.0);
+    }
+
+    #[test]
+    fn small_deviations_within_margin_are_not_flagged() {
+        let net = network(2);
+        let guard = RangeGuard::from_network(&net, QFormat::Q4_11, RangeGuardConfig::paper());
+        let mut nudged = net.clone();
+        // Perturb a weight by one fractional LSB: invisible to the
+        // integer-bit comparison.
+        nudged.layer_weights_mut(0).expect("weights")[0] += QFormat::Q4_11.resolution();
+        assert_eq!(guard.count_anomalies(&nudged), 0);
+    }
+
+    #[test]
+    fn integer_bit_comparison_ignores_fraction_only_outliers() {
+        // Bounds of ±1.0 with a 10% margin; a value of 1.4 exceeds the bound
+        // but shares the same integer bits (1), so the cheap comparison
+        // accepts it while the full-precision comparison flags it.
+        let cheap = RangeGuard::from_bounds([(0, -1.0, 1.0)], QFormat::Q4_11, RangeGuardConfig::paper());
+        let precise = RangeGuard::from_bounds(
+            [(0, -1.0, 1.0)],
+            QFormat::Q4_11,
+            RangeGuardConfig::full_precision(0.1),
+        );
+        assert!(!cheap.is_anomalous(0, 1.4));
+        assert!(precise.is_anomalous(0, 1.4));
+        // Both flag a genuinely large outlier.
+        assert!(cheap.is_anomalous(0, 5.0));
+        assert!(precise.is_anomalous(0, 5.0));
+    }
+
+    #[test]
+    fn unguarded_layers_are_never_anomalous() {
+        let guard = RangeGuard::from_bounds([(2, -1.0, 1.0)], QFormat::Q4_11, RangeGuardConfig::paper());
+        assert!(!guard.is_anomalous(0, 100.0));
+        assert!(guard.is_anomalous(2, 100.0));
+        assert_eq!(guard.bounds().len(), 1);
+    }
+
+    #[test]
+    fn scrubbing_restores_policy_output_after_a_fault() {
+        let net = network(3);
+        let input = Tensor::full(&[8], 0.5);
+        let clean_output = net.forward(&input);
+        let mut corrupted = net.clone();
+        corrupted.layer_weights_mut(0).expect("weights")[7] = 15.5;
+        let corrupted_output = corrupted.forward(&input);
+        let guard = RangeGuard::from_network(&net, QFormat::Q4_11, RangeGuardConfig::paper());
+        guard.scrub(&mut corrupted);
+        let repaired_output = corrupted.forward(&input);
+        let dist = |a: &Tensor, b: &Tensor| -> f32 {
+            a.data().iter().zip(b.data()).map(|(x, y)| (x - y).abs()).sum()
+        };
+        assert!(dist(&repaired_output, &clean_output) < dist(&corrupted_output, &clean_output));
+    }
+
+    #[test]
+    fn activation_guard_zeroes_escaped_activations() {
+        let net = network(4);
+        let mut recorder = RangeRecorder::new();
+        for i in 0..8 {
+            net.forward_with(&Tensor::full(&[8], i as f32 * 0.1), &mut recorder);
+        }
+        let mut guard = ActivationGuard::new(recorder.ranges(), 0.1);
+        // Feed an absurdly large input, simulating a corrupted input buffer:
+        // activations escape the calibrated range and get clamped.
+        let wild = Tensor::full(&[8], 500.0);
+        let out = net.forward_with(&wild, &mut guard);
+        assert!(guard.clamped() > 0);
+        assert!(out.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn guard_config_accessors() {
+        let guard = RangeGuard::from_bounds([(0, 0.0, 1.0)], QFormat::Q3_4, RangeGuardConfig::paper());
+        assert_eq!(guard.config(), RangeGuardConfig::paper());
+        assert_eq!(RangeGuardConfig::default(), RangeGuardConfig::paper());
+        assert!(!RangeGuardConfig::full_precision(0.2).integer_bits_only);
+    }
+
+    #[test]
+    fn widen_expands_both_signs() {
+        let (lo, hi) = widen(-2.0, 4.0, 0.1);
+        assert!(lo < -2.0 && lo > -2.3);
+        assert!(hi > 4.0 && hi < 4.5);
+        let (lo, hi) = widen(1.0, 2.0, 0.1);
+        assert!(lo < 1.0);
+        assert!(hi > 2.0);
+    }
+}

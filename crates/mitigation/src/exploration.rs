@@ -1,0 +1,346 @@
+//! Training-time mitigation: adaptive exploration-rate adjustment (§5.1).
+//!
+//! The mitigation watches the cumulative reward during training:
+//!
+//! * a sudden drop of more than `x%` within `y` consecutive episodes signals a
+//!   **transient** fault → boost the exploration rate by
+//!   `δ(ER) = α · min(f(r), f(r)·f(t))` (Eq. 6), where `f(r)` is the
+//!   normalised reward drop and `f(t) = t/T` normalises the fault occurrence
+//!   time by the episodes-to-steady-exploitation horizon `T`;
+//! * a reward that stays below 50 % of the best observed reward *after* the
+//!   schedule has reached steady exploitation signals a **permanent** fault →
+//!   revert ε to its initial value and slow its decay by `2ⁿ×` (`n` = number
+//!   of permanent detections so far).
+
+use navft_rl::{EpsilonSchedule, TrainingTrace};
+
+/// Parameters of the adaptive exploration-rate adjustment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExplorationAdjusterConfig {
+    /// Reward-drop threshold `x`, as a fraction of the best observed reward
+    /// (the paper uses 25 %).
+    pub reward_drop_fraction: f64,
+    /// Detection window `y` in episodes (the paper uses 50).
+    pub detection_window: usize,
+    /// Adjustment coefficient `α` (0.8 for tabular, 0.4 for NN policies).
+    pub alpha: f64,
+    /// Episodes-to-steady-exploitation horizon `T` under fault-free training
+    /// (the paper uses 100).
+    pub steady_episodes: usize,
+    /// Fraction of the best observed reward below which a steady-exploitation
+    /// agent is considered to be fighting a permanent fault (the paper uses
+    /// 50 %).
+    pub permanent_reward_fraction: f64,
+    /// Length of the short averaging window used to smooth episode rewards.
+    pub smoothing_window: usize,
+}
+
+impl ExplorationAdjusterConfig {
+    /// The paper's configuration for tabular policies (`α = 0.8`).
+    pub fn tabular() -> ExplorationAdjusterConfig {
+        ExplorationAdjusterConfig {
+            reward_drop_fraction: 0.25,
+            detection_window: 50,
+            alpha: 0.8,
+            steady_episodes: 100,
+            permanent_reward_fraction: 0.5,
+            smoothing_window: 5,
+        }
+    }
+
+    /// The paper's configuration for neural-network policies (`α = 0.4`),
+    /// reflecting their stronger self-healing ability.
+    pub fn network() -> ExplorationAdjusterConfig {
+        ExplorationAdjusterConfig { alpha: 0.4, ..ExplorationAdjusterConfig::tabular() }
+    }
+}
+
+impl Default for ExplorationAdjusterConfig {
+    fn default() -> Self {
+        ExplorationAdjusterConfig::tabular()
+    }
+}
+
+/// A mitigation action taken by the adjuster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MitigationEvent {
+    /// A transient fault was inferred from a sudden reward drop; ε was
+    /// boosted.
+    TransientDetected {
+        /// Episode at which the detection fired.
+        episode: usize,
+        /// Normalised reward drop `f(r)` that triggered the detection.
+        reward_drop: f64,
+        /// The ε increment applied (Eq. 6).
+        boost: f64,
+    },
+    /// A permanent fault was inferred from persistently low reward at steady
+    /// exploitation; ε was reset and its decay slowed.
+    PermanentDetected {
+        /// Episode at which the detection fired.
+        episode: usize,
+        /// The decay slow-down factor applied (`2ⁿ`).
+        slowdown: f64,
+    },
+}
+
+/// The adaptive exploration-rate adjuster.
+///
+/// Use [`ExplorationAdjuster::observe`] as the episode observer of the
+/// `navft-rl` training loops.
+///
+/// # Examples
+///
+/// ```
+/// use navft_mitigation::ExplorationAdjuster;
+/// use navft_rl::{EpsilonSchedule, EpisodeOutcome, TrainingTrace};
+///
+/// let mut adjuster = ExplorationAdjuster::for_tabular();
+/// let mut epsilon = EpsilonSchedule::for_training(100);
+/// let mut trace = TrainingTrace::new();
+/// // Healthy training: rewards near 1.0 — no mitigation fires.
+/// for episode in 0..60 {
+///     trace.push(EpisodeOutcome { cumulative_reward: 1.0, ..EpisodeOutcome::empty() }, 0.5);
+///     adjuster.observe(episode, &trace, &mut epsilon);
+/// }
+/// assert!(adjuster.events().is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplorationAdjuster {
+    config: ExplorationAdjusterConfig,
+    events: Vec<MitigationEvent>,
+    permanent_detections: u32,
+    cooldown_until: usize,
+    was_steady: bool,
+}
+
+impl ExplorationAdjuster {
+    /// Creates an adjuster with the given configuration.
+    pub fn new(config: ExplorationAdjusterConfig) -> ExplorationAdjuster {
+        ExplorationAdjuster {
+            config,
+            events: Vec::new(),
+            permanent_detections: 0,
+            cooldown_until: 0,
+            was_steady: false,
+        }
+    }
+
+    /// The paper's tabular-policy adjuster (`x = 25 %`, `y = 50`, `α = 0.8`).
+    pub fn for_tabular() -> ExplorationAdjuster {
+        ExplorationAdjuster::new(ExplorationAdjusterConfig::tabular())
+    }
+
+    /// The paper's NN-policy adjuster (`α = 0.4`).
+    pub fn for_network() -> ExplorationAdjuster {
+        ExplorationAdjuster::new(ExplorationAdjusterConfig::network())
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> ExplorationAdjusterConfig {
+        self.config
+    }
+
+    /// Every mitigation action taken so far, in order.
+    pub fn events(&self) -> &[MitigationEvent] {
+        &self.events
+    }
+
+    /// Number of transient-fault detections.
+    pub fn transient_detections(&self) -> usize {
+        self.events.iter().filter(|e| matches!(e, MitigationEvent::TransientDetected { .. })).count()
+    }
+
+    /// Number of permanent-fault detections.
+    pub fn permanent_detections(&self) -> usize {
+        self.permanent_detections as usize
+    }
+
+    /// Episode observer: call at the end of every training episode (the
+    /// signature matches the observer parameter of the `navft-rl` trainers).
+    pub fn observe(&mut self, episode: usize, trace: &TrainingTrace, epsilon: &mut EpsilonSchedule) {
+        let max_reward = f64::from(trace.max_reward());
+        if !max_reward.is_finite() || max_reward <= 0.0 {
+            // Nothing learned yet: no reference level to detect drops against.
+            return;
+        }
+        let recent = trace.recent_mean_reward(self.config.smoothing_window);
+
+        if episode >= self.cooldown_until {
+            if let Some(drop) = self.transient_drop(trace, max_reward, recent) {
+                let f_r = drop;
+                let f_t = (episode as f64 / self.config.steady_episodes as f64).min(1.0);
+                let boost = self.config.alpha * f_r.min(f_r * f_t);
+                epsilon.boost(boost);
+                self.events.push(MitigationEvent::TransientDetected {
+                    episode,
+                    reward_drop: f_r,
+                    boost,
+                });
+                self.cooldown_until = episode + self.config.detection_window;
+                self.was_steady = epsilon.is_steady();
+                return;
+            }
+        }
+
+        // Permanent-fault check: fires when the agent sits at steady
+        // exploitation yet the reward stays below half of its best level.
+        let steady = epsilon.is_steady();
+        if steady
+            && !self.was_steady
+            && recent < self.config.permanent_reward_fraction * max_reward
+            && episode >= self.cooldown_until
+        {
+            self.permanent_detections += 1;
+            let slowdown = 2f64.powi(self.permanent_detections as i32);
+            epsilon.reset_to_initial();
+            epsilon.slow_decay(2.0);
+            self.events.push(MitigationEvent::PermanentDetected { episode, slowdown });
+            self.cooldown_until = episode + self.config.detection_window;
+        }
+        self.was_steady = steady;
+    }
+
+    /// Returns the normalised reward drop `f(r)` if a transient-style drop is
+    /// present at the end of the trace, `None` otherwise.
+    fn transient_drop(&self, trace: &TrainingTrace, max_reward: f64, recent: f64) -> Option<f64> {
+        let y = self.config.detection_window;
+        let w = self.config.smoothing_window.max(1);
+        if trace.len() < y + w {
+            return None;
+        }
+        // Mean reward over the smoothing window that ended y episodes ago.
+        let end = trace.len() - y;
+        let start = end.saturating_sub(w);
+        let past: f64 =
+            trace.rewards[start..end].iter().map(|&r| f64::from(r)).sum::<f64>() / (end - start) as f64;
+        let drop = (past - recent) / max_reward;
+        (drop > self.config.reward_drop_fraction).then_some(drop.min(1.0))
+    }
+}
+
+impl Default for ExplorationAdjuster {
+    fn default() -> Self {
+        ExplorationAdjuster::for_tabular()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use navft_rl::EpisodeOutcome;
+
+    fn push(trace: &mut TrainingTrace, reward: f32, epsilon: f64) {
+        trace.push(EpisodeOutcome { cumulative_reward: reward, ..EpisodeOutcome::empty() }, epsilon);
+    }
+
+    fn run_rewards(rewards: &[f32]) -> (ExplorationAdjuster, EpsilonSchedule) {
+        let mut adjuster = ExplorationAdjuster::for_tabular();
+        let mut epsilon = EpsilonSchedule::for_training(100);
+        let mut trace = TrainingTrace::new();
+        for (episode, &r) in rewards.iter().enumerate() {
+            push(&mut trace, r, epsilon.epsilon());
+            epsilon.advance_episode();
+            adjuster.observe(episode, &trace, &mut epsilon);
+        }
+        (adjuster, epsilon)
+    }
+
+    #[test]
+    fn healthy_training_triggers_nothing() {
+        let rewards: Vec<f32> = (0..300).map(|i| (i as f32 / 100.0).min(1.0)).collect();
+        let (adjuster, _) = run_rewards(&rewards);
+        assert!(adjuster.events().is_empty());
+        assert_eq!(adjuster.transient_detections(), 0);
+        assert_eq!(adjuster.permanent_detections(), 0);
+    }
+
+    #[test]
+    fn sudden_reward_drop_boosts_exploration() {
+        // Good rewards for 200 episodes, then a crash to -1 (a transient fault
+        // destroying the learned policy).
+        let mut rewards = vec![1.0f32; 200];
+        rewards.extend(vec![-1.0f32; 30]);
+        let (adjuster, epsilon) = run_rewards(&rewards);
+        assert!(adjuster.transient_detections() >= 1);
+        let MitigationEvent::TransientDetected { reward_drop, boost, .. } = adjuster.events()[0]
+        else {
+            panic!("expected a transient detection first");
+        };
+        assert!(reward_drop > 0.25);
+        assert!(boost > 0.0);
+        // ε was boosted above the steady floor at least once; by the end it
+        // may have decayed again, but the events record the action.
+        assert!(epsilon.epsilon() >= epsilon.floor());
+    }
+
+    #[test]
+    fn persistent_low_reward_at_steady_exploitation_is_a_permanent_fault() {
+        // The agent reaches good reward briefly, then a permanent fault caps
+        // the reward near zero long before ε reaches its floor.
+        let mut rewards = vec![1.0f32; 10];
+        rewards.extend(vec![0.05f32; 290]);
+        let mut adjuster = ExplorationAdjuster::for_tabular();
+        // Use a fast-decaying schedule so steady exploitation is reached
+        // within the run.
+        let mut epsilon = EpsilonSchedule::for_training(50);
+        let mut trace = TrainingTrace::new();
+        for (episode, &r) in rewards.iter().enumerate() {
+            push(&mut trace, r, epsilon.epsilon());
+            epsilon.advance_episode();
+            adjuster.observe(episode, &trace, &mut epsilon);
+        }
+        assert!(adjuster.permanent_detections() >= 1, "events: {:?}", adjuster.events());
+        // The decay must have been slowed at least once.
+        assert!(epsilon.decay_slowdown() >= 2.0);
+    }
+
+    #[test]
+    fn gradual_decline_does_not_trigger_transient_detection() {
+        // A slow decline of 0.001 per episode never drops 25% within 50 episodes.
+        let rewards: Vec<f32> = (0..400).map(|i| 1.0 - i as f32 * 0.001).collect();
+        let (adjuster, _) = run_rewards(&rewards);
+        assert_eq!(adjuster.transient_detections(), 0);
+    }
+
+    #[test]
+    fn detections_respect_the_cooldown_window() {
+        let mut rewards = vec![1.0f32; 100];
+        rewards.extend(vec![-1.0f32; 60]);
+        let (adjuster, _) = run_rewards(&rewards);
+        // Without a cooldown every episode after the crash would fire; with a
+        // 50-episode cooldown at most two detections fit in 60 episodes.
+        assert!(adjuster.transient_detections() <= 2);
+    }
+
+    #[test]
+    fn no_reference_reward_means_no_detection() {
+        let rewards = vec![-1.0f32; 120];
+        let (adjuster, _) = run_rewards(&rewards);
+        assert!(adjuster.events().is_empty());
+    }
+
+    #[test]
+    fn network_config_uses_smaller_alpha() {
+        assert_eq!(ExplorationAdjuster::for_network().config().alpha, 0.4);
+        assert_eq!(ExplorationAdjuster::for_tabular().config().alpha, 0.8);
+        assert_eq!(ExplorationAdjuster::default().config(), ExplorationAdjusterConfig::tabular());
+    }
+
+    #[test]
+    fn boost_magnitude_scales_with_fault_time() {
+        // Identical drops, one early in training and one late: the late one
+        // gets the full f(r) boost while the early one is scaled by f(t).
+        let mut early = vec![1.0f32; 60];
+        early.extend(vec![-1.0f32; 10]);
+        let mut late = vec![1.0f32; 300];
+        late.extend(vec![-1.0f32; 10]);
+        let (adjuster_early, _) = run_rewards(&early);
+        let (adjuster_late, _) = run_rewards(&late);
+        let boost_of = |a: &ExplorationAdjuster| match a.events().first() {
+            Some(MitigationEvent::TransientDetected { boost, .. }) => *boost,
+            _ => panic!("expected a transient detection"),
+        };
+        assert!(boost_of(&adjuster_late) >= boost_of(&adjuster_early));
+    }
+}

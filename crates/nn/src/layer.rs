@@ -1,0 +1,401 @@
+//! Network layers: convolution, pooling, activation and fully-connected.
+
+use std::fmt;
+
+use rand::Rng;
+
+use crate::Tensor;
+
+/// The kind of a layer, used by experiments that sweep fault sensitivity per
+/// layer type (Fig. 7d).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerKind {
+    /// 2-D convolution.
+    Conv2d,
+    /// 2-D max pooling.
+    MaxPool2d,
+    /// Rectified linear unit.
+    Relu,
+    /// Shape flattening (no parameters).
+    Flatten,
+    /// Fully-connected (linear) layer.
+    Linear,
+}
+
+impl fmt::Display for LayerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            LayerKind::Conv2d => "conv2d",
+            LayerKind::MaxPool2d => "maxpool2d",
+            LayerKind::Relu => "relu",
+            LayerKind::Flatten => "flatten",
+            LayerKind::Linear => "linear",
+        })
+    }
+}
+
+/// A 2-D convolution layer over `[C, H, W]` inputs (valid padding).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Conv2d {
+    /// Number of input channels.
+    pub in_channels: usize,
+    /// Number of output channels (filters).
+    pub out_channels: usize,
+    /// Square kernel size.
+    pub kernel: usize,
+    /// Stride in both dimensions.
+    pub stride: usize,
+    /// Filter weights, laid out `[out, in, k, k]` row-major.
+    pub weights: Vec<f32>,
+    /// Per-output-channel biases.
+    pub bias: Vec<f32>,
+}
+
+impl Conv2d {
+    /// Creates a convolution with He-uniform initialised weights.
+    pub fn new<R: Rng + ?Sized>(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        rng: &mut R,
+    ) -> Conv2d {
+        let fan_in = in_channels * kernel * kernel;
+        let scale = (2.0 / fan_in as f32).sqrt();
+        let weights =
+            (0..out_channels * fan_in).map(|_| rng.gen_range(-scale..=scale)).collect();
+        Conv2d {
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            weights,
+            bias: vec![0.0; out_channels],
+        }
+    }
+
+    /// Output spatial size for an input of extent `input`.
+    pub fn output_size(&self, input: usize) -> usize {
+        (input - self.kernel) / self.stride + 1
+    }
+
+    /// Runs the convolution on a `[C, H, W]` tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not 3-dimensional with `in_channels` channels or
+    /// is smaller than the kernel.
+    pub fn forward(&self, input: &Tensor) -> Tensor {
+        let shape = input.shape();
+        assert_eq!(shape.len(), 3, "conv2d expects a [C, H, W] input");
+        assert_eq!(shape[0], self.in_channels, "conv2d input channel mismatch");
+        let (h, w) = (shape[1], shape[2]);
+        assert!(h >= self.kernel && w >= self.kernel, "conv2d input smaller than kernel");
+        let oh = self.output_size(h);
+        let ow = self.output_size(w);
+        let mut out = Tensor::zeros(&[self.out_channels, oh, ow]);
+        let data = input.data();
+        let k = self.kernel;
+        for oc in 0..self.out_channels {
+            let w_base = oc * self.in_channels * k * k;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = self.bias[oc];
+                    let iy0 = oy * self.stride;
+                    let ix0 = ox * self.stride;
+                    for ic in 0..self.in_channels {
+                        let in_base = ic * h * w;
+                        let wk_base = w_base + ic * k * k;
+                        for ky in 0..k {
+                            let row = in_base + (iy0 + ky) * w + ix0;
+                            let wrow = wk_base + ky * k;
+                            for kx in 0..k {
+                                acc += data[row + kx] * self.weights[wrow + kx];
+                            }
+                        }
+                    }
+                    out.set(&[oc, oy, ox], acc);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A 2-D max-pooling layer over `[C, H, W]` inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaxPool2d {
+    /// Square pooling window.
+    pub kernel: usize,
+    /// Stride in both dimensions.
+    pub stride: usize,
+}
+
+impl MaxPool2d {
+    /// Creates a pooling layer.
+    pub fn new(kernel: usize, stride: usize) -> MaxPool2d {
+        MaxPool2d { kernel, stride }
+    }
+
+    /// Output spatial size for an input of extent `input`.
+    pub fn output_size(&self, input: usize) -> usize {
+        (input - self.kernel) / self.stride + 1
+    }
+
+    /// Runs the pooling on a `[C, H, W]` tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not 3-dimensional or is smaller than the window.
+    pub fn forward(&self, input: &Tensor) -> Tensor {
+        let shape = input.shape();
+        assert_eq!(shape.len(), 3, "maxpool2d expects a [C, H, W] input");
+        let (c, h, w) = (shape[0], shape[1], shape[2]);
+        assert!(h >= self.kernel && w >= self.kernel, "maxpool2d input smaller than window");
+        let oh = self.output_size(h);
+        let ow = self.output_size(w);
+        let mut out = Tensor::zeros(&[c, oh, ow]);
+        for ch in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    for ky in 0..self.kernel {
+                        for kx in 0..self.kernel {
+                            best = best.max(input.get(&[ch, oy * self.stride + ky, ox * self.stride + kx]));
+                        }
+                    }
+                    out.set(&[ch, oy, ox], best);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A fully-connected layer `y = W x + b`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Linear {
+    /// Input feature count.
+    pub in_features: usize,
+    /// Output feature count.
+    pub out_features: usize,
+    /// Weights, laid out `[out, in]` row-major.
+    pub weights: Vec<f32>,
+    /// Per-output biases.
+    pub bias: Vec<f32>,
+}
+
+impl Linear {
+    /// Creates a linear layer with Xavier-uniform initialised weights.
+    pub fn new<R: Rng + ?Sized>(in_features: usize, out_features: usize, rng: &mut R) -> Linear {
+        let scale = (6.0 / (in_features + out_features) as f32).sqrt();
+        let weights =
+            (0..in_features * out_features).map(|_| rng.gen_range(-scale..=scale)).collect();
+        Linear { in_features, out_features, weights, bias: vec![0.0; out_features] }
+    }
+
+    /// Runs the layer on a flat input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input length differs from `in_features`.
+    pub fn forward(&self, input: &Tensor) -> Tensor {
+        assert_eq!(input.len(), self.in_features, "linear input length mismatch");
+        let x = input.data();
+        let mut out = vec![0.0f32; self.out_features];
+        for (o, out_v) in out.iter_mut().enumerate() {
+            let row = &self.weights[o * self.in_features..(o + 1) * self.in_features];
+            let mut acc = self.bias[o];
+            for (w, xi) in row.iter().zip(x.iter()) {
+                acc += w * xi;
+            }
+            *out_v = acc;
+        }
+        Tensor::from_vec(&[self.out_features], out)
+    }
+}
+
+/// A network layer.
+///
+/// Layers are a closed enum rather than a trait object so that training code
+/// and per-layer fault targeting can match on the concrete kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Layer {
+    /// 2-D convolution.
+    Conv2d(Conv2d),
+    /// 2-D max pooling.
+    MaxPool2d(MaxPool2d),
+    /// Rectified linear unit.
+    Relu,
+    /// Flatten to a vector.
+    Flatten,
+    /// Fully-connected layer.
+    Linear(Linear),
+}
+
+impl Layer {
+    /// The layer kind.
+    pub fn kind(&self) -> LayerKind {
+        match self {
+            Layer::Conv2d(_) => LayerKind::Conv2d,
+            Layer::MaxPool2d(_) => LayerKind::MaxPool2d,
+            Layer::Relu => LayerKind::Relu,
+            Layer::Flatten => LayerKind::Flatten,
+            Layer::Linear(_) => LayerKind::Linear,
+        }
+    }
+
+    /// Runs the layer.
+    pub fn forward(&self, input: &Tensor) -> Tensor {
+        match self {
+            Layer::Conv2d(conv) => conv.forward(input),
+            Layer::MaxPool2d(pool) => pool.forward(input),
+            Layer::Relu => input.map(|v| v.max(0.0)),
+            Layer::Flatten => input.reshape(&[input.len()]),
+            Layer::Linear(linear) => linear.forward(input),
+        }
+    }
+
+    /// The layer's weight buffer, if it has parameters.
+    pub fn weights(&self) -> Option<&[f32]> {
+        match self {
+            Layer::Conv2d(conv) => Some(&conv.weights),
+            Layer::Linear(linear) => Some(&linear.weights),
+            _ => None,
+        }
+    }
+
+    /// The layer's weight buffer, mutably — the weight-fault injection
+    /// surface.
+    pub fn weights_mut(&mut self) -> Option<&mut Vec<f32>> {
+        match self {
+            Layer::Conv2d(conv) => Some(&mut conv.weights),
+            Layer::Linear(linear) => Some(&mut linear.weights),
+            _ => None,
+        }
+    }
+
+    /// Whether the layer holds trainable parameters.
+    pub fn is_parametric(&self) -> bool {
+        self.weights().is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn conv_identity_kernel_reproduces_input() {
+        let mut conv = Conv2d {
+            in_channels: 1,
+            out_channels: 1,
+            kernel: 1,
+            stride: 1,
+            weights: vec![1.0],
+            bias: vec![0.0],
+        };
+        let input = Tensor::from_vec(&[1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(conv.forward(&input).data(), input.data());
+        conv.bias = vec![1.0];
+        assert_eq!(conv.forward(&input).data(), &[2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn conv_sums_over_window_and_channels() {
+        let conv = Conv2d {
+            in_channels: 2,
+            out_channels: 1,
+            kernel: 2,
+            stride: 1,
+            weights: vec![1.0; 8],
+            bias: vec![0.0],
+        };
+        let input = Tensor::full(&[2, 3, 3], 1.0);
+        let out = conv.forward(&input);
+        assert_eq!(out.shape(), &[1, 2, 2]);
+        assert!(out.data().iter().all(|&v| v == 8.0));
+    }
+
+    #[test]
+    fn conv_stride_reduces_output() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let conv = Conv2d::new(1, 4, 3, 2, &mut rng);
+        assert_eq!(conv.output_size(7), 3);
+        let out = conv.forward(&Tensor::zeros(&[1, 7, 7]));
+        assert_eq!(out.shape(), &[4, 3, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel mismatch")]
+    fn conv_rejects_wrong_channel_count() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let conv = Conv2d::new(3, 4, 3, 1, &mut rng);
+        let _ = conv.forward(&Tensor::zeros(&[1, 5, 5]));
+    }
+
+    #[test]
+    fn maxpool_takes_window_maximum() {
+        let pool = MaxPool2d::new(2, 2);
+        let input = Tensor::from_vec(&[1, 2, 4], vec![1.0, 5.0, 2.0, 0.0, 3.0, 4.0, -1.0, 7.0]);
+        let out = pool.forward(&input);
+        assert_eq!(out.shape(), &[1, 1, 2]);
+        assert_eq!(out.data(), &[5.0, 7.0]);
+    }
+
+    #[test]
+    fn linear_computes_affine_map() {
+        let linear = Linear {
+            in_features: 2,
+            out_features: 2,
+            weights: vec![1.0, 2.0, 3.0, 4.0],
+            bias: vec![0.5, -0.5],
+        };
+        let out = linear.forward(&Tensor::from_vec(&[2], vec![1.0, 1.0]));
+        assert_eq!(out.data(), &[3.5, 6.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn linear_rejects_wrong_input_length() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let linear = Linear::new(4, 2, &mut rng);
+        let _ = linear.forward(&Tensor::zeros(&[3]));
+    }
+
+    #[test]
+    fn relu_and_flatten() {
+        let input = Tensor::from_vec(&[1, 2, 2], vec![-1.0, 2.0, -3.0, 4.0]);
+        assert_eq!(Layer::Relu.forward(&input).data(), &[0.0, 2.0, 0.0, 4.0]);
+        let flat = Layer::Flatten.forward(&input);
+        assert_eq!(flat.shape(), &[4]);
+    }
+
+    #[test]
+    fn layer_kinds_and_weight_access() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut layer = Layer::Linear(Linear::new(2, 3, &mut rng));
+        assert_eq!(layer.kind(), LayerKind::Linear);
+        assert!(layer.is_parametric());
+        assert_eq!(layer.weights().map(|w| w.len()), Some(6));
+        layer.weights_mut().expect("has weights")[0] = 9.0;
+        assert_eq!(layer.weights().expect("has weights")[0], 9.0);
+        assert!(!Layer::Relu.is_parametric());
+        assert!(Layer::Flatten.weights().is_none());
+        assert_eq!(LayerKind::Conv2d.to_string(), "conv2d");
+    }
+
+    #[test]
+    fn initialised_weights_are_bounded() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let conv = Conv2d::new(3, 8, 3, 1, &mut rng);
+        let fan_in = 27.0f32;
+        let bound = (2.0 / fan_in).sqrt();
+        assert!(conv.weights.iter().all(|w| w.abs() <= bound));
+        let linear = Linear::new(10, 5, &mut rng);
+        let bound = (6.0 / 15.0f32).sqrt();
+        assert!(linear.weights.iter().all(|w| w.abs() <= bound));
+    }
+}

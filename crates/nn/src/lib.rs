@@ -1,0 +1,45 @@
+//! A minimal neural-network library with fault-injectable buffers.
+//!
+//! Learning-based navigation policies run on accelerators that stage data in
+//! input, weight (filter) and activation (output) buffers; the paper's fault
+//! model corrupts exactly those buffers. This crate therefore provides a small
+//! CNN/MLP stack whose buffers are all plainly exposed:
+//!
+//! * [`Tensor`] — dense `f32` storage with direct access to the flat buffer.
+//! * [`Layer`] — convolution, max-pooling, ReLU, flatten and fully-connected
+//!   layers ([`layer`] module).
+//! * [`Network`] — an ordered layer stack with per-layer weight access,
+//!   forward hooks over every activation buffer ([`ForwardHooks`]), optional
+//!   fixed-point activation quantization, range instrumentation
+//!   ([`RangeRecorder`]) and SGD training of the fully-connected tail
+//!   ([`Network::backward_tail`]) used for transfer-learning fine-tuning.
+//! * [`models`] — the Grid World MLP ([`mlp`]) and the paper's C3F2 drone
+//!   policy topology ([`C3f2Config`], Fig. 6b).
+//!
+//! # Examples
+//!
+//! ```
+//! use navft_nn::{C3f2Config, Tensor};
+//! use rand::{rngs::SmallRng, SeedableRng};
+//!
+//! let mut rng = SmallRng::seed_from_u64(0);
+//! let config = C3f2Config::scaled();
+//! let policy = config.build(&mut rng);
+//! let frame = Tensor::zeros(&config.input_shape());
+//! let q_values = policy.forward(&frame);
+//! assert_eq!(q_values.len(), config.actions);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod layer;
+pub mod models;
+
+mod network;
+mod tensor;
+
+pub use layer::{Layer, LayerKind};
+pub use models::{c3f2, c3f2_scaled, mlp, parametric_layer_names, C3f2Config};
+pub use network::{ForwardHooks, ForwardTrace, Network, NoHooks, RangeRecorder};
+pub use tensor::Tensor;

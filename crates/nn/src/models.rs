@@ -1,0 +1,263 @@
+//! Ready-made network topologies: the Grid World MLP and the paper's C3F2
+//! drone policy network (Fig. 6b).
+
+use rand::Rng;
+
+use crate::layer::{Conv2d, Linear, MaxPool2d};
+use crate::{Layer, LayerKind, Network};
+
+/// Builds a multi-layer perceptron with ReLU activations between layers.
+///
+/// `sizes` lists the feature count of every layer boundary, e.g. `[100, 64, 4]`
+/// creates `Linear(100→64) → ReLU → Linear(64→4)`. This is the topology used
+/// for the neural-network-based Grid World policy.
+///
+/// # Panics
+///
+/// Panics if fewer than two sizes are given.
+///
+/// # Examples
+///
+/// ```
+/// use navft_nn::{mlp, Tensor};
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// let policy = mlp(&[100, 64, 4], &mut rng);
+/// assert_eq!(policy.forward(&Tensor::zeros(&[100])).len(), 4);
+/// ```
+pub fn mlp<R: Rng + ?Sized>(sizes: &[usize], rng: &mut R) -> Network {
+    assert!(sizes.len() >= 2, "an MLP needs at least an input and an output size");
+    let mut layers = Vec::new();
+    for (i, pair) in sizes.windows(2).enumerate() {
+        layers.push(Layer::Linear(Linear::new(pair[0], pair[1], rng)));
+        if i + 2 < sizes.len() {
+            layers.push(Layer::Relu);
+        }
+    }
+    Network::new(layers)
+}
+
+/// Configuration of the C3F2 policy network (three convolutional layers
+/// followed by two fully-connected layers, Fig. 6b of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct C3f2Config {
+    /// Number of input channels of the camera frame.
+    pub input_channels: usize,
+    /// Height/width of the (square) camera frame.
+    pub input_size: usize,
+    /// Output channels of the three convolutional layers.
+    pub conv_channels: [usize; 3],
+    /// Hidden width of the first fully-connected layer.
+    pub fc_hidden: usize,
+    /// Number of discrete actions (the paper uses 25).
+    pub actions: usize,
+}
+
+impl C3f2Config {
+    /// The full-size configuration of the paper: 103×103×3 input, 96/64/64
+    /// convolution channels, a 1024-wide hidden layer and 25 actions.
+    pub fn paper() -> C3f2Config {
+        C3f2Config {
+            input_channels: 3,
+            input_size: 103,
+            conv_channels: [96, 64, 64],
+            fc_hidden: 1024,
+            actions: 25,
+        }
+    }
+
+    /// A reduced configuration (31×31×1 input, 8/8/16 channels, 64-wide
+    /// hidden layer) with the same topology, used for fast tests and
+    /// campaigns where the full-size network would dominate wall-clock time.
+    pub fn scaled() -> C3f2Config {
+        C3f2Config {
+            input_channels: 1,
+            input_size: 31,
+            conv_channels: [8, 8, 16],
+            fc_hidden: 64,
+            actions: 25,
+        }
+    }
+
+    /// Builds the network: `conv1 → relu → pool → conv2 → relu → pool →
+    /// conv3 → relu → flatten → fc1 → relu → fc2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input size is too small for the convolution stack.
+    pub fn build<R: Rng + ?Sized>(&self, rng: &mut R) -> Network {
+        let (k1, s1) = if self.input_size >= 64 { (7, 4) } else { (5, 2) };
+        let conv1 = Conv2d::new(self.input_channels, self.conv_channels[0], k1, s1, rng);
+        let after1 = conv1.output_size(self.input_size);
+        let pool1 = MaxPool2d::new(2, 2);
+        let after_p1 = pool1.output_size(after1);
+
+        let k2 = if after_p1 >= 8 { 5 } else { 3 };
+        let conv2 = Conv2d::new(self.conv_channels[0], self.conv_channels[1], k2, 1, rng);
+        let after2 = conv2.output_size(after_p1);
+        let (pk2, ps2) = if after2 >= 6 { (2, 2) } else { (2, 1) };
+        let pool2 = MaxPool2d::new(pk2, ps2);
+        let after_p2 = pool2.output_size(after2);
+
+        let conv3 = Conv2d::new(self.conv_channels[1], self.conv_channels[2], 3, 1, rng);
+        let after3 = conv3.output_size(after_p2);
+        assert!(after3 >= 1, "C3F2 input size {} is too small", self.input_size);
+
+        let flat = self.conv_channels[2] * after3 * after3;
+        let fc1 = Linear::new(flat, self.fc_hidden, rng);
+        let fc2 = Linear::new(self.fc_hidden, self.actions, rng);
+
+        Network::new(vec![
+            Layer::Conv2d(conv1),
+            Layer::Relu,
+            Layer::MaxPool2d(pool1),
+            Layer::Conv2d(conv2),
+            Layer::Relu,
+            Layer::MaxPool2d(pool2),
+            Layer::Conv2d(conv3),
+            Layer::Relu,
+            Layer::Flatten,
+            Layer::Linear(fc1),
+            Layer::Relu,
+            Layer::Linear(fc2),
+        ])
+    }
+
+    /// The flat input length (`channels × size × size`).
+    pub fn input_len(&self) -> usize {
+        self.input_channels * self.input_size * self.input_size
+    }
+
+    /// The shape of the expected input tensor.
+    pub fn input_shape(&self) -> [usize; 3] {
+        [self.input_channels, self.input_size, self.input_size]
+    }
+
+    /// Index (within the network's layer stack) of the first fully-connected
+    /// layer — the start of the transfer-learning trainable tail.
+    pub fn first_fc_layer(&self) -> usize {
+        9
+    }
+}
+
+/// Builds the full-size C3F2 network of the paper.
+pub fn c3f2<R: Rng + ?Sized>(rng: &mut R) -> Network {
+    C3f2Config::paper().build(rng)
+}
+
+/// Builds the reduced C3F2 network used for fast experimentation.
+pub fn c3f2_scaled<R: Rng + ?Sized>(rng: &mut R) -> Network {
+    C3f2Config::scaled().build(rng)
+}
+
+/// Human-readable names for a network's parametric layers, in order
+/// (`conv1`, `conv2`, …, `fc1`, `fc2`, …).
+///
+/// Used by the per-layer sensitivity experiment (Fig. 7d) to label its rows.
+pub fn parametric_layer_names(network: &Network) -> Vec<(String, usize)> {
+    let mut conv = 0;
+    let mut fc = 0;
+    network
+        .parametric_layers()
+        .into_iter()
+        .map(|index| {
+            let name = match network.layers()[index].kind() {
+                LayerKind::Conv2d => {
+                    conv += 1;
+                    format!("conv{conv}")
+                }
+                LayerKind::Linear => {
+                    fc += 1;
+                    format!("fc{fc}")
+                }
+                other => format!("{other}{index}"),
+            };
+            (name, index)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tensor;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mlp_topology_alternates_linear_and_relu() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let net = mlp(&[10, 20, 5, 2], &mut rng);
+        let kinds: Vec<LayerKind> = net.layers().iter().map(Layer::kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                LayerKind::Linear,
+                LayerKind::Relu,
+                LayerKind::Linear,
+                LayerKind::Relu,
+                LayerKind::Linear
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least an input and an output")]
+    fn mlp_rejects_single_size() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let _ = mlp(&[10], &mut rng);
+    }
+
+    #[test]
+    fn scaled_c3f2_runs_end_to_end() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let config = C3f2Config::scaled();
+        let net = config.build(&mut rng);
+        let input = Tensor::zeros(&config.input_shape());
+        let out = net.forward(&input);
+        assert_eq!(out.len(), config.actions);
+        assert_eq!(net.parametric_layers().len(), 5);
+    }
+
+    #[test]
+    fn paper_c3f2_has_five_parametric_layers_and_25_actions() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let config = C3f2Config::paper();
+        let net = config.build(&mut rng);
+        assert_eq!(net.parametric_layers().len(), 5);
+        let names = parametric_layer_names(&net);
+        let labels: Vec<&str> = names.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(labels, vec!["conv1", "conv2", "conv3", "fc1", "fc2"]);
+        // The last linear layer must emit the 25-way action distribution.
+        let last = names.last().expect("has layers").1;
+        if let Layer::Linear(linear) = &net.layers()[last] {
+            assert_eq!(linear.out_features, 25);
+        } else {
+            panic!("fc2 should be a linear layer");
+        }
+    }
+
+    #[test]
+    fn first_fc_layer_points_at_a_linear_layer() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let config = C3f2Config::scaled();
+        let net = config.build(&mut rng);
+        assert_eq!(net.layers()[config.first_fc_layer()].kind(), LayerKind::Linear);
+    }
+
+    #[test]
+    fn input_len_matches_shape() {
+        let config = C3f2Config::paper();
+        assert_eq!(config.input_len(), 3 * 103 * 103);
+        assert_eq!(config.input_shape(), [3, 103, 103]);
+    }
+
+    #[test]
+    fn layer_names_for_mlp_are_fc_only() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let net = mlp(&[4, 8, 2], &mut rng);
+        let labels: Vec<String> = parametric_layer_names(&net).into_iter().map(|(n, _)| n).collect();
+        assert_eq!(labels, vec!["fc1", "fc2"]);
+    }
+}

@@ -1,0 +1,551 @@
+use std::fmt;
+use std::ops::Range;
+
+use navft_qformat::QFormat;
+
+use crate::{Layer, LayerKind, Tensor};
+
+/// Observer/mutator hooks invoked during a forward pass.
+///
+/// Hooks are how dynamic fault injection (transient faults in activations,
+/// §3.3) and range instrumentation (the inference mitigation of §5.2) attach
+/// to the network without the network knowing about fault models.
+pub trait ForwardHooks {
+    /// Called on the input feature map before the first layer.
+    fn on_input(&mut self, values: &mut [f32]) {
+        let _ = values;
+    }
+
+    /// Called on the activation buffer produced by layer `layer_index`.
+    fn on_activation(&mut self, layer_index: usize, kind: LayerKind, values: &mut [f32]) {
+        let _ = (layer_index, kind, values);
+    }
+}
+
+/// A no-op hook set: the fault-free forward pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoHooks;
+
+impl ForwardHooks for NoHooks {}
+
+/// Records the observed value range of every activation buffer.
+///
+/// Running this over a representative set of inputs yields the per-layer
+/// `(aᵢ, bᵢ)` ranges the paper's range-based anomaly detector instruments
+/// after training.
+#[derive(Debug, Clone, Default)]
+pub struct RangeRecorder {
+    ranges: Vec<(f32, f32)>,
+}
+
+impl RangeRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> RangeRecorder {
+        RangeRecorder::default()
+    }
+
+    /// The observed `(min, max)` per layer index (empty slots are
+    /// `(inf, -inf)` if a layer was never observed).
+    pub fn ranges(&self) -> &[(f32, f32)] {
+        &self.ranges
+    }
+}
+
+impl ForwardHooks for RangeRecorder {
+    fn on_activation(&mut self, layer_index: usize, _kind: LayerKind, values: &mut [f32]) {
+        if self.ranges.len() <= layer_index {
+            self.ranges.resize(layer_index + 1, (f32::INFINITY, f32::NEG_INFINITY));
+        }
+        let (lo, hi) = &mut self.ranges[layer_index];
+        for &v in values.iter() {
+            *lo = lo.min(v);
+            *hi = hi.max(v);
+        }
+    }
+}
+
+/// A record of every intermediate activation of a forward pass, used for
+/// training.
+#[derive(Debug, Clone)]
+pub struct ForwardTrace {
+    /// `values[0]` is the input; `values[i + 1]` is the output of layer `i`.
+    pub values: Vec<Tensor>,
+}
+
+impl ForwardTrace {
+    /// The network output (the last recorded value).
+    pub fn output(&self) -> &Tensor {
+        self.values.last().expect("trace always holds the input")
+    }
+}
+
+/// A feed-forward network: an ordered stack of [`Layer`]s plus an optional
+/// activation quantization format.
+///
+/// The network exposes its weight buffers per layer and lets callers hook the
+/// activation buffers produced during a forward pass, which together form the
+/// complete fault-injection surface of the paper (input / weight / activation
+/// buffers).
+///
+/// # Examples
+///
+/// ```
+/// use navft_nn::{mlp, Tensor};
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let mut rng = SmallRng::seed_from_u64(0);
+/// let net = mlp(&[4, 8, 2], &mut rng);
+/// let out = net.forward(&Tensor::zeros(&[4]));
+/// assert_eq!(out.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Network {
+    layers: Vec<Layer>,
+    activation_format: Option<QFormat>,
+}
+
+impl Network {
+    /// Builds a network from a stack of layers.
+    pub fn new(layers: Vec<Layer>) -> Network {
+        Network { layers, activation_format: None }
+    }
+
+    /// Quantizes every activation buffer to `format` after each layer,
+    /// emulating a fixed-point accelerator datapath.
+    pub fn with_activation_format(mut self, format: QFormat) -> Network {
+        self.activation_format = Some(format);
+        self
+    }
+
+    /// The activation quantization format, if any.
+    pub fn activation_format(&self) -> Option<QFormat> {
+        self.activation_format
+    }
+
+    /// The layers of the network.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Indices of the layers that hold weights (conv and linear layers), in
+    /// network order. These are the targets of per-layer weight fault
+    /// injection (Fig. 7d).
+    pub fn parametric_layers(&self) -> Vec<usize> {
+        self.layers
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.is_parametric())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The weight buffer of layer `index`, if that layer has one.
+    pub fn layer_weights(&self, index: usize) -> Option<&[f32]> {
+        self.layers.get(index).and_then(|l| l.weights())
+    }
+
+    /// The weight buffer of layer `index`, mutably.
+    pub fn layer_weights_mut(&mut self, index: usize) -> Option<&mut Vec<f32>> {
+        self.layers.get_mut(index).and_then(|l| l.weights_mut())
+    }
+
+    /// Total number of weights across all layers.
+    pub fn weight_count(&self) -> usize {
+        self.layers.iter().filter_map(|l| l.weights().map(<[f32]>::len)).sum()
+    }
+
+    /// The range of flat weight indices occupied by layer `index` when all
+    /// weight buffers are viewed as one concatenated buffer.
+    ///
+    /// Returns an empty range for non-parametric layers.
+    pub fn weight_span(&self, index: usize) -> Range<usize> {
+        let mut start = 0;
+        for (i, layer) in self.layers.iter().enumerate() {
+            let len = layer.weights().map_or(0, <[f32]>::len);
+            if i == index {
+                return start..start + len;
+            }
+            start += len;
+        }
+        start..start
+    }
+
+    /// Copies all weights into one concatenated buffer (layer order).
+    pub fn flat_weights(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.weight_count());
+        for layer in &self.layers {
+            if let Some(w) = layer.weights() {
+                out.extend_from_slice(w);
+            }
+        }
+        out
+    }
+
+    /// Overwrites all weights from one concatenated buffer (layer order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat.len()` differs from [`Network::weight_count`].
+    pub fn set_flat_weights(&mut self, flat: &[f32]) {
+        assert_eq!(flat.len(), self.weight_count(), "flat weight buffer length mismatch");
+        let mut start = 0;
+        for layer in &mut self.layers {
+            if let Some(w) = layer.weights_mut() {
+                let len = w.len();
+                w.copy_from_slice(&flat[start..start + len]);
+                start += len;
+            }
+        }
+    }
+
+    /// Applies `f` to every weight buffer (e.g. to corrupt or re-enforce
+    /// faults), passing the layer index.
+    pub fn for_each_weight_buffer<F: FnMut(usize, &mut Vec<f32>)>(&mut self, mut f: F) {
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            if let Some(w) = layer.weights_mut() {
+                f(i, w);
+            }
+        }
+    }
+
+    /// Snaps every weight to `format` (post-training quantization).
+    pub fn quantize_weights(&mut self, format: QFormat) {
+        self.for_each_weight_buffer(|_, w| {
+            for v in w.iter_mut() {
+                *v = navft_qformat::QValue::quantize(*v, format).to_f32();
+            }
+        });
+    }
+
+    /// The `(min, max)` of each parametric layer's weights, keyed by layer
+    /// index — the instrumentation the range-based anomaly detector derives
+    /// once the policy is trained.
+    pub fn weight_ranges(&self) -> Vec<(usize, f32, f32)> {
+        self.layers
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| {
+                l.weights().map(|w| {
+                    let lo = w.iter().copied().fold(f32::INFINITY, f32::min);
+                    let hi = w.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                    (i, lo, hi)
+                })
+            })
+            .collect()
+    }
+
+    /// Runs a forward pass with no hooks.
+    pub fn forward(&self, input: &Tensor) -> Tensor {
+        self.forward_with(input, &mut NoHooks)
+    }
+
+    /// Runs a forward pass, invoking `hooks` on the input buffer and on every
+    /// layer's activation buffer.
+    pub fn forward_with<H: ForwardHooks + ?Sized>(&self, input: &Tensor, hooks: &mut H) -> Tensor {
+        let mut current = input.clone();
+        hooks.on_input(current.data_mut());
+        for (i, layer) in self.layers.iter().enumerate() {
+            current = layer.forward(&current);
+            if let Some(format) = self.activation_format {
+                for v in current.data_mut().iter_mut() {
+                    *v = navft_qformat::QValue::quantize(*v, format).to_f32();
+                }
+            }
+            hooks.on_activation(i, layer.kind(), current.data_mut());
+        }
+        current
+    }
+
+    /// Runs a forward pass recording every intermediate activation (used by
+    /// [`Network::backward_tail`]).
+    pub fn forward_traced(&self, input: &Tensor) -> ForwardTrace {
+        let mut values = Vec::with_capacity(self.layers.len() + 1);
+        values.push(input.clone());
+        let mut current = input.clone();
+        for layer in &self.layers {
+            current = layer.forward(&current);
+            values.push(current.clone());
+        }
+        ForwardTrace { values }
+    }
+
+    /// Back-propagates `output_grad` through the trailing run of
+    /// `Linear`/`Relu`/`Flatten` layers and applies an SGD update with
+    /// learning rate `lr`, training only layers with index
+    /// `>= trainable_from`.
+    ///
+    /// This covers both use cases of the paper: the Grid World MLP (all
+    /// layers are linear/ReLU) and the drone policy's transfer-learning
+    /// fine-tuning, which retrains only the last two fully-connected layers
+    /// while the convolutional feature extractor stays frozen.
+    ///
+    /// Returns the number of parametric layers that were updated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `output_grad` does not match the network output length or
+    /// the trace was produced by a different topology.
+    pub fn backward_tail(
+        &mut self,
+        trace: &ForwardTrace,
+        output_grad: &[f32],
+        lr: f32,
+        trainable_from: usize,
+    ) -> usize {
+        assert_eq!(
+            trace.values.len(),
+            self.layers.len() + 1,
+            "trace does not match network topology"
+        );
+        assert_eq!(
+            output_grad.len(),
+            trace.output().len(),
+            "output gradient length mismatch"
+        );
+        let mut grad = output_grad.to_vec();
+        let mut updated = 0;
+        for index in (0..self.layers.len()).rev() {
+            let input = &trace.values[index];
+            match &mut self.layers[index] {
+                Layer::Linear(linear) => {
+                    let x = input.data();
+                    let mut input_grad = vec![0.0f32; linear.in_features];
+                    for o in 0..linear.out_features {
+                        let g = grad[o];
+                        let row_start = o * linear.in_features;
+                        if index >= trainable_from {
+                            linear.bias[o] -= lr * g;
+                        }
+                        for j in 0..linear.in_features {
+                            input_grad[j] += linear.weights[row_start + j] * g;
+                            if index >= trainable_from {
+                                linear.weights[row_start + j] -= lr * g * x[j];
+                            }
+                        }
+                    }
+                    if index >= trainable_from {
+                        updated += 1;
+                    }
+                    grad = input_grad;
+                }
+                Layer::Relu => {
+                    for (g, &x) in grad.iter_mut().zip(input.data().iter()) {
+                        if x <= 0.0 {
+                            *g = 0.0;
+                        }
+                    }
+                }
+                Layer::Flatten => {
+                    // Shape-only change: the gradient passes through unchanged.
+                }
+                Layer::Conv2d(_) | Layer::MaxPool2d(_) => {
+                    // The frozen feature extractor: stop back-propagation here.
+                    break;
+                }
+            }
+            if index == 0 {
+                break;
+            }
+        }
+        updated
+    }
+}
+
+impl fmt::Display for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Network[")?;
+        for (i, layer) in self.layers.iter().enumerate() {
+            if i > 0 {
+                write!(f, " -> ")?;
+            }
+            write!(f, "{}", layer.kind())?;
+        }
+        write!(f, "] ({} weights)", self.weight_count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Linear;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn tiny_mlp(seed: u64) -> Network {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        crate::mlp(&[3, 8, 2], &mut rng)
+    }
+
+    #[test]
+    fn forward_produces_output_of_last_layer_size() {
+        let net = tiny_mlp(0);
+        let out = net.forward(&Tensor::from_vec(&[3], vec![0.1, -0.2, 0.3]));
+        assert_eq!(out.shape(), &[2]);
+    }
+
+    #[test]
+    fn parametric_layers_and_weight_spans() {
+        let net = tiny_mlp(0);
+        let params = net.parametric_layers();
+        assert_eq!(params.len(), 2);
+        let span0 = net.weight_span(params[0]);
+        let span1 = net.weight_span(params[1]);
+        assert_eq!(span0.len(), 3 * 8);
+        assert_eq!(span1.len(), 8 * 2);
+        assert_eq!(span1.start, span0.end);
+        assert_eq!(net.weight_count(), 3 * 8 + 8 * 2);
+    }
+
+    #[test]
+    fn flat_weights_roundtrip() {
+        let mut net = tiny_mlp(1);
+        let flat = net.flat_weights();
+        let mut modified = flat.clone();
+        modified[0] = 123.0;
+        net.set_flat_weights(&modified);
+        assert_eq!(net.flat_weights()[0], 123.0);
+        assert_eq!(net.flat_weights()[1..], flat[1..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn set_flat_weights_rejects_wrong_length() {
+        let mut net = tiny_mlp(1);
+        net.set_flat_weights(&[0.0; 3]);
+    }
+
+    #[test]
+    fn hooks_see_and_can_mutate_activations() {
+        struct Zeroer {
+            calls: usize,
+        }
+        impl ForwardHooks for Zeroer {
+            fn on_activation(&mut self, _i: usize, kind: LayerKind, values: &mut [f32]) {
+                self.calls += 1;
+                if kind == LayerKind::Linear {
+                    values.iter_mut().for_each(|v| *v = 0.0);
+                }
+            }
+        }
+        let net = tiny_mlp(2);
+        let mut hook = Zeroer { calls: 0 };
+        let out = net.forward_with(&Tensor::from_vec(&[3], vec![1.0, 1.0, 1.0]), &mut hook);
+        assert_eq!(hook.calls, net.num_layers());
+        assert!(out.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn range_recorder_collects_per_layer_ranges() {
+        let net = tiny_mlp(3);
+        let mut recorder = RangeRecorder::new();
+        for i in 0..5 {
+            let x = Tensor::full(&[3], i as f32 * 0.1);
+            net.forward_with(&x, &mut recorder);
+        }
+        assert_eq!(recorder.ranges().len(), net.num_layers());
+        for &(lo, hi) in recorder.ranges() {
+            assert!(lo <= hi);
+        }
+    }
+
+    #[test]
+    fn quantize_weights_snaps_to_format() {
+        let mut net = tiny_mlp(4);
+        net.quantize_weights(QFormat::Q3_4);
+        for &w in net.flat_weights().iter() {
+            let snapped = navft_qformat::QValue::quantize(w, QFormat::Q3_4).to_f32();
+            assert_eq!(w, snapped);
+        }
+    }
+
+    #[test]
+    fn activation_format_quantizes_outputs() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let net = crate::mlp(&[2, 2], &mut rng).with_activation_format(QFormat::Q3_4);
+        assert_eq!(net.activation_format(), Some(QFormat::Q3_4));
+        let out = net.forward(&Tensor::from_vec(&[2], vec![0.33, 0.77]));
+        for &v in out.data() {
+            assert_eq!(v, navft_qformat::QValue::quantize(v, QFormat::Q3_4).to_f32());
+        }
+    }
+
+    #[test]
+    fn weight_ranges_cover_parametric_layers() {
+        let net = tiny_mlp(6);
+        let ranges = net.weight_ranges();
+        assert_eq!(ranges.len(), 2);
+        for (_, lo, hi) in ranges {
+            assert!(lo < hi);
+        }
+    }
+
+    #[test]
+    fn backward_tail_reduces_regression_loss() {
+        // Train y = W x to map [1, 0] -> [1, -1] with SGD steps.
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut net = crate::mlp(&[2, 8, 2], &mut rng);
+        let x = Tensor::from_vec(&[2], vec![1.0, 0.0]);
+        let target = [1.0f32, -1.0];
+        let loss = |net: &Network| -> f32 {
+            let out = net.forward(&x);
+            out.data().iter().zip(target.iter()).map(|(o, t)| (o - t).powi(2)).sum()
+        };
+        let before = loss(&net);
+        for _ in 0..200 {
+            let trace = net.forward_traced(&x);
+            let out = trace.output().data().to_vec();
+            let grad: Vec<f32> =
+                out.iter().zip(target.iter()).map(|(o, t)| 2.0 * (o - t)).collect();
+            let updated = net.backward_tail(&trace, &grad, 0.05, 0);
+            assert_eq!(updated, 2);
+        }
+        let after = loss(&net);
+        assert!(after < before * 0.05, "loss should shrink: before {before}, after {after}");
+    }
+
+    #[test]
+    fn backward_tail_respects_trainable_from() {
+        let mut net = tiny_mlp(8);
+        let first_linear = net.parametric_layers()[0];
+        let last_linear = net.parametric_layers()[1];
+        let frozen_before = net.layer_weights(first_linear).expect("weights").to_vec();
+        let x = Tensor::from_vec(&[3], vec![0.5, -0.5, 1.0]);
+        let trace = net.forward_traced(&x);
+        let grad = vec![1.0f32; 2];
+        let updated = net.backward_tail(&trace, &grad, 0.1, last_linear);
+        assert_eq!(updated, 1);
+        assert_eq!(net.layer_weights(first_linear).expect("weights"), frozen_before.as_slice());
+    }
+
+    #[test]
+    fn backward_stops_at_conv_layers() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let conv = crate::layer::Conv2d::new(1, 2, 2, 1, &mut rng);
+        let conv_weights = conv.weights.clone();
+        let mut net = Network::new(vec![
+            Layer::Conv2d(conv),
+            Layer::Relu,
+            Layer::Flatten,
+            Layer::Linear(Linear::new(2 * 1 * 1, 2, &mut rng)),
+        ]);
+        let x = Tensor::full(&[1, 2, 2], 0.5);
+        let trace = net.forward_traced(&x);
+        let updated = net.backward_tail(&trace, &[0.5, -0.5], 0.1, 0);
+        assert_eq!(updated, 1);
+        assert_eq!(net.layer_weights(0).expect("conv weights"), conv_weights.as_slice());
+    }
+
+    #[test]
+    fn display_lists_layer_kinds() {
+        let net = tiny_mlp(10);
+        let text = net.to_string();
+        assert!(text.contains("linear"));
+        assert!(text.contains("relu"));
+        assert!(text.contains("weights"));
+    }
+}

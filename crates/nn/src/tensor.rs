@@ -1,0 +1,247 @@
+use std::fmt;
+
+use rand::Rng;
+
+/// A dense row-major `f32` tensor.
+///
+/// Shapes follow the `[channels, height, width]` convention for images and
+/// `[features]` for vectors. The tensor intentionally exposes its flat data
+/// buffer ([`Tensor::data`] / [`Tensor::data_mut`]) because the fault model of
+/// the paper corrupts the *memory buffers* holding feature maps, weights and
+/// activations.
+///
+/// # Examples
+///
+/// ```
+/// use navft_nn::Tensor;
+///
+/// let mut t = Tensor::zeros(&[2, 3]);
+/// t.data_mut()[4] = 1.5;
+/// assert_eq!(t.get(&[1, 1]), 1.5);
+/// assert_eq!(t.len(), 6);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// A tensor of the given shape filled with zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is empty or has a zero dimension.
+    pub fn zeros(shape: &[usize]) -> Tensor {
+        assert!(!shape.is_empty(), "tensor shape must have at least one dimension");
+        assert!(shape.iter().all(|&d| d > 0), "tensor dimensions must be non-zero");
+        let len = shape.iter().product();
+        Tensor { shape: shape.to_vec(), data: vec![0.0; len] }
+    }
+
+    /// A tensor of the given shape filled with `value`.
+    pub fn full(shape: &[usize], value: f32) -> Tensor {
+        let mut t = Tensor::zeros(shape);
+        t.data.iter_mut().for_each(|v| *v = value);
+        t
+    }
+
+    /// Builds a tensor from a flat buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the product of `shape`.
+    pub fn from_vec(shape: &[usize], data: Vec<f32>) -> Tensor {
+        let expected: usize = shape.iter().product();
+        assert_eq!(data.len(), expected, "data length {} does not match shape {:?}", data.len(), shape);
+        assert!(!shape.is_empty(), "tensor shape must have at least one dimension");
+        Tensor { shape: shape.to_vec(), data }
+    }
+
+    /// A tensor with elements drawn uniformly from `[-scale, scale]`.
+    pub fn uniform<R: Rng + ?Sized>(shape: &[usize], scale: f32, rng: &mut R) -> Tensor {
+        let mut t = Tensor::zeros(shape);
+        for v in t.data.iter_mut() {
+            *v = rng.gen_range(-scale..=scale);
+        }
+        t
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements (never true for a valid tensor).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The flat data buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// The flat data buffer, mutably — the fault-injection surface.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its flat buffer.
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index rank or any coordinate is out of range.
+    pub fn get(&self, index: &[usize]) -> f32 {
+        self.data[self.flat_index(index)]
+    }
+
+    /// Sets the element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index rank or any coordinate is out of range.
+    pub fn set(&mut self, index: &[usize], value: f32) {
+        let i = self.flat_index(index);
+        self.data[i] = value;
+    }
+
+    /// Returns a tensor with the same data and a new shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new shape has a different element count.
+    pub fn reshape(&self, shape: &[usize]) -> Tensor {
+        Tensor::from_vec(shape, self.data.clone())
+    }
+
+    /// Applies `f` to every element, returning a new tensor.
+    pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Tensor {
+        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&v| f(v)).collect() }
+    }
+
+    /// Index of the maximum element (ties resolve to the first).
+    ///
+    /// Returns 0 for a single-element tensor; never panics for valid tensors.
+    pub fn argmax(&self) -> usize {
+        let mut best = 0;
+        for (i, &v) in self.data.iter().enumerate() {
+            if v > self.data[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// The maximum element.
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// The minimum element.
+    pub fn min(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    fn flat_index(&self, index: &[usize]) -> usize {
+        assert_eq!(index.len(), self.shape.len(), "index rank mismatch");
+        let mut flat = 0;
+        for (dim, (&i, &d)) in index.iter().zip(self.shape.iter()).enumerate() {
+            assert!(i < d, "index {i} out of range for dimension {dim} of extent {d}");
+            flat = flat * d + i;
+        }
+        flat
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor {{ shape: {:?}, {} elements }}", self.shape, self.data.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zeros_and_full() {
+        let z = Tensor::zeros(&[2, 2]);
+        assert_eq!(z.data(), &[0.0; 4]);
+        let f = Tensor::full(&[3], 2.5);
+        assert_eq!(f.data(), &[2.5, 2.5, 2.5]);
+    }
+
+    #[test]
+    fn indexing_is_row_major() {
+        let t = Tensor::from_vec(&[2, 3], (0..6).map(|i| i as f32).collect());
+        assert_eq!(t.get(&[0, 0]), 0.0);
+        assert_eq!(t.get(&[0, 2]), 2.0);
+        assert_eq!(t.get(&[1, 0]), 3.0);
+        assert_eq!(t.get(&[1, 2]), 5.0);
+    }
+
+    #[test]
+    fn set_and_get_roundtrip() {
+        let mut t = Tensor::zeros(&[2, 2, 2]);
+        t.set(&[1, 0, 1], 7.0);
+        assert_eq!(t.get(&[1, 0, 1]), 7.0);
+        assert_eq!(t.data()[5], 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_index_panics() {
+        let t = Tensor::zeros(&[2, 2]);
+        let _ = t.get(&[0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_length_mismatch_panics() {
+        let _ = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(&[2, 3], (0..6).map(|i| i as f32).collect());
+        let r = t.reshape(&[6]);
+        assert_eq!(r.shape(), &[6]);
+        assert_eq!(r.data(), t.data());
+    }
+
+    #[test]
+    fn map_and_extrema_and_argmax() {
+        let t = Tensor::from_vec(&[4], vec![-1.0, 3.0, 2.0, 3.0]);
+        assert_eq!(t.map(|v| v * 2.0).data(), &[-2.0, 6.0, 4.0, 6.0]);
+        assert_eq!(t.max(), 3.0);
+        assert_eq!(t.min(), -1.0);
+        assert_eq!(t.argmax(), 1);
+    }
+
+    #[test]
+    fn uniform_respects_scale() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let t = Tensor::uniform(&[100], 0.5, &mut rng);
+        assert!(t.data().iter().all(|v| v.abs() <= 0.5));
+        assert!(t.data().iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn into_data_returns_buffer() {
+        let t = Tensor::from_vec(&[2], vec![1.0, 2.0]);
+        assert_eq!(t.into_data(), vec![1.0, 2.0]);
+    }
+}

@@ -1,0 +1,259 @@
+//! Bit-population and value-distribution statistics over quantized words.
+//!
+//! Fig. 2b and Fig. 2d of the paper explain the asymmetry between stuck-at-0
+//! and stuck-at-1 faults by looking at the trained policies' bit populations:
+//! trained neural-network weights contain roughly 7× more `0` bits than `1`
+//! bits, so forcing bits to `1` corrupts far more state than forcing them to
+//! `0`. This module reproduces those statistics.
+
+use crate::{QFormat, QValue};
+
+/// Bit-population statistics over a collection of quantized words.
+///
+/// # Examples
+///
+/// ```
+/// use navft_qformat::{QFormat, QValue, bitstats::BitStats};
+///
+/// let words: Vec<QValue> = [0.0f32, 0.5, -1.0]
+///     .iter()
+///     .map(|&v| QValue::quantize(v, QFormat::Q3_4))
+///     .collect();
+/// let stats = BitStats::from_values(&words);
+/// assert_eq!(stats.total_bits(), 24);
+/// assert!(stats.zero_fraction() > 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BitStats {
+    ones: u64,
+    zeros: u64,
+}
+
+impl BitStats {
+    /// Creates empty statistics.
+    pub fn new() -> BitStats {
+        BitStats::default()
+    }
+
+    /// Computes statistics over a slice of quantized words.
+    pub fn from_values(values: &[QValue]) -> BitStats {
+        let mut stats = BitStats::new();
+        stats.extend(values.iter().copied());
+        stats
+    }
+
+    /// Computes statistics over raw `f32` values quantized on the fly.
+    pub fn from_f32<I: IntoIterator<Item = f32>>(values: I, format: QFormat) -> BitStats {
+        let mut stats = BitStats::new();
+        stats.extend(values.into_iter().map(|v| QValue::quantize(v, format)));
+        stats
+    }
+
+    /// Adds more words to the statistics.
+    pub fn extend<I: IntoIterator<Item = QValue>>(&mut self, values: I) {
+        for value in values {
+            self.ones += u64::from(value.count_ones());
+            self.zeros += u64::from(value.count_zeros());
+        }
+    }
+
+    /// Number of `1` bits observed.
+    pub fn ones(&self) -> u64 {
+        self.ones
+    }
+
+    /// Number of `0` bits observed.
+    pub fn zeros(&self) -> u64 {
+        self.zeros
+    }
+
+    /// Total number of bits observed.
+    pub fn total_bits(&self) -> u64 {
+        self.ones + self.zeros
+    }
+
+    /// Fraction of bits that are `0` (in `[0, 1]`; 0 for empty statistics).
+    pub fn zero_fraction(&self) -> f64 {
+        if self.total_bits() == 0 {
+            0.0
+        } else {
+            self.zeros as f64 / self.total_bits() as f64
+        }
+    }
+
+    /// Fraction of bits that are `1`.
+    pub fn one_fraction(&self) -> f64 {
+        if self.total_bits() == 0 {
+            0.0
+        } else {
+            self.ones as f64 / self.total_bits() as f64
+        }
+    }
+
+    /// Ratio of `0` bits to `1` bits (the paper reports 7.17× for NN weights
+    /// and 3.18× for tabular values). Returns `f64::INFINITY` if there are no
+    /// `1` bits.
+    pub fn zero_to_one_ratio(&self) -> f64 {
+        if self.ones == 0 {
+            f64::INFINITY
+        } else {
+            self.zeros as f64 / self.ones as f64
+        }
+    }
+}
+
+/// A fixed-width histogram of dequantized values, reproducing the value
+/// distributions of Fig. 2b/2d.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValueHistogram {
+    lo: f32,
+    hi: f32,
+    counts: Vec<u64>,
+    min_seen: f32,
+    max_seen: f32,
+    total: u64,
+}
+
+impl ValueHistogram {
+    /// Creates a histogram with `bins` equal-width bins spanning `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `lo >= hi`.
+    pub fn new(lo: f32, hi: f32, bins: usize) -> ValueHistogram {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo < hi, "histogram range must be non-empty");
+        ValueHistogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            min_seen: f32::INFINITY,
+            max_seen: f32::NEG_INFINITY,
+            total: 0,
+        }
+    }
+
+    /// Records one value; out-of-range values clamp to the edge bins.
+    pub fn record(&mut self, value: f32) {
+        let bins = self.counts.len();
+        let t = ((value - self.lo) / (self.hi - self.lo)).clamp(0.0, 1.0);
+        let idx = ((t * bins as f32) as usize).min(bins - 1);
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.min_seen = self.min_seen.min(value);
+        self.max_seen = self.max_seen.max(value);
+    }
+
+    /// Records every value of an iterator.
+    pub fn record_all<I: IntoIterator<Item = f32>>(&mut self, values: I) {
+        for v in values {
+            self.record(v);
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// The centre of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f32 {
+        let width = (self.hi - self.lo) / self.counts.len() as f32;
+        self.lo + width * (i as f32 + 0.5)
+    }
+
+    /// Smallest value recorded, or `None` if the histogram is empty.
+    pub fn min(&self) -> Option<f32> {
+        (self.total > 0).then_some(self.min_seen)
+    }
+
+    /// Largest value recorded, or `None` if the histogram is empty.
+    pub fn max(&self) -> Option<f32> {
+        (self.total > 0).then_some(self.max_seen)
+    }
+
+    /// Total number of recorded values.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitstats_on_zero_values_are_all_zero_bits() {
+        let zeros = vec![QValue::quantize(0.0, QFormat::Q3_4); 10];
+        let stats = BitStats::from_values(&zeros);
+        assert_eq!(stats.ones(), 0);
+        assert_eq!(stats.zeros(), 80);
+        assert_eq!(stats.zero_fraction(), 1.0);
+        assert_eq!(stats.zero_to_one_ratio(), f64::INFINITY);
+    }
+
+    #[test]
+    fn bitstats_fractions_sum_to_one() {
+        let values: Vec<QValue> =
+            (-8..8).map(|i| QValue::quantize(i as f32 * 0.5, QFormat::Q3_4)).collect();
+        let stats = BitStats::from_values(&values);
+        assert!((stats.zero_fraction() + stats.one_fraction() - 1.0).abs() < 1e-12);
+        assert_eq!(stats.total_bits(), 16 * 8);
+    }
+
+    #[test]
+    fn sparse_weights_have_more_zero_bits() {
+        // Small-magnitude non-negative weights (like post-ReLU activations and
+        // pruned/near-zero NN weights) produce mostly 0 bits.
+        let sparse = BitStats::from_f32((0..100).map(|i| i as f32 * 0.001), QFormat::Q4_11);
+        assert!(sparse.zero_to_one_ratio() > 2.0);
+    }
+
+    #[test]
+    fn empty_bitstats_report_zero_fractions() {
+        let stats = BitStats::new();
+        assert_eq!(stats.zero_fraction(), 0.0);
+        assert_eq!(stats.one_fraction(), 0.0);
+    }
+
+    #[test]
+    fn histogram_counts_and_extrema() {
+        let mut h = ValueHistogram::new(-8.0, 8.0, 16);
+        h.record_all([-8.0, 0.0, 7.5, 7.5]);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.min(), Some(-8.0));
+        assert_eq!(h.max(), Some(7.5));
+        assert_eq!(h.counts().iter().sum::<u64>(), 4);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[15], 2);
+    }
+
+    #[test]
+    fn histogram_clamps_out_of_range() {
+        let mut h = ValueHistogram::new(0.0, 1.0, 4);
+        h.record(-5.0);
+        h.record(5.0);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[3], 1);
+    }
+
+    #[test]
+    fn histogram_bin_center() {
+        let h = ValueHistogram::new(0.0, 4.0, 4);
+        assert_eq!(h.bin_center(0), 0.5);
+        assert_eq!(h.bin_center(3), 3.5);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_extrema() {
+        let h = ValueHistogram::new(0.0, 1.0, 2);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn histogram_rejects_zero_bins() {
+        let _ = ValueHistogram::new(0.0, 1.0, 0);
+    }
+}

@@ -1,0 +1,64 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for fixed-point format construction and bit-level access.
+///
+/// Returned by [`QFormat::new`](crate::QFormat::new) and the bit-manipulation
+/// methods on [`QValue`](crate::QValue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FormatError {
+    /// The requested format does not fit in the 32-bit backing word or has no
+    /// value bits at all.
+    InvalidFormat {
+        /// Requested number of integer bits.
+        int_bits: u8,
+        /// Requested number of fractional bits.
+        frac_bits: u8,
+    },
+    /// A bit index was outside `0..total_bits`.
+    BitIndexOutOfRange {
+        /// The offending bit index.
+        index: u8,
+        /// The number of bits in the word.
+        total_bits: u8,
+    },
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            FormatError::InvalidFormat { int_bits, frac_bits } => write!(
+                f,
+                "invalid fixed-point format Q(1,{int_bits},{frac_bits}): total width must be in 2..=32 bits"
+            ),
+            FormatError::BitIndexOutOfRange { index, total_bits } => write!(
+                f,
+                "bit index {index} out of range for a {total_bits}-bit word"
+            ),
+        }
+    }
+}
+
+impl Error for FormatError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = FormatError::InvalidFormat { int_bits: 40, frac_bits: 40 };
+        let msg = format!("{e}");
+        assert!(msg.contains("Q(1,40,40)"));
+        assert!(msg.starts_with("invalid"));
+
+        let e = FormatError::BitIndexOutOfRange { index: 9, total_bits: 8 };
+        assert!(format!("{e}").contains("bit index 9"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FormatError>();
+    }
+}

@@ -1,0 +1,231 @@
+use std::fmt;
+
+use crate::FormatError;
+
+/// A signed fixed-point format `Q(1, int, frac)`: one sign bit, `int` integer
+/// bits and `frac` fractional bits, stored in two's complement.
+///
+/// The total word width is `1 + int + frac` bits and must be between 2 and 32.
+/// Values span `[-2^int, 2^int - 2^-frac]` with a resolution of `2^-frac`.
+///
+/// The paper evaluates three 16-bit formats for the drone policy network
+/// (Fig. 7e) — [`QFormat::Q4_11`], [`QFormat::Q7_8`], [`QFormat::Q10_5`] — and
+/// an 8-bit format for Grid World policies, which we model as
+/// [`QFormat::Q3_4`] (range `[-8, 7.9375]`, matching the value histograms in
+/// Fig. 2b/2d).
+///
+/// # Examples
+///
+/// ```
+/// use navft_qformat::QFormat;
+///
+/// let fmt = QFormat::Q4_11;
+/// assert_eq!(fmt.total_bits(), 16);
+/// assert_eq!(fmt.max_value(), 16.0 - fmt.resolution());
+/// assert_eq!(fmt.min_value(), -16.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QFormat {
+    int_bits: u8,
+    frac_bits: u8,
+}
+
+impl QFormat {
+    /// The 16-bit `Q(1,4,11)` format: range `[-16, 16)`, resolution `2^-11`.
+    ///
+    /// The narrowest of the three drone-policy formats in Fig. 7e and the most
+    /// fault-resilient one because its integer bits only cover the range the
+    /// trained weights actually use.
+    pub const Q4_11: QFormat = QFormat { int_bits: 4, frac_bits: 11 };
+
+    /// The 16-bit `Q(1,7,8)` format: range `[-128, 128)`, resolution `2^-8`.
+    pub const Q7_8: QFormat = QFormat { int_bits: 7, frac_bits: 8 };
+
+    /// The 16-bit `Q(1,10,5)` format: range `[-1024, 1024)`, resolution `2^-5`.
+    ///
+    /// The widest-range format in Fig. 7e; a flipped MSB produces the largest
+    /// deviation, which is why it is the least resilient.
+    pub const Q10_5: QFormat = QFormat { int_bits: 10, frac_bits: 5 };
+
+    /// The 8-bit `Q(1,3,4)` format: range `[-8, 8)`, resolution `2^-4`.
+    ///
+    /// Used for the 8-bit quantized Grid World policies (tabular values and
+    /// MLP weights); its range matches the value histograms of Fig. 2b/2d
+    /// (tabular minimum −8, maximum 7.625).
+    pub const Q3_4: QFormat = QFormat { int_bits: 3, frac_bits: 4 };
+
+    /// The 8-bit `Q(1,2,5)` format: range `[-4, 4)`, resolution `2^-5`.
+    ///
+    /// An extra-narrow format used by the data-type ablation extension.
+    pub const Q2_5: QFormat = QFormat { int_bits: 2, frac_bits: 5 };
+
+    /// The 16-bit `Q(1,2,13)` format used by the extended data-type ablation.
+    pub const Q2_13: QFormat = QFormat { int_bits: 2, frac_bits: 13 };
+
+    /// Creates a format with `int_bits` integer bits and `frac_bits`
+    /// fractional bits (plus the implicit sign bit).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::InvalidFormat`] if the total width
+    /// `1 + int_bits + frac_bits` is larger than 32 bits or smaller than 2.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use navft_qformat::QFormat;
+    /// # fn main() -> Result<(), navft_qformat::FormatError> {
+    /// let fmt = QFormat::new(7, 8)?;
+    /// assert_eq!(fmt, QFormat::Q7_8);
+    /// assert!(QFormat::new(40, 0).is_err());
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn new(int_bits: u8, frac_bits: u8) -> Result<QFormat, FormatError> {
+        let total = 1u16 + u16::from(int_bits) + u16::from(frac_bits);
+        if !(2..=32).contains(&total) {
+            return Err(FormatError::InvalidFormat { int_bits, frac_bits });
+        }
+        Ok(QFormat { int_bits, frac_bits })
+    }
+
+    /// Number of integer bits (excluding the sign bit).
+    #[inline]
+    pub fn int_bits(&self) -> u8 {
+        self.int_bits
+    }
+
+    /// Number of fractional bits.
+    #[inline]
+    pub fn frac_bits(&self) -> u8 {
+        self.frac_bits
+    }
+
+    /// Total word width in bits, including the sign bit.
+    #[inline]
+    pub fn total_bits(&self) -> u8 {
+        1 + self.int_bits + self.frac_bits
+    }
+
+    /// The smallest positive increment representable in this format,
+    /// `2^-frac_bits`.
+    #[inline]
+    pub fn resolution(&self) -> f32 {
+        (2.0f32).powi(-i32::from(self.frac_bits))
+    }
+
+    /// The largest representable value, `2^int_bits - 2^-frac_bits`.
+    #[inline]
+    pub fn max_value(&self) -> f32 {
+        (2.0f32).powi(i32::from(self.int_bits)) - self.resolution()
+    }
+
+    /// The smallest (most negative) representable value, `-2^int_bits`.
+    #[inline]
+    pub fn min_value(&self) -> f32 {
+        -(2.0f32).powi(i32::from(self.int_bits))
+    }
+
+    /// The raw two's-complement integer corresponding to [`max_value`].
+    ///
+    /// [`max_value`]: QFormat::max_value
+    #[inline]
+    pub fn max_raw(&self) -> i32 {
+        (1i32 << (self.total_bits() - 1)) - 1
+    }
+
+    /// The raw two's-complement integer corresponding to [`min_value`].
+    ///
+    /// [`min_value`]: QFormat::min_value
+    #[inline]
+    pub fn min_raw(&self) -> i32 {
+        -(1i32 << (self.total_bits() - 1))
+    }
+
+    /// Mask covering the sign bit and the integer bits of the word.
+    ///
+    /// Range-based anomaly detection (the paper's inference mitigation) only
+    /// compares these bits because faults confined to the fractional part
+    /// cause deviations smaller than the detection margin.
+    #[inline]
+    pub fn sign_and_integer_mask(&self) -> u32 {
+        let total = u32::from(self.total_bits());
+        let frac = u32::from(self.frac_bits);
+        let word_mask = if total == 32 { u32::MAX } else { (1u32 << total) - 1 };
+        word_mask & !((1u32 << frac) - 1)
+    }
+
+    /// Index of the sign bit (the most significant bit of the word).
+    #[inline]
+    pub fn sign_bit(&self) -> u8 {
+        self.total_bits() - 1
+    }
+}
+
+impl Default for QFormat {
+    /// Defaults to the 8-bit [`QFormat::Q3_4`] format used by the Grid World
+    /// experiments.
+    fn default() -> Self {
+        QFormat::Q3_4
+    }
+}
+
+impl fmt::Display for QFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q(1,{},{})", self.int_bits, self.frac_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_expected_widths() {
+        assert_eq!(QFormat::Q4_11.total_bits(), 16);
+        assert_eq!(QFormat::Q7_8.total_bits(), 16);
+        assert_eq!(QFormat::Q10_5.total_bits(), 16);
+        assert_eq!(QFormat::Q3_4.total_bits(), 8);
+        assert_eq!(QFormat::Q2_13.total_bits(), 16);
+    }
+
+    #[test]
+    fn ranges_match_definition() {
+        let f = QFormat::Q3_4;
+        assert_eq!(f.min_value(), -8.0);
+        assert_eq!(f.max_value(), 8.0 - 0.0625);
+        assert_eq!(f.resolution(), 0.0625);
+        assert_eq!(f.max_raw(), 127);
+        assert_eq!(f.min_raw(), -128);
+    }
+
+    #[test]
+    fn new_rejects_oversized_formats() {
+        assert!(QFormat::new(20, 20).is_err());
+        assert!(QFormat::new(31, 1).is_err());
+        assert!(QFormat::new(0, 0).is_err());
+        assert!(QFormat::new(31, 0).is_ok());
+        assert!(QFormat::new(0, 1).is_ok());
+    }
+
+    #[test]
+    fn sign_and_integer_mask_covers_top_bits() {
+        let f = QFormat::Q3_4; // 8 bits: sssi iiff -> 1 sign + 3 int + 4 frac
+        assert_eq!(f.sign_and_integer_mask(), 0b1111_0000);
+        assert_eq!(f.sign_bit(), 7);
+
+        let f = QFormat::Q4_11;
+        assert_eq!(f.sign_and_integer_mask(), 0b1111_1000_0000_0000);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(QFormat::Q4_11.to_string(), "Q(1,4,11)");
+        assert_eq!(QFormat::Q10_5.to_string(), "Q(1,10,5)");
+    }
+
+    #[test]
+    fn default_is_grid_world_format() {
+        assert_eq!(QFormat::default(), QFormat::Q3_4);
+    }
+}

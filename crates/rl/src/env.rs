@@ -1,0 +1,159 @@
+use navft_nn::Tensor;
+
+/// One transition of a discrete-state environment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiscreteTransition {
+    /// Index of the state the environment moved to.
+    pub next_state: usize,
+    /// Reward obtained for the transition.
+    pub reward: f32,
+    /// Whether the episode terminated (goal reached or agent trapped).
+    pub terminal: bool,
+    /// Whether the terminal state is the goal (success).
+    pub reached_goal: bool,
+}
+
+/// A navigation task over a finite state space (the Grid World of §4.1).
+///
+/// States and actions are plain indices so the same environment drives both
+/// the tabular and the neural-network (one-hot encoded) policies.
+pub trait DiscreteEnvironment {
+    /// Number of distinct states (`|S|`).
+    fn num_states(&self) -> usize;
+
+    /// Number of discrete actions (`|A|`).
+    fn num_actions(&self) -> usize;
+
+    /// Resets the episode and returns the initial state index.
+    fn reset(&mut self) -> usize;
+
+    /// Applies `action` and returns the resulting transition.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `action >= num_actions()`.
+    fn step(&mut self, action: usize) -> DiscreteTransition;
+}
+
+/// One transition of a vision-based environment.
+#[derive(Debug, Clone)]
+pub struct VisionTransition {
+    /// The next camera observation.
+    pub observation: Tensor,
+    /// Reward obtained for the transition.
+    pub reward: f32,
+    /// Whether the episode terminated (collision).
+    pub terminal: bool,
+    /// Distance travelled during this step, in metres.
+    pub distance: f32,
+}
+
+/// A navigation task observed through a camera (the drone task of §4.2).
+///
+/// There is no goal state: the agent flies until it collides, and quality of
+/// flight is the distance covered before the collision (Mean Safe Flight).
+pub trait VisionEnvironment {
+    /// Shape of the observation tensor, `[channels, height, width]`.
+    fn observation_shape(&self) -> [usize; 3];
+
+    /// Number of discrete actions.
+    fn num_actions(&self) -> usize;
+
+    /// Resets the episode and returns the initial observation.
+    fn reset(&mut self) -> Tensor;
+
+    /// Applies `action` and returns the resulting transition.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `action >= num_actions()`.
+    fn step(&mut self, action: usize) -> VisionTransition;
+}
+
+/// Encodes a discrete state index as a one-hot tensor, the input encoding the
+/// NN-based Grid World policy uses.
+///
+/// # Panics
+///
+/// Panics if `state >= num_states`.
+///
+/// # Examples
+///
+/// ```
+/// use navft_rl::one_hot;
+///
+/// let x = one_hot(2, 4);
+/// assert_eq!(x.data(), &[0.0, 0.0, 1.0, 0.0]);
+/// ```
+pub fn one_hot(state: usize, num_states: usize) -> Tensor {
+    assert!(state < num_states, "state {state} out of range for {num_states} states");
+    let mut t = Tensor::zeros(&[num_states]);
+    t.data_mut()[state] = 1.0;
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_hot_sets_exactly_one_element() {
+        let t = one_hot(0, 3);
+        assert_eq!(t.data(), &[1.0, 0.0, 0.0]);
+        assert_eq!(one_hot(2, 3).data(), &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn one_hot_rejects_out_of_range_state() {
+        let _ = one_hot(3, 3);
+    }
+
+    /// A tiny deterministic corridor used to exercise the trait from tests in
+    /// this crate: states 0..n, action 0 moves right, action 1 moves left.
+    pub struct Corridor {
+        pub n: usize,
+        pub position: usize,
+    }
+
+    impl DiscreteEnvironment for Corridor {
+        fn num_states(&self) -> usize {
+            self.n
+        }
+        fn num_actions(&self) -> usize {
+            2
+        }
+        fn reset(&mut self) -> usize {
+            self.position = 0;
+            0
+        }
+        fn step(&mut self, action: usize) -> DiscreteTransition {
+            if action == 0 {
+                self.position = (self.position + 1).min(self.n - 1);
+            } else {
+                self.position = self.position.saturating_sub(1);
+            }
+            let reached_goal = self.position == self.n - 1;
+            DiscreteTransition {
+                next_state: self.position,
+                reward: if reached_goal { 1.0 } else { 0.0 },
+                terminal: reached_goal,
+                reached_goal,
+            }
+        }
+    }
+
+    #[test]
+    fn corridor_reaches_goal_moving_right() {
+        let mut env = Corridor { n: 4, position: 0 };
+        assert_eq!(env.reset(), 0);
+        let mut last = None;
+        for _ in 0..3 {
+            last = Some(env.step(0));
+        }
+        let last = last.expect("stepped");
+        assert!(last.terminal);
+        assert!(last.reached_goal);
+        assert_eq!(last.reward, 1.0);
+    }
+}

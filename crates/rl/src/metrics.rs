@@ -1,0 +1,185 @@
+use std::fmt;
+
+/// The outcome of a single training or evaluation episode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpisodeOutcome {
+    /// Sum of rewards collected during the episode.
+    pub cumulative_reward: f32,
+    /// Whether the agent reached the goal (Grid World) — always `false` for
+    /// tasks without a goal state.
+    pub reached_goal: bool,
+    /// Number of steps taken.
+    pub steps: usize,
+    /// Distance travelled, in metres (drone task; 0 for Grid World).
+    pub distance: f32,
+}
+
+impl EpisodeOutcome {
+    /// An all-zero outcome, useful as an accumulator seed.
+    pub fn empty() -> EpisodeOutcome {
+        EpisodeOutcome { cumulative_reward: 0.0, reached_goal: false, steps: 0, distance: 0.0 }
+    }
+}
+
+/// The per-episode history of a training run.
+///
+/// The paper's training-time figures are all derived from this trace: the
+/// cumulative-return curves of Fig. 3, the success-rate heatmaps of Fig. 2 and
+/// the convergence analysis of Fig. 4.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TrainingTrace {
+    /// Cumulative reward per episode.
+    pub rewards: Vec<f32>,
+    /// Goal-reached flag per episode.
+    pub successes: Vec<bool>,
+    /// Exploration rate (ε) at the start of each episode.
+    pub epsilons: Vec<f64>,
+    /// Distance travelled per episode (drone task).
+    pub distances: Vec<f32>,
+}
+
+impl TrainingTrace {
+    /// Creates an empty trace.
+    pub fn new() -> TrainingTrace {
+        TrainingTrace::default()
+    }
+
+    /// Appends one episode's outcome.
+    pub fn push(&mut self, outcome: EpisodeOutcome, epsilon: f64) {
+        self.rewards.push(outcome.cumulative_reward);
+        self.successes.push(outcome.reached_goal);
+        self.distances.push(outcome.distance);
+        self.epsilons.push(epsilon);
+    }
+
+    /// Number of episodes recorded.
+    pub fn len(&self) -> usize {
+        self.rewards.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rewards.is_empty()
+    }
+
+    /// Fraction of successful episodes over the last `window` episodes
+    /// (or over the whole trace if shorter).
+    pub fn recent_success_rate(&self, window: usize) -> f64 {
+        if self.successes.is_empty() {
+            return 0.0;
+        }
+        let start = self.successes.len().saturating_sub(window);
+        let slice = &self.successes[start..];
+        slice.iter().filter(|&&s| s).count() as f64 / slice.len() as f64
+    }
+
+    /// Mean cumulative reward over the last `window` episodes.
+    pub fn recent_mean_reward(&self, window: usize) -> f64 {
+        if self.rewards.is_empty() {
+            return 0.0;
+        }
+        let start = self.rewards.len().saturating_sub(window);
+        let slice = &self.rewards[start..];
+        slice.iter().map(|&r| f64::from(r)).sum::<f64>() / slice.len() as f64
+    }
+
+    /// Mean distance (Mean Safe Flight) over the last `window` episodes.
+    pub fn recent_mean_distance(&self, window: usize) -> f64 {
+        if self.distances.is_empty() {
+            return 0.0;
+        }
+        let start = self.distances.len().saturating_sub(window);
+        let slice = &self.distances[start..];
+        slice.iter().map(|&d| f64::from(d)).sum::<f64>() / slice.len() as f64
+    }
+
+    /// The maximum cumulative reward observed so far.
+    pub fn max_reward(&self) -> f32 {
+        self.rewards.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+}
+
+/// The result of evaluating a trained policy.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EvalResult {
+    /// Fraction of evaluation episodes that reached the goal.
+    pub success_rate: f64,
+    /// Mean cumulative reward per evaluation episode.
+    pub mean_reward: f64,
+    /// Mean distance travelled (Mean Safe Flight) per evaluation episode.
+    pub mean_distance: f64,
+    /// Number of evaluation episodes.
+    pub episodes: usize,
+}
+
+impl fmt::Display for EvalResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "success {:.1}%, reward {:.3}, distance {:.1} m over {} episodes",
+            self.success_rate * 100.0,
+            self.mean_reward,
+            self.mean_distance,
+            self.episodes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(reward: f32, goal: bool) -> EpisodeOutcome {
+        EpisodeOutcome { cumulative_reward: reward, reached_goal: goal, steps: 10, distance: 2.0 }
+    }
+
+    #[test]
+    fn trace_accumulates_episodes() {
+        let mut trace = TrainingTrace::new();
+        assert!(trace.is_empty());
+        trace.push(outcome(1.0, true), 0.5);
+        trace.push(outcome(-1.0, false), 0.4);
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.rewards, vec![1.0, -1.0]);
+        assert_eq!(trace.successes, vec![true, false]);
+        assert_eq!(trace.epsilons, vec![0.5, 0.4]);
+    }
+
+    #[test]
+    fn recent_windows_cover_partial_traces() {
+        let mut trace = TrainingTrace::new();
+        for i in 0..10 {
+            trace.push(outcome(i as f32, i >= 5), 0.1);
+        }
+        assert_eq!(trace.recent_success_rate(5), 1.0);
+        assert_eq!(trace.recent_success_rate(10), 0.5);
+        assert_eq!(trace.recent_success_rate(100), 0.5);
+        assert_eq!(trace.recent_mean_reward(2), 8.5);
+        assert_eq!(trace.recent_mean_distance(4), 2.0);
+        assert_eq!(trace.max_reward(), 9.0);
+    }
+
+    #[test]
+    fn empty_trace_rates_are_zero() {
+        let trace = TrainingTrace::new();
+        assert_eq!(trace.recent_success_rate(10), 0.0);
+        assert_eq!(trace.recent_mean_reward(10), 0.0);
+        assert_eq!(trace.recent_mean_distance(10), 0.0);
+    }
+
+    #[test]
+    fn eval_result_display() {
+        let r = EvalResult { success_rate: 0.97, mean_reward: 0.9, mean_distance: 55.0, episodes: 100 };
+        let text = r.to_string();
+        assert!(text.contains("97.0%"));
+        assert!(text.contains("100 episodes"));
+    }
+
+    #[test]
+    fn empty_outcome_is_zeroed() {
+        let e = EpisodeOutcome::empty();
+        assert_eq!(e.cumulative_reward, 0.0);
+        assert_eq!(e.steps, 0);
+        assert!(!e.reached_goal);
+    }
+}

@@ -1,0 +1,159 @@
+use rand::Rng;
+
+/// One stored transition `(s, a, r, s', terminal)` with flattened states.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transition {
+    /// The flattened observation the action was taken in.
+    pub state: Vec<f32>,
+    /// The action index taken.
+    pub action: usize,
+    /// The reward received.
+    pub reward: f32,
+    /// The flattened next observation.
+    pub next_state: Vec<f32>,
+    /// Whether the transition ended the episode.
+    pub terminal: bool,
+}
+
+/// A bounded experience-replay buffer with uniform sampling.
+///
+/// The drone policy of the paper is trained with Double DQN *with experience
+/// replay*; the Grid World NN policy uses the same machinery at a smaller
+/// scale.
+///
+/// # Examples
+///
+/// ```
+/// use navft_rl::{ReplayBuffer, Transition};
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let mut buffer = ReplayBuffer::new(2);
+/// for i in 0..3 {
+///     buffer.push(Transition {
+///         state: vec![i as f32],
+///         action: 0,
+///         reward: 0.0,
+///         next_state: vec![i as f32 + 1.0],
+///         terminal: false,
+///     });
+/// }
+/// assert_eq!(buffer.len(), 2); // the oldest transition was evicted
+/// let mut rng = SmallRng::seed_from_u64(0);
+/// assert_eq!(buffer.sample(5, &mut rng).len(), 5);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ReplayBuffer {
+    capacity: usize,
+    storage: Vec<Transition>,
+    next: usize,
+}
+
+impl ReplayBuffer {
+    /// Creates a buffer holding at most `capacity` transitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> ReplayBuffer {
+        assert!(capacity > 0, "replay capacity must be non-zero");
+        ReplayBuffer { capacity, storage: Vec::with_capacity(capacity.min(1024)), next: 0 }
+    }
+
+    /// Number of stored transitions.
+    pub fn len(&self) -> usize {
+        self.storage.len()
+    }
+
+    /// Whether the buffer holds no transitions.
+    pub fn is_empty(&self) -> bool {
+        self.storage.is_empty()
+    }
+
+    /// The maximum number of transitions retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Inserts a transition, evicting the oldest one once full.
+    pub fn push(&mut self, transition: Transition) {
+        if self.storage.len() < self.capacity {
+            self.storage.push(transition);
+        } else {
+            self.storage[self.next] = transition;
+            self.next = (self.next + 1) % self.capacity;
+        }
+    }
+
+    /// Samples `count` transitions uniformly with replacement.
+    ///
+    /// Returns an empty vector if the buffer is empty.
+    pub fn sample<R: Rng + ?Sized>(&self, count: usize, rng: &mut R) -> Vec<&Transition> {
+        if self.storage.is_empty() {
+            return Vec::new();
+        }
+        (0..count).map(|_| &self.storage[rng.gen_range(0..self.storage.len())]).collect()
+    }
+
+    /// Removes every stored transition.
+    pub fn clear(&mut self) {
+        self.storage.clear();
+        self.next = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn transition(tag: f32) -> Transition {
+        Transition { state: vec![tag], action: 0, reward: tag, next_state: vec![tag], terminal: false }
+    }
+
+    #[test]
+    fn push_respects_capacity_with_fifo_eviction() {
+        let mut buffer = ReplayBuffer::new(3);
+        for i in 0..5 {
+            buffer.push(transition(i as f32));
+        }
+        assert_eq!(buffer.len(), 3);
+        assert_eq!(buffer.capacity(), 3);
+        let rewards: Vec<f32> = buffer.storage.iter().map(|t| t.reward).collect();
+        // Slots 0 and 1 were overwritten by transitions 3 and 4.
+        assert_eq!(rewards, vec![3.0, 4.0, 2.0]);
+    }
+
+    #[test]
+    fn sample_from_empty_buffer_is_empty() {
+        let buffer = ReplayBuffer::new(4);
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert!(buffer.sample(8, &mut rng).is_empty());
+        assert!(buffer.is_empty());
+    }
+
+    #[test]
+    fn sample_returns_requested_count() {
+        let mut buffer = ReplayBuffer::new(8);
+        buffer.push(transition(1.0));
+        buffer.push(transition(2.0));
+        let mut rng = SmallRng::seed_from_u64(1);
+        let batch = buffer.sample(16, &mut rng);
+        assert_eq!(batch.len(), 16);
+        assert!(batch.iter().all(|t| t.reward == 1.0 || t.reward == 2.0));
+    }
+
+    #[test]
+    fn clear_empties_the_buffer() {
+        let mut buffer = ReplayBuffer::new(4);
+        buffer.push(transition(1.0));
+        buffer.clear();
+        assert!(buffer.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_is_rejected() {
+        let _ = ReplayBuffer::new(0);
+    }
+}

@@ -1,0 +1,64 @@
+//! Quickstart: train a Grid World policy, inject faults into its quantized
+//! Q-table, and measure the impact on navigation success.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use navft_fault::{FaultKind, FaultSite, FaultTarget, Injector};
+use navft_gridworld::{GridWorld, ObstacleDensity};
+use navft_qformat::QFormat;
+use navft_rl::{evaluate_tabular, trainer, DiscreteEnvironment, FaultPlan, InferenceFaultMode, TabularAgent};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let density = ObstacleDensity::Middle;
+    println!("Grid World ({density} obstacle density):\n{}", GridWorld::with_density(density).render());
+
+    // 1. Train an 8-bit quantized tabular policy, fault-free.
+    let mut world = GridWorld::with_density(density).with_exploring_starts(42);
+    let mut agent = TabularAgent::for_grid_world(world.num_states(), world.num_actions());
+    let mut rng = SmallRng::seed_from_u64(42);
+    let trace = trainer::train_tabular(
+        &mut world,
+        &mut agent,
+        trainer::TrainingConfig::new(1000, 100),
+        &FaultPlan::none(),
+        &mut rng,
+        trainer::no_mitigation(),
+    );
+    println!(
+        "trained for {} episodes; recent training success rate {:.1}%",
+        trace.len(),
+        trace.recent_success_rate(100) * 100.0
+    );
+
+    // 2. Evaluate the clean policy from the source cell.
+    let mut eval_world = GridWorld::with_density(density);
+    let clean = evaluate_tabular(&mut eval_world, &agent.table, 500, 100, &InferenceFaultMode::None, &mut rng);
+    println!("fault-free inference: {clean}");
+
+    // 3. Inject transient bit flips into the Q-table memory at increasing
+    //    bit error rates and watch the success rate fall.
+    println!("\nBER sweep (transient faults in the whole Q-table memory):");
+    for ber in [0.001, 0.002, 0.005, 0.01, 0.02] {
+        let injector = Injector::sample(
+            FaultTarget::new(FaultSite::TabularBuffer),
+            agent.table.len(),
+            QFormat::Q3_4,
+            ber,
+            FaultKind::BitFlip,
+            &mut rng,
+        );
+        let faulty = evaluate_tabular(
+            &mut eval_world,
+            &agent.table,
+            500,
+            100,
+            &InferenceFaultMode::TransientWholeEpisode(injector),
+            &mut rng,
+        );
+        println!("  BER {:>6.2}% -> success {:>5.1}%", ber * 100.0, faulty.success_rate * 100.0);
+    }
+}

@@ -1,0 +1,75 @@
+//! Training-time fault characterization: inject a transient burst of bit
+//! flips into the Q-table at a chosen episode, with and without the adaptive
+//! exploration-rate mitigation, and compare the final policies.
+//!
+//! ```text
+//! cargo run --release --example training_under_faults
+//! ```
+
+use navft_fault::{FaultKind, FaultSite, FaultTarget, InjectionSchedule, Injector};
+use navft_gridworld::{GridWorld, ObstacleDensity};
+use navft_mitigation::ExplorationAdjuster;
+use navft_qformat::QFormat;
+use navft_rl::{evaluate_tabular, trainer, DiscreteEnvironment, FaultPlan, InferenceFaultMode, TabularAgent};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn train(ber: f64, injection_episode: usize, mitigated: bool, seed: u64) -> f64 {
+    let density = ObstacleDensity::Middle;
+    let mut world = GridWorld::with_density(density).with_exploring_starts(seed);
+    let mut agent = TabularAgent::for_grid_world(world.num_states(), world.num_actions());
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let injector = Injector::sample(
+        FaultTarget::new(FaultSite::TabularBuffer),
+        agent.table.len(),
+        QFormat::Q3_4,
+        ber,
+        FaultKind::BitFlip,
+        &mut rng,
+    );
+    let plan = FaultPlan::new(injector, InjectionSchedule::at_episode(injection_episode));
+    let mut adjuster = ExplorationAdjuster::for_tabular();
+    if mitigated {
+        trainer::train_tabular(
+            &mut world,
+            &mut agent,
+            trainer::TrainingConfig::new(1000, 100),
+            &plan,
+            &mut rng,
+            |episode, trace, epsilon| adjuster.observe(episode, trace, epsilon),
+        );
+    } else {
+        trainer::train_tabular(
+            &mut world,
+            &mut agent,
+            trainer::TrainingConfig::new(1000, 100),
+            &plan,
+            &mut rng,
+            trainer::no_mitigation(),
+        );
+    }
+    let mut eval_world = GridWorld::with_density(density);
+    evaluate_tabular(&mut eval_world, &agent.table, 300, 100, &InferenceFaultMode::None, &mut rng)
+        .success_rate
+        * 100.0
+}
+
+fn main() {
+    println!("Transient faults injected late in training (episode 900 of 1000):\n");
+    println!("{:>8} {:>16} {:>16}", "BER", "no mitigation", "ER adjustment");
+    for ber in [0.002, 0.005, 0.01] {
+        let mut plain = 0.0;
+        let mut guarded = 0.0;
+        let reps = 3;
+        for seed in 0..reps {
+            plain += train(ber, 900, false, seed);
+            guarded += train(ber, 900, true, seed);
+        }
+        println!(
+            "{:>7.1}% {:>15.1}% {:>15.1}%",
+            ber * 100.0,
+            plain / reps as f64,
+            guarded / reps as f64
+        );
+    }
+}

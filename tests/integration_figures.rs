@@ -1,0 +1,64 @@
+//! Integration test: the figure-reproduction drivers run end to end at smoke
+//! scale and produce well-formed data.
+
+use navft_core::{experiments, FigureContent, Scale};
+
+#[test]
+fn figure_index_is_complete_and_ids_are_unique() {
+    let ids = experiments::figure_ids();
+    let unique: std::collections::HashSet<_> = ids.iter().collect();
+    assert_eq!(unique.len(), ids.len());
+    assert!(ids.len() >= 12);
+}
+
+#[test]
+fn fig5_inference_driver_produces_all_four_fault_modes() {
+    let figures = experiments::fig5::grid_inference_sensitivity(Scale::Smoke);
+    assert_eq!(figures.len(), 2);
+    for figure in &figures {
+        let FigureContent::Lines(series) = &figure.content else {
+            panic!("{} should be a line figure", figure.id);
+        };
+        assert_eq!(series.len(), 4);
+        for s in series {
+            assert_eq!(s.points.len(), Scale::Smoke.grid().bit_error_rates.len());
+            for (_, y) in &s.points {
+                assert!((0.0..=100.0).contains(y), "success rate {y} out of range");
+            }
+        }
+        assert!(!figure.render().is_empty());
+    }
+}
+
+#[test]
+fn fig2_histograms_report_bit_statistics() {
+    let figures = experiments::fig2::value_histograms(Scale::Smoke);
+    assert_eq!(figures.len(), 2);
+    for figure in &figures {
+        let FigureContent::Facts(facts) = &figure.content else {
+            panic!("expected facts");
+        };
+        let zero = facts.iter().find(|(n, _)| n.contains("'0' bits")).expect("zero-bit fact").1;
+        let one = facts.iter().find(|(n, _)| n.contains("'1' bits")).expect("one-bit fact").1;
+        assert!((zero + one - 100.0).abs() < 1e-6);
+        assert!(zero > one, "trained policies should be zero-bit dominated");
+    }
+}
+
+#[test]
+fn fig7d_layer_sensitivity_covers_all_five_layers() {
+    let figures = experiments::fig7::drone_layer_sensitivity(Scale::Smoke);
+    let FigureContent::Lines(series) = &figures[0].content else { panic!("expected lines") };
+    let labels: Vec<&str> = series.iter().map(|s| s.label.as_str()).collect();
+    assert_eq!(labels, vec!["conv1", "conv2", "conv3", "fc1", "fc2"]);
+}
+
+#[test]
+fn fig10_reports_headline_facts() {
+    let figures = experiments::fig10::anomaly_detection_effectiveness(Scale::Smoke);
+    assert!(figures.iter().any(|f| f.id == "fig10a"));
+    assert!(figures.iter().any(|f| f.id == "fig10b"));
+    let headline = figures.iter().find(|f| f.id == "fig10-headline").expect("headline facts");
+    let FigureContent::Facts(facts) = &headline.content else { panic!("expected facts") };
+    assert_eq!(facts.len(), 3);
+}

@@ -1,0 +1,94 @@
+//! Integration test: Grid World training across crates (environment + RL +
+//! fault injection), at smoke scale.
+
+use navft_fault::{FaultKind, FaultSite, FaultTarget, InjectionSchedule, Injector};
+use navft_gridworld::{GridWorld, ObstacleDensity};
+use navft_qformat::QFormat;
+use navft_rl::{trainer, DiscreteEnvironment, FaultPlan, TabularAgent};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+#[test]
+fn tabular_training_runs_on_every_density() {
+    for density in ObstacleDensity::ALL {
+        let mut world = GridWorld::with_density(density).with_exploring_starts(7);
+        let mut agent = TabularAgent::for_grid_world(world.num_states(), world.num_actions());
+        let mut rng = SmallRng::seed_from_u64(7);
+        let trace = trainer::train_tabular(
+            &mut world,
+            &mut agent,
+            trainer::TrainingConfig::new(60, 40),
+            &FaultPlan::none(),
+            &mut rng,
+            trainer::no_mitigation(),
+        );
+        assert_eq!(trace.len(), 60);
+        assert!(trace.epsilons[0] > trace.epsilons[59]);
+    }
+}
+
+#[test]
+fn stuck_at_one_faults_leave_negative_cells_in_the_trained_table() {
+    let mut world = GridWorld::with_density(ObstacleDensity::Middle).with_exploring_starts(3);
+    let mut agent = TabularAgent::for_grid_world(world.num_states(), world.num_actions());
+    let mut rng = SmallRng::seed_from_u64(3);
+    let injector = Injector::sample(
+        FaultTarget::new(FaultSite::TabularBuffer),
+        agent.table.len(),
+        QFormat::Q3_4,
+        0.01,
+        FaultKind::StuckAt1,
+        &mut rng,
+    );
+    let plan = FaultPlan::new(injector.clone(), InjectionSchedule::from_start());
+    trainer::train_tabular(
+        &mut world,
+        &mut agent,
+        trainer::TrainingConfig::new(80, 40),
+        &plan,
+        &mut rng,
+        trainer::no_mitigation(),
+    );
+    // Every word whose sign bit is stuck at 1 must read back negative.
+    let sign_bit = QFormat::Q3_4.sign_bit();
+    let stuck_sign_words: Vec<usize> = injector
+        .map()
+        .faults()
+        .iter()
+        .filter(|f| f.bit == sign_bit)
+        .map(|f| f.word)
+        .collect();
+    for word in stuck_sign_words {
+        assert!(agent.table.values()[word] < 0.0, "word {word} should stay negative");
+    }
+}
+
+#[test]
+fn training_with_faults_is_deterministic_per_seed() {
+    let run = |seed: u64| {
+        let mut world = GridWorld::with_density(ObstacleDensity::Low).with_exploring_starts(seed);
+        let mut agent = TabularAgent::for_grid_world(world.num_states(), world.num_actions());
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut fault_rng = SmallRng::seed_from_u64(seed ^ 1);
+        let injector = Injector::sample(
+            FaultTarget::new(FaultSite::TabularBuffer),
+            agent.table.len(),
+            QFormat::Q3_4,
+            0.005,
+            FaultKind::BitFlip,
+            &mut fault_rng,
+        );
+        let plan = FaultPlan::new(injector, InjectionSchedule::at_episode(20));
+        trainer::train_tabular(
+            &mut world,
+            &mut agent,
+            trainer::TrainingConfig::new(40, 30),
+            &plan,
+            &mut rng,
+            trainer::no_mitigation(),
+        );
+        agent.table.values().to_vec()
+    };
+    assert_eq!(run(11), run(11));
+    assert_ne!(run(11), run(12));
+}

@@ -1,0 +1,89 @@
+//! Integration test: both mitigation techniques wired into real training and
+//! inference flows.
+
+use navft_fault::{FaultKind, FaultSite, FaultTarget, InjectionSchedule, Injector};
+use navft_gridworld::{GridWorld, ObstacleDensity};
+use navft_mitigation::{ExplorationAdjuster, RangeGuard, RangeGuardConfig};
+use navft_nn::mlp;
+use navft_qformat::QFormat;
+use navft_rl::{trainer, DiscreteEnvironment, FaultPlan, TabularAgent};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+#[test]
+fn exploration_adjuster_reacts_to_an_injected_fault_during_training() {
+    let mut world = GridWorld::with_density(ObstacleDensity::Low).with_exploring_starts(5);
+    let mut agent = TabularAgent::for_grid_world(world.num_states(), world.num_actions());
+    let mut rng = SmallRng::seed_from_u64(5);
+    let injector = Injector::sample(
+        FaultTarget::new(FaultSite::TabularBuffer),
+        agent.table.len(),
+        QFormat::Q3_4,
+        0.05,
+        FaultKind::StuckAt1,
+        &mut rng,
+    );
+    let plan = FaultPlan::new(injector, InjectionSchedule::from_start());
+    let mut adjuster = ExplorationAdjuster::for_tabular();
+    trainer::train_tabular(
+        &mut world,
+        &mut agent,
+        trainer::TrainingConfig::new(120, 40),
+        &plan,
+        &mut rng,
+        |episode, trace, epsilon| adjuster.observe(episode, trace, epsilon),
+    );
+    // The adjuster ran on every episode without panicking and kept a record
+    // of any actions it took (it may legitimately take none if the policy
+    // never reached a good reward level at this tiny scale).
+    assert!(adjuster.events().len() <= 120 / 50 + 2);
+}
+
+#[test]
+fn range_guard_protects_a_policy_against_weight_outliers_end_to_end() {
+    let mut rng = SmallRng::seed_from_u64(9);
+    let policy = mlp(&[100, 32, 4], &mut rng);
+    let guard = RangeGuard::from_network(&policy, QFormat::Q3_4, RangeGuardConfig::paper());
+
+    // Corrupt the policy with high-magnitude outliers at 0.5% BER.
+    let injector = Injector::sample(
+        FaultTarget::new(FaultSite::WeightBuffer),
+        policy.weight_count(),
+        QFormat::Q3_4,
+        0.005,
+        FaultKind::StuckAt1,
+        &mut rng,
+    );
+    let mut corrupted = policy.clone();
+    let flat_before = corrupted.flat_weights();
+    let mut flat = flat_before.clone();
+    injector.corrupt(&mut flat);
+    corrupted.set_flat_weights(&flat);
+
+    let anomalies_before = guard.count_anomalies(&corrupted);
+    let scrubbed = guard.scrub(&mut corrupted);
+    assert_eq!(anomalies_before, scrubbed);
+    assert_eq!(guard.count_anomalies(&corrupted), 0);
+
+    // The scrubbed policy must be closer to the clean one than the corrupted
+    // policy was.
+    let distance = |a: &[f32], b: &[f32]| -> f32 {
+        a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+    };
+    let clean_flat = policy.flat_weights();
+    assert!(distance(&corrupted.flat_weights(), &clean_flat) <= distance(&flat, &clean_flat));
+}
+
+#[test]
+fn guard_never_flags_the_clean_policy_it_was_calibrated_on() {
+    let mut rng = SmallRng::seed_from_u64(10);
+    for margin in [0.0, 0.1, 0.5] {
+        let policy = mlp(&[20, 16, 4], &mut rng);
+        let guard = RangeGuard::from_network(
+            &policy,
+            QFormat::Q4_11,
+            RangeGuardConfig { margin, integer_bits_only: true },
+        );
+        assert_eq!(guard.count_anomalies(&policy), 0, "margin {margin}");
+    }
+}
