@@ -23,7 +23,7 @@ fn bench(c: &mut Criterion) {
         let mut protected = policy.clone();
         let mut i = 0usize;
         b.iter(|| {
-            if i % 25 == 0 {
+            if i.is_multiple_of(25) {
                 guard.scrub(&mut protected);
             }
             i += 1;

@@ -39,7 +39,9 @@ fn main() -> ExitCode {
                 return ExitCode::SUCCESS;
             }
             "--help" | "-h" => {
-                println!("usage: figures [--scale smoke|quick|paper] [--list] <figure-id>... | all");
+                println!(
+                    "usage: figures [--scale smoke|quick|paper] [--list] <figure-id>... | all"
+                );
                 return ExitCode::SUCCESS;
             }
             other => requested.push(other.to_string()),

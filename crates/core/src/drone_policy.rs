@@ -103,7 +103,8 @@ pub fn train_drone_policy(world: &DroneWorld, params: &DroneParams, seed: u64) -
     let camera = DepthCamera::scaled();
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut network = config.build(&mut rng);
-    let dataset = gather_pilot_dataset(world, camera, params.clone_rollout_steps, 200, seed ^ 0xD0E);
+    let dataset =
+        gather_pilot_dataset(world, camera, params.clone_rollout_steps, 200, seed ^ 0xD0E);
 
     let trainable_from = config.first_fc_layer();
     let lr = 0.02;
@@ -218,8 +219,14 @@ mod tests {
         let trained = train_drone_policy(&world, &params, 5);
         let mut rng = SmallRng::seed_from_u64(99);
         let mut sim = DroneSim::new(world.clone(), DepthCamera::scaled(), 150);
-        let trained_result =
-            evaluate_network_vision(&mut sim, &trained, 3, 150, &InferenceFaultMode::None, &mut rng);
+        let trained_result = evaluate_network_vision(
+            &mut sim,
+            &trained,
+            3,
+            150,
+            &InferenceFaultMode::None,
+            &mut rng,
+        );
         assert!(
             trained_result.mean_distance > 5.0,
             "cloned policy flew only {} m",

@@ -5,7 +5,9 @@
 
 use navft_fault::{FaultKind, FaultSite, FaultTarget, InjectionSchedule, Injector};
 use navft_gridworld::ObstacleDensity;
-use navft_mitigation::{ExplorationAdjuster, ExplorationAdjusterConfig, RangeGuard, RangeGuardConfig};
+use navft_mitigation::{
+    ExplorationAdjuster, ExplorationAdjusterConfig, RangeGuard, RangeGuardConfig,
+};
 use navft_qformat::QFormat;
 use navft_rl::FaultPlan;
 use rand::rngs::SmallRng;
@@ -58,7 +60,7 @@ pub fn ablations(scale: Scale) -> Vec<FigureData> {
     let mut alpha_points = Vec::new();
     for alpha in [0.0, 0.2, 0.4, 0.8, 1.0] {
         let config = ExplorationAdjusterConfig { alpha, ..ExplorationAdjusterConfig::tabular() };
-        let summary = campaign(scale, reps, (alpha * 100.0) as u64 ^ 0xA1fa, |seed, _| {
+        let summary = campaign(scale, reps, (alpha * 100.0) as u64 ^ 0xA1FA, |seed, _| {
             mitigated_success_with(config, ber, &params, seed)
         });
         alpha_points.push((alpha, summary.mean()));

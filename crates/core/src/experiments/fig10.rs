@@ -22,12 +22,7 @@ use crate::{FigureData, GridParams, Scale, Series};
 
 /// Success rate (%) of the NN Grid World policy under weight bit flips, with
 /// or without the range guard scrubbing the corrupted weights first.
-pub fn grid_success_with_guard(
-    ber: f64,
-    mitigated: bool,
-    params: &GridParams,
-    seed: u64,
-) -> f64 {
+pub fn grid_success_with_guard(ber: f64, mitigated: bool, params: &GridParams, seed: u64) -> f64 {
     let run = train_clean_policy(PolicyKind::Network, ObstacleDensity::Middle, params, seed);
     let agent = run.network.as_ref().expect("network policy");
     let clean = agent.network();
@@ -108,12 +103,14 @@ pub fn anomaly_detection_effectiveness(scale: Scale) -> Vec<FigureData> {
     let mut unmitigated = Vec::new();
     let mut mitigated = Vec::new();
     for &ber in &grid_params.bit_error_rates {
-        let base = campaign(scale, grid_params.repetitions, (ber * 1e6) as u64 ^ 0xA0, |seed, _| {
-            grid_success_with_guard(ber, false, &grid_params, seed)
-        });
-        let guarded = campaign(scale, grid_params.repetitions, (ber * 1e6) as u64 ^ 0xA1, |seed, _| {
-            grid_success_with_guard(ber, true, &grid_params, seed)
-        });
+        let base =
+            campaign(scale, grid_params.repetitions, (ber * 1e6) as u64 ^ 0xA0, |seed, _| {
+                grid_success_with_guard(ber, false, &grid_params, seed)
+            });
+        let guarded =
+            campaign(scale, grid_params.repetitions, (ber * 1e6) as u64 ^ 0xA1, |seed, _| {
+                grid_success_with_guard(ber, true, &grid_params, seed)
+            });
         unmitigated.push((ber, base.mean()));
         mitigated.push((ber, guarded.mean()));
     }
@@ -121,7 +118,10 @@ pub fn anomaly_detection_effectiveness(scale: Scale) -> Vec<FigureData> {
         "fig10a",
         "Grid World NN inference with range-based anomaly detection",
         "success rate (%) vs BER (weight bit flips)",
-        vec![Series::new("no mitigation", unmitigated.clone()), Series::new("mitigation", mitigated.clone())],
+        vec![
+            Series::new("no mitigation", unmitigated.clone()),
+            Series::new("mitigation", mitigated.clone()),
+        ],
     ));
 
     // Fig. 10b: drone policy.
@@ -130,12 +130,14 @@ pub fn anomaly_detection_effectiveness(scale: Scale) -> Vec<FigureData> {
     let mut drone_unmitigated = Vec::new();
     let mut drone_mitigated = Vec::new();
     for &ber in &drone_params.bit_error_rates {
-        let base = campaign(scale, drone_params.repetitions, (ber * 1e7) as u64 ^ 0xB0, |seed, _| {
-            drone_distance_with_guard(&policy, &world, ber, false, &drone_params, seed)
-        });
-        let guarded = campaign(scale, drone_params.repetitions, (ber * 1e7) as u64 ^ 0xB1, |seed, _| {
-            drone_distance_with_guard(&policy, &world, ber, true, &drone_params, seed)
-        });
+        let base =
+            campaign(scale, drone_params.repetitions, (ber * 1e7) as u64 ^ 0xB0, |seed, _| {
+                drone_distance_with_guard(&policy, &world, ber, false, &drone_params, seed)
+            });
+        let guarded =
+            campaign(scale, drone_params.repetitions, (ber * 1e7) as u64 ^ 0xB1, |seed, _| {
+                drone_distance_with_guard(&policy, &world, ber, true, &drone_params, seed)
+            });
         drone_unmitigated.push((ber, base.mean()));
         drone_mitigated.push((ber, guarded.mean()));
     }
@@ -173,12 +175,18 @@ pub fn anomaly_detection_effectiveness(scale: Scale) -> Vec<FigureData> {
         "fig10-headline",
         "headline mitigation results",
         vec![
-            ("Grid World success-rate improvement (x)".to_string(), improvement(&unmitigated, &mitigated)),
+            (
+                "Grid World success-rate improvement (x)".to_string(),
+                improvement(&unmitigated, &mitigated),
+            ),
             (
                 "drone flight-distance improvement (x)".to_string(),
                 improvement(&drone_unmitigated, &drone_mitigated),
             ),
-            ("anomaly-detection runtime overhead (%)".to_string(), overhead.relative_overhead() * 100.0),
+            (
+                "anomaly-detection runtime overhead (%)".to_string(),
+                overhead.relative_overhead() * 100.0,
+            ),
         ],
     ));
     figures

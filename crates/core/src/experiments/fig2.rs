@@ -20,9 +20,7 @@ use crate::{FigureData, Heatmap, Scale, Series};
 pub fn policy_words(kind: PolicyKind) -> usize {
     match kind {
         PolicyKind::Tabular => 10 * 10 * 4,
-        PolicyKind::Network => {
-            crate::grid_policies::grid_mlp(100, 4, 0).weight_count()
-        }
+        PolicyKind::Network => crate::grid_policies::grid_mlp(100, 4, 0).weight_count(),
     }
 }
 
@@ -61,7 +59,7 @@ pub fn faulty_training_success(
         ObstacleDensity::Middle,
         params,
         &plan,
-        seed ^ 0xF16_2,
+        seed ^ 0xF162,
         trainer::no_mitigation(),
     );
     run.final_success_rate * 100.0
@@ -80,9 +78,17 @@ pub fn training_fault_heatmaps(scale: Scale) -> Vec<FigureData> {
         for &ber in &params.bit_error_rates {
             let mut row = Vec::new();
             for &episode in &episodes {
-                let summary = campaign(scale, params.repetitions, hash_cell(ber, episode), |seed, _| {
-                    faulty_training_success(kind, FaultKind::BitFlip, ber, episode, &params, seed)
-                });
+                let summary =
+                    campaign(scale, params.repetitions, hash_cell(ber, episode), |seed, _| {
+                        faulty_training_success(
+                            kind,
+                            FaultKind::BitFlip,
+                            ber,
+                            episode,
+                            &params,
+                            seed,
+                        )
+                    });
                 row.push(summary.mean());
             }
             rows.push(row);
@@ -104,9 +110,10 @@ pub fn training_fault_heatmaps(scale: Scale) -> Vec<FigureData> {
                 .bit_error_rates
                 .iter()
                 .map(|&ber| {
-                    let summary = campaign(scale, params.repetitions, hash_cell(ber, 777), |seed, _| {
-                        faulty_training_success(kind, fault_kind, ber, 0, &params, seed)
-                    });
+                    let summary =
+                        campaign(scale, params.repetitions, hash_cell(ber, 777), |seed, _| {
+                            faulty_training_success(kind, fault_kind, ber, 0, &params, seed)
+                        });
                     (ber, summary.mean())
                 })
                 .collect();
@@ -132,10 +139,15 @@ pub fn value_histograms(scale: Scale) -> Vec<FigureData> {
     ] {
         let run = train_clean_policy(kind, ObstacleDensity::Middle, &params, 0x2B);
         let values: Vec<f32> = match kind {
-            PolicyKind::Tabular => run.tabular.as_ref().expect("tabular run").table.values().to_vec(),
-            PolicyKind::Network => run.network.as_ref().expect("network run").network().flat_weights(),
+            PolicyKind::Tabular => {
+                run.tabular.as_ref().expect("tabular run").table.values().to_vec()
+            }
+            PolicyKind::Network => {
+                run.network.as_ref().expect("network run").network().flat_weights()
+            }
         };
-        let words: Vec<QValue> = values.iter().map(|&v| QValue::quantize(v, QFormat::Q3_4)).collect();
+        let words: Vec<QValue> =
+            values.iter().map(|&v| QValue::quantize(v, QFormat::Q3_4)).collect();
         let stats = BitStats::from_values(&words);
         let mut histogram = ValueHistogram::new(-8.0, 8.0, 16);
         histogram.record_all(values.iter().copied());
@@ -148,7 +160,10 @@ pub fn value_histograms(scale: Scale) -> Vec<FigureData> {
             ("min value".to_string(), f64::from(histogram.min().unwrap_or(0.0))),
         ];
         for (bin, &count) in histogram.counts().iter().enumerate() {
-            facts.push((format!("histogram bin centred at {:+.1}", histogram.bin_center(bin)), count as f64));
+            facts.push((
+                format!("histogram bin centred at {:+.1}", histogram.bin_center(bin)),
+                count as f64,
+            ));
         }
         figures.push(FigureData::facts(id, title, facts));
     }

@@ -26,7 +26,7 @@ struct CurveSpec {
 /// for the tabular and the NN-based policy.
 pub fn cumulative_return_curves(scale: Scale) -> Vec<FigureData> {
     let params = scale.grid();
-    let specs = vec![
+    let specs = [
         CurveSpec {
             label: "transient, BER=0.6%, early".to_string(),
             kind: FaultKind::BitFlip,
@@ -57,9 +57,8 @@ pub fn cumulative_return_curves(scale: Scale) -> Vec<FigureData> {
     for (kind, id) in [(PolicyKind::Tabular, "fig3a"), (PolicyKind::Network, "fig3b")] {
         let mut series = Vec::new();
         for (i, spec) in specs.iter().enumerate() {
-            let episode =
-                ((spec.injection_fraction * params.training_episodes as f64) as usize)
-                    .min(params.training_episodes - 1);
+            let episode = ((spec.injection_fraction * params.training_episodes as f64) as usize)
+                .min(params.training_episodes - 1);
             let mut rng = SmallRng::seed_from_u64(0x316 + i as u64);
             let injector = Injector::sample(
                 FaultTarget::new(match kind {

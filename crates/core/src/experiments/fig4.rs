@@ -95,10 +95,9 @@ pub fn convergence_analysis(scale: Scale) -> Vec<FigureData> {
     let reps = (params.repetitions / 2).max(1);
     let mut figures = Vec::new();
 
-    for (kind, id_conv, id_perm) in [
-        (PolicyKind::Tabular, "fig4a", "fig4b"),
-        (PolicyKind::Network, "fig4c", "fig4d"),
-    ] {
+    for (kind, id_conv, id_perm) in
+        [(PolicyKind::Tabular, "fig4a", "fig4b"), (PolicyKind::Network, "fig4c", "fig4d")]
+    {
         // (a)/(c): episodes to converge after a transient fault vs BER.
         let points: Vec<(f64, f64)> = params
             .bit_error_rates
@@ -125,8 +124,11 @@ pub fn convergence_analysis(scale: Scale) -> Vec<FigureData> {
                     .bit_error_rates
                     .iter()
                     .map(|&ber| {
-                        let summary =
-                            campaign(scale, reps, (ber * 1e6) as u64 ^ (ei_multiplier as u64) << 8, |seed, _| {
+                        let summary = campaign(
+                            scale,
+                            reps,
+                            (ber * 1e6) as u64 ^ (ei_multiplier as u64) << 8,
+                            |seed, _| {
                                 permanent_success_after_extra_training(
                                     kind,
                                     fault_kind,
@@ -135,7 +137,8 @@ pub fn convergence_analysis(scale: Scale) -> Vec<FigureData> {
                                     &params,
                                     seed,
                                 )
-                            });
+                            },
+                        );
                         (ber, summary.mean())
                     })
                     .collect();
@@ -147,7 +150,12 @@ pub fn convergence_analysis(scale: Scale) -> Vec<FigureData> {
             format!("{kind} success rate after extra training under permanent faults"),
             "final success rate (%) vs BER (labels: {ber_label})".replace(
                 "{ber_label}",
-                &params.bit_error_rates.iter().map(|&b| ber_label(b)).collect::<Vec<_>>().join(", "),
+                &params
+                    .bit_error_rates
+                    .iter()
+                    .map(|&b| ber_label(b))
+                    .collect::<Vec<_>>()
+                    .join(", "),
             ),
             series,
         ));

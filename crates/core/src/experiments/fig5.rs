@@ -10,7 +10,9 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::experiments::campaign;
-use crate::grid_policies::{evaluate_grid_policy, policy_word_count, train_clean_policy, PolicyKind};
+use crate::grid_policies::{
+    evaluate_grid_policy, policy_word_count, train_clean_policy, PolicyKind,
+};
 use crate::{FigureData, Scale, Series};
 
 /// The four inference fault modes swept by Fig. 5.
@@ -49,7 +51,9 @@ impl InferenceMode {
         match self {
             InferenceMode::Transient1 => InferenceFaultMode::TransientSingleStep(injector),
             InferenceMode::TransientM => InferenceFaultMode::TransientWholeEpisode(injector),
-            InferenceMode::StuckAt0 | InferenceMode::StuckAt1 => InferenceFaultMode::Permanent(injector),
+            InferenceMode::StuckAt0 | InferenceMode::StuckAt1 => {
+                InferenceFaultMode::Permanent(injector)
+            }
         }
     }
 
@@ -100,9 +104,10 @@ pub fn grid_inference_sensitivity(scale: Scale) -> Vec<FigureData> {
         for mode in InferenceMode::ALL {
             let mut points = Vec::new();
             for &ber in &params.bit_error_rates {
-                let summary = campaign(scale, params.repetitions, (ber * 1e6) as u64 ^ 0x55, |seed, _| {
-                    inference_success(kind, mode, ber, &params, seed)
-                });
+                let summary =
+                    campaign(scale, params.repetitions, (ber * 1e6) as u64 ^ 0x55, |seed, _| {
+                        inference_success(kind, mode, ber, &params, seed)
+                    });
                 points.push((ber, summary.mean()));
             }
             series.push(Series::new(mode.label(), points));

@@ -27,7 +27,13 @@ fn trained_policy(world: &DroneWorld, params: &DroneParams) -> Network {
 }
 
 /// Samples a weight-buffer injector over the whole network.
-fn weight_injector(network: &Network, ber: f64, kind: FaultKind, format: QFormat, seed: u64) -> Injector {
+fn weight_injector(
+    network: &Network,
+    ber: f64,
+    kind: FaultKind,
+    format: QFormat,
+    seed: u64,
+) -> Injector {
     let mut rng = SmallRng::seed_from_u64(seed);
     Injector::sample(
         FaultTarget::new(FaultSite::WeightBuffer),
@@ -63,8 +69,15 @@ fn flight_distance(
 ) -> f64 {
     let mut sim = DroneSim::new(world.clone(), DepthCamera::scaled(), params.max_steps);
     let mut rng = SmallRng::seed_from_u64(seed);
-    evaluate_network_vision(&mut sim, network, params.eval_episodes, params.max_steps, fault, &mut rng)
-        .mean_distance
+    evaluate_network_vision(
+        &mut sim,
+        network,
+        params.eval_episodes,
+        params.max_steps,
+        fault,
+        &mut rng,
+    )
+    .mean_distance
 }
 
 /// Fig. 7a: online fine-tuning (the transfer-learning stage) under transient
@@ -115,9 +128,12 @@ pub fn drone_training_faults(scale: Scale) -> Vec<FigureData> {
     for &ber in &bers {
         let mut row = Vec::new();
         for &fraction in &injection_fractions {
-            let summary = campaign(scale, reps, (ber * 1e7) as u64 ^ ((fraction * 10.0) as u64), |seed, _| {
-                finetune_distance(FaultKind::BitFlip, ber, fraction, seed)
-            });
+            let summary = campaign(
+                scale,
+                reps,
+                (ber * 1e7) as u64 ^ ((fraction * 10.0) as u64),
+                |seed, _| finetune_distance(FaultKind::BitFlip, ber, fraction, seed),
+            );
             row.push(summary.mean());
         }
         rows.push(row);
@@ -164,16 +180,18 @@ pub fn drone_environment_sensitivity(scale: Scale) -> Vec<FigureData> {
         let policy = trained_policy(&world, &params);
         let mut points = Vec::new();
         for &ber in &params.bit_error_rates {
-            let summary = campaign(scale, params.repetitions, (ber * 1e7) as u64 ^ 0x7B, |seed, _| {
-                let injector = weight_injector(&policy, ber, FaultKind::BitFlip, DRONE_FORMAT, seed);
-                flight_distance(
-                    &policy,
-                    &world,
-                    &params,
-                    &InferenceFaultMode::TransientWholeEpisode(injector),
-                    seed ^ 0xF11,
-                )
-            });
+            let summary =
+                campaign(scale, params.repetitions, (ber * 1e7) as u64 ^ 0x7B, |seed, _| {
+                    let injector =
+                        weight_injector(&policy, ber, FaultKind::BitFlip, DRONE_FORMAT, seed);
+                    flight_distance(
+                        &policy,
+                        &world,
+                        &params,
+                        &InferenceFaultMode::TransientWholeEpisode(injector),
+                        seed ^ 0xF11,
+                    )
+                });
             points.push((ber, summary.mean()));
         }
         series.push(Series::new(world.name(), points));
@@ -193,41 +211,44 @@ pub fn drone_fault_location_sensitivity(scale: Scale) -> Vec<FigureData> {
     let world = DroneWorld::indoor_long();
     let policy = trained_policy(&world, &params);
 
-    let hooked_distance = |target: HookTarget, persistence: HookPersistence, ber: f64, seed: u64| -> f64 {
-        let mut sim = DroneSim::new(world.clone(), DepthCamera::scaled(), params.max_steps);
-        let mut rng = SmallRng::seed_from_u64(seed);
-        evaluate_network_vision_hooked(
-            &mut sim,
-            &policy,
-            params.eval_episodes,
-            params.max_steps,
-            &InferenceFaultMode::None,
-            &mut rng,
-            |episode| {
-                BufferFaultHook::new(
-                    target,
-                    persistence,
-                    ber,
-                    FaultKind::BitFlip,
-                    DRONE_FORMAT,
-                    seed ^ (episode as u64) << 16,
-                )
-            },
-        )
-        .mean_distance
-    };
+    let hooked_distance =
+        |target: HookTarget, persistence: HookPersistence, ber: f64, seed: u64| -> f64 {
+            let mut sim = DroneSim::new(world.clone(), DepthCamera::scaled(), params.max_steps);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            evaluate_network_vision_hooked(
+                &mut sim,
+                &policy,
+                params.eval_episodes,
+                params.max_steps,
+                &InferenceFaultMode::None,
+                &mut rng,
+                |episode| {
+                    BufferFaultHook::new(
+                        target,
+                        persistence,
+                        ber,
+                        FaultKind::BitFlip,
+                        DRONE_FORMAT,
+                        seed ^ (episode as u64) << 16,
+                    )
+                },
+            )
+            .mean_distance
+        };
 
     let mut series = Vec::new();
     for (label, runner) in [
         (
             "input buffer",
-            Box::new(|ber: f64, seed: u64| hooked_distance(HookTarget::Input, HookPersistence::Transient, ber, seed))
-                as Box<dyn Fn(f64, u64) -> f64 + Sync>,
+            Box::new(|ber: f64, seed: u64| {
+                hooked_distance(HookTarget::Input, HookPersistence::Transient, ber, seed)
+            }) as Box<dyn Fn(f64, u64) -> f64 + Sync>,
         ),
         (
             "weights",
             Box::new(|ber: f64, seed: u64| {
-                let injector = weight_injector(&policy, ber, FaultKind::BitFlip, DRONE_FORMAT, seed);
+                let injector =
+                    weight_injector(&policy, ber, FaultKind::BitFlip, DRONE_FORMAT, seed);
                 flight_distance(
                     &policy,
                     &world,
@@ -252,9 +273,10 @@ pub fn drone_fault_location_sensitivity(scale: Scale) -> Vec<FigureData> {
     ] {
         let mut points = Vec::new();
         for &ber in &params.bit_error_rates {
-            let summary = campaign(scale, params.repetitions, (ber * 1e7) as u64 ^ 0x7C, |seed, _| {
-                runner(ber, seed)
-            });
+            let summary =
+                campaign(scale, params.repetitions, (ber * 1e7) as u64 ^ 0x7C, |seed, _| {
+                    runner(ber, seed)
+                });
             points.push((ber, summary.mean()));
         }
         series.push(Series::new(label, points));
@@ -277,8 +299,11 @@ pub fn drone_layer_sensitivity(scale: Scale) -> Vec<FigureData> {
     for (name, layer) in parametric_layer_names(&policy) {
         let mut points = Vec::new();
         for &ber in &params.bit_error_rates {
-            let summary =
-                campaign(scale, params.repetitions, (ber * 1e7) as u64 ^ (layer as u64) << 8, |seed, _| {
+            let summary = campaign(
+                scale,
+                params.repetitions,
+                (ber * 1e7) as u64 ^ (layer as u64) << 8,
+                |seed, _| {
                     let injector = layer_injector(&policy, layer, ber, seed);
                     flight_distance(
                         &policy,
@@ -287,7 +312,8 @@ pub fn drone_layer_sensitivity(scale: Scale) -> Vec<FigureData> {
                         &InferenceFaultMode::TransientWholeEpisode(injector),
                         seed ^ 0x7D,
                     )
-                });
+                },
+            );
             points.push((ber, summary.mean()));
         }
         series.push(Series::new(name, points));
@@ -308,7 +334,11 @@ pub fn drone_data_type_sensitivity(scale: Scale) -> Vec<FigureData> {
 
 /// Shared driver for the data-type sweep (also used by the extended
 /// ablation).
-pub(crate) fn data_type_sensitivity(scale: Scale, formats: &[QFormat], id: &str) -> Vec<FigureData> {
+pub(crate) fn data_type_sensitivity(
+    scale: Scale,
+    formats: &[QFormat],
+    id: &str,
+) -> Vec<FigureData> {
     let params = scale.drone();
     let world = DroneWorld::indoor_long();
     let base_policy = trained_policy(&world, &params);

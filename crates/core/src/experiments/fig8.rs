@@ -69,10 +69,21 @@ pub fn mitigated_training_heatmaps(scale: Scale) -> Vec<FigureData> {
         for &ber in &params.bit_error_rates {
             let mut row = Vec::new();
             for &episode in &episodes {
-                let summary =
-                    campaign(scale, params.repetitions, (ber * 1e6) as u64 ^ (episode as u64) << 20, |seed, _| {
-                        mitigated_training_success(kind, FaultKind::BitFlip, ber, episode, &params, seed)
-                    });
+                let summary = campaign(
+                    scale,
+                    params.repetitions,
+                    (ber * 1e6) as u64 ^ (episode as u64) << 20,
+                    |seed, _| {
+                        mitigated_training_success(
+                            kind,
+                            FaultKind::BitFlip,
+                            ber,
+                            episode,
+                            &params,
+                            seed,
+                        )
+                    },
+                );
                 row.push(summary.mean());
             }
             rows.push(row);
@@ -93,10 +104,14 @@ pub fn mitigated_training_heatmaps(scale: Scale) -> Vec<FigureData> {
                 .bit_error_rates
                 .iter()
                 .map(|&ber| {
-                    let summary =
-                        campaign(scale, params.repetitions, (ber * 1e6) as u64 ^ 0x88, |seed, _| {
+                    let summary = campaign(
+                        scale,
+                        params.repetitions,
+                        (ber * 1e6) as u64 ^ 0x88,
+                        |seed, _| {
                             mitigated_training_success(kind, fault_kind, ber, 0, &params, seed)
-                        });
+                        },
+                    );
                     (ber, summary.mean())
                 })
                 .collect();

@@ -11,8 +11,8 @@ use navft_rl::{episodes_to_converge, FaultPlan};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use crate::experiments::fig2::policy_words;
 use crate::experiments::campaign;
+use crate::experiments::fig2::policy_words;
 use crate::grid_policies::{train_grid_policy, PolicyKind};
 use crate::{FigureData, GridParams, Scale, Series};
 
@@ -73,7 +73,8 @@ fn run_mitigated(
         |episode, trace, epsilon| adjuster.observe(episode, trace, epsilon),
     );
 
-    let post_fault = &run.trace.epsilons[injection.min(run.trace.epsilons.len().saturating_sub(1))..];
+    let post_fault =
+        &run.trace.epsilons[injection.min(run.trace.epsilons.len().saturating_sub(1))..];
     let peak_exploration = post_fault.iter().copied().fold(0.0f64, f64::max) * 100.0;
     let floor = 0.05 + 1e-9;
     let episodes_to_steady = post_fault

@@ -21,7 +21,12 @@ use crate::{FigureData, Scale};
 
 /// Runs `experiment` for `repetitions` deterministic seeds across the scale's
 /// worker threads and returns the summary.
-pub(crate) fn campaign<F>(scale: Scale, repetitions: usize, base_seed: u64, experiment: F) -> Summary
+pub(crate) fn campaign<F>(
+    scale: Scale,
+    repetitions: usize,
+    base_seed: u64,
+    experiment: F,
+) -> Summary
 where
     F: Fn(u64, usize) -> f64 + Sync,
 {
@@ -40,14 +45,17 @@ pub(crate) fn ber_label(ber: f64) -> String {
     }
 }
 
+/// A figure-reproduction driver: maps a campaign scale to figure data.
+pub type FigureDriver = fn(Scale) -> Vec<FigureData>;
+
 /// Every figure driver, keyed by figure id, at the given scale.
 ///
 /// This is the complete per-experiment index used by the `figures` binary:
 /// `figures all` regenerates every entry, `figures <id>` a single one.
-pub fn all_figures(scale: Scale) -> Vec<(&'static str, fn(Scale) -> Vec<FigureData>)> {
+pub fn all_figures(scale: Scale) -> Vec<(&'static str, FigureDriver)> {
     let _ = scale;
     vec![
-        ("fig2", fig2::training_fault_heatmaps as fn(Scale) -> Vec<FigureData>),
+        ("fig2", fig2::training_fault_heatmaps as FigureDriver),
         ("fig2hist", fig2::value_histograms),
         ("fig3", fig3::cumulative_return_curves),
         ("fig4", fig4::convergence_analysis),
@@ -85,9 +93,10 @@ mod tests {
     #[test]
     fn figure_index_covers_every_evaluation_figure() {
         let ids = figure_ids();
-        for expected in
-            ["fig2", "fig3", "fig4", "fig5", "fig7a", "fig7b", "fig7c", "fig7d", "fig7e", "fig8", "fig9", "fig10"]
-        {
+        for expected in [
+            "fig2", "fig3", "fig4", "fig5", "fig7a", "fig7b", "fig7c", "fig7d", "fig7e", "fig8",
+            "fig9", "fig10",
+        ] {
             assert!(ids.contains(&expected), "missing {expected}");
         }
     }

@@ -91,7 +91,12 @@ impl FigureData {
         axes: impl Into<String>,
         series: Vec<Series>,
     ) -> FigureData {
-        FigureData { id: id.into(), title: title.into(), axes: axes.into(), content: FigureContent::Lines(series) }
+        FigureData {
+            id: id.into(),
+            title: title.into(),
+            axes: axes.into(),
+            content: FigureContent::Lines(series),
+        }
     }
 
     /// Creates a figure with heatmap content.

@@ -103,7 +103,8 @@ where
                 0.2,
                 0.95,
             );
-            let trace = trainer::train_tabular(&mut world, &mut agent, config, plan, &mut rng, observer);
+            let trace =
+                trainer::train_tabular(&mut world, &mut agent, config, plan, &mut rng, observer);
             let result = evaluate_tabular(
                 &mut eval_world,
                 &agent.table,
@@ -127,8 +128,9 @@ where
                 EpsilonSchedule::for_training(params.epsilon_steady_episodes),
                 grid_dqn_config(),
             );
-            let trace =
-                trainer::train_dqn_discrete(&mut world, &mut agent, config, plan, &mut rng, observer);
+            let trace = trainer::train_dqn_discrete(
+                &mut world, &mut agent, config, plan, &mut rng, observer,
+            );
             let result = evaluate_network_discrete(
                 &mut eval_world,
                 agent.network(),
@@ -169,7 +171,14 @@ pub fn evaluate_grid_policy(
     let mut world = GridWorld::with_density(density);
     let mut rng = SmallRng::seed_from_u64(seed);
     if let Some(agent) = &run.tabular {
-        evaluate_tabular(&mut world, &agent.table, params.eval_episodes, params.max_steps, fault, &mut rng)
+        evaluate_tabular(
+            &mut world,
+            &agent.table,
+            params.eval_episodes,
+            params.max_steps,
+            fault,
+            &mut rng,
+        )
     } else if let Some(agent) = &run.network {
         evaluate_network_discrete(
             &mut world,

@@ -46,7 +46,9 @@ impl Scale {
                 max_steps: 100,
                 repetitions: 1000,
                 eval_episodes: 1000,
-                bit_error_rates: vec![0.001, 0.002, 0.003, 0.004, 0.005, 0.006, 0.007, 0.008, 0.009, 0.01],
+                bit_error_rates: vec![
+                    0.001, 0.002, 0.003, 0.004, 0.005, 0.006, 0.007, 0.008, 0.009, 0.01,
+                ],
                 injection_points: vec![0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0],
                 epsilon_steady_episodes: 600,
             },
@@ -120,7 +122,9 @@ impl GridParams {
     pub fn injection_episodes(&self) -> Vec<usize> {
         self.injection_points
             .iter()
-            .map(|&f| ((f * self.training_episodes as f64) as usize).min(self.training_episodes - 1))
+            .map(|&f| {
+                ((f * self.training_episodes as f64) as usize).min(self.training_episodes - 1)
+            })
             .collect()
     }
 }

@@ -74,7 +74,10 @@ impl Aabb {
 
     /// Whether `point` lies inside (or on the boundary of) the box.
     pub fn contains(&self, point: Vec2) -> bool {
-        point.x >= self.min.x && point.x <= self.max.x && point.y >= self.min.y && point.y <= self.max.y
+        point.x >= self.min.x
+            && point.x <= self.max.x
+            && point.y >= self.min.y
+            && point.y <= self.max.y
     }
 
     /// The distance along a ray from `origin` in `direction` (unit vector) at

@@ -25,7 +25,9 @@ impl ActionSpace {
     /// Panics if `index >= 25`.
     pub fn decode(index: usize) -> (f32, f32) {
         assert!(index < Self::COUNT, "action {index} out of range");
-        const YAWS: [f32; 5] = [-0.5236, -0.2618, 0.0, 0.2618, 0.5236]; // ±30°, ±15°, 0°
+        use std::f32::consts::FRAC_PI_6;
+        // ±30°, ±15°, 0°
+        const YAWS: [f32; 5] = [-FRAC_PI_6, -FRAC_PI_6 / 2.0, 0.0, FRAC_PI_6 / 2.0, FRAC_PI_6];
         const MOVES: [f32; 5] = [0.2, 0.4, 0.6, 0.8, 1.0];
         (YAWS[index / 5], MOVES[index % 5])
     }
@@ -79,7 +81,16 @@ impl DroneSim {
     pub fn new(world: DroneWorld, camera: DepthCamera, max_steps: usize) -> DroneSim {
         let position = world.start();
         let heading = world.start_heading();
-        DroneSim { world, camera, max_steps, position, heading, steps: 0, flown: 0.0, crashed: false }
+        DroneSim {
+            world,
+            camera,
+            max_steps,
+            position,
+            heading,
+            steps: 0,
+            flown: 0.0,
+            crashed: false,
+        }
     }
 
     /// The simulator over the `indoor-long` world with the scaled camera —

@@ -61,29 +61,30 @@ impl DroneWorld {
     /// and corridors.
     pub fn indoor_vanleer() -> DroneWorld {
         let bounds = Aabb::new(Vec2::new(0.0, 0.0), Vec2::new(40.0, 24.0));
-        let mut obstacles = Vec::new();
-        // Interior walls with door gaps (walls are thin boxes).
-        // Vertical wall at x = 13 with a gap at y in [10, 14].
-        obstacles.push(Aabb::new(Vec2::new(12.5, 0.0), Vec2::new(13.5, 10.0)));
-        obstacles.push(Aabb::new(Vec2::new(12.5, 14.0), Vec2::new(13.5, 24.0)));
-        // Vertical wall at x = 26 with a gap at y in [4, 8].
-        obstacles.push(Aabb::new(Vec2::new(25.5, 0.0), Vec2::new(26.5, 4.0)));
-        obstacles.push(Aabb::new(Vec2::new(25.5, 8.0), Vec2::new(26.5, 24.0)));
-        // Horizontal wall at y = 16 between the first two rooms, gap at x in [4, 7].
-        obstacles.push(Aabb::new(Vec2::new(0.0, 15.5), Vec2::new(4.0, 16.5)));
-        obstacles.push(Aabb::new(Vec2::new(7.0, 15.5), Vec2::new(12.5, 16.5)));
-        // Furniture blocks.
-        obstacles.push(Aabb::centered(Vec2::new(7.0, 6.0), 2.0, 2.0));
-        obstacles.push(Aabb::centered(Vec2::new(19.0, 18.0), 2.5, 2.0));
-        obstacles.push(Aabb::centered(Vec2::new(32.0, 14.0), 2.0, 2.5));
+        // Interior walls with door gaps (walls are thin boxes):
+        // a vertical wall at x = 13 with a gap at y in [10, 14], a vertical
+        // wall at x = 26 with a gap at y in [4, 8], a horizontal wall at
+        // y = 16 between the first two rooms with a gap at x in [4, 7], and
+        // three furniture blocks.
+        let obstacles = vec![
+            Aabb::new(Vec2::new(12.5, 0.0), Vec2::new(13.5, 10.0)),
+            Aabb::new(Vec2::new(12.5, 14.0), Vec2::new(13.5, 24.0)),
+            Aabb::new(Vec2::new(25.5, 0.0), Vec2::new(26.5, 4.0)),
+            Aabb::new(Vec2::new(25.5, 8.0), Vec2::new(26.5, 24.0)),
+            Aabb::new(Vec2::new(0.0, 15.5), Vec2::new(4.0, 16.5)),
+            Aabb::new(Vec2::new(7.0, 15.5), Vec2::new(12.5, 16.5)),
+            Aabb::centered(Vec2::new(7.0, 6.0), 2.0, 2.0),
+            Aabb::centered(Vec2::new(19.0, 18.0), 2.5, 2.0),
+            Aabb::centered(Vec2::new(32.0, 14.0), 2.0, 2.5),
+        ];
         DroneWorld::new("indoor-vanleer", bounds, obstacles, Vec2::new(2.0, 2.0), 0.3)
     }
 
     /// Generates a random corridor world with `pillars` pillar obstacles —
     /// useful for property tests and wider campaigns.
     pub fn random_corridor<R: Rng + ?Sized>(pillars: usize, rng: &mut R) -> DroneWorld {
-        let length = 40.0 + rng.gen_range(0.0..30.0);
-        let width = 6.0 + rng.gen_range(0.0..4.0);
+        let length = 40.0 + rng.gen_range(0.0f32..30.0);
+        let width = 6.0 + rng.gen_range(0.0f32..4.0);
         let bounds = Aabb::new(Vec2::zero(), Vec2::new(length, width));
         let obstacles = (0..pillars)
             .map(|i| {
@@ -204,7 +205,11 @@ mod tests {
         // The first pillar is at x = 8 on the start's side of the corridor or
         // the corridor end at x = 60; either way the ray terminates.
         assert!(ahead > 1.0 && ahead <= 60.0);
-        let sideways = world.ray_distance(world.start(), Vec2::from_heading(std::f32::consts::FRAC_PI_2), 100.0);
+        let sideways = world.ray_distance(
+            world.start(),
+            Vec2::from_heading(std::f32::consts::FRAC_PI_2),
+            100.0,
+        );
         assert!(sideways <= 8.0);
     }
 

@@ -47,7 +47,8 @@ impl CampaignConfig {
     /// Seeds are spread with a SplitMix64-style mix so that neighbouring
     /// repetitions do not share correlated random streams.
     pub fn seed_for(&self, rep: usize) -> u64 {
-        let mut z = self.base_seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(rep as u64 + 1));
+        let mut z =
+            self.base_seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(rep as u64 + 1));
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^ (z >> 31)

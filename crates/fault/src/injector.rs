@@ -122,7 +122,8 @@ mod tests {
     fn sampled_injector_reports_its_configuration() {
         let mut rng = SmallRng::seed_from_u64(11);
         let target = FaultTarget::layer(FaultSite::ActivationBuffer, 2);
-        let injector = Injector::sample(target, 64, QFormat::Q3_4, 0.01, FaultKind::StuckAt1, &mut rng);
+        let injector =
+            Injector::sample(target, 64, QFormat::Q3_4, 0.01, FaultKind::StuckAt1, &mut rng);
         assert_eq!(injector.target(), target);
         assert_eq!(injector.format(), QFormat::Q3_4);
         assert_eq!(injector.fault_count(), 5); // 1% of 512 bits

@@ -89,7 +89,7 @@ impl FaultTarget {
     /// Whether faults under this target should be injected into layer
     /// `layer`.
     pub fn covers_layer(&self, layer: usize) -> bool {
-        self.layer.map_or(true, |l| l == layer)
+        self.layer.is_none_or(|l| l == layer)
     }
 }
 

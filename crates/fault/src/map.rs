@@ -240,7 +240,8 @@ mod tests {
     #[test]
     fn corrupt_f32_changes_values_and_enforce_reasserts_stuck_bits() {
         let fmt = QFormat::Q3_4;
-        let map = FaultMap::from_faults(vec![BitFault { word: 0, bit: 7, kind: FaultKind::StuckAt1 }]);
+        let map =
+            FaultMap::from_faults(vec![BitFault { word: 0, bit: 7, kind: FaultKind::StuckAt1 }]);
         let mut buf = vec![1.0f32, 2.0];
         map.corrupt_f32(&mut buf, fmt);
         assert!(buf[0] < 0.0, "sign bit stuck at 1 makes the value negative");
@@ -255,7 +256,8 @@ mod tests {
     #[test]
     fn enforce_skips_transient_flips() {
         let fmt = QFormat::Q3_4;
-        let map = FaultMap::from_faults(vec![BitFault { word: 0, bit: 7, kind: FaultKind::BitFlip }]);
+        let map =
+            FaultMap::from_faults(vec![BitFault { word: 0, bit: 7, kind: FaultKind::BitFlip }]);
         let mut buf = vec![1.0f32];
         map.enforce_f32(&mut buf, fmt);
         assert_eq!(buf[0], 1.0);
@@ -266,7 +268,8 @@ mod tests {
     #[test]
     fn stuck_at_0_on_zero_bits_is_benign() {
         let fmt = QFormat::Q3_4;
-        let map = FaultMap::from_faults(vec![BitFault { word: 0, bit: 6, kind: FaultKind::StuckAt0 }]);
+        let map =
+            FaultMap::from_faults(vec![BitFault { word: 0, bit: 6, kind: FaultKind::StuckAt0 }]);
         let mut buf = vec![0.5f32];
         map.corrupt_f32(&mut buf, fmt);
         assert_eq!(buf[0], 0.5);
@@ -274,7 +277,8 @@ mod tests {
 
     #[test]
     fn out_of_range_words_are_ignored() {
-        let map = FaultMap::from_faults(vec![BitFault { word: 10, bit: 0, kind: FaultKind::BitFlip }]);
+        let map =
+            FaultMap::from_faults(vec![BitFault { word: 10, bit: 0, kind: FaultKind::BitFlip }]);
         let mut buf = vec![1.0f32; 2];
         map.corrupt_f32(&mut buf, QFormat::Q3_4);
         assert_eq!(buf, vec![1.0, 1.0]);
@@ -296,8 +300,10 @@ mod tests {
     #[test]
     fn apply_on_qvalues_matches_corrupt_on_f32() {
         let fmt = QFormat::Q4_11;
-        let map = FaultMap::from_faults(vec![BitFault { word: 1, bit: 14, kind: FaultKind::BitFlip }]);
-        let mut words: Vec<QValue> = [0.25f32, 0.75].iter().map(|&v| QValue::quantize(v, fmt)).collect();
+        let map =
+            FaultMap::from_faults(vec![BitFault { word: 1, bit: 14, kind: FaultKind::BitFlip }]);
+        let mut words: Vec<QValue> =
+            [0.25f32, 0.75].iter().map(|&v| QValue::quantize(v, fmt)).collect();
         let mut floats = vec![0.25f32, 0.75];
         map.apply(&mut words);
         map.corrupt_f32(&mut floats, fmt);

@@ -127,6 +127,22 @@ mod tests {
     }
 
     #[test]
+    fn bit_flip_applied_twice_is_an_involution() {
+        // A single-event upset hitting the same (word, bit) location twice
+        // restores the original word, for every representable word and bit.
+        let fmt = QFormat::Q3_4;
+        for raw in fmt.min_raw()..=fmt.max_raw() {
+            let word = QValue::from_raw(raw, fmt);
+            for bit in 0..fmt.total_bits() {
+                let once = FaultKind::BitFlip.apply(word, bit).unwrap();
+                assert_ne!(once, word, "a flip must change the word");
+                let twice = FaultKind::BitFlip.apply(once, bit).unwrap();
+                assert_eq!(twice, word, "raw {raw} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
     fn all_lists_every_kind_once() {
         assert_eq!(FaultKind::ALL.len(), 3);
         assert!(FaultKind::ALL.contains(&FaultKind::StuckAt0));

@@ -132,10 +132,7 @@ mod tests {
 
     #[test]
     fn display_is_descriptive() {
-        assert_eq!(
-            InjectionSchedule::at_episode(5).to_string(),
-            "static injection at episode 5"
-        );
+        assert_eq!(InjectionSchedule::at_episode(5).to_string(), "static injection at episode 5");
         assert_eq!(InjectionMode::Dynamic.to_string(), "dynamic");
     }
 }

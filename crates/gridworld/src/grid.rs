@@ -34,7 +34,8 @@ pub enum Action {
 
 impl Action {
     /// All actions in index order.
-    pub const ALL: [Action; 4] = [Action::MoveUp, Action::MoveDown, Action::MoveLeft, Action::MoveRight];
+    pub const ALL: [Action; 4] =
+        [Action::MoveUp, Action::MoveDown, Action::MoveLeft, Action::MoveRight];
 
     /// The action with index `index`.
     ///
@@ -184,10 +185,7 @@ impl GridWorld {
     /// Panics if `n < 2` or `obstacle_fraction` is not in `[0, 0.9]`.
     pub fn random<R: Rng + ?Sized>(n: usize, obstacle_fraction: f64, rng: &mut R) -> GridWorld {
         assert!(n >= 2, "grid must be at least 2x2");
-        assert!(
-            (0.0..=0.9).contains(&obstacle_fraction),
-            "obstacle fraction must be in [0, 0.9]"
-        );
+        assert!((0.0..=0.9).contains(&obstacle_fraction), "obstacle fraction must be in [0, 0.9]");
         loop {
             let mut cells = vec![Cell::Free; n * n];
             for cell in cells.iter_mut() {
@@ -197,7 +195,14 @@ impl GridWorld {
             }
             cells[0] = Cell::Source;
             cells[n * n - 1] = Cell::Goal;
-            let world = GridWorld { n, cells, source: 0, goal: n * n - 1, agent: 0, exploring_starts: None };
+            let world = GridWorld {
+                n,
+                cells,
+                source: 0,
+                goal: n * n - 1,
+                agent: 0,
+                exploring_starts: None,
+            };
             if world.has_path() {
                 return world;
             }

@@ -73,7 +73,11 @@ pub struct RangeGuard {
 
 impl RangeGuard {
     /// Instruments the per-layer weight ranges of a trained network.
-    pub fn from_network(network: &Network, format: QFormat, config: RangeGuardConfig) -> RangeGuard {
+    pub fn from_network(
+        network: &Network,
+        format: QFormat,
+        config: RangeGuardConfig,
+    ) -> RangeGuard {
         let bounds = network
             .weight_ranges()
             .into_iter()
@@ -162,7 +166,8 @@ impl RangeGuard {
 /// Widens `(lo, hi)` by `margin` (relative, away from zero on both sides).
 fn widen(lo: f32, hi: f32, margin: f64) -> (f32, f32) {
     let m = margin as f32;
-    let widen_one = |v: f32| if v >= 0.0 { v * (1.0 + m) } else { v * (1.0 + m) };
+    // Scaling by (1 + m) moves a value away from zero regardless of sign.
+    let widen_one = |v: f32| v * (1.0 + m);
     let lo = if lo > 0.0 { lo * (1.0 - m) } else { widen_one(lo) };
     let hi = if hi < 0.0 { hi * (1.0 - m) } else { widen_one(hi) };
     (lo, hi)
@@ -267,7 +272,8 @@ mod tests {
         // Bounds of ±1.0 with a 10% margin; a value of 1.4 exceeds the bound
         // but shares the same integer bits (1), so the cheap comparison
         // accepts it while the full-precision comparison flags it.
-        let cheap = RangeGuard::from_bounds([(0, -1.0, 1.0)], QFormat::Q4_11, RangeGuardConfig::paper());
+        let cheap =
+            RangeGuard::from_bounds([(0, -1.0, 1.0)], QFormat::Q4_11, RangeGuardConfig::paper());
         let precise = RangeGuard::from_bounds(
             [(0, -1.0, 1.0)],
             QFormat::Q4_11,
@@ -282,7 +288,8 @@ mod tests {
 
     #[test]
     fn unguarded_layers_are_never_anomalous() {
-        let guard = RangeGuard::from_bounds([(2, -1.0, 1.0)], QFormat::Q4_11, RangeGuardConfig::paper());
+        let guard =
+            RangeGuard::from_bounds([(2, -1.0, 1.0)], QFormat::Q4_11, RangeGuardConfig::paper());
         assert!(!guard.is_anomalous(0, 100.0));
         assert!(guard.is_anomalous(2, 100.0));
         assert_eq!(guard.bounds().len(), 1);
@@ -323,7 +330,8 @@ mod tests {
 
     #[test]
     fn guard_config_accessors() {
-        let guard = RangeGuard::from_bounds([(0, 0.0, 1.0)], QFormat::Q3_4, RangeGuardConfig::paper());
+        let guard =
+            RangeGuard::from_bounds([(0, 0.0, 1.0)], QFormat::Q3_4, RangeGuardConfig::paper());
         assert_eq!(guard.config(), RangeGuardConfig::paper());
         assert_eq!(RangeGuardConfig::default(), RangeGuardConfig::paper());
         assert!(!RangeGuardConfig::full_precision(0.2).integer_bits_only);

@@ -148,7 +148,10 @@ impl ExplorationAdjuster {
 
     /// Number of transient-fault detections.
     pub fn transient_detections(&self) -> usize {
-        self.events.iter().filter(|e| matches!(e, MitigationEvent::TransientDetected { .. })).count()
+        self.events
+            .iter()
+            .filter(|e| matches!(e, MitigationEvent::TransientDetected { .. }))
+            .count()
     }
 
     /// Number of permanent-fault detections.
@@ -158,7 +161,12 @@ impl ExplorationAdjuster {
 
     /// Episode observer: call at the end of every training episode (the
     /// signature matches the observer parameter of the `navft-rl` trainers).
-    pub fn observe(&mut self, episode: usize, trace: &TrainingTrace, epsilon: &mut EpsilonSchedule) {
+    pub fn observe(
+        &mut self,
+        episode: usize,
+        trace: &TrainingTrace,
+        epsilon: &mut EpsilonSchedule,
+    ) {
         let max_reward = f64::from(trace.max_reward());
         if !max_reward.is_finite() || max_reward <= 0.0 {
             // Nothing learned yet: no reference level to detect drops against.
@@ -212,8 +220,8 @@ impl ExplorationAdjuster {
         // Mean reward over the smoothing window that ended y episodes ago.
         let end = trace.len() - y;
         let start = end.saturating_sub(w);
-        let past: f64 =
-            trace.rewards[start..end].iter().map(|&r| f64::from(r)).sum::<f64>() / (end - start) as f64;
+        let past: f64 = trace.rewards[start..end].iter().map(|&r| f64::from(r)).sum::<f64>()
+            / (end - start) as f64;
         let drop = (past - recent) / max_reward;
         (drop > self.config.reward_drop_fraction).then_some(drop.min(1.0))
     }
@@ -231,7 +239,8 @@ mod tests {
     use navft_rl::EpisodeOutcome;
 
     fn push(trace: &mut TrainingTrace, reward: f32, epsilon: f64) {
-        trace.push(EpisodeOutcome { cumulative_reward: reward, ..EpisodeOutcome::empty() }, epsilon);
+        trace
+            .push(EpisodeOutcome { cumulative_reward: reward, ..EpisodeOutcome::empty() }, epsilon);
     }
 
     fn run_rewards(rewards: &[f32]) -> (ExplorationAdjuster, EpsilonSchedule) {

@@ -62,16 +62,8 @@ impl Conv2d {
     ) -> Conv2d {
         let fan_in = in_channels * kernel * kernel;
         let scale = (2.0 / fan_in as f32).sqrt();
-        let weights =
-            (0..out_channels * fan_in).map(|_| rng.gen_range(-scale..=scale)).collect();
-        Conv2d {
-            in_channels,
-            out_channels,
-            kernel,
-            stride,
-            weights,
-            bias: vec![0.0; out_channels],
-        }
+        let weights = (0..out_channels * fan_in).map(|_| rng.gen_range(-scale..=scale)).collect();
+        Conv2d { in_channels, out_channels, kernel, stride, weights, bias: vec![0.0; out_channels] }
     }
 
     /// Output spatial size for an input of extent `input`.
@@ -161,7 +153,11 @@ impl MaxPool2d {
                     let mut best = f32::NEG_INFINITY;
                     for ky in 0..self.kernel {
                         for kx in 0..self.kernel {
-                            best = best.max(input.get(&[ch, oy * self.stride + ky, ox * self.stride + kx]));
+                            best = best.max(input.get(&[
+                                ch,
+                                oy * self.stride + ky,
+                                ox * self.stride + kx,
+                            ]));
                         }
                     }
                     out.set(&[ch, oy, ox], best);

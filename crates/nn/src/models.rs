@@ -257,7 +257,8 @@ mod tests {
     fn layer_names_for_mlp_are_fc_only() {
         let mut rng = SmallRng::seed_from_u64(4);
         let net = mlp(&[4, 8, 2], &mut rng);
-        let labels: Vec<String> = parametric_layer_names(&net).into_iter().map(|(n, _)| n).collect();
+        let labels: Vec<String> =
+            parametric_layer_names(&net).into_iter().map(|(n, _)| n).collect();
         assert_eq!(labels, vec!["fc1", "fc2"]);
     }
 }

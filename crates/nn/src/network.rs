@@ -136,12 +136,7 @@ impl Network {
     /// network order. These are the targets of per-layer weight fault
     /// injection (Fig. 7d).
     pub fn parametric_layers(&self) -> Vec<usize> {
-        self.layers
-            .iter()
-            .enumerate()
-            .filter(|(_, l)| l.is_parametric())
-            .map(|(i, _)| i)
-            .collect()
+        self.layers.iter().enumerate().filter(|(_, l)| l.is_parametric()).map(|(i, _)| i).collect()
     }
 
     /// The weight buffer of layer `index`, if that layer has one.
@@ -302,11 +297,7 @@ impl Network {
             self.layers.len() + 1,
             "trace does not match network topology"
         );
-        assert_eq!(
-            output_grad.len(),
-            trace.output().len(),
-            "output gradient length mismatch"
-        );
+        assert_eq!(output_grad.len(), trace.output().len(), "output gradient length mismatch");
         let mut grad = output_grad.to_vec();
         let mut updated = 0;
         for index in (0..self.layers.len()).rev() {
@@ -315,8 +306,7 @@ impl Network {
                 Layer::Linear(linear) => {
                     let x = input.data();
                     let mut input_grad = vec![0.0f32; linear.in_features];
-                    for o in 0..linear.out_features {
-                        let g = grad[o];
+                    for (o, &g) in grad.iter().enumerate().take(linear.out_features) {
                         let row_start = o * linear.in_features;
                         if index >= trainable_from {
                             linear.bias[o] -= lr * g;
@@ -531,7 +521,8 @@ mod tests {
             Layer::Conv2d(conv),
             Layer::Relu,
             Layer::Flatten,
-            Layer::Linear(Linear::new(2 * 1 * 1, 2, &mut rng)),
+            // in_features = channels x height x width = 2 x 1 x 1
+            Layer::Linear(Linear::new(2, 2, &mut rng)),
         ]);
         let x = Tensor::full(&[1, 2, 2], 0.5);
         let trace = net.forward_traced(&x);

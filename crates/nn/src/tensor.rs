@@ -53,7 +53,13 @@ impl Tensor {
     /// Panics if `data.len()` does not match the product of `shape`.
     pub fn from_vec(shape: &[usize], data: Vec<f32>) -> Tensor {
         let expected: usize = shape.iter().product();
-        assert_eq!(data.len(), expected, "data length {} does not match shape {:?}", data.len(), shape);
+        assert_eq!(
+            data.len(),
+            expected,
+            "data length {} does not match shape {:?}",
+            data.len(),
+            shape
+        );
         assert!(!shape.is_empty(), "tensor shape must have at least one dimension");
         Tensor { shape: shape.to_vec(), data }
     }

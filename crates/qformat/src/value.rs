@@ -165,7 +165,8 @@ impl QValue {
         assert_eq!(self.format, other.format, "operands must share a format");
         let wide = i64::from(self.raw()) * i64::from(other.raw());
         let rescaled = wide >> self.format.frac_bits();
-        let clamped = rescaled.clamp(i64::from(self.format.min_raw()), i64::from(self.format.max_raw()));
+        let clamped =
+            rescaled.clamp(i64::from(self.format.min_raw()), i64::from(self.format.max_raw()));
         QValue::from_raw(clamped as i32, self.format)
     }
 
@@ -358,6 +359,16 @@ mod proptests {
             .prop_map(|(i, f)| QFormat::new(i, f).expect("valid format"))
     }
 
+    /// Formats whose full precision survives a round-trip through `f32`
+    /// arithmetic: `quantize` scales by `2^frac_bits` in `f32`, so formats
+    /// wider than the 24-bit mantissa would see representation error larger
+    /// than their own resolution.
+    fn arb_narrow_format() -> impl Strategy<Value = QFormat> {
+        (0u8..=10, 0u8..=12)
+            .prop_filter("at least one value bit", |(i, f)| i + f >= 1)
+            .prop_map(|(i, f)| QFormat::new(i, f).expect("valid format"))
+    }
+
     proptest! {
         #[test]
         fn quantize_never_exceeds_range(value in -2000.0f32..2000.0, fmt in arb_format()) {
@@ -382,6 +393,37 @@ mod proptests {
                 .with_flipped_bit(bit).expect("valid")
                 .with_flipped_bit(bit).expect("valid");
             prop_assert_eq!(v, twice);
+        }
+
+        #[test]
+        fn quantize_dequantize_roundtrip_error_is_bounded(
+            value in -4000.0f32..4000.0,
+            fmt in arb_narrow_format(),
+        ) {
+            // Quantize → dequantize must land within one quantization step
+            // (2^-frac_bits) of the nearest representable value, i.e. of the
+            // input clamped to the format's range.
+            let clamped = value.clamp(fmt.min_value(), fmt.max_value());
+            let roundtrip = QValue::quantize(value, fmt).to_f32();
+            let step = fmt.resolution(); // == 2^-frac_bits
+            prop_assert!(
+                (roundtrip - clamped).abs() <= step,
+                "format Q{}.{}: {} round-tripped to {} (step {})",
+                fmt.int_bits(), fmt.frac_bits(), value, roundtrip, step
+            );
+        }
+
+        #[test]
+        fn quantize_saturates_at_format_extremes(
+            beyond in 0.0f32..1e6,
+            fmt in arb_format(),
+        ) {
+            // Anything at or past the representable range must pin to the
+            // extreme raw codes rather than wrapping.
+            let hi = QValue::quantize(fmt.max_value() + beyond, fmt);
+            prop_assert_eq!(hi.raw(), fmt.max_raw());
+            let lo = QValue::quantize(fmt.min_value() - beyond, fmt);
+            prop_assert_eq!(lo.raw(), fmt.min_raw());
         }
 
         #[test]

@@ -161,7 +161,14 @@ impl DqnAgent {
     }
 
     /// Stores a transition in the replay buffer.
-    pub fn observe(&mut self, state: &Tensor, action: usize, reward: f32, next_state: &Tensor, terminal: bool) {
+    pub fn observe(
+        &mut self,
+        state: &Tensor,
+        action: usize,
+        reward: f32,
+        next_state: &Tensor,
+        terminal: bool,
+    ) {
         self.replay.push(Transition {
             state: state.data().to_vec(),
             action,

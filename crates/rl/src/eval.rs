@@ -275,7 +275,13 @@ mod tests {
             let fell = self.position == 0;
             DiscreteTransition {
                 next_state: self.position.min(2),
-                reward: if reached_goal { 1.0 } else if fell { -1.0 } else { 0.0 },
+                reward: if reached_goal {
+                    1.0
+                } else if fell {
+                    -1.0
+                } else {
+                    0.0
+                },
                 terminal: reached_goal || fell,
                 reached_goal,
             }
@@ -293,7 +299,8 @@ mod tests {
     fn clean_policy_always_succeeds() {
         let mut env = Line { position: 1 };
         let mut rng = SmallRng::seed_from_u64(0);
-        let result = evaluate_tabular(&mut env, &good_table(), 50, 10, &InferenceFaultMode::None, &mut rng);
+        let result =
+            evaluate_tabular(&mut env, &good_table(), 50, 10, &InferenceFaultMode::None, &mut rng);
         assert_eq!(result.success_rate, 1.0);
         assert_eq!(result.episodes, 50);
         assert!(result.mean_reward > 0.9);
@@ -302,7 +309,8 @@ mod tests {
     fn flip_decision_injector() -> Injector {
         // Flip the sign bit of Q(1, 0) so the greedy action at state 1 becomes
         // "move left" into the pit.
-        let map = FaultMap::from_faults(vec![BitFault { word: 2, bit: 7, kind: FaultKind::BitFlip }]);
+        let map =
+            FaultMap::from_faults(vec![BitFault { word: 2, bit: 7, kind: FaultKind::BitFlip }]);
         Injector::new(FaultTarget::new(FaultSite::TabularBuffer), QFormat::Q3_4, map)
     }
 
@@ -323,8 +331,7 @@ mod tests {
         let mut env = Line { position: 1 };
         let mut rng = SmallRng::seed_from_u64(2);
         let single = InferenceFaultMode::TransientSingleStep(flip_decision_injector());
-        let result_single =
-            evaluate_tabular(&mut env, &good_table(), 200, 10, &single, &mut rng);
+        let result_single = evaluate_tabular(&mut env, &good_table(), 200, 10, &single, &mut rng);
         let whole = InferenceFaultMode::TransientWholeEpisode(flip_decision_injector());
         let result_whole = evaluate_tabular(&mut env, &good_table(), 200, 10, &whole, &mut rng);
         // The single-step fault only matters when the corrupted step is the
@@ -338,8 +345,10 @@ mod tests {
     fn permanent_and_whole_episode_transients_match_for_read_only_tables() {
         let mut env = Line { position: 1 };
         let mut rng = SmallRng::seed_from_u64(3);
-        let map = FaultMap::from_faults(vec![BitFault { word: 2, bit: 7, kind: FaultKind::StuckAt1 }]);
-        let injector = Injector::new(FaultTarget::new(FaultSite::TabularBuffer), QFormat::Q3_4, map);
+        let map =
+            FaultMap::from_faults(vec![BitFault { word: 2, bit: 7, kind: FaultKind::StuckAt1 }]);
+        let injector =
+            Injector::new(FaultTarget::new(FaultSite::TabularBuffer), QFormat::Q3_4, map);
         let permanent = InferenceFaultMode::Permanent(injector);
         let result = evaluate_tabular(&mut env, &good_table(), 20, 10, &permanent, &mut rng);
         assert_eq!(result.success_rate, 0.0);
@@ -353,8 +362,11 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(4);
         // Hand-craft a network that always prefers action 0 (weights favour output 0).
         let mut net = mlp(&[3, 2], &mut rng);
-        net.layer_weights_mut(0).expect("weights").copy_from_slice(&[1.0, 1.0, 1.0, -1.0, -1.0, -1.0]);
-        let result = evaluate_network_discrete(&mut env, &net, 20, 10, &InferenceFaultMode::None, &mut rng);
+        net.layer_weights_mut(0)
+            .expect("weights")
+            .copy_from_slice(&[1.0, 1.0, 1.0, -1.0, -1.0, -1.0]);
+        let result =
+            evaluate_network_discrete(&mut env, &net, 20, 10, &InferenceFaultMode::None, &mut rng);
         assert_eq!(result.success_rate, 1.0);
     }
 
@@ -392,7 +404,9 @@ mod tests {
         let mut env = StraightHall { remaining: 5 };
         let mut rng = SmallRng::seed_from_u64(5);
         let mut net = mlp(&[4, 2], &mut rng);
-        net.layer_weights_mut(0).expect("weights").copy_from_slice(&[1.0; 4].iter().chain([-1.0f32; 4].iter()).copied().collect::<Vec<f32>>());
+        net.layer_weights_mut(0).expect("weights").copy_from_slice(
+            &[1.0; 4].iter().chain([-1.0f32; 4].iter()).copied().collect::<Vec<f32>>(),
+        );
         let result =
             evaluate_network_vision(&mut env, &net, 4, 10, &InferenceFaultMode::None, &mut rng);
         assert_eq!(result.mean_distance, 5.0);
@@ -412,7 +426,9 @@ mod tests {
         let mut env = StraightHall { remaining: 5 };
         let mut rng = SmallRng::seed_from_u64(6);
         let mut net = mlp(&[4, 2], &mut rng);
-        net.layer_weights_mut(0).expect("weights").copy_from_slice(&[1.0; 4].iter().chain([-1.0f32; 4].iter()).copied().collect::<Vec<f32>>());
+        net.layer_weights_mut(0).expect("weights").copy_from_slice(
+            &[1.0; 4].iter().chain([-1.0f32; 4].iter()).copied().collect::<Vec<f32>>(),
+        );
         let clean =
             evaluate_network_vision(&mut env, &net, 4, 10, &InferenceFaultMode::None, &mut rng);
         let corrupted = evaluate_network_vision_hooked(
@@ -431,12 +447,12 @@ mod tests {
     fn corrupt_network_weights_only_touches_faulted_span() {
         let mut rng = SmallRng::seed_from_u64(7);
         let net = mlp(&[3, 4, 2], &mut rng);
-        let map = FaultMap::from_faults(vec![BitFault { word: 0, bit: 7, kind: FaultKind::StuckAt1 }]);
-        let injector = Injector::new(FaultTarget::new(FaultSite::WeightBuffer), QFormat::Q4_11, map);
-        let corrupted = corrupt_network_weights(
-            &net,
-            &InferenceFaultMode::TransientWholeEpisode(injector),
-        );
+        let map =
+            FaultMap::from_faults(vec![BitFault { word: 0, bit: 7, kind: FaultKind::StuckAt1 }]);
+        let injector =
+            Injector::new(FaultTarget::new(FaultSite::WeightBuffer), QFormat::Q4_11, map);
+        let corrupted =
+            corrupt_network_weights(&net, &InferenceFaultMode::TransientWholeEpisode(injector));
         let diff: usize = net
             .flat_weights()
             .iter()

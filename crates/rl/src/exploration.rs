@@ -134,7 +134,11 @@ impl Default for EpsilonSchedule {
 
 impl fmt::Display for EpsilonSchedule {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "epsilon {:.3} (floor {:.3}, initial {:.3})", self.current, self.floor, self.initial)
+        write!(
+            f,
+            "epsilon {:.3} (floor {:.3}, initial {:.3})",
+            self.current, self.floor, self.initial
+        )
     }
 }
 

@@ -1,4 +1,4 @@
-use navft_fault::{Injector, InjectionSchedule};
+use navft_fault::{InjectionSchedule, Injector};
 use navft_nn::Network;
 
 /// A training-time fault plan: *which* faults strike (an [`Injector`]) and
@@ -50,7 +50,7 @@ impl FaultPlan {
 
     /// Whether the plan injects no faults.
     pub fn is_fault_free(&self) -> bool {
-        self.injector.as_ref().map_or(true, |i| i.fault_count() == 0)
+        self.injector.as_ref().is_none_or(|i| i.fault_count() == 0)
     }
 
     /// The injection schedule.
@@ -112,11 +112,8 @@ impl FaultPlan {
     }
 
     fn apply_to_network(injector: &Injector, network: &mut Network, enforce_only: bool) {
-        let spans: Vec<(usize, std::ops::Range<usize>)> = network
-            .parametric_layers()
-            .into_iter()
-            .map(|i| (i, network.weight_span(i)))
-            .collect();
+        let spans: Vec<(usize, std::ops::Range<usize>)> =
+            network.parametric_layers().into_iter().map(|i| (i, network.weight_span(i))).collect();
         let format = injector.format();
         for (layer, span) in spans {
             let slice = injector.map().slice(span);
@@ -151,7 +148,8 @@ mod tests {
 
     fn single_fault_plan(kind: FaultKind, word: usize, episode: usize) -> FaultPlan {
         let map = FaultMap::from_faults(vec![BitFault { word, bit: 7, kind }]);
-        let injector = Injector::new(FaultTarget::new(FaultSite::TabularBuffer), QFormat::Q3_4, map);
+        let injector =
+            Injector::new(FaultTarget::new(FaultSite::TabularBuffer), QFormat::Q3_4, map);
         FaultPlan::new(injector, navft_fault::InjectionSchedule::at_episode(episode))
     }
 
@@ -207,7 +205,11 @@ mod tests {
         let mut net = mlp(&[4, 8, 2], &mut rng);
         let total = net.weight_count();
         // Fault the very last weight of the concatenated buffer (in fc2).
-        let map = FaultMap::from_faults(vec![BitFault { word: total - 1, bit: 7, kind: FaultKind::StuckAt1 }]);
+        let map = FaultMap::from_faults(vec![BitFault {
+            word: total - 1,
+            bit: 7,
+            kind: FaultKind::StuckAt1,
+        }]);
         let injector = Injector::new(FaultTarget::new(FaultSite::WeightBuffer), QFormat::Q3_4, map);
         let plan = FaultPlan::new(injector, navft_fault::InjectionSchedule::from_start());
         let fc1_before = net.layer_weights(0).expect("weights").to_vec();
@@ -218,7 +220,9 @@ mod tests {
         assert!(fc2.last().expect("non-empty") < &0.0);
         // Re-enforcement after a (simulated) update restores the stuck value.
         let mut net2 = net.clone();
-        net2.layer_weights_mut(last_layer).expect("weights").last_mut().map(|w| *w = 1.0);
+        if let Some(w) = net2.layer_weights_mut(last_layer).expect("weights").last_mut() {
+            *w = 1.0;
+        }
         plan.after_update_network(1, &mut net2);
         assert!(net2.layer_weights(last_layer).expect("weights").last().expect("non-empty") < &0.0);
     }

@@ -169,7 +169,8 @@ mod tests {
 
     #[test]
     fn eval_result_display() {
-        let r = EvalResult { success_rate: 0.97, mean_reward: 0.9, mean_distance: 55.0, episodes: 100 };
+        let r =
+            EvalResult { success_rate: 0.97, mean_reward: 0.9, mean_distance: 55.0, episodes: 100 };
         let text = r.to_string();
         assert!(text.contains("97.0%"));
         assert!(text.contains("100 episodes"));

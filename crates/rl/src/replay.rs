@@ -108,7 +108,13 @@ mod tests {
     use rand::SeedableRng;
 
     fn transition(tag: f32) -> Transition {
-        Transition { state: vec![tag], action: 0, reward: tag, next_state: vec![tag], terminal: false }
+        Transition {
+            state: vec![tag],
+            action: 0,
+            reward: tag,
+            next_state: vec![tag],
+            terminal: false,
+        }
     }
 
     #[test]

@@ -139,6 +139,8 @@ impl QTable {
     /// `Q(s,a) ← Q(s,a) + α (r + γ maxₐ' Q(s',a') − Q(s,a))`.
     ///
     /// For terminal transitions the bootstrap term is dropped.
+    // The arguments mirror the terms of the paper's update equation.
+    #[allow(clippy::too_many_arguments)]
     pub fn update(
         &mut self,
         state: usize,
@@ -290,9 +292,19 @@ mod tests {
         fn step(&mut self, action: usize) -> DiscreteTransition {
             if action == 1 {
                 self.state = 1;
-                DiscreteTransition { next_state: 1, reward: 1.0, terminal: true, reached_goal: true }
+                DiscreteTransition {
+                    next_state: 1,
+                    reward: 1.0,
+                    terminal: true,
+                    reached_goal: true,
+                }
             } else {
-                DiscreteTransition { next_state: 0, reward: 0.0, terminal: false, reached_goal: false }
+                DiscreteTransition {
+                    next_state: 0,
+                    reward: 0.0,
+                    terminal: false,
+                    reached_goal: false,
+                }
             }
         }
     }

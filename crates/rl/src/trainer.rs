@@ -350,13 +350,16 @@ mod tests {
 
     #[test]
     fn stuck_at_fault_keeps_the_table_cell_pinned() {
-        use navft_fault::{BitFault, FaultKind, FaultMap, FaultSite, FaultTarget, InjectionSchedule, Injector};
+        use navft_fault::{
+            BitFault, FaultKind, FaultMap, FaultSite, FaultTarget, InjectionSchedule, Injector,
+        };
 
         let mut env = Corridor::new(5);
         let mut agent = TabularAgent::for_grid_world(5, 2);
         // Stick the sign bit of the very first table word to 1: it must stay
         // negative throughout training.
-        let map = FaultMap::from_faults(vec![BitFault { word: 0, bit: 7, kind: FaultKind::StuckAt1 }]);
+        let map =
+            FaultMap::from_faults(vec![BitFault { word: 0, bit: 7, kind: FaultKind::StuckAt1 }]);
         let injector =
             Injector::new(FaultTarget::new(FaultSite::TabularBuffer), QFormat::Q3_4, map);
         let plan = FaultPlan::new(injector, InjectionSchedule::from_start());

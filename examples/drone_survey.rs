@@ -69,7 +69,14 @@ fn main() {
             &InferenceFaultMode::None,
             &mut rng,
             |episode| {
-                BufferFaultHook::new(target, persistence, ber, FaultKind::BitFlip, QFormat::Q4_11, episode as u64)
+                BufferFaultHook::new(
+                    target,
+                    persistence,
+                    ber,
+                    FaultKind::BitFlip,
+                    QFormat::Q4_11,
+                    episode as u64,
+                )
             },
         );
         println!("  {:<26} {:>7.1} m", label, result.mean_distance);
@@ -78,13 +85,18 @@ fn main() {
     println!("\nper-layer sensitivity at BER = 1e-2 (bit flips confined to one layer):");
     for (name, layer) in navft_nn::parametric_layer_names(&policy) {
         let span = policy.weight_span(layer);
-        let local = FaultMap::sample(span.len(), QFormat::Q4_11, 1e-2, FaultKind::BitFlip, &mut rng);
+        let local =
+            FaultMap::sample(span.len(), QFormat::Q4_11, 1e-2, FaultKind::BitFlip, &mut rng);
         let shifted: FaultMap = local
             .faults()
             .iter()
             .map(|f| BitFault { word: f.word + span.start, bit: f.bit, kind: f.kind })
             .collect();
-        let injector = Injector::new(FaultTarget::layer(FaultSite::WeightBuffer, layer), QFormat::Q4_11, shifted);
+        let injector = Injector::new(
+            FaultTarget::layer(FaultSite::WeightBuffer, layer),
+            QFormat::Q4_11,
+            shifted,
+        );
         let result = evaluate_network_vision(
             &mut sim,
             &policy,

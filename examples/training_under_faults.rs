@@ -10,7 +10,9 @@ use navft_fault::{FaultKind, FaultSite, FaultTarget, InjectionSchedule, Injector
 use navft_gridworld::{GridWorld, ObstacleDensity};
 use navft_mitigation::ExplorationAdjuster;
 use navft_qformat::QFormat;
-use navft_rl::{evaluate_tabular, trainer, DiscreteEnvironment, FaultPlan, InferenceFaultMode, TabularAgent};
+use navft_rl::{
+    evaluate_tabular, trainer, DiscreteEnvironment, FaultPlan, InferenceFaultMode, TabularAgent,
+};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 

@@ -34,11 +34,7 @@ fn parallel_and_serial_campaigns_agree_on_corruption_magnitude() {
         );
         let mut corrupted = weights.clone();
         injector.corrupt(&mut corrupted);
-        corrupted
-            .iter()
-            .zip(weights.iter())
-            .map(|(a, b)| f64::from((a - b).abs()))
-            .sum::<f64>()
+        corrupted.iter().zip(weights.iter()).map(|(a, b)| f64::from((a - b).abs())).sum::<f64>()
     };
     let config = CampaignConfig::new(32, 9);
     let serial = run(&config, experiment);

@@ -51,13 +51,8 @@ fn stuck_at_one_faults_leave_negative_cells_in_the_trained_table() {
     );
     // Every word whose sign bit is stuck at 1 must read back negative.
     let sign_bit = QFormat::Q3_4.sign_bit();
-    let stuck_sign_words: Vec<usize> = injector
-        .map()
-        .faults()
-        .iter()
-        .filter(|f| f.bit == sign_bit)
-        .map(|f| f.word)
-        .collect();
+    let stuck_sign_words: Vec<usize> =
+        injector.map().faults().iter().filter(|f| f.bit == sign_bit).map(|f| f.word).collect();
     for word in stuck_sign_words {
         assert!(agent.table.values()[word] < 0.0, "word {word} should stay negative");
     }

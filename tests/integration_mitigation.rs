@@ -67,9 +67,8 @@ fn range_guard_protects_a_policy_against_weight_outliers_end_to_end() {
 
     // The scrubbed policy must be closer to the clean one than the corrupted
     // policy was.
-    let distance = |a: &[f32], b: &[f32]| -> f32 {
-        a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
-    };
+    let distance =
+        |a: &[f32], b: &[f32]| -> f32 { a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum() };
     let clean_flat = policy.flat_weights();
     assert!(distance(&corrupted.flat_weights(), &clean_flat) <= distance(&flat, &clean_flat));
 }

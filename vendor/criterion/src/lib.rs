@@ -1,0 +1,210 @@
+//! Minimal, dependency-free stand-in for the parts of the `criterion` API
+//! that the navft workspace uses. The container image has no access to
+//! crates.io, so the workspace vendors this crate and wires it in as a path
+//! dependency.
+//!
+//! Provided surface: [`Criterion`] with `bench_function` /
+//! `benchmark_group`, [`BenchmarkGroup`] with `sample_size` and `finish`,
+//! [`Bencher::iter`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Measurement is simple wall-clock timing: each benchmark is warmed up
+//! briefly, then timed over `sample_size` samples, and the per-iteration
+//! median/min/max are printed. There are no plots, no statistics beyond
+//! that, and no baseline storage — enough to spot gross regressions and to
+//! keep `cargo bench` working offline. A `--quick` or `--test` CLI argument
+//! (as passed by `cargo test --benches`) reduces each benchmark to a single
+//! iteration so suites stay fast.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Entry point for registering benchmarks.
+pub struct Criterion {
+    sample_size: usize,
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let quick = std::env::args().any(|a| a == "--test" || a == "--quick");
+        Criterion { sample_size: 30, quick }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Criterion {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.into(), self.sample_size, self.quick, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { parent: self, name: name.into(), sample_size: None }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and configuration.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        let samples = self.sample_size.unwrap_or(self.parent.sample_size);
+        run_benchmark(&full, samples, self.parent.quick, f);
+        self
+    }
+
+    /// Finishes the group (reporting is per-benchmark, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it `self.iters` times back to back.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, samples: usize, quick: bool, mut f: F) {
+    if quick {
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut b);
+        println!("{id:<60} ok (quick)");
+        return;
+    }
+
+    // Warm-up: find an iteration count that takes roughly 10ms per sample.
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        if b.elapsed >= Duration::from_millis(10) || iters >= 1 << 20 {
+            break;
+        }
+        iters = iters.saturating_mul(2);
+    }
+
+    let mut per_iter: Vec<f64> = (0..samples)
+        .map(|_| {
+            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            f(&mut b);
+            b.elapsed.as_secs_f64() / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+
+    let median = per_iter[per_iter.len() / 2];
+    let min = per_iter[0];
+    let max = per_iter[per_iter.len() - 1];
+    println!(
+        "{id:<60} median {:>12} (min {}, max {}, {samples} samples x {iters} iters)",
+        format_time(median),
+        format_time(min),
+        format_time(max),
+    );
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} us", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Bundles benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running one or more benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut calls = 0u64;
+        let mut c = Criterion { sample_size: 2, quick: true };
+        c.bench_function("noop", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn group_inherits_and_overrides_sample_size() {
+        let mut c = Criterion { sample_size: 2, quick: true };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5);
+        let mut ran = false;
+        group.bench_function("inner", |b| b.iter(|| ran = true));
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn time_formatting_scales() {
+        assert!(format_time(2.0).ends_with(" s"));
+        assert!(format_time(2e-3).ends_with(" ms"));
+        assert!(format_time(2e-6).ends_with(" us"));
+        assert!(format_time(2e-9).ends_with(" ns"));
+    }
+}

@@ -1,0 +1,282 @@
+//! Minimal, deterministic stand-in for the parts of the `proptest` API that
+//! the navft workspace uses. The container image has no access to crates.io,
+//! so the workspace vendors this crate and wires it in as a path dependency.
+//!
+//! Provided surface:
+//!
+//! * [`strategy::Strategy`] with `prop_map` / `prop_filter` combinators.
+//! * Strategies for half-open and inclusive numeric ranges and for tuples of
+//!   strategies (arity 2–4).
+//! * The [`proptest!`] macro (deterministically seeded; case count
+//!   overridable via the `PROPTEST_CASES` environment variable) and the
+//!   `prop_assert!` family.
+//!
+//! Unlike the real crate there is no shrinking: a failing case panics with
+//! the generated inputs via the normal assertion message.
+
+#![forbid(unsafe_code)]
+
+pub use rand;
+
+/// Value-generation strategies.
+pub mod strategy {
+    use rand::rngs::SmallRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of an output type.
+    ///
+    /// `generate` returns `None` when the candidate was rejected (e.g. by
+    /// [`Strategy::prop_filter`]); the runner retries with fresh randomness.
+    pub trait Strategy {
+        /// The type of values this strategy produces.
+        type Value;
+
+        /// Generates one candidate value, or `None` if rejected.
+        fn generate(&self, rng: &mut SmallRng) -> Option<Self::Value>;
+
+        /// Transforms generated values with `map_fn`.
+        fn prop_map<U, F>(self, map_fn: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, map_fn }
+        }
+
+        /// Rejects generated values for which `pred` is false.
+        ///
+        /// `whence` labels the filter in the too-many-rejects panic message.
+        fn prop_filter<F>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter { inner: self, whence, pred }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        map_fn: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+
+        fn generate(&self, rng: &mut SmallRng) -> Option<U> {
+            self.inner.generate(rng).map(&self.map_fn)
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_filter`].
+    #[derive(Debug, Clone)]
+    pub struct Filter<S, F> {
+        inner: S,
+        #[allow(dead_code)]
+        whence: &'static str,
+        pred: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut SmallRng) -> Option<S::Value> {
+            self.inner.generate(rng).filter(|v| (self.pred)(v))
+        }
+    }
+
+    /// Strategy that always yields a fixed value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut SmallRng) -> Option<T> {
+            Some(self.0.clone())
+        }
+    }
+
+    macro_rules! range_strategies {
+        ($($ty:ty),*) => {$(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut SmallRng) -> Option<$ty> {
+                    Some(rand::Rng::gen_range(rng, self.clone()))
+                }
+            }
+
+            impl Strategy for RangeInclusive<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut SmallRng) -> Option<$ty> {
+                    Some(rand::Rng::gen_range(rng, self.clone()))
+                }
+            }
+        )*};
+    }
+
+    range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! tuple_strategies {
+        ($(($($name:ident),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut SmallRng) -> Option<Self::Value> {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    Some(($($name.generate(rng)?,)+))
+                }
+            }
+        )*};
+    }
+
+    tuple_strategies! {
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+    }
+}
+
+/// Deterministic test-case runner used by the [`proptest!`] macro.
+pub mod test_runner {
+    use crate::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Default number of cases per property (the real crate defaults to 256).
+    pub const DEFAULT_CASES: u32 = 256;
+
+    /// Maximum rejected candidates per case before giving up.
+    pub const MAX_REJECTS: u32 = 1_000;
+
+    /// Drives a property through its cases with a deterministic RNG.
+    pub struct TestRunner {
+        rng: SmallRng,
+        cases: u32,
+    }
+
+    impl Default for TestRunner {
+        fn default() -> TestRunner {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(DEFAULT_CASES);
+            // Fixed seed: the suite must be reproducible run-to-run.
+            TestRunner { rng: SmallRng::seed_from_u64(0x6e61_7666_7470_7231), cases }
+        }
+    }
+
+    impl TestRunner {
+        /// Number of cases this runner will execute.
+        pub fn cases(&self) -> u32 {
+            self.cases
+        }
+
+        /// Generates one value from `strategy`, retrying on rejection.
+        ///
+        /// # Panics
+        ///
+        /// Panics if the strategy rejects [`MAX_REJECTS`] candidates in a row.
+        pub fn draw<S: Strategy>(&mut self, strategy: &S) -> S::Value {
+            for _ in 0..MAX_REJECTS {
+                if let Some(value) = strategy.generate(&mut self.rng) {
+                    return value;
+                }
+            }
+            panic!("proptest: strategy rejected {MAX_REJECTS} candidates in a row");
+        }
+    }
+}
+
+/// The common imports: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::TestRunner;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests: `proptest! { #[test] fn name(x in strat) { .. } }`.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let mut runner = $crate::test_runner::TestRunner::default();
+            for _case in 0..runner.cases() {
+                $(let $arg = runner.draw(&{ $strategy });)*
+                $body
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property, like `assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property, like `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property, like `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_even() -> impl Strategy<Value = u32> {
+        (0u32..1000).prop_filter("even only", |v| v % 2 == 0)
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, y in -2.0f32..=2.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..=2.0).contains(&y));
+        }
+
+        #[test]
+        fn tuples_and_map_compose(pair in (0u8..=15, 0u8..=15).prop_map(|(a, b)| a as u16 + b as u16)) {
+            prop_assert!(pair <= 30);
+        }
+
+        #[test]
+        fn filter_rejects(even in arb_even()) {
+            prop_assert_eq!(even % 2, 0);
+        }
+    }
+
+    #[test]
+    fn runner_is_deterministic() {
+        let strat = 0u64..u64::MAX;
+        let mut a = TestRunner::default();
+        let mut b = TestRunner::default();
+        for _ in 0..32 {
+            assert_eq!(a.draw(&strat), b.draw(&strat));
+        }
+    }
+}

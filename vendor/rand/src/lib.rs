@@ -1,0 +1,349 @@
+//! Minimal, dependency-free stand-in for the parts of the `rand` 0.8 API that
+//! the navft workspace uses. The container image has no access to crates.io,
+//! so the workspace vendors this crate and wires it in as a path dependency.
+//!
+//! Provided surface:
+//!
+//! * [`RngCore`], [`Rng`] (with `gen_range` over int/float ranges and
+//!   `gen_bool`), [`SeedableRng`] (with `seed_from_u64`).
+//! * [`rngs::SmallRng`] — a deterministic xoshiro256++ generator seeded via
+//!   SplitMix64, matching the real crate's algorithm choice on 64-bit
+//!   platforms.
+//! * [`seq::index::sample`] — uniform sampling of distinct indices without
+//!   replacement (Floyd's algorithm).
+//!
+//! The implementation is deliberately small and fully deterministic: the same
+//! seed always yields the same stream on every platform.
+
+#![forbid(unsafe_code)]
+
+/// Low-level source of randomness: a stream of `u32`/`u64` words.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A random number generator that can be explicitly seeded.
+pub trait SeedableRng: Sized {
+    /// Seed material accepted by [`SeedableRng::from_seed`].
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Creates a generator from raw seed bytes.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64`, expanding it with SplitMix64.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let word = splitmix64(&mut state).to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&word[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// User-facing random value generation, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range` (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p must be in [0, 1], got {p}");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Maps 64 random bits to a float uniform in `[0, 1)` using the top 53 bits.
+fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Maps 64 random bits to a float uniform in `[0, 1)` with f32 precision.
+fn unit_f32(word: u64) -> f32 {
+    (word >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+}
+
+/// Uniform-distribution plumbing behind [`Rng::gen_range`].
+pub mod distributions {
+    /// Range abstraction used by `gen_range`.
+    pub mod uniform {
+        use crate::RngCore;
+        use std::ops::{Range, RangeInclusive};
+
+        /// A range that can produce a uniform sample of `T`.
+        pub trait SampleRange<T> {
+            /// Draws one sample from the range using `rng`.
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        macro_rules! int_range_impls {
+            ($($ty:ty),*) => {$(
+                impl SampleRange<$ty> for Range<$ty> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                        assert!(self.start < self.end, "gen_range: empty range");
+                        let span = (self.end as i128 - self.start as i128) as u128;
+                        let offset = (rng.next_u64() as u128 % span) as i128;
+                        (self.start as i128 + offset) as $ty
+                    }
+                }
+                impl SampleRange<$ty> for RangeInclusive<$ty> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                        let (start, end) = (*self.start(), *self.end());
+                        assert!(start <= end, "gen_range: empty range");
+                        let span = (end as i128 - start as i128) as u128 + 1;
+                        let offset = (rng.next_u64() as u128 % span) as i128;
+                        (start as i128 + offset) as $ty
+                    }
+                }
+            )*};
+        }
+
+        int_range_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+        macro_rules! float_range_impls {
+            ($($ty:ty => $unit:path),*) => {$(
+                impl SampleRange<$ty> for Range<$ty> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                        assert!(self.start < self.end, "gen_range: empty range");
+                        let f = $unit(rng.next_u64());
+                        self.start + f * (self.end - self.start)
+                    }
+                }
+                impl SampleRange<$ty> for RangeInclusive<$ty> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                        let (start, end) = (*self.start(), *self.end());
+                        assert!(start <= end, "gen_range: empty range");
+                        let f = $unit(rng.next_u64());
+                        start + f * (end - start)
+                    }
+                }
+            )*};
+        }
+
+        float_range_impls!(f32 => crate::unit_f32, f64 => crate::unit_f64);
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use crate::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator — the algorithm the real
+    /// `rand::rngs::SmallRng` uses on 64-bit platforms.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> SmallRng {
+            let mut s = [0u64; 4];
+            for (word, chunk) in s.iter_mut().zip(seed.chunks_exact(8)) {
+                *word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+            // An all-zero state would be a fixed point; nudge it.
+            if s == [0; 4] {
+                s = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
+            }
+            SmallRng { s }
+        }
+    }
+}
+
+/// Sequence-related helpers.
+pub mod seq {
+    /// Sampling of distinct indices.
+    pub mod index {
+        use crate::{Rng, RngCore};
+        use std::collections::HashSet;
+
+        /// A set of distinct indices in `0..length`, in sample order.
+        #[derive(Debug, Clone, PartialEq, Eq)]
+        pub struct IndexVec(Vec<usize>);
+
+        impl IndexVec {
+            /// Number of sampled indices.
+            pub fn len(&self) -> usize {
+                self.0.len()
+            }
+
+            /// Whether no indices were sampled.
+            pub fn is_empty(&self) -> bool {
+                self.0.is_empty()
+            }
+
+            /// Consumes the set, returning the plain index vector.
+            pub fn into_vec(self) -> Vec<usize> {
+                self.0
+            }
+
+            /// Iterates over the sampled indices.
+            pub fn iter(&self) -> std::iter::Copied<std::slice::Iter<'_, usize>> {
+                self.0.iter().copied()
+            }
+        }
+
+        impl IntoIterator for IndexVec {
+            type Item = usize;
+            type IntoIter = std::vec::IntoIter<usize>;
+
+            fn into_iter(self) -> Self::IntoIter {
+                self.0.into_iter()
+            }
+        }
+
+        /// Samples `amount` distinct indices uniformly from `0..length`
+        /// without replacement (Floyd's algorithm).
+        ///
+        /// # Panics
+        ///
+        /// Panics if `amount > length`.
+        pub fn sample<R: RngCore + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+            assert!(
+                amount <= length,
+                "sample: amount ({amount}) must not exceed length ({length})"
+            );
+            let mut chosen = HashSet::with_capacity(amount);
+            let mut out = Vec::with_capacity(amount);
+            for j in (length - amount)..length {
+                let t = rng.gen_range(0..=j);
+                if chosen.insert(t) {
+                    out.push(t);
+                } else {
+                    chosen.insert(j);
+                    out.push(j);
+                }
+            }
+            IndexVec(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::index::sample;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 16);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let f = rng.gen_range(-2.0f32..=2.0);
+            assert!((-2.0..=2.0).contains(&f));
+            let i = rng.gen_range(-128i32..=127);
+            assert!((-128..=127).contains(&i));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+    }
+
+    #[test]
+    fn sample_is_distinct_and_exact() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        for amount in [0usize, 1, 10, 100] {
+            let idx = sample(&mut rng, 100, amount);
+            assert_eq!(idx.len(), amount);
+            let set: std::collections::HashSet<_> = idx.iter().collect();
+            assert_eq!(set.len(), amount);
+            assert!(idx.into_iter().all(|i| i < 100));
+        }
+    }
+
+    #[test]
+    fn sample_full_range_is_permutation() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let mut idx = sample(&mut rng, 64, 64).into_vec();
+        idx.sort_unstable();
+        assert_eq!(idx, (0..64).collect::<Vec<_>>());
+    }
+}
