@@ -1,0 +1,68 @@
+//! Batched-inference microbench: the per-sample forward pass versus the
+//! preallocated `forward_batch` engine at the batch sizes the DQN learning
+//! step and the figure campaigns actually use.
+//!
+//! The batched path wins twice: it eliminates the per-layer tensor
+//! allocations of the serial path (zero heap traffic once the scratch is
+//! warm) and walks each layer's weights once per sweep instead of once per
+//! sample.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use navft_nn::{mlp, C3f2Config, NoHooks, Scratch, Tensor};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(0);
+    let grid_policy = mlp(&[100, 32, 4], &mut rng);
+    let c3f2 = C3f2Config::scaled().build(&mut rng);
+
+    let mut group = c.benchmark_group("forward_batch");
+    for &batch in &[1usize, 8, 64] {
+        let inputs: Vec<Tensor> =
+            (0..batch).map(|i| Tensor::full(&[100], 0.01 * i as f32)).collect();
+        group.bench_function(format!("grid_mlp_serial_x{batch}"), |b| {
+            b.iter(|| {
+                let mut sum = 0.0f32;
+                for input in &inputs {
+                    sum += grid_policy.forward(black_box(input)).data()[0];
+                }
+                sum
+            });
+        });
+        group.bench_function(format!("grid_mlp_batched_x{batch}"), |b| {
+            let mut scratch = Scratch::new();
+            b.iter(|| {
+                grid_policy.forward_batch_into(black_box(&inputs), &mut scratch, &mut NoHooks);
+                scratch.row(batch - 1)[0]
+            });
+        });
+    }
+
+    let config = C3f2Config::scaled();
+    for &batch in &[1usize, 8] {
+        let frames: Vec<Tensor> = (0..batch)
+            .map(|i| Tensor::full(&config.input_shape(), 0.1 + 0.05 * i as f32))
+            .collect();
+        group.bench_function(format!("c3f2_scaled_serial_x{batch}"), |b| {
+            b.iter(|| {
+                let mut sum = 0.0f32;
+                for frame in &frames {
+                    sum += c3f2.forward(black_box(frame)).data()[0];
+                }
+                sum
+            });
+        });
+        group.bench_function(format!("c3f2_scaled_batched_x{batch}"), |b| {
+            let mut scratch = Scratch::new();
+            b.iter(|| {
+                c3f2.forward_batch_into(black_box(&frames), &mut scratch, &mut NoHooks);
+                scratch.row(batch - 1)[0]
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

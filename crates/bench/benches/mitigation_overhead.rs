@@ -1,13 +1,16 @@
 //! The headline overhead claim: range-based anomaly detection adds a small
 //! runtime overhead compared to the unprotected forward pass (the paper
 //! reports < 3 %).
+//!
+//! All variants run on the batched engine's scratch path, so the comparison
+//! isolates the mitigation cost from allocator traffic.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use navft_core::drone_policy::train_drone_policy;
 use navft_core::Scale;
 use navft_dronesim::{DepthCamera, DroneWorld};
 use navft_mitigation::{RangeGuard, RangeGuardConfig};
-use navft_nn::Tensor;
+use navft_nn::{NoHooks, Scratch, Tensor};
 use navft_qformat::QFormat;
 
 fn bench(c: &mut Criterion) {
@@ -18,16 +21,28 @@ fn bench(c: &mut Criterion) {
     let frame = Tensor::full(&DepthCamera::scaled().frame_shape(), 0.4);
 
     let mut group = c.benchmark_group("mitigation_overhead");
-    group.bench_function("forward_unprotected", |b| b.iter(|| policy.forward(&frame)));
+    group.bench_function("forward_unprotected", |b| {
+        let mut scratch = Scratch::new();
+        b.iter(|| policy.forward_scratch(&frame, &mut scratch, &mut NoHooks).len());
+    });
+    group.bench_function("forward_batch16_unprotected", |b| {
+        let mut scratch = Scratch::new();
+        let frames = vec![frame.clone(); 16];
+        b.iter(|| {
+            policy.forward_batch_into(&frames, &mut scratch, &mut NoHooks);
+            scratch.row(15)[0]
+        });
+    });
     group.bench_function("forward_with_periodic_scrub", |b| {
         let mut protected = policy.clone();
+        let mut scratch = Scratch::new();
         let mut i = 0usize;
         b.iter(|| {
             if i.is_multiple_of(25) {
                 guard.scrub(&mut protected);
             }
             i += 1;
-            protected.forward(&frame)
+            protected.forward_scratch(&frame, &mut scratch, &mut NoHooks).len()
         });
     });
     group.bench_function("weight_scrub_alone", |b| {

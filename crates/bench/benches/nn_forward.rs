@@ -2,7 +2,7 @@
 //! unit of work every inference fault campaign multiplies).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use navft_nn::{mlp, C3f2Config, Tensor};
+use navft_nn::{mlp, C3f2Config, ForwardTrace, NoHooks, Scratch, Tensor};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -16,16 +16,27 @@ fn bench(c: &mut Criterion) {
         let x = Tensor::full(&[100], 0.1);
         b.iter(|| grid_policy.forward(&x));
     });
+    group.bench_function("grid_mlp_forward_scratch", |b| {
+        let x = Tensor::full(&[100], 0.1);
+        let mut scratch = Scratch::new();
+        b.iter(|| grid_policy.forward_scratch(&x, &mut scratch, &mut NoHooks).len());
+    });
     group.bench_function("c3f2_scaled_forward", |b| {
         let x = Tensor::full(&C3f2Config::scaled().input_shape(), 0.3);
         b.iter(|| scaled.forward(&x));
+    });
+    group.bench_function("c3f2_scaled_forward_scratch", |b| {
+        let x = Tensor::full(&C3f2Config::scaled().input_shape(), 0.3);
+        let mut scratch = Scratch::new();
+        b.iter(|| scaled.forward_scratch(&x, &mut scratch, &mut NoHooks).len());
     });
     group.bench_function("c3f2_scaled_traced_forward_and_fc_backward", |b| {
         let config = C3f2Config::scaled();
         let mut net = config.build(&mut rng);
         let x = Tensor::full(&config.input_shape(), 0.3);
+        let mut trace = ForwardTrace::new();
         b.iter(|| {
-            let trace = net.forward_traced(&x);
+            net.forward_traced_into(&x, &mut trace);
             let grad = vec![0.01f32; 25];
             net.backward_tail(&trace, &grad, 0.001, config.first_fc_layer())
         });

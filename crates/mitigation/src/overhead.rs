@@ -7,7 +7,7 @@
 
 use std::time::Instant;
 
-use navft_nn::{Network, Tensor};
+use navft_nn::{Network, NoHooks, Scratch, Tensor};
 
 use crate::RangeGuard;
 
@@ -53,10 +53,23 @@ pub fn measure_overhead(
     assert!(iterations > 0, "iterations must be non-zero");
     assert!(scrub_interval > 0, "scrub interval must be non-zero");
 
+    // Both variants run on the batched engine's zero-allocation scratch path,
+    // so the measured difference is the mitigation, not allocator noise. Two
+    // warm-up passes take slab growth out of the timed region (the slabs swap
+    // roles per layer sweep, so both reach their high-water mark only on the
+    // second pass when the sweep count is odd).
+    let mut scratch = Scratch::new();
+    std::hint::black_box(network.forward_scratch(input, &mut scratch, &mut NoHooks));
+    std::hint::black_box(network.forward_scratch(input, &mut scratch, &mut NoHooks));
+
     // Baseline: plain forward passes.
     let start = Instant::now();
     for _ in 0..iterations {
-        std::hint::black_box(network.forward(std::hint::black_box(input)));
+        std::hint::black_box(network.forward_scratch(
+            std::hint::black_box(input),
+            &mut scratch,
+            &mut NoHooks,
+        ));
     }
     let baseline = start.elapsed().as_secs_f64() / iterations as f64;
 
@@ -67,7 +80,11 @@ pub fn measure_overhead(
         if i % scrub_interval == 0 {
             guard.scrub(&mut protected_net);
         }
-        std::hint::black_box(protected_net.forward(std::hint::black_box(input)));
+        std::hint::black_box(protected_net.forward_scratch(
+            std::hint::black_box(input),
+            &mut scratch,
+            &mut NoHooks,
+        ));
     }
     let protected = start.elapsed().as_secs_f64() / iterations as f64;
 

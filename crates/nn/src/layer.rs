@@ -71,6 +71,20 @@ impl Conv2d {
         (input - self.kernel) / self.stride + 1
     }
 
+    /// The `[C, H, W]` output shape for a `[C, H, W]` input shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input shape is not 3-dimensional with `in_channels`
+    /// channels or is smaller than the kernel.
+    pub fn output_shape(&self, in_shape: &[usize]) -> [usize; 3] {
+        assert_eq!(in_shape.len(), 3, "conv2d expects a [C, H, W] input");
+        assert_eq!(in_shape[0], self.in_channels, "conv2d input channel mismatch");
+        let (h, w) = (in_shape[1], in_shape[2]);
+        assert!(h >= self.kernel && w >= self.kernel, "conv2d input smaller than kernel");
+        [self.out_channels, self.output_size(h), self.output_size(w)]
+    }
+
     /// Runs the convolution on a `[C, H, W]` tensor.
     ///
     /// # Panics
@@ -78,18 +92,26 @@ impl Conv2d {
     /// Panics if the input is not 3-dimensional with `in_channels` channels or
     /// is smaller than the kernel.
     pub fn forward(&self, input: &Tensor) -> Tensor {
-        let shape = input.shape();
-        assert_eq!(shape.len(), 3, "conv2d expects a [C, H, W] input");
-        assert_eq!(shape[0], self.in_channels, "conv2d input channel mismatch");
-        let (h, w) = (shape[1], shape[2]);
-        assert!(h >= self.kernel && w >= self.kernel, "conv2d input smaller than kernel");
-        let oh = self.output_size(h);
-        let ow = self.output_size(w);
-        let mut out = Tensor::zeros(&[self.out_channels, oh, ow]);
-        let data = input.data();
+        let mut out = Tensor::zeros(&self.output_shape(input.shape()));
+        self.forward_into(input.data(), input.shape(), out.data_mut());
+        out
+    }
+
+    /// Runs the convolution on a flat `[C, H, W]` buffer, writing every output
+    /// element into the caller-provided `out` buffer (no allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes are invalid or `out` has the wrong length.
+    pub fn forward_into(&self, data: &[f32], in_shape: &[usize], out: &mut [f32]) {
+        let [_, oh, ow] = self.output_shape(in_shape);
+        let (h, w) = (in_shape[1], in_shape[2]);
+        assert_eq!(data.len(), self.in_channels * h * w, "conv2d input buffer length mismatch");
+        assert_eq!(out.len(), self.out_channels * oh * ow, "conv2d output buffer length mismatch");
         let k = self.kernel;
         for oc in 0..self.out_channels {
             let w_base = oc * self.in_channels * k * k;
+            let out_base = oc * oh * ow;
             for oy in 0..oh {
                 for ox in 0..ow {
                     let mut acc = self.bias[oc];
@@ -106,11 +128,10 @@ impl Conv2d {
                             }
                         }
                     }
-                    out.set(&[oc, oy, ox], acc);
+                    out[out_base + oy * ow + ox] = acc;
                 }
             }
         }
-        out
     }
 }
 
@@ -134,37 +155,57 @@ impl MaxPool2d {
         (input - self.kernel) / self.stride + 1
     }
 
+    /// The `[C, H, W]` output shape for a `[C, H, W]` input shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input shape is not 3-dimensional or is smaller than the
+    /// window.
+    pub fn output_shape(&self, in_shape: &[usize]) -> [usize; 3] {
+        assert_eq!(in_shape.len(), 3, "maxpool2d expects a [C, H, W] input");
+        let (c, h, w) = (in_shape[0], in_shape[1], in_shape[2]);
+        assert!(h >= self.kernel && w >= self.kernel, "maxpool2d input smaller than window");
+        [c, self.output_size(h), self.output_size(w)]
+    }
+
     /// Runs the pooling on a `[C, H, W]` tensor.
     ///
     /// # Panics
     ///
     /// Panics if the input is not 3-dimensional or is smaller than the window.
     pub fn forward(&self, input: &Tensor) -> Tensor {
-        let shape = input.shape();
-        assert_eq!(shape.len(), 3, "maxpool2d expects a [C, H, W] input");
-        let (c, h, w) = (shape[0], shape[1], shape[2]);
-        assert!(h >= self.kernel && w >= self.kernel, "maxpool2d input smaller than window");
-        let oh = self.output_size(h);
-        let ow = self.output_size(w);
-        let mut out = Tensor::zeros(&[c, oh, ow]);
+        let mut out = Tensor::zeros(&self.output_shape(input.shape()));
+        self.forward_into(input.data(), input.shape(), out.data_mut());
+        out
+    }
+
+    /// Runs the pooling on a flat `[C, H, W]` buffer, writing every output
+    /// element into the caller-provided `out` buffer (no allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes are invalid or `out` has the wrong length.
+    pub fn forward_into(&self, data: &[f32], in_shape: &[usize], out: &mut [f32]) {
+        let [c, oh, ow] = self.output_shape(in_shape);
+        let (h, w) = (in_shape[1], in_shape[2]);
+        assert_eq!(data.len(), c * h * w, "maxpool2d input buffer length mismatch");
+        assert_eq!(out.len(), c * oh * ow, "maxpool2d output buffer length mismatch");
         for ch in 0..c {
+            let in_base = ch * h * w;
+            let out_base = ch * oh * ow;
             for oy in 0..oh {
                 for ox in 0..ow {
                     let mut best = f32::NEG_INFINITY;
                     for ky in 0..self.kernel {
+                        let row = in_base + (oy * self.stride + ky) * w + ox * self.stride;
                         for kx in 0..self.kernel {
-                            best = best.max(input.get(&[
-                                ch,
-                                oy * self.stride + ky,
-                                ox * self.stride + kx,
-                            ]));
+                            best = best.max(data[row + kx]);
                         }
                     }
-                    out.set(&[ch, oy, ox], best);
+                    out[out_base + oy * ow + ox] = best;
                 }
             }
         }
-        out
     }
 }
 
@@ -196,9 +237,21 @@ impl Linear {
     ///
     /// Panics if the input length differs from `in_features`.
     pub fn forward(&self, input: &Tensor) -> Tensor {
-        assert_eq!(input.len(), self.in_features, "linear input length mismatch");
-        let x = input.data();
-        let mut out = vec![0.0f32; self.out_features];
+        let mut out = Tensor::zeros(&[self.out_features]);
+        self.forward_into(input.data(), input.shape(), out.data_mut());
+        out
+    }
+
+    /// Runs the layer on a flat buffer, writing every output element into the
+    /// caller-provided `out` buffer (no allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input length differs from `in_features` or `out` from
+    /// `out_features`.
+    pub fn forward_into(&self, x: &[f32], _in_shape: &[usize], out: &mut [f32]) {
+        assert_eq!(x.len(), self.in_features, "linear input length mismatch");
+        assert_eq!(out.len(), self.out_features, "linear output buffer length mismatch");
         for (o, out_v) in out.iter_mut().enumerate() {
             let row = &self.weights[o * self.in_features..(o + 1) * self.in_features];
             let mut acc = self.bias[o];
@@ -207,7 +260,6 @@ impl Linear {
             }
             *out_v = acc;
         }
-        Tensor::from_vec(&[self.out_features], out)
     }
 }
 
@@ -250,6 +302,64 @@ impl Layer {
             Layer::Flatten => input.reshape(&[input.len()]),
             Layer::Linear(linear) => linear.forward(input),
         }
+    }
+
+    /// Writes the layer's output shape for `in_shape` into `out` (cleared
+    /// first, so a reused `Vec` never allocates once warm).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `in_shape` is not a valid input shape for this layer.
+    pub fn output_shape(&self, in_shape: &[usize], out: &mut Vec<usize>) {
+        out.clear();
+        match self {
+            Layer::Conv2d(conv) => out.extend_from_slice(&conv.output_shape(in_shape)),
+            Layer::MaxPool2d(pool) => out.extend_from_slice(&pool.output_shape(in_shape)),
+            Layer::Relu => out.extend_from_slice(in_shape),
+            Layer::Flatten => out.push(in_shape.iter().product()),
+            Layer::Linear(linear) => {
+                let len: usize = in_shape.iter().product();
+                assert_eq!(len, linear.in_features, "linear input length mismatch");
+                out.push(linear.out_features);
+            }
+        }
+    }
+
+    /// Runs the layer on a flat buffer, writing the output into the
+    /// caller-provided `out` buffer (no allocation). `Relu` and `Flatten`
+    /// degrade to a copy here; the batched engine applies them in place
+    /// instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes are invalid or `out` has the wrong length.
+    pub fn forward_into(&self, data: &[f32], in_shape: &[usize], out: &mut [f32]) {
+        match self {
+            Layer::Conv2d(conv) => conv.forward_into(data, in_shape, out),
+            Layer::MaxPool2d(pool) => pool.forward_into(data, in_shape, out),
+            Layer::Relu | Layer::Flatten => {
+                out.copy_from_slice(data);
+                if matches!(self, Layer::Relu) {
+                    Layer::relu_in_place(out);
+                }
+            }
+            Layer::Linear(linear) => linear.forward_into(data, in_shape, out),
+        }
+    }
+
+    /// Applies the ReLU non-linearity in place (the batched engine's
+    /// zero-copy path for [`Layer::Relu`]).
+    pub fn relu_in_place(values: &mut [f32]) {
+        for v in values.iter_mut() {
+            *v = v.max(0.0);
+        }
+    }
+
+    /// Whether the layer transforms values without moving them between
+    /// buffers: `Relu` rewrites elements in place and `Flatten` only changes
+    /// the shape. The batched engine skips the slab swap for these.
+    pub fn is_in_place(&self) -> bool {
+        matches!(self, Layer::Relu | Layer::Flatten)
     }
 
     /// The layer's weight buffer, if it has parameters.

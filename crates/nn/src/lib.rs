@@ -15,6 +15,28 @@
 //!   ([`Network::backward_tail`]) used for transfer-learning fine-tuning.
 //! * [`models`] — the Grid World MLP ([`mlp`]) and the paper's C3F2 drone
 //!   policy topology ([`C3f2Config`], Fig. 6b).
+//! * [`Scratch`] — a reusable, double-buffered activation arena behind the
+//!   batched inference engine ([`Network::forward_batch`] /
+//!   [`Network::forward_batch_into`] / [`Network::forward_scratch`]).
+//!
+//! # Batched, zero-allocation inference
+//!
+//! Fault-injection campaigns replay millions of forward passes, so the hot
+//! path must not allocate. Every layer exposes a `forward_into` that writes
+//! into a caller-provided buffer, and [`Network::forward_batch_into`]
+//! evaluates B inputs per layer sweep against a [`Scratch`] whose two
+//! activation slabs are reused across calls: once warm, a pass performs
+//! **zero** heap allocations ([`Scratch::grow_events`] stays flat). Batched
+//! and per-sample passes are bit-identical — row `b` of a batch equals
+//! `forward(&inputs[b])` exactly, enforced by the equivalence suite in
+//! `tests/integration_batched_equivalence.rs` and this crate's proptests.
+//!
+//! Hooks map onto batches per row: [`ForwardHooks::on_batch_input`] and
+//! [`ForwardHooks::on_batch_activation`] receive `(batch_row, layer,
+//! values)` in per-row program order and default to the single-sample
+//! methods, so existing hooks (range recording, dynamic fault injection)
+//! work unchanged; [`PerRowHooks`] gives each row its own stateful hook,
+//! reproducing per-episode fault injection bit-exactly on the batched path.
 //!
 //! # Examples
 //!
@@ -37,9 +59,11 @@ pub mod layer;
 pub mod models;
 
 mod network;
+mod scratch;
 mod tensor;
 
 pub use layer::{Layer, LayerKind};
 pub use models::{c3f2, c3f2_scaled, mlp, parametric_layer_names, C3f2Config};
-pub use network::{ForwardHooks, ForwardTrace, Network, NoHooks, RangeRecorder};
-pub use tensor::Tensor;
+pub use network::{ForwardHooks, ForwardTrace, Network, NoHooks, PerRowHooks, RangeRecorder};
+pub use scratch::Scratch;
+pub use tensor::{argmax, Tensor};

@@ -3,13 +3,23 @@ use std::ops::Range;
 
 use navft_qformat::QFormat;
 
-use crate::{Layer, LayerKind, Tensor};
+use crate::{Layer, LayerKind, Scratch, Tensor};
 
 /// Observer/mutator hooks invoked during a forward pass.
 ///
 /// Hooks are how dynamic fault injection (transient faults in activations,
 /// §3.3) and range instrumentation (the inference mitigation of §5.2) attach
 /// to the network without the network knowing about fault models.
+///
+/// # Batched passes
+///
+/// [`Network::forward_batch_with`] evaluates B inputs per layer sweep and
+/// reports each row through the `on_batch_*` methods, whose defaults forward
+/// to the per-sample methods with the row index dropped. A hook written for
+/// single-sample inference therefore keeps working unchanged on the batched
+/// path; hooks that need per-row behaviour (e.g. an independently seeded
+/// fault injector per episode) override the batch methods or wrap one hook
+/// per row in [`PerRowHooks`].
 pub trait ForwardHooks {
     /// Called on the input feature map before the first layer.
     fn on_input(&mut self, values: &mut [f32]) {
@@ -19,6 +29,93 @@ pub trait ForwardHooks {
     /// Called on the activation buffer produced by layer `layer_index`.
     fn on_activation(&mut self, layer_index: usize, kind: LayerKind, values: &mut [f32]) {
         let _ = (layer_index, kind, values);
+    }
+
+    /// Called on batch row `batch_row` of the input before the first layer
+    /// of a batched pass. Defaults to [`ForwardHooks::on_input`].
+    fn on_batch_input(&mut self, batch_row: usize, values: &mut [f32]) {
+        let _ = batch_row;
+        self.on_input(values);
+    }
+
+    /// Called on batch row `batch_row` of the activation buffer produced by
+    /// layer `layer_index` during a batched pass. Defaults to
+    /// [`ForwardHooks::on_activation`].
+    fn on_batch_activation(
+        &mut self,
+        batch_row: usize,
+        layer_index: usize,
+        kind: LayerKind,
+        values: &mut [f32],
+    ) {
+        let _ = batch_row;
+        self.on_activation(layer_index, kind, values);
+    }
+}
+
+/// Routes each batch row of a batched forward pass to its own hook instance.
+///
+/// This is the bit-exactness bridge between batched and per-sample
+/// inference under *stateful* hooks: row `b` of
+/// [`Network::forward_batch_with`] sees exactly the call sequence that a
+/// standalone [`Network::forward_with`] using `hooks[b]` would see, so a
+/// per-episode fault injector seeded per row corrupts identically on either
+/// path. On the per-sample methods (a non-batched pass) the adapter behaves
+/// as row 0.
+#[derive(Debug, Clone)]
+pub struct PerRowHooks<H> {
+    hooks: Vec<H>,
+}
+
+impl<H: ForwardHooks> PerRowHooks<H> {
+    /// Wraps one hook per batch row.
+    pub fn new(hooks: Vec<H>) -> PerRowHooks<H> {
+        PerRowHooks { hooks }
+    }
+
+    /// The per-row hooks.
+    pub fn hooks(&self) -> &[H] {
+        &self.hooks
+    }
+
+    /// The per-row hooks, mutably.
+    pub fn hooks_mut(&mut self) -> &mut [H] {
+        &mut self.hooks
+    }
+
+    /// Unwraps into the per-row hooks.
+    pub fn into_inner(self) -> Vec<H> {
+        self.hooks
+    }
+}
+
+impl<H: ForwardHooks> ForwardHooks for PerRowHooks<H> {
+    fn on_input(&mut self, values: &mut [f32]) {
+        if let Some(hook) = self.hooks.first_mut() {
+            hook.on_input(values);
+        }
+    }
+
+    fn on_activation(&mut self, layer_index: usize, kind: LayerKind, values: &mut [f32]) {
+        if let Some(hook) = self.hooks.first_mut() {
+            hook.on_activation(layer_index, kind, values);
+        }
+    }
+
+    fn on_batch_input(&mut self, batch_row: usize, values: &mut [f32]) {
+        assert!(batch_row < self.hooks.len(), "PerRowHooks holds no hook for row {batch_row}");
+        self.hooks[batch_row].on_input(values);
+    }
+
+    fn on_batch_activation(
+        &mut self,
+        batch_row: usize,
+        layer_index: usize,
+        kind: LayerKind,
+        values: &mut [f32],
+    ) {
+        assert!(batch_row < self.hooks.len(), "PerRowHooks holds no hook for row {batch_row}");
+        self.hooks[batch_row].on_activation(layer_index, kind, values);
     }
 }
 
@@ -66,14 +163,27 @@ impl ForwardHooks for RangeRecorder {
 
 /// A record of every intermediate activation of a forward pass, used for
 /// training.
-#[derive(Debug, Clone)]
+///
+/// A trace can be reused across passes through
+/// [`Network::forward_traced_into`], which overwrites the recorded tensors in
+/// place instead of reallocating them.
+#[derive(Debug, Clone, Default)]
 pub struct ForwardTrace {
     /// `values[0]` is the input; `values[i + 1]` is the output of layer `i`.
     pub values: Vec<Tensor>,
 }
 
 impl ForwardTrace {
+    /// An empty trace, ready to be filled by [`Network::forward_traced_into`].
+    pub fn new() -> ForwardTrace {
+        ForwardTrace::default()
+    }
+
     /// The network output (the last recorded value).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a trace that has never been filled.
     pub fn output(&self) -> &Tensor {
         self.values.last().expect("trace always holds the input")
     }
@@ -259,14 +369,151 @@ impl Network {
     /// Runs a forward pass recording every intermediate activation (used by
     /// [`Network::backward_tail`]).
     pub fn forward_traced(&self, input: &Tensor) -> ForwardTrace {
-        let mut values = Vec::with_capacity(self.layers.len() + 1);
-        values.push(input.clone());
-        let mut current = input.clone();
-        for layer in &self.layers {
-            current = layer.forward(&current);
-            values.push(current.clone());
+        let mut trace = ForwardTrace::new();
+        self.forward_traced_into(input, &mut trace);
+        trace
+    }
+
+    /// Runs a forward pass recording every intermediate activation into a
+    /// reusable `trace`, overwriting the recorded tensors in place. After the
+    /// first call with a given topology, subsequent calls reuse every
+    /// activation buffer (no per-layer allocations), which is what makes
+    /// replay-heavy DQN training cheap.
+    pub fn forward_traced_into(&self, input: &Tensor, trace: &mut ForwardTrace) {
+        if trace.values.len() != self.layers.len() + 1 {
+            trace.values.resize(self.layers.len() + 1, Tensor::zeros(&[1]));
         }
-        ForwardTrace { values }
+        trace.values[0].assign(input.shape(), input.data());
+        let mut shape = Vec::with_capacity(4);
+        for (i, layer) in self.layers.iter().enumerate() {
+            let (head, tail) = trace.values.split_at_mut(i + 1);
+            let previous = &head[i];
+            let current = &mut tail[0];
+            match layer {
+                Layer::Relu => {
+                    current.assign(previous.shape(), previous.data());
+                    Layer::relu_in_place(current.data_mut());
+                }
+                Layer::Flatten => {
+                    current.assign(&[previous.len()], previous.data());
+                }
+                _ => {
+                    layer.output_shape(previous.shape(), &mut shape);
+                    current.resize_to(&shape);
+                    layer.forward_into(previous.data(), previous.shape(), current.data_mut());
+                }
+            }
+        }
+    }
+
+    /// Runs a batched forward pass: all `inputs` advance through the network
+    /// one layer sweep at a time, with activations staged in `scratch`'s
+    /// preallocated slabs. Returns one output tensor per input, in order.
+    ///
+    /// Batched and per-sample passes are bit-identical: row `b` of the result
+    /// equals `self.forward(&inputs[b])` exactly (see the equivalence test
+    /// suite).
+    pub fn forward_batch(&self, inputs: &[Tensor], scratch: &mut Scratch) -> Vec<Tensor> {
+        self.forward_batch_with(inputs, scratch, &mut NoHooks)
+    }
+
+    /// Like [`Network::forward_batch`], with hooks: each batch row is
+    /// reported through [`ForwardHooks::on_batch_input`] /
+    /// [`ForwardHooks::on_batch_activation`] in per-row program order, so
+    /// single-sample hooks and [`RangeRecorder`] work unchanged and
+    /// [`PerRowHooks`] reproduces per-sample fault injection bit-exactly.
+    pub fn forward_batch_with<H: ForwardHooks + ?Sized>(
+        &self,
+        inputs: &[Tensor],
+        scratch: &mut Scratch,
+        hooks: &mut H,
+    ) -> Vec<Tensor> {
+        if inputs.is_empty() {
+            return Vec::new();
+        }
+        self.forward_batch_into(inputs, scratch, hooks);
+        (0..scratch.rows())
+            .map(|b| Tensor::from_vec(scratch.row_shape(), scratch.row(b).to_vec()))
+            .collect()
+    }
+
+    /// The zero-allocation core of the batched engine: runs the pass and
+    /// leaves the outputs in `scratch`, readable via [`Scratch::row`] until
+    /// the next pass. Steady-state calls perform no heap allocation at all
+    /// ([`Scratch::grow_events`] stays flat once the slabs are warm).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty or the inputs do not share one shape.
+    pub fn forward_batch_into<H: ForwardHooks + ?Sized>(
+        &self,
+        inputs: &[Tensor],
+        scratch: &mut Scratch,
+        hooks: &mut H,
+    ) {
+        assert!(!inputs.is_empty(), "forward_batch needs at least one input");
+        let input_shape = inputs[0].shape();
+        for input in inputs {
+            assert_eq!(input.shape(), input_shape, "all batch inputs must share one shape");
+        }
+        scratch.load_rows(input_shape, inputs.iter().map(Tensor::data));
+        let rows = scratch.rows();
+
+        let row_len = scratch.row_len();
+        let front = scratch.front_mut();
+        for b in 0..rows {
+            hooks.on_batch_input(b, &mut front[b * row_len..(b + 1) * row_len]);
+        }
+
+        let mut next_shape = scratch.take_next_shape();
+        for (i, layer) in self.layers.iter().enumerate() {
+            let in_len = scratch.row_len();
+            layer.output_shape(scratch.row_shape(), &mut next_shape);
+            let out_len: usize = next_shape.iter().product();
+            if layer.is_in_place() {
+                if matches!(layer, Layer::Relu) {
+                    Layer::relu_in_place(scratch.front_mut());
+                }
+            } else {
+                let (in_shape, front, back) = scratch.slabs_for_sweep(rows * out_len);
+                for b in 0..rows {
+                    layer.forward_into(
+                        &front[b * in_len..(b + 1) * in_len],
+                        in_shape,
+                        &mut back[b * out_len..(b + 1) * out_len],
+                    );
+                }
+                scratch.swap();
+            }
+            scratch.set_shape(&next_shape);
+
+            let front = scratch.front_mut();
+            for b in 0..rows {
+                let row = &mut front[b * out_len..(b + 1) * out_len];
+                if let Some(format) = self.activation_format {
+                    for v in row.iter_mut() {
+                        *v = navft_qformat::QValue::quantize(*v, format).to_f32();
+                    }
+                }
+                hooks.on_batch_activation(b, i, layer.kind(), row);
+            }
+        }
+        scratch.put_next_shape(next_shape);
+    }
+
+    /// Runs a single-sample forward pass through `scratch` without allocating
+    /// the output tensor: the returned slice borrows the scratch's front slab
+    /// and stays valid until the next pass. This is the hot path for episode
+    /// loops (evaluation, ε-greedy action selection) that only need an
+    /// `argmax` over the Q-values.
+    pub fn forward_scratch<'s, H: ForwardHooks + ?Sized>(
+        &self,
+        input: &Tensor,
+        scratch: &'s mut Scratch,
+        hooks: &mut H,
+    ) -> &'s [f32] {
+        self.forward_batch_into(std::slice::from_ref(input), scratch, hooks);
+        scratch.row(0)
     }
 
     /// Back-propagates `output_grad` through the trailing run of
@@ -529,6 +776,142 @@ mod tests {
         let updated = net.backward_tail(&trace, &[0.5, -0.5], 0.1, 0);
         assert_eq!(updated, 1);
         assert_eq!(net.layer_weights(0).expect("conv weights"), conv_weights.as_slice());
+    }
+
+    #[test]
+    fn forward_batch_matches_serial_forward_bitwise() {
+        let net = tiny_mlp(11);
+        let inputs: Vec<Tensor> = (0..5)
+            .map(|i| Tensor::from_vec(&[3], vec![i as f32 * 0.3 - 0.5, 0.25, -0.1 * i as f32]))
+            .collect();
+        let mut scratch = Scratch::new();
+        let batched = net.forward_batch(&inputs, &mut scratch);
+        assert_eq!(batched.len(), inputs.len());
+        for (input, out) in inputs.iter().zip(batched.iter()) {
+            assert_eq!(out.data(), net.forward(input).data());
+        }
+    }
+
+    #[test]
+    fn forward_batch_respects_activation_format() {
+        let mut rng = SmallRng::seed_from_u64(12);
+        let net = crate::mlp(&[2, 3, 2], &mut rng).with_activation_format(QFormat::Q3_4);
+        let inputs = vec![Tensor::from_vec(&[2], vec![0.33, 0.77])];
+        let mut scratch = Scratch::new();
+        let batched = net.forward_batch(&inputs, &mut scratch);
+        assert_eq!(batched[0].data(), net.forward(&inputs[0]).data());
+    }
+
+    #[test]
+    fn forward_batch_steady_state_does_not_grow_the_scratch() {
+        let net = tiny_mlp(13);
+        let inputs = vec![Tensor::full(&[3], 0.5); 4];
+        let mut scratch = Scratch::new();
+        net.forward_batch_into(&inputs, &mut scratch, &mut NoHooks);
+        let warm = scratch.grow_events();
+        for _ in 0..20 {
+            net.forward_batch_into(&inputs, &mut scratch, &mut NoHooks);
+        }
+        assert_eq!(scratch.grow_events(), warm, "warm passes must not allocate");
+    }
+
+    #[test]
+    fn forward_scratch_exposes_the_output_row_without_allocating_tensors() {
+        let net = tiny_mlp(14);
+        let input = Tensor::from_vec(&[3], vec![0.2, -0.4, 0.6]);
+        let mut scratch = Scratch::new();
+        let out = net.forward_scratch(&input, &mut scratch, &mut NoHooks).to_vec();
+        assert_eq!(out, net.forward(&input).into_data());
+    }
+
+    #[test]
+    #[should_panic(expected = "share one shape")]
+    fn forward_batch_rejects_mixed_input_shapes() {
+        let net = tiny_mlp(15);
+        let inputs = vec![Tensor::zeros(&[3]), Tensor::zeros(&[4])];
+        let mut scratch = Scratch::new();
+        let _ = net.forward_batch(&inputs, &mut scratch);
+    }
+
+    #[test]
+    fn forward_batch_with_empty_inputs_returns_empty() {
+        let net = tiny_mlp(16);
+        let mut scratch = Scratch::new();
+        assert!(net.forward_batch(&[], &mut scratch).is_empty());
+    }
+
+    #[test]
+    fn batch_hooks_see_rows_in_per_row_program_order() {
+        #[derive(Default)]
+        struct CallLog {
+            calls: Vec<(usize, Option<usize>)>,
+        }
+        impl ForwardHooks for CallLog {
+            fn on_batch_input(&mut self, row: usize, _values: &mut [f32]) {
+                self.calls.push((row, None));
+            }
+            fn on_batch_activation(
+                &mut self,
+                row: usize,
+                layer: usize,
+                _kind: LayerKind,
+                _values: &mut [f32],
+            ) {
+                self.calls.push((row, Some(layer)));
+            }
+        }
+        let net = tiny_mlp(17);
+        let inputs = vec![Tensor::zeros(&[3]); 2];
+        let mut scratch = Scratch::new();
+        let mut log = CallLog::default();
+        net.forward_batch_with(&inputs, &mut scratch, &mut log);
+        // Input hooks first (rows in order), then per layer all rows in order.
+        let mut expected = vec![(0, None), (1, None)];
+        for layer in 0..net.num_layers() {
+            expected.push((0, Some(layer)));
+            expected.push((1, Some(layer)));
+        }
+        assert_eq!(log.calls, expected);
+    }
+
+    #[test]
+    fn per_row_hooks_give_each_row_its_own_state() {
+        struct AddRowTag(f32);
+        impl ForwardHooks for AddRowTag {
+            fn on_input(&mut self, values: &mut [f32]) {
+                for v in values.iter_mut() {
+                    *v += self.0;
+                }
+            }
+        }
+        let net = tiny_mlp(18);
+        let inputs = vec![Tensor::zeros(&[3]); 3];
+        let mut scratch = Scratch::new();
+        let mut per_row = PerRowHooks::new(vec![AddRowTag(0.0), AddRowTag(0.5), AddRowTag(1.0)]);
+        let batched = net.forward_batch_with(&inputs, &mut scratch, &mut per_row);
+        for (b, tag) in [0.0f32, 0.5, 1.0].iter().enumerate() {
+            let mut hook = AddRowTag(*tag);
+            let serial = net.forward_with(&inputs[b], &mut hook);
+            assert_eq!(batched[b].data(), serial.data(), "row {b} diverged");
+        }
+        assert_eq!(per_row.hooks().len(), 3);
+    }
+
+    #[test]
+    fn forward_traced_into_reuses_buffers_and_matches_forward_traced() {
+        let net = tiny_mlp(19);
+        let a = Tensor::from_vec(&[3], vec![0.3, -0.6, 0.9]);
+        let b = Tensor::from_vec(&[3], vec![-0.2, 0.4, 0.1]);
+        let mut trace = ForwardTrace::new();
+        net.forward_traced_into(&a, &mut trace);
+        let fresh = net.forward_traced(&a);
+        assert_eq!(trace.values.len(), fresh.values.len());
+        for (reused, one_shot) in trace.values.iter().zip(fresh.values.iter()) {
+            assert_eq!(reused.data(), one_shot.data());
+        }
+        // Refill with a different input: previous values are fully replaced.
+        net.forward_traced_into(&b, &mut trace);
+        assert_eq!(trace.output().data(), net.forward_traced(&b).output().data());
     }
 
     #[test]

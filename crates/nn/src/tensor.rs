@@ -131,6 +131,49 @@ impl Tensor {
         Tensor::from_vec(shape, self.data.clone())
     }
 
+    /// Overwrites this tensor in place with `shape` and `data`, reusing the
+    /// existing allocations whenever their capacity suffices.
+    ///
+    /// This is the zero-allocation counterpart of [`Tensor::from_vec`]; the
+    /// batched inference scratch and the reusable forward trace are built on
+    /// it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the product of `shape` or the
+    /// shape is invalid.
+    pub fn assign(&mut self, shape: &[usize], data: &[f32]) {
+        let expected: usize = shape.iter().product();
+        assert_eq!(
+            data.len(),
+            expected,
+            "data length {} does not match shape {:?}",
+            data.len(),
+            shape
+        );
+        assert!(!shape.is_empty(), "tensor shape must have at least one dimension");
+        self.shape.clear();
+        self.shape.extend_from_slice(shape);
+        self.data.clear();
+        self.data.extend_from_slice(data);
+    }
+
+    /// Resizes this tensor in place to `shape`, reusing the existing
+    /// allocation; newly exposed elements are zero. Existing element values
+    /// are unspecified afterwards — callers are expected to overwrite the
+    /// whole buffer (e.g. via a layer's `forward_into`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is empty or has a zero dimension.
+    pub fn resize_to(&mut self, shape: &[usize]) {
+        assert!(!shape.is_empty(), "tensor shape must have at least one dimension");
+        assert!(shape.iter().all(|&d| d > 0), "tensor dimensions must be non-zero");
+        self.shape.clear();
+        self.shape.extend_from_slice(shape);
+        self.data.resize(shape.iter().product(), 0.0);
+    }
+
     /// Applies `f` to every element, returning a new tensor.
     pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Tensor {
         Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&v| f(v)).collect() }
@@ -140,13 +183,7 @@ impl Tensor {
     ///
     /// Returns 0 for a single-element tensor; never panics for valid tensors.
     pub fn argmax(&self) -> usize {
-        let mut best = 0;
-        for (i, &v) in self.data.iter().enumerate() {
-            if v > self.data[best] {
-                best = i;
-            }
-        }
-        best
+        argmax(&self.data)
     }
 
     /// The maximum element.
@@ -168,6 +205,22 @@ impl Tensor {
         }
         flat
     }
+}
+
+/// Index of the maximum element of a flat buffer (ties resolve to the
+/// first; 0 for an empty or single-element buffer).
+///
+/// This is [`Tensor::argmax`] for borrowed slices — the form the
+/// zero-allocation inference path ([`crate::Network::forward_scratch`])
+/// hands out.
+pub fn argmax(values: &[f32]) -> usize {
+    let mut best = 0;
+    for (i, &v) in values.iter().enumerate() {
+        if v > values[best] {
+            best = i;
+        }
+    }
+    best
 }
 
 impl fmt::Debug for Tensor {
@@ -249,5 +302,33 @@ mod tests {
     fn into_data_returns_buffer() {
         let t = Tensor::from_vec(&[2], vec![1.0, 2.0]);
         assert_eq!(t.into_data(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn assign_overwrites_shape_and_data_in_place() {
+        let mut t = Tensor::zeros(&[2, 3]);
+        t.assign(&[4], &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(t.shape(), &[4]);
+        assert_eq!(t.data(), &[1.0, 2.0, 3.0, 4.0]);
+        // Shrinking reuses the buffer and drops the tail.
+        t.assign(&[2], &[9.0, 8.0]);
+        assert_eq!(t.data(), &[9.0, 8.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn assign_rejects_mismatched_data() {
+        let mut t = Tensor::zeros(&[2]);
+        t.assign(&[3], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn resize_to_changes_shape_and_element_count() {
+        let mut t = Tensor::from_vec(&[2], vec![1.0, 2.0]);
+        t.resize_to(&[2, 2]);
+        assert_eq!(t.shape(), &[2, 2]);
+        assert_eq!(t.len(), 4);
+        t.resize_to(&[3]);
+        assert_eq!(t.len(), 3);
     }
 }

@@ -1,6 +1,6 @@
 use rand::Rng;
 
-use navft_nn::{Network, Tensor};
+use navft_nn::{argmax, ForwardTrace, Network, NoHooks, Scratch, Tensor};
 
 use crate::{EpsilonSchedule, ReplayBuffer, Transition};
 
@@ -75,6 +75,15 @@ pub struct DqnAgent {
     replay: ReplayBuffer,
     input_shape: Vec<usize>,
     episodes_since_sync: usize,
+    // Preallocated learning-step workspace: the batched bootstrap sweep and
+    // the per-transition traced pass reuse these across learn() calls, so a
+    // warm learning step performs no per-transition heap allocation.
+    scratch: Scratch,
+    trace: ForwardTrace,
+    next_batch: Vec<Tensor>,
+    target_q: Vec<f32>,
+    state_buf: Tensor,
+    grad: Vec<f32>,
 }
 
 impl DqnAgent {
@@ -95,6 +104,12 @@ impl DqnAgent {
             epsilon,
             input_shape: input_shape.to_vec(),
             episodes_since_sync: 0,
+            scratch: Scratch::new(),
+            trace: ForwardTrace::new(),
+            next_batch: Vec::new(),
+            target_q: Vec::new(),
+            state_buf: Tensor::zeros(&[1]),
+            grad: Vec::new(),
         }
     }
 
@@ -138,12 +153,35 @@ impl DqnAgent {
         self.q_values(state).argmax()
     }
 
+    /// The greedy action for `state`, evaluated through a caller-provided
+    /// [`Scratch`] — the zero-allocation form of [`DqnAgent::greedy_action`]
+    /// used by episode loops.
+    pub fn greedy_action_scratch(&self, state: &Tensor, scratch: &mut Scratch) -> usize {
+        argmax(self.online.forward_scratch(state, scratch, &mut NoHooks))
+    }
+
     /// Chooses an action ε-greedily.
     pub fn act<R: Rng + ?Sized>(&self, state: &Tensor, rng: &mut R) -> usize {
         if rng.gen_bool(self.epsilon.epsilon().clamp(0.0, 1.0)) {
             rng.gen_range(0..self.num_actions())
         } else {
             self.greedy_action(state)
+        }
+    }
+
+    /// Chooses an action ε-greedily, evaluating the greedy branch through a
+    /// caller-provided [`Scratch`]. Behaviour (including RNG consumption) is
+    /// identical to [`DqnAgent::act`]; only the allocation profile differs.
+    pub fn act_scratch<R: Rng + ?Sized>(
+        &self,
+        state: &Tensor,
+        rng: &mut R,
+        scratch: &mut Scratch,
+    ) -> usize {
+        if rng.gen_bool(self.epsilon.epsilon().clamp(0.0, 1.0)) {
+            rng.gen_range(0..self.num_actions())
+        } else {
+            self.greedy_action_scratch(state, scratch)
         }
     }
 
@@ -180,6 +218,14 @@ impl DqnAgent {
 
     /// Runs one mini-batch SGD learning step; a no-op until the replay buffer
     /// holds at least one batch.
+    ///
+    /// The bootstrap targets are computed with **one batched sweep** of the
+    /// target network over the whole minibatch of next states (the target is
+    /// frozen for the duration of a learning step, so this is bit-identical
+    /// to the per-transition passes it replaced — pinned by the golden-digest
+    /// regression test). With Double DQN the online network's action
+    /// selection still runs per transition, because the online weights evolve
+    /// within the loop; it reuses the agent's scratch instead of allocating.
     pub fn learn<R: Rng + ?Sized>(&mut self, rng: &mut R) {
         if self.replay.len() < self.config.batch_size {
             return;
@@ -187,26 +233,54 @@ impl DqnAgent {
         let batch: Vec<Transition> =
             self.replay.sample(self.config.batch_size, rng).into_iter().cloned().collect();
         let lr = self.config.learning_rate / self.config.batch_size as f32;
-        for transition in &batch {
-            let state = Tensor::from_vec(&self.input_shape, transition.state.clone());
-            let next_state = Tensor::from_vec(&self.input_shape, transition.next_state.clone());
+
+        // Batched bootstrap: target Q-values of every next state in one
+        // layer-sweeping pass through the preallocated scratch.
+        let rows = batch.len();
+        if self.next_batch.len() != rows {
+            self.next_batch.resize(rows, Tensor::zeros(&[1]));
+        }
+        for (slot, transition) in self.next_batch.iter_mut().zip(batch.iter()) {
+            slot.assign(&self.input_shape, &transition.next_state);
+        }
+        self.target.forward_batch_into(&self.next_batch, &mut self.scratch, &mut NoHooks);
+        let actions = self.scratch.row_len();
+        self.target_q.clear();
+        for row in 0..rows {
+            self.target_q.extend_from_slice(self.scratch.row(row));
+        }
+
+        for (row, transition) in batch.iter().enumerate() {
             let target_value = if transition.terminal {
                 transition.reward
             } else {
+                let target_row = &self.target_q[row * actions..(row + 1) * actions];
                 let bootstrap = if self.config.double_dqn {
-                    let best = self.online.forward(&next_state).argmax();
-                    self.target.forward(&next_state).data()[best]
+                    // The online selection must stay inside the loop: its
+                    // weights change transition-to-transition. The frozen
+                    // target's evaluation was batched above, which also
+                    // removes the duplicate next-state pass the serial code
+                    // paid per transition.
+                    self.state_buf.assign(&self.input_shape, &transition.next_state);
+                    let best = argmax(self.online.forward_scratch(
+                        &self.state_buf,
+                        &mut self.scratch,
+                        &mut NoHooks,
+                    ));
+                    target_row[best]
                 } else {
-                    self.target.forward(&next_state).max()
+                    target_row.iter().copied().fold(f32::NEG_INFINITY, f32::max)
                 };
                 transition.reward + self.config.gamma * bootstrap
             };
-            let trace = self.online.forward_traced(&state);
-            let output = trace.output().data().to_vec();
-            let mut grad = vec![0.0f32; output.len()];
+            self.state_buf.assign(&self.input_shape, &transition.state);
+            self.online.forward_traced_into(&self.state_buf, &mut self.trace);
+            let output = self.trace.output().data();
             let error = (output[transition.action] - target_value).clamp(-1.0, 1.0);
-            grad[transition.action] = 2.0 * error;
-            self.online.backward_tail(&trace, &grad, lr, self.config.trainable_from);
+            self.grad.clear();
+            self.grad.resize(output.len(), 0.0);
+            self.grad[transition.action] = 2.0 * error;
+            self.online.backward_tail(&self.trace, &self.grad, lr, self.config.trainable_from);
         }
     }
 

@@ -86,10 +86,25 @@ pub trait VisionEnvironment {
 /// assert_eq!(x.data(), &[0.0, 0.0, 1.0, 0.0]);
 /// ```
 pub fn one_hot(state: usize, num_states: usize) -> Tensor {
-    assert!(state < num_states, "state {state} out of range for {num_states} states");
     let mut t = Tensor::zeros(&[num_states]);
-    t.data_mut()[state] = 1.0;
+    one_hot_into(state, num_states, &mut t);
     t
+}
+
+/// Writes the one-hot encoding of `state` into a reused tensor — the
+/// zero-allocation form of [`one_hot`] used by episode loops that encode a
+/// state on every step.
+///
+/// # Panics
+///
+/// Panics if `state >= num_states`.
+pub fn one_hot_into(state: usize, num_states: usize, out: &mut Tensor) {
+    assert!(state < num_states, "state {state} out of range for {num_states} states");
+    out.resize_to(&[num_states]);
+    for v in out.data_mut().iter_mut() {
+        *v = 0.0;
+    }
+    out.data_mut()[state] = 1.0;
 }
 
 #[cfg(test)]

@@ -13,9 +13,9 @@
 use rand::Rng;
 
 use navft_fault::Injector;
-use navft_nn::{ForwardHooks, Network, NoHooks};
+use navft_nn::{argmax, ForwardHooks, Network, NoHooks, Scratch, Tensor};
 
-use crate::{one_hot, DiscreteEnvironment, EvalResult, QTable, VisionEnvironment};
+use crate::{one_hot_into, DiscreteEnvironment, EvalResult, QTable, VisionEnvironment};
 
 /// How inference-time faults afflict the policy storage during evaluation.
 #[derive(Debug, Clone, PartialEq)]
@@ -122,6 +122,11 @@ where
     let corrupted = corrupt_network_weights(network, fault);
     let num_states = env.num_states();
 
+    // One scratch and one encoding buffer serve every episode: the per-step
+    // forward passes of the whole evaluation allocate nothing once warm.
+    let mut scratch = Scratch::new();
+    let mut encoded = Tensor::zeros(&[num_states]);
+
     let mut successes = 0usize;
     let mut total_reward = 0.0f64;
     for _ in 0..episodes {
@@ -129,7 +134,8 @@ where
         let mut state = env.reset();
         for step in 0..max_steps {
             let active = if fault.faulty_at(step, onset) { &corrupted } else { network };
-            let action = active.forward(&one_hot(state, num_states)).argmax();
+            one_hot_into(state, num_states, &mut encoded);
+            let action = argmax(active.forward_scratch(&encoded, &mut scratch, &mut NoHooks));
             let transition = env.step(action);
             total_reward += f64::from(transition.reward);
             state = transition.next_state;
@@ -188,6 +194,9 @@ where
 {
     let corrupted = corrupt_network_weights(network, fault);
 
+    // One scratch serves every episode of the evaluation.
+    let mut scratch = Scratch::new();
+
     let mut total_reward = 0.0f64;
     let mut total_distance = 0.0f64;
     for episode in 0..episodes {
@@ -196,7 +205,7 @@ where
         let mut observation = env.reset();
         for step in 0..max_steps {
             let active = if fault.faulty_at(step, onset) { &corrupted } else { network };
-            let action = active.forward_with(&observation, &mut hooks).argmax();
+            let action = argmax(active.forward_scratch(&observation, &mut scratch, &mut hooks));
             let transition = env.step(action);
             total_reward += f64::from(transition.reward);
             total_distance += f64::from(transition.distance);

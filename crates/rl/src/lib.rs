@@ -80,7 +80,8 @@ mod tabular;
 pub use convergence::{episode_of_steady_exploitation, episodes_to_converge};
 pub use dqn::{DqnAgent, DqnConfig};
 pub use env::{
-    one_hot, DiscreteEnvironment, DiscreteTransition, VisionEnvironment, VisionTransition,
+    one_hot, one_hot_into, DiscreteEnvironment, DiscreteTransition, VisionEnvironment,
+    VisionTransition,
 };
 pub use eval::{
     corrupt_network_weights, evaluate_network_discrete, evaluate_network_vision,

@@ -7,10 +7,11 @@
 //! adjustment, §5.1) plugs in through this observer without the trainer
 //! knowing anything about mitigation.
 
+use navft_nn::{Scratch, Tensor};
 use rand::Rng;
 
 use crate::{
-    one_hot, DiscreteEnvironment, DqnAgent, EpisodeOutcome, EpsilonSchedule, FaultPlan,
+    one_hot_into, DiscreteEnvironment, DqnAgent, EpisodeOutcome, EpsilonSchedule, FaultPlan,
     TabularAgent, TrainingTrace, VisionEnvironment,
 };
 
@@ -123,6 +124,11 @@ where
 {
     let num_states = env.num_states();
     let mut trace = TrainingTrace::new();
+    // One scratch and two encoding buffers serve the whole training run; the
+    // per-step action selection allocates nothing once they are warm.
+    let mut scratch = Scratch::new();
+    let mut encoded = Tensor::zeros(&[num_states]);
+    let mut next_encoded = Tensor::zeros(&[num_states]);
     for episode in 0..config.episodes {
         plan.on_episode_start_network(episode, agent.network_mut());
         let epsilon_at_start = agent.epsilon.epsilon();
@@ -130,10 +136,10 @@ where
         let mut state = env.reset();
         let mut outcome = EpisodeOutcome::empty();
         for _ in 0..config.max_steps {
-            let encoded = one_hot(state, num_states);
-            let action = agent.act(&encoded, rng);
+            one_hot_into(state, num_states, &mut encoded);
+            let action = agent.act_scratch(&encoded, rng, &mut scratch);
             let transition = env.step(action);
-            let next_encoded = one_hot(transition.next_state, num_states);
+            one_hot_into(transition.next_state, num_states, &mut next_encoded);
             agent.observe(&encoded, action, transition.reward, &next_encoded, transition.terminal);
             agent.learn(rng);
             plan.after_update_network(episode, agent.network_mut());
@@ -172,6 +178,8 @@ where
     O: FnMut(usize, &TrainingTrace, &mut EpsilonSchedule),
 {
     let mut trace = TrainingTrace::new();
+    // One scratch serves the action selection of the whole fine-tuning run.
+    let mut scratch = Scratch::new();
     for episode in 0..config.episodes {
         plan.on_episode_start_network(episode, agent.network_mut());
         let epsilon_at_start = agent.epsilon.epsilon();
@@ -179,7 +187,7 @@ where
         let mut observation = env.reset();
         let mut outcome = EpisodeOutcome::empty();
         for _ in 0..config.max_steps {
-            let action = agent.act(&observation, rng);
+            let action = agent.act_scratch(&observation, rng, &mut scratch);
             let transition = env.step(action);
             agent.observe(
                 &observation,
