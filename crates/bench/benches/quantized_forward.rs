@@ -1,0 +1,74 @@
+//! Fixed-point inference microbench: the `f32` backend (simulating the
+//! quantized datapath by requantizing every activation) versus the native
+//! integer backend at the batch sizes the campaigns use.
+//!
+//! The native path trades per-element float quantize/dequantize round trips
+//! for one widened-accumulator MAC sweep plus a single requantize per output
+//! element — the shape of the win an integer accelerator realizes — and is
+//! tracked here from day one at batch sizes {1, 64} in an 8-bit (Q3_4) and a
+//! 16-bit (Q4_11) format.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use navft_nn::{mlp, C3f2Config, Network, NoHooks, QScratch, QTensor, Scratch, Tensor};
+use navft_qformat::QFormat;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_model(
+    c: &mut Criterion,
+    group_name: &str,
+    network: &Network,
+    input_shape: &[usize],
+    batches: &[usize],
+    formats: &[QFormat],
+) {
+    let mut group = c.benchmark_group(group_name);
+    for &batch in batches {
+        let inputs: Vec<Tensor> =
+            (0..batch).map(|i| Tensor::full(input_shape, 0.01 * (i + 1) as f32)).collect();
+        for &format in formats {
+            // The f32 simulation of this format: grid parameters plus a
+            // requantize of every activation buffer.
+            let simulated = network.clone().quantize_params(format);
+            group.bench_function(format!("f32_sim_{format}_x{batch}"), |b| {
+                let mut scratch = Scratch::new();
+                b.iter(|| {
+                    simulated.forward_batch_into(black_box(&inputs), &mut scratch, &mut NoHooks);
+                    scratch.row(batch - 1)[0]
+                });
+            });
+            let qnet = network.to_quantized(format);
+            let qinputs: Vec<QTensor> =
+                inputs.iter().map(|t| QTensor::quantize(t, format)).collect();
+            group.bench_function(format!("native_{format}_x{batch}"), |b| {
+                let mut scratch = QScratch::new();
+                b.iter(|| {
+                    qnet.forward_batch_into(black_box(&qinputs), &mut scratch, &mut NoHooks);
+                    scratch.row(batch - 1)[0]
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(0);
+    let grid_policy = mlp(&[100, 32, 4], &mut rng);
+    let formats = [QFormat::Q3_4, QFormat::Q4_11];
+    bench_model(c, "quantized_forward_grid_mlp", &grid_policy, &[100], &[1, 64], &formats);
+
+    let config = C3f2Config::scaled();
+    let c3f2 = config.build(&mut rng);
+    bench_model(
+        c,
+        "quantized_forward_c3f2_scaled",
+        &c3f2,
+        &config.input_shape(),
+        &[1, 64],
+        &formats,
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -110,10 +110,12 @@ pub fn ablations(scale: Scale) -> Vec<FigureData> {
         margin_series,
     ));
 
-    // Ablation 4: extended data-type sweep (adds Q(1,2,13) to Fig. 7e).
+    // Ablation 4: extended data-type sweep — adds the extra-narrow 8-bit
+    // Q(1,2,5) and the 16-bit Q(1,2,13) to the Fig. 7e formats, each
+    // executed natively on the quantized backend.
     figures.extend(fig7::data_type_sensitivity(
         scale,
-        &[QFormat::Q2_13, QFormat::Q4_11, QFormat::Q7_8, QFormat::Q10_5],
+        &[QFormat::Q2_5, QFormat::Q2_13, QFormat::Q4_11, QFormat::Q7_8, QFormat::Q10_5],
         "ablation-data-types",
     ));
 

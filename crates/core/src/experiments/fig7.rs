@@ -4,10 +4,11 @@
 
 use navft_dronesim::{DepthCamera, DroneSim, DroneWorld};
 use navft_fault::{FaultKind, FaultMap, FaultSite, FaultTarget, InjectionSchedule, Injector};
-use navft_nn::{parametric_layer_names, Network};
+use navft_nn::{parametric_layer_names, Network, QNetwork, QScratch, QTensor};
 use navft_qformat::QFormat;
 use navft_rl::{
-    evaluate_network_vision, evaluate_network_vision_hooked, trainer, FaultPlan, InferenceFaultMode,
+    evaluate_network_vision, evaluate_network_vision_hooked, evaluate_qnetwork_vision, trainer,
+    FaultPlan, InferenceFaultMode, VisionEnvironment,
 };
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -26,9 +27,9 @@ fn trained_policy(world: &DroneWorld, params: &DroneParams) -> Network {
     train_drone_policy(world, params, 0x0D0E)
 }
 
-/// Samples a weight-buffer injector over the whole network.
+/// Samples a weight-buffer injector over a network's `num_words` weights.
 fn weight_injector(
-    network: &Network,
+    num_words: usize,
     ber: f64,
     kind: FaultKind,
     format: QFormat,
@@ -37,7 +38,7 @@ fn weight_injector(
     let mut rng = SmallRng::seed_from_u64(seed);
     Injector::sample(
         FaultTarget::new(FaultSite::WeightBuffer),
-        network.weight_count(),
+        num_words,
         format,
         ber,
         kind,
@@ -182,8 +183,13 @@ pub fn drone_environment_sensitivity(scale: Scale) -> Vec<FigureData> {
         for &ber in &params.bit_error_rates {
             let summary =
                 campaign(scale, params.repetitions, (ber * 1e7) as u64 ^ 0x7B, |seed, _| {
-                    let injector =
-                        weight_injector(&policy, ber, FaultKind::BitFlip, DRONE_FORMAT, seed);
+                    let injector = weight_injector(
+                        policy.weight_count(),
+                        ber,
+                        FaultKind::BitFlip,
+                        DRONE_FORMAT,
+                        seed,
+                    );
                     flight_distance(
                         &policy,
                         &world,
@@ -247,8 +253,13 @@ pub fn drone_fault_location_sensitivity(scale: Scale) -> Vec<FigureData> {
         (
             "weights",
             Box::new(|ber: f64, seed: u64| {
-                let injector =
-                    weight_injector(&policy, ber, FaultKind::BitFlip, DRONE_FORMAT, seed);
+                let injector = weight_injector(
+                    policy.weight_count(),
+                    ber,
+                    FaultKind::BitFlip,
+                    DRONE_FORMAT,
+                    seed,
+                );
                 flight_distance(
                     &policy,
                     &world,
@@ -332,8 +343,39 @@ pub fn drone_data_type_sensitivity(scale: Scale) -> Vec<FigureData> {
     data_type_sensitivity(scale, &[QFormat::Q4_11, QFormat::Q7_8, QFormat::Q10_5], "fig7e")
 }
 
+/// Mean safe flight distance of a natively quantized policy under the given
+/// weight fault mode: the whole evaluation runs on raw Q-format words.
+fn flight_distance_q(
+    network: &QNetwork,
+    world: &DroneWorld,
+    params: &DroneParams,
+    fault: &InferenceFaultMode,
+    seed: u64,
+) -> f64 {
+    let mut sim = DroneSim::new(world.clone(), DepthCamera::scaled(), params.max_steps);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    evaluate_qnetwork_vision(
+        &mut sim,
+        network,
+        params.eval_episodes,
+        params.max_steps,
+        fault,
+        &mut rng,
+    )
+    .mean_distance
+}
+
 /// Shared driver for the data-type sweep (also used by the extended
 /// ablation).
+///
+/// Each format executes *natively*: the policy is compiled into a
+/// [`QNetwork`] whose weights, inputs and activations are live raw words in
+/// that format, bit flips strike those words in place, and the forward pass
+/// is integer arithmetic end to end — no `f32` simulation. Alongside the
+/// flight-distance sweep, a facts figure reports each format's zero/one bit
+/// ratio over the whole fault surface (weights plus calibration
+/// activations), the statistic that explains the stuck-at asymmetry of
+/// Fig. 2.
 pub(crate) fn data_type_sensitivity(
     scale: Scale,
     formats: &[QFormat],
@@ -343,36 +385,59 @@ pub(crate) fn data_type_sensitivity(
     let world = DroneWorld::indoor_long();
     let base_policy = trained_policy(&world, &params);
     let mut series = Vec::new();
+    let mut bit_facts = Vec::new();
     for &format in formats {
-        let mut policy = base_policy.clone();
-        policy.quantize_weights(format);
+        let policy = base_policy.to_quantized(format);
+        // Sweep every stored word of the quantized policy in one call: its
+        // parameter words (weights and biases) plus the activations of one
+        // calibration frame. The flight sweep below faults only the weight
+        // words, but the bit-population statistic describes the whole stored
+        // policy, as in Fig. 2.
+        let calibration = QTensor::quantize(
+            &DroneSim::new(world.clone(), DepthCamera::scaled(), params.max_steps).reset(),
+            format,
+        );
+        let stats = policy.bit_stats(std::slice::from_ref(&calibration), &mut QScratch::new());
+        bit_facts.push((format!("{format} zero/one bit ratio"), stats.zero_to_one_ratio()));
         let mut points = Vec::new();
         for &ber in &params.bit_error_rates {
-            let summary = campaign(
-                scale,
-                params.repetitions,
-                (ber * 1e7) as u64 ^ u64::from(format.int_bits()),
-                |seed, _| {
-                    let injector = weight_injector(&policy, ber, FaultKind::BitFlip, format, seed);
-                    flight_distance(
+            // int and frac bits together uniquely identify a format (int
+            // bits alone collide, e.g. Q2_5 vs Q2_13 in the ablation sweep).
+            let format_tag = u64::from(format.int_bits()) << 8 | u64::from(format.frac_bits());
+            let summary =
+                campaign(scale, params.repetitions, (ber * 1e7) as u64 ^ format_tag, |seed, _| {
+                    let injector = weight_injector(
+                        policy.weight_count(),
+                        ber,
+                        FaultKind::BitFlip,
+                        format,
+                        seed,
+                    );
+                    flight_distance_q(
                         &policy,
                         &world,
                         &params,
                         &InferenceFaultMode::TransientWholeEpisode(injector),
                         seed ^ 0x7E,
                     )
-                },
-            );
+                });
             points.push((ber, summary.mean()));
         }
         series.push(Series::new(format.to_string(), points));
     }
-    vec![FigureData::lines(
-        id,
-        "drone inference sensitivity by fixed-point data type",
-        "mean safe flight distance (m) vs BER (weight bit flips)",
-        series,
-    )]
+    vec![
+        FigureData::lines(
+            id,
+            "drone inference sensitivity by fixed-point data type (native execution)",
+            "mean safe flight distance (m) vs BER (bit flips on live weight words)",
+            series,
+        ),
+        FigureData::facts(
+            format!("{id}-bits"),
+            "zero/one bit ratio of the quantized policy per data type",
+            bit_facts,
+        ),
+    ]
 }
 
 #[cfg(test)]

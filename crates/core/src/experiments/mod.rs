@@ -1,8 +1,7 @@
 //! Experiment drivers: one module per figure of the paper's evaluation.
 //!
-//! Every driver takes a [`Scale`](crate::Scale) and returns
-//! [`FigureData`](crate::FigureData) holding the same rows/series the paper
-//! plots. The `figures` binary in `navft-bench` renders them as text tables;
+//! Every driver takes a [`Scale`] and returns [`FigureData`] holding the
+//! same rows/series the paper plots. The `figures` binary in `navft-bench` renders them as text tables;
 //! the Criterion benches time representative cells.
 
 pub mod ablation;

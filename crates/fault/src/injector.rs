@@ -83,13 +83,50 @@ impl Injector {
     }
 
     /// Applies the fault pattern once to `values` (transient semantics).
+    ///
+    /// This is the single entry point for corrupting `f32` buffers that
+    /// model Q-format storage: the quantize → corrupt → dequantize round
+    /// trip lives here (in the underlying [`FaultMap`]) and nowhere else.
+    /// Buffers that natively hold raw words use [`Injector::corrupt_raw`]
+    /// instead, which needs no round trip.
     pub fn corrupt(&self, values: &mut [f32]) {
-        self.map.corrupt_f32(values, self.format);
+        self.corrupt_span(0, values);
+    }
+
+    /// Applies the faults that fall inside the window starting at word
+    /// `first_word` to `values` (e.g. one layer's buffer within a fault map
+    /// sampled over a whole network's concatenated weight space).
+    pub fn corrupt_span(&self, first_word: usize, values: &mut [f32]) {
+        self.map.corrupt_f32_span(first_word, values, self.format);
     }
 
     /// Re-enforces the permanent faults of the pattern on `values`.
     pub fn enforce(&self, values: &mut [f32]) {
-        self.map.enforce_f32(values, self.format);
+        self.enforce_span(0, values);
+    }
+
+    /// Window variant of [`Injector::enforce`] (see
+    /// [`Injector::corrupt_span`]).
+    pub fn enforce_span(&self, first_word: usize, values: &mut [f32]) {
+        self.map.enforce_f32_span(first_word, values, self.format);
+    }
+
+    /// Applies the fault pattern once to live raw Q-format words — the
+    /// native backend's corruption path: every fault is a single integer
+    /// operation on the stored word.
+    pub fn corrupt_raw(&self, words: &mut [i32]) {
+        self.corrupt_raw_span(0, words);
+    }
+
+    /// Window variant of [`Injector::corrupt_raw`] (see
+    /// [`Injector::corrupt_span`]).
+    pub fn corrupt_raw_span(&self, first_word: usize, words: &mut [i32]) {
+        self.map.corrupt_raw_span(first_word, words, self.format);
+    }
+
+    /// Re-enforces the permanent faults of the pattern on live raw words.
+    pub fn enforce_raw(&self, words: &mut [i32]) {
+        self.map.enforce_raw_span(0, words, self.format);
     }
 
     /// Whether this injector carries permanent faults that must be re-enforced
@@ -129,6 +166,51 @@ mod tests {
         assert_eq!(injector.fault_count(), 5); // 1% of 512 bits
         assert!(injector.has_permanent());
         assert_eq!(injector.map().len(), 5);
+    }
+
+    #[test]
+    fn corrupt_raw_flips_bits_in_the_live_words() {
+        // The quantized path corrupts the stored words directly: each bit
+        // flip is exactly one XOR on the live buffer, so the before/after
+        // words differ in precisely the sampled bit positions — proof that
+        // no dequantize → requantize round trip touched the values.
+        let fmt = QFormat::Q4_11;
+        let mut rng = SmallRng::seed_from_u64(21);
+        let injector = Injector::sample(
+            FaultTarget::new(FaultSite::WeightBuffer),
+            64,
+            fmt,
+            0.02,
+            FaultKind::BitFlip,
+            &mut rng,
+        );
+        let original: Vec<i32> = (0..64).map(|i| i * 37 % 1000 - 500).collect();
+        let mut corrupted = original.clone();
+        injector.corrupt_raw(&mut corrupted);
+        let mut expected = original.clone();
+        for fault in injector.map().faults() {
+            expected[fault.word] ^= 1 << fault.bit;
+            // Re-sign-extend within the 16-bit word, as the live storage does.
+            expected[fault.word] = (expected[fault.word] << 16) >> 16;
+        }
+        assert!(injector.fault_count() > 0);
+        assert_eq!(corrupted, expected);
+        // Flipping the same pattern again restores the original words.
+        injector.corrupt_raw(&mut corrupted);
+        assert_eq!(corrupted, original);
+    }
+
+    #[test]
+    fn corrupt_span_only_touches_the_window() {
+        let map = FaultMap::from_faults(vec![
+            crate::BitFault { word: 3, bit: 7, kind: FaultKind::BitFlip },
+            crate::BitFault { word: 20, bit: 7, kind: FaultKind::BitFlip },
+        ]);
+        let injector = Injector::new(FaultTarget::new(FaultSite::WeightBuffer), QFormat::Q3_4, map);
+        let mut window = vec![1.0f32; 5]; // words 2..7 of the buffer
+        injector.corrupt_span(2, &mut window);
+        assert!(window[1] < 0.0, "word 3 lands at local index 1");
+        assert_eq!(window.iter().filter(|&&v| v != 1.0).count(), 1);
     }
 
     #[test]

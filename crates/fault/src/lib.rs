@@ -14,9 +14,15 @@
 //! * [`FaultMap`] — a concrete set of (word, bit) faults sampled from a bit
 //!   error rate (BER); permanent faults are re-enforced on every access while
 //!   transient flips are applied once.
-//! * [`Injector`] — applies a fault map to `f32` buffers through a
-//!   quantize–corrupt–dequantize round trip, which is how the paper models
-//!   faults in buffers feeding fixed-point accelerators.
+//! * [`Injector`] — the single corruption entry point. For `f32` buffers
+//!   that *model* Q-format storage it applies the fault map through a
+//!   quantize–corrupt–dequantize round trip ([`Injector::corrupt`]); for
+//!   buffers that *natively* hold raw Q-format words (the quantized
+//!   inference backend) it flips bits of the live words in place
+//!   ([`Injector::corrupt_raw`]) — one integer operation per fault, no
+//!   round trip. Span variants ([`Injector::corrupt_span`] /
+//!   [`Injector::corrupt_raw_span`]) address one layer's buffer within a
+//!   map sampled over a whole network's concatenated weight space.
 //! * [`InjectionSchedule`] — *when* the fault strikes (which training episode
 //!   or inference step) and whether it is injected statically (before
 //!   execution) or dynamically (during execution).

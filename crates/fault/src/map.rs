@@ -109,20 +109,6 @@ impl FaultMap {
         &self.faults
     }
 
-    /// Restricts the map to faults whose word index lies in `range`,
-    /// re-basing word indices to the start of the range.
-    ///
-    /// Useful to carve a whole-buffer fault map into per-layer slices.
-    pub fn slice(&self, range: std::ops::Range<usize>) -> FaultMap {
-        let faults = self
-            .faults
-            .iter()
-            .filter(|f| range.contains(&f.word))
-            .map(|f| BitFault { word: f.word - range.start, bit: f.bit, kind: f.kind })
-            .collect();
-        FaultMap { faults }
-    }
-
     /// Applies every fault to a buffer of quantized words.
     ///
     /// Faults whose word index falls outside the buffer are ignored (this
@@ -142,16 +128,20 @@ impl FaultMap {
     ///
     /// This models a buffer that physically stores `format` words: the
     /// faulty bits perturb the stored word and the accelerator consumes the
-    /// dequantized result.
+    /// dequantized result. Buffers that *natively* store Q-format words skip
+    /// the round trip entirely via [`FaultMap::corrupt_raw`].
     pub fn corrupt_f32(&self, values: &mut [f32], format: QFormat) {
-        for fault in &self.faults {
-            if let Some(value) = values.get_mut(fault.word) {
-                let word = QValue::quantize(*value, format);
-                if let Ok(corrupted) = fault.kind.apply(word, fault.bit) {
-                    *value = corrupted.to_f32();
-                }
-            }
-        }
+        self.corrupt_f32_span(0, values, format);
+    }
+
+    /// Like [`FaultMap::corrupt_f32`], but treats `values` as the window of
+    /// the fault map's word space starting at word `first_word` (faults
+    /// outside the window are ignored).
+    ///
+    /// This is how a map sampled over a whole network's concatenated weight
+    /// space applies to one layer's buffer without materializing sliced maps.
+    pub fn corrupt_f32_span(&self, first_word: usize, values: &mut [f32], format: QFormat) {
+        self.apply_f32_span(first_word, values, format, false);
     }
 
     /// Re-enforces the *permanent* faults of the map on an `f32` buffer.
@@ -160,14 +150,76 @@ impl FaultMap {
     /// themselves, whereas stuck-at bits override every write. Call this after
     /// each update of a buffer afflicted by permanent faults.
     pub fn enforce_f32(&self, values: &mut [f32], format: QFormat) {
+        self.enforce_f32_span(0, values, format);
+    }
+
+    /// Window variant of [`FaultMap::enforce_f32`] (see
+    /// [`FaultMap::corrupt_f32_span`]).
+    pub fn enforce_f32_span(&self, first_word: usize, values: &mut [f32], format: QFormat) {
+        self.apply_f32_span(first_word, values, format, true);
+    }
+
+    /// Applies every fault directly to a buffer of live raw two's-complement
+    /// `format` words — the native fixed-point backend's corruption path,
+    /// where a bit flip or stuck-at is a single integer operation with no
+    /// quantize → dequantize round trip.
+    pub fn corrupt_raw(&self, words: &mut [i32], format: QFormat) {
+        self.corrupt_raw_span(0, words, format);
+    }
+
+    /// Window variant of [`FaultMap::corrupt_raw`] (see
+    /// [`FaultMap::corrupt_f32_span`]).
+    pub fn corrupt_raw_span(&self, first_word: usize, words: &mut [i32], format: QFormat) {
+        self.apply_raw_span(first_word, words, format, false);
+    }
+
+    /// Re-enforces the *permanent* faults of the map on live raw words.
+    pub fn enforce_raw(&self, words: &mut [i32], format: QFormat) {
+        self.enforce_raw_span(0, words, format);
+    }
+
+    /// Window variant of [`FaultMap::enforce_raw`].
+    pub fn enforce_raw_span(&self, first_word: usize, words: &mut [i32], format: QFormat) {
+        self.apply_raw_span(first_word, words, format, true);
+    }
+
+    fn apply_f32_span(
+        &self,
+        first_word: usize,
+        values: &mut [f32],
+        format: QFormat,
+        permanent_only: bool,
+    ) {
         for fault in &self.faults {
-            if !fault.kind.is_permanent() {
+            if permanent_only && !fault.kind.is_permanent() {
                 continue;
             }
-            if let Some(value) = values.get_mut(fault.word) {
+            let Some(index) = fault.word.checked_sub(first_word) else { continue };
+            if let Some(value) = values.get_mut(index) {
                 let word = QValue::quantize(*value, format);
                 if let Ok(corrupted) = fault.kind.apply(word, fault.bit) {
                     *value = corrupted.to_f32();
+                }
+            }
+        }
+    }
+
+    fn apply_raw_span(
+        &self,
+        first_word: usize,
+        words: &mut [i32],
+        format: QFormat,
+        permanent_only: bool,
+    ) {
+        for fault in &self.faults {
+            if permanent_only && !fault.kind.is_permanent() {
+                continue;
+            }
+            let Some(index) = fault.word.checked_sub(first_word) else { continue };
+            if let Some(word) = words.get_mut(index) {
+                if let Ok(corrupted) = fault.kind.apply(QValue::from_raw(*word, format), fault.bit)
+                {
+                    *word = corrupted.raw();
                 }
             }
         }
@@ -285,19 +337,6 @@ mod tests {
     }
 
     #[test]
-    fn slice_rebases_word_indices() {
-        let map = FaultMap::from_faults(vec![
-            BitFault { word: 2, bit: 1, kind: FaultKind::BitFlip },
-            BitFault { word: 5, bit: 2, kind: FaultKind::BitFlip },
-            BitFault { word: 9, bit: 3, kind: FaultKind::BitFlip },
-        ]);
-        let sliced = map.slice(3..8);
-        assert_eq!(sliced.len(), 1);
-        assert_eq!(sliced.faults()[0].word, 2);
-        assert_eq!(sliced.faults()[0].bit, 2);
-    }
-
-    #[test]
     fn apply_on_qvalues_matches_corrupt_on_f32() {
         let fmt = QFormat::Q4_11;
         let map =
@@ -309,6 +348,62 @@ mod tests {
         map.corrupt_f32(&mut floats, fmt);
         assert_eq!(words[1].to_f32(), floats[1]);
         assert_eq!(words[0].to_f32(), floats[0]);
+    }
+
+    #[test]
+    fn corrupt_raw_flips_live_words_in_place() {
+        let fmt = QFormat::Q3_4;
+        let map = FaultMap::from_faults(vec![
+            BitFault { word: 0, bit: 7, kind: FaultKind::BitFlip },
+            BitFault { word: 1, bit: 0, kind: FaultKind::StuckAt1 },
+        ]);
+        let mut words = vec![16i32, 32]; // 1.0 and 2.0 in Q3_4
+        map.corrupt_raw(&mut words, fmt);
+        // Flipping bit 7 of raw 16 (0b0001_0000) gives 0b1001_0000 = -112.
+        assert_eq!(words, vec![-112, 33]);
+    }
+
+    #[test]
+    fn corrupt_raw_matches_corrupt_f32_on_grid_values() {
+        let fmt = QFormat::Q4_11;
+        let mut rng = SmallRng::seed_from_u64(9);
+        let map = FaultMap::sample(32, fmt, 0.1, FaultKind::StuckAt1, &mut rng);
+        let mut floats: Vec<f32> = (0..32).map(|i| (i as f32 - 16.0) * 0.25).collect();
+        let mut raws: Vec<i32> = floats.iter().map(|&v| QValue::quantize(v, fmt).raw()).collect();
+        map.corrupt_f32(&mut floats, fmt);
+        map.corrupt_raw(&mut raws, fmt);
+        let dequantized: Vec<f32> =
+            raws.iter().map(|&r| QValue::from_raw(r, fmt).to_f32()).collect();
+        assert_eq!(floats, dequantized);
+    }
+
+    #[test]
+    fn span_application_rebases_and_ignores_outside_words() {
+        let fmt = QFormat::Q3_4;
+        let map = FaultMap::from_faults(vec![
+            BitFault { word: 2, bit: 7, kind: FaultKind::BitFlip },
+            BitFault { word: 9, bit: 7, kind: FaultKind::BitFlip },
+        ]);
+        // Window covering words 2..5: only word 2 lands, at local index 0.
+        let mut floats = vec![1.0f32; 3];
+        map.corrupt_f32_span(2, &mut floats, fmt);
+        assert!(floats[0] < 0.0);
+        assert_eq!(&floats[1..], &[1.0, 1.0]);
+        let mut raws = vec![16i32; 3];
+        map.corrupt_raw_span(2, &mut raws, fmt);
+        assert_eq!(raws, vec![-112, 16, 16]);
+    }
+
+    #[test]
+    fn enforce_raw_reasserts_only_permanent_faults() {
+        let fmt = QFormat::Q3_4;
+        let map = FaultMap::from_faults(vec![
+            BitFault { word: 0, bit: 6, kind: FaultKind::StuckAt1 },
+            BitFault { word: 1, bit: 6, kind: FaultKind::BitFlip },
+        ]);
+        let mut words = vec![0i32, 0];
+        map.enforce_raw(&mut words, fmt);
+        assert_eq!(words, vec![64, 0]);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! high-order bit flipped is far more likely to be a fault than a legitimate
 //! large value.
 
-use navft_nn::{ForwardHooks, LayerKind, Network};
+use navft_nn::{ForwardHooks, LayerKind, Network, QNetwork};
 use navft_qformat::{QFormat, QValue};
 
 /// Parameters of the range-based anomaly detector.
@@ -149,6 +149,90 @@ impl RangeGuard {
         scrubbed
     }
 
+    /// Whether a live raw word in `layer` is anomalous — the quantized-domain
+    /// detector: the comparison is pure integer arithmetic on the stored
+    /// word, with no dequantize round trip, matching the hardware the paper
+    /// sketches (a comparator on the sign and integer bits of the bus).
+    ///
+    /// Agrees with [`RangeGuard::is_anomalous`] on every value of the
+    /// format's grid.
+    pub fn is_anomalous_raw(&self, layer: usize, raw: i32) -> bool {
+        let Some(&(_, lo, hi)) = self.bounds.iter().find(|(l, _, _)| *l == layer) else {
+            return false;
+        };
+        let bounds = self.raw_bounds(lo, hi);
+        outside_raw_bounds(raw, bounds)
+    }
+
+    /// Derives the integer comparison for one layer's `(lo, hi)` bounds:
+    /// a word is anomalous iff `raw >> shift` falls outside `[lo, hi]` of the
+    /// returned triple. Loop-invariant per layer, so bulk scans hoist it.
+    fn raw_bounds(&self, lo: f32, hi: f32) -> (i32, i32, u8) {
+        let frac = self.format.frac_bits();
+        if self.config.integer_bits_only {
+            (
+                QValue::quantize(lo, self.format).raw() >> frac,
+                QValue::quantize(hi, self.format).raw() >> frac,
+                frac,
+            )
+        } else {
+            // `raw·2^-frac > hi` for grid values is `raw > floor(hi·2^frac)`
+            // (and symmetrically with ceil for the lower bound), so the
+            // comparison stays exact without a float round trip per word.
+            let scale = (2.0f32).powi(i32::from(frac));
+            (
+                self.format.saturate_raw((lo * scale).ceil() as i64),
+                self.format.saturate_raw((hi * scale).floor() as i64),
+                0,
+            )
+        }
+    }
+
+    /// Scans every guarded layer of a natively quantized `network` and zeroes
+    /// anomalous live weight words in place. Returns the number of words
+    /// scrubbed.
+    ///
+    /// The quantized-domain counterpart of [`RangeGuard::scrub`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network's format differs from the guard's.
+    pub fn scrub_q(&self, network: &mut QNetwork) -> usize {
+        assert_eq!(network.format(), self.format, "guard format does not match network format");
+        let mut scrubbed = 0;
+        for &(layer, lo, hi) in &self.bounds {
+            let bounds = self.raw_bounds(lo, hi);
+            if let Some(words) = network.layer_weights_raw_mut(layer) {
+                for w in words.iter_mut() {
+                    if outside_raw_bounds(*w, bounds) {
+                        *w = 0;
+                        scrubbed += 1;
+                    }
+                }
+            }
+        }
+        scrubbed
+    }
+
+    /// Counts anomalous live weight words of a natively quantized network
+    /// without modifying it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network's format differs from the guard's.
+    pub fn count_anomalies_q(&self, network: &QNetwork) -> usize {
+        assert_eq!(network.format(), self.format, "guard format does not match network format");
+        self.bounds
+            .iter()
+            .filter_map(|&(layer, lo, hi)| {
+                let bounds = self.raw_bounds(lo, hi);
+                network
+                    .layer_weights_raw(layer)
+                    .map(|words| words.iter().filter(|&&w| outside_raw_bounds(w, bounds)).count())
+            })
+            .sum()
+    }
+
     /// Counts anomalous weights without modifying the network.
     pub fn count_anomalies(&self, network: &Network) -> usize {
         self.bounds
@@ -161,6 +245,13 @@ impl RangeGuard {
             })
             .sum()
     }
+}
+
+/// The single raw-domain range check shared by the detector, the scrubber
+/// and the counter: a word is anomalous iff `raw >> shift` falls outside
+/// `[lo, hi]` (the triple produced by `RangeGuard::raw_bounds`).
+fn outside_raw_bounds(raw: i32, (lo, hi, shift): (i32, i32, u8)) -> bool {
+    raw >> shift > hi || raw >> shift < lo
 }
 
 /// Widens `(lo, hi)` by `margin` (relative, away from zero on both sides).
@@ -310,6 +401,51 @@ mod tests {
             a.data().iter().zip(b.data()).map(|(x, y)| (x - y).abs()).sum()
         };
         assert!(dist(&repaired_output, &clean_output) < dist(&corrupted_output, &clean_output));
+    }
+
+    #[test]
+    fn quantized_scrub_zeroes_the_corrupted_live_word() {
+        let net = network(5);
+        let format = QFormat::Q4_11;
+        let guard = RangeGuard::from_network(&net, format, RangeGuardConfig::paper());
+        let mut qnet = net.to_quantized(format);
+        assert_eq!(guard.count_anomalies_q(&qnet), 0);
+        // A sign-bit flip on a live word creates a large negative outlier.
+        let layer = qnet.parametric_layers()[0];
+        let before = qnet.layer_weights_raw(layer).expect("words")[5];
+        qnet.layer_weights_raw_mut(layer).expect("words")[5] = before ^ (1 << 15);
+        let qnet_words_before = qnet.layer_weights_raw(layer).expect("words").to_vec();
+        assert_eq!(guard.count_anomalies_q(&qnet), 1);
+        assert_eq!(guard.scrub_q(&mut qnet), 1);
+        assert_eq!(qnet.layer_weights_raw(layer).expect("words")[5], 0);
+        // Only the anomalous word changed.
+        let after = qnet.layer_weights_raw(layer).expect("words");
+        assert_eq!(qnet_words_before.iter().zip(after.iter()).filter(|(a, b)| a != b).count(), 1);
+    }
+
+    #[test]
+    fn raw_and_f32_detection_agree_on_grid_values() {
+        for config in [RangeGuardConfig::paper(), RangeGuardConfig::full_precision(0.1)] {
+            let format = QFormat::Q3_4;
+            let guard = RangeGuard::from_bounds([(0, -1.3, 1.7)], format, config);
+            for raw in format.min_raw()..=format.max_raw() {
+                let value = raw as f32 * format.resolution();
+                assert_eq!(
+                    guard.is_anomalous_raw(0, raw),
+                    guard.is_anomalous(0, value),
+                    "raw {raw} (value {value}) disagrees under {config:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "guard format does not match")]
+    fn quantized_scrub_rejects_mismatched_formats() {
+        let net = network(6);
+        let guard = RangeGuard::from_network(&net, QFormat::Q4_11, RangeGuardConfig::paper());
+        let mut qnet = net.to_quantized(QFormat::Q3_4);
+        let _ = guard.scrub_q(&mut qnet);
     }
 
     #[test]

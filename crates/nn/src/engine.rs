@@ -1,0 +1,101 @@
+//! The batched layer-sweep engine shared by both numeric backends.
+//!
+//! [`Network::forward_batch_into`](crate::Network::forward_batch_into) (f32)
+//! and [`QNetwork::forward_batch_into`](crate::QNetwork::forward_batch_into)
+//! (raw Q-format words) are the same algorithm: load the batch rows into the
+//! scratch's front slab, report them to the hooks, then per layer either
+//! transform the front slab in place or sweep every row into the back slab
+//! and swap, reporting each produced row. Keeping that control flow — the
+//! shape bookkeeping, the slab ping-pong, the per-row hook order the
+//! bit-exactness contracts depend on — in one place means the two backends
+//! cannot drift; each backend only supplies its element type, its per-layer
+//! kernels and what to do with each produced row.
+
+use crate::{LayerKind, Scratch};
+
+/// A per-row buffer event reported by [`forward_batch_engine`].
+pub(crate) enum SweepEvent {
+    /// Batch row `row` of the input, before the first layer.
+    Input {
+        /// The batch row index.
+        row: usize,
+    },
+    /// Batch row `row` of the buffer produced by layer `layer`.
+    Activation {
+        /// The batch row index.
+        row: usize,
+        /// The producing layer's index.
+        layer: usize,
+        /// The producing layer's kind.
+        kind: LayerKind,
+    },
+}
+
+/// One layer as the batched engine sees it, independent of the element type.
+pub(crate) trait SweepLayer<T> {
+    /// The layer kind (forwarded to hooks).
+    fn kind(&self) -> LayerKind;
+    /// Output shape for `in_shape`, written into the reused `out` buffer.
+    fn output_shape(&self, in_shape: &[usize], out: &mut Vec<usize>);
+    /// Whether the layer transforms the front slab in place.
+    fn is_in_place(&self) -> bool;
+    /// In-place transform for `is_in_place` layers (ReLU; no-op for Flatten).
+    fn apply_in_place(&self, values: &mut [T]);
+    /// Buffer-to-buffer sweep for one row of a non-in-place layer.
+    fn sweep(&self, data: &[T], in_shape: &[usize], out: &mut [T]);
+}
+
+/// Runs a batched pass over `layers`, staging activations in `scratch` and
+/// reporting every input/activation row through `notify` in per-row program
+/// order. The outputs are left in the scratch's front slab.
+pub(crate) fn forward_batch_engine<'a, T, L, I, F>(
+    layers: impl Iterator<Item = L>,
+    input_shape: &[usize],
+    rows: I,
+    scratch: &mut Scratch<T>,
+    mut notify: F,
+) where
+    T: Copy + Default + 'a,
+    L: SweepLayer<T>,
+    I: ExactSizeIterator<Item = &'a [T]>,
+    F: FnMut(SweepEvent, &mut [T]),
+{
+    scratch.load_rows(input_shape, rows);
+    let nrows = scratch.rows();
+
+    let row_len = scratch.row_len();
+    let front = scratch.front_mut();
+    for b in 0..nrows {
+        notify(SweepEvent::Input { row: b }, &mut front[b * row_len..(b + 1) * row_len]);
+    }
+
+    let mut next_shape = scratch.take_next_shape();
+    for (i, layer) in layers.enumerate() {
+        let in_len = scratch.row_len();
+        layer.output_shape(scratch.row_shape(), &mut next_shape);
+        let out_len: usize = next_shape.iter().product();
+        if layer.is_in_place() {
+            layer.apply_in_place(scratch.front_mut());
+        } else {
+            let (in_shape, front, back) = scratch.slabs_for_sweep(nrows * out_len);
+            for b in 0..nrows {
+                layer.sweep(
+                    &front[b * in_len..(b + 1) * in_len],
+                    in_shape,
+                    &mut back[b * out_len..(b + 1) * out_len],
+                );
+            }
+            scratch.swap();
+        }
+        scratch.set_shape(&next_shape);
+
+        let front = scratch.front_mut();
+        for b in 0..nrows {
+            notify(
+                SweepEvent::Activation { row: b, layer: i, kind: layer.kind() },
+                &mut front[b * out_len..(b + 1) * out_len],
+            );
+        }
+    }
+    scratch.put_next_shape(next_shape);
+}

@@ -34,6 +34,13 @@ impl fmt::Display for LayerKind {
     }
 }
 
+/// Output spatial extent of a valid-padding sliding window: shared by the
+/// `f32` and native fixed-point backends so their shape inference can never
+/// diverge.
+pub(crate) fn window_output_size(input: usize, kernel: usize, stride: usize) -> usize {
+    (input - kernel) / stride + 1
+}
+
 /// A 2-D convolution layer over `[C, H, W]` inputs (valid padding).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Conv2d {
@@ -68,7 +75,7 @@ impl Conv2d {
 
     /// Output spatial size for an input of extent `input`.
     pub fn output_size(&self, input: usize) -> usize {
-        (input - self.kernel) / self.stride + 1
+        window_output_size(input, self.kernel, self.stride)
     }
 
     /// The `[C, H, W]` output shape for a `[C, H, W]` input shape.
@@ -152,7 +159,7 @@ impl MaxPool2d {
 
     /// Output spatial size for an input of extent `input`.
     pub fn output_size(&self, input: usize) -> usize {
-        (input - self.kernel) / self.stride + 1
+        window_output_size(input, self.kernel, self.stride)
     }
 
     /// The `[C, H, W]` output shape for a `[C, H, W]` input shape.
@@ -182,10 +189,20 @@ impl MaxPool2d {
     /// Runs the pooling on a flat `[C, H, W]` buffer, writing every output
     /// element into the caller-provided `out` buffer (no allocation).
     ///
+    /// The kernel is generic over the element type because max pooling is
+    /// pure order comparison: the `f32` backend pools dequantized values, the
+    /// native fixed-point backend pools raw two's-complement words, and the
+    /// two agree exactly since dequantization is monotonic in the raw word.
+    ///
     /// # Panics
     ///
     /// Panics if the shapes are invalid or `out` has the wrong length.
-    pub fn forward_into(&self, data: &[f32], in_shape: &[usize], out: &mut [f32]) {
+    pub fn forward_into<T: Copy + PartialOrd>(
+        &self,
+        data: &[T],
+        in_shape: &[usize],
+        out: &mut [T],
+    ) {
         let [c, oh, ow] = self.output_shape(in_shape);
         let (h, w) = (in_shape[1], in_shape[2]);
         assert_eq!(data.len(), c * h * w, "maxpool2d input buffer length mismatch");
@@ -195,11 +212,21 @@ impl MaxPool2d {
             let out_base = ch * oh * ow;
             for oy in 0..oh {
                 for ox in 0..ow {
-                    let mut best = f32::NEG_INFINITY;
+                    let mut best = data[in_base + oy * self.stride * w + ox * self.stride];
                     for ky in 0..self.kernel {
                         let row = in_base + (oy * self.stride + ky) * w + ox * self.stride;
                         for kx in 0..self.kernel {
-                            best = best.max(data[row + kx]);
+                            let v = data[row + kx];
+                            // `f32::max` fold semantics: an incomparable
+                            // element (f32 NaN) never wins, and a comparable
+                            // one replaces an incomparable best, so NaNs are
+                            // skipped. For totally ordered types (raw words)
+                            // this reduces to `v > best`.
+                            if v > best
+                                || (best.partial_cmp(&v).is_none() && v.partial_cmp(&v).is_some())
+                            {
+                                best = v;
+                            }
                         }
                     }
                     out[out_base + oy * ow + ox] = best;
@@ -381,9 +408,52 @@ impl Layer {
         }
     }
 
+    /// The layer's bias buffer, if it has parameters.
+    pub fn biases(&self) -> Option<&[f32]> {
+        match self {
+            Layer::Conv2d(conv) => Some(&conv.bias),
+            Layer::Linear(linear) => Some(&linear.bias),
+            _ => None,
+        }
+    }
+
+    /// The layer's bias buffer, mutably.
+    pub fn biases_mut(&mut self) -> Option<&mut Vec<f32>> {
+        match self {
+            Layer::Conv2d(conv) => Some(&mut conv.bias),
+            Layer::Linear(linear) => Some(&mut linear.bias),
+            _ => None,
+        }
+    }
+
     /// Whether the layer holds trainable parameters.
     pub fn is_parametric(&self) -> bool {
         self.weights().is_some()
+    }
+}
+
+/// The f32 backend's view of a layer for the shared batched engine.
+impl crate::engine::SweepLayer<f32> for &Layer {
+    fn kind(&self) -> LayerKind {
+        Layer::kind(self)
+    }
+
+    fn output_shape(&self, in_shape: &[usize], out: &mut Vec<usize>) {
+        Layer::output_shape(self, in_shape, out);
+    }
+
+    fn is_in_place(&self) -> bool {
+        Layer::is_in_place(self)
+    }
+
+    fn apply_in_place(&self, values: &mut [f32]) {
+        if matches!(self, Layer::Relu) {
+            Layer::relu_in_place(values);
+        }
+    }
+
+    fn sweep(&self, data: &[f32], in_shape: &[usize], out: &mut [f32]) {
+        Layer::forward_into(self, data, in_shape, out);
     }
 }
 
@@ -449,6 +519,15 @@ mod tests {
         let out = pool.forward(&input);
         assert_eq!(out.shape(), &[1, 1, 2]);
         assert_eq!(out.data(), &[5.0, 7.0]);
+    }
+
+    #[test]
+    fn maxpool_skips_nan_like_f32_max() {
+        let pool = MaxPool2d::new(2, 1);
+        let input = Tensor::from_vec(&[1, 2, 2], vec![f32::NAN, 1.0, 0.5, -2.0]);
+        assert_eq!(pool.forward(&input).data(), &[1.0]);
+        let trailing_nan = Tensor::from_vec(&[1, 2, 2], vec![0.5, -2.0, 1.0, f32::NAN]);
+        assert_eq!(pool.forward(&trailing_nan).data(), &[1.0]);
     }
 
     #[test]

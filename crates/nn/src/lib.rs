@@ -1,4 +1,5 @@
-//! A minimal neural-network library with fault-injectable buffers.
+//! A minimal neural-network library with fault-injectable buffers and two
+//! numeric backends.
 //!
 //! Learning-based navigation policies run on accelerators that stage data in
 //! input, weight (filter) and activation (output) buffers; the paper's fault
@@ -17,7 +18,31 @@
 //!   policy topology ([`C3f2Config`], Fig. 6b).
 //! * [`Scratch`] — a reusable, double-buffered activation arena behind the
 //!   batched inference engine ([`Network::forward_batch`] /
-//!   [`Network::forward_batch_into`] / [`Network::forward_scratch`]).
+//!   [`Network::forward_batch_into`] / [`Network::forward_scratch`]),
+//!   generic over the element type so both backends share it.
+//!
+//! # Two numeric backends
+//!
+//! Inference runs on one of two element types, chosen per use case:
+//!
+//! * The **`f32` backend** ([`Network`]) trains (Q-learning, DQN,
+//!   transfer-learning fine-tuning need float gradients) and can *simulate* a
+//!   fixed-point datapath by snapping parameters to a [`QFormat`] grid
+//!   ([`Network::quantize_params`]) and requantizing every activation buffer.
+//! * The **native fixed-point backend** ([`QNetwork`], compiled from a
+//!   trained network via [`Network::to_quantized`]) stores every buffer as
+//!   raw two's-complement Q-format words ([`QTensor`], [`QScratch`]) and
+//!   executes Conv2d/Linear sweeps with a widened integer accumulator and one
+//!   saturating requantize per output element. The live words the paper's
+//!   fault model corrupts exist at inference time, so bit flips and stuck-at
+//!   faults are single integer operations — and it is the fast path on
+//!   integer hardware. The data-type sensitivity experiments (Fig. 7e and the
+//!   extended ablation) execute each format natively on this backend; an
+//!   equivalence suite (`tests/integration_quantized_equivalence.rs`) pins it
+//!   within one LSB of the `f32` simulation per layer and bit-deterministic
+//!   across runs.
+//!
+//! [`QFormat`]: navft_qformat::QFormat
 //!
 //! # Batched, zero-allocation inference
 //!
@@ -58,12 +83,19 @@
 pub mod layer;
 pub mod models;
 
+mod engine;
 mod network;
+mod qnetwork;
+mod qtensor;
 mod scratch;
 mod tensor;
 
 pub use layer::{Layer, LayerKind};
 pub use models::{c3f2, c3f2_scaled, mlp, parametric_layer_names, C3f2Config};
 pub use network::{ForwardHooks, ForwardTrace, Network, NoHooks, PerRowHooks, RangeRecorder};
+pub use qnetwork::{
+    network_bit_stats, QConv2d, QForwardHooks, QLayer, QLinear, QNetwork, QScratch,
+};
+pub use qtensor::QTensor;
 pub use scratch::Scratch;
 pub use tensor::{argmax, Tensor};

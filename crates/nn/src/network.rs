@@ -3,6 +3,7 @@ use std::ops::Range;
 
 use navft_qformat::QFormat;
 
+use crate::engine::SweepEvent;
 use crate::{Layer, LayerKind, Scratch, Tensor};
 
 /// Observer/mutator hooks invoked during a forward pass.
@@ -327,6 +328,28 @@ impl Network {
         });
     }
 
+    /// Snaps every weight *and bias* to `format` and quantizes activations —
+    /// the complete `f32` simulation of the fixed-point datapath, parameter
+    /// for parameter identical to what [`Network::to_quantized`] compiles.
+    pub fn quantize_params(mut self, format: QFormat) -> Network {
+        self.quantize_weights(format);
+        for layer in &mut self.layers {
+            if let Some(bias) = layer.biases_mut() {
+                for v in bias.iter_mut() {
+                    *v = navft_qformat::QValue::quantize(*v, format).to_f32();
+                }
+            }
+        }
+        self.with_activation_format(format)
+    }
+
+    /// Compiles this network into the native fixed-point backend
+    /// ([`crate::QNetwork`]): parameters quantized into raw `format` words,
+    /// every forward pass in integer arithmetic end to end.
+    pub fn to_quantized(&self, format: QFormat) -> crate::QNetwork {
+        crate::QNetwork::quantize(self, format)
+    }
+
     /// The `(min, max)` of each parametric layer's weights, keyed by layer
     /// index — the instrumentation the range-based anomaly detector derives
     /// once the policy is trained.
@@ -456,49 +479,24 @@ impl Network {
         for input in inputs {
             assert_eq!(input.shape(), input_shape, "all batch inputs must share one shape");
         }
-        scratch.load_rows(input_shape, inputs.iter().map(Tensor::data));
-        let rows = scratch.rows();
-
-        let row_len = scratch.row_len();
-        let front = scratch.front_mut();
-        for b in 0..rows {
-            hooks.on_batch_input(b, &mut front[b * row_len..(b + 1) * row_len]);
-        }
-
-        let mut next_shape = scratch.take_next_shape();
-        for (i, layer) in self.layers.iter().enumerate() {
-            let in_len = scratch.row_len();
-            layer.output_shape(scratch.row_shape(), &mut next_shape);
-            let out_len: usize = next_shape.iter().product();
-            if layer.is_in_place() {
-                if matches!(layer, Layer::Relu) {
-                    Layer::relu_in_place(scratch.front_mut());
-                }
-            } else {
-                let (in_shape, front, back) = scratch.slabs_for_sweep(rows * out_len);
-                for b in 0..rows {
-                    layer.forward_into(
-                        &front[b * in_len..(b + 1) * in_len],
-                        in_shape,
-                        &mut back[b * out_len..(b + 1) * out_len],
-                    );
-                }
-                scratch.swap();
-            }
-            scratch.set_shape(&next_shape);
-
-            let front = scratch.front_mut();
-            for b in 0..rows {
-                let row = &mut front[b * out_len..(b + 1) * out_len];
-                if let Some(format) = self.activation_format {
-                    for v in row.iter_mut() {
-                        *v = navft_qformat::QValue::quantize(*v, format).to_f32();
+        let format = self.activation_format;
+        crate::engine::forward_batch_engine(
+            self.layers.iter(),
+            input_shape,
+            inputs.iter().map(Tensor::data),
+            scratch,
+            |event, row| match event {
+                SweepEvent::Input { row: b } => hooks.on_batch_input(b, row),
+                SweepEvent::Activation { row: b, layer, kind } => {
+                    if let Some(format) = format {
+                        for v in row.iter_mut() {
+                            *v = navft_qformat::QValue::quantize(*v, format).to_f32();
+                        }
                     }
+                    hooks.on_batch_activation(b, layer, kind, row);
                 }
-                hooks.on_batch_activation(b, i, layer.kind(), row);
-            }
-        }
-        scratch.put_next_shape(next_shape);
+            },
+        );
     }
 
     /// Runs a single-sample forward pass through `scratch` without allocating

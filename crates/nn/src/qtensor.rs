@@ -1,0 +1,222 @@
+//! Dense tensors of raw Q-format words — the storage type of the native
+//! fixed-point backend.
+
+use std::fmt;
+
+use navft_qformat::{QFormat, QValue};
+
+use crate::Tensor;
+
+/// A dense row-major tensor of quantized fixed-point words.
+///
+/// Each element is stored as the raw two's-complement integer of a
+/// [`QFormat`] word (sign-extended into an `i32`). This is the buffer the
+/// paper's fault model actually corrupts: a bit flip or stuck-at fault on a
+/// `QTensor` is a single integer operation on the live word, with no
+/// quantize→corrupt→dequantize round trip.
+///
+/// # Examples
+///
+/// ```
+/// use navft_nn::{QTensor, Tensor};
+/// use navft_qformat::QFormat;
+///
+/// let t = Tensor::from_vec(&[2], vec![1.5, -2.0]);
+/// let q = QTensor::quantize(&t, QFormat::Q3_4);
+/// assert_eq!(q.words(), &[24, -32]);
+/// assert_eq!(q.dequantize().data(), &[1.5, -2.0]);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct QTensor {
+    shape: Vec<usize>,
+    words: Vec<i32>,
+    format: QFormat,
+}
+
+impl QTensor {
+    /// A tensor of the given shape filled with zero words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is empty or has a zero dimension.
+    pub fn zeros(shape: &[usize], format: QFormat) -> QTensor {
+        assert!(!shape.is_empty(), "tensor shape must have at least one dimension");
+        assert!(shape.iter().all(|&d| d > 0), "tensor dimensions must be non-zero");
+        let len = shape.iter().product();
+        QTensor { shape: shape.to_vec(), words: vec![0; len], format }
+    }
+
+    /// Quantizes an `f32` tensor into `format`, rounding to nearest and
+    /// saturating at the format's range.
+    pub fn quantize(tensor: &Tensor, format: QFormat) -> QTensor {
+        let mut q = QTensor::zeros(tensor.shape(), format);
+        q.quantize_from(tensor);
+        q
+    }
+
+    /// Builds a tensor directly from raw two's-complement words.
+    ///
+    /// Each word is clamped to the format's representable raw range (a valid
+    /// word is never altered).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len()` does not match the product of `shape`.
+    pub fn from_raw_vec(shape: &[usize], words: Vec<i32>, format: QFormat) -> QTensor {
+        let expected: usize = shape.iter().product();
+        assert_eq!(
+            words.len(),
+            expected,
+            "word count {} does not match shape {:?}",
+            words.len(),
+            shape
+        );
+        assert!(!shape.is_empty(), "tensor shape must have at least one dimension");
+        let words = words.into_iter().map(|w| QValue::from_raw(w, format).raw()).collect();
+        QTensor { shape: shape.to_vec(), words, format }
+    }
+
+    /// Requantizes an `f32` tensor into this tensor in place, reusing the
+    /// existing allocations — the zero-allocation entry point of episode
+    /// loops that feed float observations to the native backend.
+    ///
+    /// The tensor takes `tensor`'s shape; its format is unchanged.
+    pub fn quantize_from(&mut self, tensor: &Tensor) {
+        self.shape.clear();
+        self.shape.extend_from_slice(tensor.shape());
+        self.words.clear();
+        self.words.extend(tensor.data().iter().map(|&v| QValue::quantize(v, self.format).raw()));
+    }
+
+    /// Dequantizes into a fresh `f32` tensor (exact for formats up to 24
+    /// value bits).
+    pub fn dequantize(&self) -> Tensor {
+        let resolution = self.format.resolution();
+        Tensor::from_vec(
+            &self.shape,
+            self.words.iter().map(|&raw| raw as f32 * resolution).collect(),
+        )
+    }
+
+    /// The format every word is encoded in.
+    pub fn format(&self) -> QFormat {
+        self.format
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the tensor has zero words (never true for a valid tensor).
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// The flat raw-word buffer.
+    pub fn words(&self) -> &[i32] {
+        &self.words
+    }
+
+    /// The flat raw-word buffer, mutably — the fault-injection surface of
+    /// the native backend.
+    pub fn words_mut(&mut self) -> &mut [i32] {
+        &mut self.words
+    }
+
+    /// The word at flat index `index` as a [`QValue`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn word(&self, index: usize) -> QValue {
+        QValue::from_raw(self.words[index], self.format)
+    }
+
+    /// Index of the maximum word (ties resolve to the first).
+    ///
+    /// Raw-word comparison equals value comparison because dequantization is
+    /// monotonic, so greedy action selection needs no float round trip.
+    pub fn argmax(&self) -> usize {
+        crate::argmax(&self.words)
+    }
+}
+
+impl fmt::Debug for QTensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "QTensor {{ shape: {:?}, {} words in {} }}",
+            self.shape,
+            self.words.len(),
+            self.format
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_and_dequantize_roundtrip_grid_values() {
+        let t = Tensor::from_vec(&[2, 2], vec![0.0, 0.5, -1.25, 3.75]);
+        let q = QTensor::quantize(&t, QFormat::Q3_4);
+        assert_eq!(q.shape(), &[2, 2]);
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.dequantize().data(), t.data());
+    }
+
+    #[test]
+    fn quantize_saturates_out_of_range_values() {
+        let t = Tensor::from_vec(&[2], vec![100.0, -100.0]);
+        let q = QTensor::quantize(&t, QFormat::Q3_4);
+        assert_eq!(q.words(), &[127, -128]);
+    }
+
+    #[test]
+    fn from_raw_vec_clamps_to_the_raw_range() {
+        let q = QTensor::from_raw_vec(&[3], vec![500, -500, 7], QFormat::Q3_4);
+        assert_eq!(q.words(), &[127, -128, 7]);
+        assert_eq!(q.word(2).raw(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_raw_vec_rejects_wrong_length() {
+        let _ = QTensor::from_raw_vec(&[2], vec![1], QFormat::Q3_4);
+    }
+
+    #[test]
+    fn quantize_from_reuses_the_tensor_and_replaces_shape() {
+        let mut q = QTensor::zeros(&[4], QFormat::Q3_4);
+        q.quantize_from(&Tensor::from_vec(&[2], vec![1.0, -1.0]));
+        assert_eq!(q.shape(), &[2]);
+        assert_eq!(q.words(), &[16, -16]);
+    }
+
+    #[test]
+    fn argmax_on_raw_words_matches_value_argmax() {
+        let t = Tensor::from_vec(&[4], vec![-2.0, 3.5, 3.5, 1.0]);
+        let q = QTensor::quantize(&t, QFormat::Q3_4);
+        assert_eq!(q.argmax(), t.argmax());
+    }
+
+    #[test]
+    fn words_mut_exposes_live_storage() {
+        let mut q = QTensor::zeros(&[2], QFormat::Q3_4);
+        q.words_mut()[1] = 16;
+        assert_eq!(q.word(1).to_f32(), 1.0);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let q = QTensor::zeros(&[1], QFormat::Q3_4);
+        assert!(!format!("{q:?}").is_empty());
+    }
+}

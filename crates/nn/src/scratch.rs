@@ -8,6 +8,14 @@
 //! subsequent passes of the same (or any smaller) topology perform **zero
 //! heap allocations** — [`Scratch::grow_events`] makes that guarantee
 //! observable in tests and benches.
+//!
+//! The arena is generic over its element type so both numeric backends share
+//! it: the `f32` backend uses the default `Scratch` (`Scratch<f32>`), the
+//! native fixed-point backend stages raw Q-format words in a
+//! [`QScratch`](crate::QScratch) (`Scratch<i32>`) through
+//! [`QNetwork::forward_batch_into`](crate::QNetwork::forward_batch_into).
+//!
+//! [`Network::forward_batch_into`]: crate::Network::forward_batch_into
 
 /// Preallocated activation storage reused across batched forward passes.
 ///
@@ -16,6 +24,9 @@
 /// `rows × activation` slab it has seen. After a pass, the final activations
 /// stay readable through [`Scratch::row`] until the next pass overwrites
 /// them.
+///
+/// The element type `T` is `f32` for the float backend and `i32` (raw
+/// two's-complement Q-format words) for the native fixed-point backend.
 ///
 /// # Examples
 ///
@@ -34,18 +45,18 @@
 /// assert_eq!(scratch.grow_events(), warm, "steady state allocates nothing");
 /// ```
 #[derive(Debug, Clone, Default)]
-pub struct Scratch {
-    front: Vec<f32>,
-    back: Vec<f32>,
+pub struct Scratch<T = f32> {
+    front: Vec<T>,
+    back: Vec<T>,
     shape: Vec<usize>,
     next_shape: Vec<usize>,
     rows: usize,
     grow_events: usize,
 }
 
-impl Scratch {
+impl<T: Copy + Default> Scratch<T> {
     /// Creates an empty scratch; slabs grow on first use.
-    pub fn new() -> Scratch {
+    pub fn new() -> Scratch<T> {
         Scratch::default()
     }
 
@@ -53,7 +64,7 @@ impl Scratch {
     /// in each slab up front. Passes whose widest activation fits the
     /// envelope skip the initial slab growth; layers wider than `row_len`
     /// (e.g. a channel-expanding convolution) still grow the slabs once.
-    pub fn with_capacity(rows: usize, row_len: usize) -> Scratch {
+    pub fn with_capacity(rows: usize, row_len: usize) -> Scratch<T> {
         let mut scratch = Scratch::new();
         scratch.front.reserve(rows * row_len);
         scratch.back.reserve(rows * row_len);
@@ -95,7 +106,7 @@ impl Scratch {
     /// # Panics
     ///
     /// Panics if `index` is out of range.
-    pub fn row(&self, index: usize) -> &[f32] {
+    pub fn row(&self, index: usize) -> &[T] {
         assert!(index < self.rows, "batch row {index} out of range for {} rows", self.rows);
         let len = self.row_len();
         &self.front[index * len..(index + 1) * len]
@@ -104,7 +115,8 @@ impl Scratch {
     /// Copies the flat `inputs` rows (each of `shape`) into the front slab.
     pub(crate) fn load_rows<'a, I>(&mut self, shape: &[usize], rows: I)
     where
-        I: ExactSizeIterator<Item = &'a [f32]>,
+        T: 'a,
+        I: ExactSizeIterator<Item = &'a [T]>,
     {
         let row_len: usize = shape.iter().product();
         self.rows = rows.len();
@@ -141,14 +153,14 @@ impl Scratch {
     /// Resizes the back slab for `back_len` total elements and hands out the
     /// disjoint views a layer sweep needs: `(current row shape, front slab,
     /// back slab)`.
-    pub(crate) fn slabs_for_sweep(&mut self, back_len: usize) -> (&[usize], &[f32], &mut [f32]) {
+    pub(crate) fn slabs_for_sweep(&mut self, back_len: usize) -> (&[usize], &[T], &mut [T]) {
         self.reserve_slab(false, back_len);
-        self.back.resize(back_len, 0.0);
+        self.back.resize(back_len, T::default());
         (&self.shape, &self.front, &mut self.back)
     }
 
     /// The front slab, mutably (in-place layer sweeps and hook application).
-    pub(crate) fn front_mut(&mut self) -> &mut [f32] {
+    pub(crate) fn front_mut(&mut self) -> &mut [T] {
         &mut self.front
     }
 
@@ -179,6 +191,15 @@ mod tests {
         assert_eq!(scratch.row_shape(), &[2]);
         assert_eq!(scratch.row(0), &[1.0, 2.0]);
         assert_eq!(scratch.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn raw_word_rows_use_the_same_arena() {
+        let mut scratch: Scratch<i32> = Scratch::new();
+        let rows: Vec<Vec<i32>> = vec![vec![-128, 127], vec![0, 16]];
+        scratch.load_rows(&[2], rows.iter().map(Vec::as_slice));
+        assert_eq!(scratch.row(0), &[-128, 127]);
+        assert_eq!(scratch.row(1), &[0, 16]);
     }
 
     #[test]

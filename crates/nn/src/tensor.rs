@@ -211,12 +211,15 @@ impl Tensor {
 /// first; 0 for an empty or single-element buffer).
 ///
 /// This is [`Tensor::argmax`] for borrowed slices — the form the
-/// zero-allocation inference path ([`crate::Network::forward_scratch`])
-/// hands out.
-pub fn argmax(values: &[f32]) -> usize {
+/// zero-allocation inference paths ([`crate::Network::forward_scratch`] and
+/// [`crate::QNetwork::forward_scratch`]) hand out. It is generic over the
+/// element type because greedy action selection over raw Q-format words is
+/// the same comparison as over dequantized `f32` values (dequantization is
+/// monotonic in the raw word).
+pub fn argmax<T: PartialOrd>(values: &[T]) -> usize {
     let mut best = 0;
-    for (i, &v) in values.iter().enumerate() {
-        if v > values[best] {
+    for (i, v) in values.iter().enumerate() {
+        if *v > values[best] {
             best = i;
         }
     }

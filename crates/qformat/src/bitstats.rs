@@ -45,7 +45,7 @@ impl BitStats {
     /// Computes statistics over raw `f32` values quantized on the fly.
     pub fn from_f32<I: IntoIterator<Item = f32>>(values: I, format: QFormat) -> BitStats {
         let mut stats = BitStats::new();
-        stats.extend(values.into_iter().map(|v| QValue::quantize(v, format)));
+        stats.extend_f32(values, format);
         stats
     }
 
@@ -55,6 +55,20 @@ impl BitStats {
             self.ones += u64::from(value.count_ones());
             self.zeros += u64::from(value.count_zeros());
         }
+    }
+
+    /// Adds raw two's-complement words in `format` to the statistics.
+    ///
+    /// This is the native-backend entry point: buffers that already hold raw
+    /// Q-format words (e.g. a quantized network's live weight storage) are
+    /// swept without any float round trip.
+    pub fn extend_raw<I: IntoIterator<Item = i32>>(&mut self, raws: I, format: QFormat) {
+        self.extend(raws.into_iter().map(|raw| QValue::from_raw(raw, format)));
+    }
+
+    /// Adds `f32` values to the statistics, quantizing each into `format`.
+    pub fn extend_f32<I: IntoIterator<Item = f32>>(&mut self, values: I, format: QFormat) {
+        self.extend(values.into_iter().map(|v| QValue::quantize(v, format)));
     }
 
     /// Number of `1` bits observed.
@@ -207,6 +221,16 @@ mod tests {
         // pruned/near-zero NN weights) produce mostly 0 bits.
         let sparse = BitStats::from_f32((0..100).map(|i| i as f32 * 0.001), QFormat::Q4_11);
         assert!(sparse.zero_to_one_ratio() > 2.0);
+    }
+
+    #[test]
+    fn extend_raw_matches_quantized_counting() {
+        let fmt = QFormat::Q3_4;
+        let values: Vec<f32> = vec![-1.0, 0.5, 3.25, -0.0625];
+        let from_f32 = BitStats::from_f32(values.iter().copied(), fmt);
+        let mut from_raw = BitStats::new();
+        from_raw.extend_raw(values.iter().map(|&v| QValue::quantize(v, fmt).raw()), fmt);
+        assert_eq!(from_f32, from_raw);
     }
 
     #[test]

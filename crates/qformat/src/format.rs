@@ -160,6 +160,52 @@ impl QFormat {
     pub fn sign_bit(&self) -> u8 {
         self.total_bits() - 1
     }
+
+    /// Saturates a widened value at the format's raw scale (`2^-frac_bits`)
+    /// to the representable raw range.
+    #[inline]
+    pub fn saturate_raw(&self, raw: i64) -> i32 {
+        raw.clamp(i64::from(self.min_raw()), i64::from(self.max_raw())) as i32
+    }
+
+    /// Requantizes a widened product accumulator back into this format.
+    ///
+    /// The product of two raw words in this format carries `2 × frac_bits`
+    /// fractional bits; native fixed-point kernels sum such products (plus a
+    /// bias shifted up by `frac_bits`) in a widened accumulator and call this
+    /// once per output element. Rounding is to nearest with ties away from
+    /// zero — the same rule `f32::round` applies inside
+    /// [`QValue::quantize`](crate::QValue::quantize) — and the result
+    /// saturates at the representable raw range, so the native path agrees
+    /// with the float-simulated path wherever the latter is exact.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use navft_qformat::QFormat;
+    ///
+    /// let fmt = QFormat::Q3_4;
+    /// // 1.5 * 2.0 == 3.0: raw 24 * raw 32 = 768 at scale 2^-8 -> raw 48.
+    /// assert_eq!(fmt.requantize_product_sum(768), 48);
+    /// // Half-way values round away from zero, matching `f32::round`.
+    /// assert_eq!(fmt.requantize_product_sum(8), 1);
+    /// assert_eq!(fmt.requantize_product_sum(-8), -1);
+    /// ```
+    #[inline]
+    pub fn requantize_product_sum(&self, acc: i64) -> i32 {
+        let frac = u32::from(self.frac_bits);
+        let rounded = if frac == 0 {
+            acc
+        } else {
+            let half = 1i64 << (frac - 1);
+            if acc >= 0 {
+                (acc + half) >> frac
+            } else {
+                -((-acc + half) >> frac)
+            }
+        };
+        self.saturate_raw(rounded)
+    }
 }
 
 impl Default for QFormat {
@@ -216,6 +262,22 @@ mod tests {
 
         let f = QFormat::Q4_11;
         assert_eq!(f.sign_and_integer_mask(), 0b1111_1000_0000_0000);
+    }
+
+    #[test]
+    fn requantize_product_sum_rounds_and_saturates() {
+        let f = QFormat::Q3_4;
+        // raw(1.25) * raw(2.0) = 20 * 32 = 640 at 2^-8 -> raw 40 (2.5).
+        assert_eq!(f.requantize_product_sum(640), 40);
+        // Ties round away from zero in both directions.
+        assert_eq!(f.requantize_product_sum(24), 2);
+        assert_eq!(f.requantize_product_sum(-24), -2);
+        // Overflowing sums pin at the raw extremes instead of wrapping.
+        assert_eq!(f.requantize_product_sum(1 << 30), f.max_raw());
+        assert_eq!(f.requantize_product_sum(-(1 << 30)), f.min_raw());
+        // frac_bits == 0: the accumulator is already at the raw scale.
+        let ints = QFormat::new(6, 0).expect("valid format");
+        assert_eq!(ints.requantize_product_sum(5), 5);
     }
 
     #[test]

@@ -18,6 +18,29 @@
 //!   explain why stuck-at-0 and stuck-at-1 faults behave differently
 //!   (Fig. 2b/2d of the paper).
 //!
+//! # The numeric domain of two backends
+//!
+//! This crate defines the quantized domain both inference backends of
+//! `navft-nn` compute in. The `f32` backend *simulates* a fixed-point
+//! datapath by round-tripping every value through [`QValue::quantize`]; the
+//! native backend stores raw two's-complement words and leans on the
+//! integer-only primitives here: [`QFormat::requantize_product_sum`]
+//! (widened-accumulator requantization with saturation and
+//! round-to-nearest-away-from-zero, matching `f32::round`) and
+//! [`bitstats::BitStats::extend_raw`] (bit statistics without a float round
+//! trip).
+//!
+//! ## Paper data-type mapping
+//!
+//! The drone policy sweep of Fig. 7e compares the 16-bit formats
+//! [`QFormat::Q4_11`], [`QFormat::Q7_8`] and [`QFormat::Q10_5`] — wider
+//! integer ranges make a flipped high-order bit a larger outlier, which is
+//! why `Q(1,10,5)` is the least fault-resilient. Grid World policies store
+//! 8-bit [`QFormat::Q3_4`] words (matching the value histograms of
+//! Fig. 2b/2d), and the extended ablation adds [`QFormat::Q2_5`] and
+//! [`QFormat::Q2_13`]. The data-type experiments execute each of these
+//! formats natively on the quantized backend.
+//!
 //! # Examples
 //!
 //! ```

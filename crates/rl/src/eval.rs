@@ -13,7 +13,9 @@
 use rand::Rng;
 
 use navft_fault::Injector;
-use navft_nn::{argmax, ForwardHooks, Network, NoHooks, Scratch, Tensor};
+use navft_nn::{
+    argmax, ForwardHooks, Network, NoHooks, QNetwork, QScratch, QTensor, Scratch, Tensor,
+};
 
 use crate::{one_hot_into, DiscreteEnvironment, EvalResult, QTable, VisionEnvironment};
 
@@ -225,6 +227,12 @@ where
 
 /// Returns a copy of `network` with the fault mode's injector applied to its
 /// weight buffers (a no-op copy for [`InferenceFaultMode::None`]).
+///
+/// The injector's fault map addresses the network's concatenated weight
+/// space; each layer's buffer is corrupted through
+/// [`Injector::corrupt_span`], so the quantize → corrupt → dequantize round
+/// trip of the `f32` backend lives in one place. The native fixed-point
+/// counterpart is [`corrupt_qnetwork_weights`], which flips the live words.
 pub fn corrupt_network_weights(network: &Network, fault: &InferenceFaultMode) -> Network {
     let mut corrupted = network.clone();
     if let Some(injector) = fault.injector() {
@@ -233,18 +241,145 @@ pub fn corrupt_network_weights(network: &Network, fault: &InferenceFaultMode) ->
             .into_iter()
             .map(|i| (i, corrupted.weight_span(i)))
             .collect();
-        let format = injector.format();
         for (layer, span) in spans {
-            let slice = injector.map().slice(span);
-            if slice.is_empty() {
-                continue;
-            }
             if let Some(weights) = corrupted.layer_weights_mut(layer) {
-                slice.corrupt_f32(weights, format);
+                injector.corrupt_span(span.start, weights);
             }
         }
     }
     corrupted
+}
+
+/// Returns a copy of `network` with the fault mode's injector applied to its
+/// live raw weight words — the native fixed-point corruption path: every
+/// fault is a single integer operation, with no dequantize round trip.
+pub fn corrupt_qnetwork_weights(network: &QNetwork, fault: &InferenceFaultMode) -> QNetwork {
+    let mut corrupted = network.clone();
+    if let Some(injector) = fault.injector() {
+        let spans: Vec<(usize, std::ops::Range<usize>)> = corrupted
+            .parametric_layers()
+            .into_iter()
+            .map(|i| (i, corrupted.weight_span(i)))
+            .collect();
+        for (layer, span) in spans {
+            if let Some(words) = corrupted.layer_weights_raw_mut(layer) {
+                injector.corrupt_raw_span(span.start, words);
+            }
+        }
+    }
+    corrupted
+}
+
+/// Evaluates a natively quantized NN policy on a discrete environment
+/// (one-hot inputs) under the given inference fault mode applied to the
+/// network's live weight words.
+///
+/// The quantized-domain counterpart of [`evaluate_network_discrete`]: every
+/// forward pass runs in integer arithmetic in the network's [`QFormat`] and
+/// greedy actions come from an argmax over raw Q-value words.
+///
+/// [`QFormat`]: navft_qformat::QFormat
+pub fn evaluate_qnetwork_discrete<E, R>(
+    env: &mut E,
+    network: &QNetwork,
+    episodes: usize,
+    max_steps: usize,
+    fault: &InferenceFaultMode,
+    rng: &mut R,
+) -> EvalResult
+where
+    E: DiscreteEnvironment,
+    R: Rng + ?Sized,
+{
+    let corrupted = corrupt_qnetwork_weights(network, fault);
+    let num_states = env.num_states();
+    let format = network.format();
+    let one = navft_qformat::QValue::quantize(1.0, format).raw();
+
+    // One scratch and one reusable one-hot word buffer serve every episode.
+    let mut scratch = QScratch::new();
+    let mut encoded = QTensor::zeros(&[num_states], format);
+
+    let mut successes = 0usize;
+    let mut total_reward = 0.0f64;
+    for _ in 0..episodes {
+        let onset = if max_steps > 0 { rng.gen_range(0..max_steps) } else { 0 };
+        let mut state = env.reset();
+        for step in 0..max_steps {
+            let active = if fault.faulty_at(step, onset) { &corrupted } else { network };
+            encoded.words_mut().fill(0);
+            encoded.words_mut()[state] = one;
+            let action = argmax(active.forward_scratch(&encoded, &mut scratch, &mut NoHooks));
+            let transition = env.step(action);
+            total_reward += f64::from(transition.reward);
+            state = transition.next_state;
+            if transition.terminal {
+                if transition.reached_goal {
+                    successes += 1;
+                }
+                break;
+            }
+        }
+    }
+    EvalResult {
+        success_rate: successes as f64 / episodes.max(1) as f64,
+        mean_reward: total_reward / episodes.max(1) as f64,
+        mean_distance: 0.0,
+        episodes,
+    }
+}
+
+/// Evaluates a natively quantized NN policy on a vision environment (the
+/// drone task) under the given weight fault mode, reporting Mean Safe Flight
+/// in [`EvalResult::mean_distance`].
+///
+/// The quantized-domain counterpart of [`evaluate_network_vision`]: each
+/// observation is quantized once into the policy's format (the input buffer
+/// the accelerator stores) and the whole pass runs on raw words.
+pub fn evaluate_qnetwork_vision<E, R>(
+    env: &mut E,
+    network: &QNetwork,
+    episodes: usize,
+    max_steps: usize,
+    fault: &InferenceFaultMode,
+    rng: &mut R,
+) -> EvalResult
+where
+    E: VisionEnvironment,
+    R: Rng + ?Sized,
+{
+    let corrupted = corrupt_qnetwork_weights(network, fault);
+    let format = network.format();
+
+    // One scratch and one reusable input word buffer serve every episode.
+    let mut scratch = QScratch::new();
+    let shape = env.observation_shape();
+    let mut qinput = QTensor::zeros(&shape, format);
+
+    let mut total_reward = 0.0f64;
+    let mut total_distance = 0.0f64;
+    for _ in 0..episodes {
+        let onset = if max_steps > 0 { rng.gen_range(0..max_steps) } else { 0 };
+        let mut observation = env.reset();
+        for step in 0..max_steps {
+            let active = if fault.faulty_at(step, onset) { &corrupted } else { network };
+            qinput.quantize_from(&observation);
+            let action = argmax(active.forward_scratch(&qinput, &mut scratch, &mut NoHooks));
+            let transition = env.step(action);
+            total_reward += f64::from(transition.reward);
+            total_distance += f64::from(transition.distance);
+            observation = transition.observation;
+            if transition.terminal {
+                break;
+            }
+        }
+    }
+    EvalResult {
+        success_rate: 0.0,
+        mean_reward: total_reward / episodes.max(1) as f64,
+        mean_distance: total_distance / episodes.max(1) as f64,
+        episodes,
+    }
 }
 
 #[cfg(test)]
@@ -450,6 +585,72 @@ mod tests {
             |_| Negate,
         );
         assert!(corrupted.mean_distance < clean.mean_distance);
+    }
+
+    #[test]
+    fn qnetwork_discrete_evaluation_matches_the_f32_backend() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let mut net = mlp(&[3, 2], &mut rng);
+        net.layer_weights_mut(0)
+            .expect("weights")
+            .copy_from_slice(&[1.0, 1.0, 1.0, -1.0, -1.0, -1.0]);
+        let qnet = net.to_quantized(QFormat::Q3_4);
+        let mut env = Line { position: 1 };
+        let result = evaluate_qnetwork_discrete(
+            &mut env,
+            &qnet,
+            20,
+            10,
+            &InferenceFaultMode::None,
+            &mut SmallRng::seed_from_u64(9),
+        );
+        assert_eq!(result.success_rate, 1.0);
+    }
+
+    #[test]
+    fn qnetwork_vision_evaluation_reports_mean_distance() {
+        let mut env = StraightHall { remaining: 5 };
+        let mut rng = SmallRng::seed_from_u64(10);
+        let mut net = mlp(&[4, 2], &mut rng);
+        net.layer_weights_mut(0).expect("weights").copy_from_slice(
+            &[1.0; 4].iter().chain([-1.0f32; 4].iter()).copied().collect::<Vec<f32>>(),
+        );
+        let qnet = net.to_quantized(QFormat::Q4_11);
+        let result =
+            evaluate_qnetwork_vision(&mut env, &qnet, 4, 10, &InferenceFaultMode::None, &mut rng);
+        assert_eq!(result.mean_distance, 5.0);
+        assert_eq!(result.episodes, 4);
+    }
+
+    #[test]
+    fn corrupt_qnetwork_weights_flips_live_words_in_the_faulted_span() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let net = mlp(&[3, 4, 2], &mut rng);
+        let qnet = net.to_quantized(QFormat::Q4_11);
+        let map =
+            FaultMap::from_faults(vec![BitFault { word: 13, bit: 3, kind: FaultKind::BitFlip }]);
+        let injector =
+            Injector::new(FaultTarget::new(FaultSite::WeightBuffer), QFormat::Q4_11, map);
+        let corrupted =
+            corrupt_qnetwork_weights(&qnet, &InferenceFaultMode::TransientWholeEpisode(injector));
+        // Word 13 lives in the second linear layer (span 12..20).
+        let layers = qnet.parametric_layers();
+        let span = qnet.weight_span(layers[1]);
+        assert!(span.contains(&13));
+        let before = qnet.layer_weights_raw(layers[1]).expect("words");
+        let after = corrupted.layer_weights_raw(layers[1]).expect("words");
+        let local = 13 - span.start;
+        assert_eq!(after[local], ((before[local] ^ (1 << 3)) << 16) >> 16);
+        assert_eq!(
+            before.iter().zip(after.iter()).filter(|(a, b)| a != b).count(),
+            1,
+            "exactly one live word changes"
+        );
+        // The other layer is untouched.
+        assert_eq!(
+            qnet.layer_weights_raw(layers[0]).expect("words"),
+            corrupted.layer_weights_raw(layers[0]).expect("words")
+        );
     }
 
     #[test]

@@ -114,17 +114,12 @@ impl FaultPlan {
     fn apply_to_network(injector: &Injector, network: &mut Network, enforce_only: bool) {
         let spans: Vec<(usize, std::ops::Range<usize>)> =
             network.parametric_layers().into_iter().map(|i| (i, network.weight_span(i))).collect();
-        let format = injector.format();
         for (layer, span) in spans {
-            let slice = injector.map().slice(span);
-            if slice.is_empty() {
-                continue;
-            }
             if let Some(weights) = network.layer_weights_mut(layer) {
                 if enforce_only {
-                    slice.enforce_f32(weights, format);
+                    injector.enforce_span(span.start, weights);
                 } else {
-                    slice.corrupt_f32(weights, format);
+                    injector.corrupt_span(span.start, weights);
                 }
             }
         }

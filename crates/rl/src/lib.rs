@@ -84,8 +84,9 @@ pub use env::{
     VisionTransition,
 };
 pub use eval::{
-    corrupt_network_weights, evaluate_network_discrete, evaluate_network_vision,
-    evaluate_network_vision_hooked, evaluate_tabular, InferenceFaultMode,
+    corrupt_network_weights, corrupt_qnetwork_weights, evaluate_network_discrete,
+    evaluate_network_vision, evaluate_network_vision_hooked, evaluate_qnetwork_discrete,
+    evaluate_qnetwork_vision, evaluate_tabular, InferenceFaultMode,
 };
 pub use exploration::EpsilonSchedule;
 pub use faultplan::FaultPlan;
