@@ -1,28 +1,57 @@
-//! Regenerates the paper's figures as plain-text tables.
+//! Regenerates the paper's figures as plain-text tables and machine-readable
+//! JSONL artifacts on the shared work-stealing campaign scheduler.
 //!
 //! Usage:
 //!
 //! ```text
-//! figures all                  # every figure at the default (quick) scale
-//! figures fig5 fig10           # selected figures
-//! figures --scale smoke all    # smoke-sized campaign (seconds)
-//! figures --scale paper fig2   # paper-sized campaign (hours)
-//! figures --list               # list available figure ids
+//! figures all                        # every figure at the default (quick) scale
+//! figures fig5 fig10                 # selected figures
+//! figures --scale smoke all          # smoke-sized campaign (seconds)
+//! figures --scale paper --jobs 32 \
+//!         --out artifacts all        # paper-sized campaign with artifacts
+//! figures --out artifacts --resume all  # skip cells already in the journal
+//! figures --validate artifacts       # check every emitted artifact parses
+//! figures --list                     # list available figure ids
 //! ```
+//!
+//! `--out <dir>` streams every completed cell to `<dir>/journal.jsonl` and
+//! writes per-figure `<figure>.jsonl` + `<figure>.txt` files; `--resume`
+//! skips cells whose fingerprint already has a journal record, so an
+//! interrupted paper-scale run picks up where it left off. `--jobs N`
+//! overrides the scale's worker-thread default. The JSONL artifacts are
+//! bit-identical for any `--jobs` value.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 use navft_bench::parse_scale;
+use navft_core::sweep::{artifact, run_sweeps, RunOptions};
 use navft_core::{experiments, Scale};
 
+struct Args {
+    scale: Scale,
+    jobs: Option<usize>,
+    out_dir: Option<PathBuf>,
+    resume: bool,
+    requested: Vec<String>,
+}
+
+const USAGE: &str = "usage: figures [--scale smoke|quick|paper] [--jobs N] [--out DIR] \
+                     [--resume] [--list] [--validate DIR] <figure-id>... | all";
+
 fn main() -> ExitCode {
-    let mut scale = Scale::Quick;
-    let mut requested: Vec<String> = Vec::new();
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
+    let mut args = Args {
+        scale: Scale::Quick,
+        jobs: None,
+        out_dir: None,
+        resume: false,
+        requested: Vec::new(),
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
         match arg.as_str() {
             "--scale" => {
-                let Some(value) = args.next() else {
+                let Some(value) = argv.next() else {
                     eprintln!("--scale needs a value (smoke | quick | paper)");
                     return ExitCode::FAILURE;
                 };
@@ -30,7 +59,30 @@ fn main() -> ExitCode {
                     eprintln!("unknown scale {value:?} (expected smoke | quick | paper)");
                     return ExitCode::FAILURE;
                 };
-                scale = parsed;
+                args.scale = parsed;
+            }
+            "--jobs" => {
+                let parsed = argv.next().and_then(|v| v.parse::<usize>().ok());
+                let Some(jobs) = parsed.filter(|&n| n > 0) else {
+                    eprintln!("--jobs needs a positive integer");
+                    return ExitCode::FAILURE;
+                };
+                args.jobs = Some(jobs);
+            }
+            "--out" => {
+                let Some(dir) = argv.next() else {
+                    eprintln!("--out needs a directory");
+                    return ExitCode::FAILURE;
+                };
+                args.out_dir = Some(PathBuf::from(dir));
+            }
+            "--resume" => args.resume = true,
+            "--validate" => {
+                let Some(dir) = argv.next() else {
+                    eprintln!("--validate needs a directory");
+                    return ExitCode::FAILURE;
+                };
+                return validate(&PathBuf::from(dir));
             }
             "--list" => {
                 for id in experiments::figure_ids() {
@@ -39,36 +91,89 @@ fn main() -> ExitCode {
                 return ExitCode::SUCCESS;
             }
             "--help" | "-h" => {
-                println!(
-                    "usage: figures [--scale smoke|quick|paper] [--list] <figure-id>... | all"
-                );
+                println!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
-            other => requested.push(other.to_string()),
+            other if other.starts_with('-') => {
+                eprintln!("unknown option {other:?}\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+            other => args.requested.push(other.to_string()),
         }
     }
-    if requested.is_empty() {
+    run(args)
+}
+
+fn validate(dir: &std::path::Path) -> ExitCode {
+    match artifact::validate_dir(dir) {
+        Ok(records) => {
+            println!("[figures] {records} artifact records in {} parse cleanly", dir.display());
+            ExitCode::SUCCESS
+        }
+        Err(error) => {
+            eprintln!("[figures] artifact validation failed: {error}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: Args) -> ExitCode {
+    if args.requested.is_empty() {
         eprintln!("nothing to do: pass figure ids or `all` (see --list)");
         return ExitCode::FAILURE;
     }
+    let valid_ids = experiments::figure_ids();
+    let unknown: Vec<&String> = args
+        .requested
+        .iter()
+        .filter(|r| r.as_str() != "all" && !valid_ids.contains(&r.as_str()))
+        .collect();
+    if !unknown.is_empty() {
+        eprintln!("unknown figure id(s) {unknown:?}; valid ids are: all, {}", valid_ids.join(", "));
+        return ExitCode::FAILURE;
+    }
+    if args.resume && args.out_dir.is_none() {
+        eprintln!("--resume needs --out DIR (the journal lives in the artifact directory)");
+        return ExitCode::FAILURE;
+    }
 
-    let drivers = experiments::all_figures(scale);
-    let run_all = requested.iter().any(|r| r == "all");
-    let mut matched = 0;
-    for (id, driver) in drivers {
-        if run_all || requested.iter().any(|r| r == id) {
-            matched += 1;
-            eprintln!("[figures] running {id} at {scale:?} scale...");
-            let start = std::time::Instant::now();
-            for figure in driver(scale) {
-                println!("{figure}");
-            }
-            eprintln!("[figures] {id} finished in {:.1} s", start.elapsed().as_secs_f64());
+    let run_all = args.requested.iter().any(|r| r == "all");
+    let sweeps: Vec<_> = experiments::all_sweeps(args.scale)
+        .into_iter()
+        .filter(|sweep| run_all || args.requested.iter().any(|r| r == sweep.id()))
+        .collect();
+
+    let threads = args.scale.threads_or(args.jobs);
+    let options =
+        RunOptions { threads, out_dir: args.out_dir.clone(), resume: args.resume, progress: true };
+    let total_cells: usize = sweeps.iter().map(|s| s.len()).sum();
+    eprintln!(
+        "[figures] running {} figure(s), {total_cells} cells at {:?} scale on {threads} thread(s)...",
+        sweeps.len(),
+        args.scale
+    );
+    let start = std::time::Instant::now();
+    let report = match run_sweeps(sweeps, &options) {
+        Ok(report) => report,
+        Err(error) => {
+            eprintln!("[figures] artifact IO failed: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for (_, figures) in &report.figures {
+        for figure in figures {
+            println!("{figure}");
         }
     }
-    if matched == 0 {
-        eprintln!("no figure matched {requested:?}; use --list to see the available ids");
-        return ExitCode::FAILURE;
+    eprintln!(
+        "[figures] cells: executed {}, resumed {}, total {} in {:.1} s",
+        report.executed_cells,
+        report.resumed_cells,
+        report.total_cells,
+        start.elapsed().as_secs_f64()
+    );
+    if let Some(dir) = &args.out_dir {
+        eprintln!("[figures] artifacts written to {}", dir.display());
     }
     ExitCode::SUCCESS
 }

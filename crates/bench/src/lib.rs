@@ -1,8 +1,11 @@
 //! Benchmark and figure-regeneration harness for the navft workspace.
 //!
 //! * The `figures` binary regenerates every figure of the paper's evaluation
-//!   as plain-text tables: `cargo run --release -p navft-bench --bin figures
-//!   -- all` (or a single figure id, e.g. `fig5`; add `--scale smoke|quick|paper`).
+//!   as plain-text tables and JSONL artifacts: `cargo run --release -p
+//!   navft-bench --bin figures -- all` (or a single figure id, e.g. `fig5`;
+//!   add `--scale smoke|quick|paper`, `--jobs N`, `--out DIR` and
+//!   `--resume`). All requested figures' campaign cells run on one shared
+//!   work-stealing scheduler; see `navft_core::sweep`.
 //! * The Criterion benches (`cargo bench -p navft-bench`) time representative
 //!   cells of each experiment so regressions in the simulator or the
 //!   fault-injection tool-chain are visible.

@@ -1,0 +1,108 @@
+//! Integration test: the `figures` binary's CLI contract — strict figure-id
+//! validation, artifact emission, `--resume` with zero recomputation, and
+//! `--validate`.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn figures(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_figures")).args(args).output().expect("spawn figures")
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("navft-figures-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn unknown_figure_ids_fail_with_the_valid_id_list() {
+    let out = figures(&["frobnicate"]);
+    assert!(!out.status.success(), "unknown ids must exit nonzero");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("frobnicate"), "stderr names the offender: {stderr}");
+    for id in ["fig2", "fig5", "fig10", "ablation"] {
+        assert!(stderr.contains(id), "stderr lists valid id {id}: {stderr}");
+    }
+    // A valid id mixed with an unknown one must still fail (nothing runs).
+    let out = figures(&["fig5", "frobnicate"]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn no_figures_requested_fails() {
+    let out = figures(&["--scale", "smoke"]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn resume_without_out_dir_fails() {
+    let out = figures(&["--resume", "all"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--out"));
+}
+
+#[test]
+fn bad_jobs_and_scale_values_fail() {
+    assert!(!figures(&["--jobs", "0", "all"]).status.success());
+    assert!(!figures(&["--jobs", "many", "all"]).status.success());
+    assert!(!figures(&["--scale", "huge", "all"]).status.success());
+    assert!(!figures(&["--frobnicate", "all"]).status.success());
+}
+
+#[test]
+fn list_names_every_figure() {
+    let out = figures(&["--list"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for id in ["fig2", "fig2hist", "fig3", "fig4", "fig5", "fig7a", "fig8", "fig9", "fig10"] {
+        assert!(stdout.lines().any(|l| l == id), "missing {id} in --list");
+    }
+}
+
+#[test]
+fn artifact_run_resumes_with_zero_recomputation_and_validates() {
+    let dir = temp_dir("roundtrip");
+    let dir_str = dir.to_string_lossy().into_owned();
+
+    // Fresh smoke run of a cheap figure with artifacts.
+    let out = figures(&["--scale", "smoke", "--jobs", "2", "--out", &dir_str, "fig2hist"]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("executed 2, resumed 0"), "first run executes both cells: {stderr}");
+    assert!(dir.join("journal.jsonl").is_file());
+    assert!(dir.join("fig2hist.jsonl").is_file());
+    assert!(dir.join("fig2hist.txt").is_file());
+    let first_artifact = std::fs::read_to_string(dir.join("fig2hist.jsonl")).unwrap();
+    let first_stdout = out.stdout.clone();
+
+    // Resume: nothing recomputed, identical artifact and figure tables.
+    let out =
+        figures(&["--scale", "smoke", "--jobs", "2", "--out", &dir_str, "--resume", "fig2hist"]);
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("executed 0, resumed 2"), "resume skips every cell: {stderr}");
+    assert_eq!(
+        std::fs::read_to_string(dir.join("fig2hist.jsonl")).unwrap(),
+        first_artifact,
+        "resume must rewrite an identical artifact"
+    );
+    assert_eq!(out.stdout, first_stdout, "resume must reproduce the same tables");
+
+    // The emitted artifacts parse.
+    let out = figures(&["--validate", &dir_str]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("parse cleanly"));
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn validate_rejects_a_corrupt_artifact_directory() {
+    let dir = temp_dir("corrupt");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("fig0.jsonl"), "{\"fp\":").unwrap();
+    let out = figures(&["--validate", &dir.to_string_lossy()]);
+    assert!(!out.status.success());
+    std::fs::remove_dir_all(&dir).unwrap();
+}

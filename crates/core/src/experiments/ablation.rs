@@ -3,6 +3,8 @@
 //! anomaly detector's margin and comparison precision, and an extended
 //! data-type sweep.
 
+use std::sync::Arc;
+
 use navft_fault::{FaultKind, FaultSite, FaultTarget, InjectionSchedule, Injector};
 use navft_gridworld::ObstacleDensity;
 use navft_mitigation::{
@@ -14,8 +16,9 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::experiments::fig2::policy_words;
-use crate::experiments::{campaign, fig7};
+use crate::experiments::fig7;
 use crate::grid_policies::{train_clean_policy, train_grid_policy, PolicyKind};
+use crate::sweep::{CellSpec, Sweep};
 use crate::{FigureData, GridParams, Scale, Series};
 
 /// Final success rate (%) of tabular training under a late transient fault
@@ -49,77 +52,124 @@ fn mitigated_success_with(
     run.final_success_rate * 100.0
 }
 
-/// All ablation figures.
-pub fn ablations(scale: Scale) -> Vec<FigureData> {
-    let params = scale.grid();
+const ALPHAS: [f64; 5] = [0.0, 0.2, 0.4, 0.8, 1.0];
+const THRESHOLDS: [f64; 4] = [0.1, 0.25, 0.5, 0.75];
+const MARGINS: [f64; 5] = [0.0, 0.05, 0.1, 0.25, 0.5];
+const PRECISIONS: [(&str, bool); 2] = [("sign+integer bits", true), ("full precision", false)];
+
+/// The extended data-type sweep: the extra-narrow 8-bit Q(1,2,5) and the
+/// 16-bit Q(1,2,13) in addition to the Fig. 7e formats, each executed
+/// natively on the quantized backend.
+const DATA_TYPE_FORMATS: [QFormat; 5] =
+    [QFormat::Q2_5, QFormat::Q2_13, QFormat::Q4_11, QFormat::Q7_8, QFormat::Q10_5];
+
+const DATA_TYPE_PREFIX: &str = "ablation-data-types";
+
+/// The ablations as one declarative sweep: adjustment coefficient, detection
+/// threshold, anomaly-detection margin/precision, and the extended data-type
+/// cells (shared with Fig. 7e's builder).
+pub fn sweep(scale: Scale) -> Sweep {
+    let params = Arc::new(scale.grid());
     let reps = (params.repetitions / 2).max(1);
     let ber = *params.bit_error_rates.last().expect("non-empty BER sweep");
-    let mut figures = Vec::new();
+    let mut sweep = Sweep::new("ablation", scale);
 
     // Ablation 1: the adjustment coefficient α.
-    let mut alpha_points = Vec::new();
-    for alpha in [0.0, 0.2, 0.4, 0.8, 1.0] {
-        let config = ExplorationAdjusterConfig { alpha, ..ExplorationAdjusterConfig::tabular() };
-        let summary = campaign(scale, reps, (alpha * 100.0) as u64 ^ 0xA1FA, |seed, _| {
+    for alpha in ALPHAS {
+        let spec = CellSpec::new(format!("alpha={alpha}"), reps)
+            .with_label("figure", "ablation-alpha")
+            .with_label("alpha", alpha.to_string());
+        let params = Arc::clone(&params);
+        sweep.cell(spec, move |seed, _rep| {
+            let config =
+                ExplorationAdjusterConfig { alpha, ..ExplorationAdjusterConfig::tabular() };
             mitigated_success_with(config, ber, &params, seed)
         });
-        alpha_points.push((alpha, summary.mean()));
     }
-    figures.push(FigureData::lines(
-        "ablation-alpha",
-        "mitigated tabular training vs adjustment coefficient alpha",
-        "final success rate (%) vs alpha (late transient fault at the highest BER)",
-        vec![Series::new("alpha sweep", alpha_points)],
-    ));
 
     // Ablation 2: the detection threshold x (reward-drop fraction).
-    let mut threshold_points = Vec::new();
-    for threshold in [0.1, 0.25, 0.5, 0.75] {
-        let config = ExplorationAdjusterConfig {
-            reward_drop_fraction: threshold,
-            ..ExplorationAdjusterConfig::tabular()
-        };
-        let summary = campaign(scale, reps, (threshold * 100.0) as u64 ^ 0x7123, |seed, _| {
+    for threshold in THRESHOLDS {
+        let spec = CellSpec::new(format!("threshold={threshold}"), reps)
+            .with_label("figure", "ablation-detection-threshold")
+            .with_label("threshold", threshold.to_string());
+        let params = Arc::clone(&params);
+        sweep.cell(spec, move |seed, _rep| {
+            let config = ExplorationAdjusterConfig {
+                reward_drop_fraction: threshold,
+                ..ExplorationAdjusterConfig::tabular()
+            };
             mitigated_success_with(config, ber, &params, seed)
         });
-        threshold_points.push((threshold, summary.mean()));
     }
-    figures.push(FigureData::lines(
-        "ablation-detection-threshold",
-        "mitigated tabular training vs reward-drop detection threshold",
-        "final success rate (%) vs detection threshold x",
-        vec![Series::new("threshold sweep", threshold_points)],
-    ));
 
     // Ablation 3: the anomaly-detection margin and comparison precision.
-    let mut margin_series = Vec::new();
-    for (label, integer_only) in [("sign+integer bits", true), ("full precision", false)] {
-        let mut points = Vec::new();
-        for margin in [0.0, 0.05, 0.1, 0.25, 0.5] {
-            let summary = campaign(scale, reps, (margin * 1000.0) as u64 ^ 0x3a6, |seed, _| {
+    for (label, integer_only) in PRECISIONS {
+        for margin in MARGINS {
+            let spec = CellSpec::new(format!("margin/{label}/m={margin}"), reps)
+                .with_label("figure", "ablation-margin")
+                .with_label("precision", label)
+                .with_label("margin", margin.to_string());
+            let params = Arc::clone(&params);
+            sweep.cell(spec, move |seed, _rep| {
                 guarded_success_with_margin(margin, integer_only, ber, &params, seed)
             });
-            points.push((margin, summary.mean()));
         }
-        margin_series.push(Series::new(label, points));
     }
-    figures.push(FigureData::lines(
-        "ablation-margin",
-        "anomaly-detection margin and comparison precision",
-        "Grid World NN success rate (%) vs detection margin (weight bit flips at the highest BER)",
-        margin_series,
-    ));
 
-    // Ablation 4: extended data-type sweep — adds the extra-narrow 8-bit
-    // Q(1,2,5) and the 16-bit Q(1,2,13) to the Fig. 7e formats, each
-    // executed natively on the quantized backend.
-    figures.extend(fig7::data_type_sensitivity(
-        scale,
-        &[QFormat::Q2_5, QFormat::Q2_13, QFormat::Q4_11, QFormat::Q7_8, QFormat::Q10_5],
-        "ablation-data-types",
-    ));
+    // Ablation 4: the extended data-type sweep, natively executed.
+    fig7::add_data_type_cells(&mut sweep, scale, &DATA_TYPE_FORMATS, DATA_TYPE_PREFIX);
 
-    figures
+    sweep.fold(move |results| {
+        let mut figures = Vec::new();
+        let alpha_points =
+            ALPHAS.iter().map(|&a| (a, results.mean(&format!("alpha={a}")))).collect();
+        figures.push(FigureData::lines(
+            "ablation-alpha",
+            "mitigated tabular training vs adjustment coefficient alpha",
+            "final success rate (%) vs alpha (late transient fault at the highest BER)",
+            vec![Series::new("alpha sweep", alpha_points)],
+        ));
+
+        let threshold_points =
+            THRESHOLDS.iter().map(|&t| (t, results.mean(&format!("threshold={t}")))).collect();
+        figures.push(FigureData::lines(
+            "ablation-detection-threshold",
+            "mitigated tabular training vs reward-drop detection threshold",
+            "final success rate (%) vs detection threshold x",
+            vec![Series::new("threshold sweep", threshold_points)],
+        ));
+
+        let margin_series = PRECISIONS
+            .iter()
+            .map(|&(label, _)| {
+                let points = MARGINS
+                    .iter()
+                    .map(|&m| (m, results.mean(&format!("margin/{label}/m={m}"))))
+                    .collect();
+                Series::new(label, points)
+            })
+            .collect();
+        figures.push(FigureData::lines(
+            "ablation-margin",
+            "anomaly-detection margin and comparison precision",
+            "Grid World NN success rate (%) vs detection margin (weight bit flips at the highest BER)",
+            margin_series,
+        ));
+
+        figures.extend(fig7::data_type_figures(
+            results,
+            scale,
+            &DATA_TYPE_FORMATS,
+            DATA_TYPE_PREFIX,
+        ));
+        figures
+    });
+    sweep
+}
+
+/// All ablation figures.
+pub fn ablations(scale: Scale) -> Vec<FigureData> {
+    sweep(scale).collect(scale.threads())
 }
 
 /// Success rate (%) of the guarded Grid World NN policy with a custom
@@ -160,4 +210,20 @@ fn guarded_success_with_margin(
     )
     .success_rate
         * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_declares_every_ablation_cell() {
+        let drone = Scale::Smoke.drone();
+        let sweep = sweep(Scale::Smoke);
+        let data_type_cells = DATA_TYPE_FORMATS.len() * (1 + drone.bit_error_rates.len());
+        assert_eq!(
+            sweep.len(),
+            ALPHAS.len() + THRESHOLDS.len() + PRECISIONS.len() * MARGINS.len() + data_type_cells
+        );
+    }
 }

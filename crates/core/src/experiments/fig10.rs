@@ -2,6 +2,12 @@
 //! inference: success rate (Grid World) and flight distance (drone) with and
 //! without the mitigation, plus the headline improvement factors and the
 //! runtime-overhead measurement.
+//!
+//! The overhead measurement is wall-clock dependent, so it lives in the
+//! sweep's *fold* — it reaches the rendered tables but never the
+//! machine-readable artifacts, which must be bit-identical across runs.
+
+use std::sync::Arc;
 
 use navft_dronesim::{DepthCamera, DroneSim, DroneWorld};
 use navft_fault::{FaultKind, FaultSite, FaultTarget, Injector};
@@ -16,8 +22,8 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::drone_policy::train_drone_policy;
-use crate::experiments::campaign;
 use crate::grid_policies::{train_clean_policy, PolicyKind};
+use crate::sweep::{CellSpec, Lazy, Sweep};
 use crate::{FigureData, GridParams, Scale, Series};
 
 /// Success rate (%) of the NN Grid World policy under weight bit flips, with
@@ -91,103 +97,148 @@ fn drone_distance_with_guard(
     .mean_distance
 }
 
+const ARMS: [(bool, &str); 2] = [(false, "base"), (true, "guarded")];
+
+fn grid_id(arm: &str, ber: f64) -> String {
+    format!("grid/{arm}/ber={ber}")
+}
+
+fn drone_id(arm: &str, ber: f64) -> String {
+    format!("drone/{arm}/ber={ber}")
+}
+
+/// Fig. 10 as a declarative sweep: (task × mitigation arm × BER) cells; the
+/// improvement factors and the wall-clock overhead are computed in the fold.
+pub fn sweep(scale: Scale) -> Sweep {
+    let grid_params = Arc::new(scale.grid());
+    let drone_params = Arc::new(scale.drone());
+    let world = Arc::new(DroneWorld::indoor_long());
+    let policy = {
+        let world = Arc::clone(&world);
+        let params = Arc::clone(&drone_params);
+        Lazy::new(move || train_drone_policy(&world, &params, 0x0D0E))
+    };
+
+    let mut sweep = Sweep::new("fig10", scale);
+    for (mitigated, arm) in ARMS {
+        for &ber in &grid_params.bit_error_rates {
+            let spec = CellSpec::new(grid_id(arm, ber), grid_params.repetitions)
+                .with_label("figure", "fig10a")
+                .with_label("arm", arm)
+                .with_label("ber", ber.to_string());
+            let params = Arc::clone(&grid_params);
+            sweep.cell(spec, move |seed, _rep| {
+                grid_success_with_guard(ber, mitigated, &params, seed)
+            });
+        }
+        for &ber in &drone_params.bit_error_rates {
+            let spec = CellSpec::new(drone_id(arm, ber), drone_params.repetitions)
+                .with_label("figure", "fig10b")
+                .with_label("arm", arm)
+                .with_label("ber", ber.to_string());
+            let (policy, world, params) =
+                (policy.clone(), Arc::clone(&world), Arc::clone(&drone_params));
+            sweep.cell(spec, move |seed, _rep| {
+                drone_distance_with_guard(policy.get(), &world, ber, mitigated, &params, seed)
+            });
+        }
+    }
+    sweep.fold(move |results| {
+        let collect =
+            |id: &dyn Fn(&str, f64) -> String, bers: &[f64], arm: &str| -> Vec<(f64, f64)> {
+                bers.iter().map(|&ber| (ber, results.mean(&id(arm, ber)))).collect()
+            };
+        let unmitigated = collect(&grid_id, &grid_params.bit_error_rates, "base");
+        let mitigated = collect(&grid_id, &grid_params.bit_error_rates, "guarded");
+        let drone_unmitigated = collect(&drone_id, &drone_params.bit_error_rates, "base");
+        let drone_mitigated = collect(&drone_id, &drone_params.bit_error_rates, "guarded");
+
+        let mut figures = vec![
+            FigureData::lines(
+                "fig10a",
+                "Grid World NN inference with range-based anomaly detection",
+                "success rate (%) vs BER (weight bit flips)",
+                vec![
+                    Series::new("no mitigation", unmitigated.clone()),
+                    Series::new("mitigation", mitigated.clone()),
+                ],
+            ),
+            FigureData::lines(
+                "fig10b",
+                "drone inference with range-based anomaly detection",
+                "mean safe flight distance (m) vs BER (weight bit flips)",
+                vec![
+                    Series::new("no mitigation", drone_unmitigated.clone()),
+                    Series::new("mitigation", drone_mitigated.clone()),
+                ],
+            ),
+        ];
+
+        // Headline facts: improvement factors at the highest BER and the
+        // runtime overhead of the protected inference path (wall-clock, so
+        // fold-only: it never reaches the JSONL artifacts).
+        let improvement = |base: &[(f64, f64)], guarded: &[(f64, f64)]| -> f64 {
+            let (mut best, mut found) = (1.0f64, false);
+            for ((_, b), (_, g)) in base.iter().zip(guarded.iter()) {
+                if *b > 1e-9 {
+                    best = best.max(*g / *b);
+                    found = true;
+                }
+            }
+            if found {
+                best
+            } else {
+                1.0
+            }
+        };
+        // The overhead is a function of the topology and the guard's integer
+        // comparisons, not of the learned weights, so it is timed on an
+        // untrained probe of the same architecture — a fully resumed run
+        // must not train the policy just to time it.
+        let probe = navft_nn::C3f2Config::scaled().build(&mut SmallRng::seed_from_u64(0x10C));
+        let guard = RangeGuard::from_network(&probe, QFormat::Q4_11, RangeGuardConfig::paper());
+        let camera = DepthCamera::scaled();
+        let frame = Tensor::zeros(&camera.frame_shape());
+        let overhead = measure_overhead(&probe, &guard, &frame, 60, 50);
+        figures.push(FigureData::facts(
+            "fig10-headline",
+            "headline mitigation results",
+            vec![
+                (
+                    "Grid World success-rate improvement (x)".to_string(),
+                    improvement(&unmitigated, &mitigated),
+                ),
+                (
+                    "drone flight-distance improvement (x)".to_string(),
+                    improvement(&drone_unmitigated, &drone_mitigated),
+                ),
+                (
+                    "anomaly-detection runtime overhead (%)".to_string(),
+                    overhead.relative_overhead() * 100.0,
+                ),
+            ],
+        ));
+        figures
+    });
+    sweep
+}
+
 /// Fig. 10a / 10b plus the headline facts: anomaly-detection effectiveness on
 /// Grid World inference and drone inference, and the measured runtime
 /// overhead of the guard.
 pub fn anomaly_detection_effectiveness(scale: Scale) -> Vec<FigureData> {
-    let grid_params = scale.grid();
-    let drone_params = scale.drone();
-    let mut figures = Vec::new();
+    sweep(scale).collect(scale.threads())
+}
 
-    // Fig. 10a: Grid World NN policy.
-    let mut unmitigated = Vec::new();
-    let mut mitigated = Vec::new();
-    for &ber in &grid_params.bit_error_rates {
-        let base =
-            campaign(scale, grid_params.repetitions, (ber * 1e6) as u64 ^ 0xA0, |seed, _| {
-                grid_success_with_guard(ber, false, &grid_params, seed)
-            });
-        let guarded =
-            campaign(scale, grid_params.repetitions, (ber * 1e6) as u64 ^ 0xA1, |seed, _| {
-                grid_success_with_guard(ber, true, &grid_params, seed)
-            });
-        unmitigated.push((ber, base.mean()));
-        mitigated.push((ber, guarded.mean()));
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_declares_both_arms_for_both_tasks() {
+        let grid = Scale::Smoke.grid();
+        let drone = Scale::Smoke.drone();
+        let sweep = sweep(Scale::Smoke);
+        assert_eq!(sweep.len(), 2 * (grid.bit_error_rates.len() + drone.bit_error_rates.len()));
     }
-    figures.push(FigureData::lines(
-        "fig10a",
-        "Grid World NN inference with range-based anomaly detection",
-        "success rate (%) vs BER (weight bit flips)",
-        vec![
-            Series::new("no mitigation", unmitigated.clone()),
-            Series::new("mitigation", mitigated.clone()),
-        ],
-    ));
-
-    // Fig. 10b: drone policy.
-    let world = DroneWorld::indoor_long();
-    let policy = train_drone_policy(&world, &drone_params, 0x0D0E);
-    let mut drone_unmitigated = Vec::new();
-    let mut drone_mitigated = Vec::new();
-    for &ber in &drone_params.bit_error_rates {
-        let base =
-            campaign(scale, drone_params.repetitions, (ber * 1e7) as u64 ^ 0xB0, |seed, _| {
-                drone_distance_with_guard(&policy, &world, ber, false, &drone_params, seed)
-            });
-        let guarded =
-            campaign(scale, drone_params.repetitions, (ber * 1e7) as u64 ^ 0xB1, |seed, _| {
-                drone_distance_with_guard(&policy, &world, ber, true, &drone_params, seed)
-            });
-        drone_unmitigated.push((ber, base.mean()));
-        drone_mitigated.push((ber, guarded.mean()));
-    }
-    figures.push(FigureData::lines(
-        "fig10b",
-        "drone inference with range-based anomaly detection",
-        "mean safe flight distance (m) vs BER (weight bit flips)",
-        vec![
-            Series::new("no mitigation", drone_unmitigated.clone()),
-            Series::new("mitigation", drone_mitigated.clone()),
-        ],
-    ));
-
-    // Headline facts: improvement factors at the highest BER and the runtime
-    // overhead of the protected inference path.
-    let improvement = |base: &[(f64, f64)], guarded: &[(f64, f64)]| -> f64 {
-        let (mut best, mut found) = (1.0f64, false);
-        for ((_, b), (_, g)) in base.iter().zip(guarded.iter()) {
-            if *b > 1e-9 {
-                best = best.max(*g / *b);
-                found = true;
-            }
-        }
-        if found {
-            best
-        } else {
-            1.0
-        }
-    };
-    let guard = RangeGuard::from_network(&policy, QFormat::Q4_11, RangeGuardConfig::paper());
-    let camera = DepthCamera::scaled();
-    let frame = Tensor::zeros(&camera.frame_shape());
-    let overhead = measure_overhead(&policy, &guard, &frame, 60, 50);
-    figures.push(FigureData::facts(
-        "fig10-headline",
-        "headline mitigation results",
-        vec![
-            (
-                "Grid World success-rate improvement (x)".to_string(),
-                improvement(&unmitigated, &mitigated),
-            ),
-            (
-                "drone flight-distance improvement (x)".to_string(),
-                improvement(&drone_unmitigated, &drone_mitigated),
-            ),
-            (
-                "anomaly-detection runtime overhead (%)".to_string(),
-                overhead.relative_overhead() * 100.0,
-            ),
-        ],
-    ));
-    figures
 }

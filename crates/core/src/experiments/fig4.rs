@@ -2,6 +2,8 @@
 //! re-converge after a late transient fault, and whether extra training
 //! recovers policies afflicted by permanent faults.
 
+use std::sync::Arc;
+
 use navft_fault::{FaultKind, FaultSite, FaultTarget, InjectionSchedule, Injector};
 use navft_gridworld::ObstacleDensity;
 use navft_qformat::QFormat;
@@ -9,10 +11,16 @@ use navft_rl::{episodes_to_converge, trainer, FaultPlan};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
+use crate::experiments::ber_label;
 use crate::experiments::fig2::policy_words;
-use crate::experiments::{ber_label, campaign};
 use crate::grid_policies::{train_grid_policy, PolicyKind};
+use crate::sweep::{CellSpec, Sweep};
 use crate::{FigureData, GridParams, Scale, Series};
+
+const PANELS: [(PolicyKind, &str, &str); 2] =
+    [(PolicyKind::Tabular, "fig4a", "fig4b"), (PolicyKind::Network, "fig4c", "fig4d")];
+
+const EI_MULTIPLIERS: [(usize, &str); 2] = [(1, "EI=1x"), (2, "EI=2x")];
 
 fn fault_site(kind: PolicyKind) -> FaultTarget {
     FaultTarget::new(match kind {
@@ -85,82 +93,108 @@ fn permanent_success_after_extra_training(
     run.final_success_rate * 100.0
 }
 
+fn convergence_id(panel: &str, ber: f64) -> String {
+    format!("{panel}/ber={ber}")
+}
+
+fn permanent_id(panel: &str, fault_kind: FaultKind, ei_label: &str, ber: f64) -> String {
+    format!("{panel}/{fault_kind}/{ei_label}/ber={ber}")
+}
+
+/// Fig. 4 as a declarative sweep: re-convergence cells per BER plus
+/// extra-training cells per (fault kind, EI multiplier, BER).
+pub fn sweep(scale: Scale) -> Sweep {
+    let params = Arc::new(scale.grid());
+    // Use a trimmed repetition count: each cell trains for 2-3x the base
+    // episode budget.
+    let reps = (params.repetitions / 2).max(1);
+    let mut sweep = Sweep::new("fig4", scale);
+    for (kind, panel_conv, panel_perm) in PANELS {
+        for &ber in &params.bit_error_rates {
+            let spec = CellSpec::new(convergence_id(panel_conv, ber), reps)
+                .with_label("figure", panel_conv)
+                .with_label("ber", ber.to_string());
+            let params_cell = Arc::clone(&params);
+            sweep.cell(spec, move |seed, _rep| recovery_episodes(kind, ber, &params_cell, seed));
+            for fault_kind in [FaultKind::StuckAt0, FaultKind::StuckAt1] {
+                for (ei_multiplier, ei_label) in EI_MULTIPLIERS {
+                    let spec =
+                        CellSpec::new(permanent_id(panel_perm, fault_kind, ei_label, ber), reps)
+                            .with_label("figure", panel_perm)
+                            .with_label("fault", fault_kind.to_string())
+                            .with_label("ei", ei_label)
+                            .with_label("ber", ber.to_string());
+                    let params_cell = Arc::clone(&params);
+                    sweep.cell(spec, move |seed, _rep| {
+                        permanent_success_after_extra_training(
+                            kind,
+                            fault_kind,
+                            ber,
+                            ei_multiplier,
+                            &params_cell,
+                            seed,
+                        )
+                    });
+                }
+            }
+        }
+    }
+    sweep.fold(move |results| {
+        let mut figures = Vec::new();
+        for (kind, panel_conv, panel_perm) in PANELS {
+            let points: Vec<(f64, f64)> = params
+                .bit_error_rates
+                .iter()
+                .map(|&ber| (ber, results.mean(&convergence_id(panel_conv, ber))))
+                .collect();
+            figures.push(FigureData::lines(
+                panel_conv,
+                format!("{kind} episodes to re-converge after a late transient fault"),
+                "episodes to >95% success after injection vs BER",
+                vec![Series::new("transient faults", points)],
+            ));
+
+            let mut series = Vec::new();
+            for fault_kind in [FaultKind::StuckAt0, FaultKind::StuckAt1] {
+                for (_, ei_label) in EI_MULTIPLIERS {
+                    let points: Vec<(f64, f64)> = params
+                        .bit_error_rates
+                        .iter()
+                        .map(|&ber| {
+                            (
+                                ber,
+                                results.mean(&permanent_id(panel_perm, fault_kind, ei_label, ber)),
+                            )
+                        })
+                        .collect();
+                    series.push(Series::new(format!("{fault_kind} ({ei_label})"), points));
+                }
+            }
+            figures.push(FigureData::lines(
+                panel_perm,
+                format!("{kind} success rate after extra training under permanent faults"),
+                format!(
+                    "final success rate (%) vs BER (labels: {})",
+                    params
+                        .bit_error_rates
+                        .iter()
+                        .map(|&b| ber_label(b))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+                series,
+            ));
+        }
+        figures
+    });
+    sweep
+}
+
 /// Fig. 4a–4d: episodes to re-converge after a late transient fault
 /// (tabular / NN), and the success rate reachable with extra training under
 /// permanent faults at two fault-onset points.
 pub fn convergence_analysis(scale: Scale) -> Vec<FigureData> {
-    let params = scale.grid();
-    // Use a trimmed repetition count: each cell trains for 2-3x the base
-    // episode budget.
-    let reps = (params.repetitions / 2).max(1);
-    let mut figures = Vec::new();
-
-    for (kind, id_conv, id_perm) in
-        [(PolicyKind::Tabular, "fig4a", "fig4b"), (PolicyKind::Network, "fig4c", "fig4d")]
-    {
-        // (a)/(c): episodes to converge after a transient fault vs BER.
-        let points: Vec<(f64, f64)> = params
-            .bit_error_rates
-            .iter()
-            .map(|&ber| {
-                let summary = campaign(scale, reps, (ber * 1e6) as u64 ^ 0x44, |seed, _| {
-                    recovery_episodes(kind, ber, &params, seed)
-                });
-                (ber, summary.mean())
-            })
-            .collect();
-        figures.push(FigureData::lines(
-            id_conv,
-            format!("{kind} episodes to re-converge after a late transient fault"),
-            "episodes to >95% success after injection vs BER",
-            vec![Series::new("transient faults", points)],
-        ));
-
-        // (b)/(d): success rate after extra training under permanent faults.
-        let mut series = Vec::new();
-        for fault_kind in [FaultKind::StuckAt0, FaultKind::StuckAt1] {
-            for (ei_multiplier, ei_label) in [(1usize, "EI=1x"), (2, "EI=2x")] {
-                let points: Vec<(f64, f64)> = params
-                    .bit_error_rates
-                    .iter()
-                    .map(|&ber| {
-                        let summary = campaign(
-                            scale,
-                            reps,
-                            (ber * 1e6) as u64 ^ (ei_multiplier as u64) << 8,
-                            |seed, _| {
-                                permanent_success_after_extra_training(
-                                    kind,
-                                    fault_kind,
-                                    ber,
-                                    ei_multiplier,
-                                    &params,
-                                    seed,
-                                )
-                            },
-                        );
-                        (ber, summary.mean())
-                    })
-                    .collect();
-                series.push(Series::new(format!("{fault_kind} ({ei_label})"), points));
-            }
-        }
-        figures.push(FigureData::lines(
-            id_perm,
-            format!("{kind} success rate after extra training under permanent faults"),
-            "final success rate (%) vs BER (labels: {ber_label})".replace(
-                "{ber_label}",
-                &params
-                    .bit_error_rates
-                    .iter()
-                    .map(|&b| ber_label(b))
-                    .collect::<Vec<_>>()
-                    .join(", "),
-            ),
-            series,
-        ));
-    }
-    figures
+    sweep(scale).collect(scale.threads())
 }
 
 #[cfg(test)]
@@ -171,5 +205,14 @@ mod tests {
     fn fault_sites_follow_policy_kind() {
         assert_eq!(fault_site(PolicyKind::Tabular).site(), FaultSite::TabularBuffer);
         assert_eq!(fault_site(PolicyKind::Network).site(), FaultSite::WeightBuffer);
+    }
+
+    #[test]
+    fn sweep_uses_the_trimmed_repetition_count() {
+        let params = Scale::Smoke.grid();
+        let sweep = sweep(Scale::Smoke);
+        assert_eq!(sweep.len(), 2 * (params.bit_error_rates.len() * (1 + 4)));
+        let reps = (params.repetitions / 2).max(1);
+        assert!(sweep.cell_specs().all(|s| s.repetitions() == reps));
     }
 }

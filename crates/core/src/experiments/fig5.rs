@@ -2,6 +2,8 @@
 //! policies evaluated under Transient-1, Transient-M, stuck-at-0 and
 //! stuck-at-1 faults across a BER sweep.
 
+use std::sync::Arc;
+
 use navft_fault::{FaultKind, FaultSite, FaultTarget, Injector};
 use navft_gridworld::ObstacleDensity;
 use navft_qformat::QFormat;
@@ -9,11 +11,15 @@ use navft_rl::InferenceFaultMode;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use crate::experiments::campaign;
 use crate::grid_policies::{
     evaluate_grid_policy, policy_word_count, train_clean_policy, PolicyKind,
 };
+use crate::sweep::{CellSpec, Sweep};
 use crate::{FigureData, Scale, Series};
+
+/// The two policy families and their figure panel ids.
+const PANELS: [(PolicyKind, &str); 2] =
+    [(PolicyKind::Tabular, "fig5a"), (PolicyKind::Network, "fig5b")];
 
 /// The four inference fault modes swept by Fig. 5.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,32 +100,58 @@ pub fn inference_success(
         * 100.0
 }
 
+fn cell_id(panel: &str, mode: InferenceMode, ber: f64) -> String {
+    format!("{panel}/{}/ber={ber}", mode.label())
+}
+
+/// Fig. 5 as a declarative sweep: one cell per (policy, mode, BER).
+pub fn sweep(scale: Scale) -> Sweep {
+    let params = Arc::new(scale.grid());
+    let mut sweep = Sweep::new("fig5", scale);
+    for (kind, panel) in PANELS {
+        for mode in InferenceMode::ALL {
+            for &ber in &params.bit_error_rates {
+                let spec = CellSpec::new(cell_id(panel, mode, ber), params.repetitions)
+                    .with_label("figure", panel)
+                    .with_label("mode", mode.label())
+                    .with_label("ber", ber.to_string());
+                let params = Arc::clone(&params);
+                sweep.cell(spec, move |seed, _rep| {
+                    inference_success(kind, mode, ber, &params, seed)
+                });
+            }
+        }
+    }
+    sweep.fold(move |results| {
+        let mut figures = Vec::new();
+        for (kind, panel) in PANELS {
+            let series = InferenceMode::ALL
+                .iter()
+                .map(|&mode| {
+                    let points = params
+                        .bit_error_rates
+                        .iter()
+                        .map(|&ber| (ber, results.mean(&cell_id(panel, mode, ber))))
+                        .collect();
+                    Series::new(mode.label(), points)
+                })
+                .collect();
+            figures.push(FigureData::lines(
+                panel,
+                format!("{kind} inference under faults"),
+                "success rate (%) vs BER",
+                series,
+            ));
+        }
+        figures
+    });
+    sweep
+}
+
 /// Fig. 5a / 5b: success rate vs BER for the four inference fault modes,
 /// tabular and NN-based policies.
 pub fn grid_inference_sensitivity(scale: Scale) -> Vec<FigureData> {
-    let params = scale.grid();
-    let mut figures = Vec::new();
-    for (kind, id) in [(PolicyKind::Tabular, "fig5a"), (PolicyKind::Network, "fig5b")] {
-        let mut series = Vec::new();
-        for mode in InferenceMode::ALL {
-            let mut points = Vec::new();
-            for &ber in &params.bit_error_rates {
-                let summary =
-                    campaign(scale, params.repetitions, (ber * 1e6) as u64 ^ 0x55, |seed, _| {
-                        inference_success(kind, mode, ber, &params, seed)
-                    });
-                points.push((ber, summary.mean()));
-            }
-            series.push(Series::new(mode.label(), points));
-        }
-        figures.push(FigureData::lines(
-            id,
-            format!("{kind} inference under faults"),
-            "success rate (%) vs BER",
-            series,
-        ));
-    }
-    figures
+    sweep(scale).collect(scale.threads())
 }
 
 #[cfg(test)]
@@ -132,5 +164,13 @@ mod tests {
         assert_eq!(InferenceMode::StuckAt1.fault_kind(), FaultKind::StuckAt1);
         assert_eq!(InferenceMode::TransientM.fault_kind(), FaultKind::BitFlip);
         assert_eq!(InferenceMode::ALL.len(), 4);
+    }
+
+    #[test]
+    fn sweep_declares_a_cell_per_policy_mode_and_ber() {
+        let sweep = sweep(Scale::Smoke);
+        let bers = Scale::Smoke.grid().bit_error_rates.len();
+        assert_eq!(sweep.len(), 2 * 4 * bers);
+        assert!(sweep.cell_specs().all(|s| s.repetitions() == Scale::Smoke.grid().repetitions));
     }
 }

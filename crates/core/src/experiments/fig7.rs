@@ -1,10 +1,15 @@
 //! Fig. 7 — drone navigation fault characterization: training under faults
 //! (7a), environment sensitivity (7b), fault-location sensitivity (7c),
 //! per-layer sensitivity (7d) and data-type sensitivity (7e).
+//!
+//! Each panel is a [`Sweep`]; the trained base policies the cells share are
+//! wrapped in [`Lazy`] so a fully resumed run never trains them at all.
+
+use std::sync::Arc;
 
 use navft_dronesim::{DepthCamera, DroneSim, DroneWorld};
 use navft_fault::{FaultKind, FaultMap, FaultSite, FaultTarget, InjectionSchedule, Injector};
-use navft_nn::{parametric_layer_names, Network, QNetwork, QScratch, QTensor};
+use navft_nn::{parametric_layer_names, C3f2Config, Network, QNetwork, QScratch, QTensor};
 use navft_qformat::QFormat;
 use navft_rl::{
     evaluate_network_vision, evaluate_network_vision_hooked, evaluate_qnetwork_vision, trainer,
@@ -14,8 +19,9 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::drone_policy::{drone_agent, train_drone_policy};
-use crate::experiments::{ber_label, campaign};
+use crate::experiments::ber_label;
 use crate::hooks::{BufferFaultHook, HookPersistence, HookTarget};
+use crate::sweep::{CellSpec, Lazy, Sweep, SweepResults};
 use crate::{DroneParams, FigureData, Heatmap, Scale, Series};
 
 /// The fixed-point format drone policy weights are stored in.
@@ -25,6 +31,13 @@ const DRONE_FORMAT: QFormat = QFormat::Q4_11;
 /// for a given scale).
 fn trained_policy(world: &DroneWorld, params: &DroneParams) -> Network {
     train_drone_policy(world, params, 0x0D0E)
+}
+
+/// A lazily trained base policy for `world`, shared by a sweep's cells.
+fn lazy_policy(world: &Arc<DroneWorld>, params: &Arc<DroneParams>) -> Lazy<Network> {
+    let world = Arc::clone(world);
+    let params = Arc::clone(params);
+    Lazy::new(move || trained_policy(&world, &params))
 }
 
 /// Samples a weight-buffer injector over a network's `num_words` weights.
@@ -81,178 +94,160 @@ fn flight_distance(
     .mean_distance
 }
 
+/// Runs one online fine-tuning session under the given weight fault and
+/// reports the recent mean safe flight distance.
+fn finetune_distance(
+    base_policy: &Network,
+    world: &DroneWorld,
+    params: &DroneParams,
+    kind: FaultKind,
+    ber: f64,
+    fraction: f64,
+    seed: u64,
+) -> f64 {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let injector = Injector::sample(
+        FaultTarget::new(FaultSite::WeightBuffer),
+        base_policy.weight_count(),
+        DRONE_FORMAT,
+        ber,
+        kind,
+        &mut rng,
+    );
+    let episode = ((fraction * params.finetune_episodes as f64) as usize)
+        .min(params.finetune_episodes.saturating_sub(1));
+    let schedule = if kind.is_permanent() {
+        InjectionSchedule::from_start()
+    } else {
+        InjectionSchedule::at_episode(episode)
+    };
+    let plan = FaultPlan::new(injector, schedule);
+    let mut agent = drone_agent(base_policy.clone(), params.finetune_episodes / 2);
+    let mut sim = DroneSim::new(world.clone(), DepthCamera::scaled(), params.max_steps);
+    let trace = trainer::train_dqn_vision(
+        &mut sim,
+        &mut agent,
+        trainer::TrainingConfig::new(params.finetune_episodes, params.max_steps),
+        &plan,
+        &mut rng,
+        trainer::no_mitigation(),
+    );
+    trace.recent_mean_distance((params.finetune_episodes / 4).max(1))
+}
+
+const FINETUNE_FRACTIONS: [f64; 3] = [0.0, 0.5, 0.9];
+
+/// Fig. 7a as a declarative sweep: fine-tuning under transient faults
+/// (BER × injection point), permanent faults and the fault-free baseline.
+///
+/// Fine-tuning is the most expensive experiment, so repetitions are capped.
+pub fn training_faults_sweep(scale: Scale) -> Sweep {
+    let params = Arc::new(scale.drone());
+    let world = Arc::new(DroneWorld::indoor_long());
+    let policy = lazy_policy(&world, &params);
+    let reps = params.repetitions.min(3);
+    let bers = params.bit_error_rates.clone();
+    let representative_ber = bers[bers.len() / 2];
+
+    let mut sweep = Sweep::new("fig7a", scale);
+    for &ber in &bers {
+        for &fraction in &FINETUNE_FRACTIONS {
+            let spec = CellSpec::new(format!("transient/ber={ber}/at={fraction}"), reps)
+                .with_label("figure", "fig7a-transient")
+                .with_label("ber", ber.to_string())
+                .with_label("injection", fraction.to_string());
+            let (policy, world, params) = (policy.clone(), Arc::clone(&world), Arc::clone(&params));
+            sweep.cell(spec, move |seed, _rep| {
+                finetune_distance(
+                    policy.get(),
+                    &world,
+                    &params,
+                    FaultKind::BitFlip,
+                    ber,
+                    fraction,
+                    seed,
+                )
+            });
+        }
+    }
+    for kind in [FaultKind::StuckAt0, FaultKind::StuckAt1] {
+        let spec = CellSpec::new(format!("permanent/{kind}"), reps)
+            .with_label("figure", "fig7a-permanent")
+            .with_label("fault", kind.to_string())
+            .with_label("ber", representative_ber.to_string());
+        let (policy, world, params) = (policy.clone(), Arc::clone(&world), Arc::clone(&params));
+        sweep.cell(spec, move |seed, _rep| {
+            finetune_distance(policy.get(), &world, &params, kind, representative_ber, 0.0, seed)
+        });
+    }
+    {
+        let spec = CellSpec::new("clean", reps).with_label("figure", "fig7a-permanent");
+        let (policy, world, params) = (policy.clone(), Arc::clone(&world), Arc::clone(&params));
+        sweep.cell(spec, move |seed, _rep| {
+            finetune_distance(policy.get(), &world, &params, FaultKind::BitFlip, 0.0, 0.0, seed)
+        });
+    }
+    sweep.fold(move |results| {
+        let rows = bers
+            .iter()
+            .map(|&ber| {
+                FINETUNE_FRACTIONS
+                    .iter()
+                    .map(|&fraction| results.mean(&format!("transient/ber={ber}/at={fraction}")))
+                    .collect()
+            })
+            .collect();
+        let transient = FigureData::heatmap(
+            "fig7a-transient",
+            "drone online fine-tuning under transient weight bit flips",
+            "mean safe flight distance (m) vs (BER, fault-injection point)",
+            Heatmap::new(
+                bers.iter().map(|&b| ber_label(b)).collect(),
+                FINETUNE_FRACTIONS.iter().map(|f| format!("{:.0}%", f * 100.0)).collect(),
+                rows,
+            ),
+        );
+        let mut series = Vec::new();
+        for kind in [FaultKind::StuckAt0, FaultKind::StuckAt1] {
+            series.push(Series::new(
+                kind.to_string(),
+                vec![(representative_ber, results.mean(&format!("permanent/{kind}")))],
+            ));
+        }
+        series.push(Series::new("fault-free", vec![(0.0, results.mean("clean"))]));
+        let permanent = FigureData::lines(
+            "fig7a-permanent",
+            "drone online fine-tuning under permanent faults",
+            "mean safe flight distance (m) at the marked BER",
+            series,
+        );
+        vec![transient, permanent]
+    });
+    sweep
+}
+
 /// Fig. 7a: online fine-tuning (the transfer-learning stage) under transient
 /// faults injected at different points, plus permanent stuck-at faults, with
 /// the quality of the resulting flights as the metric.
 pub fn drone_training_faults(scale: Scale) -> Vec<FigureData> {
-    let params = scale.drone();
-    let world = DroneWorld::indoor_long();
-    let base_policy = trained_policy(&world, &params);
-    // Fine-tuning is the most expensive experiment: cap the repetitions.
-    let reps = params.repetitions.min(3);
-    let injection_fractions = [0.0, 0.5, 0.9];
-    let bers: Vec<f64> = params.bit_error_rates.clone();
-
-    let finetune_distance = |kind: FaultKind, ber: f64, fraction: f64, seed: u64| -> f64 {
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let injector = Injector::sample(
-            FaultTarget::new(FaultSite::WeightBuffer),
-            base_policy.weight_count(),
-            DRONE_FORMAT,
-            ber,
-            kind,
-            &mut rng,
-        );
-        let episode = ((fraction * params.finetune_episodes as f64) as usize)
-            .min(params.finetune_episodes.saturating_sub(1));
-        let schedule = if kind.is_permanent() {
-            InjectionSchedule::from_start()
-        } else {
-            InjectionSchedule::at_episode(episode)
-        };
-        let plan = FaultPlan::new(injector, schedule);
-        let mut agent = drone_agent(base_policy.clone(), params.finetune_episodes / 2);
-        let mut sim = DroneSim::new(world.clone(), DepthCamera::scaled(), params.max_steps);
-        let trace = trainer::train_dqn_vision(
-            &mut sim,
-            &mut agent,
-            trainer::TrainingConfig::new(params.finetune_episodes, params.max_steps),
-            &plan,
-            &mut rng,
-            trainer::no_mitigation(),
-        );
-        trace.recent_mean_distance((params.finetune_episodes / 4).max(1))
-    };
-
-    // Transient heatmap: rows = BER, cols = injection fraction.
-    let mut rows = Vec::new();
-    for &ber in &bers {
-        let mut row = Vec::new();
-        for &fraction in &injection_fractions {
-            let summary = campaign(
-                scale,
-                reps,
-                (ber * 1e7) as u64 ^ ((fraction * 10.0) as u64),
-                |seed, _| finetune_distance(FaultKind::BitFlip, ber, fraction, seed),
-            );
-            row.push(summary.mean());
-        }
-        rows.push(row);
-    }
-    let transient = FigureData::heatmap(
-        "fig7a-transient",
-        "drone online fine-tuning under transient weight bit flips",
-        "mean safe flight distance (m) vs (BER, fault-injection point)",
-        Heatmap::new(
-            bers.iter().map(|&b| ber_label(b)).collect(),
-            injection_fractions.iter().map(|f| format!("{:.0}%", f * 100.0)).collect(),
-            rows,
-        ),
-    );
-
-    // Permanent faults at a representative BER.
-    let representative_ber = bers[bers.len() / 2];
-    let mut series = Vec::new();
-    for kind in [FaultKind::StuckAt0, FaultKind::StuckAt1] {
-        let summary = campaign(scale, reps, 0x7A ^ kind as u64, |seed, _| {
-            finetune_distance(kind, representative_ber, 0.0, seed)
-        });
-        series.push(Series::new(kind.to_string(), vec![(representative_ber, summary.mean())]));
-    }
-    let clean = campaign(scale, reps, 0x7A_C1EA, |seed, _| {
-        finetune_distance(FaultKind::BitFlip, 0.0, 0.0, seed)
-    });
-    series.push(Series::new("fault-free", vec![(0.0, clean.mean())]));
-    let permanent = FigureData::lines(
-        "fig7a-permanent",
-        "drone online fine-tuning under permanent faults",
-        "mean safe flight distance (m) at the marked BER",
-        series,
-    );
-
-    vec![transient, permanent]
+    training_faults_sweep(scale).collect(scale.threads())
 }
 
-/// Fig. 7b: transient weight faults evaluated in both indoor environments.
-pub fn drone_environment_sensitivity(scale: Scale) -> Vec<FigureData> {
-    let params = scale.drone();
-    let mut series = Vec::new();
-    for world in [DroneWorld::indoor_long(), DroneWorld::indoor_vanleer()] {
-        let policy = trained_policy(&world, &params);
-        let mut points = Vec::new();
+/// Fig. 7b as a declarative sweep: transient weight faults evaluated in both
+/// indoor environments (one lazily trained policy per environment).
+pub fn environment_sweep(scale: Scale) -> Sweep {
+    let params = Arc::new(scale.drone());
+    let worlds = [Arc::new(DroneWorld::indoor_long()), Arc::new(DroneWorld::indoor_vanleer())];
+    let mut sweep = Sweep::new("fig7b", scale);
+    for world in &worlds {
+        let policy = lazy_policy(world, &params);
         for &ber in &params.bit_error_rates {
-            let summary =
-                campaign(scale, params.repetitions, (ber * 1e7) as u64 ^ 0x7B, |seed, _| {
-                    let injector = weight_injector(
-                        policy.weight_count(),
-                        ber,
-                        FaultKind::BitFlip,
-                        DRONE_FORMAT,
-                        seed,
-                    );
-                    flight_distance(
-                        &policy,
-                        &world,
-                        &params,
-                        &InferenceFaultMode::TransientWholeEpisode(injector),
-                        seed ^ 0xF11,
-                    )
-                });
-            points.push((ber, summary.mean()));
-        }
-        series.push(Series::new(world.name(), points));
-    }
-    vec![FigureData::lines(
-        "fig7b",
-        "drone inference under weight bit flips in two environments",
-        "mean safe flight distance (m) vs BER",
-        series,
-    )]
-}
-
-/// Fig. 7c: fault-location sensitivity — faults in the input buffer, the
-/// weight buffer, and the activation buffers (transient and permanent).
-pub fn drone_fault_location_sensitivity(scale: Scale) -> Vec<FigureData> {
-    let params = scale.drone();
-    let world = DroneWorld::indoor_long();
-    let policy = trained_policy(&world, &params);
-
-    let hooked_distance =
-        |target: HookTarget, persistence: HookPersistence, ber: f64, seed: u64| -> f64 {
-            let mut sim = DroneSim::new(world.clone(), DepthCamera::scaled(), params.max_steps);
-            let mut rng = SmallRng::seed_from_u64(seed);
-            evaluate_network_vision_hooked(
-                &mut sim,
-                &policy,
-                params.eval_episodes,
-                params.max_steps,
-                &InferenceFaultMode::None,
-                &mut rng,
-                |episode| {
-                    BufferFaultHook::new(
-                        target,
-                        persistence,
-                        ber,
-                        FaultKind::BitFlip,
-                        DRONE_FORMAT,
-                        seed ^ (episode as u64) << 16,
-                    )
-                },
-            )
-            .mean_distance
-        };
-
-    let mut series = Vec::new();
-    for (label, runner) in [
-        (
-            "input buffer",
-            Box::new(|ber: f64, seed: u64| {
-                hooked_distance(HookTarget::Input, HookPersistence::Transient, ber, seed)
-            }) as Box<dyn Fn(f64, u64) -> f64 + Sync>,
-        ),
-        (
-            "weights",
-            Box::new(|ber: f64, seed: u64| {
+            let spec = CellSpec::new(format!("{}/ber={ber}", world.name()), params.repetitions)
+                .with_label("environment", world.name())
+                .with_label("ber", ber.to_string());
+            let (policy, world, params) = (policy.clone(), Arc::clone(world), Arc::clone(&params));
+            sweep.cell(spec, move |seed, _rep| {
+                let policy = policy.get();
                 let injector = weight_injector(
                     policy.weight_count(),
                     ber,
@@ -261,86 +256,274 @@ pub fn drone_fault_location_sensitivity(scale: Scale) -> Vec<FigureData> {
                     seed,
                 );
                 flight_distance(
-                    &policy,
+                    policy,
                     &world,
                     &params,
                     &InferenceFaultMode::TransientWholeEpisode(injector),
-                    seed ^ 0xAC,
+                    seed ^ 0xF11,
                 )
-            }),
-        ),
-        (
-            "activations (transient)",
-            Box::new(|ber: f64, seed: u64| {
-                hooked_distance(HookTarget::Activations, HookPersistence::Transient, ber, seed)
-            }),
-        ),
-        (
-            "activations (permanent)",
-            Box::new(|ber: f64, seed: u64| {
-                hooked_distance(HookTarget::Activations, HookPersistence::Permanent, ber, seed)
-            }),
-        ),
-    ] {
-        let mut points = Vec::new();
-        for &ber in &params.bit_error_rates {
-            let summary =
-                campaign(scale, params.repetitions, (ber * 1e7) as u64 ^ 0x7C, |seed, _| {
-                    runner(ber, seed)
-                });
-            points.push((ber, summary.mean()));
+            });
         }
-        series.push(Series::new(label, points));
     }
-    vec![FigureData::lines(
-        "fig7c",
-        "drone inference sensitivity by fault location",
-        "mean safe flight distance (m) vs BER",
-        series,
-    )]
+    let names: Vec<String> = worlds.iter().map(|w| w.name().to_string()).collect();
+    sweep.fold(move |results| {
+        let series = names
+            .iter()
+            .map(|name| {
+                let points = params
+                    .bit_error_rates
+                    .iter()
+                    .map(|&ber| (ber, results.mean(&format!("{name}/ber={ber}"))))
+                    .collect();
+                Series::new(name.clone(), points)
+            })
+            .collect();
+        vec![FigureData::lines(
+            "fig7b",
+            "drone inference under weight bit flips in two environments",
+            "mean safe flight distance (m) vs BER",
+            series,
+        )]
+    });
+    sweep
+}
+
+/// Fig. 7b: transient weight faults evaluated in both indoor environments.
+pub fn drone_environment_sensitivity(scale: Scale) -> Vec<FigureData> {
+    environment_sweep(scale).collect(scale.threads())
+}
+
+/// The fault locations swept by Fig. 7c.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Location {
+    Input,
+    Weights,
+    ActivationsTransient,
+    ActivationsPermanent,
+}
+
+impl Location {
+    const ALL: [Location; 4] = [
+        Location::Input,
+        Location::Weights,
+        Location::ActivationsTransient,
+        Location::ActivationsPermanent,
+    ];
+
+    fn label(&self) -> &'static str {
+        match self {
+            Location::Input => "input buffer",
+            Location::Weights => "weights",
+            Location::ActivationsTransient => "activations (transient)",
+            Location::ActivationsPermanent => "activations (permanent)",
+        }
+    }
+}
+
+/// Evaluates flight distance with a buffer-fault hook attached.
+fn hooked_distance(
+    policy: &Network,
+    world: &DroneWorld,
+    params: &DroneParams,
+    target: HookTarget,
+    persistence: HookPersistence,
+    ber: f64,
+    seed: u64,
+) -> f64 {
+    let mut sim = DroneSim::new(world.clone(), DepthCamera::scaled(), params.max_steps);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    evaluate_network_vision_hooked(
+        &mut sim,
+        policy,
+        params.eval_episodes,
+        params.max_steps,
+        &InferenceFaultMode::None,
+        &mut rng,
+        |episode| {
+            BufferFaultHook::new(
+                target,
+                persistence,
+                ber,
+                FaultKind::BitFlip,
+                DRONE_FORMAT,
+                seed ^ (episode as u64) << 16,
+            )
+        },
+    )
+    .mean_distance
+}
+
+/// Fig. 7c as a declarative sweep: faults in the input buffer, the weight
+/// buffer, and the activation buffers (transient and permanent).
+pub fn location_sweep(scale: Scale) -> Sweep {
+    let params = Arc::new(scale.drone());
+    let world = Arc::new(DroneWorld::indoor_long());
+    let policy = lazy_policy(&world, &params);
+    let mut sweep = Sweep::new("fig7c", scale);
+    for location in Location::ALL {
+        for &ber in &params.bit_error_rates {
+            let spec = CellSpec::new(format!("{}/ber={ber}", location.label()), params.repetitions)
+                .with_label("location", location.label())
+                .with_label("ber", ber.to_string());
+            let (policy, world, params) = (policy.clone(), Arc::clone(&world), Arc::clone(&params));
+            sweep.cell(spec, move |seed, _rep| {
+                let policy = policy.get();
+                match location {
+                    Location::Input => hooked_distance(
+                        policy,
+                        &world,
+                        &params,
+                        HookTarget::Input,
+                        HookPersistence::Transient,
+                        ber,
+                        seed,
+                    ),
+                    Location::Weights => {
+                        let injector = weight_injector(
+                            policy.weight_count(),
+                            ber,
+                            FaultKind::BitFlip,
+                            DRONE_FORMAT,
+                            seed,
+                        );
+                        flight_distance(
+                            policy,
+                            &world,
+                            &params,
+                            &InferenceFaultMode::TransientWholeEpisode(injector),
+                            seed ^ 0xAC,
+                        )
+                    }
+                    Location::ActivationsTransient => hooked_distance(
+                        policy,
+                        &world,
+                        &params,
+                        HookTarget::Activations,
+                        HookPersistence::Transient,
+                        ber,
+                        seed,
+                    ),
+                    Location::ActivationsPermanent => hooked_distance(
+                        policy,
+                        &world,
+                        &params,
+                        HookTarget::Activations,
+                        HookPersistence::Permanent,
+                        ber,
+                        seed,
+                    ),
+                }
+            });
+        }
+    }
+    sweep.fold(move |results| {
+        let series = Location::ALL
+            .iter()
+            .map(|location| {
+                let points = params
+                    .bit_error_rates
+                    .iter()
+                    .map(|&ber| (ber, results.mean(&format!("{}/ber={ber}", location.label()))))
+                    .collect();
+                Series::new(location.label(), points)
+            })
+            .collect();
+        vec![FigureData::lines(
+            "fig7c",
+            "drone inference sensitivity by fault location",
+            "mean safe flight distance (m) vs BER",
+            series,
+        )]
+    });
+    sweep
+}
+
+/// Fig. 7c: fault-location sensitivity — faults in the input buffer, the
+/// weight buffer, and the activation buffers (transient and permanent).
+pub fn drone_fault_location_sensitivity(scale: Scale) -> Vec<FigureData> {
+    location_sweep(scale).collect(scale.threads())
+}
+
+/// The parametric layer names/indices of the drone policy topology. Uses an
+/// untrained probe network: the topology is fixed by [`C3f2Config::scaled`],
+/// so cells can be declared without training the policy.
+fn drone_layer_index() -> Vec<(String, usize)> {
+    let probe = C3f2Config::scaled().build(&mut SmallRng::seed_from_u64(0));
+    parametric_layer_names(&probe)
+}
+
+/// Fig. 7d as a declarative sweep: bit flips confined to each layer's
+/// weights in turn.
+pub fn layer_sweep(scale: Scale) -> Sweep {
+    let params = Arc::new(scale.drone());
+    let world = Arc::new(DroneWorld::indoor_long());
+    let policy = lazy_policy(&world, &params);
+    let layers = drone_layer_index();
+    let mut sweep = Sweep::new("fig7d", scale);
+    for (name, layer) in &layers {
+        for &ber in &params.bit_error_rates {
+            let layer = *layer;
+            let spec = CellSpec::new(format!("{name}/ber={ber}"), params.repetitions)
+                .with_label("layer", name.clone())
+                .with_label("ber", ber.to_string());
+            let (policy, world, params) = (policy.clone(), Arc::clone(&world), Arc::clone(&params));
+            sweep.cell(spec, move |seed, _rep| {
+                let policy = policy.get();
+                let injector = layer_injector(policy, layer, ber, seed);
+                flight_distance(
+                    policy,
+                    &world,
+                    &params,
+                    &InferenceFaultMode::TransientWholeEpisode(injector),
+                    seed ^ 0x7D,
+                )
+            });
+        }
+    }
+    sweep.fold(move |results| {
+        let series = layers
+            .iter()
+            .map(|(name, _)| {
+                let points = params
+                    .bit_error_rates
+                    .iter()
+                    .map(|&ber| (ber, results.mean(&format!("{name}/ber={ber}"))))
+                    .collect();
+                Series::new(name.clone(), points)
+            })
+            .collect();
+        vec![FigureData::lines(
+            "fig7d",
+            "drone inference sensitivity by faulted layer",
+            "mean safe flight distance (m) vs BER (bit flips confined to one layer's weights)",
+            series,
+        )]
+    });
+    sweep
 }
 
 /// Fig. 7d: per-layer sensitivity — bit flips confined to each layer's
 /// weights in turn.
 pub fn drone_layer_sensitivity(scale: Scale) -> Vec<FigureData> {
-    let params = scale.drone();
-    let world = DroneWorld::indoor_long();
-    let policy = trained_policy(&world, &params);
-    let mut series = Vec::new();
-    for (name, layer) in parametric_layer_names(&policy) {
-        let mut points = Vec::new();
-        for &ber in &params.bit_error_rates {
-            let summary = campaign(
-                scale,
-                params.repetitions,
-                (ber * 1e7) as u64 ^ (layer as u64) << 8,
-                |seed, _| {
-                    let injector = layer_injector(&policy, layer, ber, seed);
-                    flight_distance(
-                        &policy,
-                        &world,
-                        &params,
-                        &InferenceFaultMode::TransientWholeEpisode(injector),
-                        seed ^ 0x7D,
-                    )
-                },
-            );
-            points.push((ber, summary.mean()));
-        }
-        series.push(Series::new(name, points));
-    }
-    vec![FigureData::lines(
-        "fig7d",
-        "drone inference sensitivity by faulted layer",
-        "mean safe flight distance (m) vs BER (bit flips confined to one layer's weights)",
-        series,
-    )]
+    layer_sweep(scale).collect(scale.threads())
+}
+
+/// The data types swept by Fig. 7e.
+const FIG7E_FORMATS: [QFormat; 3] = [QFormat::Q4_11, QFormat::Q7_8, QFormat::Q10_5];
+
+/// Fig. 7e as a declarative sweep: the policy quantized to Q(1,4,11),
+/// Q(1,7,8) and Q(1,10,5), each exposed to weight bit flips.
+pub fn data_type_sweep(scale: Scale) -> Sweep {
+    let mut sweep = Sweep::new("fig7e", scale);
+    add_data_type_cells(&mut sweep, scale, &FIG7E_FORMATS, "fig7e");
+    sweep.fold(move |results| data_type_figures(results, scale, &FIG7E_FORMATS, "fig7e"));
+    sweep
 }
 
 /// Fig. 7e: data-type sensitivity — the policy quantized to Q(1,4,11),
 /// Q(1,7,8) and Q(1,10,5), each exposed to weight bit flips.
 pub fn drone_data_type_sensitivity(scale: Scale) -> Vec<FigureData> {
-    data_type_sensitivity(scale, &[QFormat::Q4_11, QFormat::Q7_8, QFormat::Q10_5], "fig7e")
+    data_type_sweep(scale).collect(scale.threads())
 }
 
 /// Mean safe flight distance of a natively quantized policy under the given
@@ -365,75 +548,109 @@ fn flight_distance_q(
     .mean_distance
 }
 
-/// Shared driver for the data-type sweep (also used by the extended
-/// ablation).
+/// Declares the data-type sweep's cells under `prefix` (also used by the
+/// extended ablation).
 ///
 /// Each format executes *natively*: the policy is compiled into a
 /// [`QNetwork`] whose weights, inputs and activations are live raw words in
 /// that format, bit flips strike those words in place, and the forward pass
 /// is integer arithmetic end to end — no `f32` simulation. Alongside the
-/// flight-distance sweep, a facts figure reports each format's zero/one bit
-/// ratio over the whole fault surface (weights plus calibration
+/// flight-distance cells, a single-repetition cell per format reports its
+/// zero/one bit ratio over the whole fault surface (weights plus calibration
 /// activations), the statistic that explains the stuck-at asymmetry of
 /// Fig. 2.
-pub(crate) fn data_type_sensitivity(
+pub(crate) fn add_data_type_cells(
+    sweep: &mut Sweep,
     scale: Scale,
     formats: &[QFormat],
-    id: &str,
+    prefix: &str,
+) {
+    let params = Arc::new(scale.drone());
+    let world = Arc::new(DroneWorld::indoor_long());
+    let base = lazy_policy(&world, &params);
+    for &format in formats {
+        let quantized: Lazy<QNetwork> = {
+            let base = base.clone();
+            Lazy::new(move || base.get().to_quantized(format))
+        };
+        {
+            let spec = CellSpec::new(format!("{prefix}/bits/{format}"), 1)
+                .with_label("figure", format!("{prefix}-bits"))
+                .with_label("format", format.to_string());
+            let (quantized, world, params) =
+                (quantized.clone(), Arc::clone(&world), Arc::clone(&params));
+            sweep.cell(spec, move |_seed, _rep| {
+                // Sweep every stored word of the quantized policy in one
+                // call: its parameter words (weights and biases) plus the
+                // activations of one calibration frame. The flight cells
+                // fault only the weight words, but the bit-population
+                // statistic describes the whole stored policy, as in Fig. 2.
+                let calibration = QTensor::quantize(
+                    &DroneSim::new(world.as_ref().clone(), DepthCamera::scaled(), params.max_steps)
+                        .reset(),
+                    format,
+                );
+                let stats = quantized
+                    .get()
+                    .bit_stats(std::slice::from_ref(&calibration), &mut QScratch::new());
+                stats.zero_to_one_ratio()
+            });
+        }
+        for &ber in &params.bit_error_rates {
+            let spec = CellSpec::new(format!("{prefix}/{format}/ber={ber}"), params.repetitions)
+                .with_label("figure", prefix.to_string())
+                .with_label("format", format.to_string())
+                .with_label("ber", ber.to_string());
+            let (quantized, world, params) =
+                (quantized.clone(), Arc::clone(&world), Arc::clone(&params));
+            sweep.cell(spec, move |seed, _rep| {
+                let policy = quantized.get();
+                let injector =
+                    weight_injector(policy.weight_count(), ber, FaultKind::BitFlip, format, seed);
+                flight_distance_q(
+                    policy,
+                    &world,
+                    &params,
+                    &InferenceFaultMode::TransientWholeEpisode(injector),
+                    seed ^ 0x7E,
+                )
+            });
+        }
+    }
+}
+
+/// Folds the data-type cells declared by [`add_data_type_cells`] into the
+/// flight-distance lines and bit-ratio facts figures.
+pub(crate) fn data_type_figures(
+    results: &SweepResults,
+    scale: Scale,
+    formats: &[QFormat],
+    prefix: &str,
 ) -> Vec<FigureData> {
     let params = scale.drone();
-    let world = DroneWorld::indoor_long();
-    let base_policy = trained_policy(&world, &params);
     let mut series = Vec::new();
     let mut bit_facts = Vec::new();
     for &format in formats {
-        let policy = base_policy.to_quantized(format);
-        // Sweep every stored word of the quantized policy in one call: its
-        // parameter words (weights and biases) plus the activations of one
-        // calibration frame. The flight sweep below faults only the weight
-        // words, but the bit-population statistic describes the whole stored
-        // policy, as in Fig. 2.
-        let calibration = QTensor::quantize(
-            &DroneSim::new(world.clone(), DepthCamera::scaled(), params.max_steps).reset(),
-            format,
-        );
-        let stats = policy.bit_stats(std::slice::from_ref(&calibration), &mut QScratch::new());
-        bit_facts.push((format!("{format} zero/one bit ratio"), stats.zero_to_one_ratio()));
-        let mut points = Vec::new();
-        for &ber in &params.bit_error_rates {
-            // int and frac bits together uniquely identify a format (int
-            // bits alone collide, e.g. Q2_5 vs Q2_13 in the ablation sweep).
-            let format_tag = u64::from(format.int_bits()) << 8 | u64::from(format.frac_bits());
-            let summary =
-                campaign(scale, params.repetitions, (ber * 1e7) as u64 ^ format_tag, |seed, _| {
-                    let injector = weight_injector(
-                        policy.weight_count(),
-                        ber,
-                        FaultKind::BitFlip,
-                        format,
-                        seed,
-                    );
-                    flight_distance_q(
-                        &policy,
-                        &world,
-                        &params,
-                        &InferenceFaultMode::TransientWholeEpisode(injector),
-                        seed ^ 0x7E,
-                    )
-                });
-            points.push((ber, summary.mean()));
-        }
+        bit_facts.push((
+            format!("{format} zero/one bit ratio"),
+            results.mean(&format!("{prefix}/bits/{format}")),
+        ));
+        let points = params
+            .bit_error_rates
+            .iter()
+            .map(|&ber| (ber, results.mean(&format!("{prefix}/{format}/ber={ber}"))))
+            .collect();
         series.push(Series::new(format.to_string(), points));
     }
     vec![
         FigureData::lines(
-            id,
+            prefix,
             "drone inference sensitivity by fixed-point data type (native execution)",
             "mean safe flight distance (m) vs BER (bit flips on live weight words)",
             series,
         ),
         FigureData::facts(
-            format!("{id}-bits"),
+            format!("{prefix}-bits"),
             "zero/one bit ratio of the quantized policy per data type",
             bit_facts,
         ),
@@ -459,5 +676,32 @@ mod tests {
         for fault in injector.map().faults() {
             assert!(span.contains(&fault.word));
         }
+    }
+
+    #[test]
+    fn layer_index_matches_the_paper_topology() {
+        let names: Vec<String> = drone_layer_index().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["conv1", "conv2", "conv3", "fc1", "fc2"]);
+    }
+
+    #[test]
+    fn sweeps_declare_cells_without_training_policies() {
+        // Building every fig7 sweep must be cheap: policies are Lazy and
+        // only materialize inside trials.
+        let start = std::time::Instant::now();
+        let sweeps = [
+            training_faults_sweep(Scale::Paper),
+            environment_sweep(Scale::Paper),
+            location_sweep(Scale::Paper),
+            layer_sweep(Scale::Paper),
+            data_type_sweep(Scale::Paper),
+        ];
+        for sweep in &sweeps {
+            assert!(!sweep.is_empty());
+        }
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(5),
+            "sweep construction must not train policies"
+        );
     }
 }

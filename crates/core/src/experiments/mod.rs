@@ -1,8 +1,12 @@
 //! Experiment drivers: one module per figure of the paper's evaluation.
 //!
-//! Every driver takes a [`Scale`] and returns [`FigureData`] holding the
-//! same rows/series the paper plots. The `figures` binary in `navft-bench` renders them as text tables;
-//! the Criterion benches time representative cells.
+//! Every driver declares its figure as a [`Sweep`]: a set of campaign cells
+//! (stable id, axis labels, repetitions, trial closure) plus a fold from the
+//! per-cell summaries to [`FigureData`]. The `figures` binary in
+//! `navft-bench` executes all requested sweeps on one shared work-stealing
+//! scheduler ([`crate::sweep::run_sweeps`]) with resumable JSONL artifacts;
+//! the imperative `fn(Scale) -> Vec<FigureData>` entry points remain as thin
+//! wrappers ([`Sweep::collect`]) for tests and benches.
 
 pub mod ablation;
 pub mod fig10;
@@ -14,24 +18,8 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 
-use navft_fault::campaign::{run_parallel, CampaignConfig, Summary};
-
+use crate::sweep::Sweep;
 use crate::{FigureData, Scale};
-
-/// Runs `experiment` for `repetitions` deterministic seeds across the scale's
-/// worker threads and returns the summary.
-pub(crate) fn campaign<F>(
-    scale: Scale,
-    repetitions: usize,
-    base_seed: u64,
-    experiment: F,
-) -> Summary
-where
-    F: Fn(u64, usize) -> f64 + Sync,
-{
-    let config = CampaignConfig::new(repetitions, base_seed);
-    run_parallel(&config, scale.threads(), experiment)
-}
 
 /// Formats a bit error rate the way the paper labels its axes.
 pub(crate) fn ber_label(ber: f64) -> String {
@@ -47,10 +35,43 @@ pub(crate) fn ber_label(ber: f64) -> String {
 /// A figure-reproduction driver: maps a campaign scale to figure data.
 pub type FigureDriver = fn(Scale) -> Vec<FigureData>;
 
-/// Every figure driver, keyed by figure id, at the given scale.
+/// A sweep builder: maps a campaign scale to the figure's declarative sweep.
+pub type SweepBuilder = fn(Scale) -> Sweep;
+
+/// Every figure's sweep builder, keyed by figure id, in evaluation order.
 ///
 /// This is the complete per-experiment index used by the `figures` binary:
-/// `figures all` regenerates every entry, `figures <id>` a single one.
+/// `figures all` schedules every entry's cells on one shared work queue,
+/// `figures <id>` a single figure's.
+pub fn sweep_builders() -> Vec<(&'static str, SweepBuilder)> {
+    vec![
+        ("fig2", fig2::training_sweep as SweepBuilder),
+        ("fig2hist", fig2::histogram_sweep),
+        ("fig3", fig3::sweep),
+        ("fig4", fig4::sweep),
+        ("fig5", fig5::sweep),
+        ("fig7a", fig7::training_faults_sweep),
+        ("fig7b", fig7::environment_sweep),
+        ("fig7c", fig7::location_sweep),
+        ("fig7d", fig7::layer_sweep),
+        ("fig7e", fig7::data_type_sweep),
+        ("fig8", fig8::sweep),
+        ("fig9", fig9::sweep),
+        ("fig10", fig10::sweep),
+        ("ablation", ablation::sweep),
+    ]
+}
+
+/// Builds every figure's sweep at the given scale.
+pub fn all_sweeps(scale: Scale) -> Vec<Sweep> {
+    sweep_builders().into_iter().map(|(_, build)| build(scale)).collect()
+}
+
+/// Every figure driver, keyed by figure id, at the given scale.
+///
+/// Each driver runs its figure's sweep standalone (no artifacts); prefer
+/// [`all_sweeps`] + [`crate::sweep::run_sweeps`] to execute several figures
+/// on one shared scheduler.
 pub fn all_figures(scale: Scale) -> Vec<(&'static str, FigureDriver)> {
     let _ = scale;
     vec![
@@ -73,7 +94,7 @@ pub fn all_figures(scale: Scale) -> Vec<(&'static str, FigureDriver)> {
 
 /// The list of valid figure identifiers.
 pub fn figure_ids() -> Vec<&'static str> {
-    all_figures(Scale::Quick).into_iter().map(|(id, _)| id).collect()
+    sweep_builders().into_iter().map(|(id, _)| id).collect()
 }
 
 #[cfg(test)]
@@ -101,9 +122,22 @@ mod tests {
     }
 
     #[test]
-    fn campaign_is_deterministic() {
-        let a = campaign(Scale::Smoke, 5, 3, |seed, _| (seed % 97) as f64);
-        let b = campaign(Scale::Smoke, 5, 3, |seed, _| (seed % 97) as f64);
-        assert_eq!(a.values(), b.values());
+    fn sweep_and_driver_indexes_agree() {
+        let sweep_ids: Vec<&str> = sweep_builders().into_iter().map(|(id, _)| id).collect();
+        let driver_ids: Vec<&str> =
+            all_figures(Scale::Smoke).into_iter().map(|(id, _)| id).collect();
+        assert_eq!(sweep_ids, driver_ids);
+    }
+
+    #[test]
+    fn built_sweeps_carry_their_figure_ids() {
+        let sweeps = all_sweeps(Scale::Smoke);
+        let ids: Vec<&str> = sweeps.iter().map(|s| s.id()).collect();
+        assert_eq!(ids, figure_ids());
+        // Every sweep (bar none) declares at least one campaign cell.
+        for sweep in &sweeps {
+            assert!(!sweep.is_empty(), "{} has no cells", sweep.id());
+            assert_eq!(sweep.scale(), Scale::Smoke);
+        }
     }
 }

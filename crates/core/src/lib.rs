@@ -14,9 +14,13 @@
 //!   plain-text rendering.
 //! * [`grid_policies`] / [`drone_policy`] — policy training helpers for both
 //!   benchmark tasks.
-//! * [`experiments`] — one driver per figure of the paper's evaluation
-//!   (Fig. 2 through Fig. 10) plus ablations; see
-//!   [`experiments::all_figures`].
+//! * [`sweep`] — the declarative campaign layer: every figure is a set of
+//!   [`sweep::CellSpec`] cells plus a fold to figure data, executed by one
+//!   work-stealing scheduler with resumable JSONL artifacts
+//!   ([`sweep::run_sweeps`]).
+//! * [`experiments`] — one sweep builder per figure of the paper's
+//!   evaluation (Fig. 2 through Fig. 10) plus ablations; see
+//!   [`experiments::all_sweeps`] and [`experiments::all_figures`].
 //!
 //! # Examples
 //!
@@ -36,6 +40,7 @@
 pub mod drone_policy;
 pub mod experiments;
 pub mod grid_policies;
+pub mod sweep;
 
 mod figure;
 mod hooks;

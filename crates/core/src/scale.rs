@@ -95,6 +95,16 @@ impl Scale {
             _ => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
         }
     }
+
+    /// The worker-thread count with an explicit override (the `figures`
+    /// binary's `--jobs N`): a positive `jobs` wins, otherwise the scale's
+    /// default [`Scale::threads`] applies.
+    pub fn threads_or(&self, jobs: Option<usize>) -> usize {
+        match jobs {
+            Some(n) if n > 0 => n,
+            _ => self.threads(),
+        }
+    }
 }
 
 /// Grid World campaign parameters.
@@ -187,5 +197,13 @@ mod tests {
         assert_eq!(Scale::default(), Scale::Quick);
         assert!(Scale::Smoke.threads() >= 1);
         assert!(Scale::Quick.threads() >= 1);
+    }
+
+    #[test]
+    fn jobs_override_beats_the_scale_default() {
+        assert_eq!(Scale::Smoke.threads_or(Some(8)), 8);
+        assert_eq!(Scale::Quick.threads_or(Some(1)), 1);
+        assert_eq!(Scale::Smoke.threads_or(Some(0)), Scale::Smoke.threads());
+        assert_eq!(Scale::Smoke.threads_or(None), Scale::Smoke.threads());
     }
 }

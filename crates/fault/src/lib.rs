@@ -26,8 +26,11 @@
 //! * [`InjectionSchedule`] — *when* the fault strikes (which training episode
 //!   or inference step) and whether it is injected statically (before
 //!   execution) or dynamically (during execution).
-//! * [`campaign`] — repetition/seeding machinery plus summary statistics for
-//!   large fault-injection campaigns.
+//! * [`campaign`] — repetition/seeding machinery plus one-pass summary
+//!   statistics for large fault-injection campaigns, and the work-stealing
+//!   [`campaign::run_cells`] scheduler that executes every (cell, repetition)
+//!   trial of a whole evaluation run over one shared work queue with
+//!   bit-identical-to-serial results.
 //!
 //! # Examples
 //!

@@ -39,7 +39,7 @@ fn parallel_and_serial_campaigns_agree_on_corruption_magnitude() {
     let config = CampaignConfig::new(32, 9);
     let serial = run(&config, experiment);
     let parallel = run_parallel(&config, 4, experiment);
-    assert_eq!(serial.values(), parallel.values());
+    assert_eq!(serial.values().expect("run retains values"), parallel.values().unwrap());
     assert!(serial.mean() > 0.0);
 }
 

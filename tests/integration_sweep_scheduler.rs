@@ -1,0 +1,192 @@
+//! Integration test: the campaign orchestrator's determinism and resume
+//! contracts.
+//!
+//! * The same run at 1, 2 and 8 threads yields byte-identical per-figure
+//!   JSONL artifacts (seeds derive from cell fingerprints, writeback is
+//!   repetition-ordered).
+//! * A kill-then-`--resume` round-trip (simulated by truncating the journal)
+//!   reproduces the uninterrupted run's artifacts exactly, without
+//!   re-running finished cells.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use navft_core::sweep::{run_sweeps, CellSpec, RunOptions, Sweep};
+use navft_core::{experiments, FigureData, Scale, Series};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("navft-sweep-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// A cheap, pure-math pair of sweeps with mixed repetition counts and a
+/// trial-invocation counter, so scheduling and resume behaviour are
+/// observable without training anything.
+fn synthetic_sweeps(trials: &Arc<AtomicUsize>) -> Vec<Sweep> {
+    let mut sweeps = Vec::new();
+    for (sweep_index, sweep_id) in ["alpha", "beta"].into_iter().enumerate() {
+        let mut sweep = Sweep::new(sweep_id, Scale::Smoke);
+        for cell in 0..6 {
+            let reps = 1 + (cell + sweep_index) % 4;
+            let spec = CellSpec::new(format!("cell{cell}"), reps)
+                .with_seed(cell as u64)
+                .with_label("cell", cell.to_string());
+            let trials = Arc::clone(trials);
+            sweep.cell_metrics(spec, move |seed, rep| {
+                trials.fetch_add(1, Ordering::SeqCst);
+                // Two metrics with plenty of non-trivial float structure.
+                vec![(seed % 10_000) as f64 / 3.0, (seed >> 32) as f64 + rep as f64 * 0.1]
+            });
+        }
+        sweep.fold(move |results| {
+            let points = (0..6).map(|c| (c as f64, results.mean(&format!("cell{c}")))).collect();
+            vec![FigureData::lines(
+                sweep_id,
+                sweep_id,
+                "m0 vs cell",
+                vec![Series::new("m0", points)],
+            )]
+        });
+        sweeps.push(sweep);
+    }
+    sweeps
+}
+
+fn read_figure_artifacts(dir: &std::path::Path) -> Vec<(String, String)> {
+    let mut files: Vec<(String, String)> = std::fs::read_dir(dir)
+        .expect("artifact dir")
+        .filter_map(|e| e.ok())
+        .filter(|e| {
+            let name = e.file_name().to_string_lossy().into_owned();
+            name.ends_with(".jsonl") && name != "journal.jsonl"
+        })
+        .map(|e| {
+            (
+                e.file_name().to_string_lossy().into_owned(),
+                std::fs::read_to_string(e.path()).expect("read artifact"),
+            )
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+fn run_synthetic(dir: &std::path::Path, threads: usize, resume: bool) -> (usize, usize) {
+    let trials = Arc::new(AtomicUsize::new(0));
+    let options = RunOptions { threads, out_dir: Some(dir.to_path_buf()), resume, progress: false };
+    let report = run_sweeps(synthetic_sweeps(&trials), &options).expect("run succeeds");
+    (report.executed_cells, report.resumed_cells)
+}
+
+#[test]
+fn artifacts_are_byte_identical_across_thread_counts() {
+    let baseline_dir = temp_dir("threads-1");
+    run_synthetic(&baseline_dir, 1, false);
+    let baseline = read_figure_artifacts(&baseline_dir);
+    assert_eq!(baseline.len(), 2);
+    for threads in [2, 8] {
+        let dir = temp_dir(&format!("threads-{threads}"));
+        run_synthetic(&dir, threads, false);
+        assert_eq!(read_figure_artifacts(&dir), baseline, "threads = {threads}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+    std::fs::remove_dir_all(&baseline_dir).unwrap();
+}
+
+#[test]
+fn real_figure_artifacts_are_thread_count_invariant() {
+    // One real (trained) figure too: fig5 at smoke scale.
+    let mut dirs = Vec::new();
+    for threads in [1, 4] {
+        let dir = temp_dir(&format!("fig5-{threads}"));
+        let sweeps = vec![experiments::fig5::sweep(Scale::Smoke)];
+        let options =
+            RunOptions { threads, out_dir: Some(dir.clone()), resume: false, progress: false };
+        let report = run_sweeps(sweeps, &options).expect("fig5 runs");
+        assert_eq!(report.resumed_cells, 0);
+        assert_eq!(report.executed_cells, report.total_cells);
+        dirs.push(dir);
+    }
+    assert_eq!(
+        std::fs::read_to_string(dirs[0].join("fig5.jsonl")).unwrap(),
+        std::fs::read_to_string(dirs[1].join("fig5.jsonl")).unwrap(),
+        "fig5 artifacts must not depend on the thread count"
+    );
+    for dir in dirs {
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+#[test]
+fn resume_after_a_complete_run_recomputes_nothing() {
+    let dir = temp_dir("resume-noop");
+    let (executed, resumed) = run_synthetic(&dir, 2, false);
+    assert!(executed > 0 && resumed == 0);
+    let trials = Arc::new(AtomicUsize::new(0));
+    let options =
+        RunOptions { threads: 2, out_dir: Some(dir.clone()), resume: true, progress: false };
+    let report = run_sweeps(synthetic_sweeps(&trials), &options).expect("resume succeeds");
+    assert_eq!(report.executed_cells, 0);
+    assert_eq!(report.resumed_cells, report.total_cells);
+    assert_eq!(trials.load(Ordering::SeqCst), 0, "no trial may re-run on a clean resume");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn kill_then_resume_reproduces_the_uninterrupted_artifacts() {
+    // Uninterrupted reference run.
+    let full_dir = temp_dir("kill-full");
+    run_synthetic(&full_dir, 2, false);
+    let reference = read_figure_artifacts(&full_dir);
+    let journal = std::fs::read_to_string(full_dir.join("journal.jsonl")).unwrap();
+    let lines: Vec<&str> = journal.lines().collect();
+    let total = lines.len();
+    assert!(total >= 8, "synthetic run should have many cells");
+
+    // Simulate a kill mid-run: keep the first 5 records plus a torn line
+    // (the append was interrupted halfway through a record).
+    let kept = 5usize;
+    let killed_dir = temp_dir("kill-resume");
+    let mut truncated: String = lines[..kept].iter().map(|l| format!("{l}\n")).collect();
+    truncated.push_str(&lines[kept][..lines[kept].len() / 2]);
+    std::fs::write(killed_dir.join("journal.jsonl"), truncated).unwrap();
+
+    let (executed, resumed) = run_synthetic(&killed_dir, 4, true);
+    assert_eq!(resumed, kept, "exactly the journaled cells are skipped");
+    assert_eq!(executed, total - kept, "only unfinished cells re-run");
+    assert_eq!(
+        read_figure_artifacts(&killed_dir),
+        reference,
+        "resumed artifacts must match the uninterrupted run byte-for-byte"
+    );
+    // The resume rewrote the journal cleanly: the torn tail is gone, every
+    // line parses, and a second resume recomputes nothing.
+    assert!(
+        navft_core::sweep::artifact::validate_dir(&killed_dir).is_ok(),
+        "post-resume artifacts must validate"
+    );
+    let journal = std::fs::read_to_string(killed_dir.join("journal.jsonl")).unwrap();
+    assert_eq!(journal.lines().count(), total, "one clean record per cell");
+    let (executed, resumed) = run_synthetic(&killed_dir, 2, true);
+    assert_eq!((executed, resumed), (0, total));
+    std::fs::remove_dir_all(&full_dir).unwrap();
+    std::fs::remove_dir_all(&killed_dir).unwrap();
+}
+
+#[test]
+fn in_memory_collect_matches_artifact_run_figures() {
+    let trials = Arc::new(AtomicUsize::new(0));
+    let dir = temp_dir("collect-vs-run");
+    let options =
+        RunOptions { threads: 3, out_dir: Some(dir.clone()), resume: false, progress: false };
+    let with_artifacts = run_sweeps(synthetic_sweeps(&trials), &options).expect("run");
+    let in_memory: Vec<Vec<FigureData>> =
+        synthetic_sweeps(&trials).into_iter().map(|s| s.collect(1)).collect();
+    for ((_, a), b) in with_artifacts.figures.iter().zip(&in_memory) {
+        assert_eq!(a, b, "artifact-backed and in-memory runs must agree");
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
