@@ -181,7 +181,7 @@ fn guarded_success_with_margin(
     params: &GridParams,
     seed: u64,
 ) -> f64 {
-    use navft_rl::{corrupt_network_weights, evaluate_network_discrete, InferenceFaultMode};
+    use navft_rl::{corrupt_policy_weights, evaluate_policy_discrete, InferenceFaultMode};
 
     let run = train_clean_policy(PolicyKind::Network, ObstacleDensity::Middle, params, seed);
     let clean = run.network.as_ref().expect("network policy").network();
@@ -197,10 +197,10 @@ fn guarded_success_with_margin(
         &mut rng,
     );
     let mut corrupted =
-        corrupt_network_weights(clean, &InferenceFaultMode::TransientWholeEpisode(injector));
+        corrupt_policy_weights(clean, &InferenceFaultMode::TransientWholeEpisode(injector));
     guard.scrub(&mut corrupted);
     let mut world = navft_gridworld::GridWorld::with_density(ObstacleDensity::Middle);
-    evaluate_network_discrete(
+    evaluate_policy_discrete(
         &mut world,
         &corrupted,
         params.eval_episodes,

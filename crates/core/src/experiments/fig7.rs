@@ -12,7 +12,7 @@ use navft_fault::{FaultKind, FaultMap, FaultSite, FaultTarget, InjectionSchedule
 use navft_nn::{parametric_layer_names, C3f2Config, Network, QNetwork, QScratch, QTensor};
 use navft_qformat::QFormat;
 use navft_rl::{
-    evaluate_network_vision, evaluate_network_vision_hooked, evaluate_qnetwork_vision, trainer,
+    evaluate_network_vision, evaluate_network_vision_hooked, evaluate_policy_vision, trainer,
     FaultPlan, InferenceFaultMode, VisionEnvironment,
 };
 use rand::rngs::SmallRng;
@@ -537,7 +537,9 @@ fn flight_distance_q(
 ) -> f64 {
     let mut sim = DroneSim::new(world.clone(), DepthCamera::scaled(), params.max_steps);
     let mut rng = SmallRng::seed_from_u64(seed);
-    evaluate_qnetwork_vision(
+    // The generic evaluator instantiated for raw words: the whole evaluation
+    // runs natively in the policy's Q-format.
+    evaluate_policy_vision(
         &mut sim,
         network,
         params.eval_episodes,

@@ -2,7 +2,7 @@ use rand::Rng;
 
 use navft_qformat::QFormat;
 
-use crate::{FaultKind, FaultMap, FaultTarget};
+use crate::{FaultKind, FaultMap, FaultTarget, StoredWord};
 
 /// A reusable fault injector bound to a target buffer description.
 ///
@@ -82,51 +82,51 @@ impl Injector {
         self.map.len()
     }
 
-    /// Applies the fault pattern once to `values` (transient semantics).
+    /// Applies the fault pattern once to a buffer of any [`StoredWord`]
+    /// representation (transient semantics).
     ///
-    /// This is the single entry point for corrupting `f32` buffers that
-    /// model Q-format storage: the quantize → corrupt → dequantize round
-    /// trip lives here (in the underlying [`FaultMap`]) and nowhere else.
-    /// Buffers that natively hold raw words use [`Injector::corrupt_raw`]
-    /// instead, which needs no round trip.
-    pub fn corrupt(&self, values: &mut [f32]) {
-        self.corrupt_span(0, values);
+    /// This is the single generic corruption entry point: for `f32` buffers
+    /// that model Q-format storage the quantize → corrupt → dequantize round
+    /// trip lives in the [`StoredWord`] impl (and nowhere else); buffers that
+    /// natively hold raw `i32` words corrupt with single integer operations
+    /// and no round trip.
+    pub fn corrupt<W: StoredWord>(&self, words: &mut [W]) {
+        self.corrupt_span(0, words);
     }
 
     /// Applies the faults that fall inside the window starting at word
-    /// `first_word` to `values` (e.g. one layer's buffer within a fault map
+    /// `first_word` to `words` (e.g. one layer's buffer within a fault map
     /// sampled over a whole network's concatenated weight space).
-    pub fn corrupt_span(&self, first_word: usize, values: &mut [f32]) {
-        self.map.corrupt_f32_span(first_word, values, self.format);
+    pub fn corrupt_span<W: StoredWord>(&self, first_word: usize, words: &mut [W]) {
+        self.map.corrupt_span(first_word, words, self.format);
     }
 
-    /// Re-enforces the permanent faults of the pattern on `values`.
-    pub fn enforce(&self, values: &mut [f32]) {
-        self.enforce_span(0, values);
+    /// Re-enforces the permanent faults of the pattern on `words`.
+    pub fn enforce<W: StoredWord>(&self, words: &mut [W]) {
+        self.enforce_span(0, words);
     }
 
     /// Window variant of [`Injector::enforce`] (see
     /// [`Injector::corrupt_span`]).
-    pub fn enforce_span(&self, first_word: usize, values: &mut [f32]) {
-        self.map.enforce_f32_span(first_word, values, self.format);
+    pub fn enforce_span<W: StoredWord>(&self, first_word: usize, words: &mut [W]) {
+        self.map.enforce_span(first_word, words, self.format);
     }
 
     /// Applies the fault pattern once to live raw Q-format words — the
-    /// native backend's corruption path: every fault is a single integer
-    /// operation on the stored word.
+    /// native backend's spelling of [`Injector::corrupt`].
     pub fn corrupt_raw(&self, words: &mut [i32]) {
-        self.corrupt_raw_span(0, words);
+        self.corrupt_span(0, words);
     }
 
     /// Window variant of [`Injector::corrupt_raw`] (see
     /// [`Injector::corrupt_span`]).
     pub fn corrupt_raw_span(&self, first_word: usize, words: &mut [i32]) {
-        self.map.corrupt_raw_span(first_word, words, self.format);
+        self.corrupt_span(first_word, words);
     }
 
     /// Re-enforces the permanent faults of the pattern on live raw words.
     pub fn enforce_raw(&self, words: &mut [i32]) {
-        self.map.enforce_raw_span(0, words, self.format);
+        self.enforce_span(0, words);
     }
 
     /// Whether this injector carries permanent faults that must be re-enforced

@@ -60,6 +60,6 @@ mod schedule;
 
 pub use injector::Injector;
 pub use location::{FaultSite, FaultTarget};
-pub use map::{BitFault, FaultMap};
+pub use map::{BitFault, FaultMap, StoredWord};
 pub use model::{FaultKind, TransientScope};
 pub use schedule::{InjectionMode, InjectionSchedule};

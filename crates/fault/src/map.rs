@@ -5,6 +5,42 @@ use navft_qformat::{QFormat, QValue};
 
 use crate::FaultKind;
 
+/// A storage word the fault layer can corrupt in place: the glue between a
+/// buffer's element type and the bit-level fault mechanisms.
+///
+/// Two representations ship:
+///
+/// * **`f32`** — a buffer that *models* Q-format storage: each fault
+///   quantizes the value into the format, perturbs the stored word and
+///   dequantizes the result back.
+/// * **`i32`** — a buffer that *natively holds* raw two's-complement
+///   Q-format words: each fault is a single integer operation on the live
+///   word, with no round trip.
+///
+/// Every corrupt/enforce entry point of [`FaultMap`] and
+/// [`crate::Injector`] is generic over this trait, so a new storage
+/// representation (for a new inference backend) plugs into the whole fault
+/// layer with one `impl`.
+pub trait StoredWord: Copy {
+    /// Applies one bit fault to this word, interpreting it in `format`.
+    /// Returns the corrupted word, or `None` if the fault does not apply
+    /// (e.g. a bit index outside the format's width).
+    fn apply_fault(self, fault: &BitFault, format: QFormat) -> Option<Self>;
+}
+
+impl StoredWord for f32 {
+    fn apply_fault(self, fault: &BitFault, format: QFormat) -> Option<f32> {
+        let word = QValue::quantize(self, format);
+        fault.kind.apply(word, fault.bit).ok().map(|corrupted| corrupted.to_f32())
+    }
+}
+
+impl StoredWord for i32 {
+    fn apply_fault(self, fault: &BitFault, format: QFormat) -> Option<i32> {
+        fault.kind.apply(QValue::from_raw(self, format), fault.bit).ok().map(|c| c.raw())
+    }
+}
+
 /// A single bit-level fault: which word, which bit, which mechanism.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BitFault {
@@ -123,6 +159,39 @@ impl FaultMap {
         }
     }
 
+    /// Applies every fault once to a buffer of any [`StoredWord`]
+    /// representation (transient semantics): the single generic corruption
+    /// entry point behind the per-representation convenience names.
+    pub fn corrupt<W: StoredWord>(&self, words: &mut [W], format: QFormat) {
+        self.corrupt_span(0, words, format);
+    }
+
+    /// Like [`FaultMap::corrupt`], but treats `words` as the window of the
+    /// fault map's word space starting at word `first_word` (faults outside
+    /// the window are ignored).
+    ///
+    /// This is how a map sampled over a whole network's concatenated weight
+    /// space applies to one layer's buffer without materializing sliced maps.
+    pub fn corrupt_span<W: StoredWord>(&self, first_word: usize, words: &mut [W], format: QFormat) {
+        self.apply_span(first_word, words, format, false);
+    }
+
+    /// Re-enforces the *permanent* faults of the map on a buffer of any
+    /// [`StoredWord`] representation.
+    ///
+    /// Transient bit flips are skipped: once flipped they do not re-assert
+    /// themselves, whereas stuck-at bits override every write. Call this after
+    /// each update of a buffer afflicted by permanent faults.
+    pub fn enforce<W: StoredWord>(&self, words: &mut [W], format: QFormat) {
+        self.enforce_span(0, words, format);
+    }
+
+    /// Window variant of [`FaultMap::enforce`] (see
+    /// [`FaultMap::corrupt_span`]).
+    pub fn enforce_span<W: StoredWord>(&self, first_word: usize, words: &mut [W], format: QFormat) {
+        self.apply_span(first_word, words, format, true);
+    }
+
     /// Applies every fault to an `f32` buffer through a quantize → corrupt →
     /// dequantize round trip in `format`.
     ///
@@ -131,32 +200,24 @@ impl FaultMap {
     /// dequantized result. Buffers that *natively* store Q-format words skip
     /// the round trip entirely via [`FaultMap::corrupt_raw`].
     pub fn corrupt_f32(&self, values: &mut [f32], format: QFormat) {
-        self.corrupt_f32_span(0, values, format);
+        self.corrupt_span(0, values, format);
     }
 
-    /// Like [`FaultMap::corrupt_f32`], but treats `values` as the window of
-    /// the fault map's word space starting at word `first_word` (faults
-    /// outside the window are ignored).
-    ///
-    /// This is how a map sampled over a whole network's concatenated weight
-    /// space applies to one layer's buffer without materializing sliced maps.
+    /// Window variant of [`FaultMap::corrupt_f32`] (see
+    /// [`FaultMap::corrupt_span`]).
     pub fn corrupt_f32_span(&self, first_word: usize, values: &mut [f32], format: QFormat) {
-        self.apply_f32_span(first_word, values, format, false);
+        self.corrupt_span(first_word, values, format);
     }
 
-    /// Re-enforces the *permanent* faults of the map on an `f32` buffer.
-    ///
-    /// Transient bit flips are skipped: once flipped they do not re-assert
-    /// themselves, whereas stuck-at bits override every write. Call this after
-    /// each update of a buffer afflicted by permanent faults.
+    /// [`FaultMap::enforce`] for `f32` buffers modelling Q-format storage.
     pub fn enforce_f32(&self, values: &mut [f32], format: QFormat) {
-        self.enforce_f32_span(0, values, format);
+        self.enforce_span(0, values, format);
     }
 
     /// Window variant of [`FaultMap::enforce_f32`] (see
-    /// [`FaultMap::corrupt_f32_span`]).
+    /// [`FaultMap::corrupt_span`]).
     pub fn enforce_f32_span(&self, first_word: usize, values: &mut [f32], format: QFormat) {
-        self.apply_f32_span(first_word, values, format, true);
+        self.enforce_span(first_word, values, format);
     }
 
     /// Applies every fault directly to a buffer of live raw two's-complement
@@ -164,50 +225,29 @@ impl FaultMap {
     /// where a bit flip or stuck-at is a single integer operation with no
     /// quantize → dequantize round trip.
     pub fn corrupt_raw(&self, words: &mut [i32], format: QFormat) {
-        self.corrupt_raw_span(0, words, format);
+        self.corrupt_span(0, words, format);
     }
 
     /// Window variant of [`FaultMap::corrupt_raw`] (see
-    /// [`FaultMap::corrupt_f32_span`]).
+    /// [`FaultMap::corrupt_span`]).
     pub fn corrupt_raw_span(&self, first_word: usize, words: &mut [i32], format: QFormat) {
-        self.apply_raw_span(first_word, words, format, false);
+        self.corrupt_span(first_word, words, format);
     }
 
     /// Re-enforces the *permanent* faults of the map on live raw words.
     pub fn enforce_raw(&self, words: &mut [i32], format: QFormat) {
-        self.enforce_raw_span(0, words, format);
+        self.enforce_span(0, words, format);
     }
 
     /// Window variant of [`FaultMap::enforce_raw`].
     pub fn enforce_raw_span(&self, first_word: usize, words: &mut [i32], format: QFormat) {
-        self.apply_raw_span(first_word, words, format, true);
+        self.enforce_span(first_word, words, format);
     }
 
-    fn apply_f32_span(
+    fn apply_span<W: StoredWord>(
         &self,
         first_word: usize,
-        values: &mut [f32],
-        format: QFormat,
-        permanent_only: bool,
-    ) {
-        for fault in &self.faults {
-            if permanent_only && !fault.kind.is_permanent() {
-                continue;
-            }
-            let Some(index) = fault.word.checked_sub(first_word) else { continue };
-            if let Some(value) = values.get_mut(index) {
-                let word = QValue::quantize(*value, format);
-                if let Ok(corrupted) = fault.kind.apply(word, fault.bit) {
-                    *value = corrupted.to_f32();
-                }
-            }
-        }
-    }
-
-    fn apply_raw_span(
-        &self,
-        first_word: usize,
-        words: &mut [i32],
+        words: &mut [W],
         format: QFormat,
         permanent_only: bool,
     ) {
@@ -217,9 +257,8 @@ impl FaultMap {
             }
             let Some(index) = fault.word.checked_sub(first_word) else { continue };
             if let Some(word) = words.get_mut(index) {
-                if let Ok(corrupted) = fault.kind.apply(QValue::from_raw(*word, format), fault.bit)
-                {
-                    *word = corrupted.raw();
+                if let Some(corrupted) = word.apply_fault(fault, format) {
+                    *word = corrupted;
                 }
             }
         }

@@ -10,7 +10,7 @@
 //! high-order bit flipped is far more likely to be a fault than a legitimate
 //! large value.
 
-use navft_nn::{ForwardHooks, LayerKind, Network, QNetwork};
+use navft_nn::{Element, ForwardHooks, LayerKind, Network, NetworkBase, QNetwork};
 use navft_qformat::{QFormat, QValue};
 
 /// Parameters of the range-based anomaly detector.
@@ -116,31 +116,47 @@ impl RangeGuard {
         &self.bounds
     }
 
-    /// Whether `value` is anomalous for layer `layer`.
+    /// Whether `value` is anomalous for layer `layer` — generic over the
+    /// policy's storage element: `f32` values compare in the value domain,
+    /// live raw words compare with pure integer arithmetic on the stored
+    /// word (no dequantize round trip), matching the hardware the paper
+    /// sketches (a comparator on the sign and integer bits of the bus). The
+    /// two instantiations agree on every value of the format's grid.
     ///
     /// Values in layers the guard has no bounds for are never anomalous.
-    pub fn is_anomalous(&self, layer: usize, value: f32) -> bool {
+    pub fn is_anomalous_in<E: GuardedElement>(&self, layer: usize, value: E) -> bool {
         let Some(&(_, lo, hi)) = self.bounds.iter().find(|(l, _, _)| *l == layer) else {
             return false;
         };
-        if self.config.integer_bits_only {
-            compare_integer_bits(value, self.format) > compare_integer_bits(hi, self.format)
-                || compare_integer_bits(value, self.format) < compare_integer_bits(lo, self.format)
-        } else {
-            value > hi || value < lo
-        }
+        value.is_outside(&E::layer_bounds(lo, hi, self.format, &self.config))
     }
 
-    /// Scans every guarded layer of `network` and zeroes anomalous weights
-    /// (the "skip the operations around this data" recovery). Returns the
-    /// number of weights scrubbed.
-    pub fn scrub(&self, network: &mut Network) -> usize {
+    /// [`RangeGuard::is_anomalous_in`] for `f32` values (the historical
+    /// name).
+    pub fn is_anomalous(&self, layer: usize, value: f32) -> bool {
+        self.is_anomalous_in(layer, value)
+    }
+
+    /// Scans every guarded layer of `network` — either backend — and zeroes
+    /// anomalous weights (the "skip the operations around this data"
+    /// recovery). On the native backend the scrub runs on live raw words in
+    /// place. Returns the number of weights scrubbed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a natively quantized network's format differs from the
+    /// guard's.
+    pub fn scrub<E: GuardedElement>(&self, network: &mut NetworkBase<E>) -> usize {
+        E::check_network(network, self.format);
         let mut scrubbed = 0;
-        for &(layer, _, _) in &self.bounds {
+        for &(layer, lo, hi) in &self.bounds {
+            // The comparison form is loop-invariant per layer, so the scan
+            // hoists it (for raw words that is one integer triple).
+            let bounds = E::layer_bounds(lo, hi, self.format, &self.config);
             if let Some(weights) = network.layer_weights_mut(layer) {
                 for w in weights.iter_mut() {
-                    if self.is_anomalous(layer, *w) {
-                        *w = 0.0;
+                    if w.is_outside(&bounds) {
+                        *w = E::default();
                         scrubbed += 1;
                     }
                 }
@@ -149,30 +165,107 @@ impl RangeGuard {
         scrubbed
     }
 
-    /// Whether a live raw word in `layer` is anomalous — the quantized-domain
-    /// detector: the comparison is pure integer arithmetic on the stored
-    /// word, with no dequantize round trip, matching the hardware the paper
-    /// sketches (a comparator on the sign and integer bits of the bus).
+    /// Counts anomalous weights of a network of either backend without
+    /// modifying it.
     ///
-    /// Agrees with [`RangeGuard::is_anomalous`] on every value of the
-    /// format's grid.
-    pub fn is_anomalous_raw(&self, layer: usize, raw: i32) -> bool {
-        let Some(&(_, lo, hi)) = self.bounds.iter().find(|(l, _, _)| *l == layer) else {
-            return false;
-        };
-        let bounds = self.raw_bounds(lo, hi);
-        outside_raw_bounds(raw, bounds)
+    /// # Panics
+    ///
+    /// Panics if a natively quantized network's format differs from the
+    /// guard's.
+    pub fn count_anomalies<E: GuardedElement>(&self, network: &NetworkBase<E>) -> usize {
+        E::check_network(network, self.format);
+        self.bounds
+            .iter()
+            .filter_map(|&(layer, lo, hi)| {
+                let bounds = E::layer_bounds(lo, hi, self.format, &self.config);
+                network
+                    .layer_weights(layer)
+                    .map(|weights| weights.iter().filter(|w| w.is_outside(&bounds)).count())
+            })
+            .sum()
+    }
+}
+
+/// A storage element the range guard can police: how one layer's
+/// `(lo, hi)` bounds translate into this representation's comparison, and
+/// how a stored weight compares against them.
+///
+/// Implemented for `f32` (value-domain comparison, optionally reduced to
+/// sign+integer bits) and `i32` (pure integer comparison on the live raw
+/// word). A third backend plugs into [`RangeGuard::scrub`] /
+/// [`RangeGuard::count_anomalies`] with one `impl`.
+pub trait GuardedElement: Element {
+    /// The per-layer comparison, precomputed once per layer scan.
+    type Bounds: Copy;
+
+    /// Builds the comparison for one layer's margin-widened `(lo, hi)`.
+    fn layer_bounds(lo: f32, hi: f32, format: QFormat, config: &RangeGuardConfig) -> Self::Bounds;
+
+    /// Whether this stored weight falls outside the guarded range.
+    fn is_outside(&self, bounds: &Self::Bounds) -> bool;
+
+    /// Validates a network against the guard's format before a scan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network's storage format is incompatible with the
+    /// guard's (native backend only).
+    fn check_network(network: &NetworkBase<Self>, guard_format: QFormat);
+}
+
+/// The `f32` guard comparison: the raw `(lo, hi)` plus their sign+integer
+/// reductions, selected by the config.
+#[derive(Debug, Clone, Copy)]
+pub struct ValueBounds {
+    lo: f32,
+    hi: f32,
+    lo_int: i32,
+    hi_int: i32,
+    integer_bits_only: bool,
+    format: QFormat,
+}
+
+impl GuardedElement for f32 {
+    type Bounds = ValueBounds;
+
+    fn layer_bounds(lo: f32, hi: f32, format: QFormat, config: &RangeGuardConfig) -> ValueBounds {
+        ValueBounds {
+            lo,
+            hi,
+            lo_int: compare_integer_bits(lo, format),
+            hi_int: compare_integer_bits(hi, format),
+            integer_bits_only: config.integer_bits_only,
+            format,
+        }
     }
 
-    /// Derives the integer comparison for one layer's `(lo, hi)` bounds:
-    /// a word is anomalous iff `raw >> shift` falls outside `[lo, hi]` of the
-    /// returned triple. Loop-invariant per layer, so bulk scans hoist it.
-    fn raw_bounds(&self, lo: f32, hi: f32) -> (i32, i32, u8) {
-        let frac = self.format.frac_bits();
-        if self.config.integer_bits_only {
+    fn is_outside(&self, bounds: &ValueBounds) -> bool {
+        if bounds.integer_bits_only {
+            let v = compare_integer_bits(*self, bounds.format);
+            v > bounds.hi_int || v < bounds.lo_int
+        } else {
+            *self > bounds.hi || *self < bounds.lo
+        }
+    }
+
+    fn check_network(_network: &Network, _guard_format: QFormat) {}
+}
+
+impl GuardedElement for i32 {
+    /// A raw word is anomalous iff `raw >> shift` falls outside `[lo, hi]`.
+    type Bounds = (i32, i32, u8);
+
+    fn layer_bounds(
+        lo: f32,
+        hi: f32,
+        format: QFormat,
+        config: &RangeGuardConfig,
+    ) -> (i32, i32, u8) {
+        let frac = format.frac_bits();
+        if config.integer_bits_only {
             (
-                QValue::quantize(lo, self.format).raw() >> frac,
-                QValue::quantize(hi, self.format).raw() >> frac,
+                QValue::quantize(lo, format).raw() >> frac,
+                QValue::quantize(hi, format).raw() >> frac,
                 frac,
             )
         } else {
@@ -181,77 +274,20 @@ impl RangeGuard {
             // comparison stays exact without a float round trip per word.
             let scale = (2.0f32).powi(i32::from(frac));
             (
-                self.format.saturate_raw((lo * scale).ceil() as i64),
-                self.format.saturate_raw((hi * scale).floor() as i64),
+                format.saturate_raw((lo * scale).ceil() as i64),
+                format.saturate_raw((hi * scale).floor() as i64),
                 0,
             )
         }
     }
 
-    /// Scans every guarded layer of a natively quantized `network` and zeroes
-    /// anomalous live weight words in place. Returns the number of words
-    /// scrubbed.
-    ///
-    /// The quantized-domain counterpart of [`RangeGuard::scrub`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if the network's format differs from the guard's.
-    pub fn scrub_q(&self, network: &mut QNetwork) -> usize {
-        assert_eq!(network.format(), self.format, "guard format does not match network format");
-        let mut scrubbed = 0;
-        for &(layer, lo, hi) in &self.bounds {
-            let bounds = self.raw_bounds(lo, hi);
-            if let Some(words) = network.layer_weights_raw_mut(layer) {
-                for w in words.iter_mut() {
-                    if outside_raw_bounds(*w, bounds) {
-                        *w = 0;
-                        scrubbed += 1;
-                    }
-                }
-            }
-        }
-        scrubbed
+    fn is_outside(&self, &(lo, hi, shift): &(i32, i32, u8)) -> bool {
+        *self >> shift > hi || *self >> shift < lo
     }
 
-    /// Counts anomalous live weight words of a natively quantized network
-    /// without modifying it.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the network's format differs from the guard's.
-    pub fn count_anomalies_q(&self, network: &QNetwork) -> usize {
-        assert_eq!(network.format(), self.format, "guard format does not match network format");
-        self.bounds
-            .iter()
-            .filter_map(|&(layer, lo, hi)| {
-                let bounds = self.raw_bounds(lo, hi);
-                network
-                    .layer_weights_raw(layer)
-                    .map(|words| words.iter().filter(|&&w| outside_raw_bounds(w, bounds)).count())
-            })
-            .sum()
+    fn check_network(network: &QNetwork, guard_format: QFormat) {
+        assert_eq!(network.format(), guard_format, "guard format does not match network format");
     }
-
-    /// Counts anomalous weights without modifying the network.
-    pub fn count_anomalies(&self, network: &Network) -> usize {
-        self.bounds
-            .iter()
-            .filter_map(|&(layer, _, _)| network.layer_weights(layer))
-            .enumerate()
-            .map(|(i, weights)| {
-                let layer = self.bounds[i].0;
-                weights.iter().filter(|&&w| self.is_anomalous(layer, w)).count()
-            })
-            .sum()
-    }
-}
-
-/// The single raw-domain range check shared by the detector, the scrubber
-/// and the counter: a word is anomalous iff `raw >> shift` falls outside
-/// `[lo, hi]` (the triple produced by `RangeGuard::raw_bounds`).
-fn outside_raw_bounds(raw: i32, (lo, hi, shift): (i32, i32, u8)) -> bool {
-    raw >> shift > hi || raw >> shift < lo
 }
 
 /// Widens `(lo, hi)` by `margin` (relative, away from zero on both sides).
@@ -409,14 +445,14 @@ mod tests {
         let format = QFormat::Q4_11;
         let guard = RangeGuard::from_network(&net, format, RangeGuardConfig::paper());
         let mut qnet = net.to_quantized(format);
-        assert_eq!(guard.count_anomalies_q(&qnet), 0);
+        assert_eq!(guard.count_anomalies(&qnet), 0);
         // A sign-bit flip on a live word creates a large negative outlier.
         let layer = qnet.parametric_layers()[0];
         let before = qnet.layer_weights_raw(layer).expect("words")[5];
         qnet.layer_weights_raw_mut(layer).expect("words")[5] = before ^ (1 << 15);
         let qnet_words_before = qnet.layer_weights_raw(layer).expect("words").to_vec();
-        assert_eq!(guard.count_anomalies_q(&qnet), 1);
-        assert_eq!(guard.scrub_q(&mut qnet), 1);
+        assert_eq!(guard.count_anomalies(&qnet), 1);
+        assert_eq!(guard.scrub(&mut qnet), 1);
         assert_eq!(qnet.layer_weights_raw(layer).expect("words")[5], 0);
         // Only the anomalous word changed.
         let after = qnet.layer_weights_raw(layer).expect("words");
@@ -431,7 +467,7 @@ mod tests {
             for raw in format.min_raw()..=format.max_raw() {
                 let value = raw as f32 * format.resolution();
                 assert_eq!(
-                    guard.is_anomalous_raw(0, raw),
+                    guard.is_anomalous_in(0, raw),
                     guard.is_anomalous(0, value),
                     "raw {raw} (value {value}) disagrees under {config:?}"
                 );
@@ -445,7 +481,7 @@ mod tests {
         let net = network(6);
         let guard = RangeGuard::from_network(&net, QFormat::Q4_11, RangeGuardConfig::paper());
         let mut qnet = net.to_quantized(QFormat::Q3_4);
-        let _ = guard.scrub_q(&mut qnet);
+        let _ = guard.scrub(&mut qnet);
     }
 
     #[test]

@@ -43,6 +43,6 @@ mod anomaly;
 mod exploration;
 mod overhead;
 
-pub use anomaly::{ActivationGuard, RangeGuard, RangeGuardConfig};
+pub use anomaly::{ActivationGuard, GuardedElement, RangeGuard, RangeGuardConfig, ValueBounds};
 pub use exploration::{ExplorationAdjuster, ExplorationAdjusterConfig, MitigationEvent};
 pub use overhead::{measure_overhead, OverheadReport};

@@ -1,0 +1,261 @@
+//! The element trait behind the crate's single generic inference core.
+//!
+//! Both numeric backends — `f32` values and raw two's-complement Q-format
+//! words — run the *same* network, layer and kernel code; everything that
+//! actually differs between them is collected in [`Element`]: the widened
+//! accumulator a MAC sweep uses, how a bias enters it, how an accumulator is
+//! folded back into a storable element, what ReLU means, and what metadata a
+//! network and a tensor carry (an optional simulation format for `f32`, the
+//! mandatory storage format for raw words).
+//!
+//! Adding a third backend (say, a `bf16` software model or an `i8` per-tensor
+//! affine scheme) is one `impl Element for NewType` — the generic
+//! [`Network`](crate::Network) stack, the batched engine, the blocked GEMM
+//! path, fault injection and the evaluators in `navft-rl` all follow from it.
+
+use std::fmt;
+
+use navft_qformat::{QFormat, QValue};
+
+/// Per-element arithmetic and metadata of one numeric backend.
+///
+/// The two shipped implementations:
+///
+/// * **`f32`** — plain float arithmetic (`Acc = f32`), no kernel context.
+///   Networks optionally carry a [`QFormat`] that *simulates* a fixed-point
+///   datapath by requantizing every activation buffer after each layer.
+/// * **`i32`** — raw Q-format words. Kernels accumulate word products in a
+///   widened `i64` (products carry `2 × frac_bits` fractional bits) and
+///   perform one saturating round-to-nearest requantize per output element;
+///   networks and tensors carry their storage [`QFormat`].
+pub trait Element:
+    Copy + Default + PartialEq + PartialOrd + fmt::Debug + Send + Sync + 'static
+{
+    /// The widened accumulator of MAC kernels (`f32` for floats, `i64` for
+    /// raw words).
+    type Acc: Copy;
+
+    /// Register-tile shape `(MR, NR)` of the blocked GEMM path: how many
+    /// output rows × panel columns accumulate concurrently. Backends tune it
+    /// to their accumulator width — `f32` accumulators live in vector
+    /// registers (a 4×4 tile fits comfortably), widened `i64` accumulators
+    /// compete for the 16 general-purpose registers (a narrower 2×4 tile
+    /// avoids spills). The GEMM monomorphizes one kernel per supported
+    /// shape — currently `(4, 4)` and `(2, 4)`; any other value falls back
+    /// to the `(4, 4)` kernel. Tiling never changes results: each output's
+    /// accumulation order is fixed regardless of the tile shape.
+    const GEMM_TILE: (usize, usize) = (4, 4);
+
+    /// Context the MAC kernels need: nothing for `f32`, the [`QFormat`] for
+    /// raw words.
+    type Ctx: Copy + fmt::Debug + Send + Sync;
+
+    /// Metadata a network of this element type carries: the optional
+    /// activation simulation format for `f32`, the mandatory storage format
+    /// for raw words.
+    type NetMeta: Copy + fmt::Debug + PartialEq + Send + Sync;
+
+    /// Metadata a tensor of this element type carries: nothing for `f32`,
+    /// the storage format for raw words.
+    type Meta: Copy + fmt::Debug + PartialEq + Send + Sync;
+
+    /// Derives the kernel context from a network's metadata.
+    fn kernel_ctx(net: &Self::NetMeta) -> Self::Ctx;
+
+    /// Derives the metadata of tensors a network of this backend produces.
+    fn tensor_meta(net: &Self::NetMeta) -> Self::Meta;
+
+    /// Validates an input tensor's metadata against a network's.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input cannot feed the network (a raw-word tensor in a
+    /// different format).
+    fn check_input(input: &Self::Meta, net: &Self::NetMeta);
+
+    /// Seeds an accumulator with a bias element.
+    fn acc_init(bias: Self, ctx: Self::Ctx) -> Self::Acc;
+
+    /// One multiply-accumulate step.
+    fn mac(acc: Self::Acc, a: Self, b: Self) -> Self::Acc;
+
+    /// Folds an accumulator back into a storable element (the saturating
+    /// requantize of the fixed-point backend; the identity for `f32`).
+    fn finish(acc: Self::Acc, ctx: Self::Ctx) -> Self;
+
+    /// The rectified linear unit on one element.
+    fn relu(self) -> Self;
+
+    /// Post-layer activation transform applied by the network before hooks
+    /// see the buffer: the `f32` fixed-point *simulation* requantizes every
+    /// value; the native backend's words are already exact.
+    fn quantize_activations(values: &mut [Self], net: &Self::NetMeta);
+
+    /// Clamps an element into its metadata's representable range (raw words
+    /// saturate at the format's raw extremes; `f32` is unconstrained).
+    fn sanitize(self, meta: &Self::Meta) -> Self;
+
+    /// The element's numeric value as `f32` (dequantization for raw words),
+    /// used for range instrumentation.
+    fn value_to_f32(self, net: &Self::NetMeta) -> f32;
+}
+
+impl Element for f32 {
+    type Acc = f32;
+    type Ctx = ();
+    type NetMeta = Option<QFormat>;
+    type Meta = ();
+
+    #[inline]
+    fn kernel_ctx(_net: &Option<QFormat>) {}
+
+    #[inline]
+    fn tensor_meta(_net: &Option<QFormat>) {}
+
+    #[inline]
+    fn check_input(_input: &(), _net: &Option<QFormat>) {}
+
+    #[inline]
+    fn acc_init(bias: f32, _ctx: ()) -> f32 {
+        bias
+    }
+
+    #[inline]
+    fn mac(acc: f32, a: f32, b: f32) -> f32 {
+        acc + a * b
+    }
+
+    #[inline]
+    fn finish(acc: f32, _ctx: ()) -> f32 {
+        acc
+    }
+
+    #[inline]
+    fn relu(self) -> f32 {
+        self.max(0.0)
+    }
+
+    fn quantize_activations(values: &mut [f32], net: &Option<QFormat>) {
+        if let Some(format) = net {
+            for v in values.iter_mut() {
+                *v = QValue::quantize(*v, *format).to_f32();
+            }
+        }
+    }
+
+    #[inline]
+    fn sanitize(self, _meta: &()) -> f32 {
+        self
+    }
+
+    #[inline]
+    fn value_to_f32(self, _net: &Option<QFormat>) -> f32 {
+        self
+    }
+}
+
+impl Element for i32 {
+    type Acc = i64;
+    type Ctx = QFormat;
+    type NetMeta = QFormat;
+    type Meta = QFormat;
+
+    const GEMM_TILE: (usize, usize) = (2, 4);
+
+    #[inline]
+    fn kernel_ctx(net: &QFormat) -> QFormat {
+        *net
+    }
+
+    #[inline]
+    fn tensor_meta(net: &QFormat) -> QFormat {
+        *net
+    }
+
+    #[inline]
+    fn check_input(input: &QFormat, net: &QFormat) {
+        assert_eq!(input, net, "input format does not match network format");
+    }
+
+    #[inline]
+    fn acc_init(bias: i32, ctx: QFormat) -> i64 {
+        i64::from(bias) << u32::from(ctx.frac_bits())
+    }
+
+    #[inline]
+    fn mac(acc: i64, a: i32, b: i32) -> i64 {
+        acc + i64::from(a) * i64::from(b)
+    }
+
+    #[inline]
+    fn finish(acc: i64, ctx: QFormat) -> i32 {
+        ctx.requantize_product_sum(acc)
+    }
+
+    #[inline]
+    fn relu(self) -> i32 {
+        self.max(0)
+    }
+
+    #[inline]
+    fn quantize_activations(_values: &mut [i32], _net: &QFormat) {}
+
+    #[inline]
+    fn sanitize(self, meta: &QFormat) -> i32 {
+        QValue::from_raw(self, *meta).raw()
+    }
+
+    #[inline]
+    fn value_to_f32(self, net: &QFormat) -> f32 {
+        self as f32 * net.resolution()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f32_mac_chain_matches_plain_arithmetic() {
+        let mut acc = f32::acc_init(0.5, ());
+        acc = f32::mac(acc, 2.0, 3.0);
+        acc = f32::mac(acc, -1.0, 4.0);
+        assert_eq!(f32::finish(acc, ()), 0.5 + 6.0 - 4.0);
+    }
+
+    #[test]
+    fn raw_word_mac_requantizes_like_the_native_kernels() {
+        let fmt = QFormat::Q3_4;
+        // 1.5 * 2.0 + bias 0.5: raw 24 * raw 32 = 768, bias raw 8 << 4 = 128.
+        let mut acc = i32::acc_init(8, fmt);
+        acc = i32::mac(acc, 24, 32);
+        assert_eq!(i32::finish(acc, fmt), fmt.requantize_product_sum(768 + 128));
+    }
+
+    #[test]
+    fn relu_matches_each_backend() {
+        assert_eq!((-1.5f32).relu(), 0.0);
+        assert_eq!(2.5f32.relu(), 2.5);
+        assert_eq!((-3i32).relu(), 0);
+        assert_eq!(7i32.relu(), 7);
+    }
+
+    #[test]
+    fn sanitize_clamps_raw_words_only() {
+        assert_eq!(1e9f32.sanitize(&()), 1e9);
+        assert_eq!(500i32.sanitize(&QFormat::Q3_4), 127);
+        assert_eq!((-500i32).sanitize(&QFormat::Q3_4), -128);
+    }
+
+    #[test]
+    fn value_to_f32_dequantizes_raw_words() {
+        assert_eq!(24i32.value_to_f32(&QFormat::Q3_4), 1.5);
+        assert_eq!(1.5f32.value_to_f32(&None), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "format does not match")]
+    fn check_input_rejects_mismatched_formats() {
+        i32::check_input(&QFormat::Q3_4, &QFormat::Q4_11);
+    }
+}

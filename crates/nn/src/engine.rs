@@ -1,4 +1,4 @@
-//! The batched layer-sweep engine shared by both numeric backends.
+//! The batched layer-sweep engine shared by every numeric backend.
 //!
 //! [`Network::forward_batch_into`](crate::Network::forward_batch_into) (f32)
 //! and [`QNetwork::forward_batch_into`](crate::QNetwork::forward_batch_into)
@@ -7,11 +7,24 @@
 //! transform the front slab in place or sweep every row into the back slab
 //! and swap, reporting each produced row. Keeping that control flow — the
 //! shape bookkeeping, the slab ping-pong, the per-row hook order the
-//! bit-exactness contracts depend on — in one place means the two backends
-//! cannot drift; each backend only supplies its element type, its per-layer
-//! kernels and what to do with each produced row.
+//! bit-exactness contracts depend on — in one place means the backends
+//! cannot drift; each backend only supplies its [`Element`] arithmetic.
+//!
+//! Two kernel paths drive the non-in-place layers:
+//!
+//! * [`KernelPath::Blocked`] (the default) runs convolutions and linear
+//!   layers through the cache-blocked im2row GEMM of [`crate::gemm`] — one
+//!   whole-batch matrix sweep per layer instead of a per-row loop.
+//! * [`KernelPath::Naive`] runs the per-row reference kernels
+//!   ([`LayerBase::forward_naive`]).
+//!
+//! The two are bit-identical on every backend (the GEMM accumulates each
+//! output in the naive kernel's reduction order); the blocked path is simply
+//! faster. Equivalence proptests pin the contract.
 
-use crate::{LayerKind, Scratch};
+use crate::element::Element;
+use crate::layer::LayerBase;
+use crate::{gemm, LayerKind, Scratch};
 
 /// A per-row buffer event reported by [`forward_batch_engine`].
 pub(crate) enum SweepEvent {
@@ -31,34 +44,30 @@ pub(crate) enum SweepEvent {
     },
 }
 
-/// One layer as the batched engine sees it, independent of the element type.
-pub(crate) trait SweepLayer<T> {
-    /// The layer kind (forwarded to hooks).
-    fn kind(&self) -> LayerKind;
-    /// Output shape for `in_shape`, written into the reused `out` buffer.
-    fn output_shape(&self, in_shape: &[usize], out: &mut Vec<usize>);
-    /// Whether the layer transforms the front slab in place.
-    fn is_in_place(&self) -> bool;
-    /// In-place transform for `is_in_place` layers (ReLU; no-op for Flatten).
-    fn apply_in_place(&self, values: &mut [T]);
-    /// Buffer-to-buffer sweep for one row of a non-in-place layer.
-    fn sweep(&self, data: &[T], in_shape: &[usize], out: &mut [T]);
+/// Which kernels the engine drives for convolution and linear sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum KernelPath {
+    /// Cache-blocked im2row GEMM (the fast default).
+    Blocked,
+    /// Per-row naive reference kernels.
+    Naive,
 }
 
 /// Runs a batched pass over `layers`, staging activations in `scratch` and
 /// reporting every input/activation row through `notify` in per-row program
 /// order. The outputs are left in the scratch's front slab.
-pub(crate) fn forward_batch_engine<'a, T, L, I, F>(
-    layers: impl Iterator<Item = L>,
+pub(crate) fn forward_batch_engine<'a, E, I, F>(
+    layers: &[LayerBase<E>],
+    ctx: E::Ctx,
     input_shape: &[usize],
     rows: I,
-    scratch: &mut Scratch<T>,
+    scratch: &mut Scratch<E>,
+    path: KernelPath,
     mut notify: F,
 ) where
-    T: Copy + Default + 'a,
-    L: SweepLayer<T>,
-    I: ExactSizeIterator<Item = &'a [T]>,
-    F: FnMut(SweepEvent, &mut [T]),
+    E: Element,
+    I: ExactSizeIterator<Item = &'a [E]>,
+    F: FnMut(SweepEvent, &mut [E]),
 {
     scratch.load_rows(input_shape, rows);
     let nrows = scratch.rows();
@@ -70,22 +79,73 @@ pub(crate) fn forward_batch_engine<'a, T, L, I, F>(
     }
 
     let mut next_shape = scratch.take_next_shape();
-    for (i, layer) in layers.enumerate() {
+    for (i, layer) in layers.iter().enumerate() {
         let in_len = scratch.row_len();
         layer.output_shape(scratch.row_shape(), &mut next_shape);
         let out_len: usize = next_shape.iter().product();
-        if layer.is_in_place() {
-            layer.apply_in_place(scratch.front_mut());
-        } else {
-            let (in_shape, front, back) = scratch.slabs_for_sweep(nrows * out_len);
-            for b in 0..nrows {
-                layer.sweep(
-                    &front[b * in_len..(b + 1) * in_len],
-                    in_shape,
-                    &mut back[b * out_len..(b + 1) * out_len],
-                );
+        match layer {
+            LayerBase::Relu => LayerBase::relu_in_place(scratch.front_mut()),
+            LayerBase::Flatten => {}
+            LayerBase::Conv2d(conv) if path == KernelPath::Blocked => {
+                // Pack phase: one im2row patch per batch row × output pixel.
+                let patch = conv.patch_len();
+                let ohw = out_len / conv.out_channels;
+                let (in_shape, front, cols) = scratch.pack_slab(nrows * ohw * patch);
+                gemm::pack_im2row(conv, front, nrows, in_shape, cols);
+                // GEMM phase: one blocked sweep per batch row, writing
+                // straight into the row's `[oc, oh, ow]` output layout (the
+                // weight panel is small enough to stay cache-hot across
+                // rows, and the per-row view keeps the write-back free of
+                // index arithmetic).
+                let (cols, back) = scratch.cols_and_back(nrows * out_len);
+                let oc = conv.out_channels;
+                for b in 0..nrows {
+                    let row_cols = &cols[b * ohw * patch..(b + 1) * ohw * patch];
+                    let row_out = &mut back[b * out_len..(b + 1) * out_len];
+                    gemm::gemm_bias(
+                        ctx,
+                        &conv.weights,
+                        &conv.bias,
+                        oc,
+                        patch,
+                        row_cols,
+                        ohw,
+                        |m, p, v| row_out[m * ohw + p] = v,
+                    );
+                }
+                scratch.swap();
             }
-            scratch.swap();
+            LayerBase::Linear(linear) if path == KernelPath::Blocked => {
+                // The batch rows already are the `[N, K]` panel: GEMM straight
+                // off the front slab, no packing.
+                let (_, front, back) = scratch.slabs_for_sweep(nrows * out_len);
+                let m = linear.out_features;
+                gemm::gemm_bias(
+                    ctx,
+                    &linear.weights,
+                    &linear.bias,
+                    m,
+                    linear.in_features,
+                    front,
+                    nrows,
+                    |mi, ni, v| back[ni * m + mi] = v,
+                );
+                scratch.swap();
+            }
+            _ => {
+                // Per-row reference kernels: max pooling always, conv/linear
+                // on the naive path.
+                let (in_shape, front, back) = scratch.slabs_for_sweep(nrows * out_len);
+                for b in 0..nrows {
+                    layer.forward_naive(
+                        &front[b * in_len..(b + 1) * in_len],
+                        in_shape,
+                        &mut back[b * out_len..(b + 1) * out_len],
+                        ctx,
+                    );
+                }
+                scratch.swap();
+            }
         }
         scratch.set_shape(&next_shape);
 

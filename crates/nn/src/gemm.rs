@@ -1,0 +1,255 @@
+//! Cache-blocked im2row + register-tiled GEMM: the batched engine's fast
+//! path for convolution and fully-connected sweeps, generic over the
+//! backend's [`Element`].
+//!
+//! Both hot layers are the same computation: `out[m][n] = bias[m] +
+//! Σ_k W[m][k] · B[n][k]` with `W` the `[M, K]` row-major weight matrix and
+//! `B` an `[N, K]` row-major panel of reduction vectors — the batch rows
+//! themselves for a linear layer, the im2row-packed input patches (one row
+//! per batch row × output pixel) for a convolution. The kernel tiles `M × N`
+//! into `MR × NR` register blocks and sweeps the full `K` extent once per
+//! block, so every weight load feeds `NR` MACs, every panel load feeds `MR`
+//! MACs, and each output element owns `1` of `MR × NR` independent
+//! accumulators — breaking the single-accumulator dependency chain that
+//! bounds the naive kernels.
+//!
+//! # Bit-exactness contract
+//!
+//! Each output element's accumulator is seeded with its bias and receives
+//! its `K` products in ascending `k` order — exactly the `(ic, ky, kx)`
+//! order of [`Conv2dBase::forward_naive`] and the input order of
+//! [`LinearBase::forward_naive`]. Tiling only changes *which outputs*
+//! accumulate concurrently, never the order within one accumulator, so the
+//! GEMM path is bit-identical to the naive path on every backend — `f32`
+//! included, where summation order changes results. The equivalence
+//! proptests pin this for arbitrary layer stacks.
+//!
+//! [`Conv2dBase::forward_naive`]: crate::layer::Conv2dBase::forward_naive
+//! [`LinearBase::forward_naive`]: crate::layer::LinearBase::forward_naive
+
+use crate::element::Element;
+use crate::layer::Conv2dBase;
+
+/// Packs the im2row panel of a convolution: row `b · OH·OW + (oy·OW + ox)`
+/// of `cols` is the flattened `(ic, ky, kx)` input patch that produces
+/// output pixel `(oy, ox)` of batch row `b` — the exact reduction order of
+/// the naive conv kernel.
+///
+/// `front` holds `nrows` contiguous `[C, H, W]` batch rows; `cols` must be
+/// `nrows · OH·OW · C·k·k` long.
+pub(crate) fn pack_im2row<E: Element>(
+    conv: &Conv2dBase<E>,
+    front: &[E],
+    nrows: usize,
+    in_shape: &[usize],
+    cols: &mut [E],
+) {
+    let (c, h, w) = (in_shape[0], in_shape[1], in_shape[2]);
+    let [_, oh, ow] = conv.output_shape(in_shape);
+    let k = conv.kernel;
+    let stride = conv.stride;
+    let patch = conv.patch_len();
+    let row_len = c * h * w;
+    debug_assert_eq!(front.len(), nrows * row_len);
+    debug_assert_eq!(cols.len(), nrows * oh * ow * patch);
+    for b in 0..nrows {
+        let img = &front[b * row_len..(b + 1) * row_len];
+        let mut col_base = b * oh * ow * patch;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let col = &mut cols[col_base..col_base + patch];
+                let mut at = 0;
+                for ic in 0..c {
+                    let in_base = ic * h * w + oy * stride * w + ox * stride;
+                    for ky in 0..k {
+                        let row = in_base + ky * w;
+                        col[at..at + k].copy_from_slice(&img[row..row + k]);
+                        at += k;
+                    }
+                }
+                col_base += patch;
+            }
+        }
+    }
+}
+
+/// The blocked GEMM with bias: `write(m, n, bias[m] + Σ_k a[m][k]·b[n][k])`
+/// for every `(m, n)`, with `a` `[M, K]` row-major and `b` `[N, K]`
+/// row-major.
+///
+/// Dispatches to the register-tile shape the backend's
+/// [`Element::GEMM_TILE`] requests; `write` receives each output exactly
+/// once. Const generics force one monomorphized kernel per tile shape, so
+/// the supported shapes are enumerated here — `(2, 4)` and `(4, 4)`; an
+/// unlisted shape runs the `(4, 4)` kernel (results are identical either
+/// way, only register pressure differs), as documented on
+/// [`Element::GEMM_TILE`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_bias<E: Element>(
+    ctx: E::Ctx,
+    a: &[E],
+    bias: &[E],
+    m: usize,
+    k: usize,
+    b: &[E],
+    n: usize,
+    write: impl FnMut(usize, usize, E),
+) {
+    match E::GEMM_TILE {
+        (2, 4) => gemm_tiled::<E, 2, 4>(ctx, a, bias, m, k, b, n, write),
+        _ => gemm_tiled::<E, 4, 4>(ctx, a, bias, m, k, b, n, write),
+    }
+}
+
+/// The one register-tiled GEMM implementation, monomorphized per tile shape.
+///
+/// Full `MR × NR` interior tiles run the fast path (`MR × NR` independent
+/// accumulators, one full-K sweep, each fed in ascending k order); edge
+/// tiles fall back to single-output dot products with identical accumulation
+/// order.
+#[allow(clippy::too_many_arguments)]
+fn gemm_tiled<E: Element, const MR: usize, const NR: usize>(
+    ctx: E::Ctx,
+    a: &[E],
+    bias: &[E],
+    m: usize,
+    k: usize,
+    b: &[E],
+    n: usize,
+    mut write: impl FnMut(usize, usize, E),
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(bias.len(), m);
+    let mut n0 = 0;
+    while n0 < n {
+        let nb = NR.min(n - n0);
+        let mut m0 = 0;
+        while m0 < m {
+            let mb = MR.min(m - m0);
+            if mb == MR && nb == NR {
+                // Register-tiled fast path.
+                let ar: [&[E]; MR] = std::array::from_fn(|i| &a[(m0 + i) * k..(m0 + i + 1) * k]);
+                let br: [&[E]; NR] = std::array::from_fn(|j| &b[(n0 + j) * k..(n0 + j + 1) * k]);
+                let mut acc: [[E::Acc; NR]; MR] =
+                    std::array::from_fn(|i| [E::acc_init(bias[m0 + i], ctx); NR]);
+                for kk in 0..k {
+                    let bv: [E; NR] = std::array::from_fn(|j| br[j][kk]);
+                    for i in 0..MR {
+                        let av = ar[i][kk];
+                        for j in 0..NR {
+                            acc[i][j] = E::mac(acc[i][j], bv[j], av);
+                        }
+                    }
+                }
+                for (i, row) in acc.iter().enumerate() {
+                    for (j, &cell) in row.iter().enumerate() {
+                        write(m0 + i, n0 + j, E::finish(cell, ctx));
+                    }
+                }
+            } else {
+                // Edge tiles: plain dot products, same accumulation order.
+                for i in 0..mb {
+                    let arow = &a[(m0 + i) * k..(m0 + i + 1) * k];
+                    for j in 0..nb {
+                        let brow = &b[(n0 + j) * k..(n0 + j + 1) * k];
+                        let mut acc = E::acc_init(bias[m0 + i], ctx);
+                        for (av, bv) in arow.iter().zip(brow.iter()) {
+                            acc = E::mac(acc, *bv, *av);
+                        }
+                        write(m0 + i, n0 + j, E::finish(acc, ctx));
+                    }
+                }
+            }
+            m0 += mb;
+        }
+        n0 += nb;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::LinearBase;
+    use navft_qformat::QFormat;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn gemm_matches_naive_linear_bitwise_for_f32() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let (m, k, n) = (7, 13, 9);
+        let linear = LinearBase::<f32> {
+            in_features: k,
+            out_features: m,
+            weights: (0..m * k).map(|_| rng.gen_range(-1.0f32..=1.0)).collect(),
+            bias: (0..m).map(|_| rng.gen_range(-1.0f32..=1.0)).collect(),
+        };
+        let rows: Vec<f32> = (0..n * k).map(|_| rng.gen_range(-1.0f32..=1.0)).collect();
+        let mut gemm_out = vec![0.0f32; n * m];
+        gemm_bias((), &linear.weights, &linear.bias, m, k, &rows, n, |mi, ni, v| {
+            gemm_out[ni * m + mi] = v;
+        });
+        for ni in 0..n {
+            let mut naive = vec![0.0f32; m];
+            linear.forward_naive(&rows[ni * k..(ni + 1) * k], &[k], &mut naive, ());
+            assert_eq!(&gemm_out[ni * m..(ni + 1) * m], naive.as_slice(), "row {ni}");
+        }
+    }
+
+    #[test]
+    fn gemm_matches_naive_linear_for_raw_words() {
+        let fmt = QFormat::Q3_4;
+        let mut rng = SmallRng::seed_from_u64(2);
+        let (m, k, n) = (5, 6, 11);
+        let raw = |rng: &mut SmallRng| rng.gen_range(-128i32..=127);
+        let linear = LinearBase::<i32> {
+            in_features: k,
+            out_features: m,
+            weights: (0..m * k).map(|_| raw(&mut rng)).collect(),
+            bias: (0..m).map(|_| raw(&mut rng)).collect(),
+        };
+        let rows: Vec<i32> = (0..n * k).map(|_| raw(&mut rng)).collect();
+        let mut gemm_out = vec![0i32; n * m];
+        gemm_bias(fmt, &linear.weights, &linear.bias, m, k, &rows, n, |mi, ni, v| {
+            gemm_out[ni * m + mi] = v;
+        });
+        for ni in 0..n {
+            let mut naive = vec![0i32; m];
+            linear.forward_naive(&rows[ni * k..(ni + 1) * k], &[k], &mut naive, fmt);
+            assert_eq!(&gemm_out[ni * m..(ni + 1) * m], naive.as_slice(), "row {ni}");
+        }
+    }
+
+    #[test]
+    fn packed_conv_gemm_matches_naive_conv_bitwise() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let conv = Conv2dBase::<f32> {
+            in_channels: 2,
+            out_channels: 5,
+            kernel: 3,
+            stride: 2,
+            weights: (0..5 * 2 * 9).map(|_| rng.gen_range(-1.0f32..=1.0)).collect(),
+            bias: (0..5).map(|_| rng.gen_range(-1.0f32..=1.0)).collect(),
+        };
+        let in_shape = [2usize, 9, 7];
+        let nrows = 3;
+        let row_len: usize = in_shape.iter().product();
+        let front: Vec<f32> = (0..nrows * row_len).map(|_| rng.gen_range(-1.0f32..=1.0)).collect();
+        let [oc, oh, ow] = conv.output_shape(&in_shape);
+        let patch = conv.patch_len();
+        let mut cols = vec![0.0f32; nrows * oh * ow * patch];
+        pack_im2row(&conv, &front, nrows, &in_shape, &mut cols);
+        let ohw = oh * ow;
+        let mut out = vec![0.0f32; nrows * oc * ohw];
+        gemm_bias((), &conv.weights, &conv.bias, oc, patch, &cols, nrows * ohw, |mi, ni, v| {
+            let (b, p) = (ni / ohw, ni % ohw);
+            out[b * oc * ohw + mi * ohw + p] = v;
+        });
+        for b in 0..nrows {
+            let mut naive = vec![0.0f32; oc * ohw];
+            conv.forward_naive(&front[b * row_len..(b + 1) * row_len], &in_shape, &mut naive, ());
+            assert_eq!(&out[b * oc * ohw..(b + 1) * oc * ohw], naive.as_slice(), "row {b}");
+        }
+    }
+}

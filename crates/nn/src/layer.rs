@@ -1,9 +1,21 @@
-//! Network layers: convolution, pooling, activation and fully-connected.
+//! Network layers: convolution, pooling, activation and fully-connected —
+//! one generic implementation shared by every numeric backend.
+//!
+//! [`Conv2dBase`], [`LinearBase`] and [`LayerBase`] are generic over the
+//! [`Element`] type; the `f32` backend uses the [`Conv2d`] / [`Linear`] /
+//! [`Layer`] aliases, the native fixed-point backend the
+//! [`QConv2d`](crate::QConv2d) / [`QLinear`](crate::QLinear) /
+//! [`QLayer`](crate::QLayer) aliases of the *same* types. There is exactly
+//! one convolution loop, one fully-connected loop and one pooling loop in
+//! the crate; what differs per backend is the element arithmetic the
+//! [`Element`] trait supplies (plain float MACs versus widened-accumulator
+//! integer MACs with one saturating requantize per output element).
 
 use std::fmt;
 
 use rand::Rng;
 
+use crate::element::Element;
 use crate::Tensor;
 
 /// The kind of a layer, used by experiments that sweep fault sensitivity per
@@ -34,16 +46,19 @@ impl fmt::Display for LayerKind {
     }
 }
 
-/// Output spatial extent of a valid-padding sliding window: shared by the
-/// `f32` and native fixed-point backends so their shape inference can never
-/// diverge.
+/// Output spatial extent of a valid-padding sliding window: shared by every
+/// backend so their shape inference can never diverge.
 pub(crate) fn window_output_size(input: usize, kernel: usize, stride: usize) -> usize {
     (input - kernel) / stride + 1
 }
 
-/// A 2-D convolution layer over `[C, H, W]` inputs (valid padding).
+/// A 2-D convolution layer over `[C, H, W]` inputs (valid padding), generic
+/// over the backend's element type.
+///
+/// Use the aliases: [`Conv2d`] (`f32`) or [`QConv2d`](crate::QConv2d) (raw
+/// Q-format words).
 #[derive(Debug, Clone, PartialEq)]
-pub struct Conv2d {
+pub struct Conv2dBase<E: Element> {
     /// Number of input channels.
     pub in_channels: usize,
     /// Number of output channels (filters).
@@ -53,26 +68,17 @@ pub struct Conv2d {
     /// Stride in both dimensions.
     pub stride: usize,
     /// Filter weights, laid out `[out, in, k, k]` row-major.
-    pub weights: Vec<f32>,
+    pub weights: Vec<E>,
     /// Per-output-channel biases.
-    pub bias: Vec<f32>,
+    pub bias: Vec<E>,
 }
 
-impl Conv2d {
-    /// Creates a convolution with He-uniform initialised weights.
-    pub fn new<R: Rng + ?Sized>(
-        in_channels: usize,
-        out_channels: usize,
-        kernel: usize,
-        stride: usize,
-        rng: &mut R,
-    ) -> Conv2d {
-        let fan_in = in_channels * kernel * kernel;
-        let scale = (2.0 / fan_in as f32).sqrt();
-        let weights = (0..out_channels * fan_in).map(|_| rng.gen_range(-scale..=scale)).collect();
-        Conv2d { in_channels, out_channels, kernel, stride, weights, bias: vec![0.0; out_channels] }
-    }
+/// A 2-D `f32` convolution layer over `[C, H, W]` inputs (valid padding).
+pub type Conv2d = Conv2dBase<f32>;
 
+impl Eq for Conv2dBase<i32> {}
+
+impl<E: Element> Conv2dBase<E> {
     /// Output spatial size for an input of extent `input`.
     pub fn output_size(&self, input: usize) -> usize {
         window_output_size(input, self.kernel, self.stride)
@@ -90,6 +96,70 @@ impl Conv2d {
         let (h, w) = (in_shape[1], in_shape[2]);
         assert!(h >= self.kernel && w >= self.kernel, "conv2d input smaller than kernel");
         [self.out_channels, self.output_size(h), self.output_size(w)]
+    }
+
+    /// The reduction length of one output element: `in_channels × k × k`
+    /// (the K dimension of the im2row GEMM view of this convolution).
+    pub(crate) fn patch_len(&self) -> usize {
+        self.in_channels * self.kernel * self.kernel
+    }
+
+    /// Runs the convolution on a flat `[C, H, W]` buffer, writing every
+    /// output element into the caller-provided `out` buffer (no allocation).
+    ///
+    /// This is the *naive* (direct) kernel: one accumulator per output
+    /// element, fed in `(ic, ky, kx)` order. The blocked GEMM path of the
+    /// batched engine accumulates in exactly the same order, so the two
+    /// paths agree bit for bit on every backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes are invalid or `out` has the wrong length.
+    pub fn forward_naive(&self, data: &[E], in_shape: &[usize], out: &mut [E], ctx: E::Ctx) {
+        let [_, oh, ow] = self.output_shape(in_shape);
+        let (h, w) = (in_shape[1], in_shape[2]);
+        assert_eq!(data.len(), self.in_channels * h * w, "conv2d input buffer length mismatch");
+        assert_eq!(out.len(), self.out_channels * oh * ow, "conv2d output buffer length mismatch");
+        let k = self.kernel;
+        for oc in 0..self.out_channels {
+            let w_base = oc * self.in_channels * k * k;
+            let out_base = oc * oh * ow;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = E::acc_init(self.bias[oc], ctx);
+                    let iy0 = oy * self.stride;
+                    let ix0 = ox * self.stride;
+                    for ic in 0..self.in_channels {
+                        let in_base = ic * h * w;
+                        let wk_base = w_base + ic * k * k;
+                        for ky in 0..k {
+                            let row = in_base + (iy0 + ky) * w + ix0;
+                            let wrow = wk_base + ky * k;
+                            for kx in 0..k {
+                                acc = E::mac(acc, data[row + kx], self.weights[wrow + kx]);
+                            }
+                        }
+                    }
+                    out[out_base + oy * ow + ox] = E::finish(acc, ctx);
+                }
+            }
+        }
+    }
+}
+
+impl Conv2d {
+    /// Creates a convolution with He-uniform initialised weights.
+    pub fn new<R: Rng + ?Sized>(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        rng: &mut R,
+    ) -> Conv2d {
+        let fan_in = in_channels * kernel * kernel;
+        let scale = (2.0 / fan_in as f32).sqrt();
+        let weights = (0..out_channels * fan_in).map(|_| rng.gen_range(-scale..=scale)).collect();
+        Conv2d { in_channels, out_channels, kernel, stride, weights, bias: vec![0.0; out_channels] }
     }
 
     /// Runs the convolution on a `[C, H, W]` tensor.
@@ -111,34 +181,7 @@ impl Conv2d {
     ///
     /// Panics if the shapes are invalid or `out` has the wrong length.
     pub fn forward_into(&self, data: &[f32], in_shape: &[usize], out: &mut [f32]) {
-        let [_, oh, ow] = self.output_shape(in_shape);
-        let (h, w) = (in_shape[1], in_shape[2]);
-        assert_eq!(data.len(), self.in_channels * h * w, "conv2d input buffer length mismatch");
-        assert_eq!(out.len(), self.out_channels * oh * ow, "conv2d output buffer length mismatch");
-        let k = self.kernel;
-        for oc in 0..self.out_channels {
-            let w_base = oc * self.in_channels * k * k;
-            let out_base = oc * oh * ow;
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let mut acc = self.bias[oc];
-                    let iy0 = oy * self.stride;
-                    let ix0 = ox * self.stride;
-                    for ic in 0..self.in_channels {
-                        let in_base = ic * h * w;
-                        let wk_base = w_base + ic * k * k;
-                        for ky in 0..k {
-                            let row = in_base + (iy0 + ky) * w + ix0;
-                            let wrow = wk_base + ky * k;
-                            for kx in 0..k {
-                                acc += data[row + kx] * self.weights[wrow + kx];
-                            }
-                        }
-                    }
-                    out[out_base + oy * ow + ox] = acc;
-                }
-            }
-        }
+        self.forward_naive(data, in_shape, out, ());
     }
 }
 
@@ -236,17 +279,52 @@ impl MaxPool2d {
     }
 }
 
-/// A fully-connected layer `y = W x + b`.
+/// A fully-connected layer `y = W x + b`, generic over the backend's element
+/// type.
+///
+/// Use the aliases: [`Linear`] (`f32`) or [`QLinear`](crate::QLinear) (raw
+/// Q-format words).
 #[derive(Debug, Clone, PartialEq)]
-pub struct Linear {
+pub struct LinearBase<E: Element> {
     /// Input feature count.
     pub in_features: usize,
     /// Output feature count.
     pub out_features: usize,
     /// Weights, laid out `[out, in]` row-major.
-    pub weights: Vec<f32>,
+    pub weights: Vec<E>,
     /// Per-output biases.
-    pub bias: Vec<f32>,
+    pub bias: Vec<E>,
+}
+
+/// A fully-connected `f32` layer `y = W x + b`.
+pub type Linear = LinearBase<f32>;
+
+impl Eq for LinearBase<i32> {}
+
+impl<E: Element> LinearBase<E> {
+    /// Runs the layer on a flat buffer, writing every output element into the
+    /// caller-provided `out` buffer (no allocation).
+    ///
+    /// This is the *naive* kernel: one accumulator per output, fed in input
+    /// order — the blocked GEMM path accumulates identically, so the two
+    /// paths agree bit for bit on every backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input length differs from `in_features` or `out` from
+    /// `out_features`.
+    pub fn forward_naive(&self, x: &[E], _in_shape: &[usize], out: &mut [E], ctx: E::Ctx) {
+        assert_eq!(x.len(), self.in_features, "linear input length mismatch");
+        assert_eq!(out.len(), self.out_features, "linear output buffer length mismatch");
+        for (o, out_v) in out.iter_mut().enumerate() {
+            let row = &self.weights[o * self.in_features..(o + 1) * self.in_features];
+            let mut acc = E::acc_init(self.bias[o], ctx);
+            for (w, xi) in row.iter().zip(x.iter()) {
+                acc = E::mac(acc, *xi, *w);
+            }
+            *out_v = E::finish(acc, ctx);
+        }
+    }
 }
 
 impl Linear {
@@ -276,58 +354,45 @@ impl Linear {
     ///
     /// Panics if the input length differs from `in_features` or `out` from
     /// `out_features`.
-    pub fn forward_into(&self, x: &[f32], _in_shape: &[usize], out: &mut [f32]) {
-        assert_eq!(x.len(), self.in_features, "linear input length mismatch");
-        assert_eq!(out.len(), self.out_features, "linear output buffer length mismatch");
-        for (o, out_v) in out.iter_mut().enumerate() {
-            let row = &self.weights[o * self.in_features..(o + 1) * self.in_features];
-            let mut acc = self.bias[o];
-            for (w, xi) in row.iter().zip(x.iter()) {
-                acc += w * xi;
-            }
-            *out_v = acc;
-        }
+    pub fn forward_into(&self, x: &[f32], in_shape: &[usize], out: &mut [f32]) {
+        self.forward_naive(x, in_shape, out, ());
     }
 }
 
-/// A network layer.
+/// A network layer, generic over the backend's element type.
 ///
 /// Layers are a closed enum rather than a trait object so that training code
-/// and per-layer fault targeting can match on the concrete kind.
+/// and per-layer fault targeting can match on the concrete kind. Use the
+/// aliases: [`Layer`] (`f32`) or [`QLayer`](crate::QLayer) (raw Q-format
+/// words).
 #[derive(Debug, Clone, PartialEq)]
-pub enum Layer {
+pub enum LayerBase<E: Element> {
     /// 2-D convolution.
-    Conv2d(Conv2d),
-    /// 2-D max pooling.
+    Conv2d(Conv2dBase<E>),
+    /// 2-D max pooling (pure order comparison, parameter-free).
     MaxPool2d(MaxPool2d),
     /// Rectified linear unit.
     Relu,
     /// Flatten to a vector.
     Flatten,
     /// Fully-connected layer.
-    Linear(Linear),
+    Linear(LinearBase<E>),
 }
 
-impl Layer {
+/// An `f32` network layer.
+pub type Layer = LayerBase<f32>;
+
+impl Eq for LayerBase<i32> {}
+
+impl<E: Element> LayerBase<E> {
     /// The layer kind.
     pub fn kind(&self) -> LayerKind {
         match self {
-            Layer::Conv2d(_) => LayerKind::Conv2d,
-            Layer::MaxPool2d(_) => LayerKind::MaxPool2d,
-            Layer::Relu => LayerKind::Relu,
-            Layer::Flatten => LayerKind::Flatten,
-            Layer::Linear(_) => LayerKind::Linear,
-        }
-    }
-
-    /// Runs the layer.
-    pub fn forward(&self, input: &Tensor) -> Tensor {
-        match self {
-            Layer::Conv2d(conv) => conv.forward(input),
-            Layer::MaxPool2d(pool) => pool.forward(input),
-            Layer::Relu => input.map(|v| v.max(0.0)),
-            Layer::Flatten => input.reshape(&[input.len()]),
-            Layer::Linear(linear) => linear.forward(input),
+            LayerBase::Conv2d(_) => LayerKind::Conv2d,
+            LayerBase::MaxPool2d(_) => LayerKind::MaxPool2d,
+            LayerBase::Relu => LayerKind::Relu,
+            LayerBase::Flatten => LayerKind::Flatten,
+            LayerBase::Linear(_) => LayerKind::Linear,
         }
     }
 
@@ -340,15 +405,107 @@ impl Layer {
     pub fn output_shape(&self, in_shape: &[usize], out: &mut Vec<usize>) {
         out.clear();
         match self {
-            Layer::Conv2d(conv) => out.extend_from_slice(&conv.output_shape(in_shape)),
-            Layer::MaxPool2d(pool) => out.extend_from_slice(&pool.output_shape(in_shape)),
-            Layer::Relu => out.extend_from_slice(in_shape),
-            Layer::Flatten => out.push(in_shape.iter().product()),
-            Layer::Linear(linear) => {
+            LayerBase::Conv2d(conv) => out.extend_from_slice(&conv.output_shape(in_shape)),
+            LayerBase::MaxPool2d(pool) => out.extend_from_slice(&pool.output_shape(in_shape)),
+            LayerBase::Relu => out.extend_from_slice(in_shape),
+            LayerBase::Flatten => out.push(in_shape.iter().product()),
+            LayerBase::Linear(linear) => {
                 let len: usize = in_shape.iter().product();
                 assert_eq!(len, linear.in_features, "linear input length mismatch");
                 out.push(linear.out_features);
             }
+        }
+    }
+
+    /// Runs the layer on a flat buffer through the naive per-element
+    /// kernels, writing the output into the caller-provided `out` buffer.
+    /// `Relu` and `Flatten` degrade to a copy here; the batched engine
+    /// applies them in place instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes are invalid or `out` has the wrong length.
+    pub fn forward_naive(&self, data: &[E], in_shape: &[usize], out: &mut [E], ctx: E::Ctx) {
+        match self {
+            LayerBase::Conv2d(conv) => conv.forward_naive(data, in_shape, out, ctx),
+            LayerBase::MaxPool2d(pool) => pool.forward_into(data, in_shape, out),
+            LayerBase::Relu | LayerBase::Flatten => {
+                out.copy_from_slice(data);
+                if matches!(self, LayerBase::Relu) {
+                    Self::relu_in_place(out);
+                }
+            }
+            LayerBase::Linear(linear) => linear.forward_naive(data, in_shape, out, ctx),
+        }
+    }
+
+    /// Applies the ReLU non-linearity in place (the batched engine's
+    /// zero-copy path for ReLU layers).
+    pub fn relu_in_place(values: &mut [E]) {
+        for v in values.iter_mut() {
+            *v = v.relu();
+        }
+    }
+
+    /// Whether the layer transforms values without moving them between
+    /// buffers: `Relu` rewrites elements in place and `Flatten` only changes
+    /// the shape. The batched engine skips the slab swap for these.
+    pub fn is_in_place(&self) -> bool {
+        matches!(self, LayerBase::Relu | LayerBase::Flatten)
+    }
+
+    /// The layer's weight buffer, if it has parameters.
+    pub fn weights(&self) -> Option<&[E]> {
+        match self {
+            LayerBase::Conv2d(conv) => Some(&conv.weights),
+            LayerBase::Linear(linear) => Some(&linear.weights),
+            _ => None,
+        }
+    }
+
+    /// The layer's weight buffer, mutably — the weight-fault injection
+    /// surface.
+    pub fn weights_mut(&mut self) -> Option<&mut Vec<E>> {
+        match self {
+            LayerBase::Conv2d(conv) => Some(&mut conv.weights),
+            LayerBase::Linear(linear) => Some(&mut linear.weights),
+            _ => None,
+        }
+    }
+
+    /// The layer's bias buffer, if it has parameters.
+    pub fn biases(&self) -> Option<&[E]> {
+        match self {
+            LayerBase::Conv2d(conv) => Some(&conv.bias),
+            LayerBase::Linear(linear) => Some(&linear.bias),
+            _ => None,
+        }
+    }
+
+    /// The layer's bias buffer, mutably.
+    pub fn biases_mut(&mut self) -> Option<&mut Vec<E>> {
+        match self {
+            LayerBase::Conv2d(conv) => Some(&mut conv.bias),
+            LayerBase::Linear(linear) => Some(&mut linear.bias),
+            _ => None,
+        }
+    }
+
+    /// Whether the layer holds trainable parameters.
+    pub fn is_parametric(&self) -> bool {
+        self.weights().is_some()
+    }
+}
+
+impl Layer {
+    /// Runs the layer.
+    pub fn forward(&self, input: &Tensor) -> Tensor {
+        match self {
+            Layer::Conv2d(conv) => conv.forward(input),
+            Layer::MaxPool2d(pool) => pool.forward(input),
+            Layer::Relu => input.map(|v| v.max(0.0)),
+            Layer::Flatten => input.reshape(&[input.len()]),
+            Layer::Linear(linear) => linear.forward(input),
         }
     }
 
@@ -361,99 +518,7 @@ impl Layer {
     ///
     /// Panics if the shapes are invalid or `out` has the wrong length.
     pub fn forward_into(&self, data: &[f32], in_shape: &[usize], out: &mut [f32]) {
-        match self {
-            Layer::Conv2d(conv) => conv.forward_into(data, in_shape, out),
-            Layer::MaxPool2d(pool) => pool.forward_into(data, in_shape, out),
-            Layer::Relu | Layer::Flatten => {
-                out.copy_from_slice(data);
-                if matches!(self, Layer::Relu) {
-                    Layer::relu_in_place(out);
-                }
-            }
-            Layer::Linear(linear) => linear.forward_into(data, in_shape, out),
-        }
-    }
-
-    /// Applies the ReLU non-linearity in place (the batched engine's
-    /// zero-copy path for [`Layer::Relu`]).
-    pub fn relu_in_place(values: &mut [f32]) {
-        for v in values.iter_mut() {
-            *v = v.max(0.0);
-        }
-    }
-
-    /// Whether the layer transforms values without moving them between
-    /// buffers: `Relu` rewrites elements in place and `Flatten` only changes
-    /// the shape. The batched engine skips the slab swap for these.
-    pub fn is_in_place(&self) -> bool {
-        matches!(self, Layer::Relu | Layer::Flatten)
-    }
-
-    /// The layer's weight buffer, if it has parameters.
-    pub fn weights(&self) -> Option<&[f32]> {
-        match self {
-            Layer::Conv2d(conv) => Some(&conv.weights),
-            Layer::Linear(linear) => Some(&linear.weights),
-            _ => None,
-        }
-    }
-
-    /// The layer's weight buffer, mutably — the weight-fault injection
-    /// surface.
-    pub fn weights_mut(&mut self) -> Option<&mut Vec<f32>> {
-        match self {
-            Layer::Conv2d(conv) => Some(&mut conv.weights),
-            Layer::Linear(linear) => Some(&mut linear.weights),
-            _ => None,
-        }
-    }
-
-    /// The layer's bias buffer, if it has parameters.
-    pub fn biases(&self) -> Option<&[f32]> {
-        match self {
-            Layer::Conv2d(conv) => Some(&conv.bias),
-            Layer::Linear(linear) => Some(&linear.bias),
-            _ => None,
-        }
-    }
-
-    /// The layer's bias buffer, mutably.
-    pub fn biases_mut(&mut self) -> Option<&mut Vec<f32>> {
-        match self {
-            Layer::Conv2d(conv) => Some(&mut conv.bias),
-            Layer::Linear(linear) => Some(&mut linear.bias),
-            _ => None,
-        }
-    }
-
-    /// Whether the layer holds trainable parameters.
-    pub fn is_parametric(&self) -> bool {
-        self.weights().is_some()
-    }
-}
-
-/// The f32 backend's view of a layer for the shared batched engine.
-impl crate::engine::SweepLayer<f32> for &Layer {
-    fn kind(&self) -> LayerKind {
-        Layer::kind(self)
-    }
-
-    fn output_shape(&self, in_shape: &[usize], out: &mut Vec<usize>) {
-        Layer::output_shape(self, in_shape, out);
-    }
-
-    fn is_in_place(&self) -> bool {
-        Layer::is_in_place(self)
-    }
-
-    fn apply_in_place(&self, values: &mut [f32]) {
-        if matches!(self, Layer::Relu) {
-            Layer::relu_in_place(values);
-        }
-    }
-
-    fn sweep(&self, data: &[f32], in_shape: &[usize], out: &mut [f32]) {
-        Layer::forward_into(self, data, in_shape, out);
+        self.forward_naive(data, in_shape, out, ());
     }
 }
 
@@ -582,5 +647,24 @@ mod tests {
         let linear = Linear::new(10, 5, &mut rng);
         let bound = (6.0 / 15.0f32).sqrt();
         assert!(linear.weights.iter().all(|w| w.abs() <= bound));
+    }
+
+    #[test]
+    fn generic_naive_kernels_serve_raw_words_too() {
+        // The same conv code runs the quantized backend: Q3_4 words, widened
+        // accumulate, one requantize per output.
+        use navft_qformat::QFormat;
+        let conv: Conv2dBase<i32> = Conv2dBase {
+            in_channels: 1,
+            out_channels: 1,
+            kernel: 1,
+            stride: 1,
+            weights: vec![16], // 1.0 in Q3_4
+            bias: vec![8],     // 0.5
+        };
+        let data = [16i32, 32, -16, 48]; // 1.0, 2.0, -1.0, 3.0
+        let mut out = [0i32; 4];
+        conv.forward_naive(&data, &[1, 2, 2], &mut out, QFormat::Q3_4);
+        assert_eq!(out, [24, 40, -8, 56]); // x + 0.5 on the Q3_4 grid
     }
 }

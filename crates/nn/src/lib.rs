@@ -1,5 +1,5 @@
-//! A minimal neural-network library with fault-injectable buffers and two
-//! numeric backends.
+//! A minimal neural-network library with fault-injectable buffers and one
+//! generic inference core instantiated for two numeric backends.
 //!
 //! Learning-based navigation policies run on accelerators that stage data in
 //! input, weight (filter) and activation (output) buffers; the paper's fault
@@ -19,11 +19,32 @@
 //! * [`Scratch`] — a reusable, double-buffered activation arena behind the
 //!   batched inference engine ([`Network::forward_batch`] /
 //!   [`Network::forward_batch_into`] / [`Network::forward_scratch`]),
-//!   generic over the element type so both backends share it.
+//!   generic over the element type so every backend shares it.
 //!
-//! # Two numeric backends
+//! # One generic core, two numeric backends
 //!
-//! Inference runs on one of two element types, chosen per use case:
+//! The crate's central abstraction is the [`Element`] trait: everything that
+//! distinguishes the numeric backends — the widened MAC accumulator, how a
+//! bias seeds it, the per-output requantize, what ReLU means, and the
+//! metadata networks and tensors carry — lives behind it. The tensor, layer
+//! and network types are *aliases of shared generic types*:
+//!
+//! | generic | `f32` backend | native fixed-point backend |
+//! |---|---|---|
+//! | [`TensorBase`]`<E>` | [`Tensor`] | [`QTensor`] |
+//! | [`layer::Conv2dBase`]`<E>` | [`layer::Conv2d`] | [`QConv2d`] |
+//! | [`layer::LinearBase`]`<E>` | [`layer::Linear`] | [`QLinear`] |
+//! | [`LayerBase`]`<E>` | [`Layer`] | [`QLayer`] |
+//! | [`NetworkBase`]`<E>` | [`Network`] | [`QNetwork`] |
+//!
+//! There is exactly **one** convolution kernel, one fully-connected kernel,
+//! one pooling kernel, one argmax and one batched engine in the crate; the
+//! backends cannot drift because they are the same code. The hook traits
+//! ([`ForwardHooks`] over `f32` values, [`QForwardHooks`] over live raw
+//! words) feed the generic paths through the [`HooksFor`] bridge, so hooks
+//! written against either trait run unchanged on every forward path.
+//!
+//! Per backend:
 //!
 //! * The **`f32` backend** ([`Network`]) trains (Q-learning, DQN,
 //!   transfer-learning fine-tuning need float gradients) and can *simulate* a
@@ -42,19 +63,28 @@
 //!   within one LSB of the `f32` simulation per layer and bit-deterministic
 //!   across runs.
 //!
+//! Adding a **third backend** is one `impl Element for NewType` plus an
+//! optional set of aliases: the layers, the engine, the GEMM path, fault
+//! injection (`navft-fault` corrupts any storage word) and the `navft-rl`
+//! evaluators are already generic.
+//!
 //! [`QFormat`]: navft_qformat::QFormat
 //!
-//! # Batched, zero-allocation inference
+//! # Batched, zero-allocation, blocked-GEMM inference
 //!
 //! Fault-injection campaigns replay millions of forward passes, so the hot
-//! path must not allocate. Every layer exposes a `forward_into` that writes
-//! into a caller-provided buffer, and [`Network::forward_batch_into`]
-//! evaluates B inputs per layer sweep against a [`Scratch`] whose two
-//! activation slabs are reused across calls: once warm, a pass performs
-//! **zero** heap allocations ([`Scratch::grow_events`] stays flat). Batched
-//! and per-sample passes are bit-identical — row `b` of a batch equals
-//! `forward(&inputs[b])` exactly, enforced by the equivalence suite in
-//! `tests/integration_batched_equivalence.rs` and this crate's proptests.
+//! path must not allocate. Every layer exposes a buffer-to-buffer kernel,
+//! and [`Network::forward_batch_into`] evaluates B inputs per layer sweep
+//! against a [`Scratch`] whose activation slabs are reused across calls:
+//! once warm, a pass performs **zero** heap allocations
+//! ([`Scratch::grow_events`] stays flat). Convolution and linear sweeps run
+//! a cache-blocked im2row GEMM (module `gemm`): the whole batch becomes one
+//! `[M, K] × [N, K]` matrix sweep with `MR × NR` register tiles, each
+//! output element still accumulating in the naive kernel's reduction order —
+//! so batched, GEMM-accelerated passes stay **bit-identical** to per-sample
+//! naive passes on every backend (enforced by the equivalence suites and the
+//! crate's proptests; [`Network::forward_batch_naive_into`] keeps the
+//! reference path callable for comparison and benchmarking).
 //!
 //! Hooks map onto batches per row: [`ForwardHooks::on_batch_input`] and
 //! [`ForwardHooks::on_batch_activation`] receive `(batch_row, layer,
@@ -83,19 +113,25 @@
 pub mod layer;
 pub mod models;
 
+mod element;
 mod engine;
+mod gemm;
 mod network;
 mod qnetwork;
 mod qtensor;
 mod scratch;
 mod tensor;
 
-pub use layer::{Layer, LayerKind};
+pub use element::Element;
+pub use layer::{Conv2d, Linear};
+pub use layer::{Layer, LayerBase, LayerKind};
 pub use models::{c3f2, c3f2_scaled, mlp, parametric_layer_names, C3f2Config};
-pub use network::{ForwardHooks, ForwardTrace, Network, NoHooks, PerRowHooks, RangeRecorder};
+pub use network::{
+    ForwardHooks, ForwardTrace, HooksFor, Network, NetworkBase, NoHooks, PerRowHooks, RangeRecorder,
+};
 pub use qnetwork::{
     network_bit_stats, QConv2d, QForwardHooks, QLayer, QLinear, QNetwork, QScratch,
 };
 pub use qtensor::QTensor;
 pub use scratch::Scratch;
-pub use tensor::{argmax, Tensor};
+pub use tensor::{argmax, Tensor, TensorBase};

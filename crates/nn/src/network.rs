@@ -1,12 +1,24 @@
+//! The generic feed-forward network: one implementation of every forward
+//! path, instantiated per numeric backend.
+//!
+//! [`NetworkBase`] is generic over the [`Element`] type; [`Network`] is its
+//! `f32` alias and [`QNetwork`](crate::QNetwork) its raw-word alias. All
+//! shared machinery — layer stacking, weight spans, the single-sample and
+//! batched forward passes, the blocked-GEMM engine — lives here exactly
+//! once; backend-specific surface (training, quantization, raw-word access)
+//! lives in per-alias `impl` blocks.
+
 use std::fmt;
 use std::ops::Range;
 
 use navft_qformat::QFormat;
 
-use crate::engine::SweepEvent;
-use crate::{Layer, LayerKind, Scratch, Tensor};
+use crate::element::Element;
+use crate::engine::{KernelPath, SweepEvent};
+use crate::tensor::TensorBase;
+use crate::{Layer, LayerBase, LayerKind, Scratch, Tensor};
 
-/// Observer/mutator hooks invoked during a forward pass.
+/// Observer/mutator hooks invoked during an `f32` forward pass.
 ///
 /// Hooks are how dynamic fault injection (transient faults in activations,
 /// §3.3) and range instrumentation (the inference mitigation of §5.2) attach
@@ -21,6 +33,10 @@ use crate::{Layer, LayerKind, Scratch, Tensor};
 /// path; hooks that need per-row behaviour (e.g. an independently seeded
 /// fault injector per episode) override the batch methods or wrap one hook
 /// per row in [`PerRowHooks`].
+///
+/// The quantized counterpart over live raw words is
+/// [`QForwardHooks`](crate::QForwardHooks); both feed the generic forward
+/// paths through the [`HooksFor`] bridge.
 pub trait ForwardHooks {
     /// Called on the input feature map before the first layer.
     fn on_input(&mut self, values: &mut [f32]) {
@@ -51,6 +67,54 @@ pub trait ForwardHooks {
     ) {
         let _ = batch_row;
         self.on_activation(layer_index, kind, values);
+    }
+}
+
+/// The bridge between an element type and its hook trait: the generic
+/// forward paths are written once against `HooksFor<E>`, and blanket
+/// implementations route `E = f32` to [`ForwardHooks`] and `E = i32` to
+/// [`QForwardHooks`](crate::QForwardHooks). Existing hook types therefore
+/// work unchanged on the generic engine.
+pub trait HooksFor<E: Element> {
+    /// Reports the input buffer of a single-sample pass.
+    fn input(&mut self, values: &mut [E]);
+    /// Reports layer `layer_index`'s activation buffer of a single-sample
+    /// pass.
+    fn activation(&mut self, layer_index: usize, kind: LayerKind, values: &mut [E]);
+    /// Reports batch row `batch_row` of the input of a batched pass.
+    fn batch_input(&mut self, batch_row: usize, values: &mut [E]);
+    /// Reports batch row `batch_row` of layer `layer_index`'s activation
+    /// buffer of a batched pass.
+    fn batch_activation(
+        &mut self,
+        batch_row: usize,
+        layer_index: usize,
+        kind: LayerKind,
+        values: &mut [E],
+    );
+}
+
+impl<H: ForwardHooks + ?Sized> HooksFor<f32> for H {
+    fn input(&mut self, values: &mut [f32]) {
+        self.on_input(values);
+    }
+
+    fn activation(&mut self, layer_index: usize, kind: LayerKind, values: &mut [f32]) {
+        self.on_activation(layer_index, kind, values);
+    }
+
+    fn batch_input(&mut self, batch_row: usize, values: &mut [f32]) {
+        self.on_batch_input(batch_row, values);
+    }
+
+    fn batch_activation(
+        &mut self,
+        batch_row: usize,
+        layer_index: usize,
+        kind: LayerKind,
+        values: &mut [f32],
+    ) {
+        self.on_batch_activation(batch_row, layer_index, kind, values);
     }
 }
 
@@ -120,7 +184,7 @@ impl<H: ForwardHooks> ForwardHooks for PerRowHooks<H> {
     }
 }
 
-/// A no-op hook set: the fault-free forward pass.
+/// A no-op hook set: the fault-free forward pass (either backend).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NoHooks;
 
@@ -190,13 +254,19 @@ impl ForwardTrace {
     }
 }
 
-/// A feed-forward network: an ordered stack of [`Layer`]s plus an optional
-/// activation quantization format.
+/// A feed-forward network: an ordered stack of layers plus the backend's
+/// metadata, generic over the numeric [`Element`] type.
 ///
 /// The network exposes its weight buffers per layer and lets callers hook the
 /// activation buffers produced during a forward pass, which together form the
 /// complete fault-injection surface of the paper (input / weight / activation
 /// buffers).
+///
+/// Use the aliases: [`Network`] for the `f32` backend,
+/// [`QNetwork`](crate::QNetwork) for the native fixed-point backend. Both
+/// run every forward pass — single-sample, scratch and batched — through the
+/// same generic code and the same blocked-GEMM engine; only the per-element
+/// arithmetic differs.
 ///
 /// # Examples
 ///
@@ -210,31 +280,31 @@ impl ForwardTrace {
 /// assert_eq!(out.len(), 2);
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-pub struct Network {
-    layers: Vec<Layer>,
-    activation_format: Option<QFormat>,
+pub struct NetworkBase<E: Element> {
+    layers: Vec<LayerBase<E>>,
+    meta: E::NetMeta,
 }
 
-impl Network {
-    /// Builds a network from a stack of layers.
-    pub fn new(layers: Vec<Layer>) -> Network {
-        Network { layers, activation_format: None }
+/// A feed-forward `f32` network (the trainable backend, optionally
+/// simulating a fixed-point datapath by requantizing activations).
+pub type Network = NetworkBase<f32>;
+
+impl Eq for NetworkBase<i32> {}
+
+impl<E: Element> NetworkBase<E> {
+    /// Builds a network from parts (the per-alias constructors).
+    pub(crate) fn from_parts(layers: Vec<LayerBase<E>>, meta: E::NetMeta) -> NetworkBase<E> {
+        NetworkBase { layers, meta }
     }
 
-    /// Quantizes every activation buffer to `format` after each layer,
-    /// emulating a fixed-point accelerator datapath.
-    pub fn with_activation_format(mut self, format: QFormat) -> Network {
-        self.activation_format = Some(format);
-        self
-    }
-
-    /// The activation quantization format, if any.
-    pub fn activation_format(&self) -> Option<QFormat> {
-        self.activation_format
+    /// The backend metadata (the optional simulation format for `f32`, the
+    /// storage format for raw words).
+    pub(crate) fn net_meta(&self) -> &E::NetMeta {
+        &self.meta
     }
 
     /// The layers of the network.
-    pub fn layers(&self) -> &[Layer] {
+    pub fn layers(&self) -> &[LayerBase<E>] {
         &self.layers
     }
 
@@ -251,18 +321,19 @@ impl Network {
     }
 
     /// The weight buffer of layer `index`, if that layer has one.
-    pub fn layer_weights(&self, index: usize) -> Option<&[f32]> {
+    pub fn layer_weights(&self, index: usize) -> Option<&[E]> {
         self.layers.get(index).and_then(|l| l.weights())
     }
 
-    /// The weight buffer of layer `index`, mutably.
-    pub fn layer_weights_mut(&mut self, index: usize) -> Option<&mut Vec<f32>> {
+    /// The weight buffer of layer `index`, mutably — the live storage
+    /// weight-fault injection corrupts in place.
+    pub fn layer_weights_mut(&mut self, index: usize) -> Option<&mut Vec<E>> {
         self.layers.get_mut(index).and_then(|l| l.weights_mut())
     }
 
     /// Total number of weights across all layers.
     pub fn weight_count(&self) -> usize {
-        self.layers.iter().filter_map(|l| l.weights().map(<[f32]>::len)).sum()
+        self.layers.iter().filter_map(|l| l.weights().map(<[E]>::len)).sum()
     }
 
     /// The range of flat weight indices occupied by layer `index` when all
@@ -272,13 +343,252 @@ impl Network {
     pub fn weight_span(&self, index: usize) -> Range<usize> {
         let mut start = 0;
         for (i, layer) in self.layers.iter().enumerate() {
-            let len = layer.weights().map_or(0, <[f32]>::len);
+            let len = layer.weights().map_or(0, <[E]>::len);
             if i == index {
                 return start..start + len;
             }
             start += len;
         }
         start..start
+    }
+
+    /// Applies `f` to every weight buffer (e.g. to corrupt or re-enforce
+    /// faults), passing the layer index.
+    pub fn for_each_weight_buffer<F: FnMut(usize, &mut Vec<E>)>(&mut self, mut f: F) {
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            if let Some(w) = layer.weights_mut() {
+                f(i, w);
+            }
+        }
+    }
+
+    /// The `(min, max)` value of each parametric layer's weights, keyed by
+    /// layer index — the instrumentation the range-based anomaly detector
+    /// derives once the policy is trained. Raw-word weights report their
+    /// dequantized values.
+    pub fn weight_ranges(&self) -> Vec<(usize, f32, f32)> {
+        self.layers
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| {
+                l.weights().map(|w| {
+                    // Degenerate zero-width layers report an empty (0, 0)
+                    // range instead of panicking.
+                    let (mut lo, mut hi) = match w.split_first() {
+                        Some((&first, _)) => (first, first),
+                        None => (E::default(), E::default()),
+                    };
+                    for &v in w.iter().skip(1) {
+                        // `f32::min`/`f32::max` fold semantics, as in the
+                        // pooling kernel: an incomparable extremum (f32 NaN)
+                        // is replaced by any comparable value rather than
+                        // poisoning the range; for totally ordered raw words
+                        // this reduces to plain comparisons.
+                        let replace_incomparable =
+                            |e: E| e.partial_cmp(&v).is_none() && v.partial_cmp(&v).is_some();
+                        if v < lo || replace_incomparable(lo) {
+                            lo = v;
+                        }
+                        if v > hi || replace_incomparable(hi) {
+                            hi = v;
+                        }
+                    }
+                    (i, lo.value_to_f32(&self.meta), hi.value_to_f32(&self.meta))
+                })
+            })
+            .collect()
+    }
+
+    /// Runs a forward pass with no hooks.
+    pub fn forward(&self, input: &TensorBase<E>) -> TensorBase<E>
+    where
+        NoHooks: HooksFor<E>,
+    {
+        self.forward_with(input, &mut NoHooks)
+    }
+
+    /// Runs a forward pass, invoking `hooks` on the input buffer and on every
+    /// layer's activation buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input cannot feed this network (a raw-word input in a
+    /// different format).
+    pub fn forward_with<H: HooksFor<E> + ?Sized>(
+        &self,
+        input: &TensorBase<E>,
+        hooks: &mut H,
+    ) -> TensorBase<E> {
+        E::check_input(input.meta(), &self.meta);
+        let ctx = E::kernel_ctx(&self.meta);
+        let mut shape = input.shape().to_vec();
+        let mut next_shape = Vec::with_capacity(4);
+        let mut current = input.data().to_vec();
+        hooks.input(&mut current);
+        for (i, layer) in self.layers.iter().enumerate() {
+            layer.output_shape(&shape, &mut next_shape);
+            if layer.is_in_place() {
+                if matches!(layer, LayerBase::Relu) {
+                    LayerBase::relu_in_place(&mut current);
+                }
+            } else {
+                let mut out = vec![E::default(); next_shape.iter().product()];
+                layer.forward_naive(&current, &shape, &mut out, ctx);
+                current = out;
+            }
+            std::mem::swap(&mut shape, &mut next_shape);
+            E::quantize_activations(&mut current, &self.meta);
+            hooks.activation(i, layer.kind(), &mut current);
+        }
+        let meta = E::tensor_meta(&self.meta);
+        let data = current.into_iter().map(|v| v.sanitize(&meta)).collect();
+        TensorBase::from_parts(shape, data, meta)
+    }
+
+    /// Runs a batched forward pass: all `inputs` advance through the network
+    /// one layer sweep at a time, with activations staged in `scratch`'s
+    /// preallocated slabs. Returns one output tensor per input, in order.
+    ///
+    /// Batched and per-sample passes are bit-identical: row `b` of the result
+    /// equals `self.forward(&inputs[b])` exactly (see the equivalence test
+    /// suites), even though the batched path runs the blocked GEMM kernels.
+    pub fn forward_batch(
+        &self,
+        inputs: &[TensorBase<E>],
+        scratch: &mut Scratch<E>,
+    ) -> Vec<TensorBase<E>>
+    where
+        NoHooks: HooksFor<E>,
+    {
+        self.forward_batch_with(inputs, scratch, &mut NoHooks)
+    }
+
+    /// Like [`NetworkBase::forward_batch`], with hooks: each batch row is
+    /// reported through the hook's batch methods in per-row program order, so
+    /// single-sample hooks and [`RangeRecorder`] work unchanged and
+    /// [`PerRowHooks`] reproduces per-sample fault injection bit-exactly.
+    pub fn forward_batch_with<H: HooksFor<E> + ?Sized>(
+        &self,
+        inputs: &[TensorBase<E>],
+        scratch: &mut Scratch<E>,
+        hooks: &mut H,
+    ) -> Vec<TensorBase<E>> {
+        if inputs.is_empty() {
+            return Vec::new();
+        }
+        self.forward_batch_into(inputs, scratch, hooks);
+        let meta = E::tensor_meta(&self.meta);
+        (0..scratch.rows())
+            .map(|b| {
+                let data = scratch.row(b).iter().map(|v| v.sanitize(&meta)).collect();
+                TensorBase::from_parts(scratch.row_shape().to_vec(), data, meta)
+            })
+            .collect()
+    }
+
+    /// The zero-allocation core of the batched engine: runs the pass and
+    /// leaves the outputs in `scratch`, readable via [`Scratch::row`] until
+    /// the next pass. Steady-state calls perform no heap allocation at all
+    /// ([`Scratch::grow_events`] stays flat once the slabs are warm).
+    ///
+    /// Convolution and linear sweeps run the cache-blocked im2row GEMM path;
+    /// [`NetworkBase::forward_batch_naive_into`] drives the same engine with
+    /// the naive per-row kernels and is bit-identical (the GEMM accumulates
+    /// every output in the naive kernels' reduction order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty, the inputs do not share one shape, or an
+    /// input cannot feed this network.
+    pub fn forward_batch_into<H: HooksFor<E> + ?Sized>(
+        &self,
+        inputs: &[TensorBase<E>],
+        scratch: &mut Scratch<E>,
+        hooks: &mut H,
+    ) {
+        self.run_batch(inputs, scratch, hooks, KernelPath::Blocked);
+    }
+
+    /// [`NetworkBase::forward_batch_into`] on the naive per-row reference
+    /// kernels instead of the blocked GEMM — the baseline the equivalence
+    /// proptests and the `gemm_forward` bench compare against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty, the inputs do not share one shape, or an
+    /// input cannot feed this network.
+    pub fn forward_batch_naive_into<H: HooksFor<E> + ?Sized>(
+        &self,
+        inputs: &[TensorBase<E>],
+        scratch: &mut Scratch<E>,
+        hooks: &mut H,
+    ) {
+        self.run_batch(inputs, scratch, hooks, KernelPath::Naive);
+    }
+
+    fn run_batch<H: HooksFor<E> + ?Sized>(
+        &self,
+        inputs: &[TensorBase<E>],
+        scratch: &mut Scratch<E>,
+        hooks: &mut H,
+        path: KernelPath,
+    ) {
+        assert!(!inputs.is_empty(), "forward_batch needs at least one input");
+        let input_shape = inputs[0].shape();
+        for input in inputs {
+            assert_eq!(input.shape(), input_shape, "all batch inputs must share one shape");
+            E::check_input(input.meta(), &self.meta);
+        }
+        let meta = self.meta;
+        crate::engine::forward_batch_engine(
+            &self.layers,
+            E::kernel_ctx(&meta),
+            input_shape,
+            inputs.iter().map(TensorBase::data),
+            scratch,
+            path,
+            |event, row| match event {
+                SweepEvent::Input { row: b } => hooks.batch_input(b, row),
+                SweepEvent::Activation { row: b, layer, kind } => {
+                    E::quantize_activations(row, &meta);
+                    hooks.batch_activation(b, layer, kind, row);
+                }
+            },
+        );
+    }
+
+    /// Runs a single-sample forward pass through `scratch` without allocating
+    /// the output tensor: the returned slice borrows the scratch's front slab
+    /// and stays valid until the next pass. This is the hot path for episode
+    /// loops (evaluation, ε-greedy action selection) that only need an
+    /// `argmax` over the Q-values.
+    pub fn forward_scratch<'s, H: HooksFor<E> + ?Sized>(
+        &self,
+        input: &TensorBase<E>,
+        scratch: &'s mut Scratch<E>,
+        hooks: &mut H,
+    ) -> &'s [E] {
+        self.forward_batch_into(std::slice::from_ref(input), scratch, hooks);
+        scratch.row(0)
+    }
+}
+
+impl Network {
+    /// Builds a network from a stack of layers.
+    pub fn new(layers: Vec<Layer>) -> Network {
+        NetworkBase::from_parts(layers, None)
+    }
+
+    /// Quantizes every activation buffer to `format` after each layer,
+    /// emulating a fixed-point accelerator datapath.
+    pub fn with_activation_format(mut self, format: QFormat) -> Network {
+        self.meta = Some(format);
+        self
+    }
+
+    /// The activation quantization format, if any.
+    pub fn activation_format(&self) -> Option<QFormat> {
+        self.meta
     }
 
     /// Copies all weights into one concatenated buffer (layer order).
@@ -296,7 +606,7 @@ impl Network {
     ///
     /// # Panics
     ///
-    /// Panics if `flat.len()` differs from [`Network::weight_count`].
+    /// Panics if `flat.len()` differs from [`NetworkBase::weight_count`].
     pub fn set_flat_weights(&mut self, flat: &[f32]) {
         assert_eq!(flat.len(), self.weight_count(), "flat weight buffer length mismatch");
         let mut start = 0;
@@ -305,16 +615,6 @@ impl Network {
                 let len = w.len();
                 w.copy_from_slice(&flat[start..start + len]);
                 start += len;
-            }
-        }
-    }
-
-    /// Applies `f` to every weight buffer (e.g. to corrupt or re-enforce
-    /// faults), passing the layer index.
-    pub fn for_each_weight_buffer<F: FnMut(usize, &mut Vec<f32>)>(&mut self, mut f: F) {
-        for (i, layer) in self.layers.iter_mut().enumerate() {
-            if let Some(w) = layer.weights_mut() {
-                f(i, w);
             }
         }
     }
@@ -348,45 +648,6 @@ impl Network {
     /// every forward pass in integer arithmetic end to end.
     pub fn to_quantized(&self, format: QFormat) -> crate::QNetwork {
         crate::QNetwork::quantize(self, format)
-    }
-
-    /// The `(min, max)` of each parametric layer's weights, keyed by layer
-    /// index — the instrumentation the range-based anomaly detector derives
-    /// once the policy is trained.
-    pub fn weight_ranges(&self) -> Vec<(usize, f32, f32)> {
-        self.layers
-            .iter()
-            .enumerate()
-            .filter_map(|(i, l)| {
-                l.weights().map(|w| {
-                    let lo = w.iter().copied().fold(f32::INFINITY, f32::min);
-                    let hi = w.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-                    (i, lo, hi)
-                })
-            })
-            .collect()
-    }
-
-    /// Runs a forward pass with no hooks.
-    pub fn forward(&self, input: &Tensor) -> Tensor {
-        self.forward_with(input, &mut NoHooks)
-    }
-
-    /// Runs a forward pass, invoking `hooks` on the input buffer and on every
-    /// layer's activation buffer.
-    pub fn forward_with<H: ForwardHooks + ?Sized>(&self, input: &Tensor, hooks: &mut H) -> Tensor {
-        let mut current = input.clone();
-        hooks.on_input(current.data_mut());
-        for (i, layer) in self.layers.iter().enumerate() {
-            current = layer.forward(&current);
-            if let Some(format) = self.activation_format {
-                for v in current.data_mut().iter_mut() {
-                    *v = navft_qformat::QValue::quantize(*v, format).to_f32();
-                }
-            }
-            hooks.on_activation(i, layer.kind(), current.data_mut());
-        }
-        current
     }
 
     /// Runs a forward pass recording every intermediate activation (used by
@@ -427,91 +688,6 @@ impl Network {
                 }
             }
         }
-    }
-
-    /// Runs a batched forward pass: all `inputs` advance through the network
-    /// one layer sweep at a time, with activations staged in `scratch`'s
-    /// preallocated slabs. Returns one output tensor per input, in order.
-    ///
-    /// Batched and per-sample passes are bit-identical: row `b` of the result
-    /// equals `self.forward(&inputs[b])` exactly (see the equivalence test
-    /// suite).
-    pub fn forward_batch(&self, inputs: &[Tensor], scratch: &mut Scratch) -> Vec<Tensor> {
-        self.forward_batch_with(inputs, scratch, &mut NoHooks)
-    }
-
-    /// Like [`Network::forward_batch`], with hooks: each batch row is
-    /// reported through [`ForwardHooks::on_batch_input`] /
-    /// [`ForwardHooks::on_batch_activation`] in per-row program order, so
-    /// single-sample hooks and [`RangeRecorder`] work unchanged and
-    /// [`PerRowHooks`] reproduces per-sample fault injection bit-exactly.
-    pub fn forward_batch_with<H: ForwardHooks + ?Sized>(
-        &self,
-        inputs: &[Tensor],
-        scratch: &mut Scratch,
-        hooks: &mut H,
-    ) -> Vec<Tensor> {
-        if inputs.is_empty() {
-            return Vec::new();
-        }
-        self.forward_batch_into(inputs, scratch, hooks);
-        (0..scratch.rows())
-            .map(|b| Tensor::from_vec(scratch.row_shape(), scratch.row(b).to_vec()))
-            .collect()
-    }
-
-    /// The zero-allocation core of the batched engine: runs the pass and
-    /// leaves the outputs in `scratch`, readable via [`Scratch::row`] until
-    /// the next pass. Steady-state calls perform no heap allocation at all
-    /// ([`Scratch::grow_events`] stays flat once the slabs are warm).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `inputs` is empty or the inputs do not share one shape.
-    pub fn forward_batch_into<H: ForwardHooks + ?Sized>(
-        &self,
-        inputs: &[Tensor],
-        scratch: &mut Scratch,
-        hooks: &mut H,
-    ) {
-        assert!(!inputs.is_empty(), "forward_batch needs at least one input");
-        let input_shape = inputs[0].shape();
-        for input in inputs {
-            assert_eq!(input.shape(), input_shape, "all batch inputs must share one shape");
-        }
-        let format = self.activation_format;
-        crate::engine::forward_batch_engine(
-            self.layers.iter(),
-            input_shape,
-            inputs.iter().map(Tensor::data),
-            scratch,
-            |event, row| match event {
-                SweepEvent::Input { row: b } => hooks.on_batch_input(b, row),
-                SweepEvent::Activation { row: b, layer, kind } => {
-                    if let Some(format) = format {
-                        for v in row.iter_mut() {
-                            *v = navft_qformat::QValue::quantize(*v, format).to_f32();
-                        }
-                    }
-                    hooks.on_batch_activation(b, layer, kind, row);
-                }
-            },
-        );
-    }
-
-    /// Runs a single-sample forward pass through `scratch` without allocating
-    /// the output tensor: the returned slice borrows the scratch's front slab
-    /// and stays valid until the next pass. This is the hot path for episode
-    /// loops (evaluation, ε-greedy action selection) that only need an
-    /// `argmax` over the Q-values.
-    pub fn forward_scratch<'s, H: ForwardHooks + ?Sized>(
-        &self,
-        input: &Tensor,
-        scratch: &'s mut Scratch,
-        hooks: &mut H,
-    ) -> &'s [f32] {
-        self.forward_batch_into(std::slice::from_ref(input), scratch, hooks);
-        scratch.row(0)
     }
 
     /// Back-propagates `output_grad` through the trailing run of
@@ -811,6 +987,20 @@ mod tests {
             net.forward_batch_into(&inputs, &mut scratch, &mut NoHooks);
         }
         assert_eq!(scratch.grow_events(), warm, "warm passes must not allocate");
+    }
+
+    #[test]
+    fn naive_path_is_bit_identical_to_the_blocked_path() {
+        let mut rng = SmallRng::seed_from_u64(20);
+        let net = crate::mlp(&[9, 17, 5, 3], &mut rng);
+        let inputs: Vec<Tensor> = (0..7).map(|_| Tensor::uniform(&[9], 1.0, &mut rng)).collect();
+        let mut blocked = Scratch::new();
+        net.forward_batch_into(&inputs, &mut blocked, &mut NoHooks);
+        let mut naive = Scratch::new();
+        net.forward_batch_naive_into(&inputs, &mut naive, &mut NoHooks);
+        for b in 0..inputs.len() {
+            assert_eq!(blocked.row(b), naive.row(b), "row {b} diverged");
+        }
     }
 
     #[test]

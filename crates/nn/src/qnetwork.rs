@@ -1,23 +1,25 @@
-//! The native fixed-point backend: quantized layers, kernels and networks
-//! that execute entirely on raw Q-format words.
+//! The native fixed-point backend: the raw-word instantiation of the
+//! generic network stack, plus quantization in and out of it.
 //!
 //! The `f32` backend *simulates* a fixed-point datapath by requantizing
 //! activations after every layer; this module *is* the fixed-point datapath.
-//! [`QNetwork::quantize`] compiles a trained [`Network`] into per-layer raw
-//! two's-complement words, and the quantized kernels run convolution and
-//! fully-connected sweeps with a widened integer accumulator followed by one
-//! saturating, round-to-nearest requantize per output element — exactly the
-//! arithmetic of an integer MAC array. The live buffers a fault campaign
-//! corrupts (weights, inputs, activations) therefore exist as Q-format words
-//! at inference time, and corrupting them is a single integer operation.
+//! [`QNetwork`] is [`NetworkBase`]`<i32>` — the same generic layers, engine
+//! and blocked GEMM as the float backend, with the [`Element`] impl for
+//! `i32` supplying the arithmetic: a widened `i64` accumulator and one
+//! saturating, round-to-nearest requantize per output element — exactly an
+//! integer MAC array. The live buffers a fault campaign corrupts (weights,
+//! inputs, activations) therefore exist as Q-format words at inference time,
+//! and corrupting them is a single integer operation.
+//!
+//! [`Element`]: crate::Element
 
 use std::fmt;
 
 use navft_qformat::{bitstats::BitStats, QFormat, QValue};
 
-use crate::engine::SweepEvent;
-use crate::layer::{window_output_size, Conv2d, Linear, MaxPool2d};
-use crate::{Layer, LayerKind, Network, QTensor, Scratch, Tensor};
+use crate::layer::{Conv2dBase, LayerBase, LinearBase};
+use crate::network::NetworkBase;
+use crate::{Conv2d, Layer, LayerKind, Linear, Network, QTensor, Scratch};
 
 /// Activation storage for the native fixed-point backend: a [`Scratch`] over
 /// raw Q-format words.
@@ -66,27 +68,40 @@ pub trait QForwardHooks {
 /// pass.
 impl QForwardHooks for crate::NoHooks {}
 
-/// A 2-D convolution over raw Q-format words (valid padding).
+/// Routes raw-word hooks into the generic forward paths (the `i32` side of
+/// the [`crate::HooksFor`] bridge).
+impl<H: QForwardHooks + ?Sized> crate::HooksFor<i32> for H {
+    fn input(&mut self, words: &mut [i32]) {
+        self.on_input(words);
+    }
+
+    fn activation(&mut self, layer_index: usize, kind: LayerKind, words: &mut [i32]) {
+        self.on_activation(layer_index, kind, words);
+    }
+
+    fn batch_input(&mut self, batch_row: usize, words: &mut [i32]) {
+        self.on_batch_input(batch_row, words);
+    }
+
+    fn batch_activation(
+        &mut self,
+        batch_row: usize,
+        layer_index: usize,
+        kind: LayerKind,
+        words: &mut [i32],
+    ) {
+        self.on_batch_activation(batch_row, layer_index, kind, words);
+    }
+}
+
+/// A 2-D convolution over raw Q-format words (valid padding) — the `i32`
+/// instantiation of the generic [`Conv2dBase`].
 ///
 /// Weights and biases are stored as raw two's-complement words in the
-/// network's format; the kernel accumulates word products in a widened `i64`
-/// accumulator (products carry `2 × frac_bits` fractional bits) and performs
-/// one saturating requantize per output element.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct QConv2d {
-    /// Number of input channels.
-    pub in_channels: usize,
-    /// Number of output channels (filters).
-    pub out_channels: usize,
-    /// Square kernel size.
-    pub kernel: usize,
-    /// Stride in both dimensions.
-    pub stride: usize,
-    /// Filter weights as raw words, laid out `[out, in, k, k]` row-major.
-    pub weights: Vec<i32>,
-    /// Per-output-channel biases as raw words.
-    pub bias: Vec<i32>,
-}
+/// network's format; the shared kernel accumulates word products in a
+/// widened `i64` accumulator (products carry `2 × frac_bits` fractional
+/// bits) and performs one saturating requantize per output element.
+pub type QConv2d = Conv2dBase<i32>;
 
 impl QConv2d {
     /// Quantizes an `f32` convolution's parameters into `format`.
@@ -100,79 +115,11 @@ impl QConv2d {
             bias: quantize_raw(&conv.bias, format),
         }
     }
-
-    /// Output spatial size for an input of extent `input`.
-    pub fn output_size(&self, input: usize) -> usize {
-        window_output_size(input, self.kernel, self.stride)
-    }
-
-    /// The `[C, H, W]` output shape for a `[C, H, W]` input shape.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the input shape is not 3-dimensional with `in_channels`
-    /// channels or is smaller than the kernel.
-    pub fn output_shape(&self, in_shape: &[usize]) -> [usize; 3] {
-        assert_eq!(in_shape.len(), 3, "conv2d expects a [C, H, W] input");
-        assert_eq!(in_shape[0], self.in_channels, "conv2d input channel mismatch");
-        let (h, w) = (in_shape[1], in_shape[2]);
-        assert!(h >= self.kernel && w >= self.kernel, "conv2d input smaller than kernel");
-        [self.out_channels, self.output_size(h), self.output_size(w)]
-    }
-
-    /// Runs the convolution on a flat `[C, H, W]` raw-word buffer, writing
-    /// every output word into the caller-provided `out` buffer.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the shapes are invalid or `out` has the wrong length.
-    pub fn forward_into(&self, data: &[i32], in_shape: &[usize], out: &mut [i32], format: QFormat) {
-        let [_, oh, ow] = self.output_shape(in_shape);
-        let (h, w) = (in_shape[1], in_shape[2]);
-        assert_eq!(data.len(), self.in_channels * h * w, "conv2d input buffer length mismatch");
-        assert_eq!(out.len(), self.out_channels * oh * ow, "conv2d output buffer length mismatch");
-        let k = self.kernel;
-        let frac = u32::from(format.frac_bits());
-        for oc in 0..self.out_channels {
-            let w_base = oc * self.in_channels * k * k;
-            let out_base = oc * oh * ow;
-            let bias = i64::from(self.bias[oc]) << frac;
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let mut acc = bias;
-                    let iy0 = oy * self.stride;
-                    let ix0 = ox * self.stride;
-                    for ic in 0..self.in_channels {
-                        let in_base = ic * h * w;
-                        let wk_base = w_base + ic * k * k;
-                        for ky in 0..k {
-                            let row = in_base + (iy0 + ky) * w + ix0;
-                            let wrow = wk_base + ky * k;
-                            for kx in 0..k {
-                                acc +=
-                                    i64::from(data[row + kx]) * i64::from(self.weights[wrow + kx]);
-                            }
-                        }
-                    }
-                    out[out_base + oy * ow + ox] = format.requantize_product_sum(acc);
-                }
-            }
-        }
-    }
 }
 
-/// A fully-connected layer `y = W x + b` over raw Q-format words.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct QLinear {
-    /// Input feature count.
-    pub in_features: usize,
-    /// Output feature count.
-    pub out_features: usize,
-    /// Weights as raw words, laid out `[out, in]` row-major.
-    pub weights: Vec<i32>,
-    /// Per-output biases as raw words.
-    pub bias: Vec<i32>,
-}
+/// A fully-connected layer `y = W x + b` over raw Q-format words — the
+/// `i32` instantiation of the generic [`LinearBase`].
+pub type QLinear = LinearBase<i32>;
 
 impl QLinear {
     /// Quantizes an `f32` linear layer's parameters into `format`.
@@ -184,158 +131,46 @@ impl QLinear {
             bias: quantize_raw(&linear.bias, format),
         }
     }
-
-    /// Runs the layer on a flat raw-word buffer, writing every output word
-    /// into the caller-provided `out` buffer.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the input length differs from `in_features` or `out` from
-    /// `out_features`.
-    pub fn forward_into(&self, x: &[i32], _in_shape: &[usize], out: &mut [i32], format: QFormat) {
-        assert_eq!(x.len(), self.in_features, "linear input length mismatch");
-        assert_eq!(out.len(), self.out_features, "linear output buffer length mismatch");
-        let frac = u32::from(format.frac_bits());
-        for (o, out_v) in out.iter_mut().enumerate() {
-            let row = &self.weights[o * self.in_features..(o + 1) * self.in_features];
-            let mut acc = i64::from(self.bias[o]) << frac;
-            for (w, xi) in row.iter().zip(x.iter()) {
-                acc += i64::from(*w) * i64::from(*xi);
-            }
-            *out_v = format.requantize_product_sum(acc);
-        }
-    }
 }
 
-/// A layer of the native fixed-point backend.
+/// A layer of the native fixed-point backend — the `i32` instantiation of
+/// the generic [`LayerBase`].
 ///
-/// Mirrors [`Layer`] shape-for-shape: parametric layers carry raw-word
-/// parameters, pooling reuses the order-only [`MaxPool2d`], and ReLU/flatten
-/// are in-place integer transforms.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum QLayer {
-    /// 2-D convolution over raw words.
-    Conv2d(QConv2d),
-    /// 2-D max pooling (raw-word comparison equals value comparison).
-    MaxPool2d(MaxPool2d),
-    /// Rectified linear unit: `max(raw, 0)`.
-    Relu,
-    /// Flatten to a vector.
-    Flatten,
-    /// Fully-connected layer over raw words.
-    Linear(QLinear),
-}
+/// Mirrors [`Layer`] shape-for-shape because it *is* the same enum:
+/// parametric layers carry raw-word parameters, pooling reuses the
+/// order-only [`MaxPool2d`](crate::layer::MaxPool2d), and ReLU/flatten are
+/// in-place integer transforms.
+pub type QLayer = LayerBase<i32>;
 
 impl QLayer {
-    /// The layer kind.
-    pub fn kind(&self) -> LayerKind {
-        match self {
-            QLayer::Conv2d(_) => LayerKind::Conv2d,
-            QLayer::MaxPool2d(_) => LayerKind::MaxPool2d,
-            QLayer::Relu => LayerKind::Relu,
-            QLayer::Flatten => LayerKind::Flatten,
-            QLayer::Linear(_) => LayerKind::Linear,
-        }
-    }
-
-    /// Writes the layer's output shape for `in_shape` into `out` (cleared
-    /// first, so a reused `Vec` never allocates once warm).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `in_shape` is not a valid input shape for this layer.
-    pub fn output_shape(&self, in_shape: &[usize], out: &mut Vec<usize>) {
-        out.clear();
-        match self {
-            QLayer::Conv2d(conv) => out.extend_from_slice(&conv.output_shape(in_shape)),
-            QLayer::MaxPool2d(pool) => out.extend_from_slice(&pool.output_shape(in_shape)),
-            QLayer::Relu => out.extend_from_slice(in_shape),
-            QLayer::Flatten => out.push(in_shape.iter().product()),
-            QLayer::Linear(linear) => {
-                let len: usize = in_shape.iter().product();
-                assert_eq!(len, linear.in_features, "linear input length mismatch");
-                out.push(linear.out_features);
-            }
-        }
-    }
-
-    /// Runs the layer on a flat raw-word buffer, writing the output into the
-    /// caller-provided `out` buffer. `Relu` and `Flatten` degrade to a copy
-    /// here; the batched engine applies them in place instead.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the shapes are invalid or `out` has the wrong length.
-    pub fn forward_into(&self, data: &[i32], in_shape: &[usize], out: &mut [i32], format: QFormat) {
-        match self {
-            QLayer::Conv2d(conv) => conv.forward_into(data, in_shape, out, format),
-            QLayer::MaxPool2d(pool) => pool.forward_into(data, in_shape, out),
-            QLayer::Relu | QLayer::Flatten => {
-                out.copy_from_slice(data);
-                if matches!(self, QLayer::Relu) {
-                    QLayer::relu_in_place(out);
-                }
-            }
-            QLayer::Linear(linear) => linear.forward_into(data, in_shape, out, format),
-        }
-    }
-
-    /// Applies the ReLU non-linearity in place on raw words: negative raw
-    /// values (negative dequantized values) become the zero word.
-    pub fn relu_in_place(words: &mut [i32]) {
-        for w in words.iter_mut() {
-            *w = (*w).max(0);
-        }
-    }
-
-    /// Whether the layer transforms words without moving them between
-    /// buffers (see [`Layer::is_in_place`]).
-    pub fn is_in_place(&self) -> bool {
-        matches!(self, QLayer::Relu | QLayer::Flatten)
-    }
-
-    /// The layer's raw weight buffer, if it has parameters.
+    /// The layer's raw weight buffer, if it has parameters (the raw-word
+    /// spelling of the generic [`LayerBase::weights`]).
     pub fn weights_raw(&self) -> Option<&[i32]> {
-        match self {
-            QLayer::Conv2d(conv) => Some(&conv.weights),
-            QLayer::Linear(linear) => Some(&linear.weights),
-            _ => None,
-        }
+        self.weights()
     }
 
     /// The layer's raw weight buffer, mutably — the live words weight-fault
     /// injection flips in place.
     pub fn weights_raw_mut(&mut self) -> Option<&mut Vec<i32>> {
-        match self {
-            QLayer::Conv2d(conv) => Some(&mut conv.weights),
-            QLayer::Linear(linear) => Some(&mut linear.weights),
-            _ => None,
-        }
+        self.weights_mut()
     }
 
     /// The layer's raw bias buffer, if it has parameters.
     pub fn biases_raw(&self) -> Option<&[i32]> {
-        match self {
-            QLayer::Conv2d(conv) => Some(&conv.bias),
-            QLayer::Linear(linear) => Some(&linear.bias),
-            _ => None,
-        }
-    }
-
-    /// Whether the layer holds parameters.
-    pub fn is_parametric(&self) -> bool {
-        self.weights_raw().is_some()
+        self.biases()
     }
 }
 
-/// A feed-forward network executing natively in one [`QFormat`].
+/// A feed-forward network executing natively in one [`QFormat`] — the
+/// raw-word instantiation of the generic [`NetworkBase`].
 ///
 /// A `QNetwork` is the fixed-point compilation of a [`Network`]: same
 /// topology, parameters snapped to the format and stored as raw
 /// two's-complement words, and every forward pass — single-sample, scratch
-/// and batched — runs in integer arithmetic end to end. Activations are raw
-/// words too, so the paper's fault model corrupts the buffers that actually
-/// exist at inference time.
+/// and batched — runs in integer arithmetic end to end through the same
+/// generic engine as the float backend. Activations are raw words too, so
+/// the paper's fault model corrupts the buffers that actually exist at
+/// inference time.
 ///
 /// # Examples
 ///
@@ -351,11 +186,7 @@ impl QLayer {
 /// let out = qnet.forward(&input);
 /// assert_eq!(out.len(), 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct QNetwork {
-    layers: Vec<QLayer>,
-    format: QFormat,
-}
+pub type QNetwork = NetworkBase<i32>;
 
 impl QNetwork {
     /// Compiles `network` into a native fixed-point network in `format`
@@ -372,17 +203,18 @@ impl QNetwork {
                 Layer::Linear(linear) => QLayer::Linear(QLinear::quantize(linear, format)),
             })
             .collect();
-        QNetwork { layers, format }
+        NetworkBase::from_parts(layers, format)
     }
 
     /// Decompiles back into an `f32` [`Network`] whose parameters sit exactly
     /// on this format's grid and whose activation format is set — the float
     /// *simulation* of this network, used by the equivalence suite.
     pub fn dequantize(&self) -> Network {
-        let resolution = self.format.resolution();
+        let format = self.format();
+        let resolution = format.resolution();
         let deq = |words: &[i32]| words.iter().map(|&w| w as f32 * resolution).collect();
         let layers = self
-            .layers
+            .layers()
             .iter()
             .map(|layer| match layer {
                 QLayer::Conv2d(conv) => Layer::Conv2d(Conv2d {
@@ -404,86 +236,24 @@ impl QNetwork {
                 }),
             })
             .collect();
-        Network::new(layers).with_activation_format(self.format)
+        Network::new(layers).with_activation_format(format)
     }
 
     /// The format every buffer of this network is stored in.
     pub fn format(&self) -> QFormat {
-        self.format
+        *self.net_meta()
     }
 
-    /// The layers of the network.
-    pub fn layers(&self) -> &[QLayer] {
-        &self.layers
-    }
-
-    /// Number of layers.
-    pub fn num_layers(&self) -> usize {
-        self.layers.len()
-    }
-
-    /// Indices of the layers that hold weights, in network order (matches
-    /// [`Network::parametric_layers`] of the source network).
-    pub fn parametric_layers(&self) -> Vec<usize> {
-        self.layers.iter().enumerate().filter(|(_, l)| l.is_parametric()).map(|(i, _)| i).collect()
-    }
-
-    /// The raw weight buffer of layer `index`, if that layer has one.
+    /// The raw weight buffer of layer `index`, if that layer has one (the
+    /// raw-word spelling of the generic [`NetworkBase::layer_weights`]).
     pub fn layer_weights_raw(&self, index: usize) -> Option<&[i32]> {
-        self.layers.get(index).and_then(|l| l.weights_raw())
+        self.layer_weights(index)
     }
 
     /// The raw weight buffer of layer `index`, mutably — the live words the
     /// fault layer corrupts in place.
     pub fn layer_weights_raw_mut(&mut self, index: usize) -> Option<&mut Vec<i32>> {
-        self.layers.get_mut(index).and_then(|l| l.weights_raw_mut())
-    }
-
-    /// Total number of weight words across all layers.
-    pub fn weight_count(&self) -> usize {
-        self.layers.iter().filter_map(|l| l.weights_raw().map(<[i32]>::len)).sum()
-    }
-
-    /// The range of flat weight indices occupied by layer `index` when all
-    /// weight buffers are viewed as one concatenated buffer (same spans as
-    /// [`Network::weight_span`] of the source network).
-    pub fn weight_span(&self, index: usize) -> std::ops::Range<usize> {
-        let mut start = 0;
-        for (i, layer) in self.layers.iter().enumerate() {
-            let len = layer.weights_raw().map_or(0, <[i32]>::len);
-            if i == index {
-                return start..start + len;
-            }
-            start += len;
-        }
-        start..start
-    }
-
-    /// Applies `f` to every raw weight buffer, passing the layer index.
-    pub fn for_each_weight_buffer<F: FnMut(usize, &mut Vec<i32>)>(&mut self, mut f: F) {
-        for (i, layer) in self.layers.iter_mut().enumerate() {
-            if let Some(w) = layer.weights_raw_mut() {
-                f(i, w);
-            }
-        }
-    }
-
-    /// The `(min, max)` dequantized value of each parametric layer's weights,
-    /// keyed by layer index — the instrumentation the range-based anomaly
-    /// detector derives for its quantized-domain scrub.
-    pub fn weight_ranges(&self) -> Vec<(usize, f32, f32)> {
-        let resolution = self.format.resolution();
-        self.layers
-            .iter()
-            .enumerate()
-            .filter_map(|(i, l)| {
-                l.weights_raw().map(|w| {
-                    let lo = w.iter().copied().min().unwrap_or(0);
-                    let hi = w.iter().copied().max().unwrap_or(0);
-                    (i, lo as f32 * resolution, hi as f32 * resolution)
-                })
-            })
-            .collect()
+        self.layer_weights_mut(index)
     }
 
     /// Bit-population statistics over the network's parameter words and —
@@ -508,13 +278,13 @@ impl QNetwork {
                 self.stats.extend_raw(words.iter().copied(), self.format);
             }
         }
-        let mut hook = StatsHook { stats: BitStats::new(), format: self.format };
-        for layer in &self.layers {
+        let mut hook = StatsHook { stats: BitStats::new(), format: self.format() };
+        for layer in self.layers() {
             if let Some(w) = layer.weights_raw() {
-                hook.stats.extend_raw(w.iter().copied(), self.format);
+                hook.stats.extend_raw(w.iter().copied(), self.format());
             }
             if let Some(b) = layer.biases_raw() {
-                hook.stats.extend_raw(b.iter().copied(), self.format);
+                hook.stats.extend_raw(b.iter().copied(), self.format());
             }
         }
         for input in calibration {
@@ -522,157 +292,18 @@ impl QNetwork {
         }
         hook.stats
     }
-
-    /// Runs a native forward pass with no hooks.
-    pub fn forward(&self, input: &QTensor) -> QTensor {
-        self.forward_with(input, &mut crate::NoHooks)
-    }
-
-    /// Runs a native forward pass, invoking `hooks` on the input word buffer
-    /// and on every layer's activation word buffer.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the input's format differs from the network's.
-    pub fn forward_with<H: QForwardHooks + ?Sized>(
-        &self,
-        input: &QTensor,
-        hooks: &mut H,
-    ) -> QTensor {
-        assert_eq!(input.format(), self.format, "input format does not match network format");
-        let mut shape = input.shape().to_vec();
-        let mut next_shape = Vec::with_capacity(4);
-        let mut current = input.words().to_vec();
-        hooks.on_input(&mut current);
-        for (i, layer) in self.layers.iter().enumerate() {
-            layer.output_shape(&shape, &mut next_shape);
-            if layer.is_in_place() {
-                if matches!(layer, QLayer::Relu) {
-                    QLayer::relu_in_place(&mut current);
-                }
-            } else {
-                let mut out = vec![0i32; next_shape.iter().product()];
-                layer.forward_into(&current, &shape, &mut out, self.format);
-                current = out;
-            }
-            std::mem::swap(&mut shape, &mut next_shape);
-            hooks.on_activation(i, layer.kind(), &mut current);
-        }
-        QTensor::from_raw_vec(&shape, current, self.format)
-    }
-
-    /// Runs a batched native forward pass: all `inputs` advance through the
-    /// network one layer sweep at a time, with raw-word activations staged in
-    /// `scratch`'s preallocated slabs. Returns one output tensor per input.
-    ///
-    /// Batched and per-sample native passes are bit-identical: row `b` of
-    /// the result equals `self.forward(&inputs[b])` exactly.
-    pub fn forward_batch(&self, inputs: &[QTensor], scratch: &mut QScratch) -> Vec<QTensor> {
-        if inputs.is_empty() {
-            return Vec::new();
-        }
-        self.forward_batch_into(inputs, scratch, &mut crate::NoHooks);
-        (0..scratch.rows())
-            .map(|b| {
-                QTensor::from_raw_vec(scratch.row_shape(), scratch.row(b).to_vec(), self.format)
-            })
-            .collect()
-    }
-
-    /// The zero-allocation core of the native batched engine: runs the pass
-    /// and leaves the output words in `scratch`, readable via
-    /// [`Scratch::row`] until the next pass. Steady-state calls perform no
-    /// heap allocation at all ([`Scratch::grow_events`] stays flat once the
-    /// slabs are warm).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `inputs` is empty, the inputs do not share one shape, or an
-    /// input's format differs from the network's.
-    pub fn forward_batch_into<H: QForwardHooks + ?Sized>(
-        &self,
-        inputs: &[QTensor],
-        scratch: &mut QScratch,
-        hooks: &mut H,
-    ) {
-        assert!(!inputs.is_empty(), "forward_batch needs at least one input");
-        let input_shape = inputs[0].shape();
-        for input in inputs {
-            assert_eq!(input.shape(), input_shape, "all batch inputs must share one shape");
-            assert_eq!(input.format(), self.format, "input format does not match network format");
-        }
-        let format = self.format;
-        crate::engine::forward_batch_engine(
-            self.layers.iter().map(|layer| QLayerSweep { layer, format }),
-            input_shape,
-            inputs.iter().map(QTensor::words),
-            scratch,
-            |event, row| match event {
-                SweepEvent::Input { row: b } => hooks.on_batch_input(b, row),
-                SweepEvent::Activation { row: b, layer, kind } => {
-                    hooks.on_batch_activation(b, layer, kind, row)
-                }
-            },
-        );
-    }
-
-    /// Runs a single-sample native pass through `scratch` without allocating
-    /// the output tensor: the returned word slice borrows the scratch's
-    /// front slab and stays valid until the next pass. This is the hot path
-    /// for episode loops that only need an [`argmax`](crate::argmax) over
-    /// the raw Q-values.
-    pub fn forward_scratch<'s, H: QForwardHooks + ?Sized>(
-        &self,
-        input: &QTensor,
-        scratch: &'s mut QScratch,
-        hooks: &mut H,
-    ) -> &'s [i32] {
-        self.forward_batch_into(std::slice::from_ref(input), scratch, hooks);
-        scratch.row(0)
-    }
 }
 
 impl fmt::Display for QNetwork {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "QNetwork[")?;
-        for (i, layer) in self.layers.iter().enumerate() {
+        for (i, layer) in self.layers().iter().enumerate() {
             if i > 0 {
                 write!(f, " -> ")?;
             }
             write!(f, "{}", layer.kind())?;
         }
-        write!(f, "] ({} weights in {})", self.weight_count(), self.format)
-    }
-}
-
-/// A [`QLayer`] paired with its network's format: the native backend's view
-/// of a layer for the shared batched engine.
-struct QLayerSweep<'a> {
-    layer: &'a QLayer,
-    format: QFormat,
-}
-
-impl crate::engine::SweepLayer<i32> for QLayerSweep<'_> {
-    fn kind(&self) -> LayerKind {
-        self.layer.kind()
-    }
-
-    fn output_shape(&self, in_shape: &[usize], out: &mut Vec<usize>) {
-        self.layer.output_shape(in_shape, out);
-    }
-
-    fn is_in_place(&self) -> bool {
-        self.layer.is_in_place()
-    }
-
-    fn apply_in_place(&self, values: &mut [i32]) {
-        if matches!(self.layer, QLayer::Relu) {
-            QLayer::relu_in_place(values);
-        }
-    }
-
-    fn sweep(&self, data: &[i32], in_shape: &[usize], out: &mut [i32]) {
-        self.layer.forward_into(data, in_shape, out, self.format);
+        write!(f, "] ({} weights in {})", self.weight_count(), self.format())
     }
 }
 
@@ -684,7 +315,11 @@ impl crate::engine::SweepLayer<i32> for QLayerSweep<'_> {
 /// This is the network-level [`BitStats`] sweep behind the zero/one
 /// bit-ratio analysis of the data-type experiment; the native equivalent for
 /// an already-quantized network is [`QNetwork::bit_stats`].
-pub fn network_bit_stats(network: &Network, format: QFormat, calibration: &[Tensor]) -> BitStats {
+pub fn network_bit_stats(
+    network: &Network,
+    format: QFormat,
+    calibration: &[crate::Tensor],
+) -> BitStats {
     let qnet = QNetwork::quantize(network, format);
     let inputs: Vec<QTensor> = calibration.iter().map(|t| QTensor::quantize(t, format)).collect();
     let mut scratch = QScratch::new();
@@ -698,7 +333,7 @@ fn quantize_raw(values: &[f32], format: QFormat) -> Vec<i32> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::NoHooks;
+    use crate::{NoHooks, Tensor};
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 
@@ -850,5 +485,22 @@ mod tests {
         let qnet = tiny_qnet(9, QFormat::Q3_4);
         let input = QTensor::quantize(&Tensor::zeros(&[3]), QFormat::Q4_11);
         let _ = qnet.forward(&input);
+    }
+
+    #[test]
+    fn naive_and_blocked_native_paths_are_bit_identical() {
+        let format = QFormat::Q4_11;
+        let qnet = tiny_qnet(10, format);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let inputs: Vec<QTensor> = (0..7)
+            .map(|_| QTensor::quantize(&Tensor::uniform(&[3], 1.0, &mut rng), format))
+            .collect();
+        let mut blocked = QScratch::new();
+        qnet.forward_batch_into(&inputs, &mut blocked, &mut NoHooks);
+        let mut naive = QScratch::new();
+        qnet.forward_batch_naive_into(&inputs, &mut naive, &mut NoHooks);
+        for b in 0..inputs.len() {
+            assert_eq!(blocked.row(b), naive.row(b), "row {b} diverged");
+        }
     }
 }

@@ -1,10 +1,11 @@
-//! Dense tensors of raw Q-format words — the storage type of the native
-//! fixed-point backend.
+//! The raw-word surface of [`TensorBase`]: quantization, dequantization and
+//! word-level access for the native fixed-point backend.
 
 use std::fmt;
 
 use navft_qformat::{QFormat, QValue};
 
+use crate::tensor::TensorBase;
 use crate::Tensor;
 
 /// A dense row-major tensor of quantized fixed-point words.
@@ -14,6 +15,11 @@ use crate::Tensor;
 /// paper's fault model actually corrupts: a bit flip or stuck-at fault on a
 /// `QTensor` is a single integer operation on the live word, with no
 /// quantize→corrupt→dequantize round trip.
+///
+/// `QTensor` is the `i32` instantiation of the generic [`TensorBase`], so
+/// the shared accessors ([`TensorBase::shape`], [`TensorBase::len`],
+/// [`TensorBase::argmax`], …) come from the same code as the `f32`
+/// [`Tensor`]'s.
 ///
 /// # Examples
 ///
@@ -26,12 +32,7 @@ use crate::Tensor;
 /// assert_eq!(q.words(), &[24, -32]);
 /// assert_eq!(q.dequantize().data(), &[1.5, -2.0]);
 /// ```
-#[derive(Clone, PartialEq)]
-pub struct QTensor {
-    shape: Vec<usize>,
-    words: Vec<i32>,
-    format: QFormat,
-}
+pub type QTensor = TensorBase<i32>;
 
 impl QTensor {
     /// A tensor of the given shape filled with zero words.
@@ -43,7 +44,7 @@ impl QTensor {
         assert!(!shape.is_empty(), "tensor shape must have at least one dimension");
         assert!(shape.iter().all(|&d| d > 0), "tensor dimensions must be non-zero");
         let len = shape.iter().product();
-        QTensor { shape: shape.to_vec(), words: vec![0; len], format }
+        TensorBase::from_parts(shape.to_vec(), vec![0; len], format)
     }
 
     /// Quantizes an `f32` tensor into `format`, rounding to nearest and
@@ -73,7 +74,7 @@ impl QTensor {
         );
         assert!(!shape.is_empty(), "tensor shape must have at least one dimension");
         let words = words.into_iter().map(|w| QValue::from_raw(w, format).raw()).collect();
-        QTensor { shape: shape.to_vec(), words, format }
+        TensorBase::from_parts(shape.to_vec(), words, format)
     }
 
     /// Requantizes an `f32` tensor into this tensor in place, reusing the
@@ -82,51 +83,38 @@ impl QTensor {
     ///
     /// The tensor takes `tensor`'s shape; its format is unchanged.
     pub fn quantize_from(&mut self, tensor: &Tensor) {
-        self.shape.clear();
-        self.shape.extend_from_slice(tensor.shape());
-        self.words.clear();
-        self.words.extend(tensor.data().iter().map(|&v| QValue::quantize(v, self.format).raw()));
+        let format = self.format();
+        let (shape, words) = self.parts_mut();
+        shape.clear();
+        shape.extend_from_slice(tensor.shape());
+        words.clear();
+        words.extend(tensor.data().iter().map(|&v| QValue::quantize(v, format).raw()));
     }
 
     /// Dequantizes into a fresh `f32` tensor (exact for formats up to 24
     /// value bits).
     pub fn dequantize(&self) -> Tensor {
-        let resolution = self.format.resolution();
+        let resolution = self.format().resolution();
         Tensor::from_vec(
-            &self.shape,
-            self.words.iter().map(|&raw| raw as f32 * resolution).collect(),
+            self.shape(),
+            self.words().iter().map(|&raw| raw as f32 * resolution).collect(),
         )
     }
 
     /// The format every word is encoded in.
     pub fn format(&self) -> QFormat {
-        self.format
-    }
-
-    /// The tensor's shape.
-    pub fn shape(&self) -> &[usize] {
-        &self.shape
-    }
-
-    /// Total number of words.
-    pub fn len(&self) -> usize {
-        self.words.len()
-    }
-
-    /// Whether the tensor has zero words (never true for a valid tensor).
-    pub fn is_empty(&self) -> bool {
-        self.words.is_empty()
+        *self.meta()
     }
 
     /// The flat raw-word buffer.
     pub fn words(&self) -> &[i32] {
-        &self.words
+        self.data()
     }
 
     /// The flat raw-word buffer, mutably — the fault-injection surface of
     /// the native backend.
     pub fn words_mut(&mut self) -> &mut [i32] {
-        &mut self.words
+        self.data_mut()
     }
 
     /// The word at flat index `index` as a [`QValue`].
@@ -135,15 +123,7 @@ impl QTensor {
     ///
     /// Panics if `index` is out of range.
     pub fn word(&self, index: usize) -> QValue {
-        QValue::from_raw(self.words[index], self.format)
-    }
-
-    /// Index of the maximum word (ties resolve to the first).
-    ///
-    /// Raw-word comparison equals value comparison because dequantization is
-    /// monotonic, so greedy action selection needs no float round trip.
-    pub fn argmax(&self) -> usize {
-        crate::argmax(&self.words)
+        QValue::from_raw(self.words()[index], self.format())
     }
 }
 
@@ -152,9 +132,9 @@ impl fmt::Debug for QTensor {
         write!(
             f,
             "QTensor {{ shape: {:?}, {} words in {} }}",
-            self.shape,
-            self.words.len(),
-            self.format
+            self.shape(),
+            self.len(),
+            self.format()
         )
     }
 }

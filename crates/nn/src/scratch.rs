@@ -14,6 +14,8 @@
 //! native fixed-point backend stages raw Q-format words in a
 //! [`QScratch`](crate::QScratch) (`Scratch<i32>`) through
 //! [`QNetwork::forward_batch_into`](crate::QNetwork::forward_batch_into).
+//! A third slab holds the im2row panel of the blocked GEMM convolution
+//! path; it obeys the same grow-once, reuse-forever contract.
 //!
 //! [`Network::forward_batch_into`]: crate::Network::forward_batch_into
 
@@ -48,6 +50,9 @@
 pub struct Scratch<T = f32> {
     front: Vec<T>,
     back: Vec<T>,
+    /// The im2row staging panel of the blocked GEMM path: one packed input
+    /// patch per batch row × output pixel of the convolution being swept.
+    cols: Vec<T>,
     shape: Vec<usize>,
     next_shape: Vec<usize>,
     rows: usize,
@@ -61,9 +66,13 @@ impl<T: Copy + Default> Scratch<T> {
     }
 
     /// Creates a scratch with `rows × row_len` elements of capacity reserved
-    /// in each slab up front. Passes whose widest activation fits the
-    /// envelope skip the initial slab growth; layers wider than `row_len`
-    /// (e.g. a channel-expanding convolution) still grow the slabs once.
+    /// in each activation slab up front. Passes whose widest activation fits
+    /// the envelope skip the initial slab growth; layers wider than
+    /// `row_len` (e.g. a channel-expanding convolution) still grow the slabs
+    /// once. The im2row panel of the blocked convolution path is *not*
+    /// pre-reserved (its size depends on kernel geometry, not on `row_len`),
+    /// so a network with convolutions grows that slab once on its first
+    /// pass regardless.
     pub fn with_capacity(rows: usize, row_len: usize) -> Scratch<T> {
         let mut scratch = Scratch::new();
         scratch.front.reserve(rows * row_len);
@@ -157,6 +166,27 @@ impl<T: Copy + Default> Scratch<T> {
         self.reserve_slab(false, back_len);
         self.back.resize(back_len, T::default());
         (&self.shape, &self.front, &mut self.back)
+    }
+
+    /// Resizes the im2row panel to `cols_len` elements and hands out the
+    /// disjoint views the packing phase of a blocked convolution needs:
+    /// `(current row shape, front slab, im2row panel)`.
+    pub(crate) fn pack_slab(&mut self, cols_len: usize) -> (&[usize], &[T], &mut [T]) {
+        if self.cols.capacity() < cols_len {
+            self.cols.reserve(cols_len - self.cols.len());
+            self.grow_events += 1;
+        }
+        self.cols.resize(cols_len, T::default());
+        (&self.shape, &self.front, &mut self.cols)
+    }
+
+    /// Resizes the back slab for `back_len` total elements and hands out the
+    /// views the GEMM phase of a blocked convolution needs: `(im2row panel,
+    /// back slab)`.
+    pub(crate) fn cols_and_back(&mut self, back_len: usize) -> (&[T], &mut [T]) {
+        self.reserve_slab(false, back_len);
+        self.back.resize(back_len, T::default());
+        (&self.cols, &mut self.back)
     }
 
     /// The front slab, mutably (in-place layer sweeps and hook application).

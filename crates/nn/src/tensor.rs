@@ -1,14 +1,28 @@
+//! Dense row-major tensors, generic over the numeric backend's element type.
+//!
+//! [`TensorBase`] carries a shape, a flat element buffer and the element
+//! type's metadata ([`Element::Meta`]: nothing for `f32`, the storage
+//! [`QFormat`](navft_qformat::QFormat) for raw words). The two backends are
+//! aliases of the same struct — [`Tensor`] (`f32`) and
+//! [`QTensor`](crate::QTensor) (`i32` raw words) — so the generic network
+//! stack moves one tensor type through one engine regardless of backend.
+
 use std::fmt;
 
 use rand::Rng;
 
-/// A dense row-major `f32` tensor.
+use crate::element::Element;
+
+/// A dense row-major tensor of one backend's elements.
 ///
 /// Shapes follow the `[channels, height, width]` convention for images and
 /// `[features]` for vectors. The tensor intentionally exposes its flat data
-/// buffer ([`Tensor::data`] / [`Tensor::data_mut`]) because the fault model of
-/// the paper corrupts the *memory buffers* holding feature maps, weights and
-/// activations.
+/// buffer ([`TensorBase::data`] / [`TensorBase::data_mut`]) because the fault
+/// model of the paper corrupts the *memory buffers* holding feature maps,
+/// weights and activations.
+///
+/// Use the aliases: [`Tensor`] for `f32` values, [`QTensor`](crate::QTensor)
+/// for raw Q-format words.
 ///
 /// # Examples
 ///
@@ -21,9 +35,83 @@ use rand::Rng;
 /// assert_eq!(t.len(), 6);
 /// ```
 #[derive(Clone, PartialEq)]
-pub struct Tensor {
+pub struct TensorBase<E: Element> {
     shape: Vec<usize>,
-    data: Vec<f32>,
+    data: Vec<E>,
+    meta: E::Meta,
+}
+
+/// A dense row-major `f32` tensor — the float backend's storage type.
+pub type Tensor = TensorBase<f32>;
+
+impl<E: Element> TensorBase<E> {
+    /// Builds a tensor from already-validated parts (internal constructor of
+    /// the generic forward paths).
+    pub(crate) fn from_parts(shape: Vec<usize>, data: Vec<E>, meta: E::Meta) -> TensorBase<E> {
+        debug_assert_eq!(shape.iter().product::<usize>(), data.len());
+        TensorBase { shape, data, meta }
+    }
+
+    /// The tensor's metadata (nothing for `f32`, the storage format for raw
+    /// words).
+    pub(crate) fn meta(&self) -> &E::Meta {
+        &self.meta
+    }
+
+    /// The shape and data buffers, mutably (in-place requantization).
+    pub(crate) fn parts_mut(&mut self) -> (&mut Vec<usize>, &mut Vec<E>) {
+        (&mut self.shape, &mut self.data)
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements (never true for a valid tensor).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The flat data buffer.
+    pub fn data(&self) -> &[E] {
+        &self.data
+    }
+
+    /// The flat data buffer, mutably — the fault-injection surface.
+    pub fn data_mut(&mut self) -> &mut [E] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its flat buffer.
+    pub fn into_data(self) -> Vec<E> {
+        self.data
+    }
+
+    /// Index of the maximum element (ties resolve to the first).
+    ///
+    /// Returns 0 for a single-element tensor; never panics for valid
+    /// tensors. Raw-word comparison equals value comparison because
+    /// dequantization is monotonic, so greedy action selection needs no
+    /// float round trip on the quantized backend.
+    pub fn argmax(&self) -> usize {
+        argmax(&self.data)
+    }
+
+    pub(crate) fn flat_index(&self, index: &[usize]) -> usize {
+        assert_eq!(index.len(), self.shape.len(), "index rank mismatch");
+        let mut flat = 0;
+        for (dim, (&i, &d)) in index.iter().zip(self.shape.iter()).enumerate() {
+            assert!(i < d, "index {i} out of range for dimension {dim} of extent {d}");
+            flat = flat * d + i;
+        }
+        flat
+    }
 }
 
 impl Tensor {
@@ -36,7 +124,7 @@ impl Tensor {
         assert!(!shape.is_empty(), "tensor shape must have at least one dimension");
         assert!(shape.iter().all(|&d| d > 0), "tensor dimensions must be non-zero");
         let len = shape.iter().product();
-        Tensor { shape: shape.to_vec(), data: vec![0.0; len] }
+        Tensor { shape: shape.to_vec(), data: vec![0.0; len], meta: () }
     }
 
     /// A tensor of the given shape filled with `value`.
@@ -61,7 +149,7 @@ impl Tensor {
             shape
         );
         assert!(!shape.is_empty(), "tensor shape must have at least one dimension");
-        Tensor { shape: shape.to_vec(), data }
+        Tensor { shape: shape.to_vec(), data, meta: () }
     }
 
     /// A tensor with elements drawn uniformly from `[-scale, scale]`.
@@ -71,36 +159,6 @@ impl Tensor {
             *v = rng.gen_range(-scale..=scale);
         }
         t
-    }
-
-    /// The tensor's shape.
-    pub fn shape(&self) -> &[usize] {
-        &self.shape
-    }
-
-    /// Total number of elements.
-    pub fn len(&self) -> usize {
-        self.data.len()
-    }
-
-    /// Whether the tensor has zero elements (never true for a valid tensor).
-    pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
-    }
-
-    /// The flat data buffer.
-    pub fn data(&self) -> &[f32] {
-        &self.data
-    }
-
-    /// The flat data buffer, mutably — the fault-injection surface.
-    pub fn data_mut(&mut self) -> &mut [f32] {
-        &mut self.data
-    }
-
-    /// Consumes the tensor and returns its flat buffer.
-    pub fn into_data(self) -> Vec<f32> {
-        self.data
     }
 
     /// Element at a multi-dimensional index.
@@ -176,14 +234,11 @@ impl Tensor {
 
     /// Applies `f` to every element, returning a new tensor.
     pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Tensor {
-        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&v| f(v)).collect() }
-    }
-
-    /// Index of the maximum element (ties resolve to the first).
-    ///
-    /// Returns 0 for a single-element tensor; never panics for valid tensors.
-    pub fn argmax(&self) -> usize {
-        argmax(&self.data)
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&v| f(v)).collect(),
+            meta: (),
+        }
     }
 
     /// The maximum element.
@@ -195,22 +250,12 @@ impl Tensor {
     pub fn min(&self) -> f32 {
         self.data.iter().copied().fold(f32::INFINITY, f32::min)
     }
-
-    fn flat_index(&self, index: &[usize]) -> usize {
-        assert_eq!(index.len(), self.shape.len(), "index rank mismatch");
-        let mut flat = 0;
-        for (dim, (&i, &d)) in index.iter().zip(self.shape.iter()).enumerate() {
-            assert!(i < d, "index {i} out of range for dimension {dim} of extent {d}");
-            flat = flat * d + i;
-        }
-        flat
-    }
 }
 
 /// Index of the maximum element of a flat buffer (ties resolve to the
 /// first; 0 for an empty or single-element buffer).
 ///
-/// This is [`Tensor::argmax`] for borrowed slices — the form the
+/// This is [`TensorBase::argmax`] for borrowed slices — the form the
 /// zero-allocation inference paths ([`crate::Network::forward_scratch`] and
 /// [`crate::QNetwork::forward_scratch`]) hand out. It is generic over the
 /// element type because greedy action selection over raw Q-format words is

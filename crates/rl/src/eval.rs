@@ -1,4 +1,6 @@
-//! Inference-time evaluation of trained policies under fault injection.
+//! Inference-time evaluation of trained policies under fault injection —
+//! one generic evaluator per task shape, instantiated for every numeric
+//! backend.
 //!
 //! §4.1.2 and §4.2.2 of the paper evaluate trained policies while faults
 //! corrupt the policy storage. Three inference fault modes matter:
@@ -9,13 +11,21 @@
 //!   randomly chosen step onwards.
 //! * **Permanent** — stuck-at bits: the corrupted words are in effect for the
 //!   entire episode.
+//!
+//! The evaluators are generic over the policy's [`Element`] type:
+//! [`evaluate_policy_discrete`] / [`evaluate_policy_vision`] /
+//! [`corrupt_policy_weights`] run the `f32` backend and the native raw-word
+//! backend through the *same* episode loops, with the [`EvalElement`] glue
+//! supplying what differs (how observations encode into the policy's storage
+//! type). The historical per-backend names (`evaluate_network_*`,
+//! `evaluate_qnetwork_*`, `corrupt_network_weights`,
+//! `corrupt_qnetwork_weights`) remain as thin wrappers.
 
 use rand::Rng;
 
-use navft_fault::Injector;
-use navft_nn::{
-    argmax, ForwardHooks, Network, NoHooks, QNetwork, QScratch, QTensor, Scratch, Tensor,
-};
+use navft_fault::{Injector, StoredWord};
+use navft_nn::{argmax, Element, ForwardHooks, HooksFor, NetworkBase, NoHooks, Scratch};
+use navft_nn::{Network, QNetwork, TensorBase};
 
 use crate::{one_hot_into, DiscreteEnvironment, EvalResult, QTable, VisionEnvironment};
 
@@ -58,6 +68,64 @@ impl InferenceFaultMode {
             InferenceFaultMode::TransientFromRandomStep(_) => step >= onset,
             InferenceFaultMode::TransientWholeEpisode(_) | InferenceFaultMode::Permanent(_) => true,
         }
+    }
+}
+
+/// Backend glue the generic evaluators need on top of [`Element`]: how task
+/// observations become the policy's input storage. Implemented for `f32`
+/// (identity copies) and `i32` (quantization into the policy's format).
+pub trait EvalElement: Element + StoredWord {
+    /// A zeroed input buffer of `shape` compatible with `network`.
+    fn input_buffer(shape: &[usize], network: &NetworkBase<Self>) -> TensorBase<Self>;
+
+    /// Writes a one-hot encoding of `state` into `buf` (the value `1.0` in
+    /// the backend's representation).
+    fn one_hot(state: usize, buf: &mut TensorBase<Self>);
+
+    /// Presents an `f32` observation as this backend's input: the identity
+    /// borrow for `f32` (no copy on the hot path), a requantization into
+    /// `buf` for raw words.
+    fn encode<'a>(
+        observation: &'a navft_nn::Tensor,
+        buf: &'a mut TensorBase<Self>,
+    ) -> &'a TensorBase<Self>;
+}
+
+impl EvalElement for f32 {
+    fn input_buffer(shape: &[usize], _network: &Network) -> navft_nn::Tensor {
+        navft_nn::Tensor::zeros(shape)
+    }
+
+    fn one_hot(state: usize, buf: &mut navft_nn::Tensor) {
+        let num_states = buf.len();
+        one_hot_into(state, num_states, buf);
+    }
+
+    fn encode<'a>(
+        observation: &'a navft_nn::Tensor,
+        _buf: &'a mut navft_nn::Tensor,
+    ) -> &'a navft_nn::Tensor {
+        observation
+    }
+}
+
+impl EvalElement for i32 {
+    fn input_buffer(shape: &[usize], network: &QNetwork) -> navft_nn::QTensor {
+        navft_nn::QTensor::zeros(shape, network.format())
+    }
+
+    fn one_hot(state: usize, buf: &mut navft_nn::QTensor) {
+        let one = navft_qformat::QValue::quantize(1.0, buf.format()).raw();
+        buf.words_mut().fill(0);
+        buf.words_mut()[state] = one;
+    }
+
+    fn encode<'a>(
+        observation: &'a navft_nn::Tensor,
+        buf: &'a mut navft_nn::QTensor,
+    ) -> &'a navft_nn::QTensor {
+        buf.quantize_from(observation);
+        buf
     }
 }
 
@@ -107,133 +175,20 @@ where
     }
 }
 
-/// Evaluates an NN policy on a discrete environment (one-hot inputs) under
-/// the given inference fault mode applied to the network weights.
-pub fn evaluate_network_discrete<E, R>(
-    env: &mut E,
-    network: &Network,
-    episodes: usize,
-    max_steps: usize,
-    fault: &InferenceFaultMode,
-    rng: &mut R,
-) -> EvalResult
-where
-    E: DiscreteEnvironment,
-    R: Rng + ?Sized,
-{
-    let corrupted = corrupt_network_weights(network, fault);
-    let num_states = env.num_states();
-
-    // One scratch and one encoding buffer serve every episode: the per-step
-    // forward passes of the whole evaluation allocate nothing once warm.
-    let mut scratch = Scratch::new();
-    let mut encoded = Tensor::zeros(&[num_states]);
-
-    let mut successes = 0usize;
-    let mut total_reward = 0.0f64;
-    for _ in 0..episodes {
-        let onset = if max_steps > 0 { rng.gen_range(0..max_steps) } else { 0 };
-        let mut state = env.reset();
-        for step in 0..max_steps {
-            let active = if fault.faulty_at(step, onset) { &corrupted } else { network };
-            one_hot_into(state, num_states, &mut encoded);
-            let action = argmax(active.forward_scratch(&encoded, &mut scratch, &mut NoHooks));
-            let transition = env.step(action);
-            total_reward += f64::from(transition.reward);
-            state = transition.next_state;
-            if transition.terminal {
-                if transition.reached_goal {
-                    successes += 1;
-                }
-                break;
-            }
-        }
-    }
-    EvalResult {
-        success_rate: successes as f64 / episodes.max(1) as f64,
-        mean_reward: total_reward / episodes.max(1) as f64,
-        mean_distance: 0.0,
-        episodes,
-    }
-}
-
-/// Evaluates an NN policy on a vision environment (the drone task), under the
-/// given weight fault mode, reporting Mean Safe Flight in
-/// [`EvalResult::mean_distance`].
-pub fn evaluate_network_vision<E, R>(
-    env: &mut E,
-    network: &Network,
-    episodes: usize,
-    max_steps: usize,
-    fault: &InferenceFaultMode,
-    rng: &mut R,
-) -> EvalResult
-where
-    E: VisionEnvironment,
-    R: Rng + ?Sized,
-{
-    evaluate_network_vision_hooked(env, network, episodes, max_steps, fault, rng, |_| NoHooks)
-}
-
-/// Like [`evaluate_network_vision`], but additionally attaches per-episode
-/// [`ForwardHooks`] built by `make_hooks` — the mechanism used to inject
-/// dynamic faults into input and activation buffers (Fig. 7c) and to run the
-/// range-based anomaly detector during inference (Fig. 10).
-pub fn evaluate_network_vision_hooked<E, R, H, F>(
-    env: &mut E,
-    network: &Network,
-    episodes: usize,
-    max_steps: usize,
-    fault: &InferenceFaultMode,
-    rng: &mut R,
-    mut make_hooks: F,
-) -> EvalResult
-where
-    E: VisionEnvironment,
-    R: Rng + ?Sized,
-    H: ForwardHooks,
-    F: FnMut(usize) -> H,
-{
-    let corrupted = corrupt_network_weights(network, fault);
-
-    // One scratch serves every episode of the evaluation.
-    let mut scratch = Scratch::new();
-
-    let mut total_reward = 0.0f64;
-    let mut total_distance = 0.0f64;
-    for episode in 0..episodes {
-        let onset = if max_steps > 0 { rng.gen_range(0..max_steps) } else { 0 };
-        let mut hooks = make_hooks(episode);
-        let mut observation = env.reset();
-        for step in 0..max_steps {
-            let active = if fault.faulty_at(step, onset) { &corrupted } else { network };
-            let action = argmax(active.forward_scratch(&observation, &mut scratch, &mut hooks));
-            let transition = env.step(action);
-            total_reward += f64::from(transition.reward);
-            total_distance += f64::from(transition.distance);
-            observation = transition.observation;
-            if transition.terminal {
-                break;
-            }
-        }
-    }
-    EvalResult {
-        success_rate: 0.0,
-        mean_reward: total_reward / episodes.max(1) as f64,
-        mean_distance: total_distance / episodes.max(1) as f64,
-        episodes,
-    }
-}
-
 /// Returns a copy of `network` with the fault mode's injector applied to its
-/// weight buffers (a no-op copy for [`InferenceFaultMode::None`]).
+/// weight buffers (a no-op copy for [`InferenceFaultMode::None`]) — the
+/// generic corruption entry point serving every backend.
 ///
 /// The injector's fault map addresses the network's concatenated weight
 /// space; each layer's buffer is corrupted through
-/// [`Injector::corrupt_span`], so the quantize → corrupt → dequantize round
-/// trip of the `f32` backend lives in one place. The native fixed-point
-/// counterpart is [`corrupt_qnetwork_weights`], which flips the live words.
-pub fn corrupt_network_weights(network: &Network, fault: &InferenceFaultMode) -> Network {
+/// [`Injector::corrupt_span`], whose [`StoredWord`] dispatch keeps the
+/// quantize → corrupt → dequantize round trip of the `f32` backend in one
+/// place while the native backend flips live words with single integer
+/// operations.
+pub fn corrupt_policy_weights<W: EvalElement>(
+    network: &NetworkBase<W>,
+    fault: &InferenceFaultMode,
+) -> NetworkBase<W> {
     let mut corrupted = network.clone();
     if let Some(injector) = fault.injector() {
         let spans: Vec<(usize, std::ops::Range<usize>)> = corrupted
@@ -250,55 +205,45 @@ pub fn corrupt_network_weights(network: &Network, fault: &InferenceFaultMode) ->
     corrupted
 }
 
-/// Returns a copy of `network` with the fault mode's injector applied to its
-/// live raw weight words — the native fixed-point corruption path: every
-/// fault is a single integer operation, with no dequantize round trip.
-pub fn corrupt_qnetwork_weights(network: &QNetwork, fault: &InferenceFaultMode) -> QNetwork {
-    let mut corrupted = network.clone();
-    if let Some(injector) = fault.injector() {
-        let spans: Vec<(usize, std::ops::Range<usize>)> = corrupted
-            .parametric_layers()
-            .into_iter()
-            .map(|i| (i, corrupted.weight_span(i)))
-            .collect();
-        for (layer, span) in spans {
-            if let Some(words) = corrupted.layer_weights_raw_mut(layer) {
-                injector.corrupt_raw_span(span.start, words);
-            }
-        }
-    }
-    corrupted
+/// [`corrupt_policy_weights`] for the `f32` backend (kept as a thin wrapper
+/// so existing drivers don't churn).
+pub fn corrupt_network_weights(network: &Network, fault: &InferenceFaultMode) -> Network {
+    corrupt_policy_weights(network, fault)
 }
 
-/// Evaluates a natively quantized NN policy on a discrete environment
-/// (one-hot inputs) under the given inference fault mode applied to the
-/// network's live weight words.
+/// [`corrupt_policy_weights`] for the native fixed-point backend: every
+/// fault is a single integer operation on a live word, with no dequantize
+/// round trip.
+pub fn corrupt_qnetwork_weights(network: &QNetwork, fault: &InferenceFaultMode) -> QNetwork {
+    corrupt_policy_weights(network, fault)
+}
+
+/// Evaluates a policy of any backend on a discrete environment (one-hot
+/// inputs) under the given inference fault mode applied to the policy's
+/// weight storage.
 ///
-/// The quantized-domain counterpart of [`evaluate_network_discrete`]: every
-/// forward pass runs in integer arithmetic in the network's [`QFormat`] and
-/// greedy actions come from an argmax over raw Q-value words.
-///
-/// [`QFormat`]: navft_qformat::QFormat
-pub fn evaluate_qnetwork_discrete<E, R>(
+/// One scratch and one encoding buffer serve every episode: the per-step
+/// forward passes of the whole evaluation allocate nothing once warm, on
+/// either backend.
+pub fn evaluate_policy_discrete<W, E, R>(
     env: &mut E,
-    network: &QNetwork,
+    network: &NetworkBase<W>,
     episodes: usize,
     max_steps: usize,
     fault: &InferenceFaultMode,
     rng: &mut R,
 ) -> EvalResult
 where
+    W: EvalElement,
     E: DiscreteEnvironment,
     R: Rng + ?Sized,
+    NoHooks: HooksFor<W>,
 {
-    let corrupted = corrupt_qnetwork_weights(network, fault);
+    let corrupted = corrupt_policy_weights(network, fault);
     let num_states = env.num_states();
-    let format = network.format();
-    let one = navft_qformat::QValue::quantize(1.0, format).raw();
 
-    // One scratch and one reusable one-hot word buffer serve every episode.
-    let mut scratch = QScratch::new();
-    let mut encoded = QTensor::zeros(&[num_states], format);
+    let mut scratch = Scratch::new();
+    let mut encoded = W::input_buffer(&[num_states], network);
 
     let mut successes = 0usize;
     let mut total_reward = 0.0f64;
@@ -307,8 +252,7 @@ where
         let mut state = env.reset();
         for step in 0..max_steps {
             let active = if fault.faulty_at(step, onset) { &corrupted } else { network };
-            encoded.words_mut().fill(0);
-            encoded.words_mut()[state] = one;
+            W::one_hot(state, &mut encoded);
             let action = argmax(active.forward_scratch(&encoded, &mut scratch, &mut NoHooks));
             let transition = env.step(action);
             total_reward += f64::from(transition.reward);
@@ -329,42 +273,64 @@ where
     }
 }
 
-/// Evaluates a natively quantized NN policy on a vision environment (the
-/// drone task) under the given weight fault mode, reporting Mean Safe Flight
-/// in [`EvalResult::mean_distance`].
-///
-/// The quantized-domain counterpart of [`evaluate_network_vision`]: each
-/// observation is quantized once into the policy's format (the input buffer
-/// the accelerator stores) and the whole pass runs on raw words.
-pub fn evaluate_qnetwork_vision<E, R>(
+/// Evaluates a policy of any backend on a vision environment (the drone
+/// task) under the given weight fault mode, reporting Mean Safe Flight in
+/// [`EvalResult::mean_distance`].
+pub fn evaluate_policy_vision<W, E, R>(
     env: &mut E,
-    network: &QNetwork,
+    network: &NetworkBase<W>,
     episodes: usize,
     max_steps: usize,
     fault: &InferenceFaultMode,
     rng: &mut R,
 ) -> EvalResult
 where
+    W: EvalElement,
     E: VisionEnvironment,
     R: Rng + ?Sized,
+    NoHooks: HooksFor<W>,
 {
-    let corrupted = corrupt_qnetwork_weights(network, fault);
-    let format = network.format();
+    evaluate_policy_vision_hooked(env, network, episodes, max_steps, fault, rng, |_| NoHooks)
+}
 
-    // One scratch and one reusable input word buffer serve every episode.
-    let mut scratch = QScratch::new();
+/// Like [`evaluate_policy_vision`], but additionally attaches per-episode
+/// hooks built by `make_hooks` — the mechanism used to inject dynamic faults
+/// into input and activation buffers (Fig. 7c) and to run the range-based
+/// anomaly detector during inference (Fig. 10). Hooks observe whichever
+/// representation the backend stores (`f32` values or live raw words).
+pub fn evaluate_policy_vision_hooked<W, E, R, H, F>(
+    env: &mut E,
+    network: &NetworkBase<W>,
+    episodes: usize,
+    max_steps: usize,
+    fault: &InferenceFaultMode,
+    rng: &mut R,
+    mut make_hooks: F,
+) -> EvalResult
+where
+    W: EvalElement,
+    E: VisionEnvironment,
+    R: Rng + ?Sized,
+    H: HooksFor<W>,
+    F: FnMut(usize) -> H,
+{
+    let corrupted = corrupt_policy_weights(network, fault);
+
+    // One scratch and one input buffer serve every episode.
+    let mut scratch = Scratch::new();
     let shape = env.observation_shape();
-    let mut qinput = QTensor::zeros(&shape, format);
+    let mut encoded = W::input_buffer(&shape, network);
 
     let mut total_reward = 0.0f64;
     let mut total_distance = 0.0f64;
-    for _ in 0..episodes {
+    for episode in 0..episodes {
         let onset = if max_steps > 0 { rng.gen_range(0..max_steps) } else { 0 };
+        let mut hooks = make_hooks(episode);
         let mut observation = env.reset();
         for step in 0..max_steps {
             let active = if fault.faulty_at(step, onset) { &corrupted } else { network };
-            qinput.quantize_from(&observation);
-            let action = argmax(active.forward_scratch(&qinput, &mut scratch, &mut NoHooks));
+            let input = W::encode(&observation, &mut encoded);
+            let action = argmax(active.forward_scratch(input, &mut scratch, &mut hooks));
             let transition = env.step(action);
             total_reward += f64::from(transition.reward);
             total_distance += f64::from(transition.distance);
@@ -380,6 +346,98 @@ where
         mean_distance: total_distance / episodes.max(1) as f64,
         episodes,
     }
+}
+
+/// [`evaluate_policy_discrete`] for the `f32` backend (thin wrapper).
+pub fn evaluate_network_discrete<E, R>(
+    env: &mut E,
+    network: &Network,
+    episodes: usize,
+    max_steps: usize,
+    fault: &InferenceFaultMode,
+    rng: &mut R,
+) -> EvalResult
+where
+    E: DiscreteEnvironment,
+    R: Rng + ?Sized,
+{
+    evaluate_policy_discrete(env, network, episodes, max_steps, fault, rng)
+}
+
+/// [`evaluate_policy_vision`] for the `f32` backend (thin wrapper).
+pub fn evaluate_network_vision<E, R>(
+    env: &mut E,
+    network: &Network,
+    episodes: usize,
+    max_steps: usize,
+    fault: &InferenceFaultMode,
+    rng: &mut R,
+) -> EvalResult
+where
+    E: VisionEnvironment,
+    R: Rng + ?Sized,
+{
+    evaluate_policy_vision(env, network, episodes, max_steps, fault, rng)
+}
+
+/// [`evaluate_policy_vision_hooked`] for the `f32` backend with
+/// [`ForwardHooks`] (thin wrapper).
+pub fn evaluate_network_vision_hooked<E, R, H, F>(
+    env: &mut E,
+    network: &Network,
+    episodes: usize,
+    max_steps: usize,
+    fault: &InferenceFaultMode,
+    rng: &mut R,
+    make_hooks: F,
+) -> EvalResult
+where
+    E: VisionEnvironment,
+    R: Rng + ?Sized,
+    H: ForwardHooks,
+    F: FnMut(usize) -> H,
+{
+    evaluate_policy_vision_hooked(env, network, episodes, max_steps, fault, rng, make_hooks)
+}
+
+/// [`evaluate_policy_discrete`] for the native fixed-point backend (thin
+/// wrapper): every forward pass runs in integer arithmetic in the network's
+/// [`QFormat`] and greedy actions come from an argmax over raw Q-value
+/// words.
+///
+/// [`QFormat`]: navft_qformat::QFormat
+pub fn evaluate_qnetwork_discrete<E, R>(
+    env: &mut E,
+    network: &QNetwork,
+    episodes: usize,
+    max_steps: usize,
+    fault: &InferenceFaultMode,
+    rng: &mut R,
+) -> EvalResult
+where
+    E: DiscreteEnvironment,
+    R: Rng + ?Sized,
+{
+    evaluate_policy_discrete(env, network, episodes, max_steps, fault, rng)
+}
+
+/// [`evaluate_policy_vision`] for the native fixed-point backend (thin
+/// wrapper): each observation is quantized once into the policy's format
+/// (the input buffer the accelerator stores) and the whole pass runs on raw
+/// words.
+pub fn evaluate_qnetwork_vision<E, R>(
+    env: &mut E,
+    network: &QNetwork,
+    episodes: usize,
+    max_steps: usize,
+    fault: &InferenceFaultMode,
+    rng: &mut R,
+) -> EvalResult
+where
+    E: VisionEnvironment,
+    R: Rng + ?Sized,
+{
+    evaluate_policy_vision(env, network, episodes, max_steps, fault, rng)
 }
 
 #[cfg(test)]
@@ -670,5 +728,36 @@ mod tests {
             .filter(|(a, b)| a != b)
             .count();
         assert_eq!(diff, 1);
+    }
+
+    #[test]
+    fn generic_discrete_evaluator_agrees_across_backends_on_a_clean_policy() {
+        // The same hand-crafted always-go-right policy through both
+        // instantiations of the one generic evaluator.
+        let mut rng = SmallRng::seed_from_u64(12);
+        let mut net = mlp(&[3, 2], &mut rng);
+        net.layer_weights_mut(0)
+            .expect("weights")
+            .copy_from_slice(&[1.0, 1.0, 1.0, -1.0, -1.0, -1.0]);
+        let qnet = net.to_quantized(QFormat::Q4_11);
+        let mut env = Line { position: 1 };
+        let f32_result = evaluate_policy_discrete(
+            &mut env,
+            &net,
+            10,
+            10,
+            &InferenceFaultMode::None,
+            &mut SmallRng::seed_from_u64(13),
+        );
+        let q_result = evaluate_policy_discrete(
+            &mut env,
+            &qnet,
+            10,
+            10,
+            &InferenceFaultMode::None,
+            &mut SmallRng::seed_from_u64(13),
+        );
+        assert_eq!(f32_result.success_rate, q_result.success_rate);
+        assert_eq!(f32_result.mean_reward, q_result.mean_reward);
     }
 }

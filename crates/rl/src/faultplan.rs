@@ -1,5 +1,5 @@
-use navft_fault::{InjectionSchedule, Injector};
-use navft_nn::Network;
+use navft_fault::{InjectionSchedule, Injector, StoredWord};
+use navft_nn::{Element, NetworkBase};
 
 /// A training-time fault plan: *which* faults strike (an [`Injector`]) and
 /// *when* (an [`InjectionSchedule`]).
@@ -88,12 +88,18 @@ impl FaultPlan {
     }
 
     /// Applies the plan to a network's weight buffers at the start of
-    /// `episode`.
+    /// `episode` — generic over the policy's storage element, so the same
+    /// plan corrupts `f32` weights (through the Q-format round trip) and
+    /// live raw words (in place) alike.
     ///
     /// The injector's fault map indexes the network's *concatenated* weight
-    /// buffer (see [`Network::weight_span`]); each layer receives the slice
-    /// of faults that falls into its span.
-    pub fn on_episode_start_network(&self, episode: usize, network: &mut Network) {
+    /// buffer (see [`NetworkBase::weight_span`]); each layer receives the
+    /// slice of faults that falls into its span.
+    pub fn on_episode_start_network<E: Element + StoredWord>(
+        &self,
+        episode: usize,
+        network: &mut NetworkBase<E>,
+    ) {
         let Some(injector) = &self.injector else { return };
         if self.schedule.triggers_at(episode) {
             Self::apply_to_network(injector, network, false);
@@ -104,14 +110,22 @@ impl FaultPlan {
 
     /// Re-enforces permanent faults on a network's weight buffers after a
     /// learning update during `episode`.
-    pub fn after_update_network(&self, episode: usize, network: &mut Network) {
+    pub fn after_update_network<E: Element + StoredWord>(
+        &self,
+        episode: usize,
+        network: &mut NetworkBase<E>,
+    ) {
         let Some(injector) = &self.injector else { return };
         if injector.has_permanent() && self.schedule.active_at(episode) {
             Self::apply_to_network(injector, network, true);
         }
     }
 
-    fn apply_to_network(injector: &Injector, network: &mut Network, enforce_only: bool) {
+    fn apply_to_network<E: Element + StoredWord>(
+        injector: &Injector,
+        network: &mut NetworkBase<E>,
+        enforce_only: bool,
+    ) {
         let spans: Vec<(usize, std::ops::Range<usize>)> =
             network.parametric_layers().into_iter().map(|i| (i, network.weight_span(i))).collect();
         for (layer, span) in spans {
