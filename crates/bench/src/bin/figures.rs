@@ -24,7 +24,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use navft_bench::parse_scale;
+use navft_bench::{parse_jobs, parse_scale};
 use navft_core::sweep::{artifact, run_sweeps, RunOptions};
 use navft_core::{experiments, Scale};
 
@@ -62,8 +62,7 @@ fn main() -> ExitCode {
                 args.scale = parsed;
             }
             "--jobs" => {
-                let parsed = argv.next().and_then(|v| v.parse::<usize>().ok());
-                let Some(jobs) = parsed.filter(|&n| n > 0) else {
+                let Some(jobs) = argv.next().as_deref().and_then(parse_jobs) else {
                     eprintln!("--jobs needs a positive integer");
                     return ExitCode::FAILURE;
                 };

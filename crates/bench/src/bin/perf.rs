@@ -1,0 +1,198 @@
+//! Emits a machine-readable perf snapshot, `BENCH_<rev>.json`, for the
+//! batched GEMM forward path (ROADMAP item 5: perf trajectory as data).
+//!
+//! Usage:
+//!
+//! ```text
+//! perf                       # writes BENCH_<rev>.json to the current dir
+//! perf --out perf.json       # explicit output path
+//! perf --repeats 15          # more timing repeats (default 9, median kept)
+//! ```
+//!
+//! For each model of the campaigns (the Grid World MLP and the scaled C3F2
+//! drone policy) and each numeric backend (`f32`, native Q(1,4,11), `i8`
+//! affine), the tool times batch-64 `forward_batch_into` twice: once with
+//! the portable scalar tiles forced (`set_force_scalar_kernels(true)`) and
+//! once with runtime kernel dispatch enabled. Both passes produce
+//! bit-identical outputs (pinned by the equivalence suites); the JSON
+//! records the throughput of each and their ratio, so CI and the README
+//! table have a committed baseline to compare against.
+//!
+//! The JSON is rendered with `navft_core::sweep::json` — the same
+//! deterministic writer the campaign artifacts use — so snapshots diff
+//! cleanly across revisions.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use navft_bench::parse_jobs;
+use navft_core::sweep::json::Json;
+use navft_nn::{
+    c3f2_scaled, engine_threads, mlp, set_engine_threads, set_force_scalar_kernels,
+    simd_kernel_name, I8Network, I8Scratch, I8Tensor, Network, NoHooks, QNetwork, QScratch,
+    QTensor, Scratch, Tensor,
+};
+use navft_qformat::QFormat;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// The batch size the throughput contract is pinned at (the campaign's
+/// episode batch and the README table's column).
+const BATCH: usize = 64;
+
+const USAGE: &str = "usage: perf [--out PATH] [--repeats N] [--threads N]";
+
+fn main() -> ExitCode {
+    let mut out: Option<String> = None;
+    let mut repeats = 9usize;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--out" => {
+                let Some(path) = argv.next() else {
+                    eprintln!("--out needs a path");
+                    return ExitCode::FAILURE;
+                };
+                out = Some(path);
+            }
+            "--repeats" => {
+                let Some(n) = argv.next().as_deref().and_then(parse_jobs) else {
+                    eprintln!("--repeats needs a positive integer");
+                    return ExitCode::FAILURE;
+                };
+                repeats = n;
+            }
+            "--threads" => {
+                let Some(n) = argv.next().as_deref().and_then(parse_jobs) else {
+                    eprintln!("--threads needs a positive integer");
+                    return ExitCode::FAILURE;
+                };
+                set_engine_threads(n);
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown option {other:?}\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let rev = git_rev();
+    let path = out.unwrap_or_else(|| format!("BENCH_{rev}.json"));
+    let snapshot = run_benchmarks(&rev, repeats);
+    if let Err(error) = std::fs::write(&path, snapshot.render() + "\n") {
+        eprintln!("[perf] failed to write {path}: {error}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("[perf] wrote {path}");
+    ExitCode::SUCCESS
+}
+
+/// The short git revision, or `"local"` outside a repository.
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|output| output.status.success())
+        .and_then(|output| String::from_utf8(output.stdout).ok())
+        .map(|rev| rev.trim().to_string())
+        .filter(|rev| !rev.is_empty())
+        .unwrap_or_else(|| "local".to_string())
+}
+
+/// Median wall-clock seconds of `op` over `repeats` timed runs (after two
+/// untimed warmups that fault in the scratch buffers and warm the caches).
+fn median_secs(repeats: usize, mut op: impl FnMut()) -> f64 {
+    op();
+    op();
+    let mut samples: Vec<f64> = (0..repeats)
+        .map(|_| {
+            let start = Instant::now();
+            op();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Times one backend's batch-64 GEMM forward, scalar-forced then
+/// dispatched, and returns the JSON row. `forward` runs one full batched
+/// pass; `rows_per_pass` is the batch size (throughput denominator).
+fn bench_backend(
+    model: &str,
+    backend: &str,
+    repeats: usize,
+    rows_per_pass: usize,
+    mut forward: impl FnMut(),
+) -> Json {
+    set_force_scalar_kernels(true);
+    let scalar = median_secs(repeats, &mut forward);
+    set_force_scalar_kernels(false);
+    let dispatched = median_secs(repeats, &mut forward);
+    let scalar_rows = rows_per_pass as f64 / scalar;
+    let dispatched_rows = rows_per_pass as f64 / dispatched;
+    let speedup = scalar / dispatched;
+    eprintln!(
+        "[perf] {model}/{backend}: scalar {scalar_rows:.0} rows/s, \
+         {} {dispatched_rows:.0} rows/s ({speedup:.2}x)",
+        simd_kernel_name()
+    );
+    Json::obj([
+        ("model", Json::Str(model.to_string())),
+        ("backend", Json::Str(backend.to_string())),
+        ("scalar_rows_per_s", Json::num(scalar_rows)),
+        ("dispatched_rows_per_s", Json::num(dispatched_rows)),
+        ("dispatched_speedup", Json::num(speedup)),
+    ])
+}
+
+fn run_benchmarks(rev: &str, repeats: usize) -> Json {
+    let mut rng = SmallRng::seed_from_u64(0);
+    let models: Vec<(&str, Network, Vec<usize>)> = vec![
+        ("grid-mlp", mlp(&[100, 32, 4], &mut rng), vec![100]),
+        ("c3f2-scaled", c3f2_scaled(&mut rng), vec![1, 31, 31]),
+    ];
+
+    let format = QFormat::Q4_11;
+    let mut results = Vec::new();
+    for (name, network, shape) in &models {
+        let mut input_rng = SmallRng::seed_from_u64(0xBE7C);
+        let inputs: Vec<Tensor> =
+            (0..BATCH).map(|_| Tensor::uniform(shape, 1.0, &mut input_rng)).collect();
+
+        let mut scratch = Scratch::new();
+        results.push(bench_backend(name, "f32", repeats, BATCH, || {
+            network.forward_batch_into(&inputs, &mut scratch, &mut NoHooks);
+        }));
+
+        let qnet = QNetwork::quantize(network, format);
+        let qinputs: Vec<QTensor> = inputs.iter().map(|t| QTensor::quantize(t, format)).collect();
+        let mut qscratch = QScratch::new();
+        results.push(bench_backend(name, &format!("{format}"), repeats, BATCH, || {
+            qnet.forward_batch_into(&qinputs, &mut qscratch, &mut NoHooks);
+        }));
+
+        let inet = I8Network::quantize(network);
+        let iinputs: Vec<I8Tensor> =
+            inputs.iter().map(|t| I8Tensor::quantize(t, inet.affine())).collect();
+        let mut iscratch = I8Scratch::new();
+        results.push(bench_backend(name, "i8", repeats, BATCH, || {
+            inet.forward_batch_into(&iinputs, &mut iscratch, &mut NoHooks);
+        }));
+    }
+
+    Json::obj([
+        ("rev", Json::Str(rev.to_string())),
+        ("bench", Json::Str("gemm_forward".to_string())),
+        ("batch", Json::num(BATCH as f64)),
+        ("repeats", Json::num(repeats as f64)),
+        ("kernel", Json::Str(simd_kernel_name().to_string())),
+        ("engine_threads", Json::num(engine_threads() as f64)),
+        ("results", Json::Arr(results)),
+    ])
+}

@@ -37,6 +37,27 @@ pub fn parse_scale(text: &str) -> Option<Scale> {
     }
 }
 
+/// Parses a `--jobs` argument value: a *positive* worker-thread count.
+///
+/// `0` is rejected rather than silently falling back to the scale default —
+/// [`Scale::threads_or`] treats `Some(0)` as "unset", so accepting it at the
+/// CLI would turn an explicit (likely erroneous) request into a surprise
+/// thread count.
+///
+/// # Examples
+///
+/// ```
+/// use navft_bench::parse_jobs;
+///
+/// assert_eq!(parse_jobs("4"), Some(4));
+/// assert_eq!(parse_jobs("0"), None);
+/// assert_eq!(parse_jobs("-1"), None);
+/// assert_eq!(parse_jobs("many"), None);
+/// ```
+pub fn parse_jobs(text: &str) -> Option<usize> {
+    text.parse::<usize>().ok().filter(|&n| n > 0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -46,5 +67,15 @@ mod tests {
         assert_eq!(parse_scale("SMOKE"), Some(Scale::Smoke));
         assert_eq!(parse_scale("Quick"), Some(Scale::Quick));
         assert_eq!(parse_scale(""), None);
+    }
+
+    #[test]
+    fn jobs_parsing_rejects_zero_and_garbage() {
+        assert_eq!(parse_jobs("1"), Some(1));
+        assert_eq!(parse_jobs("32"), Some(32));
+        assert_eq!(parse_jobs("0"), None, "`--jobs 0` must fail loudly, not fall back");
+        assert_eq!(parse_jobs("-4"), None);
+        assert_eq!(parse_jobs("4.5"), None);
+        assert_eq!(parse_jobs(""), None);
     }
 }

@@ -220,7 +220,9 @@ mod tests {
     fn sweep_declares_every_ablation_cell() {
         let drone = Scale::Smoke.drone();
         let sweep = sweep(Scale::Smoke);
-        let data_type_cells = DATA_TYPE_FORMATS.len() * (1 + drone.bit_error_rates.len());
+        // Every Q-format plus the i8 affine column, each with one bit-ratio
+        // cell and one flight cell per BER.
+        let data_type_cells = (DATA_TYPE_FORMATS.len() + 1) * (1 + drone.bit_error_rates.len());
         assert_eq!(
             sweep.len(),
             ALPHAS.len() + THRESHOLDS.len() + PRECISIONS.len() * MARGINS.len() + data_type_cells

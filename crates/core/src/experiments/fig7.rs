@@ -9,7 +9,10 @@ use std::sync::Arc;
 
 use navft_dronesim::{DepthCamera, DroneSim, DroneWorld};
 use navft_fault::{FaultKind, FaultMap, FaultSite, FaultTarget, InjectionSchedule, Injector};
-use navft_nn::{parametric_layer_names, C3f2Config, Network, QNetwork, QScratch, QTensor};
+use navft_nn::{
+    parametric_layer_names, C3f2Config, I8Network, I8Scratch, I8Tensor, Network, QNetwork,
+    QScratch, QTensor,
+};
 use navft_qformat::QFormat;
 use navft_rl::{
     evaluate_network_vision, evaluate_network_vision_hooked, evaluate_policy_vision, trainer,
@@ -550,17 +553,46 @@ fn flight_distance_q(
     .mean_distance
 }
 
+/// The raw-bit layout i8 affine bytes are reported under (8 stored bits; the
+/// binary point is meaningless for affine words, only the width matters).
+const I8_FORMAT: QFormat = QFormat::Q3_4;
+
+/// Mean safe flight distance of an `i8` affine policy under the given weight
+/// fault mode: the whole evaluation runs on stored bytes through the same
+/// generic evaluator as the other backends.
+fn flight_distance_i8(
+    network: &I8Network,
+    world: &DroneWorld,
+    params: &DroneParams,
+    fault: &InferenceFaultMode,
+    seed: u64,
+) -> f64 {
+    let mut sim = DroneSim::new(world.clone(), DepthCamera::scaled(), params.max_steps);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    evaluate_policy_vision(
+        &mut sim,
+        network,
+        params.eval_episodes,
+        params.max_steps,
+        fault,
+        &mut rng,
+    )
+    .mean_distance
+}
+
 /// Declares the data-type sweep's cells under `prefix` (also used by the
 /// extended ablation).
 ///
 /// Each format executes *natively*: the policy is compiled into a
 /// [`QNetwork`] whose weights, inputs and activations are live raw words in
 /// that format, bit flips strike those words in place, and the forward pass
-/// is integer arithmetic end to end — no `f32` simulation. Alongside the
-/// flight-distance cells, a single-repetition cell per format reports its
-/// zero/one bit ratio over the whole fault surface (weights plus calibration
-/// activations), the statistic that explains the stuck-at asymmetry of
-/// Fig. 2.
+/// is integer arithmetic end to end — no `f32` simulation. The `i8`
+/// per-tensor affine backend rides along as one more data-type column: the
+/// policy compresses to one byte per parameter and bit flips strike the
+/// stored bytes. Alongside the flight-distance cells, a single-repetition
+/// cell per format reports its zero/one bit ratio over the whole fault
+/// surface (weights plus calibration activations), the statistic that
+/// explains the stuck-at asymmetry of Fig. 2.
 pub(crate) fn add_data_type_cells(
     sweep: &mut Sweep,
     scale: Scale,
@@ -619,6 +651,45 @@ pub(crate) fn add_data_type_cells(
             });
         }
     }
+    let affine: Lazy<I8Network> = {
+        let base = base.clone();
+        Lazy::new(move || I8Network::quantize(base.get()))
+    };
+    {
+        let spec = CellSpec::new(format!("{prefix}/bits/i8"), 1)
+            .with_label("figure", format!("{prefix}-bits"))
+            .with_label("format", "i8");
+        let (affine, world, params) = (affine.clone(), Arc::clone(&world), Arc::clone(&params));
+        sweep.cell(spec, move |_seed, _rep| {
+            let policy = affine.get();
+            let calibration = I8Tensor::quantize(
+                &DroneSim::new(world.as_ref().clone(), DepthCamera::scaled(), params.max_steps)
+                    .reset(),
+                policy.affine(),
+            );
+            let stats = policy.bit_stats(std::slice::from_ref(&calibration), &mut I8Scratch::new());
+            stats.zero_to_one_ratio()
+        });
+    }
+    for &ber in &params.bit_error_rates {
+        let spec = CellSpec::new(format!("{prefix}/i8/ber={ber}"), params.repetitions)
+            .with_label("figure", prefix.to_string())
+            .with_label("format", "i8")
+            .with_label("ber", ber.to_string());
+        let (affine, world, params) = (affine.clone(), Arc::clone(&world), Arc::clone(&params));
+        sweep.cell(spec, move |seed, _rep| {
+            let policy = affine.get();
+            let injector =
+                weight_injector(policy.weight_count(), ber, FaultKind::BitFlip, I8_FORMAT, seed);
+            flight_distance_i8(
+                policy,
+                &world,
+                &params,
+                &InferenceFaultMode::TransientWholeEpisode(injector),
+                seed ^ 0x7E,
+            )
+        });
+    }
 }
 
 /// Folds the data-type cells declared by [`add_data_type_cells`] into the
@@ -644,6 +715,14 @@ pub(crate) fn data_type_figures(
             .collect();
         series.push(Series::new(format.to_string(), points));
     }
+    bit_facts
+        .push(("i8 zero/one bit ratio".to_string(), results.mean(&format!("{prefix}/bits/i8"))));
+    let i8_points = params
+        .bit_error_rates
+        .iter()
+        .map(|&ber| (ber, results.mean(&format!("{prefix}/i8/ber={ber}"))))
+        .collect();
+    series.push(Series::new("i8", i8_points));
     vec![
         FigureData::lines(
             prefix,

@@ -28,7 +28,9 @@
 //! # Artifacts and resume
 //!
 //! With [`RunOptions::out_dir`] set, every completed cell is appended to
-//! `journal.jsonl` immediately (see [`artifact`]), and per-figure
+//! `journal.jsonl` in cell-declaration order (see [`artifact`]): finished
+//! cells buffer until every earlier-declared cell has completed, so the
+//! journal is byte-identical at any thread count. Per-figure
 //! `<figure>.jsonl` + `<figure>.txt` files are written at the end. With
 //! [`RunOptions::resume`], cells whose fingerprint already has a journal
 //! record are skipped entirely — their trained inputs (wrapped in [`Lazy`])
@@ -453,6 +455,13 @@ pub fn run_sweeps(sweeps: Vec<Sweep>, options: &RunOptions) -> std::io::Result<R
     let started = std::time::Instant::now();
     let mut done = 0usize;
     let mut io_error: Option<std::io::Error> = None;
+    // Completed cells whose record is not yet written: the journal appends
+    // strictly in declaration order (cells that finish early buffer here
+    // until every earlier-declared cell has completed), so its bytes are
+    // identical at any thread count. A killed run loses at most the cells
+    // behind an in-flight predecessor.
+    let mut journal_buffer: Vec<Option<String>> = vec![None; pending.len()];
+    let mut flushed = 0usize;
     {
         let trial = |k: usize, seed: u64, rep: usize| {
             let (sweep_index, cell_index) = pending[k];
@@ -463,19 +472,33 @@ pub fn run_sweeps(sweeps: Vec<Sweep>, options: &RunOptions) -> std::io::Result<R
             let part = &parts[sweep_index];
             let spec = &part.specs[cell_index];
             let summaries = summarize_metrics(&per_rep);
-            if let Some(file) = &mut appender {
-                let line = artifact::record_line(
+            if appender.is_some() {
+                journal_buffer[k] = Some(artifact::record_line(
                     part.fingerprints[cell_index],
                     &part.id,
                     &spec.id,
                     &spec.labels,
                     spec.repetitions,
                     &summaries,
-                );
-                // Append + flush per cell so a killed run loses at most the
-                // in-flight cells; remember the first error, keep computing.
-                if let Err(e) = writeln!(file, "{line}").and_then(|()| file.flush()) {
-                    io_error.get_or_insert(e);
+                ));
+            }
+            if let Some(file) = &mut appender {
+                // Drain the longest completed prefix, then flush once so the
+                // written records survive a kill; remember the first error,
+                // keep computing.
+                let mut wrote = false;
+                while let Some(slot) = journal_buffer.get_mut(flushed) {
+                    let Some(line) = slot.take() else { break };
+                    if let Err(e) = writeln!(file, "{line}") {
+                        io_error.get_or_insert(e);
+                    }
+                    flushed += 1;
+                    wrote = true;
+                }
+                if wrote {
+                    if let Err(e) = file.flush() {
+                        io_error.get_or_insert(e);
+                    }
                 }
             }
             results[sweep_index].insert(spec.id.clone(), summaries);

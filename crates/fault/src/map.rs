@@ -8,7 +8,7 @@ use crate::FaultKind;
 /// A storage word the fault layer can corrupt in place: the glue between a
 /// buffer's element type and the bit-level fault mechanisms.
 ///
-/// Two representations ship:
+/// Three representations ship:
 ///
 /// * **`f32`** — a buffer that *models* Q-format storage: each fault
 ///   quantizes the value into the format, perturbs the stored word and
@@ -16,6 +16,10 @@ use crate::FaultKind;
 /// * **`i32`** — a buffer that *natively holds* raw two's-complement
 ///   Q-format words: each fault is a single integer operation on the live
 ///   word, with no round trip.
+/// * **`i8`** — a buffer of live affine bytes (the `i8` inference backend):
+///   each fault is a direct bit operation on the stored byte. The format's
+///   numeric interpretation is irrelevant to an affine byte, so only its
+///   role as a bit-width bound applies (bits ≥ 8 never land).
 ///
 /// Every corrupt/enforce entry point of [`FaultMap`] and
 /// [`crate::Injector`] is generic over this trait, so a new storage
@@ -38,6 +42,25 @@ impl StoredWord for f32 {
 impl StoredWord for i32 {
     fn apply_fault(self, fault: &BitFault, format: QFormat) -> Option<i32> {
         fault.kind.apply(QValue::from_raw(self, format), fault.bit).ok().map(|c| c.raw())
+    }
+}
+
+impl StoredWord for i8 {
+    fn apply_fault(self, fault: &BitFault, _format: QFormat) -> Option<i8> {
+        // Affine bytes have no binary point: the fault mechanisms act on the
+        // raw byte directly, and the format only matters for sampling bit
+        // positions (use an 8-bit format there).
+        if fault.bit >= 8 {
+            return None;
+        }
+        let mask = 1u8 << fault.bit;
+        let byte = self as u8;
+        let corrupted = match fault.kind {
+            FaultKind::BitFlip => byte ^ mask,
+            FaultKind::StuckAt0 => byte & !mask,
+            FaultKind::StuckAt1 => byte | mask,
+        };
+        Some(corrupted as i8)
     }
 }
 
@@ -414,6 +437,29 @@ mod tests {
         let dequantized: Vec<f32> =
             raws.iter().map(|&r| QValue::from_raw(r, fmt).to_f32()).collect();
         assert_eq!(floats, dequantized);
+    }
+
+    #[test]
+    fn corrupt_flips_live_bytes_on_i8_words() {
+        let fmt = QFormat::Q3_4; // ignored by the i8 representation
+        let map = FaultMap::from_faults(vec![
+            BitFault { word: 0, bit: 7, kind: FaultKind::BitFlip },
+            BitFault { word: 1, bit: 0, kind: FaultKind::StuckAt1 },
+            BitFault { word: 2, bit: 1, kind: FaultKind::StuckAt0 },
+        ]);
+        let mut bytes = vec![16i8, 32, 7];
+        map.corrupt(&mut bytes, fmt);
+        // Flipping bit 7 of 0b0001_0000 gives 0b1001_0000 = -112; 32 gains
+        // bit 0; 7 (0b111) loses bit 1.
+        assert_eq!(bytes, vec![-112, 33, 5]);
+    }
+
+    #[test]
+    fn i8_words_ignore_faults_beyond_their_eighth_bit() {
+        let fault = BitFault { word: 0, bit: 8, kind: FaultKind::BitFlip };
+        assert_eq!(42i8.apply_fault(&fault, QFormat::Q3_4), None);
+        let in_range = BitFault { word: 0, bit: 6, kind: FaultKind::BitFlip };
+        assert_eq!(1i8.apply_fault(&in_range, QFormat::Q3_4), Some(65));
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! high-order bit flipped is far more likely to be a fault than a legitimate
 //! large value.
 
-use navft_nn::{Element, ForwardHooks, LayerKind, Network, NetworkBase, QNetwork};
+use navft_nn::{Element, ForwardHooks, I8Affine, LayerKind, Network, NetworkBase, QNetwork};
 use navft_qformat::{QFormat, QValue};
 
 /// Parameters of the range-based anomaly detector.
@@ -121,20 +121,29 @@ impl RangeGuard {
     /// live raw words compare with pure integer arithmetic on the stored
     /// word (no dequantize round trip), matching the hardware the paper
     /// sketches (a comparator on the sign and integer bits of the bus). The
-    /// two instantiations agree on every value of the format's grid.
+    /// instantiations agree on every value of the storage grid.
+    ///
+    /// `meta` is the network-level metadata of the backend (the affine scale
+    /// for `i8`, ignored by the other backends — pass the network's
+    /// `net_meta()`).
     ///
     /// Values in layers the guard has no bounds for are never anomalous.
-    pub fn is_anomalous_in<E: GuardedElement>(&self, layer: usize, value: E) -> bool {
+    pub fn is_anomalous_in<E: GuardedElement>(
+        &self,
+        layer: usize,
+        value: E,
+        meta: &E::NetMeta,
+    ) -> bool {
         let Some(&(_, lo, hi)) = self.bounds.iter().find(|(l, _, _)| *l == layer) else {
             return false;
         };
-        value.is_outside(&E::layer_bounds(lo, hi, self.format, &self.config))
+        value.is_outside(&E::layer_bounds(lo, hi, self.format, &self.config, meta))
     }
 
     /// [`RangeGuard::is_anomalous_in`] for `f32` values (the historical
     /// name).
     pub fn is_anomalous(&self, layer: usize, value: f32) -> bool {
-        self.is_anomalous_in(layer, value)
+        self.is_anomalous_in(layer, value, &None)
     }
 
     /// Scans every guarded layer of `network` — either backend — and zeroes
@@ -148,11 +157,12 @@ impl RangeGuard {
     /// guard's.
     pub fn scrub<E: GuardedElement>(&self, network: &mut NetworkBase<E>) -> usize {
         E::check_network(network, self.format);
+        let meta = *network.net_meta();
         let mut scrubbed = 0;
         for &(layer, lo, hi) in &self.bounds {
             // The comparison form is loop-invariant per layer, so the scan
             // hoists it (for raw words that is one integer triple).
-            let bounds = E::layer_bounds(lo, hi, self.format, &self.config);
+            let bounds = E::layer_bounds(lo, hi, self.format, &self.config, &meta);
             if let Some(weights) = network.layer_weights_mut(layer) {
                 for w in weights.iter_mut() {
                     if w.is_outside(&bounds) {
@@ -177,7 +187,7 @@ impl RangeGuard {
         self.bounds
             .iter()
             .filter_map(|&(layer, lo, hi)| {
-                let bounds = E::layer_bounds(lo, hi, self.format, &self.config);
+                let bounds = E::layer_bounds(lo, hi, self.format, &self.config, network.net_meta());
                 network
                     .layer_weights(layer)
                     .map(|weights| weights.iter().filter(|w| w.is_outside(&bounds)).count())
@@ -191,15 +201,25 @@ impl RangeGuard {
 /// how a stored weight compares against them.
 ///
 /// Implemented for `f32` (value-domain comparison, optionally reduced to
-/// sign+integer bits) and `i32` (pure integer comparison on the live raw
-/// word). A third backend plugs into [`RangeGuard::scrub`] /
-/// [`RangeGuard::count_anomalies`] with one `impl`.
+/// sign+integer bits), `i32` (pure integer comparison on the live raw word)
+/// and `i8` (byte comparison on the affine grid). A further backend plugs
+/// into [`RangeGuard::scrub`] / [`RangeGuard::count_anomalies`] with one
+/// `impl`.
 pub trait GuardedElement: Element {
     /// The per-layer comparison, precomputed once per layer scan.
     type Bounds: Copy;
 
     /// Builds the comparison for one layer's margin-widened `(lo, hi)`.
-    fn layer_bounds(lo: f32, hi: f32, format: QFormat, config: &RangeGuardConfig) -> Self::Bounds;
+    /// `meta` is the backend's network-level metadata (e.g. the `i8` affine
+    /// scale); backends whose storage grid is fully described by `format`
+    /// ignore it.
+    fn layer_bounds(
+        lo: f32,
+        hi: f32,
+        format: QFormat,
+        config: &RangeGuardConfig,
+        meta: &Self::NetMeta,
+    ) -> Self::Bounds;
 
     /// Whether this stored weight falls outside the guarded range.
     fn is_outside(&self, bounds: &Self::Bounds) -> bool;
@@ -228,7 +248,13 @@ pub struct ValueBounds {
 impl GuardedElement for f32 {
     type Bounds = ValueBounds;
 
-    fn layer_bounds(lo: f32, hi: f32, format: QFormat, config: &RangeGuardConfig) -> ValueBounds {
+    fn layer_bounds(
+        lo: f32,
+        hi: f32,
+        format: QFormat,
+        config: &RangeGuardConfig,
+        _meta: &Option<QFormat>,
+    ) -> ValueBounds {
         ValueBounds {
             lo,
             hi,
@@ -260,6 +286,7 @@ impl GuardedElement for i32 {
         hi: f32,
         format: QFormat,
         config: &RangeGuardConfig,
+        _meta: &QFormat,
     ) -> (i32, i32, u8) {
         let frac = format.frac_bits();
         if config.integer_bits_only {
@@ -288,6 +315,37 @@ impl GuardedElement for i32 {
     fn check_network(network: &QNetwork, guard_format: QFormat) {
         assert_eq!(network.format(), guard_format, "guard format does not match network format");
     }
+}
+
+impl GuardedElement for i8 {
+    /// A stored byte is anomalous iff it falls outside `[lo, hi]` on the
+    /// network's affine grid. Affine bytes carry no binary point, so the
+    /// sign+integer-bit reduction degenerates to the whole-word comparison
+    /// and the config's `integer_bits_only` flag makes no difference.
+    type Bounds = (i8, i8);
+
+    fn layer_bounds(
+        lo: f32,
+        hi: f32,
+        _format: QFormat,
+        _config: &RangeGuardConfig,
+        meta: &I8Affine,
+    ) -> (i8, i8) {
+        // `byte·scale > hi` for stored bytes is `byte > floor(hi/scale)`
+        // (and symmetrically with ceil below), so the comparison stays exact
+        // without a float multiply per byte.
+        let lo = (lo / meta.scale).ceil().clamp(-128.0, 127.0) as i8;
+        let hi = (hi / meta.scale).floor().clamp(-128.0, 127.0) as i8;
+        (lo, hi)
+    }
+
+    fn is_outside(&self, &(lo, hi): &(i8, i8)) -> bool {
+        *self > hi || *self < lo
+    }
+
+    /// No-op: the affine scale travels with the network itself, so there is
+    /// no separate format to cross-check against the guard.
+    fn check_network(_network: &NetworkBase<i8>, _guard_format: QFormat) {}
 }
 
 /// Widens `(lo, hi)` by `margin` (relative, away from zero on both sides).
@@ -467,12 +525,45 @@ mod tests {
             for raw in format.min_raw()..=format.max_raw() {
                 let value = raw as f32 * format.resolution();
                 assert_eq!(
-                    guard.is_anomalous_in(0, raw),
+                    guard.is_anomalous_in(0, raw, &format),
                     guard.is_anomalous(0, value),
                     "raw {raw} (value {value}) disagrees under {config:?}"
                 );
             }
         }
+    }
+
+    #[test]
+    fn i8_scrub_zeroes_bytes_outside_the_affine_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut net = mlp(&[4, 3], &mut rng);
+        for w in net.layer_weights_mut(0).expect("weights") {
+            *w = 0.2;
+        }
+        let mut inet = navft_nn::I8Network::quantize_with(&net, I8Affine { scale: 0.01 });
+        let guard =
+            RangeGuard::from_bounds([(0, -0.5, 0.5)], QFormat::Q3_4, RangeGuardConfig::paper());
+        assert_eq!(guard.count_anomalies(&inet), 0);
+        // Corrupt one byte far past the widened bound (0.55 → byte 55).
+        inet.layer_weights_raw_mut(0).expect("bytes")[3] = 100;
+        assert!(guard.is_anomalous_in(0, 100i8, &inet.affine()));
+        assert_eq!(guard.count_anomalies(&inet), 1);
+        assert_eq!(guard.scrub(&mut inet), 1);
+        assert_eq!(inet.layer_weights_raw(0).expect("bytes")[3], 0);
+        assert_eq!(guard.count_anomalies(&inet), 0);
+    }
+
+    #[test]
+    fn i8_bounds_quantize_onto_the_affine_grid_and_clamp() {
+        let affine = I8Affine { scale: 0.25 };
+        let config = RangeGuardConfig::paper();
+        let bounds =
+            <i8 as GuardedElement>::layer_bounds(-1.3, 1.7, QFormat::Q3_4, &config, &affine);
+        // ceil(-1.3/0.25) = -5, floor(1.7/0.25) = 6.
+        assert_eq!(bounds, (-5, 6));
+        let wide =
+            <i8 as GuardedElement>::layer_bounds(-100.0, 100.0, QFormat::Q3_4, &config, &affine);
+        assert_eq!(wide, (-128, 127));
     }
 
     #[test]

@@ -1,17 +1,19 @@
 //! The element trait behind the crate's single generic inference core.
 //!
-//! Both numeric backends — `f32` values and raw two's-complement Q-format
-//! words — run the *same* network, layer and kernel code; everything that
-//! actually differs between them is collected in [`Element`]: the widened
-//! accumulator a MAC sweep uses, how a bias enters it, how an accumulator is
-//! folded back into a storable element, what ReLU means, and what metadata a
-//! network and a tensor carry (an optional simulation format for `f32`, the
-//! mandatory storage format for raw words).
+//! All numeric backends — `f32` values, raw two's-complement Q-format words
+//! and `i8` affine bytes — run the *same* network, layer and kernel code;
+//! everything that actually differs between them is collected in
+//! [`Element`]: the widened accumulator a MAC sweep uses, how a bias enters
+//! it, how an accumulator is folded back into a storable element, what ReLU
+//! means, and what metadata a network and a tensor carry (an optional
+//! simulation format for `f32`, the mandatory storage format for raw words,
+//! the affine scale for `i8`).
 //!
-//! Adding a third backend (say, a `bf16` software model or an `i8` per-tensor
-//! affine scheme) is one `impl Element for NewType` — the generic
-//! [`Network`](crate::Network) stack, the batched engine, the blocked GEMM
-//! path, fault injection and the evaluators in `navft-rl` all follow from it.
+//! Adding a further backend (say, a `bf16` software model) is one
+//! `impl Element for NewType` — the generic [`Network`](crate::Network)
+//! stack, the batched engine, the blocked GEMM path, fault injection and the
+//! evaluators in `navft-rl` all follow from it, exactly as the `i8` backend
+//! here demonstrates.
 
 use std::fmt;
 
@@ -19,7 +21,7 @@ use navft_qformat::{QFormat, QValue};
 
 /// Per-element arithmetic and metadata of one numeric backend.
 ///
-/// The two shipped implementations:
+/// The three shipped implementations:
 ///
 /// * **`f32`** — plain float arithmetic (`Acc = f32`), no kernel context.
 ///   Networks optionally carry a [`QFormat`] that *simulates* a fixed-point
@@ -28,6 +30,10 @@ use navft_qformat::{QFormat, QValue};
 ///   widened `i64` (products carry `2 × frac_bits` fractional bits) and
 ///   perform one saturating round-to-nearest requantize per output element;
 ///   networks and tensors carry their storage [`QFormat`].
+/// * **`i8`** — per-network symmetric affine bytes (`value = word · scale`,
+///   [`I8Affine`]). Kernels accumulate exact byte products in a widened
+///   `i32` and perform one rounding, saturating requantize per output
+///   element — the serving-style Int8 scheme of inference runtimes.
 pub trait Element:
     Copy + Default + PartialEq + PartialOrd + fmt::Debug + Send + Sync + 'static
 {
@@ -98,6 +104,72 @@ pub trait Element:
     /// The element's numeric value as `f32` (dequantization for raw words),
     /// used for range instrumentation.
     fn value_to_f32(self, net: &Self::NetMeta) -> f32;
+
+    /// Offers a whole `M × N` GEMM sweep to an explicit SIMD microkernel,
+    /// which writes each output element exactly once through `write`.
+    ///
+    /// Returns `false` when the backend has no kernel for the running CPU;
+    /// the caller then falls back to the portable scalar register tiles.
+    /// Kernels must honour the crate's bit-exactness contract: every output
+    /// accumulates its `K` products in ascending `k` order with exactly the
+    /// scalar chain's arithmetic (see [`crate::simd`]), so the naive,
+    /// tiled-scalar and SIMD paths agree bit for bit. The default
+    /// implementation declines, which keeps third-party backends working
+    /// without SIMD support.
+    ///
+    /// `write` is a generic bound (not a `dyn` object) so the per-output
+    /// writeback inlines into the kernels exactly as it does into the
+    /// scalar tiles — a virtual call per output element would dominate
+    /// low-arithmetic sweeps.
+    #[allow(clippy::too_many_arguments)]
+    fn gemm_simd<F: FnMut(usize, usize, Self)>(
+        ctx: Self::Ctx,
+        a: &[Self],
+        bias: &[Self],
+        m: usize,
+        k: usize,
+        b: &[Self],
+        n: usize,
+        write: &mut F,
+    ) -> bool {
+        let _ = (ctx, a, bias, m, k, b, n, write);
+        false
+    }
+}
+
+/// Per-network symmetric affine metadata of the `i8` backend: a stored byte
+/// `w` represents the value `w · scale`.
+///
+/// One scale covers every parameter buffer and every activation of a network
+/// (`scale = max |value| / 127` at quantization time), so kernels can
+/// accumulate raw byte products exactly in a widened `i32` — the accumulator
+/// carries `scale²` units — and fold each output back to bytes with a single
+/// rounding, saturating requantize.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct I8Affine {
+    /// The value of one least-significant step: `value = word · scale`.
+    pub scale: f32,
+}
+
+impl I8Affine {
+    /// The affine whose range `[-128·scale, 127·scale]` covers
+    /// `[-max_abs, max_abs]`; a degenerate `max_abs` of zero (or anything
+    /// non-positive) falls back to a unit range so the scale stays usable.
+    pub fn from_max_abs(max_abs: f32) -> I8Affine {
+        let scale = if max_abs > 0.0 { max_abs / 127.0 } else { 1.0 / 127.0 };
+        I8Affine { scale }
+    }
+
+    /// Quantizes a value to the nearest representable byte, saturating at
+    /// the `i8` extremes.
+    pub fn quantize(self, value: f32) -> i8 {
+        (value / self.scale).round().clamp(-128.0, 127.0) as i8
+    }
+
+    /// The value a stored byte represents.
+    pub fn dequantize(self, word: i8) -> f32 {
+        f32::from(word) * self.scale
+    }
 }
 
 impl Element for f32 {
@@ -151,6 +223,19 @@ impl Element for f32 {
     #[inline]
     fn value_to_f32(self, _net: &Option<QFormat>) -> f32 {
         self
+    }
+
+    fn gemm_simd<F: FnMut(usize, usize, f32)>(
+        _ctx: (),
+        a: &[f32],
+        bias: &[f32],
+        m: usize,
+        k: usize,
+        b: &[f32],
+        n: usize,
+        write: &mut F,
+    ) -> bool {
+        crate::simd::gemm_f32(a, bias, m, k, b, n, write)
     }
 }
 
@@ -209,6 +294,90 @@ impl Element for i32 {
     fn value_to_f32(self, net: &QFormat) -> f32 {
         self as f32 * net.resolution()
     }
+
+    fn gemm_simd<F: FnMut(usize, usize, i32)>(
+        ctx: QFormat,
+        a: &[i32],
+        bias: &[i32],
+        m: usize,
+        k: usize,
+        b: &[i32],
+        n: usize,
+        write: &mut F,
+    ) -> bool {
+        crate::simd::gemm_q(ctx, a, bias, m, k, b, n, write)
+    }
+}
+
+impl Element for i8 {
+    type Acc = i32;
+    type Ctx = I8Affine;
+    type NetMeta = I8Affine;
+    type Meta = I8Affine;
+
+    #[inline]
+    fn kernel_ctx(net: &I8Affine) -> I8Affine {
+        *net
+    }
+
+    #[inline]
+    fn tensor_meta(net: &I8Affine) -> I8Affine {
+        *net
+    }
+
+    #[inline]
+    fn check_input(input: &I8Affine, net: &I8Affine) {
+        assert_eq!(input, net, "input scale does not match network scale");
+    }
+
+    #[inline]
+    fn acc_init(bias: i8, ctx: I8Affine) -> i32 {
+        // The accumulator carries scale² units (products of two stored
+        // bytes); the bias byte carries scale¹ units, so it enters divided
+        // by the scale, rounded once.
+        (f32::from(bias) / ctx.scale).round() as i32
+    }
+
+    #[inline]
+    fn mac(acc: i32, a: i8, b: i8) -> i32 {
+        acc + i32::from(a) * i32::from(b)
+    }
+
+    #[inline]
+    fn finish(acc: i32, ctx: I8Affine) -> i8 {
+        (acc as f32 * ctx.scale).round().clamp(-128.0, 127.0) as i8
+    }
+
+    #[inline]
+    fn relu(self) -> i8 {
+        self.max(0)
+    }
+
+    #[inline]
+    fn quantize_activations(_values: &mut [i8], _net: &I8Affine) {}
+
+    #[inline]
+    fn sanitize(self, _meta: &I8Affine) -> i8 {
+        self
+    }
+
+    #[inline]
+    fn value_to_f32(self, net: &I8Affine) -> f32 {
+        f32::from(self) * net.scale
+    }
+
+    fn gemm_simd<F: FnMut(usize, usize, i8)>(
+        ctx: I8Affine,
+        a: &[i8],
+        bias: &[i8],
+        m: usize,
+        k: usize,
+        b: &[i8],
+        n: usize,
+        write: &mut F,
+    ) -> bool {
+        crate::simd::gemm_i8(ctx, a, bias, m, k, b, n, write)
+    }
 }
 
 #[cfg(test)]
@@ -257,5 +426,51 @@ mod tests {
     #[should_panic(expected = "format does not match")]
     fn check_input_rejects_mismatched_formats() {
         i32::check_input(&QFormat::Q3_4, &QFormat::Q4_11);
+    }
+
+    #[test]
+    fn i8_affine_round_trips_grid_values() {
+        let affine = I8Affine::from_max_abs(1.27);
+        assert!((affine.scale - 0.01).abs() < 1e-7);
+        for word in [-128i8, -3, 0, 1, 127] {
+            assert_eq!(affine.quantize(affine.dequantize(word)), word);
+        }
+        assert_eq!(affine.quantize(10.0), 127, "saturates high");
+        assert_eq!(affine.quantize(-10.0), -128, "saturates low");
+    }
+
+    #[test]
+    fn i8_affine_degenerate_max_abs_stays_usable() {
+        let affine = I8Affine::from_max_abs(0.0);
+        assert!(affine.scale > 0.0);
+        assert_eq!(affine.quantize(1.0), 127);
+    }
+
+    #[test]
+    fn i8_mac_chain_requantizes_once_per_output() {
+        let ctx = I8Affine { scale: 0.01 };
+        // bias 0.05 (byte 5) enters as 500 scale² steps; 0.5 * 0.5 adds
+        // 50 * 50 = 2500; the single requantize maps 3000 * 1e-4 = 0.3 to
+        // byte 30.
+        let mut acc = i8::acc_init(5, ctx);
+        assert_eq!(acc, 500);
+        acc = <i8 as Element>::mac(acc, 50, 50);
+        assert_eq!(acc, 3000);
+        assert_eq!(<i8 as Element>::finish(acc, ctx), 30);
+    }
+
+    #[test]
+    fn i8_relu_and_sanitize_operate_on_bytes() {
+        assert_eq!((-7i8).relu(), 0);
+        assert_eq!(7i8.relu(), 7);
+        let meta = I8Affine { scale: 0.01 };
+        assert_eq!((-128i8).sanitize(&meta), -128);
+        assert!((5i8.value_to_f32(&meta) - 0.05).abs() < 1e-7);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale does not match")]
+    fn i8_check_input_rejects_mismatched_scales() {
+        i8::check_input(&I8Affine { scale: 0.01 }, &I8Affine { scale: 0.02 });
     }
 }

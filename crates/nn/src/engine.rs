@@ -22,11 +22,52 @@
 //! output in the naive kernel's reduction order); the blocked path is simply
 //! faster. Equivalence proptests pin the contract.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use crate::element::Element;
 use crate::layer::LayerBase;
 use crate::{gemm, LayerKind, Scratch};
 
-/// A per-row buffer event reported by [`forward_batch_engine`].
+/// The engine's worker-thread count (process-wide, default 1 = serial).
+static ENGINE_THREADS: AtomicUsize = AtomicUsize::new(1);
+
+/// Below this many MACs per layer sweep a parallel split costs more in
+/// thread spawns than it saves; the engine stays serial.
+const PARALLEL_MIN_MACS: usize = 16_384;
+
+/// Sets the worker-thread count of the batched engine, process-wide.
+///
+/// When set above 1, the batched forward engine shards large batched
+/// convolution and linear sweeps across that many scoped worker threads by
+/// contiguous batch-row ranges. Sharding never changes results: each
+/// output's accumulation chain is untouched, every thread writes a disjoint
+/// row range of the back slab, and hooks still run on the calling thread in
+/// per-row program order — so evaluators and campaign cells benefit without
+/// any caller change. Values are clamped to at least 1; small sweeps stay
+/// serial regardless.
+pub fn set_engine_threads(threads: usize) {
+    ENGINE_THREADS.store(threads.max(1), Ordering::Relaxed);
+}
+
+/// The configured worker-thread count of the batched engine (see
+/// [`set_engine_threads`]).
+pub fn engine_threads() -> usize {
+    ENGINE_THREADS.load(Ordering::Relaxed)
+}
+
+/// How many threads a sweep of `rows` batch rows à `macs_per_row` MACs
+/// should shard across: 1 unless threading is on and the sweep is large
+/// enough to amortize the spawns.
+fn shard_threads(rows: usize, macs_per_row: usize) -> usize {
+    let configured = engine_threads();
+    if configured <= 1 || rows <= 1 || rows.saturating_mul(macs_per_row) < PARALLEL_MIN_MACS {
+        1
+    } else {
+        configured.min(rows)
+    }
+}
+
+/// A per-row buffer event reported by the batched forward engine.
 pub(crate) enum SweepEvent {
     /// Batch row `row` of the input, before the first layer.
     Input {
@@ -99,19 +140,52 @@ pub(crate) fn forward_batch_engine<'a, E, I, F>(
                 // index arithmetic).
                 let (cols, back) = scratch.cols_and_back(nrows * out_len);
                 let oc = conv.out_channels;
-                for b in 0..nrows {
-                    let row_cols = &cols[b * ohw * patch..(b + 1) * ohw * patch];
-                    let row_out = &mut back[b * out_len..(b + 1) * out_len];
-                    gemm::gemm_bias(
-                        ctx,
-                        &conv.weights,
-                        &conv.bias,
-                        oc,
-                        patch,
-                        row_cols,
-                        ohw,
-                        |m, p, v| row_out[m * ohw + p] = v,
-                    );
+                let threads = shard_threads(nrows, oc * patch * ohw);
+                if threads > 1 {
+                    // Shard contiguous batch-row ranges across scoped
+                    // workers: each thread owns a disjoint slice pair of the
+                    // packed panel and the back slab, and every per-row GEMM
+                    // is the exact sweep the serial loop below runs.
+                    let rows_per = nrows.div_ceil(threads);
+                    std::thread::scope(|scope| {
+                        for (cols_chunk, back_chunk) in cols
+                            .chunks(rows_per * ohw * patch)
+                            .zip(back.chunks_mut(rows_per * out_len))
+                        {
+                            scope.spawn(move || {
+                                for (row_cols, row_out) in cols_chunk
+                                    .chunks(ohw * patch)
+                                    .zip(back_chunk.chunks_mut(out_len))
+                                {
+                                    gemm::gemm_bias(
+                                        ctx,
+                                        &conv.weights,
+                                        &conv.bias,
+                                        oc,
+                                        patch,
+                                        row_cols,
+                                        ohw,
+                                        |m, p, v| row_out[m * ohw + p] = v,
+                                    );
+                                }
+                            });
+                        }
+                    });
+                } else {
+                    for b in 0..nrows {
+                        let row_cols = &cols[b * ohw * patch..(b + 1) * ohw * patch];
+                        let row_out = &mut back[b * out_len..(b + 1) * out_len];
+                        gemm::gemm_bias(
+                            ctx,
+                            &conv.weights,
+                            &conv.bias,
+                            oc,
+                            patch,
+                            row_cols,
+                            ohw,
+                            |m, p, v| row_out[m * ohw + p] = v,
+                        );
+                    }
                 }
                 scratch.swap();
             }
@@ -120,16 +194,47 @@ pub(crate) fn forward_batch_engine<'a, E, I, F>(
                 // off the front slab, no packing.
                 let (_, front, back) = scratch.slabs_for_sweep(nrows * out_len);
                 let m = linear.out_features;
-                gemm::gemm_bias(
-                    ctx,
-                    &linear.weights,
-                    &linear.bias,
-                    m,
-                    linear.in_features,
-                    front,
-                    nrows,
-                    |mi, ni, v| back[ni * m + mi] = v,
-                );
+                let kdim = linear.in_features;
+                let threads = shard_threads(nrows, m * kdim);
+                if threads > 1 {
+                    // Split the `[N, K]` panel by batch-row ranges; each
+                    // worker runs the same GEMM over its sub-panel, writing
+                    // the matching disjoint range of the back slab.
+                    let rows_per = nrows.div_ceil(threads);
+                    let front = &front[..nrows * kdim];
+                    let back = &mut back[..nrows * m];
+                    std::thread::scope(|scope| {
+                        for (front_chunk, back_chunk) in
+                            front.chunks(rows_per * kdim).zip(back.chunks_mut(rows_per * m))
+                        {
+                            scope.spawn(move || {
+                                gemm::gemm_bias(
+                                    ctx,
+                                    &linear.weights,
+                                    &linear.bias,
+                                    m,
+                                    kdim,
+                                    front_chunk,
+                                    back_chunk.len() / m,
+                                    |mi, ni, v| back_chunk[ni * m + mi] = v,
+                                );
+                            });
+                        }
+                    });
+                } else {
+                    gemm::gemm_bias(
+                        ctx,
+                        &linear.weights,
+                        &linear.bias,
+                        m,
+                        kdim,
+                        front,
+                        nrows,
+                        |mi, ni, v| {
+                            back[ni * m + mi] = v;
+                        },
+                    );
+                }
                 scratch.swap();
             }
             _ => {

@@ -50,8 +50,11 @@ pub(crate) fn pack_im2row<E: Element>(
     let stride = conv.stride;
     let patch = conv.patch_len();
     let row_len = c * h * w;
-    debug_assert_eq!(front.len(), nrows * row_len);
-    debug_assert_eq!(cols.len(), nrows * oh * ow * patch);
+    // Real assertions, not debug ones: this cold entry point sizes the
+    // panels that the release-mode kernels (including the raw loads of the
+    // SIMD microkernels) trust downstream.
+    assert_eq!(front.len(), nrows * row_len, "im2row front slab length mismatch");
+    assert_eq!(cols.len(), nrows * oh * ow * patch, "im2row panel length mismatch");
     for b in 0..nrows {
         let img = &front[b * row_len..(b + 1) * row_len];
         let mut col_base = b * oh * ow * patch;
@@ -77,12 +80,16 @@ pub(crate) fn pack_im2row<E: Element>(
 /// for every `(m, n)`, with `a` `[M, K]` row-major and `b` `[N, K]`
 /// row-major.
 ///
-/// Dispatches to the register-tile shape the backend's
-/// [`Element::GEMM_TILE`] requests; `write` receives each output exactly
-/// once. Const generics force one monomorphized kernel per tile shape, so
-/// the supported shapes are enumerated here — `(2, 4)` and `(4, 4)`; an
-/// unlisted shape runs the `(4, 4)` kernel (results are identical either
-/// way, only register pressure differs), as documented on
+/// First offers the sweep to the backend's runtime-dispatched SIMD
+/// microkernel ([`Element::gemm_simd`], see [`crate::simd`]); when that
+/// declines — no kernel for this CPU, scalar execution forced, or a backend
+/// without SIMD support — dispatches to the register-tile shape the
+/// backend's [`Element::GEMM_TILE`] requests. `write` receives each output
+/// exactly once on either path, and both paths are bit-identical by the
+/// contract above. Const generics force one monomorphized scalar kernel per
+/// tile shape, so the supported shapes are enumerated here — `(2, 4)` and
+/// `(4, 4)`; an unlisted shape runs the `(4, 4)` kernel (results are
+/// identical either way, only register pressure differs), as documented on
 /// [`Element::GEMM_TILE`].
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn gemm_bias<E: Element>(
@@ -93,8 +100,16 @@ pub(crate) fn gemm_bias<E: Element>(
     k: usize,
     b: &[E],
     n: usize,
-    write: impl FnMut(usize, usize, E),
+    mut write: impl FnMut(usize, usize, E),
 ) {
+    // Cold-entry panel checks (the SIMD kernels read these slices through
+    // raw in-bounds loads, so the invariants must hold in release builds).
+    assert_eq!(a.len(), m * k, "gemm weight panel length mismatch");
+    assert_eq!(b.len(), n * k, "gemm reduction panel length mismatch");
+    assert_eq!(bias.len(), m, "gemm bias length mismatch");
+    if crate::simd::simd_enabled() && E::gemm_simd(ctx, a, bias, m, k, b, n, &mut write) {
+        return;
+    }
     match E::GEMM_TILE {
         (2, 4) => gemm_tiled::<E, 2, 4>(ctx, a, bias, m, k, b, n, write),
         _ => gemm_tiled::<E, 4, 4>(ctx, a, bias, m, k, b, n, write),

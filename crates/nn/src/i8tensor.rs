@@ -1,0 +1,159 @@
+//! The byte surface of [`TensorBase`]: quantization, dequantization and
+//! word-level access for the `i8` per-tensor affine backend.
+
+use std::fmt;
+
+use crate::element::I8Affine;
+use crate::tensor::TensorBase;
+use crate::Tensor;
+
+/// A dense row-major tensor of symmetric affine bytes.
+///
+/// Each element is stored as a live `i8` word representing `word · scale`
+/// ([`I8Affine`]). Like the raw Q-format words of
+/// [`QTensor`](crate::QTensor), these bytes exist at inference time, so the
+/// fault model corrupts them with single integer operations — no
+/// quantize→corrupt→dequantize round trip.
+///
+/// `I8Tensor` is the `i8` instantiation of the generic [`TensorBase`], so
+/// the shared accessors ([`TensorBase::shape`], [`TensorBase::len`],
+/// [`TensorBase::argmax`], …) come from the same code as the `f32`
+/// [`Tensor`]'s.
+///
+/// # Examples
+///
+/// ```
+/// use navft_nn::{I8Affine, I8Tensor, Tensor};
+///
+/// let t = Tensor::from_vec(&[2], vec![0.5, -0.25]);
+/// let i8t = I8Tensor::quantize(&t, I8Affine { scale: 0.25 });
+/// assert_eq!(i8t.words(), &[2, -1]);
+/// assert_eq!(i8t.dequantize().data(), &[0.5, -0.25]);
+/// ```
+pub type I8Tensor = TensorBase<i8>;
+
+impl I8Tensor {
+    /// A tensor of the given shape filled with zero bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is empty or has a zero dimension.
+    pub fn zeros(shape: &[usize], affine: I8Affine) -> I8Tensor {
+        assert!(!shape.is_empty(), "tensor shape must have at least one dimension");
+        assert!(shape.iter().all(|&d| d > 0), "tensor dimensions must be non-zero");
+        let len = shape.iter().product();
+        TensorBase::from_parts(shape.to_vec(), vec![0; len], affine)
+    }
+
+    /// Quantizes an `f32` tensor into `affine`'s grid, rounding to nearest
+    /// and saturating at the `i8` extremes.
+    pub fn quantize(tensor: &Tensor, affine: I8Affine) -> I8Tensor {
+        let mut q = I8Tensor::zeros(tensor.shape(), affine);
+        q.quantize_from(tensor);
+        q
+    }
+
+    /// Requantizes an `f32` tensor into this tensor in place, reusing the
+    /// existing allocations — the zero-allocation entry point of episode
+    /// loops that feed float observations to the `i8` backend.
+    ///
+    /// The tensor takes `tensor`'s shape; its affine is unchanged.
+    pub fn quantize_from(&mut self, tensor: &Tensor) {
+        let affine = self.affine();
+        let (shape, words) = self.parts_mut();
+        shape.clear();
+        shape.extend_from_slice(tensor.shape());
+        words.clear();
+        words.extend(tensor.data().iter().map(|&v| affine.quantize(v)));
+    }
+
+    /// Dequantizes into a fresh `f32` tensor (exact: `word · scale` is one
+    /// f32 product per element).
+    pub fn dequantize(&self) -> Tensor {
+        let affine = self.affine();
+        Tensor::from_vec(self.shape(), self.words().iter().map(|&w| affine.dequantize(w)).collect())
+    }
+
+    /// The affine every byte is encoded in.
+    pub fn affine(&self) -> I8Affine {
+        *self.meta()
+    }
+
+    /// The value of one least-significant step.
+    pub fn scale(&self) -> f32 {
+        self.affine().scale
+    }
+
+    /// The flat byte buffer.
+    pub fn words(&self) -> &[i8] {
+        self.data()
+    }
+
+    /// The flat byte buffer, mutably — the fault-injection surface of the
+    /// `i8` backend.
+    pub fn words_mut(&mut self) -> &mut [i8] {
+        self.data_mut()
+    }
+}
+
+impl fmt::Debug for I8Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "I8Tensor {{ shape: {:?}, {} bytes at scale {} }}",
+            self.shape(),
+            self.len(),
+            self.scale()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_and_dequantize_roundtrip_grid_values() {
+        let affine = I8Affine { scale: 0.25 };
+        let t = Tensor::from_vec(&[2, 2], vec![0.0, 0.5, -1.25, 3.75]);
+        let q = I8Tensor::quantize(&t, affine);
+        assert_eq!(q.shape(), &[2, 2]);
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.dequantize().data(), t.data());
+    }
+
+    #[test]
+    fn quantize_saturates_out_of_range_values() {
+        let t = Tensor::from_vec(&[2], vec![100.0, -100.0]);
+        let q = I8Tensor::quantize(&t, I8Affine { scale: 0.25 });
+        assert_eq!(q.words(), &[127, -128]);
+    }
+
+    #[test]
+    fn quantize_from_reuses_the_tensor_and_replaces_shape() {
+        let mut q = I8Tensor::zeros(&[4], I8Affine { scale: 0.5 });
+        q.quantize_from(&Tensor::from_vec(&[2], vec![1.0, -1.0]));
+        assert_eq!(q.shape(), &[2]);
+        assert_eq!(q.words(), &[2, -2]);
+    }
+
+    #[test]
+    fn argmax_on_bytes_matches_value_argmax() {
+        let t = Tensor::from_vec(&[4], vec![-2.0, 3.5, 3.5, 1.0]);
+        let q = I8Tensor::quantize(&t, I8Affine { scale: 0.05 });
+        assert_eq!(q.argmax(), t.argmax());
+    }
+
+    #[test]
+    fn words_mut_exposes_live_storage() {
+        let mut q = I8Tensor::zeros(&[2], I8Affine { scale: 0.5 });
+        q.words_mut()[1] = 2;
+        assert_eq!(q.dequantize().data()[1], 1.0);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let q = I8Tensor::zeros(&[1], I8Affine { scale: 0.5 });
+        assert!(!format!("{q:?}").is_empty());
+    }
+}

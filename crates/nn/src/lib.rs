@@ -1,5 +1,5 @@
 //! A minimal neural-network library with fault-injectable buffers and one
-//! generic inference core instantiated for two numeric backends.
+//! generic inference core instantiated for three numeric backends.
 //!
 //! Learning-based navigation policies run on accelerators that stage data in
 //! input, weight (filter) and activation (output) buffers; the paper's fault
@@ -21,7 +21,7 @@
 //!   [`Network::forward_batch_into`] / [`Network::forward_scratch`]),
 //!   generic over the element type so every backend shares it.
 //!
-//! # One generic core, two numeric backends
+//! # One generic core, three numeric backends
 //!
 //! The crate's central abstraction is the [`Element`] trait: everything that
 //! distinguishes the numeric backends — the widened MAC accumulator, how a
@@ -29,13 +29,13 @@
 //! metadata networks and tensors carry — lives behind it. The tensor, layer
 //! and network types are *aliases of shared generic types*:
 //!
-//! | generic | `f32` backend | native fixed-point backend |
-//! |---|---|---|
-//! | [`TensorBase`]`<E>` | [`Tensor`] | [`QTensor`] |
-//! | [`layer::Conv2dBase`]`<E>` | [`layer::Conv2d`] | [`QConv2d`] |
-//! | [`layer::LinearBase`]`<E>` | [`layer::Linear`] | [`QLinear`] |
-//! | [`LayerBase`]`<E>` | [`Layer`] | [`QLayer`] |
-//! | [`NetworkBase`]`<E>` | [`Network`] | [`QNetwork`] |
+//! | generic | `f32` backend | native fixed-point | `i8` affine |
+//! |---|---|---|---|
+//! | [`TensorBase`]`<E>` | [`Tensor`] | [`QTensor`] | [`I8Tensor`] |
+//! | [`layer::Conv2dBase`]`<E>` | [`layer::Conv2d`] | [`QConv2d`] | [`I8Conv2d`] |
+//! | [`layer::LinearBase`]`<E>` | [`layer::Linear`] | [`QLinear`] | [`I8Linear`] |
+//! | [`LayerBase`]`<E>` | [`Layer`] | [`QLayer`] | [`I8Layer`] |
+//! | [`NetworkBase`]`<E>` | [`Network`] | [`QNetwork`] | [`I8Network`] |
 //!
 //! There is exactly **one** convolution kernel, one fully-connected kernel,
 //! one pooling kernel, one argmax and one batched engine in the crate; the
@@ -62,11 +62,21 @@
 //!   equivalence suite (`tests/integration_quantized_equivalence.rs`) pins it
 //!   within one LSB of the `f32` simulation per layer and bit-deterministic
 //!   across runs.
+//! * The **`i8` per-tensor affine backend** ([`I8Network`], compiled from a
+//!   trained network via [`I8Network::quantize`]) stores every buffer as
+//!   symmetric `value = word · scale` bytes ([`I8Affine`], one scale per
+//!   network), accumulates byte products exactly in a widened `i32` and
+//!   performs one rounding, saturating requantize per output element — the
+//!   serving-style Int8 scheme of inference runtimes. Its live bytes are
+//!   faultable exactly like raw Q-format words (`FaultMap::corrupt_raw` /
+//!   `corrupt_span` flip bits of the stored `i8`s), and the data-type sweeps
+//!   run it alongside the Q-formats.
 //!
-//! Adding a **third backend** is one `impl Element for NewType` plus an
+//! Adding a **further backend** is one `impl Element for NewType` plus an
 //! optional set of aliases: the layers, the engine, the GEMM path, fault
 //! injection (`navft-fault` corrupts any storage word) and the `navft-rl`
-//! evaluators are already generic.
+//! evaluators are already generic — the `i8` backend is exactly that recipe,
+//! cashed in.
 //!
 //! [`QFormat`]: navft_qformat::QFormat
 //!
@@ -85,6 +95,23 @@
 //! naive passes on every backend (enforced by the equivalence suites and the
 //! crate's proptests; [`Network::forward_batch_naive_into`] keeps the
 //! reference path callable for comparison and benchmarking).
+//!
+//! Two further accelerations sit behind the same contract:
+//!
+//! * **Runtime-dispatched SIMD microkernels** (module [`simd`]): every GEMM
+//!   sweep is first offered to an explicit `std::arch` kernel — AVX2 or the
+//!   x86-64 SSE2 baseline, selected per CPU at runtime — and falls back to
+//!   the portable scalar register tiles elsewhere. The kernels reproduce the
+//!   scalar accumulation chains bit for bit (`f32` vectorizes across output
+//!   columns with explicit multiply + add, never FMA; the integer backends
+//!   reduce across `k`, which is exact), and
+//!   [`set_force_scalar_kernels`] pins the scalar path for tests and
+//!   baselines ([`simd_kernel_name`] reports the active tier).
+//! * **In-engine batch sharding** ([`set_engine_threads`]): large batched
+//!   conv/linear sweeps shard across scoped worker threads by contiguous
+//!   batch-row ranges inside the engine — disjoint writeback, unchanged
+//!   accumulation chains, hooks still on the calling thread in per-row
+//!   program order — so results are bit-identical at any thread count.
 //!
 //! Hooks map onto batches per row: [`ForwardHooks::on_batch_input`] and
 //! [`ForwardHooks::on_batch_activation`] receive `(batch_row, layer,
@@ -107,22 +134,30 @@
 //! assert_eq!(q_values.len(), config.actions);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the `simd` module opts back in with a module-level
+// `allow` for its feature-gated intrinsics; everything else stays safe code.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod layer;
 pub mod models;
+pub mod simd;
 
 mod element;
 mod engine;
 mod gemm;
+mod i8network;
+mod i8tensor;
 mod network;
 mod qnetwork;
 mod qtensor;
 mod scratch;
 mod tensor;
 
-pub use element::Element;
+pub use element::{Element, I8Affine};
+pub use engine::{engine_threads, set_engine_threads};
+pub use i8network::{I8Conv2d, I8ForwardHooks, I8Layer, I8Linear, I8Network, I8Scratch};
+pub use i8tensor::I8Tensor;
 pub use layer::{Conv2d, Linear};
 pub use layer::{Layer, LayerBase, LayerKind};
 pub use models::{c3f2, c3f2_scaled, mlp, parametric_layer_names, C3f2Config};
@@ -134,4 +169,5 @@ pub use qnetwork::{
 };
 pub use qtensor::QTensor;
 pub use scratch::Scratch;
+pub use simd::{set_force_scalar_kernels, simd_kernel_name};
 pub use tensor::{argmax, Tensor, TensorBase};

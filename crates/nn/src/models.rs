@@ -3,8 +3,9 @@
 
 use rand::Rng;
 
+use crate::element::Element;
 use crate::layer::{Conv2d, Linear, MaxPool2d};
-use crate::{Layer, LayerKind, Network};
+use crate::{Layer, LayerKind, Network, NetworkBase};
 
 /// Builds a multi-layer perceptron with ReLU activations between layers.
 ///
@@ -152,10 +153,10 @@ pub fn c3f2_scaled<R: Rng + ?Sized>(rng: &mut R) -> Network {
 }
 
 /// Human-readable names for a network's parametric layers, in order
-/// (`conv1`, `conv2`, …, `fc1`, `fc2`, …).
+/// (`conv1`, `conv2`, …, `fc1`, `fc2`, …), on any backend.
 ///
 /// Used by the per-layer sensitivity experiment (Fig. 7d) to label its rows.
-pub fn parametric_layer_names(network: &Network) -> Vec<(String, usize)> {
+pub fn parametric_layer_names<E: Element>(network: &NetworkBase<E>) -> Vec<(String, usize)> {
     let mut conv = 0;
     let mut fc = 0;
     network

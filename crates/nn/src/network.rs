@@ -298,8 +298,8 @@ impl<E: Element> NetworkBase<E> {
     }
 
     /// The backend metadata (the optional simulation format for `f32`, the
-    /// storage format for raw words).
-    pub(crate) fn net_meta(&self) -> &E::NetMeta {
+    /// storage format for raw words, the affine scale for `i8`).
+    pub fn net_meta(&self) -> &E::NetMeta {
         &self.meta
     }
 

@@ -1,0 +1,649 @@
+//! Explicit `std::arch` SIMD microkernels behind the blocked GEMM, with
+//! runtime dispatch and a force-scalar override.
+//!
+//! The GEMM module's `gemm_bias` first offers every sweep to the backend's
+//! [`Element::gemm_simd`](crate::Element::gemm_simd) hook, which lands here;
+//! when no kernel fits the running CPU — or scalar execution is forced via
+//! [`set_force_scalar_kernels`] — the portable scalar register tiles run
+//! instead. Every kernel honours the crate's bit-exactness contract:
+//!
+//! * **`f32`** vectorizes across *output columns*: each vector lane owns one
+//!   output's full `K` chain, fed in ascending `k` order through explicit
+//!   multiply + add (never FMA, whose fused rounding would diverge from the
+//!   scalar chain), so lane `j` reproduces the scalar accumulator bit for
+//!   bit. AVX2 runs 8 columns across 4 row-blocked accumulator registers;
+//!   the x86-64 SSE2 baseline runs 4 columns. Remainder columns run the
+//!   scalar chain (f32 summation order is load-bearing).
+//! * **`i32` (Q-format) and `i8` (affine)** also vectorize full column
+//!   blocks lane-per-column (8 widened `i64` lanes for Q words, 16 `i32`
+//!   lanes for bytes), each lane fed in ascending `k` order — the scalar
+//!   chain verbatim. Remainder columns fall back to a `k`-vectorized dot
+//!   with a horizontal reduction, which is still exact because integer
+//!   addition is associative and commutative (also modulo 2ⁿ). Products
+//!   stay exact in their widened lanes, and the single rounding requantize
+//!   per output runs in the same scalar code the tile path uses. Both
+//!   kernels need AVX2; without it the scalar tiles run.
+//!
+//! This is the only module in the crate that may use `unsafe` (the crate
+//! root is `#![deny(unsafe_code)]`): every unsafe operation is a CPU
+//! intrinsic gated by `is_x86_feature_detected!` or an in-bounds raw load
+//! from a slice whose length the caller checked. Non-x86-64 targets compile
+//! declining stubs and keep the scalar tiles.
+
+#![allow(unsafe_code)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+#[allow(unused_imports)]
+use crate::element::I8Affine;
+#[allow(unused_imports)]
+use navft_qformat::QFormat;
+
+static FORCE_SCALAR: AtomicBool = AtomicBool::new(false);
+
+/// Forces every GEMM sweep onto the portable scalar register tiles,
+/// process-wide, bypassing the SIMD microkernels. The equivalence tests and
+/// the perf baseline use this to pin `scalar == SIMD` and to measure the
+/// dispatch win.
+///
+/// Safe to toggle at any time: scalar and SIMD paths are bit-identical, so
+/// a pass that races the toggle cannot observe a numeric difference.
+pub fn set_force_scalar_kernels(force: bool) {
+    FORCE_SCALAR.store(force, Ordering::Relaxed);
+}
+
+/// The kernel tier runtime dispatch selects on this CPU right now:
+/// `"avx2"`, `"sse2"`, or `"scalar"` when no tier fits (non-x86-64 targets)
+/// or scalar execution is forced.
+pub fn simd_kernel_name() -> &'static str {
+    if !simd_enabled() {
+        return "scalar";
+    }
+    best_tier_name()
+}
+
+/// Whether `gemm_bias` currently offers sweeps to the SIMD kernels at all.
+pub(crate) fn simd_enabled() -> bool {
+    !FORCE_SCALAR.load(Ordering::Relaxed)
+}
+
+#[cfg(target_arch = "x86_64")]
+fn best_tier_name() -> &'static str {
+    if std::arch::is_x86_feature_detected!("avx2") {
+        "avx2"
+    } else {
+        "sse2"
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn best_tier_name() -> &'static str {
+    "scalar"
+}
+
+/// The `f32` column kernel: AVX2 where detected, SSE2 otherwise (always
+/// present on x86-64). Never declines on x86-64.
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_f32<F: FnMut(usize, usize, f32)>(
+    a: &[f32],
+    bias: &[f32],
+    m: usize,
+    k: usize,
+    b: &[f32],
+    n: usize,
+    write: &mut F,
+) -> bool {
+    if std::arch::is_x86_feature_detected!("avx2") {
+        x86::gemm_f32_avx2(a, bias, m, k, b, n, write);
+    } else {
+        x86::gemm_f32_sse2(a, bias, m, k, b, n, write);
+    }
+    true
+}
+
+/// The raw Q-format word kernel: AVX2 only (the even/odd 32×32→64-bit
+/// multiply needs it); declines to the scalar tiles otherwise.
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_q<F: FnMut(usize, usize, i32)>(
+    ctx: QFormat,
+    a: &[i32],
+    bias: &[i32],
+    m: usize,
+    k: usize,
+    b: &[i32],
+    n: usize,
+    write: &mut F,
+) -> bool {
+    if !std::arch::is_x86_feature_detected!("avx2") {
+        return false;
+    }
+    x86::gemm_q_avx2(ctx, a, bias, m, k, b, n, write);
+    true
+}
+
+/// The `i8` affine byte kernel: AVX2 only (`cvtepi8_epi16` + `madd_epi16`);
+/// declines to the scalar tiles otherwise.
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_i8<F: FnMut(usize, usize, i8)>(
+    ctx: I8Affine,
+    a: &[i8],
+    bias: &[i8],
+    m: usize,
+    k: usize,
+    b: &[i8],
+    n: usize,
+    write: &mut F,
+) -> bool {
+    if !std::arch::is_x86_feature_detected!("avx2") {
+        return false;
+    }
+    x86::gemm_i8_avx2(ctx, a, bias, m, k, b, n, write);
+    true
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_f32<F: FnMut(usize, usize, f32)>(
+    _a: &[f32],
+    _bias: &[f32],
+    _m: usize,
+    _k: usize,
+    _b: &[f32],
+    _n: usize,
+    _write: &mut F,
+) -> bool {
+    false
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_q<F: FnMut(usize, usize, i32)>(
+    _ctx: QFormat,
+    _a: &[i32],
+    _bias: &[i32],
+    _m: usize,
+    _k: usize,
+    _b: &[i32],
+    _n: usize,
+    _write: &mut F,
+) -> bool {
+    false
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_i8<F: FnMut(usize, usize, i8)>(
+    _ctx: I8Affine,
+    _a: &[i8],
+    _bias: &[i8],
+    _m: usize,
+    _k: usize,
+    _b: &[i8],
+    _n: usize,
+    _write: &mut F,
+) -> bool {
+    false
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use std::arch::x86_64::{
+        __m128, __m128i, __m256, __m256i, _mm256_add_epi32, _mm256_add_epi64, _mm256_add_ps,
+        _mm256_cvtepi32_epi64, _mm256_cvtepi8_epi16, _mm256_loadu_ps, _mm256_loadu_si256,
+        _mm256_madd_epi16, _mm256_mul_epi32, _mm256_mul_ps, _mm256_set1_epi32, _mm256_set1_epi64x,
+        _mm256_set1_ps, _mm256_setzero_si256, _mm256_srli_epi64, _mm256_storeu_ps,
+        _mm256_storeu_si256, _mm_add_ps, _mm_loadu_ps, _mm_loadu_si128, _mm_mul_ps, _mm_set1_ps,
+        _mm_storeu_ps,
+    };
+    use std::cell::RefCell;
+
+    use navft_qformat::QFormat;
+
+    use crate::element::{Element, I8Affine};
+
+    thread_local! {
+        /// The transposed `K × NR` panel the f32 column kernels stream with
+        /// one contiguous load per `k` step, reused across sweeps so warm
+        /// passes stay allocation-free.
+        static PANEL_F32: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+        /// The raw-word twin of [`PANEL_F32`] for the Q-format kernel.
+        static PANEL_Q: RefCell<Vec<i32>> = const { RefCell::new(Vec::new()) };
+        /// The `i8` kernel's panel: bytes widened to `i16` and interleaved
+        /// in `(k, k+1)` pairs so `madd_epi16` consumes two `k` steps per
+        /// instruction (see [`pack_byte_pairs`]).
+        static PANEL_I8: RefCell<Vec<i16>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// Packs `bt[kk · nr + j] = b[(n0 + j) · k + kk]` — `nr` consecutive
+    /// columns of the reduction panel, transposed.
+    fn pack_columns<T: Copy>(bt: &mut [T], b: &[T], n0: usize, k: usize, nr: usize) {
+        for j in 0..nr {
+            let col = &b[(n0 + j) * k..(n0 + j + 1) * k];
+            for (kk, &v) in col.iter().enumerate() {
+                bt[kk * nr + j] = v;
+            }
+        }
+    }
+
+    /// The scalar per-output chains for the `< NR` remainder columns — the
+    /// same accumulation the tile path's edge case performs.
+    #[allow(clippy::too_many_arguments)]
+    fn scalar_columns<F: FnMut(usize, usize, f32)>(
+        a: &[f32],
+        bias: &[f32],
+        m: usize,
+        k: usize,
+        b: &[f32],
+        from: usize,
+        n: usize,
+        write: &mut F,
+    ) {
+        for j in from..n {
+            let col = &b[j * k..(j + 1) * k];
+            for i in 0..m {
+                let row = &a[i * k..(i + 1) * k];
+                let mut acc = bias[i];
+                for (av, bv) in row.iter().zip(col.iter()) {
+                    acc += bv * av;
+                }
+                write(i, j, acc);
+            }
+        }
+    }
+
+    pub(super) fn gemm_f32_avx2<F: FnMut(usize, usize, f32)>(
+        a: &[f32],
+        bias: &[f32],
+        m: usize,
+        k: usize,
+        b: &[f32],
+        n: usize,
+        write: &mut F,
+    ) {
+        const NR: usize = 8;
+        PANEL_F32.with(|panel| {
+            let mut bt = panel.borrow_mut();
+            if bt.len() < k * NR {
+                bt.resize(k * NR, 0.0);
+            }
+            let mut n0 = 0;
+            while n0 + NR <= n {
+                pack_columns(&mut bt[..k * NR], b, n0, k, NR);
+                // SAFETY: the dispatcher verified AVX2; the panel slice holds
+                // exactly k × 8 packed floats.
+                unsafe { rows_avx2(a, bias, m, k, &bt[..k * NR], n0, write) };
+                n0 += NR;
+            }
+            scalar_columns(a, bias, m, k, b, n0, n, write);
+        });
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn rows_avx2<F: FnMut(usize, usize, f32)>(
+        a: &[f32],
+        bias: &[f32],
+        m: usize,
+        k: usize,
+        bt: &[f32],
+        n0: usize,
+        write: &mut F,
+    ) {
+        debug_assert_eq!(bt.len(), k * 8);
+        // 4-row blocks: four independent accumulator registers share each
+        // panel load and break the one-add-per-cycle dependency chain a
+        // single register would impose. Lane `j` of register `r` still sums
+        // `bias[i + r] + Σ_k a·b` in ascending `k` order — the scalar chain.
+        const MR: usize = 4;
+        let mut i = 0;
+        while i + MR <= m {
+            let rows: [&[f32]; MR] = std::array::from_fn(|r| &a[(i + r) * k..(i + r + 1) * k]);
+            let mut acc: [__m256; MR] = std::array::from_fn(|r| _mm256_set1_ps(bias[i + r]));
+            #[allow(clippy::needless_range_loop)] // kk indexes `bt` and all MR rows
+            for kk in 0..k {
+                // Explicit multiply + add: FMA's fused rounding would break
+                // bit-identity with the scalar chain.
+                let bv = _mm256_loadu_ps(bt.as_ptr().add(kk * 8));
+                for r in 0..MR {
+                    acc[r] = _mm256_add_ps(acc[r], _mm256_mul_ps(_mm256_set1_ps(rows[r][kk]), bv));
+                }
+            }
+            for (r, &reg) in acc.iter().enumerate() {
+                let mut lanes = [0.0f32; 8];
+                _mm256_storeu_ps(lanes.as_mut_ptr(), reg);
+                for (j, &v) in lanes.iter().enumerate() {
+                    write(i + r, n0 + j, v);
+                }
+            }
+            i += MR;
+        }
+        while i < m {
+            let row = &a[i * k..(i + 1) * k];
+            let mut acc = _mm256_set1_ps(bias[i]);
+            for (kk, &av) in row.iter().enumerate() {
+                let bv = _mm256_loadu_ps(bt.as_ptr().add(kk * 8));
+                acc = _mm256_add_ps(acc, _mm256_mul_ps(_mm256_set1_ps(av), bv));
+            }
+            let mut lanes = [0.0f32; 8];
+            _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+            for (j, &v) in lanes.iter().enumerate() {
+                write(i, n0 + j, v);
+            }
+            i += 1;
+        }
+    }
+
+    pub(super) fn gemm_f32_sse2<F: FnMut(usize, usize, f32)>(
+        a: &[f32],
+        bias: &[f32],
+        m: usize,
+        k: usize,
+        b: &[f32],
+        n: usize,
+        write: &mut F,
+    ) {
+        const NR: usize = 4;
+        PANEL_F32.with(|panel| {
+            let mut bt = panel.borrow_mut();
+            if bt.len() < k * NR {
+                bt.resize(k * NR, 0.0);
+            }
+            let mut n0 = 0;
+            while n0 + NR <= n {
+                pack_columns(&mut bt[..k * NR], b, n0, k, NR);
+                // SAFETY: SSE/SSE2 are part of the x86-64 baseline; the
+                // panel slice holds exactly k × 4 packed floats.
+                unsafe { rows_sse2(a, bias, m, k, &bt[..k * NR], n0, write) };
+                n0 += NR;
+            }
+            scalar_columns(a, bias, m, k, b, n0, n, write);
+        });
+    }
+
+    #[target_feature(enable = "sse,sse2")]
+    unsafe fn rows_sse2<F: FnMut(usize, usize, f32)>(
+        a: &[f32],
+        bias: &[f32],
+        m: usize,
+        k: usize,
+        bt: &[f32],
+        n0: usize,
+        write: &mut F,
+    ) {
+        debug_assert_eq!(bt.len(), k * 4);
+        for i in 0..m {
+            let row = &a[i * k..(i + 1) * k];
+            let mut acc: __m128 = _mm_set1_ps(bias[i]);
+            for (kk, &av) in row.iter().enumerate() {
+                let bv = _mm_loadu_ps(bt.as_ptr().add(kk * 4));
+                acc = _mm_add_ps(acc, _mm_mul_ps(_mm_set1_ps(av), bv));
+            }
+            let mut lanes = [0.0f32; 4];
+            _mm_storeu_ps(lanes.as_mut_ptr(), acc);
+            for (j, &v) in lanes.iter().enumerate() {
+                write(i, n0 + j, v);
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn gemm_q_avx2<F: FnMut(usize, usize, i32)>(
+        ctx: QFormat,
+        a: &[i32],
+        bias: &[i32],
+        m: usize,
+        k: usize,
+        b: &[i32],
+        n: usize,
+        write: &mut F,
+    ) {
+        const NR: usize = 8;
+        PANEL_Q.with(|panel| {
+            let mut bt = panel.borrow_mut();
+            if bt.len() < k * NR {
+                bt.resize(k * NR, 0);
+            }
+            let mut n0 = 0;
+            while n0 + NR <= n {
+                pack_columns(&mut bt[..k * NR], b, n0, k, NR);
+                // SAFETY: the dispatcher verified AVX2; the panel slice
+                // holds exactly k × 8 packed words.
+                unsafe { rows_q_avx2(ctx, a, bias, m, k, &bt[..k * NR], n0, write) };
+                n0 += NR;
+            }
+            // Tail columns: k-vectorized dots — a different summation order,
+            // but wrapping integer addition is associative, so still exact.
+            for ni in n0..n {
+                let brow = &b[ni * k..(ni + 1) * k];
+                for mi in 0..m {
+                    let arow = &a[mi * k..(mi + 1) * k];
+                    // SAFETY: the dispatcher verified AVX2.
+                    let dot = unsafe { dot_words_avx2(arow, brow) };
+                    let acc = <i32 as Element>::acc_init(bias[mi], ctx).wrapping_add(dot);
+                    write(mi, ni, <i32 as Element>::finish(acc, ctx));
+                }
+            }
+        });
+    }
+
+    /// Eight-column lane-per-column kernel for raw Q-format words: each
+    /// `i64` lane accumulates `acc_init(bias) + Σ_k a·b` in ascending `k`
+    /// order — the scalar tile's chain verbatim (`mul_epi32` sign-extends
+    /// the low 32 bits of each lane, so every product is the exact widened
+    /// `i64`).
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn rows_q_avx2<F: FnMut(usize, usize, i32)>(
+        ctx: QFormat,
+        a: &[i32],
+        bias: &[i32],
+        m: usize,
+        k: usize,
+        bt: &[i32],
+        n0: usize,
+        write: &mut F,
+    ) {
+        debug_assert_eq!(bt.len(), k * 8);
+        for i in 0..m {
+            let row = &a[i * k..(i + 1) * k];
+            let init = <i32 as Element>::acc_init(bias[i], ctx);
+            let mut lo = _mm256_set1_epi64x(init);
+            let mut hi = _mm256_set1_epi64x(init);
+            for (kk, &av) in row.iter().enumerate() {
+                let va = _mm256_set1_epi64x(i64::from(av));
+                let b_lo = _mm256_cvtepi32_epi64(_mm_loadu_si128(
+                    bt.as_ptr().add(kk * 8).cast::<__m128i>(),
+                ));
+                let b_hi = _mm256_cvtepi32_epi64(_mm_loadu_si128(
+                    bt.as_ptr().add(kk * 8 + 4).cast::<__m128i>(),
+                ));
+                lo = _mm256_add_epi64(lo, _mm256_mul_epi32(va, b_lo));
+                hi = _mm256_add_epi64(hi, _mm256_mul_epi32(va, b_hi));
+            }
+            let mut lanes = [0i64; 8];
+            _mm256_storeu_si256(lanes.as_mut_ptr().cast::<__m256i>(), lo);
+            _mm256_storeu_si256(lanes.as_mut_ptr().add(4).cast::<__m256i>(), hi);
+            for (j, &acc) in lanes.iter().enumerate() {
+                write(i, n0 + j, <i32 as Element>::finish(acc, ctx));
+            }
+        }
+    }
+
+    /// `Σ a[t] · b[t]` in a widened `i64`, exactly — the scalar MAC chain's
+    /// sum in a different (irrelevant, integer addition is associative)
+    /// order.
+    #[target_feature(enable = "avx2")]
+    unsafe fn dot_words_avx2(a: &[i32], b: &[i32]) -> i64 {
+        debug_assert_eq!(a.len(), b.len());
+        let mut even = _mm256_setzero_si256();
+        let mut odd = _mm256_setzero_si256();
+        let chunks = a.len() / 8;
+        for c in 0..chunks {
+            let va = _mm256_loadu_si256(a.as_ptr().add(c * 8).cast::<__m256i>());
+            let vb = _mm256_loadu_si256(b.as_ptr().add(c * 8).cast::<__m256i>());
+            even = _mm256_add_epi64(even, _mm256_mul_epi32(va, vb));
+            // The logical 64-bit shift moves each odd 32-bit word into a
+            // `mul_epi32` source position; the multiply sign-extends the low
+            // halves, so the zero fill above them is irrelevant.
+            let va_odd = _mm256_srli_epi64(va, 32);
+            let vb_odd = _mm256_srli_epi64(vb, 32);
+            odd = _mm256_add_epi64(odd, _mm256_mul_epi32(va_odd, vb_odd));
+        }
+        let mut lanes = [0i64; 4];
+        _mm256_storeu_si256(lanes.as_mut_ptr().cast::<__m256i>(), _mm256_add_epi64(even, odd));
+        let mut total = lanes.iter().fold(0i64, |s, &l| s.wrapping_add(l));
+        for t in chunks * 8..a.len() {
+            total = total.wrapping_add(i64::from(a[t]) * i64::from(b[t]));
+        }
+        total
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn gemm_i8_avx2<F: FnMut(usize, usize, i8)>(
+        ctx: I8Affine,
+        a: &[i8],
+        bias: &[i8],
+        m: usize,
+        k: usize,
+        b: &[i8],
+        n: usize,
+        write: &mut F,
+    ) {
+        const NR: usize = 16;
+        let kpairs = k.div_ceil(2);
+        PANEL_I8.with(|panel| {
+            let mut bt = panel.borrow_mut();
+            if bt.len() < kpairs * 2 * NR {
+                bt.resize(kpairs * 2 * NR, 0);
+            }
+            let mut n0 = 0;
+            while n0 + NR <= n {
+                pack_byte_pairs(&mut bt[..kpairs * 2 * NR], b, n0, k);
+                // SAFETY: the dispatcher verified AVX2; the panel slice
+                // holds exactly kpairs × 32 packed pair lanes.
+                unsafe { rows_i8_avx2(ctx, a, bias, m, k, &bt[..kpairs * 2 * NR], n0, write) };
+                n0 += NR;
+            }
+            // Tail columns: k-vectorized dots — a different summation order,
+            // but wrapping integer addition is associative, so still exact.
+            for ni in n0..n {
+                let brow = &b[ni * k..(ni + 1) * k];
+                for mi in 0..m {
+                    let arow = &a[mi * k..(mi + 1) * k];
+                    // SAFETY: the dispatcher verified AVX2.
+                    let dot = unsafe { dot_bytes_avx2(arow, brow) };
+                    let acc = <i8 as Element>::acc_init(bias[mi], ctx).wrapping_add(dot);
+                    write(mi, ni, <i8 as Element>::finish(acc, ctx));
+                }
+            }
+        });
+    }
+
+    /// Packs 16 columns of the byte panel for [`rows_i8_avx2`], widened to
+    /// `i16` and interleaved in `(2p, 2p + 1)` reduction pairs: pair block
+    /// `p` holds `[b(2p, j), b(2p+1, j)]` for columns `j = 0..8` in its
+    /// first 16 lanes and columns `8..16` in its next 16, so one 256-bit
+    /// load feeds `madd_epi16` for eight columns. An odd trailing `k` step
+    /// is padded with a zero partner (`a · 0` contributes nothing).
+    fn pack_byte_pairs(bt: &mut [i16], b: &[i8], n0: usize, k: usize) {
+        let kpairs = k.div_ceil(2);
+        debug_assert_eq!(bt.len(), kpairs * 32);
+        for j in 0..16 {
+            let col = &b[(n0 + j) * k..(n0 + j + 1) * k];
+            let base = (j / 8) * 16 + (j % 8) * 2;
+            for p in 0..kpairs {
+                bt[p * 32 + base] = i16::from(col[2 * p]);
+                bt[p * 32 + base + 1] = if 2 * p + 1 < k { i16::from(col[2 * p + 1]) } else { 0 };
+            }
+        }
+    }
+
+    /// Sixteen-column lane-per-column kernel for affine bytes: each `i32`
+    /// lane accumulates `acc_init(bias) + Σ_k a·b` with `madd_epi16`
+    /// folding each ascending `(k, k+1)` product pair before the lane add —
+    /// wrapping `i32` addition is associative, so the result equals the
+    /// scalar tile's one-at-a-time chain exactly. Every product is exact in
+    /// 16-bit-input arithmetic (`|a·b| ≤ 127²`, pair sums ≤ 2·127² — far
+    /// from `madd`'s only saturation point) and `add_epi32` wraps like the
+    /// scalar accumulator.
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn rows_i8_avx2<F: FnMut(usize, usize, i8)>(
+        ctx: I8Affine,
+        a: &[i8],
+        bias: &[i8],
+        m: usize,
+        k: usize,
+        bt: &[i16],
+        n0: usize,
+        write: &mut F,
+    ) {
+        let kpairs = k.div_ceil(2);
+        debug_assert_eq!(bt.len(), kpairs * 32);
+        for i in 0..m {
+            let row = &a[i * k..(i + 1) * k];
+            let init = <i8 as Element>::acc_init(bias[i], ctx);
+            let mut lo = _mm256_set1_epi32(init);
+            let mut hi = _mm256_set1_epi32(init);
+            for p in 0..kpairs {
+                // Sign-extend each byte into its 16-bit lane (`as i16`),
+                // then reinterpret the bits for the shift-or pack.
+                let a0 = u32::from(row[2 * p] as i16 as u16);
+                let a1 = if 2 * p + 1 < k { u32::from(row[2 * p + 1] as i16 as u16) } else { 0 };
+                let va = _mm256_set1_epi32((a0 | (a1 << 16)) as i32);
+                let b_lo = _mm256_loadu_si256(bt.as_ptr().add(p * 32).cast::<__m256i>());
+                let b_hi = _mm256_loadu_si256(bt.as_ptr().add(p * 32 + 16).cast::<__m256i>());
+                lo = _mm256_add_epi32(lo, _mm256_madd_epi16(va, b_lo));
+                hi = _mm256_add_epi32(hi, _mm256_madd_epi16(va, b_hi));
+            }
+            let mut lanes = [0i32; 16];
+            _mm256_storeu_si256(lanes.as_mut_ptr().cast::<__m256i>(), lo);
+            _mm256_storeu_si256(lanes.as_mut_ptr().add(8).cast::<__m256i>(), hi);
+            for (j, &acc) in lanes.iter().enumerate() {
+                write(i, n0 + j, <i8 as Element>::finish(acc, ctx));
+            }
+        }
+    }
+
+    /// `Σ a[t] · b[t]` over bytes in a widened `i32`, exactly: the bytes are
+    /// sign-extended to 16 bits and pair-multiply-added (`|a·b| ≤ 127²`
+    /// keeps every pair sum far from `madd`'s only saturation point,
+    /// `i16::MIN · i16::MIN`).
+    #[target_feature(enable = "avx2")]
+    unsafe fn dot_bytes_avx2(a: &[i8], b: &[i8]) -> i32 {
+        debug_assert_eq!(a.len(), b.len());
+        let mut acc = _mm256_setzero_si256();
+        let chunks = a.len() / 16;
+        for c in 0..chunks {
+            let va = _mm_loadu_si128(a.as_ptr().add(c * 16).cast::<__m128i>());
+            let vb = _mm_loadu_si128(b.as_ptr().add(c * 16).cast::<__m128i>());
+            let prod = _mm256_madd_epi16(_mm256_cvtepi8_epi16(va), _mm256_cvtepi8_epi16(vb));
+            acc = _mm256_add_epi32(acc, prod);
+        }
+        let mut lanes = [0i32; 8];
+        _mm256_storeu_si256(lanes.as_mut_ptr().cast::<__m256i>(), acc);
+        let mut total = lanes.iter().fold(0i32, |s, &l| s.wrapping_add(l));
+        for t in chunks * 16..a.len() {
+            total = total.wrapping_add(i32::from(a[t]) * i32::from(b[t]));
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_name_reports_scalar_when_forced() {
+        // Serialized against other toggling tests by running in this module
+        // only; restore the default before returning.
+        set_force_scalar_kernels(true);
+        assert_eq!(simd_kernel_name(), "scalar");
+        set_force_scalar_kernels(false);
+        let name = simd_kernel_name();
+        assert!(["avx2", "sse2", "scalar"].contains(&name), "unknown tier {name}");
+    }
+}

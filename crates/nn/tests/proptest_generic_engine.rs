@@ -10,7 +10,10 @@
 //!   for bit** on both backends at batch sizes {1, 7, 64}.
 
 use navft_nn::layer::{Conv2d, Linear, MaxPool2d};
-use navft_nn::{mlp, Layer, Network, NoHooks, QNetwork, QScratch, QTensor, Scratch, Tensor};
+use navft_nn::{
+    mlp, I8Network, I8Scratch, I8Tensor, Layer, Network, NoHooks, QNetwork, QScratch, QTensor,
+    Scratch, Tensor,
+};
 use navft_qformat::{QFormat, QValue};
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
@@ -105,6 +108,27 @@ proptest! {
             qnet.forward_batch_into(&qinputs, &mut blocked, &mut NoHooks);
             let mut naive = QScratch::new();
             qnet.forward_batch_naive_into(&qinputs, &mut naive, &mut NoHooks);
+            for b in 0..batch {
+                prop_assert_eq!(blocked.row(b), naive.row(b), "batch {} row {}", batch, b);
+            }
+        }
+    }
+
+    /// The blocked GEMM path equals the naive kernel path bit for bit on the
+    /// `i8` per-tensor affine backend at batches {1, 7, 64}.
+    #[test]
+    fn i8_gemm_path_equals_naive_path_at_pinned_batches(seed in 0u64..24) {
+        let (net, in_shape) = arbitrary_conv_net(seed);
+        let inet = I8Network::quantize(&net);
+        for &batch in &BATCHES {
+            let iinputs: Vec<I8Tensor> = batch_inputs(&in_shape, batch, seed ^ batch as u64)
+                .iter()
+                .map(|t| I8Tensor::quantize(t, inet.affine()))
+                .collect();
+            let mut blocked = I8Scratch::new();
+            inet.forward_batch_into(&iinputs, &mut blocked, &mut NoHooks);
+            let mut naive = I8Scratch::new();
+            inet.forward_batch_naive_into(&iinputs, &mut naive, &mut NoHooks);
             for b in 0..batch {
                 prop_assert_eq!(blocked.row(b), naive.row(b), "batch {} row {}", batch, b);
             }

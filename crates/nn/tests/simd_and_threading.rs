@@ -1,0 +1,173 @@
+//! Integration tests for the runtime kernel dispatch and the in-engine
+//! batch sharding:
+//!
+//! * the dispatched (best-available SIMD) kernels are **bit-identical** to
+//!   the forced portable scalar tiles on all three backends, at batch sizes
+//!   covering the panel remainder paths;
+//! * the threaded engine produces the same bytes at 1, 2 and 8 worker
+//!   threads (deterministic row-range writeback).
+//!
+//! Both knobs are process-global, so every test serializes on one lock and
+//! restores the defaults before releasing it.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use navft_nn::{
+    c3f2_scaled, mlp, set_engine_threads, set_force_scalar_kernels, simd_kernel_name, I8Network,
+    I8Scratch, I8Tensor, NoHooks, QNetwork, QScratch, QTensor, Scratch, Tensor,
+};
+use navft_qformat::QFormat;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Serializes tests that flip the process-global dispatch/threading knobs.
+fn global_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    // A test that panicked mid-flip leaves consistent state behind (the
+    // guard below restores it on drop), so a poisoned lock is still usable.
+    match LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Restores the default dispatch and threading configuration on drop, so a
+/// failing assertion cannot leak forced-scalar or multi-threaded state into
+/// other tests.
+struct RestoreDefaults;
+
+impl Drop for RestoreDefaults {
+    fn drop(&mut self) {
+        set_force_scalar_kernels(false);
+        set_engine_threads(1);
+    }
+}
+
+const BATCHES: [usize; 3] = [1, 7, 64];
+
+fn models(seed: u64) -> Vec<(&'static str, navft_nn::Network, Vec<usize>)> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    vec![
+        ("grid-mlp", mlp(&[100, 32, 4], &mut rng), vec![100]),
+        ("c3f2-scaled", c3f2_scaled(&mut rng), vec![1, 31, 31]),
+    ]
+}
+
+fn inputs(shape: &[usize], batch: usize, seed: u64) -> Vec<Tensor> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..batch).map(|_| Tensor::uniform(shape, 1.0, &mut rng)).collect()
+}
+
+#[test]
+fn dispatched_kernels_match_forced_scalar_bit_for_bit_on_all_backends() {
+    let _lock = global_lock();
+    let _restore = RestoreDefaults;
+    for (name, net, shape) in models(0x51D) {
+        let qnet = QNetwork::quantize(&net, QFormat::Q4_11);
+        let inet = I8Network::quantize(&net);
+        for &batch in &BATCHES {
+            let batch_f32 = inputs(&shape, batch, 0xBA5E ^ batch as u64);
+            let batch_q: Vec<QTensor> =
+                batch_f32.iter().map(|t| QTensor::quantize(t, QFormat::Q4_11)).collect();
+            let batch_i8: Vec<I8Tensor> =
+                batch_f32.iter().map(|t| I8Tensor::quantize(t, inet.affine())).collect();
+
+            set_force_scalar_kernels(true);
+            assert_eq!(simd_kernel_name(), "scalar");
+            let mut scalar_f32 = Scratch::new();
+            net.forward_batch_into(&batch_f32, &mut scalar_f32, &mut NoHooks);
+            let mut scalar_q = QScratch::new();
+            qnet.forward_batch_into(&batch_q, &mut scalar_q, &mut NoHooks);
+            let mut scalar_i8 = I8Scratch::new();
+            inet.forward_batch_into(&batch_i8, &mut scalar_i8, &mut NoHooks);
+
+            set_force_scalar_kernels(false);
+            let mut simd_f32 = Scratch::new();
+            net.forward_batch_into(&batch_f32, &mut simd_f32, &mut NoHooks);
+            let mut simd_q = QScratch::new();
+            qnet.forward_batch_into(&batch_q, &mut simd_q, &mut NoHooks);
+            let mut simd_i8 = I8Scratch::new();
+            inet.forward_batch_into(&batch_i8, &mut simd_i8, &mut NoHooks);
+
+            for b in 0..batch {
+                assert_eq!(
+                    scalar_f32.row(b),
+                    simd_f32.row(b),
+                    "{name} f32 batch {batch} row {b} ({})",
+                    simd_kernel_name()
+                );
+                assert_eq!(
+                    scalar_q.row(b),
+                    simd_q.row(b),
+                    "{name} q4.11 batch {batch} row {b} ({})",
+                    simd_kernel_name()
+                );
+                assert_eq!(
+                    scalar_i8.row(b),
+                    simd_i8.row(b),
+                    "{name} i8 batch {batch} row {b} ({})",
+                    simd_kernel_name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn threaded_engine_is_bit_identical_at_1_2_and_8_threads() {
+    let _lock = global_lock();
+    let _restore = RestoreDefaults;
+    for (name, net, shape) in models(0x7831) {
+        let qnet = QNetwork::quantize(&net, QFormat::Q7_8);
+        let inet = I8Network::quantize(&net);
+        let batch_f32 = inputs(&shape, 16, 0xC0FE);
+        let batch_q: Vec<QTensor> =
+            batch_f32.iter().map(|t| QTensor::quantize(t, QFormat::Q7_8)).collect();
+        let batch_i8: Vec<I8Tensor> =
+            batch_f32.iter().map(|t| I8Tensor::quantize(t, inet.affine())).collect();
+
+        set_engine_threads(1);
+        let mut base_f32 = Scratch::new();
+        net.forward_batch_into(&batch_f32, &mut base_f32, &mut NoHooks);
+        let mut base_q = QScratch::new();
+        qnet.forward_batch_into(&batch_q, &mut base_q, &mut NoHooks);
+        let mut base_i8 = I8Scratch::new();
+        inet.forward_batch_into(&batch_i8, &mut base_i8, &mut NoHooks);
+
+        for threads in [2, 8] {
+            set_engine_threads(threads);
+            assert_eq!(navft_nn::engine_threads(), threads);
+            let mut t_f32 = Scratch::new();
+            net.forward_batch_into(&batch_f32, &mut t_f32, &mut NoHooks);
+            let mut t_q = QScratch::new();
+            qnet.forward_batch_into(&batch_q, &mut t_q, &mut NoHooks);
+            let mut t_i8 = I8Scratch::new();
+            inet.forward_batch_into(&batch_i8, &mut t_i8, &mut NoHooks);
+            for b in 0..batch_f32.len() {
+                assert_eq!(base_f32.row(b), t_f32.row(b), "{name} f32 threads {threads} row {b}");
+                assert_eq!(base_q.row(b), t_q.row(b), "{name} q7.8 threads {threads} row {b}");
+                assert_eq!(base_i8.row(b), t_i8.row(b), "{name} i8 threads {threads} row {b}");
+            }
+        }
+    }
+}
+
+#[test]
+fn threading_composes_with_forced_scalar_kernels() {
+    let _lock = global_lock();
+    let _restore = RestoreDefaults;
+    let mut rng = SmallRng::seed_from_u64(0x5CA1);
+    let net = mlp(&[64, 48, 8], &mut rng);
+    let batch = inputs(&[64], 32, 0xD15B);
+
+    let mut reference = Scratch::new();
+    net.forward_batch_into(&batch, &mut reference, &mut NoHooks);
+
+    set_force_scalar_kernels(true);
+    set_engine_threads(8);
+    let mut combined = Scratch::new();
+    net.forward_batch_into(&batch, &mut combined, &mut NoHooks);
+    for b in 0..batch.len() {
+        assert_eq!(reference.row(b), combined.row(b), "row {b}");
+    }
+}

@@ -73,7 +73,8 @@ impl InferenceFaultMode {
 
 /// Backend glue the generic evaluators need on top of [`Element`]: how task
 /// observations become the policy's input storage. Implemented for `f32`
-/// (identity copies) and `i32` (quantization into the policy's format).
+/// (identity copies), `i32` (quantization into the policy's format) and `i8`
+/// (quantization onto the policy's affine grid).
 pub trait EvalElement: Element + StoredWord {
     /// A zeroed input buffer of `shape` compatible with `network`.
     fn input_buffer(shape: &[usize], network: &NetworkBase<Self>) -> TensorBase<Self>;
@@ -124,6 +125,26 @@ impl EvalElement for i32 {
         observation: &'a navft_nn::Tensor,
         buf: &'a mut navft_nn::QTensor,
     ) -> &'a navft_nn::QTensor {
+        buf.quantize_from(observation);
+        buf
+    }
+}
+
+impl EvalElement for i8 {
+    fn input_buffer(shape: &[usize], network: &navft_nn::I8Network) -> navft_nn::I8Tensor {
+        navft_nn::I8Tensor::zeros(shape, network.affine())
+    }
+
+    fn one_hot(state: usize, buf: &mut navft_nn::I8Tensor) {
+        let one = buf.affine().quantize(1.0);
+        buf.words_mut().fill(0);
+        buf.words_mut()[state] = one;
+    }
+
+    fn encode<'a>(
+        observation: &'a navft_nn::Tensor,
+        buf: &'a mut navft_nn::I8Tensor,
+    ) -> &'a navft_nn::I8Tensor {
         buf.quantize_from(observation);
         buf
     }
@@ -663,6 +684,55 @@ mod tests {
             &mut SmallRng::seed_from_u64(9),
         );
         assert_eq!(result.success_rate, 1.0);
+    }
+
+    #[test]
+    fn i8_discrete_evaluation_matches_the_f32_backend() {
+        let mut rng = SmallRng::seed_from_u64(14);
+        let mut net = mlp(&[3, 2], &mut rng);
+        net.layer_weights_mut(0)
+            .expect("weights")
+            .copy_from_slice(&[1.0, 1.0, 1.0, -1.0, -1.0, -1.0]);
+        let inet = navft_nn::I8Network::quantize(&net);
+        let mut env = Line { position: 1 };
+        let result = evaluate_policy_discrete(
+            &mut env,
+            &inet,
+            20,
+            10,
+            &InferenceFaultMode::None,
+            &mut SmallRng::seed_from_u64(15),
+        );
+        assert_eq!(result.success_rate, 1.0);
+    }
+
+    #[test]
+    fn corrupt_i8_policy_weights_flips_live_bytes_in_the_faulted_span() {
+        let mut rng = SmallRng::seed_from_u64(16);
+        let net = mlp(&[3, 4, 2], &mut rng);
+        let inet = navft_nn::I8Network::quantize(&net);
+        let map =
+            FaultMap::from_faults(vec![BitFault { word: 13, bit: 3, kind: FaultKind::BitFlip }]);
+        let injector = Injector::new(FaultTarget::new(FaultSite::WeightBuffer), QFormat::Q3_4, map);
+        let corrupted =
+            corrupt_policy_weights(&inet, &InferenceFaultMode::TransientWholeEpisode(injector));
+        // Word 13 lives in the second linear layer (span 12..20).
+        let layers = inet.parametric_layers();
+        let span = inet.weight_span(layers[1]);
+        assert!(span.contains(&13));
+        let before = inet.layer_weights_raw(layers[1]).expect("bytes");
+        let after = corrupted.layer_weights_raw(layers[1]).expect("bytes");
+        let local = 13 - span.start;
+        assert_eq!(after[local], before[local] ^ (1 << 3));
+        assert_eq!(
+            before.iter().zip(after.iter()).filter(|(a, b)| a != b).count(),
+            1,
+            "exactly one live byte changes"
+        );
+        assert_eq!(
+            inet.layer_weights_raw(layers[0]).expect("bytes"),
+            corrupted.layer_weights_raw(layers[0]).expect("bytes")
+        );
     }
 
     #[test]

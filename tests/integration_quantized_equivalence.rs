@@ -14,14 +14,21 @@
 //!   bits of the stored words in place (single integer ops, no dequantize
 //!   round trip) and agrees with the `f32` backend's corruption of the same
 //!   fault pattern.
+//!
+//! The `i8` per-tensor affine backend gets the same treatment with the
+//! contracts its saturating requantization supports: bit determinism,
+//! batched == serial, in-place byte corruption and an exact
+//! dequantize → requantize round trip.
 
 use navft_fault::{FaultKind, FaultSite, FaultTarget, Injector};
 use navft_nn::{
-    mlp, C3f2Config, ForwardHooks, LayerKind, Network, QForwardHooks, QNetwork, QScratch, QTensor,
-    Tensor,
+    mlp, C3f2Config, ForwardHooks, I8Network, I8Scratch, I8Tensor, LayerKind, Network,
+    QForwardHooks, QNetwork, QScratch, QTensor, Tensor,
 };
 use navft_qformat::QFormat;
-use navft_rl::{corrupt_network_weights, corrupt_qnetwork_weights, InferenceFaultMode};
+use navft_rl::{
+    corrupt_network_weights, corrupt_policy_weights, corrupt_qnetwork_weights, InferenceFaultMode,
+};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -139,6 +146,92 @@ fn batched_native_engine_is_bit_identical_to_serial() {
                 }
             }
         }
+    }
+}
+
+#[test]
+fn i8_native_passes_are_bit_deterministic_and_batched_equals_serial() {
+    for (name, network, input) in models(0x0E4).into_iter().take(2) {
+        let inet = I8Network::quantize(&network);
+        let iinput = I8Tensor::quantize(&input, inet.affine());
+        let first = inet.forward(&iinput);
+        assert_eq!(first.words(), inet.forward(&iinput).words(), "{name}/i8 is not deterministic");
+        let mut rng = SmallRng::seed_from_u64(0xBA7D);
+        for batch in [1usize, 2, 7] {
+            let inputs: Vec<I8Tensor> = (0..batch)
+                .map(|_| {
+                    I8Tensor::quantize(
+                        &Tensor::uniform(input.shape(), 1.0, &mut rng),
+                        inet.affine(),
+                    )
+                })
+                .collect();
+            let mut scratch = I8Scratch::new();
+            let batched = inet.forward_batch(&inputs, &mut scratch);
+            for (b, (iin, out)) in inputs.iter().zip(batched.iter()).enumerate() {
+                assert_eq!(
+                    out.words(),
+                    inet.forward(iin).words(),
+                    "{name}/i8 batch {batch} row {b} diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn i8_fault_injection_flips_live_bytes_in_place() {
+    let (_, network, input) = models(0x0E5).swap_remove(0);
+    let inet = I8Network::quantize(&network);
+    // 8 stored bits per affine byte: sample the fault map over that layout.
+    let byte_format = QFormat::Q3_4;
+    let mut rng = SmallRng::seed_from_u64(0x18);
+    let injector = Injector::sample(
+        FaultTarget::new(FaultSite::WeightBuffer),
+        inet.weight_count(),
+        byte_format,
+        0.005,
+        FaultKind::BitFlip,
+        &mut rng,
+    );
+    assert!(injector.fault_count() > 0);
+    let mode = InferenceFaultMode::TransientWholeEpisode(injector.clone());
+
+    // Native corruption: each fault is one byte operation on live storage —
+    // the before/after buffers differ exactly at the XORed bits.
+    let corrupted = corrupt_policy_weights(&inet, &mode);
+    let mut expected_flat: Vec<i8> = Vec::new();
+    for layer in inet.parametric_layers() {
+        expected_flat.extend_from_slice(inet.layer_weights_raw(layer).expect("bytes"));
+    }
+    for fault in injector.map().faults() {
+        let byte = &mut expected_flat[fault.word];
+        *byte = (*byte as u8 ^ (1u8 << fault.bit)) as i8;
+    }
+    let mut corrupted_flat: Vec<i8> = Vec::new();
+    for layer in corrupted.parametric_layers() {
+        corrupted_flat.extend_from_slice(corrupted.layer_weights_raw(layer).expect("bytes"));
+    }
+    assert_eq!(corrupted_flat, expected_flat, "i8: live bytes must flip in place");
+
+    // The corrupted policy still runs end to end on stored bytes.
+    let iinput = I8Tensor::quantize(&input, inet.affine());
+    let out = corrupted.forward(&iinput);
+    assert_eq!(out.words().len(), inet.forward(&iinput).words().len());
+}
+
+#[test]
+fn i8_dequantize_round_trips_onto_the_affine_grid() {
+    let (_, network, _) = models(0x0E6).swap_remove(0);
+    let inet = I8Network::quantize(&network);
+    let recovered = inet.dequantize();
+    let requantized = I8Network::quantize_with(&recovered, inet.affine());
+    for layer in inet.parametric_layers() {
+        assert_eq!(
+            inet.layer_weights_raw(layer).expect("bytes"),
+            requantized.layer_weights_raw(layer).expect("bytes"),
+            "dequantize → requantize must be the identity on stored bytes"
+        );
     }
 }
 

@@ -86,11 +86,20 @@ fn artifacts_are_byte_identical_across_thread_counts() {
     let baseline_dir = temp_dir("threads-1");
     run_synthetic(&baseline_dir, 1, false);
     let baseline = read_figure_artifacts(&baseline_dir);
+    let baseline_journal =
+        std::fs::read_to_string(baseline_dir.join("journal.jsonl")).expect("journal");
     assert_eq!(baseline.len(), 2);
     for threads in [2, 8] {
         let dir = temp_dir(&format!("threads-{threads}"));
         run_synthetic(&dir, threads, false);
         assert_eq!(read_figure_artifacts(&dir), baseline, "threads = {threads}");
+        // The journal buffers completions and appends in cell-declaration
+        // order, so even its line order is thread-count invariant.
+        assert_eq!(
+            std::fs::read_to_string(dir.join("journal.jsonl")).expect("journal"),
+            baseline_journal,
+            "journal bytes at threads = {threads}"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
     std::fs::remove_dir_all(&baseline_dir).unwrap();
