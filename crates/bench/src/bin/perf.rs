@@ -1,5 +1,6 @@
 //! Emits a machine-readable perf snapshot, `BENCH_<rev>.json`, for the
-//! batched GEMM forward path (ROADMAP item 5: perf trajectory as data).
+//! batched GEMM forward path and the `navft-serve` batcher (ROADMAP item 5:
+//! perf trajectory as data).
 //!
 //! Usage:
 //!
@@ -7,32 +8,44 @@
 //! perf                       # writes BENCH_<rev>.json to the current dir
 //! perf --out perf.json       # explicit output path
 //! perf --repeats 15          # more timing repeats (default 9, median kept)
+//! perf --threads 4           # engine worker threads (default 1 = serial)
+//! perf --sessions 4096       # concurrent serve sessions (default 1024)
 //! ```
 //!
 //! For each model of the campaigns (the Grid World MLP and the scaled C3F2
 //! drone policy) and each numeric backend (`f32`, native Q(1,4,11), `i8`
-//! affine), the tool times batch-64 `forward_batch_into` twice: once with
-//! the portable scalar tiles forced (`set_force_scalar_kernels(true)`) and
-//! once with runtime kernel dispatch enabled. Both passes produce
-//! bit-identical outputs (pinned by the equivalence suites); the JSON
-//! records the throughput of each and their ratio, so CI and the README
-//! table have a committed baseline to compare against.
+//! affine), the tool times batch-64 `forward_batch_into_cfg` twice: once
+//! with the portable scalar tiles forced and once with runtime kernel
+//! dispatch enabled. The scalar/dispatched split is an explicit
+//! [`EngineConfig`] per pass — no process-wide toggle is flipped, so a
+//! panicking closure cannot leak a scalar-forced engine into later
+//! sections. Both passes produce bit-identical outputs (pinned by the
+//! equivalence suites); the JSON records the throughput of each and their
+//! ratio.
+//!
+//! A second section drives the `navft-serve` dynamic batcher with `
+//! --sessions` concurrent Grid World sessions in lockstep episode rounds
+//! (on the `f32` and native fixed-point backends) and records request
+//! latency percentiles plus served-row throughput.
 //!
 //! The JSON is rendered with `navft_core::sweep::json` — the same
 //! deterministic writer the campaign artifacts use — so snapshots diff
-//! cleanly across revisions.
+//! cleanly across revisions, and `perf_gate` can diff a fresh snapshot
+//! against the checked-in baseline.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
 use navft_bench::parse_jobs;
 use navft_core::sweep::json::Json;
+use navft_gridworld::GridWorld;
 use navft_nn::{
-    c3f2_scaled, engine_threads, mlp, set_engine_threads, set_force_scalar_kernels,
-    simd_kernel_name, I8Network, I8Scratch, I8Tensor, Network, NoHooks, QNetwork, QScratch,
-    QTensor, Scratch, Tensor,
+    c3f2_scaled, mlp, simd_kernel_name, EngineConfig, HooksFor, I8Network, I8Scratch, I8Tensor,
+    Network, NetworkBase, NoHooks, QNetwork, QScratch, QTensor, Scratch, Tensor,
 };
 use navft_qformat::QFormat;
+use navft_rl::{DiscreteEnvironment, EvalElement};
+use navft_serve::{drive_discrete_episodes, LatencyWindow, ServeConfig, Server};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -40,11 +53,16 @@ use rand::SeedableRng;
 /// episode batch and the README table's column).
 const BATCH: usize = 64;
 
-const USAGE: &str = "usage: perf [--out PATH] [--repeats N] [--threads N]";
+/// Lockstep episode rounds each serve session plays in the latency section.
+const SERVE_STEPS: usize = 8;
+
+const USAGE: &str = "usage: perf [--out PATH] [--repeats N] [--threads N] [--sessions N]";
 
 fn main() -> ExitCode {
     let mut out: Option<String> = None;
     let mut repeats = 9usize;
+    let mut threads = 1usize;
+    let mut sessions = 1024usize;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -67,7 +85,14 @@ fn main() -> ExitCode {
                     eprintln!("--threads needs a positive integer");
                     return ExitCode::FAILURE;
                 };
-                set_engine_threads(n);
+                threads = n;
+            }
+            "--sessions" => {
+                let Some(n) = argv.next().as_deref().and_then(parse_jobs) else {
+                    eprintln!("--sessions needs a positive integer");
+                    return ExitCode::FAILURE;
+                };
+                sessions = n;
             }
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -82,7 +107,7 @@ fn main() -> ExitCode {
 
     let rev = git_rev();
     let path = out.unwrap_or_else(|| format!("BENCH_{rev}.json"));
-    let snapshot = run_benchmarks(&rev, repeats);
+    let snapshot = run_benchmarks(&rev, repeats, threads, sessions);
     if let Err(error) = std::fs::write(&path, snapshot.render() + "\n") {
         eprintln!("[perf] failed to write {path}: {error}");
         return ExitCode::FAILURE;
@@ -122,36 +147,87 @@ fn median_secs(repeats: usize, mut op: impl FnMut()) -> f64 {
 
 /// Times one backend's batch-64 GEMM forward, scalar-forced then
 /// dispatched, and returns the JSON row. `forward` runs one full batched
-/// pass; `rows_per_pass` is the batch size (throughput denominator).
+/// pass under the given engine config; the scalar/dispatched split lives
+/// entirely in the per-call [`EngineConfig`], so a panic mid-measurement
+/// cannot leave a process-wide scalar override behind.
 fn bench_backend(
     model: &str,
     backend: &str,
     repeats: usize,
     rows_per_pass: usize,
-    mut forward: impl FnMut(),
+    threads: usize,
+    mut forward: impl FnMut(EngineConfig),
 ) -> Json {
-    set_force_scalar_kernels(true);
-    let scalar = median_secs(repeats, &mut forward);
-    set_force_scalar_kernels(false);
-    let dispatched = median_secs(repeats, &mut forward);
+    let dispatched_config = EngineConfig::default().with_threads(threads);
+    let scalar_config = dispatched_config.with_force_scalar(true);
+    let scalar = median_secs(repeats, || forward(scalar_config));
+    let dispatched = median_secs(repeats, || forward(dispatched_config));
     let scalar_rows = rows_per_pass as f64 / scalar;
     let dispatched_rows = rows_per_pass as f64 / dispatched;
     let speedup = scalar / dispatched;
     eprintln!(
         "[perf] {model}/{backend}: scalar {scalar_rows:.0} rows/s, \
-         {} {dispatched_rows:.0} rows/s ({speedup:.2}x)",
+         {} {dispatched_rows:.0} rows/s ({speedup:.2}x), {threads} thread(s)",
         simd_kernel_name()
     );
     Json::obj([
         ("model", Json::Str(model.to_string())),
         ("backend", Json::Str(backend.to_string())),
+        ("threads", Json::num(threads as f64)),
         ("scalar_rows_per_s", Json::num(scalar_rows)),
         ("dispatched_rows_per_s", Json::num(dispatched_rows)),
         ("dispatched_speedup", Json::num(speedup)),
     ])
 }
 
-fn run_benchmarks(rev: &str, repeats: usize) -> Json {
+/// Serves `sessions` concurrent Grid World sessions through the
+/// `navft-serve` dynamic batcher in lockstep episode rounds and returns the
+/// latency/throughput JSON row.
+fn bench_serve<W>(
+    model: &str,
+    backend: &str,
+    network: NetworkBase<W>,
+    world: &GridWorld,
+    sessions: usize,
+    threads: usize,
+) -> Json
+where
+    W: EvalElement,
+    NoHooks: HooksFor<W>,
+{
+    let config = ServeConfig::default()
+        .with_max_batch(BATCH)
+        .with_queue_capacity(sessions.max(BATCH))
+        .with_engine(EngineConfig::default().with_threads(threads));
+    let server = Server::start(network, &[world.num_states()], config);
+    let ids: Vec<_> = (0..sessions).map(|_| server.open_clean_session()).collect();
+    let mut envs: Vec<GridWorld> = (0..sessions).map(|_| world.clone()).collect();
+    let mut latency = LatencyWindow::new();
+    let outcome = drive_discrete_episodes(&server, &ids, &mut envs, SERVE_STEPS, &mut latency);
+    let stats = server.stats();
+    let secs = outcome.elapsed.as_secs_f64();
+    let rows_per_s = if secs > 0.0 { outcome.rows as f64 / secs } else { f64::NAN };
+    eprintln!(
+        "[perf] serve {model}/{backend}: {sessions} sessions, p50 {:.0}us, p99 {:.0}us, \
+         {rows_per_s:.0} rows/s (max batch {})",
+        latency.p50(),
+        latency.p99(),
+        stats.max_rows_per_batch
+    );
+    Json::obj([
+        ("model", Json::Str(model.to_string())),
+        ("backend", Json::Str(backend.to_string())),
+        ("sessions", Json::num(sessions as f64)),
+        ("threads", Json::num(threads as f64)),
+        ("requests", Json::num(latency.len() as f64)),
+        ("p50_us", Json::num(latency.p50())),
+        ("p99_us", Json::num(latency.p99())),
+        ("rows_per_s", Json::num(rows_per_s)),
+        ("max_rows_per_batch", Json::num(stats.max_rows_per_batch as f64)),
+    ])
+}
+
+fn run_benchmarks(rev: &str, repeats: usize, threads: usize, sessions: usize) -> Json {
     let mut rng = SmallRng::seed_from_u64(0);
     let models: Vec<(&str, Network, Vec<usize>)> = vec![
         ("grid-mlp", mlp(&[100, 32, 4], &mut rng), vec![100]),
@@ -166,25 +242,43 @@ fn run_benchmarks(rev: &str, repeats: usize) -> Json {
             (0..BATCH).map(|_| Tensor::uniform(shape, 1.0, &mut input_rng)).collect();
 
         let mut scratch = Scratch::new();
-        results.push(bench_backend(name, "f32", repeats, BATCH, || {
-            network.forward_batch_into(&inputs, &mut scratch, &mut NoHooks);
+        results.push(bench_backend(name, "f32", repeats, BATCH, threads, |config| {
+            network.forward_batch_into_cfg(&inputs, &mut scratch, &mut NoHooks, config);
         }));
 
         let qnet = QNetwork::quantize(network, format);
         let qinputs: Vec<QTensor> = inputs.iter().map(|t| QTensor::quantize(t, format)).collect();
         let mut qscratch = QScratch::new();
-        results.push(bench_backend(name, &format!("{format}"), repeats, BATCH, || {
-            qnet.forward_batch_into(&qinputs, &mut qscratch, &mut NoHooks);
-        }));
+        results.push(bench_backend(
+            name,
+            &format!("{format}"),
+            repeats,
+            BATCH,
+            threads,
+            |config| {
+                qnet.forward_batch_into_cfg(&qinputs, &mut qscratch, &mut NoHooks, config);
+            },
+        ));
 
         let inet = I8Network::quantize(network);
         let iinputs: Vec<I8Tensor> =
             inputs.iter().map(|t| I8Tensor::quantize(t, inet.affine())).collect();
         let mut iscratch = I8Scratch::new();
-        results.push(bench_backend(name, "i8", repeats, BATCH, || {
-            inet.forward_batch_into(&iinputs, &mut iscratch, &mut NoHooks);
+        results.push(bench_backend(name, "i8", repeats, BATCH, threads, |config| {
+            inet.forward_batch_into_cfg(&iinputs, &mut iscratch, &mut NoHooks, config);
         }));
     }
+
+    // Serve latency section: the Grid World policy under concurrent
+    // sessions, once per backend that the campaigns serve.
+    let mut world_rng = SmallRng::seed_from_u64(0x5EED);
+    let world = GridWorld::random(10, 0.2, &mut world_rng);
+    let policy = mlp(&[world.num_states(), 32, 4], &mut SmallRng::seed_from_u64(1));
+    let qpolicy = QNetwork::quantize(&policy, format);
+    let serve = vec![
+        bench_serve("grid-mlp", "f32", policy, &world, sessions, threads),
+        bench_serve("grid-mlp", &format!("{format}"), qpolicy, &world, sessions, threads),
+    ];
 
     Json::obj([
         ("rev", Json::Str(rev.to_string())),
@@ -192,7 +286,8 @@ fn run_benchmarks(rev: &str, repeats: usize) -> Json {
         ("batch", Json::num(BATCH as f64)),
         ("repeats", Json::num(repeats as f64)),
         ("kernel", Json::Str(simd_kernel_name().to_string())),
-        ("engine_threads", Json::num(engine_threads() as f64)),
+        ("engine_threads", Json::num(threads as f64)),
         ("results", Json::Arr(results)),
+        ("serve", Json::Arr(serve)),
     ])
 }

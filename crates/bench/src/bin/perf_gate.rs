@@ -1,0 +1,95 @@
+//! CI perf gate: diffs a fresh `BENCH_<rev>.json` snapshot against the
+//! checked-in baseline and fails on throughput regressions.
+//!
+//! Usage:
+//!
+//! ```text
+//! perf_gate --baseline BENCH_abc1234.json --fresh /tmp/fresh.json
+//! perf_gate --baseline ... --fresh ... --tolerance 0.25
+//! ```
+//!
+//! The comparison itself lives in [`navft_bench::perf_regressions`]: the
+//! `results` rows gate on `dispatched_rows_per_s` per `(model, backend)`,
+//! the `serve` rows on `rows_per_s` per `(model, backend, sessions)`. A
+//! fresh value more than `--tolerance` (default `0.10`, i.e. 10 %) below
+//! baseline, a baseline row missing from the fresh snapshot, or a
+//! non-finite fresh throughput all fail the gate.
+
+use std::process::ExitCode;
+
+use navft_bench::perf_regressions;
+use navft_core::sweep::json::Json;
+
+const USAGE: &str = "usage: perf_gate --baseline PATH --fresh PATH [--tolerance FRAC]";
+
+fn main() -> ExitCode {
+    let mut baseline: Option<String> = None;
+    let mut fresh: Option<String> = None;
+    let mut tolerance = 0.10f64;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--baseline" => baseline = argv.next(),
+            "--fresh" => fresh = argv.next(),
+            "--tolerance" => {
+                let parsed = argv.next().and_then(|t| t.parse::<f64>().ok());
+                let Some(t) = parsed.filter(|t| t.is_finite() && (0.0..1.0).contains(t)) else {
+                    eprintln!("--tolerance needs a fraction in [0, 1)");
+                    return ExitCode::FAILURE;
+                };
+                tolerance = t;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown option {other:?}\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let (Some(baseline), Some(fresh)) = (baseline, fresh) else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+
+    let Some(baseline_json) = load(&baseline) else {
+        return ExitCode::FAILURE;
+    };
+    let Some(fresh_json) = load(&fresh) else {
+        return ExitCode::FAILURE;
+    };
+
+    let failures = perf_regressions(&baseline_json, &fresh_json, tolerance);
+    if failures.is_empty() {
+        eprintln!(
+            "[perf_gate] ok: {fresh} holds every throughput of {baseline} within {:.0}%",
+            tolerance * 100.0
+        );
+        return ExitCode::SUCCESS;
+    }
+    eprintln!("[perf_gate] {} regression(s) against {baseline}:", failures.len());
+    for failure in &failures {
+        eprintln!("[perf_gate]   {failure}");
+    }
+    ExitCode::FAILURE
+}
+
+/// Reads and parses one snapshot, reporting failures on stderr.
+fn load(path: &str) -> Option<Json> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(error) => {
+            eprintln!("[perf_gate] cannot read {path}: {error}");
+            return None;
+        }
+    };
+    match Json::parse(&text) {
+        Ok(json) => Some(json),
+        Err(error) => {
+            eprintln!("[perf_gate] {path} is not valid snapshot JSON: {error:?}");
+            None
+        }
+    }
+}

@@ -13,6 +13,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use navft_core::sweep::json::Json;
 use navft_core::Scale;
 
 /// Parses a `--scale` argument value.
@@ -58,6 +59,102 @@ pub fn parse_jobs(text: &str) -> Option<usize> {
     text.parse::<usize>().ok().filter(|&n| n > 0)
 }
 
+/// Compares a fresh `BENCH_<rev>.json` snapshot against a checked-in
+/// baseline and returns one message per regression (empty = gate passes).
+///
+/// Two sections are diffed, each on its throughput metric:
+///
+/// * `results` rows, keyed by `(model, backend)`, on
+///   `dispatched_rows_per_s` — the batched GEMM forward path;
+/// * `serve` rows, keyed by `(model, backend, sessions)`, on `rows_per_s`
+///   — the dynamic batcher's served-row throughput.
+///
+/// A baseline row that is absent from the fresh snapshot is a failure (a
+/// silently dropped benchmark would otherwise pass the gate forever), as is
+/// a non-finite fresh throughput (JSON `null` parses back as NaN, and every
+/// NaN comparison would otherwise read as "no regression"). Rows that exist
+/// only in the fresh snapshot are new coverage, not failures. `tolerance`
+/// is the allowed fractional drop: `0.10` fails anything more than 10 %
+/// below baseline.
+pub fn perf_regressions(baseline: &Json, fresh: &Json, tolerance: f64) -> Vec<String> {
+    let mut failures = Vec::new();
+    gate_section(
+        baseline,
+        fresh,
+        "results",
+        &["model", "backend"],
+        "dispatched_rows_per_s",
+        tolerance,
+        &mut failures,
+    );
+    gate_section(
+        baseline,
+        fresh,
+        "serve",
+        &["model", "backend", "sessions"],
+        "rows_per_s",
+        tolerance,
+        &mut failures,
+    );
+    failures
+}
+
+/// Diffs one snapshot section (an array of JSON object rows) on `metric`.
+fn gate_section(
+    baseline: &Json,
+    fresh: &Json,
+    section: &str,
+    key_fields: &[&str],
+    metric: &str,
+    tolerance: f64,
+    failures: &mut Vec<String>,
+) {
+    let rows = |snapshot: &Json| -> Vec<Json> {
+        match snapshot.get(section) {
+            Some(Json::Arr(rows)) => rows.clone(),
+            _ => Vec::new(),
+        }
+    };
+    let row_key = |row: &Json| -> String {
+        key_fields
+            .iter()
+            .map(|field| match row.get(field) {
+                Some(Json::Str(s)) => s.clone(),
+                Some(Json::Num(n)) => format!("{n}"),
+                _ => "?".to_string(),
+            })
+            .collect::<Vec<_>>()
+            .join("/")
+    };
+
+    let fresh_rows = rows(fresh);
+    for base_row in rows(baseline) {
+        let key = row_key(&base_row);
+        let Some(base_metric) = base_row.get(metric).and_then(Json::as_f64) else {
+            continue; // baseline row never recorded this metric: nothing to gate
+        };
+        if !base_metric.is_finite() {
+            continue;
+        }
+        let Some(fresh_row) = fresh_rows.iter().find(|row| row_key(row) == key) else {
+            failures.push(format!("{section} {key}: row missing from the fresh snapshot"));
+            continue;
+        };
+        let fresh_metric = fresh_row.get(metric).and_then(Json::as_f64).unwrap_or(f64::NAN);
+        if !fresh_metric.is_finite() {
+            failures.push(format!("{section} {key}: {metric} is non-finite in the fresh snapshot"));
+            continue;
+        }
+        let floor = base_metric * (1.0 - tolerance);
+        if fresh_metric < floor {
+            failures.push(format!(
+                "{section} {key}: {metric} regressed {:.1}% ({fresh_metric:.0} vs baseline {base_metric:.0}, floor {floor:.0})",
+                100.0 * (1.0 - fresh_metric / base_metric)
+            ));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -67,6 +164,93 @@ mod tests {
         assert_eq!(parse_scale("SMOKE"), Some(Scale::Smoke));
         assert_eq!(parse_scale("Quick"), Some(Scale::Quick));
         assert_eq!(parse_scale(""), None);
+    }
+
+    fn snapshot(text: &str) -> Json {
+        Json::parse(text).expect("test snapshot parses")
+    }
+
+    #[test]
+    fn matching_snapshots_pass_the_gate() {
+        let base = snapshot(
+            r#"{"results":[{"model":"m","backend":"f32","dispatched_rows_per_s":1000.0}],
+                "serve":[{"model":"m","backend":"f32","sessions":1024,"rows_per_s":500.0}]}"#,
+        );
+        assert_eq!(perf_regressions(&base, &base, 0.10), Vec::<String>::new());
+    }
+
+    #[test]
+    fn drops_beyond_tolerance_fail_and_small_jitter_passes() {
+        let base = snapshot(
+            r#"{"results":[{"model":"m","backend":"f32","dispatched_rows_per_s":1000.0}]}"#,
+        );
+        let jitter = snapshot(
+            r#"{"results":[{"model":"m","backend":"f32","dispatched_rows_per_s":905.0}]}"#,
+        );
+        assert!(perf_regressions(&base, &jitter, 0.10).is_empty(), "9.5% down is within 10%");
+        let slow = snapshot(
+            r#"{"results":[{"model":"m","backend":"f32","dispatched_rows_per_s":850.0}]}"#,
+        );
+        let failures = perf_regressions(&base, &slow, 0.10);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("results m/f32"), "{failures:?}");
+        assert!(perf_regressions(&base, &slow, 0.20).is_empty(), "a looser gate admits it");
+    }
+
+    #[test]
+    fn missing_rows_and_non_finite_throughput_fail() {
+        let base = snapshot(
+            r#"{"results":[{"model":"m","backend":"f32","dispatched_rows_per_s":1000.0}],
+                "serve":[{"model":"m","backend":"f32","sessions":1024,"rows_per_s":500.0}]}"#,
+        );
+        let empty = snapshot(r#"{"results":[],"serve":[]}"#);
+        let failures = perf_regressions(&base, &empty, 0.10);
+        assert_eq!(failures.len(), 2, "both sections report the missing row: {failures:?}");
+        assert!(failures.iter().all(|f| f.contains("missing")));
+
+        // `null` throughput parses back as NaN; the gate must fail it, not
+        // let the NaN comparison read as "fine".
+        let nan = snapshot(
+            r#"{"results":[{"model":"m","backend":"f32","dispatched_rows_per_s":null}],
+                "serve":[{"model":"m","backend":"f32","sessions":1024,"rows_per_s":500.0}]}"#,
+        );
+        let failures = perf_regressions(&base, &nan, 0.10);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("non-finite"), "{failures:?}");
+    }
+
+    #[test]
+    fn serve_rows_key_on_session_count_and_new_rows_are_not_failures() {
+        let base = snapshot(
+            r#"{"serve":[{"model":"m","backend":"f32","sessions":1024,"rows_per_s":500.0}]}"#,
+        );
+        // Fresh snapshot serves a different session count: the baseline row
+        // is missing, and the new row is not itself a failure.
+        let other = snapshot(
+            r#"{"serve":[{"model":"m","backend":"f32","sessions":2048,"rows_per_s":900.0}]}"#,
+        );
+        let failures = perf_regressions(&base, &other, 0.10);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("m/f32/1024"), "{failures:?}");
+        // Same count again: passes, and extra fresh rows are ignored.
+        let grown = snapshot(
+            r#"{"serve":[{"model":"m","backend":"f32","sessions":1024,"rows_per_s":495.0},
+                        {"model":"m","backend":"i8","sessions":1024,"rows_per_s":100.0}]}"#,
+        );
+        assert!(perf_regressions(&base, &grown, 0.10).is_empty());
+    }
+
+    #[test]
+    fn old_baselines_without_a_serve_section_still_gate_results() {
+        let base =
+            snapshot(r#"{"results":[{"model":"m","backend":"i8","dispatched_rows_per_s":10.0}]}"#);
+        let fresh = snapshot(
+            r#"{"results":[{"model":"m","backend":"i8","dispatched_rows_per_s":4.0}],
+                "serve":[{"model":"m","backend":"f32","sessions":1024,"rows_per_s":1.0}]}"#,
+        );
+        let failures = perf_regressions(&base, &fresh, 0.10);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("regressed"), "{failures:?}");
     }
 
     #[test]

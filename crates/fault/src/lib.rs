@@ -61,5 +61,5 @@ mod schedule;
 pub use injector::Injector;
 pub use location::{FaultSite, FaultTarget};
 pub use map::{BitFault, FaultMap, StoredWord};
-pub use model::{FaultKind, TransientScope};
+pub use model::{FaultKind, FaultSpec, TransientScope};
 pub use schedule::{InjectionMode, InjectionSchedule};

@@ -1,6 +1,9 @@
 use std::fmt;
 
-use navft_qformat::QValue;
+use navft_qformat::{QFormat, QValue};
+use rand::Rng;
+
+use crate::map::{FaultMap, StoredWord};
 
 /// The physical fault mechanism applied to a single bit.
 ///
@@ -89,10 +92,70 @@ impl fmt::Display for TransientScope {
     }
 }
 
+/// A reusable fault-sampling recipe: the bit error rate, fault kind and
+/// storage format of a fault population, without a concrete word count.
+///
+/// [`FaultMap`] binds a sampled pattern to a fixed buffer size; a spec is
+/// the step before that — what a long-running server keeps per session to
+/// draw a fresh transient pattern per request over whatever buffer the
+/// request touches. [`FaultSpec::sample`] draws the map;
+/// [`FaultSpec::strike`] samples and corrupts in one call.
+///
+/// # Examples
+///
+/// ```
+/// use navft_fault::{FaultKind, FaultSpec};
+/// use navft_qformat::QFormat;
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let spec = FaultSpec::new(0.05, FaultKind::BitFlip, QFormat::Q4_11);
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// let mut buffer = vec![0.5f32; 64];
+/// let hits = spec.strike(&mut buffer, &mut rng);
+/// assert_eq!(hits, spec.faults_in(64));
+/// assert!(buffer.iter().any(|&v| v != 0.5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// Probability of any single stored bit being faulty.
+    pub ber: f64,
+    /// The physical fault mechanism.
+    pub kind: FaultKind,
+    /// The storage format of the afflicted buffer.
+    pub format: QFormat,
+}
+
+impl FaultSpec {
+    /// Builds a spec from a bit error rate, fault kind and storage format.
+    pub fn new(ber: f64, kind: FaultKind, format: QFormat) -> FaultSpec {
+        FaultSpec { ber, kind, format }
+    }
+
+    /// How many faulty bits this spec draws over `num_words` words —
+    /// `round(ber · num_words · total_bits)`, the paper's BER model.
+    pub fn faults_in(&self, num_words: usize) -> usize {
+        let total_bits = num_words * usize::from(self.format.total_bits());
+        (self.ber * total_bits as f64).round() as usize
+    }
+
+    /// Samples a concrete fault map over a buffer of `num_words` words.
+    pub fn sample<R: Rng + ?Sized>(&self, num_words: usize, rng: &mut R) -> FaultMap {
+        FaultMap::sample(num_words, self.format, self.ber, self.kind, rng)
+    }
+
+    /// Samples a fresh fault pattern over `words` and corrupts the buffer in
+    /// place (any [`StoredWord`] representation). Returns the number of bit
+    /// faults struck.
+    pub fn strike<W: StoredWord, R: Rng + ?Sized>(&self, words: &mut [W], rng: &mut R) -> usize {
+        let map = self.sample(words.len(), rng);
+        map.corrupt(words, self.format);
+        map.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use navft_qformat::QFormat;
 
     #[test]
     fn stuck_at_is_permanent_and_flip_is_not() {
@@ -140,6 +203,36 @@ mod tests {
                 assert_eq!(twice, word, "raw {raw} bit {bit}");
             }
         }
+    }
+
+    #[test]
+    fn spec_sampling_matches_the_map_sampler_and_counts_hits() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+
+        let spec = FaultSpec::new(0.02, FaultKind::BitFlip, QFormat::Q4_11);
+        // The spec delegates to FaultMap::sample with its own parameters, so
+        // the same seed draws the same pattern.
+        let map = spec.sample(32, &mut SmallRng::seed_from_u64(3));
+        let direct = FaultMap::sample(
+            32,
+            QFormat::Q4_11,
+            0.02,
+            FaultKind::BitFlip,
+            &mut SmallRng::seed_from_u64(3),
+        );
+        assert_eq!(map.faults(), direct.faults());
+        assert_eq!(map.len(), spec.faults_in(32));
+
+        // strike() corrupts live raw words in place and reports the count.
+        // Distinct positions can share a word, so count faulted words from
+        // the map rather than assuming one word per bit fault.
+        let mut words = vec![0i32; 32];
+        let hits = spec.strike(&mut words, &mut SmallRng::seed_from_u64(3));
+        assert_eq!(hits, map.len());
+        let faulted_words: std::collections::HashSet<usize> =
+            map.faults().iter().map(|f| f.word).collect();
+        assert_eq!(words.iter().filter(|&&w| w != 0).count(), faulted_words.len());
     }
 
     #[test]

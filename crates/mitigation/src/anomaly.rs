@@ -175,6 +175,37 @@ impl RangeGuard {
         scrubbed
     }
 
+    /// Scrubs one buffer of stored values (e.g. a served activation row or
+    /// an observation about to enter the engine) against layer `layer`'s
+    /// guarded bounds, zeroing every anomalous value in place. Returns the
+    /// number of values scrubbed.
+    ///
+    /// This is the streaming counterpart of [`RangeGuard::scrub`]: the same
+    /// comparison the weight scan hoists per layer, applied to a transient
+    /// buffer the guard does not own — what a serving daemon runs per batch
+    /// row. `meta` is the backend's network-level metadata (the affine scale
+    /// for `i8`; pass the policy's `net_meta()`). Buffers in layers the
+    /// guard has no bounds for are left untouched.
+    pub fn scrub_buffer<E: GuardedElement>(
+        &self,
+        layer: usize,
+        values: &mut [E],
+        meta: &E::NetMeta,
+    ) -> usize {
+        let Some(&(_, lo, hi)) = self.bounds.iter().find(|(l, _, _)| *l == layer) else {
+            return 0;
+        };
+        let bounds = E::layer_bounds(lo, hi, self.format, &self.config, meta);
+        let mut scrubbed = 0;
+        for v in values.iter_mut() {
+            if v.is_outside(&bounds) {
+                *v = E::default();
+                scrubbed += 1;
+            }
+        }
+        scrubbed
+    }
+
     /// Counts anomalous weights of a network of either backend without
     /// modifying it.
     ///
@@ -573,6 +604,60 @@ mod tests {
         let guard = RangeGuard::from_network(&net, QFormat::Q4_11, RangeGuardConfig::paper());
         let mut qnet = net.to_quantized(QFormat::Q3_4);
         let _ = guard.scrub(&mut qnet);
+    }
+
+    #[test]
+    fn scrub_buffer_zeroes_outliers_in_place_per_backend() {
+        let format = QFormat::Q4_11;
+        let guard = RangeGuard::from_bounds([(0, -1.0, 1.0)], format, RangeGuardConfig::paper());
+
+        // f32: two genuine outliers, one in-range value.
+        let mut floats = [0.5f32, 9.0, -12.0];
+        assert_eq!(guard.scrub_buffer(0, &mut floats, &None), 2);
+        assert_eq!(floats, [0.5, 0.0, 0.0]);
+
+        // Raw Q-format words: same comparison on the live integer words.
+        let mut raws = [
+            QValue::quantize(0.5, format).raw(),
+            QValue::quantize(9.0, format).raw(),
+            QValue::quantize(-12.0, format).raw(),
+        ];
+        let kept = raws[0];
+        assert_eq!(guard.scrub_buffer(0, &mut raws, &format), 2);
+        assert_eq!(raws, [kept, 0, 0]);
+
+        // i8 affine bytes: bound ±1.1 on a 0.02 grid → |byte| > 55 scrubs.
+        let affine = I8Affine { scale: 0.02 };
+        let mut bytes = [25i8, 100, -100];
+        assert_eq!(guard.scrub_buffer(0, &mut bytes, &affine), 2);
+        assert_eq!(bytes, [25, 0, 0]);
+    }
+
+    #[test]
+    fn scrub_buffer_ignores_unguarded_layers() {
+        let guard =
+            RangeGuard::from_bounds([(1, -1.0, 1.0)], QFormat::Q4_11, RangeGuardConfig::paper());
+        let mut values = [50.0f32, -80.0];
+        assert_eq!(guard.scrub_buffer(0, &mut values, &None), 0);
+        assert_eq!(values, [50.0, -80.0]);
+        assert_eq!(guard.scrub_buffer(1, &mut values, &None), 2);
+    }
+
+    #[test]
+    fn scrub_buffer_agrees_with_is_anomalous_in() {
+        let guard =
+            RangeGuard::from_bounds([(0, -1.3, 1.7)], QFormat::Q3_4, RangeGuardConfig::paper());
+        let format = QFormat::Q3_4;
+        let mut buf: Vec<i32> = (format.min_raw()..=format.max_raw()).collect();
+        let expected = buf.iter().filter(|&&raw| guard.is_anomalous_in(0, raw, &format)).count();
+        assert_eq!(guard.scrub_buffer(0, &mut buf, &format), expected);
+        assert!(buf.iter().zip(format.min_raw()..=format.max_raw()).all(|(&now, raw)| {
+            if guard.is_anomalous_in(0, raw, &format) {
+                now == 0
+            } else {
+                now == raw
+            }
+        }));
     }
 
     #[test]

@@ -35,6 +35,59 @@ static ENGINE_THREADS: AtomicUsize = AtomicUsize::new(1);
 /// thread spawns than it saves; the engine stays serial.
 const PARALLEL_MIN_MACS: usize = 16_384;
 
+/// An explicit, caller-owned configuration of the batched engine: the
+/// worker-thread count of the in-engine batch sharding and whether the
+/// runtime-dispatched SIMD microkernels are bypassed in favour of the
+/// portable scalar tiles.
+///
+/// Every `*_cfg` forward entry point (e.g.
+/// [`crate::Network::forward_batch_into_cfg`]) threads one of these through
+/// the whole batched path, so concurrent callers — servers, tests, benches
+/// in one process — cannot observe each other's settings. Neither knob ever
+/// changes results: sharding and SIMD dispatch are bit-identical to the
+/// serial scalar path on every backend.
+///
+/// The historical process-wide setters ([`set_engine_threads`],
+/// [`crate::set_force_scalar_kernels`]) remain as a compat shim: the
+/// non-`_cfg` entry points snapshot them per pass via
+/// [`EngineConfig::from_globals`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Worker threads for large batched conv/linear sweeps (min 1 = serial).
+    pub threads: usize,
+    /// Pin the portable scalar GEMM tiles, bypassing SIMD dispatch.
+    pub force_scalar: bool,
+}
+
+impl Default for EngineConfig {
+    /// Serial, SIMD-dispatched: the library default.
+    fn default() -> Self {
+        EngineConfig { threads: 1, force_scalar: false }
+    }
+}
+
+impl EngineConfig {
+    /// Snapshots the process-wide compat knobs ([`set_engine_threads`],
+    /// [`crate::set_force_scalar_kernels`]) into an explicit config — what
+    /// the non-`_cfg` forward entry points run with.
+    pub fn from_globals() -> EngineConfig {
+        EngineConfig { threads: engine_threads(), force_scalar: !crate::simd::simd_enabled() }
+    }
+
+    /// Returns the config with the worker-thread count set (clamped to at
+    /// least 1).
+    pub fn with_threads(mut self, threads: usize) -> EngineConfig {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Returns the config with the scalar-kernel pin set.
+    pub fn with_force_scalar(mut self, force: bool) -> EngineConfig {
+        self.force_scalar = force;
+        self
+    }
+}
+
 /// Sets the worker-thread count of the batched engine, process-wide.
 ///
 /// When set above 1, the batched forward engine shards large batched
@@ -45,6 +98,11 @@ const PARALLEL_MIN_MACS: usize = 16_384;
 /// per-row program order — so evaluators and campaign cells benefit without
 /// any caller change. Values are clamped to at least 1; small sweeps stay
 /// serial regardless.
+///
+/// This is a process-wide compat shim read once per pass by the non-`_cfg`
+/// entry points; code that shares a process with other engine users (tests,
+/// serving daemons) should pass an explicit [`EngineConfig`] to the `*_cfg`
+/// entry points instead.
 pub fn set_engine_threads(threads: usize) {
     ENGINE_THREADS.store(threads.max(1), Ordering::Relaxed);
 }
@@ -56,10 +114,10 @@ pub fn engine_threads() -> usize {
 }
 
 /// How many threads a sweep of `rows` batch rows à `macs_per_row` MACs
-/// should shard across: 1 unless threading is on and the sweep is large
-/// enough to amortize the spawns.
-fn shard_threads(rows: usize, macs_per_row: usize) -> usize {
-    let configured = engine_threads();
+/// should shard across: 1 unless the config asks for threading and the
+/// sweep is large enough to amortize the spawns.
+fn shard_threads(config: EngineConfig, rows: usize, macs_per_row: usize) -> usize {
+    let configured = config.threads;
     if configured <= 1 || rows <= 1 || rows.saturating_mul(macs_per_row) < PARALLEL_MIN_MACS {
         1
     } else {
@@ -97,6 +155,9 @@ pub(crate) enum KernelPath {
 /// Runs a batched pass over `layers`, staging activations in `scratch` and
 /// reporting every input/activation row through `notify` in per-row program
 /// order. The outputs are left in the scratch's front slab.
+// One parameter per independent engine concern; bundling them into an ad-hoc
+// struct would just move the argument list behind a constructor.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn forward_batch_engine<'a, E, I, F>(
     layers: &[LayerBase<E>],
     ctx: E::Ctx,
@@ -104,12 +165,14 @@ pub(crate) fn forward_batch_engine<'a, E, I, F>(
     rows: I,
     scratch: &mut Scratch<E>,
     path: KernelPath,
+    config: EngineConfig,
     mut notify: F,
 ) where
     E: Element,
     I: ExactSizeIterator<Item = &'a [E]>,
     F: FnMut(SweepEvent, &mut [E]),
 {
+    let simd = !config.force_scalar;
     scratch.load_rows(input_shape, rows);
     let nrows = scratch.rows();
 
@@ -140,7 +203,7 @@ pub(crate) fn forward_batch_engine<'a, E, I, F>(
                 // index arithmetic).
                 let (cols, back) = scratch.cols_and_back(nrows * out_len);
                 let oc = conv.out_channels;
-                let threads = shard_threads(nrows, oc * patch * ohw);
+                let threads = shard_threads(config, nrows, oc * patch * ohw);
                 if threads > 1 {
                     // Shard contiguous batch-row ranges across scoped
                     // workers: each thread owns a disjoint slice pair of the
@@ -159,6 +222,7 @@ pub(crate) fn forward_batch_engine<'a, E, I, F>(
                                 {
                                     gemm::gemm_bias(
                                         ctx,
+                                        simd,
                                         &conv.weights,
                                         &conv.bias,
                                         oc,
@@ -177,6 +241,7 @@ pub(crate) fn forward_batch_engine<'a, E, I, F>(
                         let row_out = &mut back[b * out_len..(b + 1) * out_len];
                         gemm::gemm_bias(
                             ctx,
+                            simd,
                             &conv.weights,
                             &conv.bias,
                             oc,
@@ -195,7 +260,7 @@ pub(crate) fn forward_batch_engine<'a, E, I, F>(
                 let (_, front, back) = scratch.slabs_for_sweep(nrows * out_len);
                 let m = linear.out_features;
                 let kdim = linear.in_features;
-                let threads = shard_threads(nrows, m * kdim);
+                let threads = shard_threads(config, nrows, m * kdim);
                 if threads > 1 {
                     // Split the `[N, K]` panel by batch-row ranges; each
                     // worker runs the same GEMM over its sub-panel, writing
@@ -210,6 +275,7 @@ pub(crate) fn forward_batch_engine<'a, E, I, F>(
                             scope.spawn(move || {
                                 gemm::gemm_bias(
                                     ctx,
+                                    simd,
                                     &linear.weights,
                                     &linear.bias,
                                     m,
@@ -224,6 +290,7 @@ pub(crate) fn forward_batch_engine<'a, E, I, F>(
                 } else {
                     gemm::gemm_bias(
                         ctx,
+                        simd,
                         &linear.weights,
                         &linear.bias,
                         m,

@@ -80,11 +80,12 @@ pub(crate) fn pack_im2row<E: Element>(
 /// for every `(m, n)`, with `a` `[M, K]` row-major and `b` `[N, K]`
 /// row-major.
 ///
-/// First offers the sweep to the backend's runtime-dispatched SIMD
-/// microkernel ([`Element::gemm_simd`], see [`crate::simd`]); when that
-/// declines — no kernel for this CPU, scalar execution forced, or a backend
-/// without SIMD support — dispatches to the register-tile shape the
-/// backend's [`Element::GEMM_TILE`] requests. `write` receives each output
+/// When `simd` is true, first offers the sweep to the backend's
+/// runtime-dispatched SIMD microkernel ([`Element::gemm_simd`], see
+/// [`crate::simd`]); when that declines — no kernel for this CPU, scalar
+/// execution pinned by the engine config, or a backend without SIMD
+/// support — dispatches to the register-tile shape the backend's
+/// [`Element::GEMM_TILE`] requests. `write` receives each output
 /// exactly once on either path, and both paths are bit-identical by the
 /// contract above. Const generics force one monomorphized scalar kernel per
 /// tile shape, so the supported shapes are enumerated here — `(2, 4)` and
@@ -94,6 +95,7 @@ pub(crate) fn pack_im2row<E: Element>(
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn gemm_bias<E: Element>(
     ctx: E::Ctx,
+    simd: bool,
     a: &[E],
     bias: &[E],
     m: usize,
@@ -107,7 +109,7 @@ pub(crate) fn gemm_bias<E: Element>(
     assert_eq!(a.len(), m * k, "gemm weight panel length mismatch");
     assert_eq!(b.len(), n * k, "gemm reduction panel length mismatch");
     assert_eq!(bias.len(), m, "gemm bias length mismatch");
-    if crate::simd::simd_enabled() && E::gemm_simd(ctx, a, bias, m, k, b, n, &mut write) {
+    if simd && E::gemm_simd(ctx, a, bias, m, k, b, n, &mut write) {
         return;
     }
     match E::GEMM_TILE {
@@ -202,7 +204,7 @@ mod tests {
         };
         let rows: Vec<f32> = (0..n * k).map(|_| rng.gen_range(-1.0f32..=1.0)).collect();
         let mut gemm_out = vec![0.0f32; n * m];
-        gemm_bias((), &linear.weights, &linear.bias, m, k, &rows, n, |mi, ni, v| {
+        gemm_bias((), true, &linear.weights, &linear.bias, m, k, &rows, n, |mi, ni, v| {
             gemm_out[ni * m + mi] = v;
         });
         for ni in 0..n {
@@ -226,7 +228,7 @@ mod tests {
         };
         let rows: Vec<i32> = (0..n * k).map(|_| raw(&mut rng)).collect();
         let mut gemm_out = vec![0i32; n * m];
-        gemm_bias(fmt, &linear.weights, &linear.bias, m, k, &rows, n, |mi, ni, v| {
+        gemm_bias(fmt, true, &linear.weights, &linear.bias, m, k, &rows, n, |mi, ni, v| {
             gemm_out[ni * m + mi] = v;
         });
         for ni in 0..n {
@@ -257,10 +259,20 @@ mod tests {
         pack_im2row(&conv, &front, nrows, &in_shape, &mut cols);
         let ohw = oh * ow;
         let mut out = vec![0.0f32; nrows * oc * ohw];
-        gemm_bias((), &conv.weights, &conv.bias, oc, patch, &cols, nrows * ohw, |mi, ni, v| {
-            let (b, p) = (ni / ohw, ni % ohw);
-            out[b * oc * ohw + mi * ohw + p] = v;
-        });
+        gemm_bias(
+            (),
+            true,
+            &conv.weights,
+            &conv.bias,
+            oc,
+            patch,
+            &cols,
+            nrows * ohw,
+            |mi, ni, v| {
+                let (b, p) = (ni / ohw, ni % ohw);
+                out[b * oc * ohw + mi * ohw + p] = v;
+            },
+        );
         for b in 0..nrows {
             let mut naive = vec![0.0f32; oc * ohw];
             conv.forward_naive(&front[b * row_len..(b + 1) * row_len], &in_shape, &mut naive, ());

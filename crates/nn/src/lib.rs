@@ -155,14 +155,15 @@ mod scratch;
 mod tensor;
 
 pub use element::{Element, I8Affine};
-pub use engine::{engine_threads, set_engine_threads};
+pub use engine::{engine_threads, set_engine_threads, EngineConfig};
 pub use i8network::{I8Conv2d, I8ForwardHooks, I8Layer, I8Linear, I8Network, I8Scratch};
 pub use i8tensor::I8Tensor;
 pub use layer::{Conv2d, Linear};
 pub use layer::{Layer, LayerBase, LayerKind};
 pub use models::{c3f2, c3f2_scaled, mlp, parametric_layer_names, C3f2Config};
 pub use network::{
-    ForwardHooks, ForwardTrace, HooksFor, Network, NetworkBase, NoHooks, PerRowHooks, RangeRecorder,
+    DynRowHooks, ForwardHooks, ForwardTrace, HooksFor, Network, NetworkBase, NoHooks, PerRowHooks,
+    RangeRecorder,
 };
 pub use qnetwork::{
     network_bit_stats, QConv2d, QForwardHooks, QLayer, QLinear, QNetwork, QScratch,

@@ -14,7 +14,7 @@ use std::ops::Range;
 use navft_qformat::QFormat;
 
 use crate::element::Element;
-use crate::engine::{KernelPath, SweepEvent};
+use crate::engine::{EngineConfig, KernelPath, SweepEvent};
 use crate::tensor::TensorBase;
 use crate::{Layer, LayerBase, LayerKind, Scratch, Tensor};
 
@@ -181,6 +181,74 @@ impl<H: ForwardHooks> ForwardHooks for PerRowHooks<H> {
     ) {
         assert!(batch_row < self.hooks.len(), "PerRowHooks holds no hook for row {batch_row}");
         self.hooks[batch_row].on_activation(layer_index, kind, values);
+    }
+}
+
+/// Routes each batch row of a batched forward pass to its own dynamically
+/// dispatched hook — the backend-generic counterpart of [`PerRowHooks`].
+///
+/// Where [`PerRowHooks`] owns a homogeneous `Vec<H>` of `f32` hooks, this
+/// adapter borrows one `&mut dyn HooksFor<E>` per row, so callers that hold
+/// heterogeneous boxed hooks keyed by some external identity — a serving
+/// daemon's per-session fault/scrub state, coalesced into one batch in
+/// arrival order — can run them through a single batched sweep. The
+/// bit-exactness contract is the same: row `b` sees exactly the
+/// input/activation call sequence a standalone single-sample pass using
+/// `rows[b]` would see, so per-row stateful hooks (seeded fault injectors,
+/// scrub counters) behave identically at any batch composition. On the
+/// single-sample methods (a non-batched pass) the adapter behaves as row 0.
+///
+/// # Panics
+///
+/// The batch methods panic if the pass has more rows than hooks.
+pub struct DynRowHooks<'a, E: Element> {
+    rows: Vec<&'a mut dyn HooksFor<E>>,
+}
+
+impl<'a, E: Element> DynRowHooks<'a, E> {
+    /// Wraps one borrowed hook per batch row, in batch-row order.
+    pub fn new(rows: Vec<&'a mut dyn HooksFor<E>>) -> DynRowHooks<'a, E> {
+        DynRowHooks { rows }
+    }
+
+    /// Number of rows the adapter covers.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the adapter covers no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl<E: Element> HooksFor<E> for DynRowHooks<'_, E> {
+    fn input(&mut self, values: &mut [E]) {
+        if let Some(hook) = self.rows.first_mut() {
+            hook.input(values);
+        }
+    }
+
+    fn activation(&mut self, layer_index: usize, kind: LayerKind, values: &mut [E]) {
+        if let Some(hook) = self.rows.first_mut() {
+            hook.activation(layer_index, kind, values);
+        }
+    }
+
+    fn batch_input(&mut self, batch_row: usize, values: &mut [E]) {
+        assert!(batch_row < self.rows.len(), "DynRowHooks holds no hook for row {batch_row}");
+        self.rows[batch_row].input(values);
+    }
+
+    fn batch_activation(
+        &mut self,
+        batch_row: usize,
+        layer_index: usize,
+        kind: LayerKind,
+        values: &mut [E],
+    ) {
+        assert!(batch_row < self.rows.len(), "DynRowHooks holds no hook for row {batch_row}");
+        self.rows[batch_row].activation(layer_index, kind, values);
     }
 }
 
@@ -473,9 +541,6 @@ impl<E: Element> NetworkBase<E> {
         scratch: &mut Scratch<E>,
         hooks: &mut H,
     ) -> Vec<TensorBase<E>> {
-        if inputs.is_empty() {
-            return Vec::new();
-        }
         self.forward_batch_into(inputs, scratch, hooks);
         let meta = E::tensor_meta(&self.meta);
         (0..scratch.rows())
@@ -496,34 +561,81 @@ impl<E: Element> NetworkBase<E> {
     /// the naive per-row kernels and is bit-identical (the GEMM accumulates
     /// every output in the naive kernels' reduction order).
     ///
+    /// An empty `inputs` slice is a no-op on every backend: the scratch
+    /// resets to zero rows, no kernel runs and no hook fires — a batcher
+    /// flushing an empty queue costs nothing.
+    ///
+    /// Engine settings (worker threads, scalar-kernel pin) come from the
+    /// process-wide compat knobs; [`NetworkBase::forward_batch_into_cfg`]
+    /// takes an explicit [`EngineConfig`] instead.
+    ///
     /// # Panics
     ///
-    /// Panics if `inputs` is empty, the inputs do not share one shape, or an
-    /// input cannot feed this network.
+    /// Panics if the inputs do not share one shape or an input cannot feed
+    /// this network.
     pub fn forward_batch_into<H: HooksFor<E> + ?Sized>(
         &self,
         inputs: &[TensorBase<E>],
         scratch: &mut Scratch<E>,
         hooks: &mut H,
     ) {
-        self.run_batch(inputs, scratch, hooks, KernelPath::Blocked);
+        self.run_batch(inputs, scratch, hooks, KernelPath::Blocked, EngineConfig::from_globals());
+    }
+
+    /// [`NetworkBase::forward_batch_into`] with an explicit, caller-owned
+    /// [`EngineConfig`] instead of the process-wide knobs — what concurrent
+    /// engine users (serving daemons, parallel tests) should call so they
+    /// cannot observe each other's settings. Results are bit-identical under
+    /// any config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inputs do not share one shape or an input cannot feed
+    /// this network.
+    pub fn forward_batch_into_cfg<H: HooksFor<E> + ?Sized>(
+        &self,
+        inputs: &[TensorBase<E>],
+        scratch: &mut Scratch<E>,
+        hooks: &mut H,
+        config: EngineConfig,
+    ) {
+        self.run_batch(inputs, scratch, hooks, KernelPath::Blocked, config);
     }
 
     /// [`NetworkBase::forward_batch_into`] on the naive per-row reference
     /// kernels instead of the blocked GEMM — the baseline the equivalence
-    /// proptests and the `gemm_forward` bench compare against.
+    /// proptests and the `gemm_forward` bench compare against. An empty
+    /// `inputs` slice is a no-op, exactly as on the blocked path.
     ///
     /// # Panics
     ///
-    /// Panics if `inputs` is empty, the inputs do not share one shape, or an
-    /// input cannot feed this network.
+    /// Panics if the inputs do not share one shape or an input cannot feed
+    /// this network.
     pub fn forward_batch_naive_into<H: HooksFor<E> + ?Sized>(
         &self,
         inputs: &[TensorBase<E>],
         scratch: &mut Scratch<E>,
         hooks: &mut H,
     ) {
-        self.run_batch(inputs, scratch, hooks, KernelPath::Naive);
+        self.run_batch(inputs, scratch, hooks, KernelPath::Naive, EngineConfig::from_globals());
+    }
+
+    /// [`NetworkBase::forward_batch_naive_into`] with an explicit
+    /// [`EngineConfig`] (the scalar-pin knob is irrelevant here — the naive
+    /// kernels never dispatch SIMD — but the thread count applies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inputs do not share one shape or an input cannot feed
+    /// this network.
+    pub fn forward_batch_naive_into_cfg<H: HooksFor<E> + ?Sized>(
+        &self,
+        inputs: &[TensorBase<E>],
+        scratch: &mut Scratch<E>,
+        hooks: &mut H,
+        config: EngineConfig,
+    ) {
+        self.run_batch(inputs, scratch, hooks, KernelPath::Naive, config);
     }
 
     fn run_batch<H: HooksFor<E> + ?Sized>(
@@ -532,8 +644,15 @@ impl<E: Element> NetworkBase<E> {
         scratch: &mut Scratch<E>,
         hooks: &mut H,
         path: KernelPath,
+        config: EngineConfig,
     ) {
-        assert!(!inputs.is_empty(), "forward_batch needs at least one input");
+        if inputs.is_empty() {
+            // An empty flush is a no-op on every backend and every kernel
+            // path: reset the scratch to zero rows so stale rows from a
+            // previous pass are not readable as this pass's outputs.
+            scratch.load_rows(&[0], std::iter::empty());
+            return;
+        }
         let input_shape = inputs[0].shape();
         for input in inputs {
             assert_eq!(input.shape(), input_shape, "all batch inputs must share one shape");
@@ -547,6 +666,7 @@ impl<E: Element> NetworkBase<E> {
             inputs.iter().map(TensorBase::data),
             scratch,
             path,
+            config,
             |event, row| match event {
                 SweepEvent::Input { row: b } => hooks.batch_input(b, row),
                 SweepEvent::Activation { row: b, layer, kind } => {

@@ -369,6 +369,74 @@ where
     }
 }
 
+/// Runs one greedy episode of a discrete environment under `network`,
+/// applying `hooks` to every forward pass, and returns the action taken at
+/// each step — the library-side reference trace that served-vs-library
+/// determinism checks compare against bit-for-bit.
+///
+/// The loop is the exact per-step path of [`evaluate_policy_discrete`]: one
+/// scratch and one encoding buffer, `W::one_hot` encoding, argmax over the
+/// final layer. The episode ends at the first terminal transition or after
+/// `max_steps` steps.
+pub fn trace_policy_discrete<W, E, H>(
+    env: &mut E,
+    network: &NetworkBase<W>,
+    max_steps: usize,
+    hooks: &mut H,
+) -> Vec<usize>
+where
+    W: EvalElement,
+    E: DiscreteEnvironment,
+    H: HooksFor<W>,
+{
+    let mut scratch = Scratch::new();
+    let mut encoded = W::input_buffer(&[env.num_states()], network);
+    let mut trace = Vec::new();
+    let mut state = env.reset();
+    for _ in 0..max_steps {
+        W::one_hot(state, &mut encoded);
+        let action = argmax(network.forward_scratch(&encoded, &mut scratch, hooks));
+        trace.push(action);
+        let transition = env.step(action);
+        state = transition.next_state;
+        if transition.terminal {
+            break;
+        }
+    }
+    trace
+}
+
+/// [`trace_policy_discrete`] for vision environments: one greedy episode of
+/// `env` under `network` with `hooks` applied per forward pass, returning
+/// the per-step action trace.
+pub fn trace_policy_vision<W, E, H>(
+    env: &mut E,
+    network: &NetworkBase<W>,
+    max_steps: usize,
+    hooks: &mut H,
+) -> Vec<usize>
+where
+    W: EvalElement,
+    E: VisionEnvironment,
+    H: HooksFor<W>,
+{
+    let mut scratch = Scratch::new();
+    let mut encoded = W::input_buffer(&env.observation_shape(), network);
+    let mut trace = Vec::new();
+    let mut observation = env.reset();
+    for _ in 0..max_steps {
+        let input = W::encode(&observation, &mut encoded);
+        let action = argmax(network.forward_scratch(input, &mut scratch, hooks));
+        trace.push(action);
+        let transition = env.step(action);
+        observation = transition.observation;
+        if transition.terminal {
+            break;
+        }
+    }
+    trace
+}
+
 /// [`evaluate_policy_discrete`] for the `f32` backend (thin wrapper).
 pub fn evaluate_network_discrete<E, R>(
     env: &mut E,
@@ -798,6 +866,48 @@ mod tests {
             .filter(|(a, b)| a != b)
             .count();
         assert_eq!(diff, 1);
+    }
+
+    #[test]
+    fn action_traces_are_reproducible_and_respect_hooks() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        let mut net = mlp(&[3, 2], &mut rng);
+        net.layer_weights_mut(0)
+            .expect("weights")
+            .copy_from_slice(&[1.0, 1.0, 1.0, -1.0, -1.0, -1.0]);
+
+        // The clean greedy trace reaches the goal in one step, identically
+        // across repeated runs and backends.
+        let mut env = Line { position: 1 };
+        let trace = trace_policy_discrete(&mut env, &net, 10, &mut NoHooks);
+        assert_eq!(trace, vec![0]);
+        assert_eq!(trace, trace_policy_discrete(&mut env, &net, 10, &mut NoHooks));
+        let qnet = net.to_quantized(QFormat::Q4_11);
+        assert_eq!(trace, trace_policy_discrete(&mut env, &qnet, 10, &mut NoHooks));
+
+        // A sign-flipping activation hook inverts the decision.
+        struct Negate;
+        impl ForwardHooks for Negate {
+            fn on_activation(&mut self, _i: usize, _k: navft_nn::LayerKind, values: &mut [f32]) {
+                for v in values.iter_mut() {
+                    *v = -*v;
+                }
+            }
+        }
+        let hooked = trace_policy_discrete(&mut env, &net, 10, &mut Negate);
+        assert_eq!(hooked, vec![1]);
+    }
+
+    #[test]
+    fn vision_trace_follows_the_greedy_policy() {
+        let mut env = StraightHall { remaining: 5 };
+        let mut rng = SmallRng::seed_from_u64(18);
+        let mut net = mlp(&[4, 2], &mut rng);
+        net.layer_weights_mut(0).expect("weights").copy_from_slice(
+            &[1.0; 4].iter().chain([-1.0f32; 4].iter()).copied().collect::<Vec<f32>>(),
+        );
+        let trace = trace_policy_vision(&mut env, &net, 10, &mut NoHooks);
+        assert_eq!(trace, vec![0; 5], "episode terminates after 5 straight steps");
     }
 
     #[test]

@@ -1,0 +1,236 @@
+//! Episode clients: load generators that drive many concurrent sessions
+//! through a [`Server`], one greedy episode each.
+//!
+//! Each driver steps its sessions in lockstep rounds — submit every live
+//! session's observation (retrying with a scheduler yield on
+//! [`ServeError::Busy`] backpressure), then wait for every decision — so a
+//! round of `n` live sessions puts up to `n` requests in flight at once and
+//! forces the batcher to coalesce. The returned per-session action traces
+//! are what the determinism suite compares bit-for-bit against the
+//! library-only path.
+
+use std::time::{Duration, Instant};
+
+use navft_nn::TensorBase;
+use navft_rl::{DiscreteEnvironment, EvalElement, VisionEnvironment};
+
+use crate::{LatencyWindow, ServeError, Server, SessionId, Ticket};
+
+/// What a load-generation run produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadOutcome {
+    /// Per-session greedy action traces, in session order.
+    pub traces: Vec<Vec<usize>>,
+    /// Total requests served (batch rows).
+    pub rows: usize,
+    /// Submissions that hit [`ServeError::Busy`] backpressure and retried.
+    pub retries: usize,
+    /// Wall-clock span of the run.
+    pub elapsed: Duration,
+}
+
+/// Drives one greedy episode per session on a discrete environment (one-hot
+/// observations), recording per-request latency into `latency`.
+///
+/// `sessions[i]` plays `envs[i]`; an episode ends at its first terminal
+/// transition or after `max_steps` steps.
+///
+/// # Panics
+///
+/// Panics if `sessions` and `envs` differ in length, or on any submit error
+/// other than [`ServeError::Busy`] (a mis-built harness, not load).
+pub fn drive_discrete_episodes<W, E>(
+    server: &Server<W>,
+    sessions: &[SessionId],
+    envs: &mut [E],
+    max_steps: usize,
+    latency: &mut LatencyWindow,
+) -> LoadOutcome
+where
+    W: EvalElement,
+    E: DiscreteEnvironment,
+{
+    assert_eq!(sessions.len(), envs.len(), "one environment per session");
+    let n = sessions.len();
+    let mut states: Vec<usize> = envs.iter_mut().map(|env| env.reset()).collect();
+    let mut alive = vec![true; n];
+    let mut traces = vec![Vec::new(); n];
+    let mut encoded = match envs.first() {
+        Some(env) => W::input_buffer(&[env.num_states()], server.network()),
+        None => return LoadOutcome { traces, rows: 0, retries: 0, elapsed: Duration::ZERO },
+    };
+
+    let mut rows = 0usize;
+    let mut retries = 0usize;
+    let started = Instant::now();
+    for _ in 0..max_steps {
+        let mut round: Vec<(usize, Ticket<W>, Instant)> = Vec::new();
+        for i in 0..n {
+            if !alive[i] {
+                continue;
+            }
+            W::one_hot(states[i], &mut encoded);
+            let (ticket, submitted) =
+                submit_with_backoff(server, sessions[i], encoded.clone(), &mut retries);
+            round.push((i, ticket, submitted));
+        }
+        if round.is_empty() {
+            break;
+        }
+        for (i, ticket, submitted) in round {
+            let decision = ticket.wait().expect("served decision");
+            latency.record(submitted.elapsed());
+            rows += 1;
+            traces[i].push(decision.action);
+            let transition = envs[i].step(decision.action);
+            states[i] = transition.next_state;
+            if transition.terminal {
+                alive[i] = false;
+            }
+        }
+    }
+    LoadOutcome { traces, rows, retries, elapsed: started.elapsed() }
+}
+
+/// [`drive_discrete_episodes`] for vision environments (the drone task):
+/// each step encodes the environment's `f32` observation into the backend's
+/// storage representation before submitting.
+///
+/// # Panics
+///
+/// Panics if `sessions` and `envs` differ in length, or on any submit error
+/// other than [`ServeError::Busy`].
+pub fn drive_vision_episodes<W, E>(
+    server: &Server<W>,
+    sessions: &[SessionId],
+    envs: &mut [E],
+    max_steps: usize,
+    latency: &mut LatencyWindow,
+) -> LoadOutcome
+where
+    W: EvalElement,
+    E: VisionEnvironment,
+{
+    assert_eq!(sessions.len(), envs.len(), "one environment per session");
+    let n = sessions.len();
+    let mut observations: Vec<navft_nn::Tensor> = envs.iter_mut().map(|env| env.reset()).collect();
+    let mut alive = vec![true; n];
+    let mut traces = vec![Vec::new(); n];
+    let mut encoded = match envs.first() {
+        Some(env) => W::input_buffer(&env.observation_shape(), server.network()),
+        None => return LoadOutcome { traces, rows: 0, retries: 0, elapsed: Duration::ZERO },
+    };
+
+    let mut rows = 0usize;
+    let mut retries = 0usize;
+    let started = Instant::now();
+    for _ in 0..max_steps {
+        let mut round: Vec<(usize, Ticket<W>, Instant)> = Vec::new();
+        for i in 0..n {
+            if !alive[i] {
+                continue;
+            }
+            let input = W::encode(&observations[i], &mut encoded).clone();
+            let (ticket, submitted) = submit_with_backoff(server, sessions[i], input, &mut retries);
+            round.push((i, ticket, submitted));
+        }
+        if round.is_empty() {
+            break;
+        }
+        for (i, ticket, submitted) in round {
+            let decision = ticket.wait().expect("served decision");
+            latency.record(submitted.elapsed());
+            rows += 1;
+            traces[i].push(decision.action);
+            let transition = envs[i].step(decision.action);
+            observations[i] = transition.observation;
+            if transition.terminal {
+                alive[i] = false;
+            }
+        }
+    }
+    LoadOutcome { traces, rows, retries, elapsed: started.elapsed() }
+}
+
+/// Submits, yielding and retrying while the queue pushes back. Returns the
+/// ticket and the instant of the *first* attempt, so recorded latencies
+/// include the backpressure wait the request actually experienced.
+fn submit_with_backoff<W: navft_nn::Element>(
+    server: &Server<W>,
+    session: SessionId,
+    input: TensorBase<W>,
+    retries: &mut usize,
+) -> (Ticket<W>, Instant) {
+    let started = Instant::now();
+    let mut input = input;
+    loop {
+        match server.submit(session, input) {
+            Ok(ticket) => return (ticket, started),
+            Err((ServeError::Busy, returned)) => {
+                *retries += 1;
+                input = returned;
+                std::thread::yield_now();
+            }
+            Err((error, _)) => panic!("load generator submit failed: {error}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ServeConfig, SessionHook};
+    use navft_dronesim::DroneSim;
+    use navft_gridworld::GridWorld;
+    use navft_nn::{c3f2_scaled, mlp};
+    use navft_rl::trace_policy_discrete;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::time::Duration;
+
+    #[test]
+    fn gridworld_load_generator_matches_the_library_traces() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let world = GridWorld::random(6, 0.2, &mut rng);
+        let states = world.num_states();
+        let policy = mlp(&[states, 24, 4], &mut SmallRng::seed_from_u64(4));
+
+        // Library reference: one greedy episode per environment copy.
+        let expected: Vec<Vec<usize>> = (0..5)
+            .map(|_| {
+                let mut env = world.clone();
+                trace_policy_discrete(&mut env, &policy, 30, &mut navft_nn::NoHooks)
+            })
+            .collect();
+
+        let config =
+            ServeConfig::default().with_max_batch(3).with_flush_after(Duration::from_millis(1));
+        let server = Server::start(policy, &[states], config);
+        let sessions: Vec<_> = (0..5)
+            .map(|i| server.open_session(Box::new(SessionHook::<f32>::new(None, i))))
+            .collect();
+        let mut envs: Vec<GridWorld> = (0..5).map(|_| world.clone()).collect();
+        let mut latency = LatencyWindow::new();
+        let outcome = drive_discrete_episodes(&server, &sessions, &mut envs, 30, &mut latency);
+
+        assert_eq!(outcome.traces, expected, "served traces must match the library path");
+        assert_eq!(latency.len(), outcome.rows);
+        assert!(outcome.rows >= 5, "each session took at least one step");
+        assert!(server.stats().max_rows_per_batch > 1, "requests coalesced");
+    }
+
+    #[test]
+    fn drone_load_generator_serves_vision_episodes() {
+        let policy = c3f2_scaled(&mut SmallRng::seed_from_u64(5));
+        let config =
+            ServeConfig::default().with_max_batch(2).with_flush_after(Duration::from_millis(1));
+        let server = Server::start(policy, &[1, 31, 31], config);
+        let sessions: Vec<_> = (0..2).map(|_| server.open_clean_session()).collect();
+        let mut envs = vec![DroneSim::indoor_long(), DroneSim::indoor_long()];
+        let mut latency = LatencyWindow::new();
+        let outcome = drive_vision_episodes(&server, &sessions, &mut envs, 4, &mut latency);
+        assert_eq!(outcome.traces.len(), 2);
+        assert!(outcome.rows > 0);
+        assert_eq!(latency.len(), outcome.rows);
+    }
+}

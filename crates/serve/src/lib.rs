@@ -1,0 +1,58 @@
+//! A multi-tenant policy-serving daemon over the generic inference engine.
+//!
+//! The paper evaluates fault-injected navigation policies offline, episode by
+//! episode; the north star is serving those policies to many concurrent
+//! users. This crate is that serving layer:
+//!
+//! * [`Server`] owns one policy of any numeric backend and a **session
+//!   registry**: each open session carries its own forward hooks (fault
+//!   injection, range-guard scrubbing — see [`SessionHook`]) and at most one
+//!   in-flight request.
+//! * A **dynamic batcher** coalesces pending [`Server::submit`] requests —
+//!   up to [`ServeConfig::max_batch`], or whatever arrived within
+//!   [`ServeConfig::flush_after`] of the oldest pending request — into one
+//!   zero-alloc `forward_batch_into_cfg` sweep. Per-session hooks are routed
+//!   to their batch row through [`navft_nn::DynRowHooks`], so a served
+//!   request observes the *exact* hook call sequence of a single-sample
+//!   library forward: action traces are bit-identical to the library-only
+//!   path under any coalescing schedule.
+//! * A **bounded queue** provides backpressure: beyond
+//!   [`ServeConfig::queue_capacity`] pending requests, [`Server::submit`]
+//!   rejects with [`ServeError::Busy`] and hands the input back for a retry
+//!   ([`Server::act`] retries internally). Dropping or shutting the server
+//!   down drains every queued request before the worker exits.
+//!
+//! [`client`] ships grid-world and drone episode drivers used as load
+//! generators, and [`LatencyWindow`] aggregates request latencies into the
+//! p50/p99 + rows/s summaries the bench harness writes to `BENCH_<rev>.json`.
+//!
+//! # Examples
+//!
+//! ```
+//! use navft_nn::mlp;
+//! use navft_serve::{ServeConfig, Server, SessionHook};
+//! use rand::{rngs::SmallRng, SeedableRng};
+//!
+//! let mut rng = SmallRng::seed_from_u64(0);
+//! let policy = mlp(&[4, 8, 2], &mut rng);
+//! let server = Server::start(policy, &[4], ServeConfig::default());
+//! let session = server.open_session(Box::new(SessionHook::new(None, 7)));
+//! let decision = server
+//!     .act(session, navft_nn::Tensor::full(&[4], 0.25))
+//!     .expect("served decision");
+//! assert!(decision.action < 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+
+mod metrics;
+mod server;
+mod session;
+
+pub use client::{drive_discrete_episodes, drive_vision_episodes, LoadOutcome};
+pub use metrics::LatencyWindow;
+pub use server::{Decision, ServeConfig, ServeError, ServeStats, Server, SessionId, Ticket};
+pub use session::SessionHook;

@@ -1,0 +1,630 @@
+//! The serving daemon: session registry, bounded request queue, and the
+//! dynamic batcher worker.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use navft_nn::{argmax, DynRowHooks, Element, EngineConfig, HooksFor, NetworkBase, NoHooks};
+use navft_nn::{Scratch, TensorBase};
+
+/// Configuration of a [`Server`]'s dynamic batcher and queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Largest number of requests coalesced into one engine sweep.
+    pub max_batch: usize,
+    /// Pending-request bound beyond which [`Server::submit`] rejects with
+    /// [`ServeError::Busy`].
+    pub queue_capacity: usize,
+    /// How long the batcher waits for more requests after the oldest pending
+    /// one before flushing a partial batch.
+    pub flush_after: Duration,
+    /// Engine configuration of the batched sweeps (threads, kernel choice) —
+    /// explicit, so concurrent servers and tests in one process cannot
+    /// observe each other's settings.
+    pub engine: EngineConfig,
+}
+
+impl Default for ServeConfig {
+    /// Batches of up to 64 rows, a 256-request queue, a 200 µs flush
+    /// deadline, the default (serial, SIMD-dispatched) engine.
+    fn default() -> Self {
+        ServeConfig {
+            max_batch: 64,
+            queue_capacity: 256,
+            flush_after: Duration::from_micros(200),
+            engine: EngineConfig::default(),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Returns the config with the coalescing bound set (clamped to ≥ 1).
+    pub fn with_max_batch(mut self, max_batch: usize) -> ServeConfig {
+        self.max_batch = max_batch.max(1);
+        self
+    }
+
+    /// Returns the config with the queue bound set (clamped to ≥ 1).
+    pub fn with_queue_capacity(mut self, capacity: usize) -> ServeConfig {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Returns the config with the partial-batch flush deadline set.
+    pub fn with_flush_after(mut self, flush_after: Duration) -> ServeConfig {
+        self.flush_after = flush_after;
+        self
+    }
+
+    /// Returns the config with the engine configuration set.
+    pub fn with_engine(mut self, engine: EngineConfig) -> ServeConfig {
+        self.engine = engine;
+        self
+    }
+}
+
+/// Why the server declined a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeError {
+    /// The bounded queue is full — back off and retry.
+    Busy,
+    /// The server is draining towards shutdown; no new requests.
+    ShuttingDown,
+    /// The session does not exist (never opened, or already closed).
+    UnknownSession,
+    /// The session already has a request in flight (one per session).
+    InFlight,
+    /// The observation's shape does not match the served policy's input.
+    BadShape,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            ServeError::Busy => "request queue is full",
+            ServeError::ShuttingDown => "server is shutting down",
+            ServeError::UnknownSession => "unknown session",
+            ServeError::InFlight => "session already has a request in flight",
+            ServeError::BadShape => "observation shape does not match the policy input",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// The served outcome of one `act()` request: the greedy action plus the
+/// policy's output row in the backend's storage representation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decision<W: Element> {
+    /// Argmax over the policy's final layer.
+    pub action: usize,
+    /// The final layer's values for this request's batch row.
+    pub values: Vec<W>,
+}
+
+/// Handle to an open session of a [`Server`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SessionId(usize);
+
+/// A pending reply to a submitted request; resolves via [`Ticket::wait`].
+pub struct Ticket<W: Element> {
+    rx: mpsc::Receiver<Result<Decision<W>, ServeError>>,
+}
+
+impl<W: Element> std::fmt::Debug for Ticket<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ticket").finish_non_exhaustive()
+    }
+}
+
+impl<W: Element> Ticket<W> {
+    /// Blocks until the batcher serves this request (or refuses it).
+    pub fn wait(self) -> Result<Decision<W>, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::ShuttingDown))
+    }
+}
+
+/// Counters of a server's lifetime activity (see [`Server::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeStats {
+    /// Requests served (batch rows swept through the engine).
+    pub rows: usize,
+    /// Engine sweeps run (batches flushed).
+    pub batches: usize,
+    /// Submissions rejected with [`ServeError::Busy`].
+    pub rejected: usize,
+    /// Largest batch coalesced so far.
+    pub max_rows_per_batch: usize,
+}
+
+/// The channel half a batcher sweep answers a request on.
+type ReplySender<W> = mpsc::Sender<Result<Decision<W>, ServeError>>;
+
+struct SessionState<W: Element> {
+    /// The session's forward hooks. `None` only while the batcher borrows
+    /// them for a sweep (the slot's `in_flight` flag is set for that span).
+    hooks: Option<Box<dyn HooksFor<W> + Send>>,
+    in_flight: bool,
+}
+
+struct Request<W: Element> {
+    session: SessionId,
+    input: TensorBase<W>,
+    reply: ReplySender<W>,
+}
+
+struct QueueState<W: Element> {
+    pending: VecDeque<Request<W>>,
+    /// When the oldest pending request was enqueued — the flush deadline's
+    /// anchor. `None` while the queue is empty.
+    oldest: Option<Instant>,
+    shutdown: bool,
+}
+
+struct Shared<W: Element> {
+    network: NetworkBase<W>,
+    input_shape: Vec<usize>,
+    config: ServeConfig,
+    registry: Mutex<Vec<Option<SessionState<W>>>>,
+    queue: Mutex<QueueState<W>>,
+    wake: Condvar,
+    rows: AtomicUsize,
+    batches: AtomicUsize,
+    rejected: AtomicUsize,
+    max_rows_per_batch: AtomicUsize,
+}
+
+/// A policy-serving daemon: one policy, many sessions, one dynamic-batcher
+/// worker thread coalescing concurrent requests into batched engine sweeps.
+///
+/// See the [crate docs](crate) for the architecture. Dropping the server
+/// drains every queued request, then joins the worker.
+pub struct Server<W: Element> {
+    shared: Arc<Shared<W>>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl<W: Element> Server<W> {
+    /// Starts a server for `network`, whose sessions submit observations of
+    /// `input_shape`, and spawns the batcher worker.
+    pub fn start(network: NetworkBase<W>, input_shape: &[usize], config: ServeConfig) -> Server<W> {
+        assert!(config.max_batch >= 1, "max_batch must be at least 1");
+        assert!(config.queue_capacity >= 1, "queue_capacity must be at least 1");
+        let shared = Arc::new(Shared {
+            network,
+            input_shape: input_shape.to_vec(),
+            config,
+            registry: Mutex::new(Vec::new()),
+            queue: Mutex::new(QueueState {
+                pending: VecDeque::new(),
+                oldest: None,
+                shutdown: false,
+            }),
+            wake: Condvar::new(),
+            rows: AtomicUsize::new(0),
+            batches: AtomicUsize::new(0),
+            rejected: AtomicUsize::new(0),
+            max_rows_per_batch: AtomicUsize::new(0),
+        });
+        let worker_shared = Arc::clone(&shared);
+        let worker = std::thread::Builder::new()
+            .name("navft-serve-batcher".into())
+            .spawn(move || worker_loop(worker_shared))
+            .expect("spawn batcher worker");
+        Server { shared, worker: Some(worker) }
+    }
+
+    /// The served policy.
+    pub fn network(&self) -> &NetworkBase<W> {
+        &self.shared.network
+    }
+
+    /// The observation shape every submission must match.
+    pub fn input_shape(&self) -> &[usize] {
+        &self.shared.input_shape
+    }
+
+    /// Opens a session carrying `hooks`, which observe (and may corrupt or
+    /// scrub) every forward pass this session's requests ride in — the
+    /// per-tenant fault-injection and mitigation surface.
+    pub fn open_session(&self, hooks: Box<dyn HooksFor<W> + Send>) -> SessionId {
+        let mut registry = self.shared.registry.lock().expect("registry lock");
+        let state = SessionState { hooks: Some(hooks), in_flight: false };
+        match registry.iter().position(|slot| slot.is_none()) {
+            Some(index) => {
+                registry[index] = Some(state);
+                SessionId(index)
+            }
+            None => {
+                registry.push(Some(state));
+                SessionId(registry.len() - 1)
+            }
+        }
+    }
+
+    /// Opens a session with no hooks (a clean tenant).
+    pub fn open_clean_session(&self) -> SessionId
+    where
+        NoHooks: HooksFor<W>,
+    {
+        self.open_session(Box::new(NoHooks))
+    }
+
+    /// Closes a session. Fails with [`ServeError::InFlight`] while the
+    /// session has an unserved request.
+    pub fn close_session(&self, session: SessionId) -> Result<(), ServeError> {
+        let mut registry = self.shared.registry.lock().expect("registry lock");
+        match registry.get_mut(session.0) {
+            Some(slot) => match slot {
+                Some(state) if state.in_flight => Err(ServeError::InFlight),
+                Some(_) => {
+                    *slot = None;
+                    Ok(())
+                }
+                None => Err(ServeError::UnknownSession),
+            },
+            None => Err(ServeError::UnknownSession),
+        }
+    }
+
+    /// Number of currently open sessions.
+    pub fn session_count(&self) -> usize {
+        self.shared.registry.lock().expect("registry lock").iter().flatten().count()
+    }
+
+    /// Enqueues one observation for `session` and returns a [`Ticket`] that
+    /// resolves when the batcher serves it.
+    ///
+    /// On rejection the observation is handed back alongside the error, so a
+    /// [`ServeError::Busy`] caller can retry without re-building it. Each
+    /// session may have at most one request in flight.
+    pub fn submit(
+        &self,
+        session: SessionId,
+        input: TensorBase<W>,
+    ) -> Result<Ticket<W>, (ServeError, TensorBase<W>)> {
+        if input.shape() != self.shared.input_shape.as_slice() {
+            return Err((ServeError::BadShape, input));
+        }
+        {
+            let mut registry = self.shared.registry.lock().expect("registry lock");
+            match registry.get_mut(session.0).and_then(|slot| slot.as_mut()) {
+                None => return Err((ServeError::UnknownSession, input)),
+                Some(state) if state.in_flight => return Err((ServeError::InFlight, input)),
+                Some(state) => state.in_flight = true,
+            }
+        }
+        let (reply, rx) = mpsc::channel();
+        let mut queue = self.shared.queue.lock().expect("queue lock");
+        if queue.shutdown {
+            drop(queue);
+            self.clear_in_flight(session);
+            return Err((ServeError::ShuttingDown, input));
+        }
+        if queue.pending.len() >= self.shared.config.queue_capacity {
+            drop(queue);
+            self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+            self.clear_in_flight(session);
+            return Err((ServeError::Busy, input));
+        }
+        if queue.pending.is_empty() {
+            queue.oldest = Some(Instant::now());
+        }
+        queue.pending.push_back(Request { session, input, reply });
+        self.shared.wake.notify_one();
+        drop(queue);
+        Ok(Ticket { rx })
+    }
+
+    /// Submits one observation and blocks for the decision, retrying
+    /// (with a scheduler yield) while the queue is full.
+    pub fn act(&self, session: SessionId, input: TensorBase<W>) -> Result<Decision<W>, ServeError> {
+        let mut input = input;
+        loop {
+            match self.submit(session, input) {
+                Ok(ticket) => return ticket.wait(),
+                Err((ServeError::Busy, returned)) => {
+                    input = returned;
+                    std::thread::yield_now();
+                }
+                Err((error, _)) => return Err(error),
+            }
+        }
+    }
+
+    /// Number of requests waiting in the queue right now.
+    pub fn pending(&self) -> usize {
+        self.shared.queue.lock().expect("queue lock").pending.len()
+    }
+
+    /// Lifetime activity counters.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            rows: self.shared.rows.load(Ordering::Relaxed),
+            batches: self.shared.batches.load(Ordering::Relaxed),
+            rejected: self.shared.rejected.load(Ordering::Relaxed),
+            max_rows_per_batch: self.shared.max_rows_per_batch.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops accepting new requests, drains every queued one, and joins the
+    /// worker. (Dropping the server does the same.)
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn clear_in_flight(&self, session: SessionId) {
+        let mut registry = self.shared.registry.lock().expect("registry lock");
+        if let Some(Some(state)) = registry.get_mut(session.0).map(|slot| slot.as_mut()) {
+            state.in_flight = false;
+        }
+    }
+
+    fn stop(&mut self) {
+        {
+            let mut queue = self.shared.queue.lock().expect("queue lock");
+            queue.shutdown = true;
+        }
+        self.shared.wake.notify_all();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl<W: Element> Drop for Server<W> {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// The batcher worker: wait for a full batch or a flush deadline, drain up
+/// to `max_batch` requests, sweep them through the engine, reply per row.
+fn worker_loop<W: Element>(shared: Arc<Shared<W>>) {
+    let mut scratch = Scratch::new();
+    loop {
+        let batch: Vec<Request<W>> = {
+            let mut queue = shared.queue.lock().expect("queue lock");
+            loop {
+                let full = queue.pending.len() >= shared.config.max_batch;
+                // On shutdown, flush whatever is queued (graceful drain)
+                // and exit once the queue is empty.
+                if full || (queue.shutdown && !queue.pending.is_empty()) {
+                    break;
+                }
+                if queue.shutdown {
+                    return;
+                }
+                if queue.pending.is_empty() {
+                    queue = shared.wake.wait(queue).expect("queue lock");
+                    continue;
+                }
+                let waited = queue.oldest.map(|t| t.elapsed()).unwrap_or(Duration::ZERO);
+                if waited >= shared.config.flush_after {
+                    break;
+                }
+                let remaining = shared.config.flush_after - waited;
+                let (guard, _) = shared.wake.wait_timeout(queue, remaining).expect("queue lock");
+                queue = guard;
+            }
+            let take = queue.pending.len().min(shared.config.max_batch);
+            let batch: Vec<Request<W>> = queue.pending.drain(..take).collect();
+            queue.oldest = if queue.pending.is_empty() { None } else { Some(Instant::now()) };
+            batch
+        };
+        process_batch(&shared, &mut scratch, batch);
+    }
+}
+
+fn process_batch<W: Element>(shared: &Shared<W>, scratch: &mut Scratch<W>, batch: Vec<Request<W>>) {
+    // Take each session's hook box out of the registry for the sweep; the
+    // in-flight flag (set at submit) keeps the slot reserved meanwhile, so
+    // no aliasing is possible. A session can only vanish here if the
+    // registry raced a close — refuse its request rather than serving it
+    // hookless.
+    let mut inputs: Vec<TensorBase<W>> = Vec::with_capacity(batch.len());
+    let mut rows: Vec<(SessionId, ReplySender<W>)> = Vec::with_capacity(batch.len());
+    let mut hooks: Vec<Box<dyn HooksFor<W> + Send>> = Vec::with_capacity(batch.len());
+    {
+        let mut registry = shared.registry.lock().expect("registry lock");
+        for request in batch {
+            let taken = registry
+                .get_mut(request.session.0)
+                .and_then(|slot| slot.as_mut())
+                .and_then(|state| state.hooks.take());
+            match taken {
+                Some(hook) => {
+                    inputs.push(request.input);
+                    rows.push((request.session, request.reply));
+                    hooks.push(hook);
+                }
+                None => {
+                    let _ = request.reply.send(Err(ServeError::UnknownSession));
+                }
+            }
+        }
+    }
+
+    let mut decisions: Vec<Decision<W>> = Vec::with_capacity(inputs.len());
+    if !inputs.is_empty() {
+        {
+            let row_refs: Vec<&mut dyn HooksFor<W>> =
+                hooks.iter_mut().map(|hook| &mut **hook as &mut dyn HooksFor<W>).collect();
+            let mut per_row = DynRowHooks::new(row_refs);
+            shared.network.forward_batch_into_cfg(
+                &inputs,
+                scratch,
+                &mut per_row,
+                shared.config.engine,
+            );
+        }
+        for row in 0..rows.len() {
+            let values = scratch.row(row);
+            decisions.push(Decision { action: argmax(values), values: values.to_vec() });
+        }
+        shared.rows.fetch_add(inputs.len(), Ordering::Relaxed);
+        shared.batches.fetch_add(1, Ordering::Relaxed);
+        shared.max_rows_per_batch.fetch_max(inputs.len(), Ordering::Relaxed);
+    }
+
+    // Return the hook boxes and release the per-session in-flight slots
+    // *before* replying: once a client sees its decision it may immediately
+    // resubmit, so the slot must already be free by then.
+    {
+        let mut registry = shared.registry.lock().expect("registry lock");
+        for ((session, _), hook) in rows.iter().zip(hooks) {
+            if let Some(Some(state)) = registry.get_mut(session.0).map(|slot| slot.as_mut()) {
+                state.hooks = Some(hook);
+                state.in_flight = false;
+            }
+        }
+    }
+    for ((_, reply), decision) in rows.into_iter().zip(decisions) {
+        let _ = reply.send(Ok(decision));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use navft_nn::{mlp, Tensor};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn policy() -> navft_nn::Network {
+        let mut rng = SmallRng::seed_from_u64(0);
+        mlp(&[4, 8, 3], &mut rng)
+    }
+
+    fn obs(v: f32) -> Tensor {
+        Tensor::full(&[4], v)
+    }
+
+    #[test]
+    fn served_decision_matches_the_library_forward() {
+        let net = policy();
+        let expected = net.forward(&obs(0.3)).argmax();
+        let server = Server::start(net, &[4], ServeConfig::default());
+        let session = server.open_clean_session();
+        let decision = server.act(session, obs(0.3)).expect("decision");
+        assert_eq!(decision.action, expected);
+        assert_eq!(decision.values.len(), 3);
+    }
+
+    #[test]
+    fn unknown_sessions_bad_shapes_and_double_submits_are_refused() {
+        let server = Server::start(policy(), &[4], ServeConfig::default());
+        let (err, _) = server.submit(SessionId(3), obs(0.0)).expect_err("no session");
+        assert_eq!(err, ServeError::UnknownSession);
+
+        let session = server.open_clean_session();
+        let (err, _) = server.submit(session, Tensor::full(&[5], 0.0)).expect_err("wrong shape");
+        assert_eq!(err, ServeError::BadShape);
+
+        // Stall the batcher with a long flush deadline so the first request
+        // stays in flight while the second arrives.
+        let server = Server::start(
+            policy(),
+            &[4],
+            ServeConfig::default().with_flush_after(Duration::from_secs(5)),
+        );
+        let session = server.open_clean_session();
+        let ticket = server.submit(session, obs(0.1)).expect("first submit");
+        let (err, _) = server.submit(session, obs(0.2)).expect_err("in flight");
+        assert_eq!(err, ServeError::InFlight);
+        assert_eq!(server.close_session(session).expect_err("busy"), ServeError::InFlight);
+        drop(server); // graceful drain resolves the ticket
+        assert!(ticket.wait().is_ok());
+    }
+
+    #[test]
+    fn full_queue_rejects_with_busy_and_drains_on_shutdown() {
+        let config = ServeConfig::default()
+            .with_max_batch(64)
+            .with_queue_capacity(2)
+            .with_flush_after(Duration::from_secs(5));
+        let server = Server::start(policy(), &[4], config);
+        let a = server.open_clean_session();
+        let b = server.open_clean_session();
+        let c = server.open_clean_session();
+        let ta = server.submit(a, obs(0.1)).expect("first");
+        let tb = server.submit(b, obs(0.2)).expect("second");
+        let (err, returned) = server.submit(c, obs(0.3)).expect_err("queue full");
+        assert_eq!(err, ServeError::Busy);
+        assert_eq!(returned.data(), obs(0.3).data(), "rejected input is handed back");
+        assert_eq!(server.stats().rejected, 1);
+        // The rejected session is immediately usable again after drain.
+        server.shutdown();
+        assert!(ta.wait().is_ok());
+        assert!(tb.wait().is_ok());
+    }
+
+    #[test]
+    fn batcher_coalesces_full_batches_immediately() {
+        let config = ServeConfig::default()
+            .with_max_batch(4)
+            .with_queue_capacity(64)
+            .with_flush_after(Duration::from_secs(5));
+        let net = policy();
+        let expected: Vec<usize> =
+            (0..8).map(|i| net.forward(&obs(i as f32 * 0.1)).argmax()).collect();
+        let server = Server::start(net, &[4], config);
+        let sessions: Vec<SessionId> = (0..8).map(|_| server.open_clean_session()).collect();
+        // 8 pending requests with a 5 s deadline: only full batches of 4 can
+        // have flushed them.
+        let tickets: Vec<Ticket<f32>> = sessions
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| server.submit(s, obs(i as f32 * 0.1)).expect("submit"))
+            .collect();
+        for (ticket, want) in tickets.into_iter().zip(expected) {
+            assert_eq!(ticket.wait().expect("decision").action, want);
+        }
+        let stats = server.stats();
+        assert_eq!(stats.rows, 8);
+        assert_eq!(stats.max_rows_per_batch, 4);
+        assert_eq!(stats.batches, 2);
+    }
+
+    #[test]
+    fn partial_batches_flush_after_the_deadline() {
+        let config =
+            ServeConfig::default().with_max_batch(64).with_flush_after(Duration::from_millis(1));
+        let server = Server::start(policy(), &[4], config);
+        let session = server.open_clean_session();
+        let decision = server.act(session, obs(0.4)).expect("decision");
+        assert_eq!(decision.values.len(), 3);
+        assert_eq!(server.stats().max_rows_per_batch, 1);
+    }
+
+    #[test]
+    fn sessions_reuse_freed_slots() {
+        let server = Server::start(policy(), &[4], ServeConfig::default());
+        let a = server.open_clean_session();
+        let _b = server.open_clean_session();
+        server.close_session(a).expect("close");
+        assert_eq!(server.session_count(), 1);
+        let c = server.open_clean_session();
+        assert_eq!(c, a, "freed slot is reused");
+        assert_eq!(server.session_count(), 2);
+        assert_eq!(server.close_session(a), Ok(()));
+        assert_eq!(server.close_session(a), Err(ServeError::UnknownSession));
+    }
+
+    #[test]
+    fn submissions_after_shutdown_are_refused() {
+        let server = Server::start(policy(), &[4], ServeConfig::default());
+        let session = server.open_clean_session();
+        {
+            let mut queue = server.shared.queue.lock().expect("queue lock");
+            queue.shutdown = true;
+        }
+        let (err, _) = server.submit(session, obs(0.0)).expect_err("shutting down");
+        assert_eq!(err, ServeError::ShuttingDown);
+    }
+}

@@ -1,7 +1,7 @@
 //! Batched-inference equivalence suite: `Network::forward_batch` must be
 //! **bit-exact** against per-sample `Network::forward` for every model in
 //! `nn::models`, with and without fault-injection hooks and range
-//! instrumentation attached, across batch sizes {1, 2, 7, 64}.
+//! instrumentation attached, across batch sizes {0, 1, 2, 7, 64}.
 //!
 //! This is the contract that lets every fault campaign and the DQN learning
 //! step move onto the preallocated batched engine without re-validating a
@@ -15,7 +15,7 @@ use navft_qformat::QFormat;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-const BATCH_SIZES: [usize; 4] = [1, 2, 7, 64];
+const BATCH_SIZES: [usize; 5] = [0, 1, 2, 7, 64];
 
 /// Every ready-made topology of `nn::models`, with its input shape. The
 /// full-size paper network is exercised at the small batch sizes only (its
@@ -23,7 +23,7 @@ const BATCH_SIZES: [usize; 4] = [1, 2, 7, 64];
 /// batches).
 fn models() -> Vec<(&'static str, Network, Vec<usize>, &'static [usize])> {
     let mut rng = SmallRng::seed_from_u64(0xBA7C);
-    static SMALL_BATCHES: [usize; 2] = [1, 2];
+    static SMALL_BATCHES: [usize; 3] = [0, 1, 2];
     vec![
         ("grid_mlp", mlp(&[100, 64, 4], &mut rng), vec![100], &BATCH_SIZES),
         ("deep_mlp", mlp(&[12, 16, 8, 8, 3], &mut rng), vec![12], &BATCH_SIZES),
@@ -73,6 +73,24 @@ fn forward_batch_is_bit_exact_for_every_model_without_hooks() {
                 );
             }
         }
+    }
+}
+
+#[test]
+fn an_empty_flush_is_a_no_op_that_leaves_the_scratch_reusable() {
+    // Flushing zero rows must return zero outputs without touching the
+    // engine, and the very same scratch must then serve a real batch
+    // bit-exactly — an empty flush may not leave stale row state behind.
+    let mut rng = SmallRng::seed_from_u64(0xE0);
+    let net = mlp(&[12, 16, 3], &mut rng);
+    let mut scratch = Scratch::new();
+    let inputs = batch_inputs(&[12], 3, 0xE1);
+    let expected = net.forward_batch(&inputs, &mut scratch);
+
+    assert!(net.forward_batch(&[], &mut scratch).is_empty(), "empty flush returns no rows");
+    let after_empty = net.forward_batch(&inputs, &mut scratch);
+    for (b, (fresh, again)) in expected.iter().zip(after_empty.iter()).enumerate() {
+        assert_eq!(fresh.data(), again.data(), "row {b} changed after an empty flush");
     }
 }
 
@@ -141,8 +159,8 @@ fn forward_batch_is_bit_exact_under_per_row_fault_injection_hooks() {
                     );
                 }
                 // The faults must actually have fired for the comparison to
-                // mean anything.
-                assert!(total_injected > 0, "{name} x{batch}: no faults injected");
+                // mean anything (an empty batch has no rows to corrupt).
+                assert!(batch == 0 || total_injected > 0, "{name} x{batch}: no faults injected");
             }
         }
     }

@@ -129,7 +129,7 @@ fn batched_native_engine_is_bit_identical_to_serial() {
         for format in FORMATS {
             let qnet = QNetwork::quantize(&network, format);
             let mut rng = SmallRng::seed_from_u64(0xBA7C);
-            for batch in [1usize, 2, 7] {
+            for batch in [0usize, 1, 2, 7] {
                 let inputs: Vec<QTensor> = (0..batch)
                     .map(|_| {
                         QTensor::quantize(&Tensor::uniform(input.shape(), 1.0, &mut rng), format)
@@ -137,6 +137,7 @@ fn batched_native_engine_is_bit_identical_to_serial() {
                     .collect();
                 let mut scratch = QScratch::new();
                 let batched = qnet.forward_batch(&inputs, &mut scratch);
+                assert_eq!(batched.len(), batch, "{name}/{format} batch {batch} row count");
                 for (b, (qin, out)) in inputs.iter().zip(batched.iter()).enumerate() {
                     assert_eq!(
                         out.words(),
@@ -150,6 +151,39 @@ fn batched_native_engine_is_bit_identical_to_serial() {
 }
 
 #[test]
+fn empty_native_flushes_are_no_ops_that_leave_the_scratches_reusable() {
+    // The quantized analogue of the f32 suite's empty-flush contract: zero
+    // rows in, zero rows out, and the same scratch then serves a real batch
+    // bit-exactly on both native backends.
+    let (_, network, input) = models(0x0E5).swap_remove(0);
+    let mut rng = SmallRng::seed_from_u64(0xBA7E);
+    let inputs: Vec<Tensor> =
+        (0..3).map(|_| Tensor::uniform(input.shape(), 1.0, &mut rng)).collect();
+
+    let qnet = QNetwork::quantize(&network, QFormat::Q4_11);
+    let qinputs: Vec<QTensor> =
+        inputs.iter().map(|t| QTensor::quantize(t, QFormat::Q4_11)).collect();
+    let mut qscratch = QScratch::new();
+    let expected = qnet.forward_batch(&qinputs, &mut qscratch);
+    assert!(qnet.forward_batch(&[], &mut qscratch).is_empty(), "empty native flush");
+    let after = qnet.forward_batch(&qinputs, &mut qscratch);
+    for (b, (fresh, again)) in expected.iter().zip(after.iter()).enumerate() {
+        assert_eq!(fresh.words(), again.words(), "native row {b} changed after an empty flush");
+    }
+
+    let inet = I8Network::quantize(&network);
+    let iinputs: Vec<I8Tensor> =
+        inputs.iter().map(|t| I8Tensor::quantize(t, inet.affine())).collect();
+    let mut iscratch = I8Scratch::new();
+    let expected = inet.forward_batch(&iinputs, &mut iscratch);
+    assert!(inet.forward_batch(&[], &mut iscratch).is_empty(), "empty i8 flush");
+    let after = inet.forward_batch(&iinputs, &mut iscratch);
+    for (b, (fresh, again)) in expected.iter().zip(after.iter()).enumerate() {
+        assert_eq!(fresh.words(), again.words(), "i8 row {b} changed after an empty flush");
+    }
+}
+
+#[test]
 fn i8_native_passes_are_bit_deterministic_and_batched_equals_serial() {
     for (name, network, input) in models(0x0E4).into_iter().take(2) {
         let inet = I8Network::quantize(&network);
@@ -157,7 +191,7 @@ fn i8_native_passes_are_bit_deterministic_and_batched_equals_serial() {
         let first = inet.forward(&iinput);
         assert_eq!(first.words(), inet.forward(&iinput).words(), "{name}/i8 is not deterministic");
         let mut rng = SmallRng::seed_from_u64(0xBA7D);
-        for batch in [1usize, 2, 7] {
+        for batch in [0usize, 1, 2, 7] {
             let inputs: Vec<I8Tensor> = (0..batch)
                 .map(|_| {
                     I8Tensor::quantize(
@@ -168,6 +202,7 @@ fn i8_native_passes_are_bit_deterministic_and_batched_equals_serial() {
                 .collect();
             let mut scratch = I8Scratch::new();
             let batched = inet.forward_batch(&inputs, &mut scratch);
+            assert_eq!(batched.len(), batch, "{name}/i8 batch {batch} row count");
             for (b, (iin, out)) in inputs.iter().zip(batched.iter()).enumerate() {
                 assert_eq!(
                     out.words(),
