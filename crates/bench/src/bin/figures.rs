@@ -18,8 +18,12 @@
 //! writes per-figure `<figure>.jsonl` + `<figure>.txt` files; `--resume`
 //! skips cells whose fingerprint already has a journal record, so an
 //! interrupted paper-scale run picks up where it left off. `--jobs N`
-//! overrides the scale's worker-thread default. The JSONL artifacts are
-//! bit-identical for any `--jobs` value.
+//! overrides the scale's worker-thread default; it controls *trial-level*
+//! parallelism only and composes multiplicatively with the per-trial
+//! inference engine's [`EngineConfig::threads`] (held at the single-threaded
+//! default here), so up to `jobs × engine.threads` threads can be live at
+//! once. The JSONL artifacts are bit-identical for any `--jobs` value and
+//! any engine config.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -27,6 +31,7 @@ use std::process::ExitCode;
 use navft_bench::{parse_jobs, parse_scale};
 use navft_core::sweep::{artifact, run_sweeps, RunOptions};
 use navft_core::{experiments, Scale};
+use navft_nn::EngineConfig;
 
 struct Args {
     scale: Scale,
@@ -143,8 +148,15 @@ fn run(args: Args) -> ExitCode {
         .collect();
 
     let threads = args.scale.threads_or(args.jobs);
-    let options =
-        RunOptions { threads, out_dir: args.out_dir.clone(), resume: args.resume, progress: true };
+    // Trial-level parallelism only: each trial's rollouts run with the default
+    // single-threaded engine, so artifacts stay byte-identical at any --jobs.
+    let options = RunOptions {
+        threads,
+        engine: EngineConfig::default(),
+        out_dir: args.out_dir.clone(),
+        resume: args.resume,
+        progress: true,
+    };
     let total_cells: usize = sweeps.iter().map(|s| s.len()).sum();
     eprintln!(
         "[figures] running {} figure(s), {total_cells} cells at {:?} scale on {threads} thread(s)...",

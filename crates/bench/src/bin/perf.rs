@@ -28,6 +28,12 @@
 //! (on the `f32` and native fixed-point backends) and records request
 //! latency percentiles plus served-row throughput.
 //!
+//! A third, `campaign` section measures the vectorized rollout layer the
+//! figure campaigns run on: environment steps per second at batch widths 1,
+//! 16 and 64 for each backend (every step is one row of a batched engine
+//! sweep), plus one smoke-scale figure sweep timed end to end in trials per
+//! second.
+//!
 //! The JSON is rendered with `navft_core::sweep::json` — the same
 //! deterministic writer the campaign artifacts use — so snapshots diff
 //! cleanly across revisions, and `perf_gate` can diff a fresh snapshot
@@ -38,13 +44,16 @@ use std::time::Instant;
 
 use navft_bench::parse_jobs;
 use navft_core::sweep::json::Json;
+use navft_core::{experiments, Scale};
 use navft_gridworld::GridWorld;
 use navft_nn::{
     c3f2_scaled, mlp, simd_kernel_name, EngineConfig, HooksFor, I8Network, I8Scratch, I8Tensor,
     Network, NetworkBase, NoHooks, QNetwork, QScratch, QTensor, Scratch, Tensor,
 };
 use navft_qformat::QFormat;
-use navft_rl::{DiscreteEnvironment, EvalElement};
+use navft_rl::{
+    rollout, DiscreteEnvironment, DummyVecEnv, EvalElement, InferenceFaultMode, RolloutObs,
+};
 use navft_serve::{drive_discrete_episodes, LatencyWindow, ServeConfig, Server};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -227,6 +236,80 @@ where
     ])
 }
 
+/// The rollout batch widths the campaign section is pinned at: serial, a
+/// mid-size wave and the campaign's episode batch.
+const ROLLOUT_BATCHES: [usize; 3] = [1, 16, 64];
+
+/// Episodes and step limit of each timed rollout pass (identical across
+/// batch widths, so steps/s rows are directly comparable).
+const ROLLOUT_EPISODES: usize = 64;
+const ROLLOUT_MAX_STEPS: usize = 32;
+
+/// Times vectorized rollouts of `network` over Grid World rows at one batch
+/// width and returns the campaign JSON row. Throughput is environment steps
+/// per second — every step is one row of a `forward_batch_into_cfg` sweep.
+fn bench_rollout<W>(
+    model: &str,
+    backend: &str,
+    network: &NetworkBase<W>,
+    world: &GridWorld,
+    batch: usize,
+    repeats: usize,
+    threads: usize,
+) -> Json
+where
+    W: EvalElement,
+    usize: RolloutObs<W>,
+    NoHooks: HooksFor<W>,
+{
+    let config = EngineConfig::default().with_threads(threads);
+    let mut steps = 0usize;
+    let secs = median_secs(repeats, || {
+        let mut venv = DummyVecEnv::from_prototype(world, batch);
+        let mut rng = SmallRng::seed_from_u64(0xCA4);
+        let tapes = rollout(
+            &mut venv,
+            network,
+            ROLLOUT_EPISODES,
+            ROLLOUT_MAX_STEPS,
+            &InferenceFaultMode::None,
+            &mut rng,
+            |_| NoHooks,
+            config,
+        );
+        steps = tapes.iter().map(|tape| tape.rewards.len()).sum();
+    });
+    let steps_per_s = steps as f64 / secs;
+    eprintln!("[perf] rollout {model}/{backend} batch {batch}: {steps_per_s:.0} steps/s");
+    Json::obj([
+        ("model", Json::Str(model.to_string())),
+        ("backend", Json::Str(backend.to_string())),
+        ("batch", Json::num(batch as f64)),
+        ("threads", Json::num(threads as f64)),
+        ("episodes", Json::num(ROLLOUT_EPISODES as f64)),
+        ("steps_per_s", Json::num(steps_per_s)),
+    ])
+}
+
+/// Times one smoke-scale figure sweep end to end (training and batched
+/// evaluation included) and returns the campaign JSON row in trials/s.
+fn bench_sweep_trials(figure: &str, repeats: usize, threads: usize) -> Json {
+    let trials: usize =
+        experiments::fig5::sweep(Scale::Smoke).cell_specs().map(|s| s.repetitions()).sum();
+    let secs = median_secs(repeats.min(3), || {
+        let _ = experiments::fig5::sweep(Scale::Smoke).collect(threads);
+    });
+    let trials_per_s = trials as f64 / secs;
+    eprintln!("[perf] sweep {figure}@smoke: {trials} trials, {trials_per_s:.1} trials/s");
+    Json::obj([
+        ("figure", Json::Str(figure.to_string())),
+        ("scale", Json::Str("smoke".to_string())),
+        ("threads", Json::num(threads as f64)),
+        ("trials", Json::num(trials as f64)),
+        ("trials_per_s", Json::num(trials_per_s)),
+    ])
+}
+
 fn run_benchmarks(rev: &str, repeats: usize, threads: usize, sessions: usize) -> Json {
     let mut rng = SmallRng::seed_from_u64(0);
     let models: Vec<(&str, Network, Vec<usize>)> = vec![
@@ -275,10 +358,29 @@ fn run_benchmarks(rev: &str, repeats: usize, threads: usize, sessions: usize) ->
     let world = GridWorld::random(10, 0.2, &mut world_rng);
     let policy = mlp(&[world.num_states(), 32, 4], &mut SmallRng::seed_from_u64(1));
     let qpolicy = QNetwork::quantize(&policy, format);
+    let ipolicy = I8Network::quantize(&policy);
     let serve = vec![
-        bench_serve("grid-mlp", "f32", policy, &world, sessions, threads),
-        bench_serve("grid-mlp", &format!("{format}"), qpolicy, &world, sessions, threads),
+        bench_serve("grid-mlp", "f32", policy.clone(), &world, sessions, threads),
+        bench_serve("grid-mlp", &format!("{format}"), qpolicy.clone(), &world, sessions, threads),
     ];
+
+    // Campaign section: vectorized environment rollouts (steps/s per backend
+    // and batch width) plus one smoke figure sweep end to end (trials/s).
+    let mut campaign = Vec::new();
+    for &batch in &ROLLOUT_BATCHES {
+        campaign.push(bench_rollout("grid-mlp", "f32", &policy, &world, batch, repeats, threads));
+        campaign.push(bench_rollout(
+            "grid-mlp",
+            &format!("{format}"),
+            &qpolicy,
+            &world,
+            batch,
+            repeats,
+            threads,
+        ));
+        campaign.push(bench_rollout("grid-mlp", "i8", &ipolicy, &world, batch, repeats, threads));
+    }
+    campaign.push(bench_sweep_trials("fig5", repeats, threads));
 
     Json::obj([
         ("rev", Json::Str(rev.to_string())),
@@ -289,5 +391,6 @@ fn run_benchmarks(rev: &str, repeats: usize, threads: usize, sessions: usize) ->
         ("engine_threads", Json::num(threads as f64)),
         ("results", Json::Arr(results)),
         ("serve", Json::Arr(serve)),
+        ("campaign", Json::Arr(campaign)),
     ])
 }

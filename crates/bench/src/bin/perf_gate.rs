@@ -10,10 +10,12 @@
 //!
 //! The comparison itself lives in [`navft_bench::perf_regressions`]: the
 //! `results` rows gate on `dispatched_rows_per_s` per `(model, backend)`,
-//! the `serve` rows on `rows_per_s` per `(model, backend, sessions)`. A
-//! fresh value more than `--tolerance` (default `0.10`, i.e. 10 %) below
-//! baseline, a baseline row missing from the fresh snapshot, or a
-//! non-finite fresh throughput all fail the gate.
+//! the `serve` rows on `rows_per_s` per `(model, backend, sessions)`, and
+//! the `campaign` rows on `steps_per_s` per `(model, backend, batch)` (the
+//! vectorized rollout layer) plus `trials_per_s` per `figure` (one smoke
+//! sweep end to end). A fresh value more than `--tolerance` (default
+//! `0.10`, i.e. 10 %) below baseline, a baseline row missing from the fresh
+//! snapshot, or a non-finite fresh throughput all fail the gate.
 
 use std::process::ExitCode;
 

@@ -62,12 +62,17 @@ pub fn parse_jobs(text: &str) -> Option<usize> {
 /// Compares a fresh `BENCH_<rev>.json` snapshot against a checked-in
 /// baseline and returns one message per regression (empty = gate passes).
 ///
-/// Two sections are diffed, each on its throughput metric:
+/// Three sections are diffed, each on its throughput metric:
 ///
 /// * `results` rows, keyed by `(model, backend)`, on
 ///   `dispatched_rows_per_s` — the batched GEMM forward path;
 /// * `serve` rows, keyed by `(model, backend, sessions)`, on `rows_per_s`
-///   — the dynamic batcher's served-row throughput.
+///   — the dynamic batcher's served-row throughput;
+/// * `campaign` rows, gated twice: rollout rows keyed by
+///   `(model, backend, batch)` on `steps_per_s` (the vectorized environment
+///   rollout layer) and figure rows keyed by `figure` on `trials_per_s`
+///   (one smoke sweep end to end). Rows that never recorded a given metric
+///   are skipped, so the two passes each gate only their own row kind.
 ///
 /// A baseline row that is absent from the fresh snapshot is a failure (a
 /// silently dropped benchmark would otherwise pass the gate forever), as is
@@ -93,6 +98,24 @@ pub fn perf_regressions(baseline: &Json, fresh: &Json, tolerance: f64) -> Vec<St
         "serve",
         &["model", "backend", "sessions"],
         "rows_per_s",
+        tolerance,
+        &mut failures,
+    );
+    gate_section(
+        baseline,
+        fresh,
+        "campaign",
+        &["model", "backend", "batch"],
+        "steps_per_s",
+        tolerance,
+        &mut failures,
+    );
+    gate_section(
+        baseline,
+        fresh,
+        "campaign",
+        &["figure"],
+        "trials_per_s",
         tolerance,
         &mut failures,
     );
@@ -251,6 +274,42 @@ mod tests {
         let failures = perf_regressions(&base, &fresh, 0.10);
         assert_eq!(failures.len(), 1);
         assert!(failures[0].contains("regressed"), "{failures:?}");
+    }
+
+    #[test]
+    fn campaign_rows_gate_rollout_steps_and_sweep_trials_independently() {
+        let base = snapshot(
+            r#"{"campaign":[
+                {"model":"m","backend":"f32","batch":64,"steps_per_s":1000.0},
+                {"figure":"fig5","scale":"smoke","trials_per_s":10.0}]}"#,
+        );
+        assert_eq!(perf_regressions(&base, &base, 0.10), Vec::<String>::new());
+
+        // A rollout regression is caught by the steps/s pass alone.
+        let slow_rollout = snapshot(
+            r#"{"campaign":[
+                {"model":"m","backend":"f32","batch":64,"steps_per_s":500.0},
+                {"figure":"fig5","scale":"smoke","trials_per_s":10.0}]}"#,
+        );
+        let failures = perf_regressions(&base, &slow_rollout, 0.10);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("m/f32/64"), "{failures:?}");
+        assert!(failures[0].contains("steps_per_s"), "{failures:?}");
+
+        // A sweep regression is caught by the trials/s pass alone.
+        let slow_sweep = snapshot(
+            r#"{"campaign":[
+                {"model":"m","backend":"f32","batch":64,"steps_per_s":1000.0},
+                {"figure":"fig5","scale":"smoke","trials_per_s":2.0}]}"#,
+        );
+        let failures = perf_regressions(&base, &slow_sweep, 0.10);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("fig5"), "{failures:?}");
+        assert!(failures[0].contains("trials_per_s"), "{failures:?}");
+
+        // Pre-campaign baselines gate nothing new.
+        let old = snapshot(r#"{"results":[]}"#);
+        assert!(perf_regressions(&old, &base, 0.10).is_empty());
     }
 
     #[test]

@@ -10,6 +10,7 @@ use navft_gridworld::ObstacleDensity;
 use navft_mitigation::{
     ExplorationAdjuster, ExplorationAdjusterConfig, RangeGuard, RangeGuardConfig,
 };
+use navft_nn::EngineConfig;
 use navft_qformat::QFormat;
 use navft_rl::FaultPlan;
 use rand::rngs::SmallRng;
@@ -17,7 +18,7 @@ use rand::SeedableRng;
 
 use crate::experiments::fig2::policy_words;
 use crate::experiments::fig7;
-use crate::grid_policies::{train_clean_policy, train_grid_policy, PolicyKind};
+use crate::grid_policies::{train_clean_policy_cfg, train_grid_policy, PolicyKind};
 use crate::sweep::{CellSpec, Sweep};
 use crate::{FigureData, GridParams, Scale, Series};
 
@@ -80,7 +81,7 @@ pub fn sweep(scale: Scale) -> Sweep {
             .with_label("figure", "ablation-alpha")
             .with_label("alpha", alpha.to_string());
         let params = Arc::clone(&params);
-        sweep.cell(spec, move |seed, _rep| {
+        sweep.cell(spec, move |seed, _rep, _cfg| {
             let config =
                 ExplorationAdjusterConfig { alpha, ..ExplorationAdjusterConfig::tabular() };
             mitigated_success_with(config, ber, &params, seed)
@@ -93,7 +94,7 @@ pub fn sweep(scale: Scale) -> Sweep {
             .with_label("figure", "ablation-detection-threshold")
             .with_label("threshold", threshold.to_string());
         let params = Arc::clone(&params);
-        sweep.cell(spec, move |seed, _rep| {
+        sweep.cell(spec, move |seed, _rep, _cfg| {
             let config = ExplorationAdjusterConfig {
                 reward_drop_fraction: threshold,
                 ..ExplorationAdjusterConfig::tabular()
@@ -110,8 +111,8 @@ pub fn sweep(scale: Scale) -> Sweep {
                 .with_label("precision", label)
                 .with_label("margin", margin.to_string());
             let params = Arc::clone(&params);
-            sweep.cell(spec, move |seed, _rep| {
-                guarded_success_with_margin(margin, integer_only, ber, &params, seed)
+            sweep.cell(spec, move |seed, _rep, cfg| {
+                guarded_success_with_margin(margin, integer_only, ber, &params, seed, cfg)
             });
         }
     }
@@ -180,10 +181,14 @@ fn guarded_success_with_margin(
     ber: f64,
     params: &GridParams,
     seed: u64,
+    engine: EngineConfig,
 ) -> f64 {
-    use navft_rl::{corrupt_policy_weights, evaluate_policy_discrete, InferenceFaultMode};
+    use navft_rl::{
+        corrupt_policy_weights, evaluate_policy_discrete_batched, DummyVecEnv, InferenceFaultMode,
+    };
 
-    let run = train_clean_policy(PolicyKind::Network, ObstacleDensity::Middle, params, seed);
+    let run =
+        train_clean_policy_cfg(PolicyKind::Network, ObstacleDensity::Middle, params, seed, engine);
     let clean = run.network.as_ref().expect("network policy").network();
     let config = RangeGuardConfig { margin, integer_bits_only: integer_only };
     let guard = RangeGuard::from_network(clean, QFormat::Q3_4, config);
@@ -199,14 +204,16 @@ fn guarded_success_with_margin(
     let mut corrupted =
         corrupt_policy_weights(clean, &InferenceFaultMode::TransientWholeEpisode(injector));
     guard.scrub(&mut corrupted);
-    let mut world = navft_gridworld::GridWorld::with_density(ObstacleDensity::Middle);
-    evaluate_policy_discrete(
-        &mut world,
+    let world = navft_gridworld::GridWorld::with_density(ObstacleDensity::Middle);
+    let mut venv = DummyVecEnv::from_prototype(&world, params.eval_episodes.clamp(1, 64));
+    evaluate_policy_discrete_batched(
+        &mut venv,
         &corrupted,
         params.eval_episodes,
         params.max_steps,
         &InferenceFaultMode::None,
         &mut rng,
+        engine,
     )
     .success_rate
         * 100.0

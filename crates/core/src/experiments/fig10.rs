@@ -13,23 +13,37 @@ use navft_dronesim::{DepthCamera, DroneSim, DroneWorld};
 use navft_fault::{FaultKind, FaultSite, FaultTarget, Injector};
 use navft_gridworld::{GridWorld, ObstacleDensity};
 use navft_mitigation::{measure_overhead, RangeGuard, RangeGuardConfig};
-use navft_nn::{Network, Tensor};
+use navft_nn::{EngineConfig, Network, Tensor};
 use navft_qformat::QFormat;
 use navft_rl::{
-    corrupt_network_weights, evaluate_network_discrete, evaluate_network_vision, InferenceFaultMode,
+    corrupt_network_weights, evaluate_policy_discrete_batched, evaluate_policy_vision_batched,
+    DummyVecEnv, DummyVisionVecEnv, InferenceFaultMode,
 };
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::drone_policy::train_drone_policy;
-use crate::grid_policies::{train_clean_policy, PolicyKind};
+use crate::grid_policies::{train_clean_policy_cfg, PolicyKind};
 use crate::sweep::{CellSpec, Lazy, Sweep};
 use crate::{FigureData, GridParams, Scale, Series};
 
 /// Success rate (%) of the NN Grid World policy under weight bit flips, with
 /// or without the range guard scrubbing the corrupted weights first.
 pub fn grid_success_with_guard(ber: f64, mitigated: bool, params: &GridParams, seed: u64) -> f64 {
-    let run = train_clean_policy(PolicyKind::Network, ObstacleDensity::Middle, params, seed);
+    grid_success_with_guard_cfg(ber, mitigated, params, seed, EngineConfig::default())
+}
+
+/// [`grid_success_with_guard`] with an explicit inference [`EngineConfig`];
+/// the evaluation episodes run as one vectorized rollout.
+pub fn grid_success_with_guard_cfg(
+    ber: f64,
+    mitigated: bool,
+    params: &GridParams,
+    seed: u64,
+    engine: EngineConfig,
+) -> f64 {
+    let run =
+        train_clean_policy_cfg(PolicyKind::Network, ObstacleDensity::Middle, params, seed, engine);
     let agent = run.network.as_ref().expect("network policy");
     let clean = agent.network();
     let guard = RangeGuard::from_network(clean, QFormat::Q3_4, RangeGuardConfig::paper());
@@ -47,14 +61,16 @@ pub fn grid_success_with_guard(ber: f64, mitigated: bool, params: &GridParams, s
     if mitigated {
         guard.scrub(&mut corrupted);
     }
-    let mut world = GridWorld::with_density(ObstacleDensity::Middle);
-    evaluate_network_discrete(
-        &mut world,
+    let world = GridWorld::with_density(ObstacleDensity::Middle);
+    let mut venv = DummyVecEnv::from_prototype(&world, params.eval_episodes.clamp(1, 64));
+    evaluate_policy_discrete_batched(
+        &mut venv,
         &corrupted,
         params.eval_episodes,
         params.max_steps,
         &InferenceFaultMode::None,
         &mut rng,
+        engine,
     )
     .success_rate
         * 100.0
@@ -69,6 +85,7 @@ fn drone_distance_with_guard(
     mitigated: bool,
     params: &crate::DroneParams,
     seed: u64,
+    engine: EngineConfig,
 ) -> f64 {
     let guard = RangeGuard::from_network(policy, QFormat::Q4_11, RangeGuardConfig::paper());
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x10B);
@@ -85,14 +102,16 @@ fn drone_distance_with_guard(
     if mitigated {
         guard.scrub(&mut corrupted);
     }
-    let mut sim = DroneSim::new(world.clone(), DepthCamera::scaled(), params.max_steps);
-    evaluate_network_vision(
-        &mut sim,
+    let sim = DroneSim::new(world.clone(), DepthCamera::scaled(), params.max_steps);
+    let mut venv = DummyVisionVecEnv::from_prototype(&sim, params.eval_episodes.clamp(1, 64));
+    evaluate_policy_vision_batched(
+        &mut venv,
         &corrupted,
         params.eval_episodes,
         params.max_steps,
         &InferenceFaultMode::None,
         &mut rng,
+        engine,
     )
     .mean_distance
 }
@@ -127,8 +146,8 @@ pub fn sweep(scale: Scale) -> Sweep {
                 .with_label("arm", arm)
                 .with_label("ber", ber.to_string());
             let params = Arc::clone(&grid_params);
-            sweep.cell(spec, move |seed, _rep| {
-                grid_success_with_guard(ber, mitigated, &params, seed)
+            sweep.cell(spec, move |seed, _rep, cfg| {
+                grid_success_with_guard_cfg(ber, mitigated, &params, seed, cfg)
             });
         }
         for &ber in &drone_params.bit_error_rates {
@@ -138,8 +157,8 @@ pub fn sweep(scale: Scale) -> Sweep {
                 .with_label("ber", ber.to_string());
             let (policy, world, params) =
                 (policy.clone(), Arc::clone(&world), Arc::clone(&drone_params));
-            sweep.cell(spec, move |seed, _rep| {
-                drone_distance_with_guard(policy.get(), &world, ber, mitigated, &params, seed)
+            sweep.cell(spec, move |seed, _rep, cfg| {
+                drone_distance_with_guard(policy.get(), &world, ber, mitigated, &params, seed, cfg)
             });
         }
     }

@@ -98,7 +98,7 @@ pub fn training_sweep(scale: Scale) -> Sweep {
                     .with_label("ber", ber.to_string())
                     .with_label("episode", episode.to_string());
                 let params = Arc::clone(&params);
-                sweep.cell(spec, move |seed, _rep| {
+                sweep.cell(spec, move |seed, _rep, _cfg| {
                     faulty_training_success(kind, FaultKind::BitFlip, ber, episode, &params, seed)
                 });
             }
@@ -107,7 +107,7 @@ pub fn training_sweep(scale: Scale) -> Sweep {
                     .with_label("figure", format!("{panel}-{fault_kind}"))
                     .with_label("ber", ber.to_string());
                 let params = Arc::clone(&params);
-                sweep.cell(spec, move |seed, _rep| {
+                sweep.cell(spec, move |seed, _rep, _cfg| {
                     faulty_training_success(kind, fault_kind, ber, 0, &params, seed)
                 });
             }
@@ -181,7 +181,7 @@ pub fn histogram_sweep(scale: Scale) -> Sweep {
     for (kind, panel, _) in HISTOGRAM_PANELS {
         let spec = CellSpec::new(format!("{panel}/histogram"), 1).with_label("figure", panel);
         let params = Arc::clone(&params);
-        sweep.cell_metrics(spec, move |seed, _rep| {
+        sweep.cell_metrics(spec, move |seed, _rep, _cfg| {
             let run = train_clean_policy(kind, ObstacleDensity::Middle, &params, seed);
             let values: Vec<f32> = match kind {
                 PolicyKind::Tabular => {

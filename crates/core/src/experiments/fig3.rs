@@ -108,7 +108,7 @@ pub fn sweep(scale: Scale) -> Sweep {
                 .with_label("figure", panel)
                 .with_label("curve", curve.label);
             let params = Arc::clone(&params);
-            sweep.cell_metrics(spec, move |seed, _rep| {
+            sweep.cell_metrics(spec, move |seed, _rep, _cfg| {
                 curve_metrics(kind, &CURVES[index], &params, seed)
             });
         }

@@ -115,7 +115,9 @@ pub fn sweep(scale: Scale) -> Sweep {
                 .with_label("figure", panel_conv)
                 .with_label("ber", ber.to_string());
             let params_cell = Arc::clone(&params);
-            sweep.cell(spec, move |seed, _rep| recovery_episodes(kind, ber, &params_cell, seed));
+            sweep.cell(spec, move |seed, _rep, _cfg| {
+                recovery_episodes(kind, ber, &params_cell, seed)
+            });
             for fault_kind in [FaultKind::StuckAt0, FaultKind::StuckAt1] {
                 for (ei_multiplier, ei_label) in EI_MULTIPLIERS {
                     let spec =
@@ -125,7 +127,7 @@ pub fn sweep(scale: Scale) -> Sweep {
                             .with_label("ei", ei_label)
                             .with_label("ber", ber.to_string());
                     let params_cell = Arc::clone(&params);
-                    sweep.cell(spec, move |seed, _rep| {
+                    sweep.cell(spec, move |seed, _rep, _cfg| {
                         permanent_success_after_extra_training(
                             kind,
                             fault_kind,

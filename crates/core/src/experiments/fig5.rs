@@ -6,13 +6,14 @@ use std::sync::Arc;
 
 use navft_fault::{FaultKind, FaultSite, FaultTarget, Injector};
 use navft_gridworld::ObstacleDensity;
+use navft_nn::EngineConfig;
 use navft_qformat::QFormat;
 use navft_rl::InferenceFaultMode;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::grid_policies::{
-    evaluate_grid_policy, policy_word_count, train_clean_policy, PolicyKind,
+    evaluate_grid_policy_cfg, policy_word_count, train_clean_policy_cfg, PolicyKind,
 };
 use crate::sweep::{CellSpec, Sweep};
 use crate::{FigureData, Scale, Series};
@@ -81,7 +82,20 @@ pub fn inference_success(
     params: &crate::GridParams,
     seed: u64,
 ) -> f64 {
-    let run = train_clean_policy(kind, ObstacleDensity::Middle, params, seed);
+    inference_success_cfg(kind, mode, ber, params, seed, EngineConfig::default())
+}
+
+/// [`inference_success`] with an explicit inference [`EngineConfig`]; the
+/// evaluation episodes run as one vectorized rollout.
+pub fn inference_success_cfg(
+    kind: PolicyKind,
+    mode: InferenceMode,
+    ber: f64,
+    params: &crate::GridParams,
+    seed: u64,
+    engine: EngineConfig,
+) -> f64 {
+    let run = train_clean_policy_cfg(kind, ObstacleDensity::Middle, params, seed, engine);
     let words = policy_word_count(&run);
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x515);
     let injector = Injector::sample(
@@ -96,7 +110,8 @@ pub fn inference_success(
         &mut rng,
     );
     let fault = mode.to_fault(injector);
-    evaluate_grid_policy(&run, ObstacleDensity::Middle, params, &fault, seed ^ 0xE7A1).success_rate
+    evaluate_grid_policy_cfg(&run, ObstacleDensity::Middle, params, &fault, seed ^ 0xE7A1, engine)
+        .success_rate
         * 100.0
 }
 
@@ -116,8 +131,8 @@ pub fn sweep(scale: Scale) -> Sweep {
                     .with_label("mode", mode.label())
                     .with_label("ber", ber.to_string());
                 let params = Arc::clone(&params);
-                sweep.cell(spec, move |seed, _rep| {
-                    inference_success(kind, mode, ber, &params, seed)
+                sweep.cell(spec, move |seed, _rep, cfg| {
+                    inference_success_cfg(kind, mode, ber, &params, seed, cfg)
                 });
             }
         }

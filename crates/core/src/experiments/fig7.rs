@@ -10,13 +10,13 @@ use std::sync::Arc;
 use navft_dronesim::{DepthCamera, DroneSim, DroneWorld};
 use navft_fault::{FaultKind, FaultMap, FaultSite, FaultTarget, InjectionSchedule, Injector};
 use navft_nn::{
-    parametric_layer_names, C3f2Config, I8Network, I8Scratch, I8Tensor, Network, QNetwork,
-    QScratch, QTensor,
+    parametric_layer_names, C3f2Config, EngineConfig, I8Network, I8Scratch, I8Tensor, Network,
+    QNetwork, QScratch, QTensor,
 };
 use navft_qformat::QFormat;
 use navft_rl::{
-    evaluate_network_vision, evaluate_network_vision_hooked, evaluate_policy_vision, trainer,
-    FaultPlan, InferenceFaultMode, VisionEnvironment,
+    evaluate_policy_vision_batched, evaluate_policy_vision_hooked_batched, trainer,
+    DummyVisionVecEnv, FaultPlan, InferenceFaultMode, VisionEnvironment,
 };
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -75,24 +75,41 @@ fn layer_injector(network: &Network, layer: usize, ber: f64, seed: u64) -> Injec
     Injector::new(FaultTarget::layer(FaultSite::WeightBuffer, layer), DRONE_FORMAT, shifted)
 }
 
+/// The rollout batch width for drone evaluation: one row per evaluation
+/// episode up to a fixed cap, derived from the parameters alone so results
+/// and artifacts never depend on the engine config.
+fn eval_width(params: &DroneParams) -> usize {
+    params.eval_episodes.clamp(1, 64)
+}
+
+/// A batch of independent simulators over `world`, one row per evaluation
+/// episode (capped by [`eval_width`]).
+fn drone_venv(world: &DroneWorld, params: &DroneParams) -> DummyVisionVecEnv<DroneSim> {
+    let sim = DroneSim::new(world.clone(), DepthCamera::scaled(), params.max_steps);
+    DummyVisionVecEnv::from_prototype(&sim, eval_width(params))
+}
+
 /// Evaluates the mean safe flight distance of `network` in `world` under the
-/// given weight fault mode.
+/// given weight fault mode. The episodes run as one vectorized rollout —
+/// bit-identical to the serial evaluator at any width or engine config.
 fn flight_distance(
     network: &Network,
     world: &DroneWorld,
     params: &DroneParams,
     fault: &InferenceFaultMode,
     seed: u64,
+    engine: EngineConfig,
 ) -> f64 {
-    let mut sim = DroneSim::new(world.clone(), DepthCamera::scaled(), params.max_steps);
+    let mut venv = drone_venv(world, params);
     let mut rng = SmallRng::seed_from_u64(seed);
-    evaluate_network_vision(
-        &mut sim,
+    evaluate_policy_vision_batched(
+        &mut venv,
         network,
         params.eval_episodes,
         params.max_steps,
         fault,
         &mut rng,
+        engine,
     )
     .mean_distance
 }
@@ -160,7 +177,7 @@ pub fn training_faults_sweep(scale: Scale) -> Sweep {
                 .with_label("ber", ber.to_string())
                 .with_label("injection", fraction.to_string());
             let (policy, world, params) = (policy.clone(), Arc::clone(&world), Arc::clone(&params));
-            sweep.cell(spec, move |seed, _rep| {
+            sweep.cell(spec, move |seed, _rep, _cfg| {
                 finetune_distance(
                     policy.get(),
                     &world,
@@ -179,14 +196,14 @@ pub fn training_faults_sweep(scale: Scale) -> Sweep {
             .with_label("fault", kind.to_string())
             .with_label("ber", representative_ber.to_string());
         let (policy, world, params) = (policy.clone(), Arc::clone(&world), Arc::clone(&params));
-        sweep.cell(spec, move |seed, _rep| {
+        sweep.cell(spec, move |seed, _rep, _cfg| {
             finetune_distance(policy.get(), &world, &params, kind, representative_ber, 0.0, seed)
         });
     }
     {
         let spec = CellSpec::new("clean", reps).with_label("figure", "fig7a-permanent");
         let (policy, world, params) = (policy.clone(), Arc::clone(&world), Arc::clone(&params));
-        sweep.cell(spec, move |seed, _rep| {
+        sweep.cell(spec, move |seed, _rep, _cfg| {
             finetune_distance(policy.get(), &world, &params, FaultKind::BitFlip, 0.0, 0.0, seed)
         });
     }
@@ -249,7 +266,7 @@ pub fn environment_sweep(scale: Scale) -> Sweep {
                 .with_label("environment", world.name())
                 .with_label("ber", ber.to_string());
             let (policy, world, params) = (policy.clone(), Arc::clone(world), Arc::clone(&params));
-            sweep.cell(spec, move |seed, _rep| {
+            sweep.cell(spec, move |seed, _rep, cfg| {
                 let policy = policy.get();
                 let injector = weight_injector(
                     policy.weight_count(),
@@ -264,6 +281,7 @@ pub fn environment_sweep(scale: Scale) -> Sweep {
                     &params,
                     &InferenceFaultMode::TransientWholeEpisode(injector),
                     seed ^ 0xF11,
+                    cfg,
                 )
             });
         }
@@ -324,6 +342,7 @@ impl Location {
 }
 
 /// Evaluates flight distance with a buffer-fault hook attached.
+#[allow(clippy::too_many_arguments)]
 fn hooked_distance(
     policy: &Network,
     world: &DroneWorld,
@@ -332,11 +351,12 @@ fn hooked_distance(
     persistence: HookPersistence,
     ber: f64,
     seed: u64,
+    engine: EngineConfig,
 ) -> f64 {
-    let mut sim = DroneSim::new(world.clone(), DepthCamera::scaled(), params.max_steps);
+    let mut venv = drone_venv(world, params);
     let mut rng = SmallRng::seed_from_u64(seed);
-    evaluate_network_vision_hooked(
-        &mut sim,
+    evaluate_policy_vision_hooked_batched(
+        &mut venv,
         policy,
         params.eval_episodes,
         params.max_steps,
@@ -352,6 +372,7 @@ fn hooked_distance(
                 seed ^ (episode as u64) << 16,
             )
         },
+        engine,
     )
     .mean_distance
 }
@@ -369,7 +390,7 @@ pub fn location_sweep(scale: Scale) -> Sweep {
                 .with_label("location", location.label())
                 .with_label("ber", ber.to_string());
             let (policy, world, params) = (policy.clone(), Arc::clone(&world), Arc::clone(&params));
-            sweep.cell(spec, move |seed, _rep| {
+            sweep.cell(spec, move |seed, _rep, cfg| {
                 let policy = policy.get();
                 match location {
                     Location::Input => hooked_distance(
@@ -380,6 +401,7 @@ pub fn location_sweep(scale: Scale) -> Sweep {
                         HookPersistence::Transient,
                         ber,
                         seed,
+                        cfg,
                     ),
                     Location::Weights => {
                         let injector = weight_injector(
@@ -395,6 +417,7 @@ pub fn location_sweep(scale: Scale) -> Sweep {
                             &params,
                             &InferenceFaultMode::TransientWholeEpisode(injector),
                             seed ^ 0xAC,
+                            cfg,
                         )
                     }
                     Location::ActivationsTransient => hooked_distance(
@@ -405,6 +428,7 @@ pub fn location_sweep(scale: Scale) -> Sweep {
                         HookPersistence::Transient,
                         ber,
                         seed,
+                        cfg,
                     ),
                     Location::ActivationsPermanent => hooked_distance(
                         policy,
@@ -414,6 +438,7 @@ pub fn location_sweep(scale: Scale) -> Sweep {
                         HookPersistence::Permanent,
                         ber,
                         seed,
+                        cfg,
                     ),
                 }
             });
@@ -470,7 +495,7 @@ pub fn layer_sweep(scale: Scale) -> Sweep {
                 .with_label("layer", name.clone())
                 .with_label("ber", ber.to_string());
             let (policy, world, params) = (policy.clone(), Arc::clone(&world), Arc::clone(&params));
-            sweep.cell(spec, move |seed, _rep| {
+            sweep.cell(spec, move |seed, _rep, cfg| {
                 let policy = policy.get();
                 let injector = layer_injector(policy, layer, ber, seed);
                 flight_distance(
@@ -479,6 +504,7 @@ pub fn layer_sweep(scale: Scale) -> Sweep {
                     &params,
                     &InferenceFaultMode::TransientWholeEpisode(injector),
                     seed ^ 0x7D,
+                    cfg,
                 )
             });
         }
@@ -537,18 +563,20 @@ fn flight_distance_q(
     params: &DroneParams,
     fault: &InferenceFaultMode,
     seed: u64,
+    engine: EngineConfig,
 ) -> f64 {
-    let mut sim = DroneSim::new(world.clone(), DepthCamera::scaled(), params.max_steps);
+    let mut venv = drone_venv(world, params);
     let mut rng = SmallRng::seed_from_u64(seed);
     // The generic evaluator instantiated for raw words: the whole evaluation
-    // runs natively in the policy's Q-format.
-    evaluate_policy_vision(
-        &mut sim,
+    // runs natively in the policy's Q-format, one batched sweep per step.
+    evaluate_policy_vision_batched(
+        &mut venv,
         network,
         params.eval_episodes,
         params.max_steps,
         fault,
         &mut rng,
+        engine,
     )
     .mean_distance
 }
@@ -566,16 +594,18 @@ fn flight_distance_i8(
     params: &DroneParams,
     fault: &InferenceFaultMode,
     seed: u64,
+    engine: EngineConfig,
 ) -> f64 {
-    let mut sim = DroneSim::new(world.clone(), DepthCamera::scaled(), params.max_steps);
+    let mut venv = drone_venv(world, params);
     let mut rng = SmallRng::seed_from_u64(seed);
-    evaluate_policy_vision(
-        &mut sim,
+    evaluate_policy_vision_batched(
+        &mut venv,
         network,
         params.eval_episodes,
         params.max_steps,
         fault,
         &mut rng,
+        engine,
     )
     .mean_distance
 }
@@ -613,7 +643,7 @@ pub(crate) fn add_data_type_cells(
                 .with_label("format", format.to_string());
             let (quantized, world, params) =
                 (quantized.clone(), Arc::clone(&world), Arc::clone(&params));
-            sweep.cell(spec, move |_seed, _rep| {
+            sweep.cell(spec, move |_seed, _rep, _cfg| {
                 // Sweep every stored word of the quantized policy in one
                 // call: its parameter words (weights and biases) plus the
                 // activations of one calibration frame. The flight cells
@@ -637,7 +667,7 @@ pub(crate) fn add_data_type_cells(
                 .with_label("ber", ber.to_string());
             let (quantized, world, params) =
                 (quantized.clone(), Arc::clone(&world), Arc::clone(&params));
-            sweep.cell(spec, move |seed, _rep| {
+            sweep.cell(spec, move |seed, _rep, cfg| {
                 let policy = quantized.get();
                 let injector =
                     weight_injector(policy.weight_count(), ber, FaultKind::BitFlip, format, seed);
@@ -647,6 +677,7 @@ pub(crate) fn add_data_type_cells(
                     &params,
                     &InferenceFaultMode::TransientWholeEpisode(injector),
                     seed ^ 0x7E,
+                    cfg,
                 )
             });
         }
@@ -660,7 +691,7 @@ pub(crate) fn add_data_type_cells(
             .with_label("figure", format!("{prefix}-bits"))
             .with_label("format", "i8");
         let (affine, world, params) = (affine.clone(), Arc::clone(&world), Arc::clone(&params));
-        sweep.cell(spec, move |_seed, _rep| {
+        sweep.cell(spec, move |_seed, _rep, _cfg| {
             let policy = affine.get();
             let calibration = I8Tensor::quantize(
                 &DroneSim::new(world.as_ref().clone(), DepthCamera::scaled(), params.max_steps)
@@ -677,7 +708,7 @@ pub(crate) fn add_data_type_cells(
             .with_label("format", "i8")
             .with_label("ber", ber.to_string());
         let (affine, world, params) = (affine.clone(), Arc::clone(&world), Arc::clone(&params));
-        sweep.cell(spec, move |seed, _rep| {
+        sweep.cell(spec, move |seed, _rep, cfg| {
             let policy = affine.get();
             let injector =
                 weight_injector(policy.weight_count(), ber, FaultKind::BitFlip, I8_FORMAT, seed);
@@ -687,6 +718,7 @@ pub(crate) fn add_data_type_cells(
                 &params,
                 &InferenceFaultMode::TransientWholeEpisode(injector),
                 seed ^ 0x7E,
+                cfg,
             )
         });
     }

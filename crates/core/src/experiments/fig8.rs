@@ -78,7 +78,7 @@ pub fn sweep(scale: Scale) -> Sweep {
                     .with_label("ber", ber.to_string())
                     .with_label("episode", episode.to_string());
                 let params = Arc::clone(&params);
-                sweep.cell(spec, move |seed, _rep| {
+                sweep.cell(spec, move |seed, _rep, _cfg| {
                     mitigated_training_success(
                         kind,
                         FaultKind::BitFlip,
@@ -94,7 +94,7 @@ pub fn sweep(scale: Scale) -> Sweep {
                     .with_label("figure", format!("{panel}-{fault_kind}"))
                     .with_label("ber", ber.to_string());
                 let params = Arc::clone(&params);
-                sweep.cell(spec, move |seed, _rep| {
+                sweep.cell(spec, move |seed, _rep, _cfg| {
                     mitigated_training_success(kind, fault_kind, ber, 0, &params, seed)
                 });
             }

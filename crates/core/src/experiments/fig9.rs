@@ -116,7 +116,7 @@ pub fn sweep(scale: Scale) -> Sweep {
                     .with_label("fault", fault_kind.to_string())
                     .with_label("ber", ber.to_string());
                 let params = Arc::clone(&params);
-                sweep.cell_metrics(spec, move |seed, _rep| {
+                sweep.cell_metrics(spec, move |seed, _rep, _cfg| {
                     run_mitigated(kind, fault_kind, ber, &params, seed)
                 });
             }

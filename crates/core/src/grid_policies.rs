@@ -5,10 +5,11 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use navft_gridworld::{GridWorld, ObstacleDensity};
-use navft_nn::{mlp, Network};
+use navft_nn::{mlp, EngineConfig, Network};
 use navft_rl::{
-    evaluate_network_discrete, evaluate_tabular, trainer, DiscreteEnvironment, DqnAgent, DqnConfig,
-    EpsilonSchedule, EvalResult, FaultPlan, InferenceFaultMode, TabularAgent, TrainingTrace,
+    evaluate_policy_discrete_batched, evaluate_tabular, trainer, DiscreteEnvironment, DqnAgent,
+    DqnConfig, DummyVecEnv, EpsilonSchedule, EvalResult, FaultPlan, InferenceFaultMode,
+    TabularAgent, TrainingTrace,
 };
 
 use crate::GridParams;
@@ -68,6 +69,16 @@ pub fn grid_dqn_config() -> DqnConfig {
     }
 }
 
+/// The rollout batch width used for Grid World policy evaluation: enough rows
+/// to amortize the per-sweep engine overhead, capped so scratch buffers stay
+/// small, and never wider than the episode count.
+///
+/// The width is derived from the experiment parameters alone (never from the
+/// engine config), so artifacts are byte-identical at any thread count.
+fn eval_batch_width(params: &GridParams) -> usize {
+    params.eval_episodes.clamp(1, 64)
+}
+
 /// Trains a Grid World policy of the given kind under `plan` and returns the
 /// trace, the trained agent and its final fault-free success rate.
 ///
@@ -80,6 +91,25 @@ pub fn train_grid_policy<O>(
     plan: &FaultPlan,
     seed: u64,
     observer: O,
+) -> GridTrainingRun
+where
+    O: FnMut(usize, &TrainingTrace, &mut EpsilonSchedule),
+{
+    train_grid_policy_cfg(kind, density, params, plan, seed, observer, EngineConfig::default())
+}
+
+/// [`train_grid_policy`] with an explicit inference [`EngineConfig`] for the
+/// final policy evaluation, which runs as a vectorized rollout
+/// ([`navft_rl::evaluate_policy_discrete_batched`]). The result is bit-identical
+/// to the serial evaluator at any config.
+pub fn train_grid_policy_cfg<O>(
+    kind: PolicyKind,
+    density: ObstacleDensity,
+    params: &GridParams,
+    plan: &FaultPlan,
+    seed: u64,
+    observer: O,
+    engine: EngineConfig,
 ) -> GridTrainingRun
 where
     O: FnMut(usize, &TrainingTrace, &mut EpsilonSchedule),
@@ -131,13 +161,15 @@ where
             let trace = trainer::train_dqn_discrete(
                 &mut world, &mut agent, config, plan, &mut rng, observer,
             );
-            let result = evaluate_network_discrete(
-                &mut eval_world,
+            let mut venv = DummyVecEnv::from_prototype(&eval_world, eval_batch_width(params));
+            let result = evaluate_policy_discrete_batched(
+                &mut venv,
                 agent.network(),
                 params.eval_episodes,
                 params.max_steps,
                 &InferenceFaultMode::None,
                 &mut rng,
+                engine,
             );
             GridTrainingRun {
                 trace,
@@ -157,7 +189,27 @@ pub fn train_clean_policy(
     params: &GridParams,
     seed: u64,
 ) -> GridTrainingRun {
-    train_grid_policy(kind, density, params, &FaultPlan::none(), seed, trainer::no_mitigation())
+    train_clean_policy_cfg(kind, density, params, seed, EngineConfig::default())
+}
+
+/// [`train_clean_policy`] with an explicit inference [`EngineConfig`] for the
+/// final policy evaluation.
+pub fn train_clean_policy_cfg(
+    kind: PolicyKind,
+    density: ObstacleDensity,
+    params: &GridParams,
+    seed: u64,
+    engine: EngineConfig,
+) -> GridTrainingRun {
+    train_grid_policy_cfg(
+        kind,
+        density,
+        params,
+        &FaultPlan::none(),
+        seed,
+        trainer::no_mitigation(),
+        engine,
+    )
 }
 
 /// Evaluates a trained run's policy under an inference fault mode.
@@ -167,6 +219,23 @@ pub fn evaluate_grid_policy(
     params: &GridParams,
     fault: &InferenceFaultMode,
     seed: u64,
+) -> EvalResult {
+    evaluate_grid_policy_cfg(run, density, params, fault, seed, EngineConfig::default())
+}
+
+/// [`evaluate_grid_policy`] with an explicit inference [`EngineConfig`].
+///
+/// Network policies are evaluated as a vectorized rollout: the episode
+/// repetitions become batch rows of a [`DummyVecEnv`], so every decision step
+/// is one [`navft_nn::NetworkBase::forward_batch_into_cfg`] sweep. The result
+/// is bit-identical to the serial evaluator at any batch width or config.
+pub fn evaluate_grid_policy_cfg(
+    run: &GridTrainingRun,
+    density: ObstacleDensity,
+    params: &GridParams,
+    fault: &InferenceFaultMode,
+    seed: u64,
+    engine: EngineConfig,
 ) -> EvalResult {
     let mut world = GridWorld::with_density(density);
     let mut rng = SmallRng::seed_from_u64(seed);
@@ -180,13 +249,15 @@ pub fn evaluate_grid_policy(
             &mut rng,
         )
     } else if let Some(agent) = &run.network {
-        evaluate_network_discrete(
-            &mut world,
+        let mut venv = DummyVecEnv::from_prototype(&world, eval_batch_width(params));
+        evaluate_policy_discrete_batched(
+            &mut venv,
             agent.network(),
             params.eval_episodes,
             params.max_steps,
             fault,
             &mut rng,
+            engine,
         )
     } else {
         EvalResult::default()

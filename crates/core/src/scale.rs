@@ -99,6 +99,14 @@ impl Scale {
     /// The worker-thread count with an explicit override (the `figures`
     /// binary's `--jobs N`): a positive `jobs` wins, otherwise the scale's
     /// default [`Scale::threads`] applies.
+    ///
+    /// This count is *trial-level* parallelism: how many campaign trials run
+    /// concurrently. It composes multiplicatively with the per-trial
+    /// inference engine's `EngineConfig::threads`
+    /// ([`crate::sweep::RunOptions::engine`]) — each trial may additionally
+    /// shard its batched rollout sweeps, so up to `jobs × engine.threads`
+    /// threads can be live at once. Neither knob affects results or
+    /// artifacts, only wall-clock.
     pub fn threads_or(&self, jobs: Option<usize>) -> usize {
         match jobs {
             Some(n) if n > 0 => n,

@@ -48,7 +48,8 @@ use std::io::Write as _;
 use std::path::PathBuf;
 use std::sync::{Arc, OnceLock};
 
-use navft_fault::campaign::{run_cells, summarize_metrics, CellPlan, Summary};
+use navft_fault::campaign::{run_cells_with, summarize_metrics, CellPlan, Summary};
+use navft_nn::EngineConfig;
 
 use crate::{FigureData, Scale};
 
@@ -109,7 +110,7 @@ impl CellSpec {
     }
 }
 
-type TrialFn = Box<dyn Fn(u64, usize) -> Vec<f64> + Send + Sync>;
+type TrialFn = Box<dyn Fn(u64, usize, EngineConfig) -> Vec<f64> + Send + Sync>;
 type FoldFn = Box<dyn FnOnce(&SweepResults) -> Vec<FigureData>>;
 
 struct Cell {
@@ -128,7 +129,7 @@ struct Cell {
 /// let mut sweep = Sweep::new("demo", Scale::Smoke);
 /// for ber in [0.001, 0.01] {
 ///     sweep.cell(CellSpec::new(format!("ber={ber}"), 10).with_label("ber", ber.to_string()),
-///         move |seed, _rep| (seed % 100) as f64 * ber);
+///         move |seed, _rep, _cfg| (seed % 100) as f64 * ber);
 /// }
 /// sweep.fold(move |results| {
 ///     let points = [0.001, 0.01]
@@ -178,13 +179,17 @@ impl Sweep {
         self.cells.iter().map(|c| &c.spec)
     }
 
-    /// Adds a single-metric cell. The trial receives `(seed, rep)` and must
-    /// be a deterministic function of them (plus captured immutable state).
+    /// Adds a single-metric cell. The trial receives `(seed, rep, engine)`
+    /// and must be a deterministic function of the first two (plus captured
+    /// immutable state): the [`EngineConfig`] comes from
+    /// [`RunOptions::engine`] and only steers *how* forward passes execute
+    /// (batch sharding, kernel tier) — the engine contract keeps results
+    /// bit-identical at any config, so trials stay thread-count invariant.
     pub fn cell<F>(&mut self, spec: CellSpec, trial: F)
     where
-        F: Fn(u64, usize) -> f64 + Send + Sync + 'static,
+        F: Fn(u64, usize, EngineConfig) -> f64 + Send + Sync + 'static,
     {
-        self.cell_metrics(spec, move |seed, rep| vec![trial(seed, rep)]);
+        self.cell_metrics(spec, move |seed, rep, cfg| vec![trial(seed, rep, cfg)]);
     }
 
     /// Adds a multi-metric cell: one trial computes several metrics at once
@@ -193,7 +198,7 @@ impl Sweep {
     /// return the same number of metrics.
     pub fn cell_metrics<F>(&mut self, spec: CellSpec, trial: F)
     where
-        F: Fn(u64, usize) -> Vec<f64> + Send + Sync + 'static,
+        F: Fn(u64, usize, EngineConfig) -> Vec<f64> + Send + Sync + 'static,
     {
         self.cells.push(Cell { spec, trial: Box::new(trial) });
     }
@@ -303,13 +308,25 @@ pub struct RunOptions {
     pub resume: bool,
     /// Emit a progress line to stderr as cells complete.
     pub progress: bool,
+    /// The engine configuration handed to every trial: in-engine batch
+    /// sharding ([`EngineConfig::with_threads`]) composes multiplicatively
+    /// with the scheduler's trial-level `threads`, so total worker count is
+    /// `threads × engine.threads`. Results are bit-identical at any engine
+    /// config (the engine contract), so this never affects artifacts.
+    pub engine: EngineConfig,
 }
 
 impl RunOptions {
     /// In-memory execution on `threads` workers: no artifacts, no resume,
-    /// no progress output.
+    /// no progress output, default (serial, best-kernel) engine config.
     pub fn new(threads: usize) -> RunOptions {
-        RunOptions { threads, out_dir: None, resume: false, progress: false }
+        RunOptions {
+            threads,
+            out_dir: None,
+            resume: false,
+            progress: false,
+            engine: EngineConfig::default(),
+        }
     }
 }
 
@@ -463,9 +480,9 @@ pub fn run_sweeps(sweeps: Vec<Sweep>, options: &RunOptions) -> std::io::Result<R
     let mut journal_buffer: Vec<Option<String>> = vec![None; pending.len()];
     let mut flushed = 0usize;
     {
-        let trial = |k: usize, seed: u64, rep: usize| {
+        let trial = |k: usize, seed: u64, rep: usize, engine: EngineConfig| {
             let (sweep_index, cell_index) = pending[k];
-            (trials[sweep_index][cell_index])(seed, rep)
+            (trials[sweep_index][cell_index])(seed, rep, engine)
         };
         let on_cell_done = |k: usize, per_rep: Vec<Vec<f64>>| {
             let (sweep_index, cell_index) = pending[k];
@@ -510,7 +527,7 @@ pub fn run_sweeps(sweeps: Vec<Sweep>, options: &RunOptions) -> std::io::Result<R
                 );
             }
         };
-        run_cells(&plans, options.threads.max(1), trial, on_cell_done);
+        run_cells_with(&plans, options.threads.max(1), options.engine, trial, on_cell_done);
     }
     if options.progress && executed_cells > 0 {
         eprintln!();
@@ -566,7 +583,7 @@ mod tests {
                 CellSpec::new(format!("cell{cell}"), 3 + cell)
                     .with_seed(cell as u64)
                     .with_label("cell", cell.to_string()),
-                move |seed, rep| vec![(seed % 1000) as f64, (cell * 100 + rep) as f64],
+                move |seed, rep, _cfg| vec![(seed % 1000) as f64, (cell * 100 + rep) as f64],
             );
         }
         sweep.fold(|results| {
@@ -614,8 +631,8 @@ mod tests {
     #[should_panic(expected = "twice")]
     fn duplicate_cell_ids_are_rejected() {
         let mut sweep = Sweep::new("dup", Scale::Smoke);
-        sweep.cell(CellSpec::new("same", 1), |_, _| 0.0);
-        sweep.cell(CellSpec::new("same", 1), |_, _| 1.0);
+        sweep.cell(CellSpec::new("same", 1), |_, _, _| 0.0);
+        sweep.cell(CellSpec::new("same", 1), |_, _, _| 1.0);
         let _ = sweep.collect(1);
     }
 
@@ -640,7 +657,7 @@ mod tests {
     #[test]
     fn zero_metric_fold_access_panics_with_cell_name() {
         let mut sweep = Sweep::new("empty", Scale::Smoke);
-        sweep.cell(CellSpec::new("present", 1), |_, _| 1.0);
+        sweep.cell(CellSpec::new("present", 1), |_, _, _| 1.0);
         sweep.fold(|results| {
             assert_eq!(results.len(), 1);
             assert!(!results.is_empty());

@@ -282,17 +282,42 @@ pub struct CellPlan {
 /// run, so slow high-BER cells cannot straggle while other cores sit idle.
 /// Memory is bounded: only the in-flight cells' per-repetition buffers are
 /// alive at any moment.
-pub fn run_cells<F, C>(cells: &[CellPlan], threads: usize, trial: F, mut on_cell_done: C)
+pub fn run_cells<F, C>(cells: &[CellPlan], threads: usize, trial: F, on_cell_done: C)
 where
     F: Fn(usize, u64, usize) -> Vec<f64> + Sync,
+    C: FnMut(usize, Vec<Vec<f64>>),
+{
+    run_cells_with(cells, threads, (), |cell, seed, rep, ()| trial(cell, seed, rep), on_cell_done);
+}
+
+/// [`run_cells`] with an explicit per-trial execution context.
+///
+/// `ctx` is handed to every trial verbatim — the campaign layer treats it as
+/// an opaque `Copy` value. Callers use it to thread configuration that must
+/// compose with trial-level parallelism (e.g. an engine config whose
+/// in-engine batch sharding multiplies with the scheduler's `threads`)
+/// through the scheduler without smuggling it through process-wide state.
+/// Seeding, scheduling and result ordering are exactly those of
+/// [`run_cells`]; `ctx` must not influence trial results (it may only steer
+/// *how* they are computed), or thread-count invariance is lost.
+pub fn run_cells_with<X, F, C>(
+    cells: &[CellPlan],
+    threads: usize,
+    ctx: X,
+    trial: F,
+    mut on_cell_done: C,
+) where
+    X: Copy + Send + Sync,
+    F: Fn(usize, u64, usize, X) -> Vec<f64> + Sync,
     C: FnMut(usize, Vec<Vec<f64>>),
 {
     let total: usize = cells.iter().map(|c| c.repetitions).sum();
     if threads <= 1 || total <= 1 {
         for (index, cell) in cells.iter().enumerate() {
             let config = CampaignConfig::new(cell.repetitions, cell.base_seed);
-            let per_rep: Vec<Vec<f64>> =
-                (0..cell.repetitions).map(|rep| trial(index, config.seed_for(rep), rep)).collect();
+            let per_rep: Vec<Vec<f64>> = (0..cell.repetitions)
+                .map(|rep| trial(index, config.seed_for(rep), rep, ctx))
+                .collect();
             on_cell_done(index, per_rep);
         }
         return;
@@ -327,7 +352,7 @@ where
                 let rep = t - starts[cell];
                 let seed = CampaignConfig::new(cells[cell].repetitions, cells[cell].base_seed)
                     .seed_for(rep);
-                let value = trial(cell, seed, rep);
+                let value = trial(cell, seed, rep, ctx);
                 if sender.send((cell, rep, value)).is_err() {
                     break;
                 }
@@ -521,6 +546,33 @@ mod tests {
                 assert_eq!(metrics[0], (config.seed_for(rep) % 997) as f64);
                 assert_eq!(metrics[1], (index + rep) as f64);
             }
+        }
+    }
+
+    #[test]
+    fn run_cells_with_hands_the_context_to_every_trial() {
+        let cells =
+            [CellPlan { repetitions: 5, base_seed: 4 }, CellPlan { repetitions: 9, base_seed: 5 }];
+        let collect = |threads: usize| {
+            let mut out = Vec::new();
+            run_cells_with(
+                &cells,
+                threads,
+                7usize,
+                |cell, seed, rep, ctx| {
+                    assert_eq!(ctx, 7);
+                    vec![(seed % 991) as f64 + (cell * 100 + rep) as f64]
+                },
+                |cell, per_rep| out.push((cell, per_rep)),
+            );
+            out.sort_by_key(|(cell, _)| *cell);
+            out
+        };
+        let serial = collect(1);
+        assert_eq!(serial[0].1.len(), 5);
+        assert_eq!(serial[1].1.len(), 9);
+        for threads in [2, 8] {
+            assert_eq!(collect(threads), serial, "threads = {threads}");
         }
     }
 

@@ -103,6 +103,11 @@ impl EngineConfig {
 /// entry points; code that shares a process with other engine users (tests,
 /// serving daemons) should pass an explicit [`EngineConfig`] to the `*_cfg`
 /// entry points instead.
+#[deprecated(
+    since = "0.1.0",
+    note = "process-wide engine state leaks across callers; pass an explicit \
+            `EngineConfig::default().with_threads(n)` to a `*_cfg` forward entry point"
+)]
 pub fn set_engine_threads(threads: usize) {
     ENGINE_THREADS.store(threads.max(1), Ordering::Relaxed);
 }

@@ -105,13 +105,20 @@
 //!   scalar accumulation chains bit for bit (`f32` vectorizes across output
 //!   columns with explicit multiply + add, never FMA; the integer backends
 //!   reduce across `k`, which is exact), and
-//!   [`set_force_scalar_kernels`] pins the scalar path for tests and
+//!   [`EngineConfig::with_force_scalar`] pins the scalar path for tests and
 //!   baselines ([`simd_kernel_name`] reports the active tier).
-//! * **In-engine batch sharding** ([`set_engine_threads`]): large batched
-//!   conv/linear sweeps shard across scoped worker threads by contiguous
-//!   batch-row ranges inside the engine — disjoint writeback, unchanged
-//!   accumulation chains, hooks still on the calling thread in per-row
-//!   program order — so results are bit-identical at any thread count.
+//! * **In-engine batch sharding** ([`EngineConfig::with_threads`]): large
+//!   batched conv/linear sweeps shard across scoped worker threads by
+//!   contiguous batch-row ranges inside the engine — disjoint writeback,
+//!   unchanged accumulation chains, hooks still on the calling thread in
+//!   per-row program order — so results are bit-identical at any thread
+//!   count.
+//!
+//! Both knobs live in an explicit, caller-owned [`EngineConfig`] threaded
+//! through the `*_cfg` forward entry points; the historical process-wide
+//! setters (`set_engine_threads`, `set_force_scalar_kernels`) are
+//! deprecated compat shims snapshot once per pass by the non-`_cfg` entry
+//! points.
 //!
 //! Hooks map onto batches per row: [`ForwardHooks::on_batch_input`] and
 //! [`ForwardHooks::on_batch_activation`] receive `(batch_row, layer,
@@ -155,7 +162,11 @@ mod scratch;
 mod tensor;
 
 pub use element::{Element, I8Affine};
-pub use engine::{engine_threads, set_engine_threads, EngineConfig};
+pub use engine::{engine_threads, EngineConfig};
+// The deprecated process-wide compat shims stay exported until every
+// external caller has moved onto explicit `EngineConfig`s.
+#[allow(deprecated)]
+pub use engine::set_engine_threads;
 pub use i8network::{I8Conv2d, I8ForwardHooks, I8Layer, I8Linear, I8Network, I8Scratch};
 pub use i8tensor::I8Tensor;
 pub use layer::{Conv2d, Linear};
@@ -170,5 +181,7 @@ pub use qnetwork::{
 };
 pub use qtensor::QTensor;
 pub use scratch::Scratch;
-pub use simd::{set_force_scalar_kernels, simd_kernel_name};
+#[allow(deprecated)]
+pub use simd::set_force_scalar_kernels;
+pub use simd::simd_kernel_name;
 pub use tensor::{argmax, Tensor, TensorBase};

@@ -48,6 +48,11 @@ static FORCE_SCALAR: AtomicBool = AtomicBool::new(false);
 ///
 /// Safe to toggle at any time: scalar and SIMD paths are bit-identical, so
 /// a pass that races the toggle cannot observe a numeric difference.
+#[deprecated(
+    since = "0.1.0",
+    note = "process-wide kernel state leaks across callers; pass an explicit \
+            `EngineConfig::default().with_force_scalar(true)` to a `*_cfg` forward entry point"
+)]
 pub fn set_force_scalar_kernels(force: bool) {
     FORCE_SCALAR.store(force, Ordering::Relaxed);
 }
@@ -637,6 +642,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(deprecated)] // pins that the compat shim still drives dispatch
     fn kernel_name_reports_scalar_when_forced() {
         // Serialized against other toggling tests by running in this module
         // only; restore the default before returning.

@@ -7,41 +7,17 @@
 //! * the threaded engine produces the same bytes at 1, 2 and 8 worker
 //!   threads (deterministic row-range writeback).
 //!
-//! Both knobs are process-global, so every test serializes on one lock and
-//! restores the defaults before releasing it.
-
-use std::sync::{Mutex, MutexGuard, OnceLock};
+//! Both knobs are carried by an explicit per-call [`EngineConfig`], so the
+//! tests need no process-global serialization; one final test pins that the
+//! deprecated process-wide compat shims still route into the same engine.
 
 use navft_nn::{
-    c3f2_scaled, mlp, set_engine_threads, set_force_scalar_kernels, simd_kernel_name, I8Network,
-    I8Scratch, I8Tensor, NoHooks, QNetwork, QScratch, QTensor, Scratch, Tensor,
+    c3f2_scaled, mlp, simd_kernel_name, EngineConfig, I8Network, I8Scratch, I8Tensor, NoHooks,
+    QNetwork, QScratch, QTensor, Scratch, Tensor,
 };
 use navft_qformat::QFormat;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-
-/// Serializes tests that flip the process-global dispatch/threading knobs.
-fn global_lock() -> MutexGuard<'static, ()> {
-    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
-    // A test that panicked mid-flip leaves consistent state behind (the
-    // guard below restores it on drop), so a poisoned lock is still usable.
-    match LOCK.get_or_init(|| Mutex::new(())).lock() {
-        Ok(guard) => guard,
-        Err(poisoned) => poisoned.into_inner(),
-    }
-}
-
-/// Restores the default dispatch and threading configuration on drop, so a
-/// failing assertion cannot leak forced-scalar or multi-threaded state into
-/// other tests.
-struct RestoreDefaults;
-
-impl Drop for RestoreDefaults {
-    fn drop(&mut self) {
-        set_force_scalar_kernels(false);
-        set_engine_threads(1);
-    }
-}
 
 const BATCHES: [usize; 3] = [1, 7, 64];
 
@@ -60,8 +36,8 @@ fn inputs(shape: &[usize], batch: usize, seed: u64) -> Vec<Tensor> {
 
 #[test]
 fn dispatched_kernels_match_forced_scalar_bit_for_bit_on_all_backends() {
-    let _lock = global_lock();
-    let _restore = RestoreDefaults;
+    let scalar_cfg = EngineConfig::default().with_force_scalar(true);
+    let simd_cfg = EngineConfig::default();
     for (name, net, shape) in models(0x51D) {
         let qnet = QNetwork::quantize(&net, QFormat::Q4_11);
         let inet = I8Network::quantize(&net);
@@ -72,22 +48,19 @@ fn dispatched_kernels_match_forced_scalar_bit_for_bit_on_all_backends() {
             let batch_i8: Vec<I8Tensor> =
                 batch_f32.iter().map(|t| I8Tensor::quantize(t, inet.affine())).collect();
 
-            set_force_scalar_kernels(true);
-            assert_eq!(simd_kernel_name(), "scalar");
             let mut scalar_f32 = Scratch::new();
-            net.forward_batch_into(&batch_f32, &mut scalar_f32, &mut NoHooks);
+            net.forward_batch_into_cfg(&batch_f32, &mut scalar_f32, &mut NoHooks, scalar_cfg);
             let mut scalar_q = QScratch::new();
-            qnet.forward_batch_into(&batch_q, &mut scalar_q, &mut NoHooks);
+            qnet.forward_batch_into_cfg(&batch_q, &mut scalar_q, &mut NoHooks, scalar_cfg);
             let mut scalar_i8 = I8Scratch::new();
-            inet.forward_batch_into(&batch_i8, &mut scalar_i8, &mut NoHooks);
+            inet.forward_batch_into_cfg(&batch_i8, &mut scalar_i8, &mut NoHooks, scalar_cfg);
 
-            set_force_scalar_kernels(false);
             let mut simd_f32 = Scratch::new();
-            net.forward_batch_into(&batch_f32, &mut simd_f32, &mut NoHooks);
+            net.forward_batch_into_cfg(&batch_f32, &mut simd_f32, &mut NoHooks, simd_cfg);
             let mut simd_q = QScratch::new();
-            qnet.forward_batch_into(&batch_q, &mut simd_q, &mut NoHooks);
+            qnet.forward_batch_into_cfg(&batch_q, &mut simd_q, &mut NoHooks, simd_cfg);
             let mut simd_i8 = I8Scratch::new();
-            inet.forward_batch_into(&batch_i8, &mut simd_i8, &mut NoHooks);
+            inet.forward_batch_into_cfg(&batch_i8, &mut simd_i8, &mut NoHooks, simd_cfg);
 
             for b in 0..batch {
                 assert_eq!(
@@ -115,8 +88,6 @@ fn dispatched_kernels_match_forced_scalar_bit_for_bit_on_all_backends() {
 
 #[test]
 fn threaded_engine_is_bit_identical_at_1_2_and_8_threads() {
-    let _lock = global_lock();
-    let _restore = RestoreDefaults;
     for (name, net, shape) in models(0x7831) {
         let qnet = QNetwork::quantize(&net, QFormat::Q7_8);
         let inet = I8Network::quantize(&net);
@@ -126,23 +97,23 @@ fn threaded_engine_is_bit_identical_at_1_2_and_8_threads() {
         let batch_i8: Vec<I8Tensor> =
             batch_f32.iter().map(|t| I8Tensor::quantize(t, inet.affine())).collect();
 
-        set_engine_threads(1);
+        let serial = EngineConfig::default();
         let mut base_f32 = Scratch::new();
-        net.forward_batch_into(&batch_f32, &mut base_f32, &mut NoHooks);
+        net.forward_batch_into_cfg(&batch_f32, &mut base_f32, &mut NoHooks, serial);
         let mut base_q = QScratch::new();
-        qnet.forward_batch_into(&batch_q, &mut base_q, &mut NoHooks);
+        qnet.forward_batch_into_cfg(&batch_q, &mut base_q, &mut NoHooks, serial);
         let mut base_i8 = I8Scratch::new();
-        inet.forward_batch_into(&batch_i8, &mut base_i8, &mut NoHooks);
+        inet.forward_batch_into_cfg(&batch_i8, &mut base_i8, &mut NoHooks, serial);
 
         for threads in [2, 8] {
-            set_engine_threads(threads);
-            assert_eq!(navft_nn::engine_threads(), threads);
+            let config = EngineConfig::default().with_threads(threads);
+            assert_eq!(config.threads, threads);
             let mut t_f32 = Scratch::new();
-            net.forward_batch_into(&batch_f32, &mut t_f32, &mut NoHooks);
+            net.forward_batch_into_cfg(&batch_f32, &mut t_f32, &mut NoHooks, config);
             let mut t_q = QScratch::new();
-            qnet.forward_batch_into(&batch_q, &mut t_q, &mut NoHooks);
+            qnet.forward_batch_into_cfg(&batch_q, &mut t_q, &mut NoHooks, config);
             let mut t_i8 = I8Scratch::new();
-            inet.forward_batch_into(&batch_i8, &mut t_i8, &mut NoHooks);
+            inet.forward_batch_into_cfg(&batch_i8, &mut t_i8, &mut NoHooks, config);
             for b in 0..batch_f32.len() {
                 assert_eq!(base_f32.row(b), t_f32.row(b), "{name} f32 threads {threads} row {b}");
                 assert_eq!(base_q.row(b), t_q.row(b), "{name} q7.8 threads {threads} row {b}");
@@ -154,20 +125,47 @@ fn threaded_engine_is_bit_identical_at_1_2_and_8_threads() {
 
 #[test]
 fn threading_composes_with_forced_scalar_kernels() {
-    let _lock = global_lock();
-    let _restore = RestoreDefaults;
     let mut rng = SmallRng::seed_from_u64(0x5CA1);
     let net = mlp(&[64, 48, 8], &mut rng);
     let batch = inputs(&[64], 32, 0xD15B);
 
     let mut reference = Scratch::new();
-    net.forward_batch_into(&batch, &mut reference, &mut NoHooks);
+    net.forward_batch_into_cfg(&batch, &mut reference, &mut NoHooks, EngineConfig::default());
 
-    set_force_scalar_kernels(true);
-    set_engine_threads(8);
+    let combined_cfg = EngineConfig::default().with_threads(8).with_force_scalar(true);
     let mut combined = Scratch::new();
-    net.forward_batch_into(&batch, &mut combined, &mut NoHooks);
+    net.forward_batch_into_cfg(&batch, &mut combined, &mut NoHooks, combined_cfg);
     for b in 0..batch.len() {
         assert_eq!(reference.row(b), combined.row(b), "row {b}");
+    }
+}
+
+/// The deprecated process-wide setters must keep driving the non-`_cfg`
+/// entry points until they are removed: a forward pass under the shims is
+/// bit-identical to the explicit-config pass with the same settings.
+#[test]
+#[allow(deprecated)]
+fn deprecated_global_shims_still_route_into_the_engine() {
+    use navft_nn::{set_engine_threads, set_force_scalar_kernels};
+
+    let mut rng = SmallRng::seed_from_u64(0xC0DE);
+    let net = mlp(&[48, 32, 4], &mut rng);
+    let batch = inputs(&[48], 16, 0xFACE);
+
+    let explicit = EngineConfig::default().with_threads(2).with_force_scalar(true);
+    let mut expected = Scratch::new();
+    net.forward_batch_into_cfg(&batch, &mut expected, &mut NoHooks, explicit);
+
+    set_force_scalar_kernels(true);
+    set_engine_threads(2);
+    let mut via_globals = Scratch::new();
+    net.forward_batch_into(&batch, &mut via_globals, &mut NoHooks);
+    // Restore the process defaults before asserting, so a failure cannot
+    // leak forced-scalar state into concurrently running tests.
+    set_force_scalar_kernels(false);
+    set_engine_threads(1);
+
+    for b in 0..batch.len() {
+        assert_eq!(expected.row(b), via_globals.row(b), "row {b}");
     }
 }

@@ -60,8 +60,9 @@ impl InferenceFaultMode {
     }
 
     /// Whether faulty values are visible at step `step`, given the episode's
-    /// randomly drawn onset step `onset`.
-    fn faulty_at(&self, step: usize, onset: usize) -> bool {
+    /// randomly drawn onset step `onset`. The vectorized rollout driver uses
+    /// this to split a batch tick into its clean and faulty row groups.
+    pub(crate) fn faulty_at(&self, step: usize, onset: usize) -> bool {
         match self {
             InferenceFaultMode::None => false,
             InferenceFaultMode::TransientSingleStep(_) => step == onset,
@@ -90,6 +91,12 @@ pub trait EvalElement: Element + StoredWord {
         observation: &'a navft_nn::Tensor,
         buf: &'a mut TensorBase<Self>,
     ) -> &'a TensorBase<Self>;
+
+    /// Writes an `f32` observation into `buf` unconditionally — the owned
+    /// form of [`EvalElement::encode`] the vectorized rollout uses, where
+    /// every batch row needs its own input buffer. For `f32` this is a
+    /// bitwise copy, so batched inputs equal the serial borrow bit for bit.
+    fn encode_into(observation: &navft_nn::Tensor, buf: &mut TensorBase<Self>);
 }
 
 impl EvalElement for f32 {
@@ -107,6 +114,10 @@ impl EvalElement for f32 {
         _buf: &'a mut navft_nn::Tensor,
     ) -> &'a navft_nn::Tensor {
         observation
+    }
+
+    fn encode_into(observation: &navft_nn::Tensor, buf: &mut navft_nn::Tensor) {
+        buf.assign(observation.shape(), observation.data());
     }
 }
 
@@ -128,6 +139,10 @@ impl EvalElement for i32 {
         buf.quantize_from(observation);
         buf
     }
+
+    fn encode_into(observation: &navft_nn::Tensor, buf: &mut navft_nn::QTensor) {
+        buf.quantize_from(observation);
+    }
 }
 
 impl EvalElement for i8 {
@@ -147,6 +162,10 @@ impl EvalElement for i8 {
     ) -> &'a navft_nn::I8Tensor {
         buf.quantize_from(observation);
         buf
+    }
+
+    fn encode_into(observation: &navft_nn::Tensor, buf: &mut navft_nn::I8Tensor) {
+        buf.quantize_from(observation);
     }
 }
 

@@ -16,6 +16,10 @@
 //!   to the training loops in [`trainer`]; [`eval`] evaluates trained policies
 //!   under the inference fault modes of the paper (Transient-1, Transient-M,
 //!   permanent stuck-at).
+//! * Vectorized rollouts — [`VecEnv`] steps B environment rows in lockstep
+//!   and the [`rollout()`] driver evaluates every active row with **one**
+//!   batched forward sweep per decision tick; the `*_batched` evaluators
+//!   are bit-identical to their serial counterparts on every backend.
 //! * Analysis — [`TrainingTrace`], [`EvalResult`] and the convergence helpers
 //!   of [`convergence`].
 //!
@@ -67,7 +71,9 @@
 
 pub mod convergence;
 pub mod eval;
+pub mod rollout;
 pub mod trainer;
+pub mod vecenv;
 
 mod dqn;
 mod env;
@@ -94,4 +100,9 @@ pub use exploration::EpsilonSchedule;
 pub use faultplan::FaultPlan;
 pub use metrics::{EpisodeOutcome, EvalResult, TrainingTrace};
 pub use replay::{ReplayBuffer, Transition};
+pub use rollout::{
+    evaluate_policy_discrete_batched, evaluate_policy_vision_batched,
+    evaluate_policy_vision_hooked_batched, rollout, EpisodeTape, RolloutObs,
+};
 pub use tabular::{QTable, TabularAgent};
+pub use vecenv::{DummyVecEnv, DummyVisionVecEnv, RowStep, VecEnv};

@@ -14,6 +14,7 @@ use std::sync::Arc;
 
 use navft_core::sweep::{run_sweeps, CellSpec, RunOptions, Sweep};
 use navft_core::{experiments, FigureData, Scale, Series};
+use navft_nn::EngineConfig;
 
 fn temp_dir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("navft-sweep-{tag}-{}", std::process::id()));
@@ -35,7 +36,7 @@ fn synthetic_sweeps(trials: &Arc<AtomicUsize>) -> Vec<Sweep> {
                 .with_seed(cell as u64)
                 .with_label("cell", cell.to_string());
             let trials = Arc::clone(trials);
-            sweep.cell_metrics(spec, move |seed, rep| {
+            sweep.cell_metrics(spec, move |seed, rep, _cfg| {
                 trials.fetch_add(1, Ordering::SeqCst);
                 // Two metrics with plenty of non-trivial float structure.
                 vec![(seed % 10_000) as f64 / 3.0, (seed >> 32) as f64 + rep as f64 * 0.1]
@@ -76,7 +77,13 @@ fn read_figure_artifacts(dir: &std::path::Path) -> Vec<(String, String)> {
 
 fn run_synthetic(dir: &std::path::Path, threads: usize, resume: bool) -> (usize, usize) {
     let trials = Arc::new(AtomicUsize::new(0));
-    let options = RunOptions { threads, out_dir: Some(dir.to_path_buf()), resume, progress: false };
+    let options = RunOptions {
+        threads,
+        engine: EngineConfig::default(),
+        out_dir: Some(dir.to_path_buf()),
+        resume,
+        progress: false,
+    };
     let report = run_sweeps(synthetic_sweeps(&trials), &options).expect("run succeeds");
     (report.executed_cells, report.resumed_cells)
 }
@@ -112,8 +119,13 @@ fn real_figure_artifacts_are_thread_count_invariant() {
     for threads in [1, 4] {
         let dir = temp_dir(&format!("fig5-{threads}"));
         let sweeps = vec![experiments::fig5::sweep(Scale::Smoke)];
-        let options =
-            RunOptions { threads, out_dir: Some(dir.clone()), resume: false, progress: false };
+        let options = RunOptions {
+            threads,
+            engine: EngineConfig::default(),
+            out_dir: Some(dir.clone()),
+            resume: false,
+            progress: false,
+        };
         let report = run_sweeps(sweeps, &options).expect("fig5 runs");
         assert_eq!(report.resumed_cells, 0);
         assert_eq!(report.executed_cells, report.total_cells);
@@ -135,8 +147,13 @@ fn resume_after_a_complete_run_recomputes_nothing() {
     let (executed, resumed) = run_synthetic(&dir, 2, false);
     assert!(executed > 0 && resumed == 0);
     let trials = Arc::new(AtomicUsize::new(0));
-    let options =
-        RunOptions { threads: 2, out_dir: Some(dir.clone()), resume: true, progress: false };
+    let options = RunOptions {
+        threads: 2,
+        engine: EngineConfig::default(),
+        out_dir: Some(dir.clone()),
+        resume: true,
+        progress: false,
+    };
     let report = run_sweeps(synthetic_sweeps(&trials), &options).expect("resume succeeds");
     assert_eq!(report.executed_cells, 0);
     assert_eq!(report.resumed_cells, report.total_cells);
@@ -189,8 +206,13 @@ fn kill_then_resume_reproduces_the_uninterrupted_artifacts() {
 fn in_memory_collect_matches_artifact_run_figures() {
     let trials = Arc::new(AtomicUsize::new(0));
     let dir = temp_dir("collect-vs-run");
-    let options =
-        RunOptions { threads: 3, out_dir: Some(dir.clone()), resume: false, progress: false };
+    let options = RunOptions {
+        threads: 3,
+        engine: EngineConfig::default(),
+        out_dir: Some(dir.clone()),
+        resume: false,
+        progress: false,
+    };
     let with_artifacts = run_sweeps(synthetic_sweeps(&trials), &options).expect("run");
     let in_memory: Vec<Vec<FigureData>> =
         synthetic_sweeps(&trials).into_iter().map(|s| s.collect(1)).collect();
