@@ -34,6 +34,12 @@
 //! sweep), plus one smoke-scale figure sweep timed end to end in trials per
 //! second.
 //!
+//! A fourth, `requantize` section micro-times the GEMM epilogue seam on the
+//! raw-word backends: elements per second of the scalar per-element
+//! [`Element::finish`] loop against the batched, runtime-dispatched
+//! [`Element::finish_tile`] — the vectorized requantize that folds widened
+//! accumulators back into storable words.
+//!
 //! The JSON is rendered with `navft_core::sweep::json` — the same
 //! deterministic writer the campaign artifacts use — so snapshots diff
 //! cleanly across revisions, and `perf_gate` can diff a fresh snapshot
@@ -47,8 +53,8 @@ use navft_core::sweep::json::Json;
 use navft_core::{experiments, Scale};
 use navft_gridworld::GridWorld;
 use navft_nn::{
-    c3f2_scaled, mlp, simd_kernel_name, EngineConfig, HooksFor, I8Network, I8Scratch, I8Tensor,
-    Network, NetworkBase, NoHooks, QNetwork, QScratch, QTensor, Scratch, Tensor,
+    c3f2_scaled, mlp, simd_kernel_name, Element, EngineConfig, HooksFor, I8Network, I8Scratch,
+    I8Tensor, Network, NetworkBase, NoHooks, QNetwork, QScratch, QTensor, Scratch, Tensor,
 };
 use navft_qformat::QFormat;
 use navft_rl::{
@@ -291,6 +297,53 @@ where
     ])
 }
 
+/// Accumulators per requantize pass, and inner rounds per timed sample —
+/// together they stretch one epilogue measurement to a stable ~1 ms.
+const REQUANT_ELEMS: usize = 1 << 14;
+const REQUANT_ROUNDS: usize = 64;
+
+/// Micro-times one backend's GEMM requantize epilogue over a fixed block of
+/// accumulators: the scalar per-element [`Element::finish`] loop against the
+/// batched [`Element::finish_tile`] seam (runtime-dispatched SIMD). The two
+/// are bit-identical by contract; the row records each in elements/s.
+fn bench_requantize<E: Element>(
+    backend: &str,
+    ctx: E::Ctx,
+    accs: &[E::Acc],
+    repeats: usize,
+) -> Json {
+    let mut out = vec![E::default(); accs.len()];
+    let scalar = median_secs(repeats, || {
+        for _ in 0..REQUANT_ROUNDS {
+            for (value, &acc) in out.iter_mut().zip(accs.iter()) {
+                *value = E::finish(acc, ctx);
+            }
+            std::hint::black_box(&mut out);
+        }
+    });
+    let dispatched = median_secs(repeats, || {
+        for _ in 0..REQUANT_ROUNDS {
+            E::finish_tile(ctx, accs, &mut out);
+            std::hint::black_box(&mut out);
+        }
+    });
+    let elems = (accs.len() * REQUANT_ROUNDS) as f64;
+    let scalar_elems = elems / scalar;
+    let dispatched_elems = elems / dispatched;
+    let speedup = scalar / dispatched;
+    eprintln!(
+        "[perf] requantize {backend}: scalar {scalar_elems:.0} elems/s,          {} {dispatched_elems:.0} elems/s ({speedup:.2}x)",
+        simd_kernel_name()
+    );
+    Json::obj([
+        ("backend", Json::Str(backend.to_string())),
+        ("elems", Json::num(accs.len() as f64)),
+        ("scalar_elems_per_s", Json::num(scalar_elems)),
+        ("dispatched_elems_per_s", Json::num(dispatched_elems)),
+        ("dispatched_speedup", Json::num(speedup)),
+    ])
+}
+
 /// Times one smoke-scale figure sweep end to end (training and batched
 /// evaluation included) and returns the campaign JSON row in trials/s.
 fn bench_sweep_trials(figure: &str, repeats: usize, threads: usize) -> Json {
@@ -382,6 +435,21 @@ fn run_benchmarks(rev: &str, repeats: usize, threads: usize, sessions: usize) ->
     }
     campaign.push(bench_sweep_trials("fig5", repeats, threads));
 
+    // Requantize epilogue micro-section: accumulator magnitudes spread over
+    // the full widened range (random shift of a full-width draw), fixed per
+    // backend so the scalar and dispatched passes fold identical blocks.
+    use rand::RngCore;
+    let mut acc_rng = SmallRng::seed_from_u64(0xACC5);
+    let q_accs: Vec<i64> = (0..REQUANT_ELEMS)
+        .map(|_| (acc_rng.next_u64() as i64) >> (acc_rng.next_u64() % 64))
+        .collect();
+    let i8_accs: Vec<i32> = (0..REQUANT_ELEMS).map(|_| acc_rng.next_u64() as i32).collect();
+    let requantize = vec![
+        bench_requantize::<i32>(&format!("{}", QFormat::Q4_11), QFormat::Q4_11, &q_accs, repeats),
+        bench_requantize::<i32>(&format!("{}", QFormat::Q7_8), QFormat::Q7_8, &q_accs, repeats),
+        bench_requantize::<i8>("i8", navft_nn::I8Affine { scale: 1.0 / 127.0 }, &i8_accs, repeats),
+    ];
+
     Json::obj([
         ("rev", Json::Str(rev.to_string())),
         ("bench", Json::Str("gemm_forward".to_string())),
@@ -392,5 +460,6 @@ fn run_benchmarks(rev: &str, repeats: usize, threads: usize, sessions: usize) ->
         ("results", Json::Arr(results)),
         ("serve", Json::Arr(serve)),
         ("campaign", Json::Arr(campaign)),
+        ("requantize", Json::Arr(requantize)),
     ])
 }

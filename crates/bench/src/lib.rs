@@ -72,7 +72,9 @@ pub fn parse_jobs(text: &str) -> Option<usize> {
 ///   `(model, backend, batch)` on `steps_per_s` (the vectorized environment
 ///   rollout layer) and figure rows keyed by `figure` on `trials_per_s`
 ///   (one smoke sweep end to end). Rows that never recorded a given metric
-///   are skipped, so the two passes each gate only their own row kind.
+///   are skipped, so the two passes each gate only their own row kind;
+/// * `requantize` rows, keyed by `backend`, on `dispatched_elems_per_s` —
+///   the batched GEMM requantize epilogue micro-benchmark.
 ///
 /// A baseline row that is absent from the fresh snapshot is a failure (a
 /// silently dropped benchmark would otherwise pass the gate forever), as is
@@ -116,6 +118,15 @@ pub fn perf_regressions(baseline: &Json, fresh: &Json, tolerance: f64) -> Vec<St
         "campaign",
         &["figure"],
         "trials_per_s",
+        tolerance,
+        &mut failures,
+    );
+    gate_section(
+        baseline,
+        fresh,
+        "requantize",
+        &["backend"],
+        "dispatched_elems_per_s",
         tolerance,
         &mut failures,
     );
@@ -308,6 +319,21 @@ mod tests {
         assert!(failures[0].contains("trials_per_s"), "{failures:?}");
 
         // Pre-campaign baselines gate nothing new.
+        let old = snapshot(r#"{"results":[]}"#);
+        assert!(perf_regressions(&old, &base, 0.10).is_empty());
+    }
+
+    #[test]
+    fn requantize_rows_gate_the_dispatched_epilogue_throughput() {
+        let base =
+            snapshot(r#"{"requantize":[{"backend":"q4.11","dispatched_elems_per_s":1000.0}]}"#);
+        assert_eq!(perf_regressions(&base, &base, 0.10), Vec::<String>::new());
+        let slow =
+            snapshot(r#"{"requantize":[{"backend":"q4.11","dispatched_elems_per_s":500.0}]}"#);
+        let failures = perf_regressions(&base, &slow, 0.10);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("requantize q4.11"), "{failures:?}");
+        // Baselines predating the section gate nothing new.
         let old = snapshot(r#"{"results":[]}"#);
         assert!(perf_regressions(&old, &base, 0.10).is_empty());
     }

@@ -7,7 +7,7 @@
 
 use std::time::Instant;
 
-use navft_nn::{Network, NoHooks, Scratch, Tensor};
+use navft_nn::{EngineConfig, Network, NoHooks, Scratch, Tensor};
 
 use crate::RangeGuard;
 
@@ -58,17 +58,21 @@ pub fn measure_overhead(
     // warm-up passes take slab growth out of the timed region (the slabs swap
     // roles per layer sweep, so both reach their high-water mark only on the
     // second pass when the sweep count is odd).
+    // An explicit engine config keeps the measurement independent of the
+    // deprecated process-wide kernel knobs.
+    let engine = EngineConfig::default();
     let mut scratch = Scratch::new();
-    std::hint::black_box(network.forward_scratch(input, &mut scratch, &mut NoHooks));
-    std::hint::black_box(network.forward_scratch(input, &mut scratch, &mut NoHooks));
+    std::hint::black_box(network.forward_scratch_cfg(input, &mut scratch, &mut NoHooks, engine));
+    std::hint::black_box(network.forward_scratch_cfg(input, &mut scratch, &mut NoHooks, engine));
 
     // Baseline: plain forward passes.
     let start = Instant::now();
     for _ in 0..iterations {
-        std::hint::black_box(network.forward_scratch(
+        std::hint::black_box(network.forward_scratch_cfg(
             std::hint::black_box(input),
             &mut scratch,
             &mut NoHooks,
+            engine,
         ));
     }
     let baseline = start.elapsed().as_secs_f64() / iterations as f64;
@@ -80,10 +84,11 @@ pub fn measure_overhead(
         if i % scrub_interval == 0 {
             guard.scrub(&mut protected_net);
         }
-        std::hint::black_box(protected_net.forward_scratch(
+        std::hint::black_box(protected_net.forward_scratch_cfg(
             std::hint::black_box(input),
             &mut scratch,
             &mut NoHooks,
+            engine,
         ));
     }
     let protected = start.elapsed().as_secs_f64() / iterations as f64;

@@ -89,6 +89,34 @@ pub trait Element:
     /// requantize of the fixed-point backend; the identity for `f32`).
     fn finish(acc: Self::Acc, ctx: Self::Ctx) -> Self;
 
+    /// Folds a whole slice of accumulators — the batched **epilogue seam**
+    /// of the GEMM path. `out[i]` must equal `Self::finish(accs[i], ctx)`
+    /// bit for bit, for *every* accumulator value (including the widened
+    /// type's extremes); the default is exactly that scalar loop.
+    ///
+    /// A backend should override this only when its `finish` is expensive
+    /// enough to dominate the MAC sweep and admits a data-parallel
+    /// formulation — the integer backends here vectorize their per-output
+    /// requantize (round-half-away shift-and-saturate over `i64` lanes for
+    /// raw Q-format words, the affine scale-round-clamp over `i32` lanes
+    /// for `i8`) because the widened MAC itself is cheap and the epilogue
+    /// is the bottleneck. `f32`'s `finish` is the identity, so it keeps the
+    /// default. Overrides must still dispatch on runtime CPU detection and
+    /// fall back to the scalar loop, because the engine calls this on the
+    /// SIMD path only (the force-scalar pin routes through per-element
+    /// [`Element::finish`]).
+    ///
+    /// # Panics
+    ///
+    /// Implementations may assume `accs.len() == out.len()`; the provided
+    /// default panics if the lengths differ.
+    fn finish_tile(ctx: Self::Ctx, accs: &[Self::Acc], out: &mut [Self]) {
+        assert_eq!(accs.len(), out.len(), "accumulator and output tiles must match");
+        for (value, &acc) in out.iter_mut().zip(accs.iter()) {
+            *value = Self::finish(acc, ctx);
+        }
+    }
+
     /// The rectified linear unit on one element.
     fn relu(self) -> Self;
 
@@ -278,6 +306,11 @@ impl Element for i32 {
     }
 
     #[inline]
+    fn finish_tile(ctx: QFormat, accs: &[i64], out: &mut [i32]) {
+        crate::simd::requantize_q(ctx, accs, out);
+    }
+
+    #[inline]
     fn relu(self) -> i32 {
         self.max(0)
     }
@@ -346,6 +379,11 @@ impl Element for i8 {
     #[inline]
     fn finish(acc: i32, ctx: I8Affine) -> i8 {
         (acc as f32 * ctx.scale).round().clamp(-128.0, 127.0) as i8
+    }
+
+    #[inline]
+    fn finish_tile(ctx: I8Affine, accs: &[i32], out: &mut [i8]) {
+        crate::simd::requantize_i8(ctx, accs, out);
     }
 
     #[inline]

@@ -113,8 +113,8 @@ pub(crate) fn gemm_bias<E: Element>(
         return;
     }
     match E::GEMM_TILE {
-        (2, 4) => gemm_tiled::<E, 2, 4>(ctx, a, bias, m, k, b, n, write),
-        _ => gemm_tiled::<E, 4, 4>(ctx, a, bias, m, k, b, n, write),
+        (2, 4) => gemm_tiled::<E, 2, 4>(ctx, simd, a, bias, m, k, b, n, write),
+        _ => gemm_tiled::<E, 4, 4>(ctx, simd, a, bias, m, k, b, n, write),
     }
 }
 
@@ -123,10 +123,15 @@ pub(crate) fn gemm_bias<E: Element>(
 /// Full `MR × NR` interior tiles run the fast path (`MR × NR` independent
 /// accumulators, one full-K sweep, each fed in ascending k order); edge
 /// tiles fall back to single-output dot products with identical accumulation
-/// order.
+/// order. When `simd` is true, each full tile's accumulators are handed as
+/// one flat slice to the backend's batched [`Element::finish_tile`] epilogue
+/// (bit-identical to the per-element `finish` by contract); the engine's
+/// force-scalar pin routes through per-element [`Element::finish`] so the
+/// scalar baseline stays epilogue-free.
 #[allow(clippy::too_many_arguments)]
 fn gemm_tiled<E: Element, const MR: usize, const NR: usize>(
     ctx: E::Ctx,
+    simd: bool,
     a: &[E],
     bias: &[E],
     m: usize,
@@ -138,6 +143,11 @@ fn gemm_tiled<E: Element, const MR: usize, const NR: usize>(
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), n * k);
     debug_assert_eq!(bias.len(), m);
+    // Upper bound on MR · NR across the supported tile shapes, so the
+    // epilogue's output scratch can live on the stack without generic
+    // arithmetic in the array length.
+    const MAX_TILE: usize = 16;
+    debug_assert!(MR * NR <= MAX_TILE);
     let mut n0 = 0;
     while n0 < n {
         let nb = NR.min(n - n0);
@@ -159,9 +169,22 @@ fn gemm_tiled<E: Element, const MR: usize, const NR: usize>(
                         }
                     }
                 }
-                for (i, row) in acc.iter().enumerate() {
-                    for (j, &cell) in row.iter().enumerate() {
-                        write(m0 + i, n0 + j, E::finish(cell, ctx));
+                if simd {
+                    // Batched epilogue: fold the whole tile's accumulators
+                    // in one `finish_tile` call (vectorized for the integer
+                    // backends, the same scalar loop otherwise).
+                    let mut tile_out = [E::default(); MAX_TILE];
+                    E::finish_tile(ctx, acc.as_flattened(), &mut tile_out[..MR * NR]);
+                    for i in 0..MR {
+                        for j in 0..NR {
+                            write(m0 + i, n0 + j, tile_out[i * NR + j]);
+                        }
+                    }
+                } else {
+                    for (i, row) in acc.iter().enumerate() {
+                        for (j, &cell) in row.iter().enumerate() {
+                            write(m0 + i, n0 + j, E::finish(cell, ctx));
+                        }
                     }
                 }
             } else {

@@ -646,15 +646,31 @@ impl<E: Element> NetworkBase<E> {
         path: KernelPath,
         config: EngineConfig,
     ) {
-        if inputs.is_empty() {
+        self.run_batch_refs(inputs.iter(), scratch, hooks, path, config);
+    }
+
+    fn run_batch_refs<'t, H, I>(
+        &self,
+        inputs: I,
+        scratch: &mut Scratch<E>,
+        hooks: &mut H,
+        path: KernelPath,
+        config: EngineConfig,
+    ) where
+        H: HooksFor<E> + ?Sized,
+        I: ExactSizeIterator<Item = &'t TensorBase<E>> + Clone,
+    {
+        let mut shapes = inputs.clone();
+        let Some(first) = shapes.next() else {
             // An empty flush is a no-op on every backend and every kernel
             // path: reset the scratch to zero rows so stale rows from a
             // previous pass are not readable as this pass's outputs.
             scratch.load_rows(&[0], std::iter::empty());
             return;
-        }
-        let input_shape = inputs[0].shape();
-        for input in inputs {
+        };
+        let input_shape = first.shape();
+        E::check_input(first.meta(), &self.meta);
+        for input in shapes {
             assert_eq!(input.shape(), input_shape, "all batch inputs must share one shape");
             E::check_input(input.meta(), &self.meta);
         }
@@ -663,7 +679,7 @@ impl<E: Element> NetworkBase<E> {
             &self.layers,
             E::kernel_ctx(&meta),
             input_shape,
-            inputs.iter().map(TensorBase::data),
+            inputs.map(|t| t.data()),
             scratch,
             path,
             config,
@@ -675,6 +691,27 @@ impl<E: Element> NetworkBase<E> {
                 }
             },
         );
+    }
+
+    /// [`NetworkBase::forward_batch_into_cfg`] over a slice of tensor
+    /// *references* — the gather-free entry point for callers that stage
+    /// batch rows in per-row buffers (a rollout's per-environment staging
+    /// tensors, a serving daemon's pooled request buffers) and would
+    /// otherwise have to copy or move them into a contiguous `Vec` first.
+    /// Bit-identical to the owned-slice entry point for the same rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inputs do not share one shape or an input cannot feed
+    /// this network.
+    pub fn forward_batch_rows_into_cfg<H: HooksFor<E> + ?Sized>(
+        &self,
+        inputs: &[&TensorBase<E>],
+        scratch: &mut Scratch<E>,
+        hooks: &mut H,
+        config: EngineConfig,
+    ) {
+        self.run_batch_refs(inputs.iter().copied(), scratch, hooks, KernelPath::Blocked, config);
     }
 
     /// Runs a single-sample forward pass through `scratch` without allocating
@@ -689,6 +726,21 @@ impl<E: Element> NetworkBase<E> {
         hooks: &mut H,
     ) -> &'s [E] {
         self.forward_batch_into(std::slice::from_ref(input), scratch, hooks);
+        scratch.row(0)
+    }
+
+    /// [`NetworkBase::forward_scratch`] with an explicit, caller-owned
+    /// [`EngineConfig`] instead of the process-wide compat knobs — the
+    /// single-sample twin of [`NetworkBase::forward_batch_into_cfg`].
+    /// Results are bit-identical under any config.
+    pub fn forward_scratch_cfg<'s, H: HooksFor<E> + ?Sized>(
+        &self,
+        input: &TensorBase<E>,
+        scratch: &'s mut Scratch<E>,
+        hooks: &mut H,
+        config: EngineConfig,
+    ) -> &'s [E] {
+        self.forward_batch_into_cfg(std::slice::from_ref(input), scratch, hooks, config);
         scratch.row(0)
     }
 }

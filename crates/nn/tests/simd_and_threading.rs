@@ -12,8 +12,8 @@
 //! deprecated process-wide compat shims still route into the same engine.
 
 use navft_nn::{
-    c3f2_scaled, mlp, simd_kernel_name, EngineConfig, I8Network, I8Scratch, I8Tensor, NoHooks,
-    QNetwork, QScratch, QTensor, Scratch, Tensor,
+    c3f2_scaled, mlp, simd_kernel_name, Element, EngineConfig, I8Affine, I8Network, I8Scratch,
+    I8Tensor, NoHooks, QNetwork, QScratch, QTensor, Scratch, Tensor,
 };
 use navft_qformat::QFormat;
 use rand::rngs::SmallRng;
@@ -137,6 +137,131 @@ fn threading_composes_with_forced_scalar_kernels() {
     net.forward_batch_into_cfg(&batch, &mut combined, &mut NoHooks, combined_cfg);
     for b in 0..batch.len() {
         assert_eq!(reference.row(b), combined.row(b), "row {b}");
+    }
+}
+
+/// The batched [`Element::finish_tile`] epilogue must be bit-identical to a
+/// scalar [`Element::finish`] loop for *arbitrary* accumulator tiles on
+/// every backend — the contract the engine's SIMD path relies on when it
+/// hands whole register tiles to the epilogue. Running this in the CI
+/// `+avx2` codegen-equivalence leg pins the vectorized AVX2 tiers; on older
+/// hosts it pins the SSE2 tiers instead. Tile lengths deliberately straddle
+/// the lane counts so the vector body and the scalar remainder both run.
+mod finish_tile_epilogue {
+    use super::*;
+    use rand::RngCore;
+
+    fn q_format(index: usize) -> QFormat {
+        [
+            QFormat::Q4_11,
+            QFormat::Q7_8,
+            QFormat::Q10_5,
+            QFormat::Q3_4,
+            QFormat::Q2_5,
+            QFormat::Q2_13,
+            QFormat::new(6, 0).unwrap(),
+            QFormat::new(31, 0).unwrap(),
+            QFormat::new(0, 31).unwrap(),
+        ][index]
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn q_finish_tile_matches_scalar_finish(
+            seed in 0u64..u64::MAX,
+            len in 1usize..97,
+            format_index in 0usize..9,
+        ) {
+            let fmt = q_format(format_index);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            // Right-shifting a full-width draw by a random amount spreads
+            // probes across every accumulator magnitude, extremes included.
+            let accs: Vec<i64> = (0..len)
+                .map(|_| (rng.next_u64() as i64) >> (rng.next_u64() % 64))
+                .collect();
+            let expected: Vec<i32> =
+                accs.iter().map(|&acc| <i32 as Element>::finish(acc, fmt)).collect();
+            let mut tiled = vec![0i32; len];
+            <i32 as Element>::finish_tile(fmt, &accs, &mut tiled);
+            proptest::prop_assert_eq!(tiled, expected);
+        }
+
+        #[test]
+        fn i8_finish_tile_matches_scalar_finish(
+            seed in 0u64..u64::MAX,
+            len in 1usize..97,
+            scale_ten_thousandths in 1u32..40_000,
+        ) {
+            let ctx = I8Affine { scale: scale_ten_thousandths as f32 / 10_000.0 };
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let accs: Vec<i32> = (0..len).map(|_| rng.next_u64() as i32).collect();
+            let expected: Vec<i8> =
+                accs.iter().map(|&acc| <i8 as Element>::finish(acc, ctx)).collect();
+            let mut tiled = vec![0i8; len];
+            <i8 as Element>::finish_tile(ctx, &accs, &mut tiled);
+            proptest::prop_assert_eq!(tiled, expected);
+        }
+
+        #[test]
+        fn f32_default_finish_tile_is_the_identity_bitwise(
+            seed in 0u64..u64::MAX,
+            len in 1usize..97,
+        ) {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            // Raw bit patterns, so NaNs and infinities ride along; compare
+            // bits because NaN != NaN under float equality.
+            let accs: Vec<f32> = (0..len).map(|_| f32::from_bits(rng.next_u32())).collect();
+            let expected: Vec<u32> =
+                accs.iter().map(|&acc| <f32 as Element>::finish(acc, ()).to_bits()).collect();
+            let mut tiled = vec![0.0f32; len];
+            <f32 as Element>::finish_tile((), &accs, &mut tiled);
+            let tiled_bits: Vec<u32> = tiled.iter().map(|v| v.to_bits()).collect();
+            proptest::prop_assert_eq!(tiled_bits, expected);
+        }
+    }
+}
+
+/// The narrow-format Q kernel (total width ≤ 16) folds raw words to `i16`
+/// `madd_epi16` pairs, which is only exact while every word fits `i16` and
+/// no aligned activation pair is `(-32768, -32768)` — the one pair whose
+/// `madd` sum escapes `i32`. Fault injection can violate both through the
+/// raw-word surface, so this pins the fallback seams bit-for-bit against
+/// forced scalar: a weight word widened beyond `i16` (per-row exact-dot
+/// fallback), an aligned minimum pair (same fallback via the profile scan),
+/// a corrupted *input* word (whole-panel fallback), and a wide format whose
+/// total width exceeds 16 (the widened-lane kernel, no narrowing at all).
+#[test]
+fn q_madd_kernel_fallbacks_stay_bit_identical_under_fault_widened_words() {
+    let scalar_cfg = EngineConfig::default().with_force_scalar(true);
+    let simd_cfg = EngineConfig::default();
+    let mut rng = SmallRng::seed_from_u64(0xFA17);
+    let net = mlp(&[100, 32, 4], &mut rng);
+    let wide = QFormat::new(18, 13).unwrap();
+    for fmt in [QFormat::Q4_11, wide] {
+        let mut qnet = QNetwork::quantize(&net, fmt);
+        {
+            let weights = qnet.layer_weights_mut(0).unwrap();
+            // One weight row with a word far outside `i16`, another with an
+            // aligned `(-32768, -32768)` pair (a legal Q4.11 raw minimum).
+            weights[7] = 1 << 20;
+            weights[100 + 2] = -32768;
+            weights[100 + 3] = -32768;
+        }
+        // Batch 17 = one full 16-column panel plus a remainder column.
+        let batch_f32 = inputs(&[100], 17, 0xB17F);
+        let mut batch_q: Vec<QTensor> =
+            batch_f32.iter().map(|t| QTensor::quantize(t, fmt)).collect();
+        // A fault-widened observation word forces the panel fallback for
+        // the block holding that column.
+        batch_q[3].words_mut()[11] = -(1 << 18);
+
+        let mut scalar = QScratch::new();
+        qnet.forward_batch_into_cfg(&batch_q, &mut scalar, &mut NoHooks, scalar_cfg);
+        let mut simd = QScratch::new();
+        qnet.forward_batch_into_cfg(&batch_q, &mut simd, &mut NoHooks, simd_cfg);
+        for b in 0..batch_q.len() {
+            assert_eq!(scalar.row(b), simd.row(b), "fmt {fmt:?} row {b} ({})", simd_kernel_name());
+        }
     }
 }
 

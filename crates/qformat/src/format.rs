@@ -131,7 +131,9 @@ impl QFormat {
     /// [`max_value`]: QFormat::max_value
     #[inline]
     pub fn max_raw(&self) -> i32 {
-        (1i32 << (self.total_bits() - 1)) - 1
+        // Unsigned arithmetic: at the full 32-bit width `1 << 31` has no
+        // signed representation, but `(1u32 << 31) - 1` is `i32::MAX`.
+        ((1u32 << (self.total_bits() - 1)) - 1) as i32
     }
 
     /// The raw two's-complement integer corresponding to [`min_value`].
@@ -139,7 +141,9 @@ impl QFormat {
     /// [`min_value`]: QFormat::min_value
     #[inline]
     pub fn min_raw(&self) -> i32 {
-        -(1i32 << (self.total_bits() - 1))
+        // `-(1 << (total - 1))` overflows at the full 32-bit width; the
+        // two's-complement identity below is total for every valid format.
+        -self.max_raw() - 1
     }
 
     /// Mask covering the sign bit and the integer bits of the word.
@@ -179,6 +183,15 @@ impl QFormat {
     /// saturates at the representable raw range, so the native path agrees
     /// with the float-simulated path wherever the latter is exact.
     ///
+    /// The implementation is a single branchless arithmetic-shift chain (the
+    /// scalar form of the SIMD epilogue in `navft-nn`): round-half-away
+    /// `(acc + half) >> frac` needs its bias reduced by one for negative
+    /// accumulators because `2^frac - half == half`, so the sign-dependent
+    /// adjust is computed with a mask instead of a branch. The add saturates,
+    /// which pins accumulators within `half` of `i64::MAX` at the raw maximum
+    /// instead of wrapping (the historical branchy formulation overflowed
+    /// there in release builds).
+    ///
     /// # Examples
     ///
     /// ```
@@ -194,16 +207,17 @@ impl QFormat {
     #[inline]
     pub fn requantize_product_sum(&self, acc: i64) -> i32 {
         let frac = u32::from(self.frac_bits);
-        let rounded = if frac == 0 {
-            acc
-        } else {
-            let half = 1i64 << (frac - 1);
-            if acc >= 0 {
-                (acc + half) >> frac
-            } else {
-                -((-acc + half) >> frac)
-            }
-        };
+        // `(1 << frac) >> 1` is `half` for frac > 0 and 0 for frac == 0, so
+        // the frac == 0 identity case needs no branch.
+        let half = (1i64 << frac) >> 1;
+        // Negative accumulators need bias `half - 1`:
+        //   floor((acc + half - 1) / 2^frac) == -floor((-acc + half) / 2^frac)
+        // because `2^frac - half == half`. `acc >> 63` is the all-ones mask
+        // for negatives; the `half != 0` factor keeps frac == 0 exact.
+        let adjust = half + ((acc >> 63) & -i64::from(half != 0));
+        // `adjust >= 0`, so only positive overflow is possible; saturating
+        // pins it at i64::MAX, which the final clamp maps to `max_raw`.
+        let rounded = acc.saturating_add(adjust) >> frac;
         self.saturate_raw(rounded)
     }
 }
@@ -278,6 +292,126 @@ mod tests {
         // frac_bits == 0: the accumulator is already at the raw scale.
         let ints = QFormat::new(6, 0).expect("valid format");
         assert_eq!(ints.requantize_product_sum(5), 5);
+    }
+
+    /// The historical branchy requantize, kept verbatim as the reference the
+    /// branchless rewrite is pinned against. Only valid on the non-overflow
+    /// domain `i64::MIN + half < acc <= i64::MAX - half` (outside it the old
+    /// formulation wrapped in release builds; the rewrite saturates instead).
+    fn requantize_branchy_reference(format: QFormat, acc: i64) -> i32 {
+        let frac = u32::from(format.frac_bits());
+        let rounded = if frac == 0 {
+            acc
+        } else {
+            let half = 1i64 << (frac - 1);
+            if acc >= 0 {
+                (acc + half) >> frac
+            } else {
+                -((-acc + half) >> frac)
+            }
+        };
+        format.saturate_raw(rounded)
+    }
+
+    fn equivalence_formats() -> Vec<QFormat> {
+        vec![
+            QFormat::Q4_11,
+            QFormat::Q7_8,
+            QFormat::Q10_5,
+            QFormat::Q3_4,
+            QFormat::Q2_5,
+            QFormat::Q2_13,
+            QFormat::new(6, 0).expect("valid format"),
+            QFormat::new(31, 0).expect("valid format"),
+            QFormat::new(0, 1).expect("valid format"),
+            QFormat::new(0, 31).expect("valid format"),
+            QFormat::new(15, 16).expect("valid format"),
+        ]
+    }
+
+    #[test]
+    fn branchless_requantize_matches_branchy_reference_near_edges() {
+        for format in equivalence_formats() {
+            let half = (1i64 << u32::from(format.frac_bits())) >> 1;
+            let lo = i64::MIN + half + 1; // smallest acc the old version handled
+            let hi = i64::MAX - half; // largest acc the old version handled
+            let mut probes: Vec<i64> = Vec::new();
+            for offset in 0..512 {
+                probes.push(lo + offset);
+                probes.push(hi - offset);
+                probes.push(offset - 256);
+            }
+            // Rounding boundaries around every multiple of 2^frac near zero.
+            for k in -64i64..=64 {
+                let base = k << u32::from(format.frac_bits());
+                probes.extend([base - 1, base, base + 1, base + half, base - half]);
+            }
+            for acc in probes {
+                if acc < lo || acc > hi {
+                    continue;
+                }
+                assert_eq!(
+                    format.requantize_product_sum(acc),
+                    requantize_branchy_reference(format, acc),
+                    "format {format} acc {acc}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn branchless_requantize_saturates_at_the_i64_extremes() {
+        // Outside the old version's domain the rewrite must still be total:
+        // the magnitude is astronomically out of range either way, so the
+        // only correct answer is the raw extreme.
+        for format in equivalence_formats() {
+            assert_eq!(format.requantize_product_sum(i64::MIN), format.min_raw(), "{format} MIN");
+            assert_eq!(format.requantize_product_sum(i64::MAX), format.max_raw(), "{format} MAX");
+            let half = (1i64 << u32::from(format.frac_bits())) >> 1;
+            // The saturating-add window the old formulation wrapped in:
+            // the `half` accumulators just below `i64::MAX`.
+            for delta in 0..half.min(4) {
+                assert_eq!(
+                    format.requantize_product_sum(i64::MAX - half + 1 + delta),
+                    format.max_raw(),
+                    "{format} MAX - half + 1 + {delta}"
+                );
+            }
+            for delta in 0..4 {
+                assert_eq!(
+                    format.requantize_product_sum(i64::MIN + delta),
+                    format.min_raw(),
+                    "{format} MIN + {delta}"
+                );
+            }
+        }
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn branchless_requantize_equals_branchy_reference(
+            acc_seed in 0u64..u64::MAX,
+            format_index in 0usize..11,
+            near_zero in -4096i64..=4096,
+        ) {
+            use proptest::rand::{RngCore, SeedableRng};
+            let formats = equivalence_formats();
+            let format = formats[format_index];
+            let half = (1i64 << u32::from(format.frac_bits())) >> 1;
+            // Full-width accumulators (any bit pattern) plus small magnitudes
+            // that exercise the rounding boundaries densely.
+            let mut bits = proptest::rand::rngs::SmallRng::seed_from_u64(acc_seed);
+            let wide = bits.next_u64() as i64;
+            let shifted = wide >> (bits.next_u64() % 64);
+            for probe in [wide, shifted, near_zero] {
+                if probe > i64::MIN + half && probe <= i64::MAX - half {
+                    proptest::prop_assert_eq!(
+                        format.requantize_product_sum(probe),
+                        requantize_branchy_reference(format, probe)
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -69,6 +69,10 @@ pub struct DqnAgent {
     online: Network,
     target: Network,
     config: DqnConfig,
+    // The engine settings every internal forward pass runs under. Explicit
+    // and per-agent, so agents never observe the deprecated process-wide
+    // kernel knobs.
+    engine: EngineConfig,
     /// The exploration schedule (public so the training-time mitigation can
     /// adjust it).
     pub epsilon: EpsilonSchedule,
@@ -101,6 +105,7 @@ impl DqnAgent {
             target,
             replay: ReplayBuffer::new(config.replay_capacity),
             config,
+            engine: EngineConfig::default(),
             epsilon,
             input_shape: input_shape.to_vec(),
             episodes_since_sync: 0,
@@ -116,6 +121,20 @@ impl DqnAgent {
     /// The agent's configuration.
     pub fn config(&self) -> DqnConfig {
         self.config
+    }
+
+    /// Replaces the [`EngineConfig`] the agent's internal forward passes run
+    /// under (thread count, scalar-kernel pin). Defaults to
+    /// [`EngineConfig::default`]; results are bit-identical under any
+    /// config, only throughput changes.
+    pub fn with_engine_config(mut self, engine: EngineConfig) -> DqnAgent {
+        self.engine = engine;
+        self
+    }
+
+    /// The engine settings the agent's internal forward passes run under.
+    pub fn engine_config(&self) -> EngineConfig {
+        self.engine
     }
 
     /// The online (behaviour) network.
@@ -157,7 +176,7 @@ impl DqnAgent {
     /// [`Scratch`] — the zero-allocation form of [`DqnAgent::greedy_action`]
     /// used by episode loops.
     pub fn greedy_action_scratch(&self, state: &Tensor, scratch: &mut Scratch) -> usize {
-        argmax(self.online.forward_scratch(state, scratch, &mut NoHooks))
+        argmax(self.online.forward_scratch_cfg(state, scratch, &mut NoHooks, self.engine))
     }
 
     /// Chooses an action ε-greedily.
@@ -276,7 +295,12 @@ impl DqnAgent {
         for (slot, transition) in self.next_batch.iter_mut().zip(batch.iter()) {
             slot.assign(&self.input_shape, &transition.next_state);
         }
-        self.target.forward_batch_into(&self.next_batch, &mut self.scratch, &mut NoHooks);
+        self.target.forward_batch_into_cfg(
+            &self.next_batch,
+            &mut self.scratch,
+            &mut NoHooks,
+            self.engine,
+        );
         let actions = self.scratch.row_len();
         self.target_q.clear();
         for row in 0..rows {
@@ -295,10 +319,11 @@ impl DqnAgent {
                     // removes the duplicate next-state pass the serial code
                     // paid per transition.
                     self.state_buf.assign(&self.input_shape, &transition.next_state);
-                    let best = argmax(self.online.forward_scratch(
+                    let best = argmax(self.online.forward_scratch_cfg(
                         &self.state_buf,
                         &mut self.scratch,
                         &mut NoHooks,
+                        self.engine,
                     ));
                     target_row[best]
                 } else {

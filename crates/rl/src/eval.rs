@@ -24,7 +24,9 @@
 use rand::Rng;
 
 use navft_fault::{Injector, StoredWord};
-use navft_nn::{argmax, Element, ForwardHooks, HooksFor, NetworkBase, NoHooks, Scratch};
+use navft_nn::{
+    argmax, Element, EngineConfig, ForwardHooks, HooksFor, NetworkBase, NoHooks, Scratch,
+};
 use navft_nn::{Network, QNetwork, TensorBase};
 
 use crate::{one_hot_into, DiscreteEnvironment, EvalResult, QTable, VisionEnvironment};
@@ -282,6 +284,9 @@ where
     let corrupted = corrupt_policy_weights(network, fault);
     let num_states = env.num_states();
 
+    // Serial reference path: one row per pass under an explicit default
+    // engine config (never the deprecated process-wide kernel knobs).
+    let engine = EngineConfig::default();
     let mut scratch = Scratch::new();
     let mut encoded = W::input_buffer(&[num_states], network);
 
@@ -293,7 +298,8 @@ where
         for step in 0..max_steps {
             let active = if fault.faulty_at(step, onset) { &corrupted } else { network };
             W::one_hot(state, &mut encoded);
-            let action = argmax(active.forward_scratch(&encoded, &mut scratch, &mut NoHooks));
+            let action =
+                argmax(active.forward_scratch_cfg(&encoded, &mut scratch, &mut NoHooks, engine));
             let transition = env.step(action);
             total_reward += f64::from(transition.reward);
             state = transition.next_state;
@@ -356,7 +362,9 @@ where
 {
     let corrupted = corrupt_policy_weights(network, fault);
 
-    // One scratch and one input buffer serve every episode.
+    // One scratch and one input buffer serve every episode, under an
+    // explicit default engine config.
+    let engine = EngineConfig::default();
     let mut scratch = Scratch::new();
     let shape = env.observation_shape();
     let mut encoded = W::input_buffer(&shape, network);
@@ -370,7 +378,8 @@ where
         for step in 0..max_steps {
             let active = if fault.faulty_at(step, onset) { &corrupted } else { network };
             let input = W::encode(&observation, &mut encoded);
-            let action = argmax(active.forward_scratch(input, &mut scratch, &mut hooks));
+            let action =
+                argmax(active.forward_scratch_cfg(input, &mut scratch, &mut hooks, engine));
             let transition = env.step(action);
             total_reward += f64::from(transition.reward);
             total_distance += f64::from(transition.distance);
@@ -408,13 +417,14 @@ where
     E: DiscreteEnvironment,
     H: HooksFor<W>,
 {
+    let engine = EngineConfig::default();
     let mut scratch = Scratch::new();
     let mut encoded = W::input_buffer(&[env.num_states()], network);
     let mut trace = Vec::new();
     let mut state = env.reset();
     for _ in 0..max_steps {
         W::one_hot(state, &mut encoded);
-        let action = argmax(network.forward_scratch(&encoded, &mut scratch, hooks));
+        let action = argmax(network.forward_scratch_cfg(&encoded, &mut scratch, hooks, engine));
         trace.push(action);
         let transition = env.step(action);
         state = transition.next_state;
@@ -439,13 +449,14 @@ where
     E: VisionEnvironment,
     H: HooksFor<W>,
 {
+    let engine = EngineConfig::default();
     let mut scratch = Scratch::new();
     let mut encoded = W::input_buffer(&env.observation_shape(), network);
     let mut trace = Vec::new();
     let mut observation = env.reset();
     for _ in 0..max_steps {
         let input = W::encode(&observation, &mut encoded);
-        let action = argmax(network.forward_scratch(input, &mut scratch, hooks));
+        let action = argmax(network.forward_scratch_cfg(input, &mut scratch, hooks, engine));
         trace.push(action);
         let transition = env.step(action);
         observation = transition.observation;

@@ -4,10 +4,14 @@
 //! The serial evaluators in [`crate::eval`] run one forward pass per
 //! decision step — correct, but the engine's blocked GEMM, SIMD
 //! microkernels and batch sharding all pay off with width. [`rollout`]
-//! keeps B episode rows in flight: each tick encodes every active row's
-//! observation into a batch, runs a single
-//! [`NetworkBase::forward_batch_into_cfg`] sweep, and steps every row's
-//! environment with its argmax action. Finished rows are immediately
+//! keeps B episode rows in flight, **quantizing on ingest**: every
+//! observation is encoded into its row's backend-native staging buffer the
+//! moment it arrives (at reset and after each step), so integer backends
+//! pay the f32 → word conversion exactly once per observation and never
+//! inside the forward sweep. Each tick gathers the active rows' staged
+//! buffers by reference into a single
+//! [`NetworkBase::forward_batch_rows_into_cfg`] sweep and steps every
+//! row's environment with its argmax action. Finished rows are immediately
 //! reassigned to the next pending episode (auto-reset) until no episodes
 //! remain, after which the batch drains raggedly.
 //!
@@ -74,12 +78,13 @@ pub struct EpisodeTape {
     pub reached_goal: bool,
 }
 
-/// One in-flight episode pinned to a batch row.
-struct RowState<O, H> {
+/// One in-flight episode pinned to a batch row. The row's current
+/// observation lives already-encoded in the rollout's staging pool, not
+/// here: ingest quantizes it once on arrival.
+struct RowState<H> {
     episode: usize,
     onset: usize,
     step: usize,
-    obs: O,
     hooks: H,
     tape: EpisodeTape,
 }
@@ -131,11 +136,11 @@ where
     let width = venv.width().min(episodes);
     let shape = venv.obs_shape();
 
-    // Per-group input pools and one shared scratch serve every tick:
-    // once warm, a tick performs no heap allocation beyond tape pushes.
-    let mut clean_pool: Vec<TensorBase<W>> =
-        (0..width).map(|_| W::input_buffer(&shape, network)).collect();
-    let mut faulty_pool: Vec<TensorBase<W>> =
+    // Quantize-on-ingest staging: each row owns one backend-native input
+    // buffer, written exactly once per observation the moment it arrives.
+    // One shared scratch serves every tick; once warm, a tick performs no
+    // heap allocation beyond tape pushes and the per-tick group vectors.
+    let mut staged: Vec<TensorBase<W>> =
         (0..width).map(|_| W::input_buffer(&shape, network)).collect();
     let mut scratch = Scratch::new();
     let mut actions = vec![0usize; width];
@@ -145,40 +150,49 @@ where
 
     // Episode assignment performs the serial evaluator's per-episode
     // sequence — onset draw, `make_hooks`, reset — so the shared RNG is
-    // consumed in exactly the serial order.
-    let assign =
-        |venv: &mut V, rng: &mut R, make_hooks: &mut F, next_episode: &mut usize, row: usize| {
-            let episode = *next_episode;
-            *next_episode += 1;
-            let onset = rng.gen_range(0..max_steps);
-            let hooks = make_hooks(episode);
-            let obs = venv.reset_row(row);
-            RowState { episode, onset, step: 0, obs, hooks, tape: EpisodeTape::default() }
-        };
+    // consumed in exactly the serial order; the reset observation is
+    // ingested (encoded) immediately. Encoding consumes no randomness, so
+    // moving it off the tick loop cannot reorder RNG draws.
+    let assign = |venv: &mut V,
+                  rng: &mut R,
+                  make_hooks: &mut F,
+                  next_episode: &mut usize,
+                  row: usize,
+                  buf: &mut TensorBase<W>| {
+        let episode = *next_episode;
+        *next_episode += 1;
+        let onset = rng.gen_range(0..max_steps);
+        let hooks = make_hooks(episode);
+        venv.reset_row(row).encode(buf);
+        RowState { episode, onset, step: 0, hooks, tape: EpisodeTape::default() }
+    };
 
-    let mut rows: Vec<Option<RowState<V::Obs, H>>> = Vec::with_capacity(width);
-    for row in 0..width {
-        rows.push(Some(assign(venv, rng, &mut make_hooks, &mut next_episode, row)));
+    let mut rows: Vec<Option<RowState<H>>> = Vec::with_capacity(width);
+    for (row, buf) in staged.iter_mut().enumerate() {
+        rows.push(Some(assign(venv, rng, &mut make_hooks, &mut next_episode, row, buf)));
     }
     let mut live = width;
 
     while live > 0 {
-        // Partition the tick into its clean and faulty row groups, encode
-        // each group's observations, and collect each group's hooks — one
-        // pass, in row order, so group-internal order matches row order.
+        // Partition the tick into its clean and faulty row groups, gather
+        // each group's staged input buffers by reference, and collect each
+        // group's hooks — one pass, in row order, so group-internal order
+        // matches row order. No observation is (re-)encoded here.
         let mut clean_rows: Vec<usize> = Vec::new();
         let mut faulty_rows: Vec<usize> = Vec::new();
+        let mut clean_inputs: Vec<&TensorBase<W>> = Vec::new();
+        let mut faulty_inputs: Vec<&TensorBase<W>> = Vec::new();
         let mut clean_hooks: Vec<&mut dyn HooksFor<W>> = Vec::new();
         let mut faulty_hooks: Vec<&mut dyn HooksFor<W>> = Vec::new();
-        for (row, slot) in rows.iter_mut().enumerate() {
+        for ((row, slot), buf) in rows.iter_mut().enumerate().zip(staged.iter()) {
             let Some(state) = slot.as_mut() else { continue };
             if fault.faulty_at(state.step, state.onset) {
-                state.obs.encode(&mut faulty_pool[faulty_rows.len()]);
                 faulty_rows.push(row);
+                faulty_inputs.push(buf);
                 faulty_hooks.push(&mut state.hooks);
             } else {
-                state.obs.encode(&mut clean_pool[clean_rows.len()]);
                 clean_rows.push(row);
+                clean_inputs.push(buf);
                 clean_hooks.push(&mut state.hooks);
             }
         }
@@ -187,37 +201,28 @@ where
         // scratch before the second sweep reuses it.
         if !clean_rows.is_empty() {
             let mut hooks = DynRowHooks::new(clean_hooks);
-            network.forward_batch_into_cfg(
-                &clean_pool[..clean_rows.len()],
-                &mut scratch,
-                &mut hooks,
-                config,
-            );
+            network.forward_batch_rows_into_cfg(&clean_inputs, &mut scratch, &mut hooks, config);
             for (k, &row) in clean_rows.iter().enumerate() {
                 actions[row] = argmax(scratch.row(k));
             }
         }
         if !faulty_rows.is_empty() {
             let mut hooks = DynRowHooks::new(faulty_hooks);
-            corrupted.forward_batch_into_cfg(
-                &faulty_pool[..faulty_rows.len()],
-                &mut scratch,
-                &mut hooks,
-                config,
-            );
+            corrupted.forward_batch_rows_into_cfg(&faulty_inputs, &mut scratch, &mut hooks, config);
             for (k, &row) in faulty_rows.iter().enumerate() {
                 actions[row] = argmax(scratch.row(k));
             }
         }
 
-        // Step every active row in row order; finished rows immediately
-        // pick up the next pending episode, or drain out.
-        for (row, slot) in rows.iter_mut().enumerate() {
+        // Step every active row in row order, ingesting each new
+        // observation into the row's staging buffer as it arrives; finished
+        // rows immediately pick up the next pending episode, or drain out.
+        for ((row, slot), buf) in rows.iter_mut().enumerate().zip(staged.iter_mut()) {
             let Some(state) = slot.as_mut() else { continue };
             let outcome = venv.step_row(row, actions[row]);
             state.tape.rewards.push(outcome.reward);
             state.tape.distances.push(outcome.distance);
-            state.obs = outcome.observation;
+            outcome.observation.encode(buf);
             state.step += 1;
             if outcome.terminal || state.step == max_steps {
                 if outcome.terminal {
@@ -226,7 +231,7 @@ where
                 let finished = slot.take().expect("active row");
                 tapes[finished.episode] = Some(finished.tape);
                 if next_episode < episodes {
-                    *slot = Some(assign(venv, rng, &mut make_hooks, &mut next_episode, row));
+                    *slot = Some(assign(venv, rng, &mut make_hooks, &mut next_episode, row, buf));
                 } else {
                     live -= 1;
                 }

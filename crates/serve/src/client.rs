@@ -11,7 +11,6 @@
 
 use std::time::{Duration, Instant};
 
-use navft_nn::TensorBase;
 use navft_rl::{DiscreteEnvironment, EvalElement, VisionEnvironment};
 
 use crate::{LatencyWindow, ServeError, Server, SessionId, Ticket};
@@ -55,10 +54,9 @@ where
     let mut states: Vec<usize> = envs.iter_mut().map(|env| env.reset()).collect();
     let mut alive = vec![true; n];
     let mut traces = vec![Vec::new(); n];
-    let mut encoded = match envs.first() {
-        Some(env) => W::input_buffer(&[env.num_states()], server.network()),
-        None => return LoadOutcome { traces, rows: 0, retries: 0, elapsed: Duration::ZERO },
-    };
+    if envs.is_empty() {
+        return LoadOutcome { traces, rows: 0, retries: 0, elapsed: Duration::ZERO };
+    }
 
     let mut rows = 0usize;
     let mut retries = 0usize;
@@ -69,9 +67,8 @@ where
             if !alive[i] {
                 continue;
             }
-            W::one_hot(states[i], &mut encoded);
             let (ticket, submitted) =
-                submit_with_backoff(server, sessions[i], encoded.clone(), &mut retries);
+                submit_one_hot_with_backoff(server, sessions[i], states[i], &mut retries);
             round.push((i, ticket, submitted));
         }
         if round.is_empty() {
@@ -93,8 +90,9 @@ where
 }
 
 /// [`drive_discrete_episodes`] for vision environments (the drone task):
-/// each step encodes the environment's `f32` observation into the backend's
-/// storage representation before submitting.
+/// each step hands the environment's `f32` observation to the server's
+/// quantize-on-ingest entry point, which encodes it into the backend's
+/// storage representation exactly once at enqueue — no per-step clone.
 ///
 /// # Panics
 ///
@@ -116,10 +114,9 @@ where
     let mut observations: Vec<navft_nn::Tensor> = envs.iter_mut().map(|env| env.reset()).collect();
     let mut alive = vec![true; n];
     let mut traces = vec![Vec::new(); n];
-    let mut encoded = match envs.first() {
-        Some(env) => W::input_buffer(&env.observation_shape(), server.network()),
-        None => return LoadOutcome { traces, rows: 0, retries: 0, elapsed: Duration::ZERO },
-    };
+    if envs.is_empty() {
+        return LoadOutcome { traces, rows: 0, retries: 0, elapsed: Duration::ZERO };
+    }
 
     let mut rows = 0usize;
     let mut retries = 0usize;
@@ -130,8 +127,8 @@ where
             if !alive[i] {
                 continue;
             }
-            let input = W::encode(&observations[i], &mut encoded).clone();
-            let (ticket, submitted) = submit_with_backoff(server, sessions[i], input, &mut retries);
+            let (ticket, submitted) =
+                submit_obs_with_backoff(server, sessions[i], &observations[i], &mut retries);
             round.push((i, ticket, submitted));
         }
         if round.is_empty() {
@@ -152,26 +149,46 @@ where
     LoadOutcome { traces, rows, retries, elapsed: started.elapsed() }
 }
 
-/// Submits, yielding and retrying while the queue pushes back. Returns the
-/// ticket and the instant of the *first* attempt, so recorded latencies
-/// include the backpressure wait the request actually experienced.
-fn submit_with_backoff<W: navft_nn::Element>(
+/// Submits a one-hot state, yielding and retrying while the queue pushes
+/// back. Returns the ticket and the instant of the *first* attempt, so
+/// recorded latencies include the backpressure wait the request actually
+/// experienced.
+fn submit_one_hot_with_backoff<W: EvalElement>(
     server: &Server<W>,
     session: SessionId,
-    input: TensorBase<W>,
+    state: usize,
     retries: &mut usize,
 ) -> (Ticket<W>, Instant) {
     let started = Instant::now();
-    let mut input = input;
     loop {
-        match server.submit(session, input) {
+        match server.submit_one_hot(session, state) {
             Ok(ticket) => return (ticket, started),
-            Err((ServeError::Busy, returned)) => {
+            Err(ServeError::Busy) => {
                 *retries += 1;
-                input = returned;
                 std::thread::yield_now();
             }
-            Err((error, _)) => panic!("load generator submit failed: {error}"),
+            Err(error) => panic!("load generator submit failed: {error}"),
+        }
+    }
+}
+
+/// [`submit_one_hot_with_backoff`] for `f32` observations, routed through
+/// the server's quantize-on-ingest entry point.
+fn submit_obs_with_backoff<W: EvalElement>(
+    server: &Server<W>,
+    session: SessionId,
+    observation: &navft_nn::Tensor,
+    retries: &mut usize,
+) -> (Ticket<W>, Instant) {
+    let started = Instant::now();
+    loop {
+        match server.submit_obs(session, observation) {
+            Ok(ticket) => return (ticket, started),
+            Err(ServeError::Busy) => {
+                *retries += 1;
+                std::thread::yield_now();
+            }
+            Err(error) => panic!("load generator submit failed: {error}"),
         }
     }
 }

@@ -21,6 +21,13 @@
 //!   rejects with [`ServeError::Busy`] and hands the input back for a retry
 //!   ([`Server::act`] retries internally). Dropping or shutting the server
 //!   down drains every queued request before the worker exits.
+//! * **Quantize-on-ingest** entry points ([`Server::submit_obs`],
+//!   [`Server::submit_one_hot`] and their blocking [`Server::act_obs`] /
+//!   [`Server::act_one_hot`] forms) encode `f32` observations into the
+//!   served backend's storage representation exactly once at enqueue, into
+//!   pooled buffers recycled from served requests — integer backends never
+//!   round-trip through `f32` on the hot path, and steady-state ingest
+//!   performs no allocation.
 //!
 //! [`client`] ships grid-world and drone episode drivers used as load
 //! generators, and [`LatencyWindow`] aggregates request latencies into the

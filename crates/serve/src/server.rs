@@ -10,6 +10,7 @@ use std::time::{Duration, Instant};
 
 use navft_nn::{argmax, DynRowHooks, Element, EngineConfig, HooksFor, NetworkBase, NoHooks};
 use navft_nn::{Scratch, TensorBase};
+use navft_rl::EvalElement;
 
 /// Configuration of a [`Server`]'s dynamic batcher and queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -172,6 +173,11 @@ struct Shared<W: Element> {
     config: ServeConfig,
     registry: Mutex<Vec<Option<SessionState<W>>>>,
     queue: Mutex<QueueState<W>>,
+    /// Recycled input buffers for the quantize-on-ingest entry points
+    /// ([`Server::submit_obs`] and friends): served requests return their
+    /// tensors here, so steady-state ingest allocates nothing. Bounded by
+    /// `queue_capacity` — the most inputs that can be in flight at once.
+    pool: Mutex<Vec<TensorBase<W>>>,
     wake: Condvar,
     rows: AtomicUsize,
     batches: AtomicUsize,
@@ -205,6 +211,7 @@ impl<W: Element> Server<W> {
                 oldest: None,
                 shutdown: false,
             }),
+            pool: Mutex::new(Vec::new()),
             wake: Condvar::new(),
             rows: AtomicUsize::new(0),
             batches: AtomicUsize::new(0),
@@ -377,6 +384,117 @@ impl<W: Element> Server<W> {
     }
 }
 
+impl<W: EvalElement> Server<W> {
+    /// Pops a recycled input buffer, or allocates one on a cold pool.
+    fn ingest_buffer(&self) -> TensorBase<W> {
+        let recycled = self.shared.pool.lock().expect("pool lock").pop();
+        recycled.unwrap_or_else(|| W::input_buffer(&self.shared.input_shape, &self.shared.network))
+    }
+
+    fn recycle(&self, input: TensorBase<W>) {
+        let mut pool = self.shared.pool.lock().expect("pool lock");
+        if pool.len() < self.shared.config.queue_capacity {
+            pool.push(input);
+        }
+    }
+
+    /// Enqueues an `f32` observation for `session`, quantizing it into the
+    /// backend's storage representation **once, here at ingest** — the
+    /// batcher sweep then reads the staged words directly. Buffers come
+    /// from (and return to) an internal pool, so the steady state neither
+    /// allocates nor re-encodes.
+    pub fn submit_obs(
+        &self,
+        session: SessionId,
+        observation: &navft_nn::Tensor,
+    ) -> Result<Ticket<W>, ServeError> {
+        if observation.shape() != self.shared.input_shape.as_slice() {
+            return Err(ServeError::BadShape);
+        }
+        let mut input = self.ingest_buffer();
+        W::encode_into(observation, &mut input);
+        match self.submit(session, input) {
+            Ok(ticket) => Ok(ticket),
+            Err((error, returned)) => {
+                self.recycle(returned);
+                Err(error)
+            }
+        }
+    }
+
+    /// Enqueues a one-hot observation of `state` for `session`, written
+    /// directly in the backend's storage representation — discrete clients
+    /// never build (or clone) an `f32` tensor at all.
+    pub fn submit_one_hot(
+        &self,
+        session: SessionId,
+        state: usize,
+    ) -> Result<Ticket<W>, ServeError> {
+        let mut input = self.ingest_buffer();
+        if state >= input.len() {
+            self.recycle(input);
+            return Err(ServeError::BadShape);
+        }
+        W::one_hot(state, &mut input);
+        match self.submit(session, input) {
+            Ok(ticket) => Ok(ticket),
+            Err((error, returned)) => {
+                self.recycle(returned);
+                Err(error)
+            }
+        }
+    }
+
+    /// [`Server::submit_obs`] + blocking wait, retrying (with a scheduler
+    /// yield) while the queue is full. The observation is quantized once up
+    /// front; Busy retries resubmit the already-encoded buffer.
+    pub fn act_obs(
+        &self,
+        session: SessionId,
+        observation: &navft_nn::Tensor,
+    ) -> Result<Decision<W>, ServeError> {
+        if observation.shape() != self.shared.input_shape.as_slice() {
+            return Err(ServeError::BadShape);
+        }
+        let mut input = self.ingest_buffer();
+        W::encode_into(observation, &mut input);
+        self.act_staged(session, input)
+    }
+
+    /// [`Server::submit_one_hot`] + blocking wait, retrying while the queue
+    /// is full.
+    pub fn act_one_hot(&self, session: SessionId, state: usize) -> Result<Decision<W>, ServeError> {
+        let mut input = self.ingest_buffer();
+        if state >= input.len() {
+            self.recycle(input);
+            return Err(ServeError::BadShape);
+        }
+        W::one_hot(state, &mut input);
+        self.act_staged(session, input)
+    }
+
+    fn act_staged(
+        &self,
+        session: SessionId,
+        input: TensorBase<W>,
+    ) -> Result<Decision<W>, ServeError> {
+        let mut input = input;
+        loop {
+            match self.submit(session, input) {
+                Ok(ticket) => return ticket.wait(),
+                Err((ServeError::Busy, returned)) => {
+                    input = returned;
+                    std::thread::yield_now();
+                }
+                Err((error, returned)) => {
+                    self.recycle(returned);
+                    return Err(error);
+                }
+            }
+        }
+    }
+}
+
 impl<W: Element> Drop for Server<W> {
     fn drop(&mut self) {
         self.stop();
@@ -470,6 +588,19 @@ fn process_batch<W: Element>(shared: &Shared<W>, scratch: &mut Scratch<W>, batch
         shared.rows.fetch_add(inputs.len(), Ordering::Relaxed);
         shared.batches.fetch_add(1, Ordering::Relaxed);
         shared.max_rows_per_batch.fetch_max(inputs.len(), Ordering::Relaxed);
+    }
+
+    // Recycle the served input tensors so the ingest entry points can reuse
+    // them instead of allocating. Bounded by the queue capacity — the most
+    // buffers that can ever be in flight concurrently.
+    {
+        let mut pool = shared.pool.lock().expect("pool lock");
+        for input in inputs {
+            if pool.len() >= shared.config.queue_capacity {
+                break;
+            }
+            pool.push(input);
+        }
     }
 
     // Return the hook boxes and release the per-session in-flight slots
@@ -614,6 +745,50 @@ mod tests {
         assert_eq!(server.session_count(), 2);
         assert_eq!(server.close_session(a), Ok(()));
         assert_eq!(server.close_session(a), Err(ServeError::UnknownSession));
+    }
+
+    #[test]
+    fn ingest_entry_points_match_explicit_submission_and_reject_bad_inputs() {
+        use navft_nn::{QNetwork, QTensor};
+        use navft_qformat::QFormat;
+
+        let qnet = QNetwork::quantize(&policy(), QFormat::Q4_11);
+        let expected_action = {
+            let staged = QTensor::quantize(&obs(0.3), QFormat::Q4_11);
+            argmax(qnet.forward(&staged).data())
+        };
+        let server = Server::start(qnet, &[4], ServeConfig::default());
+        let session = server.open_clean_session();
+
+        // Quantize-on-ingest serves the same decision as pre-quantized
+        // submission (same encode, relocated to enqueue).
+        let decision = server.act_obs(session, &obs(0.3)).expect("served decision");
+        assert_eq!(decision.action, expected_action);
+
+        // One-hot ingest writes backend-native words directly.
+        let one_hot = server.act_one_hot(session, 2).expect("one-hot decision");
+        let staged = {
+            let mut buf = navft_nn::QTensor::zeros(&[4], QFormat::Q4_11);
+            buf.words_mut()[2] = navft_qformat::QValue::quantize(1.0, QFormat::Q4_11).raw();
+            buf
+        };
+        assert_eq!(one_hot.action, argmax(server.network().forward(&staged).data()));
+
+        assert_eq!(
+            server.act_obs(session, &obs(0.0).reshape(&[2, 2])).expect_err("shape"),
+            ServeError::BadShape
+        );
+        assert_eq!(
+            server.act_one_hot(session, 4).expect_err("state out of range"),
+            ServeError::BadShape
+        );
+        assert_eq!(
+            server.submit_one_hot(SessionId(9), 0).expect_err("no session"),
+            ServeError::UnknownSession
+        );
+
+        // Served buffers were recycled into the ingest pool.
+        assert!(!server.shared.pool.lock().expect("pool lock").is_empty());
     }
 
     #[test]
