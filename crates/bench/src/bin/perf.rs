@@ -10,6 +10,7 @@
 //! perf --repeats 15          # more timing repeats (default 9, median kept)
 //! perf --threads 4           # engine worker threads (default 1 = serial)
 //! perf --sessions 4096       # concurrent serve sessions (default 1024)
+//! perf --scale-sessions 65536 # serve_scale session count (default 32768)
 //! ```
 //!
 //! For each model of the campaigns (the Grid World MLP and the scaled C3F2
@@ -40,13 +41,28 @@
 //! [`Element::finish_tile`] — the vectorized requantize that folds widened
 //! accumulators back into storable words.
 //!
+//! A fifth, `serve_scale` section stresses the **sharded** daemon at
+//! `--scale-sessions` concurrent sessions (default 32 768) for each worker
+//! count in {1, 2, 4, 8}, under two open-loop regimes driven by the bursty
+//! load generator: `saturated` (zero think time — every session re-arrives
+//! the instant its response lands, measuring aggregate capacity in rows/s)
+//! and `bursty` (Poisson-ish think times with ramp and spike phases,
+//! measuring the coordinated-omission-aware p50/p99/p99.9 tail). Single-core
+//! hosts serialize the shard batchers, so the worker sweep measures sharding
+//! overhead there rather than speedup; multi-core hosts see the scaling.
+//!
+//! A sixth, `training` section times the DQN learning loop itself: `learn`
+//! steps per second on the Grid World MLP at minibatch 32 and 128, once with
+//! the f32 bootstrap target and once with the quantized int8 target snapshot
+//! ([`DqnAgent::with_i8_target`]).
+//!
 //! The JSON is rendered with `navft_core::sweep::json` — the same
 //! deterministic writer the campaign artifacts use — so snapshots diff
 //! cleanly across revisions, and `perf_gate` can diff a fresh snapshot
 //! against the checked-in baseline.
 
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use navft_bench::parse_jobs;
 use navft_core::sweep::json::Json;
@@ -58,11 +74,14 @@ use navft_nn::{
 };
 use navft_qformat::QFormat;
 use navft_rl::{
-    rollout, DiscreteEnvironment, DummyVecEnv, EvalElement, InferenceFaultMode, RolloutObs,
+    rollout, DiscreteEnvironment, DqnAgent, DqnConfig, DummyVecEnv, EpsilonSchedule, EvalElement,
+    InferenceFaultMode, RolloutObs,
 };
-use navft_serve::{drive_discrete_episodes, LatencyWindow, ServeConfig, Server};
+use navft_serve::{
+    drive_bursty_load, drive_discrete_episodes, BurstyConfig, LatencyWindow, ServeConfig, Server,
+};
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{Rng, RngCore, SeedableRng};
 
 /// The batch size the throughput contract is pinned at (the campaign's
 /// episode batch and the README table's column).
@@ -71,13 +90,15 @@ const BATCH: usize = 64;
 /// Lockstep episode rounds each serve session plays in the latency section.
 const SERVE_STEPS: usize = 8;
 
-const USAGE: &str = "usage: perf [--out PATH] [--repeats N] [--threads N] [--sessions N]";
+const USAGE: &str =
+    "usage: perf [--out PATH] [--repeats N] [--threads N] [--sessions N] [--scale-sessions N]";
 
 fn main() -> ExitCode {
     let mut out: Option<String> = None;
     let mut repeats = 9usize;
     let mut threads = 1usize;
     let mut sessions = 1024usize;
+    let mut scale_sessions = 32_768usize;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -109,6 +130,13 @@ fn main() -> ExitCode {
                 };
                 sessions = n;
             }
+            "--scale-sessions" => {
+                let Some(n) = argv.next().as_deref().and_then(parse_jobs) else {
+                    eprintln!("--scale-sessions needs a positive integer");
+                    return ExitCode::FAILURE;
+                };
+                scale_sessions = n;
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -122,7 +150,7 @@ fn main() -> ExitCode {
 
     let rev = git_rev();
     let path = out.unwrap_or_else(|| format!("BENCH_{rev}.json"));
-    let snapshot = run_benchmarks(&rev, repeats, threads, sessions);
+    let snapshot = run_benchmarks(&rev, repeats, threads, sessions, scale_sessions);
     if let Err(error) = std::fs::write(&path, snapshot.render() + "\n") {
         eprintln!("[perf] failed to write {path}: {error}");
         return ExitCode::FAILURE;
@@ -239,6 +267,146 @@ where
         ("p99_us", Json::num(latency.p99())),
         ("rows_per_s", Json::num(rows_per_s)),
         ("max_rows_per_batch", Json::num(stats.max_rows_per_batch as f64)),
+    ])
+}
+
+/// Sharded worker counts the `serve_scale` section sweeps.
+const SCALE_WORKERS: [usize; 4] = [1, 2, 4, 8];
+
+/// Open-loop requests each session issues per `serve_scale` regime. Four is
+/// the minimum that exercises all three arrival phases (ramp, steady,
+/// spike) of the bursty generator.
+const SCALE_REQUESTS: usize = 4;
+
+/// One `serve_scale` measurement cell: session/worker/thread counts plus
+/// the arrival regime.
+struct ScaleCell<'a> {
+    model: &'a str,
+    backend: &'a str,
+    sessions: usize,
+    workers: usize,
+    threads: usize,
+    /// Zero selects the `saturated` regime; non-zero the `bursty` one.
+    mean_think: Duration,
+}
+
+/// Drives the sharded daemon with one [`ScaleCell`]'s worth of concurrent
+/// open-loop sessions and returns the JSON row.
+///
+/// `mean_think == 0` is the `saturated` regime: every session's next
+/// arrival is due the instant its response lands, so the run measures
+/// aggregate serving capacity (rows/s) and the percentiles record queueing
+/// delay under permanent overload. A non-zero think time is the `bursty`
+/// regime: arrivals follow the seeded per-session exponential schedule with
+/// ramp and spike phases, and the latency window records the
+/// coordinated-omission-aware tail (p50/p99/p99.9 measured from each
+/// request's *scheduled* arrival).
+fn bench_serve_scale<W>(cell: &ScaleCell, network: &NetworkBase<W>, states: usize) -> Json
+where
+    W: EvalElement,
+    NoHooks: HooksFor<W>,
+{
+    let &ScaleCell { model, backend, sessions, workers, threads, mean_think } = cell;
+    let load = if mean_think.is_zero() { "saturated" } else { "bursty" };
+    let config = ServeConfig::default()
+        .with_workers(workers)
+        .with_max_batch(BATCH)
+        .with_queue_capacity(sessions.max(BATCH))
+        .with_engine(EngineConfig::default().with_threads(threads));
+    let server = Server::start(network.clone(), &[states], config);
+    let ids: Vec<_> = (0..sessions).map(|_| server.open_clean_session()).collect();
+    let bursty = BurstyConfig {
+        requests_per_session: SCALE_REQUESTS,
+        mean_think,
+        spike_factor: 8.0,
+        seed: 0x5CA1E,
+    };
+    let mut latency = LatencyWindow::new();
+    let outcome = drive_bursty_load(&server, &ids, states, &bursty, &mut latency);
+    server.shutdown();
+    let secs = outcome.elapsed.as_secs_f64();
+    let rows_per_s = if secs > 0.0 { outcome.rows as f64 / secs } else { f64::NAN };
+    eprintln!(
+        "[perf] serve_scale {model}/{backend} {load}: {sessions} sessions x {workers} worker(s), \
+         p50 {:.0}us, p99 {:.0}us, p99.9 {:.0}us, {rows_per_s:.0} rows/s, {} retries",
+        latency.p50(),
+        latency.p99(),
+        latency.p999(),
+        outcome.retries
+    );
+    Json::obj([
+        ("model", Json::Str(model.to_string())),
+        ("backend", Json::Str(backend.to_string())),
+        ("load", Json::Str(load.to_string())),
+        ("sessions", Json::num(sessions as f64)),
+        ("workers", Json::num(workers as f64)),
+        ("threads", Json::num(threads as f64)),
+        ("requests", Json::num(latency.len() as f64)),
+        ("retries", Json::num(outcome.retries as f64)),
+        ("p50_us", Json::num(latency.p50())),
+        ("p99_us", Json::num(latency.p99())),
+        ("p999_us", Json::num(latency.p999())),
+        ("rows_per_s", Json::num(rows_per_s)),
+    ])
+}
+
+/// Minibatch sizes the `training` section times `DqnAgent::learn` at.
+const TRAIN_MINIBATCHES: [usize; 2] = [32, 128];
+
+/// `learn` calls per timed sample — enough to stretch one measurement past
+/// scheduler noise at the small minibatch.
+const TRAIN_STEPS_PER_PASS: usize = 32;
+
+/// Times the DQN learning loop on the Grid World MLP: `learn` steps per
+/// second at one minibatch size, with the bootstrap target either on the
+/// f32 target network (`backend == "f32"`) or on the quantized int8
+/// snapshot (`backend == "i8"`, via [`DqnAgent::with_i8_target`]).
+fn bench_training(
+    model: &str,
+    backend: &str,
+    i8_target: bool,
+    minibatch: usize,
+    repeats: usize,
+    threads: usize,
+) -> Json {
+    let states = 100usize;
+    let network = mlp(&[states, 32, 4], &mut SmallRng::seed_from_u64(0xD92));
+    let config = DqnConfig { batch_size: minibatch, ..DqnConfig::default() };
+    let mut agent =
+        DqnAgent::new(network, &[states], EpsilonSchedule::new(1.0, 0.05, 0.99), config)
+            .with_engine_config(EngineConfig::default().with_threads(threads));
+    if i8_target {
+        agent = agent.with_i8_target();
+    }
+
+    // Fill the replay buffer with random transitions so every timed `learn`
+    // call samples a full minibatch.
+    let mut fill_rng = SmallRng::seed_from_u64(0xF111);
+    for _ in 0..minibatch.max(512) {
+        let state = Tensor::uniform(&[states], 1.0, &mut fill_rng);
+        let next = Tensor::uniform(&[states], 1.0, &mut fill_rng);
+        let action = (fill_rng.next_u64() % 4) as usize;
+        let reward = fill_rng.gen_range(-1.0..1.0);
+        let terminal = fill_rng.gen_bool(0.1);
+        agent.observe(&state, action, reward, &next, terminal);
+    }
+
+    let mut learn_rng = SmallRng::seed_from_u64(0x1EA2);
+    let secs = median_secs(repeats, || {
+        for _ in 0..TRAIN_STEPS_PER_PASS {
+            agent.learn(&mut learn_rng);
+        }
+    });
+    let steps_per_s = TRAIN_STEPS_PER_PASS as f64 / secs;
+    eprintln!(
+        "[perf] training {model}/{backend} minibatch {minibatch}: {steps_per_s:.0} learn steps/s"
+    );
+    Json::obj([
+        ("model", Json::Str(model.to_string())),
+        ("backend", Json::Str(backend.to_string())),
+        ("minibatch", Json::num(minibatch as f64)),
+        ("threads", Json::num(threads as f64)),
+        ("learn_steps_per_s", Json::num(steps_per_s)),
     ])
 }
 
@@ -363,7 +531,13 @@ fn bench_sweep_trials(figure: &str, repeats: usize, threads: usize) -> Json {
     ])
 }
 
-fn run_benchmarks(rev: &str, repeats: usize, threads: usize, sessions: usize) -> Json {
+fn run_benchmarks(
+    rev: &str,
+    repeats: usize,
+    threads: usize,
+    sessions: usize,
+    scale_sessions: usize,
+) -> Json {
     let mut rng = SmallRng::seed_from_u64(0);
     let models: Vec<(&str, Network, Vec<usize>)> = vec![
         ("grid-mlp", mlp(&[100, 32, 4], &mut rng), vec![100]),
@@ -417,6 +591,33 @@ fn run_benchmarks(rev: &str, repeats: usize, threads: usize, sessions: usize) ->
         bench_serve("grid-mlp", &format!("{format}"), qpolicy.clone(), &world, sessions, threads),
     ];
 
+    // Serve-scale section: the sharded daemon at `--scale-sessions`
+    // concurrent open-loop sessions, per worker count, in the saturated
+    // (capacity) and bursty (tail latency) regimes.
+    let states = world.num_states();
+    let mut serve_scale = Vec::new();
+    for &workers in &SCALE_WORKERS {
+        for mean_think in [Duration::ZERO, Duration::from_millis(100)] {
+            let cell = ScaleCell {
+                model: "grid-mlp",
+                backend: "f32",
+                sessions: scale_sessions,
+                workers,
+                threads,
+                mean_think,
+            };
+            serve_scale.push(bench_serve_scale(&cell, &policy, states));
+        }
+    }
+
+    // Training section: DQN `learn` steps/s on the Grid World MLP, f32 and
+    // int8 bootstrap targets at both minibatch sizes.
+    let mut training = Vec::new();
+    for &minibatch in &TRAIN_MINIBATCHES {
+        training.push(bench_training("grid-mlp", "f32", false, minibatch, repeats, threads));
+        training.push(bench_training("grid-mlp", "i8", true, minibatch, repeats, threads));
+    }
+
     // Campaign section: vectorized environment rollouts (steps/s per backend
     // and batch width) plus one smoke figure sweep end to end (trials/s).
     let mut campaign = Vec::new();
@@ -438,7 +639,6 @@ fn run_benchmarks(rev: &str, repeats: usize, threads: usize, sessions: usize) ->
     // Requantize epilogue micro-section: accumulator magnitudes spread over
     // the full widened range (random shift of a full-width draw), fixed per
     // backend so the scalar and dispatched passes fold identical blocks.
-    use rand::RngCore;
     let mut acc_rng = SmallRng::seed_from_u64(0xACC5);
     let q_accs: Vec<i64> = (0..REQUANT_ELEMS)
         .map(|_| (acc_rng.next_u64() as i64) >> (acc_rng.next_u64() % 64))
@@ -450,15 +650,25 @@ fn run_benchmarks(rev: &str, repeats: usize, threads: usize, sessions: usize) ->
         bench_requantize::<i8>("i8", navft_nn::I8Affine { scale: 1.0 / 127.0 }, &i8_accs, repeats),
     ];
 
+    // Snapshot creation time: how `perf_gate --history` orders checked-in
+    // snapshots from oldest to newest without trusting filenames.
+    let unix_time = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|since| since.as_secs() as f64)
+        .unwrap_or(0.0);
+
     Json::obj([
         ("rev", Json::Str(rev.to_string())),
         ("bench", Json::Str("gemm_forward".to_string())),
+        ("unix_time", Json::num(unix_time)),
         ("batch", Json::num(BATCH as f64)),
         ("repeats", Json::num(repeats as f64)),
         ("kernel", Json::Str(simd_kernel_name().to_string())),
         ("engine_threads", Json::num(threads as f64)),
         ("results", Json::Arr(results)),
         ("serve", Json::Arr(serve)),
+        ("serve_scale", Json::Arr(serve_scale)),
+        ("training", Json::Arr(training)),
         ("campaign", Json::Arr(campaign)),
         ("requantize", Json::Arr(requantize)),
     ])

@@ -59,118 +59,126 @@ pub fn parse_jobs(text: &str) -> Option<usize> {
     text.parse::<usize>().ok().filter(|&n| n > 0)
 }
 
+/// One gated snapshot comparison: which section array to diff, the fields
+/// that form a row's identity, and the throughput metric the gate floors.
+///
+/// The same table drives both the regression gate ([`perf_regressions`])
+/// and the trend report ([`trend_report`]), so adding a section here gives
+/// it a floor *and* a trajectory line at once.
+pub struct GateSpec {
+    /// Top-level snapshot key holding an array of JSON object rows.
+    pub section: &'static str,
+    /// Fields whose values (joined with `/`) identify a row across
+    /// snapshots.
+    pub key_fields: &'static [&'static str],
+    /// The metric compared against the baseline floor.
+    pub metric: &'static str,
+}
+
+/// Every gated section/metric pair of a `BENCH_<rev>.json` snapshot.
+///
+/// * `results` — the batched GEMM forward path, per `(model, backend)`;
+/// * `serve` — the dynamic batcher's served-row throughput, per
+///   `(model, backend, sessions)`;
+/// * `serve_scale` — the sharded daemon under ≥32k open-loop sessions, per
+///   `(model, backend, load, sessions, workers)`;
+/// * `training` — DQN `learn` steps/s, per `(model, backend, minibatch)`;
+/// * `campaign` — gated twice: rollout rows per `(model, backend, batch)`
+///   on `steps_per_s` and figure rows per `figure` on `trials_per_s`. Rows
+///   that never recorded a given metric are skipped, so the two passes each
+///   gate only their own row kind;
+/// * `requantize` — the GEMM requantize epilogue micro-benchmark, per
+///   `backend`.
+pub const GATED: &[GateSpec] = &[
+    GateSpec {
+        section: "results",
+        key_fields: &["model", "backend"],
+        metric: "dispatched_rows_per_s",
+    },
+    GateSpec {
+        section: "serve",
+        key_fields: &["model", "backend", "sessions"],
+        metric: "rows_per_s",
+    },
+    GateSpec {
+        section: "serve_scale",
+        key_fields: &["model", "backend", "load", "sessions", "workers"],
+        metric: "rows_per_s",
+    },
+    GateSpec {
+        section: "training",
+        key_fields: &["model", "backend", "minibatch"],
+        metric: "learn_steps_per_s",
+    },
+    GateSpec {
+        section: "campaign",
+        key_fields: &["model", "backend", "batch"],
+        metric: "steps_per_s",
+    },
+    GateSpec { section: "campaign", key_fields: &["figure"], metric: "trials_per_s" },
+    GateSpec { section: "requantize", key_fields: &["backend"], metric: "dispatched_elems_per_s" },
+];
+
 /// Compares a fresh `BENCH_<rev>.json` snapshot against a checked-in
 /// baseline and returns one message per regression (empty = gate passes).
 ///
-/// Three sections are diffed, each on its throughput metric:
-///
-/// * `results` rows, keyed by `(model, backend)`, on
-///   `dispatched_rows_per_s` — the batched GEMM forward path;
-/// * `serve` rows, keyed by `(model, backend, sessions)`, on `rows_per_s`
-///   — the dynamic batcher's served-row throughput;
-/// * `campaign` rows, gated twice: rollout rows keyed by
-///   `(model, backend, batch)` on `steps_per_s` (the vectorized environment
-///   rollout layer) and figure rows keyed by `figure` on `trials_per_s`
-///   (one smoke sweep end to end). Rows that never recorded a given metric
-///   are skipped, so the two passes each gate only their own row kind;
-/// * `requantize` rows, keyed by `backend`, on `dispatched_elems_per_s` —
-///   the batched GEMM requantize epilogue micro-benchmark.
-///
-/// A baseline row that is absent from the fresh snapshot is a failure (a
-/// silently dropped benchmark would otherwise pass the gate forever), as is
-/// a non-finite fresh throughput (JSON `null` parses back as NaN, and every
-/// NaN comparison would otherwise read as "no regression"). Rows that exist
+/// Every [`GATED`] section is diffed on its metric. A baseline row that is
+/// absent from the fresh snapshot is a failure (a silently dropped
+/// benchmark would otherwise pass the gate forever), as is a non-finite
+/// fresh throughput (JSON `null` parses back as NaN, and every NaN
+/// comparison would otherwise read as "no regression"). Rows that exist
 /// only in the fresh snapshot are new coverage, not failures. `tolerance`
 /// is the allowed fractional drop: `0.10` fails anything more than 10 %
 /// below baseline.
 pub fn perf_regressions(baseline: &Json, fresh: &Json, tolerance: f64) -> Vec<String> {
     let mut failures = Vec::new();
-    gate_section(
-        baseline,
-        fresh,
-        "results",
-        &["model", "backend"],
-        "dispatched_rows_per_s",
-        tolerance,
-        &mut failures,
-    );
-    gate_section(
-        baseline,
-        fresh,
-        "serve",
-        &["model", "backend", "sessions"],
-        "rows_per_s",
-        tolerance,
-        &mut failures,
-    );
-    gate_section(
-        baseline,
-        fresh,
-        "campaign",
-        &["model", "backend", "batch"],
-        "steps_per_s",
-        tolerance,
-        &mut failures,
-    );
-    gate_section(
-        baseline,
-        fresh,
-        "campaign",
-        &["figure"],
-        "trials_per_s",
-        tolerance,
-        &mut failures,
-    );
-    gate_section(
-        baseline,
-        fresh,
-        "requantize",
-        &["backend"],
-        "dispatched_elems_per_s",
-        tolerance,
-        &mut failures,
-    );
+    for spec in GATED {
+        gate_section(baseline, fresh, spec, tolerance, &mut failures);
+    }
     failures
 }
 
-/// Diffs one snapshot section (an array of JSON object rows) on `metric`.
+/// Rows of one snapshot section (missing or non-array sections are empty).
+fn section_rows(snapshot: &Json, section: &str) -> Vec<Json> {
+    match snapshot.get(section) {
+        Some(Json::Arr(rows)) => rows.clone(),
+        _ => Vec::new(),
+    }
+}
+
+/// A row's identity under `spec`: its key-field values joined with `/`.
+fn row_key(row: &Json, spec: &GateSpec) -> String {
+    spec.key_fields
+        .iter()
+        .map(|field| match row.get(field) {
+            Some(Json::Str(s)) => s.clone(),
+            Some(Json::Num(n)) => format!("{n}"),
+            _ => "?".to_string(),
+        })
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Diffs one snapshot section (an array of JSON object rows) on `spec`'s
+/// metric.
 fn gate_section(
     baseline: &Json,
     fresh: &Json,
-    section: &str,
-    key_fields: &[&str],
-    metric: &str,
+    spec: &GateSpec,
     tolerance: f64,
     failures: &mut Vec<String>,
 ) {
-    let rows = |snapshot: &Json| -> Vec<Json> {
-        match snapshot.get(section) {
-            Some(Json::Arr(rows)) => rows.clone(),
-            _ => Vec::new(),
-        }
-    };
-    let row_key = |row: &Json| -> String {
-        key_fields
-            .iter()
-            .map(|field| match row.get(field) {
-                Some(Json::Str(s)) => s.clone(),
-                Some(Json::Num(n)) => format!("{n}"),
-                _ => "?".to_string(),
-            })
-            .collect::<Vec<_>>()
-            .join("/")
-    };
-
-    let fresh_rows = rows(fresh);
-    for base_row in rows(baseline) {
-        let key = row_key(&base_row);
+    let GateSpec { section, metric, .. } = *spec;
+    let fresh_rows = section_rows(fresh, section);
+    for base_row in section_rows(baseline, section) {
+        let key = row_key(&base_row, spec);
         let Some(base_metric) = base_row.get(metric).and_then(Json::as_f64) else {
             continue; // baseline row never recorded this metric: nothing to gate
         };
         if !base_metric.is_finite() {
             continue;
         }
-        let Some(fresh_row) = fresh_rows.iter().find(|row| row_key(row) == key) else {
+        let Some(fresh_row) = fresh_rows.iter().find(|row| row_key(row, spec) == key) else {
             failures.push(format!("{section} {key}: row missing from the fresh snapshot"));
             continue;
         };
@@ -187,6 +195,73 @@ fn gate_section(
             ));
         }
     }
+}
+
+/// Orders `(label, snapshot)` pairs oldest → newest by each snapshot's
+/// `unix_time` field. Snapshots predating the field (no `unix_time`) sort
+/// before every stamped one, keeping their given relative order — so a
+/// shell-glob's alphabetical order breaks ties among legacy files, and the
+/// newest stamped snapshot always lands last (the baseline position).
+pub fn order_snapshots(mut snapshots: Vec<(String, Json)>) -> Vec<(String, Json)> {
+    snapshots.sort_by(|(_, a), (_, b)| {
+        let stamp = |snapshot: &Json| {
+            snapshot
+                .get("unix_time")
+                .and_then(Json::as_f64)
+                .filter(|time| time.is_finite())
+                .unwrap_or(f64::NEG_INFINITY)
+        };
+        stamp(a).total_cmp(&stamp(b))
+    });
+    snapshots
+}
+
+/// Renders the per-key throughput trajectory across `snapshots` (ordered
+/// oldest → newest, e.g. by [`order_snapshots`]): one line per [`GATED`]
+/// row key, with the metric's value in each snapshot left to right. Keys
+/// appear in the order they first show up; snapshots missing a key render
+/// `-` in its column, non-finite values render `nan`. Sections no snapshot
+/// recorded are omitted.
+pub fn trend_report(snapshots: &[(String, Json)]) -> String {
+    let mut out = String::new();
+    let labels: Vec<&str> = snapshots.iter().map(|(label, _)| label.as_str()).collect();
+    out.push_str(&format!("trend across {} snapshot(s): {}\n", labels.len(), labels.join(" -> ")));
+    for spec in GATED {
+        let mut keys: Vec<String> = Vec::new();
+        for (_, snapshot) in snapshots {
+            for row in section_rows(snapshot, spec.section) {
+                if row.get(spec.metric).is_none() {
+                    continue; // not this pass's row kind (e.g. figure rows)
+                }
+                let key = row_key(&row, spec);
+                if !keys.contains(&key) {
+                    keys.push(key);
+                }
+            }
+        }
+        if keys.is_empty() {
+            continue;
+        }
+        out.push_str(&format!("{} {}\n", spec.section, spec.metric));
+        for key in keys {
+            let values: Vec<String> = snapshots
+                .iter()
+                .map(|(_, snapshot)| {
+                    let value = section_rows(snapshot, spec.section)
+                        .iter()
+                        .find(|row| row_key(row, spec) == key)
+                        .and_then(|row| row.get(spec.metric).and_then(Json::as_f64));
+                    match value {
+                        Some(metric) if metric.is_finite() => format!("{metric:.0}"),
+                        Some(_) => "nan".to_string(),
+                        None => "-".to_string(),
+                    }
+                })
+                .collect();
+            out.push_str(&format!("  {key}: {}\n", values.join(" -> ")));
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -336,6 +411,69 @@ mod tests {
         // Baselines predating the section gate nothing new.
         let old = snapshot(r#"{"results":[]}"#);
         assert!(perf_regressions(&old, &base, 0.10).is_empty());
+    }
+
+    #[test]
+    fn serve_scale_and_training_rows_are_gated() {
+        let base = snapshot(
+            r#"{"serve_scale":[{"model":"m","backend":"f32","load":"saturated","sessions":32768,
+                                "workers":4,"rows_per_s":1000.0}],
+                "training":[{"model":"m","backend":"i8","minibatch":128,"learn_steps_per_s":800.0}]}"#,
+        );
+        assert_eq!(perf_regressions(&base, &base, 0.10), Vec::<String>::new());
+
+        let slow = snapshot(
+            r#"{"serve_scale":[{"model":"m","backend":"f32","load":"saturated","sessions":32768,
+                                "workers":4,"rows_per_s":500.0}],
+                "training":[{"model":"m","backend":"i8","minibatch":128,"learn_steps_per_s":300.0}]}"#,
+        );
+        let failures = perf_regressions(&base, &slow, 0.10);
+        assert_eq!(failures.len(), 2, "{failures:?}");
+        assert!(failures[0].contains("serve_scale m/f32/saturated/32768/4"), "{failures:?}");
+        assert!(failures[1].contains("training m/i8/128"), "{failures:?}");
+        assert!(failures[1].contains("learn_steps_per_s"), "{failures:?}");
+
+        // A worker count dropped from the sweep is a missing row, not a pass.
+        let dropped = snapshot(r#"{"serve_scale":[],"training":[]}"#);
+        let failures = perf_regressions(&base, &dropped, 0.10);
+        assert_eq!(failures.len(), 2, "{failures:?}");
+        assert!(failures.iter().all(|f| f.contains("missing")), "{failures:?}");
+
+        // Baselines predating both sections gate nothing new.
+        let old = snapshot(r#"{"results":[]}"#);
+        assert!(perf_regressions(&old, &base, 0.10).is_empty());
+    }
+
+    #[test]
+    fn snapshots_order_by_unix_time_with_legacy_files_first() {
+        let legacy = snapshot(r#"{"rev":"aaa"}"#);
+        let older = snapshot(r#"{"rev":"bbb","unix_time":100.0}"#);
+        let newer = snapshot(r#"{"rev":"ccc","unix_time":200.0}"#);
+        let ordered = order_snapshots(vec![
+            ("ccc".to_string(), newer),
+            ("aaa".to_string(), legacy),
+            ("bbb".to_string(), older),
+        ]);
+        let labels: Vec<&str> = ordered.iter().map(|(label, _)| label.as_str()).collect();
+        assert_eq!(labels, ["aaa", "bbb", "ccc"], "legacy first, then by stamp");
+    }
+
+    #[test]
+    fn trend_report_tracks_each_key_across_snapshots() {
+        let old = snapshot(
+            r#"{"results":[{"model":"m","backend":"f32","dispatched_rows_per_s":1000.0}]}"#,
+        );
+        let new = snapshot(
+            r#"{"results":[{"model":"m","backend":"f32","dispatched_rows_per_s":1200.0}],
+                "training":[{"model":"m","backend":"f32","minibatch":32,"learn_steps_per_s":900.0}]}"#,
+        );
+        let report = trend_report(&[("a1".to_string(), old), ("b2".to_string(), new)]);
+        assert!(report.contains("2 snapshot(s): a1 -> b2"), "{report}");
+        assert!(report.contains("m/f32: 1000 -> 1200"), "{report}");
+        // A key absent from the older snapshot renders `-` there.
+        assert!(report.contains("m/f32/32: - -> 900"), "{report}");
+        // Sections no snapshot recorded leave no header behind.
+        assert!(!report.contains("requantize"), "{report}");
     }
 
     #[test]

@@ -22,14 +22,9 @@
 //! output in the naive kernel's reduction order); the blocked path is simply
 //! faster. Equivalence proptests pin the contract.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
 use crate::element::Element;
 use crate::layer::LayerBase;
 use crate::{gemm, LayerKind, Scratch};
-
-/// The engine's worker-thread count (process-wide, default 1 = serial).
-static ENGINE_THREADS: AtomicUsize = AtomicUsize::new(1);
 
 /// Below this many MACs per layer sweep a parallel split costs more in
 /// thread spawns than it saves; the engine stays serial.
@@ -47,10 +42,9 @@ const PARALLEL_MIN_MACS: usize = 16_384;
 /// changes results: sharding and SIMD dispatch are bit-identical to the
 /// serial scalar path on every backend.
 ///
-/// The historical process-wide setters ([`set_engine_threads`],
-/// [`crate::set_force_scalar_kernels`]) remain as a compat shim: the
-/// non-`_cfg` entry points snapshot them per pass via
-/// [`EngineConfig::from_globals`].
+/// The non-`_cfg` entry points simply run under [`EngineConfig::default`];
+/// there is no process-wide engine state for concurrent callers to trip
+/// over.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineConfig {
     /// Worker threads for large batched conv/linear sweeps (min 1 = serial).
@@ -67,13 +61,6 @@ impl Default for EngineConfig {
 }
 
 impl EngineConfig {
-    /// Snapshots the process-wide compat knobs ([`set_engine_threads`],
-    /// [`crate::set_force_scalar_kernels`]) into an explicit config — what
-    /// the non-`_cfg` forward entry points run with.
-    pub fn from_globals() -> EngineConfig {
-        EngineConfig { threads: engine_threads(), force_scalar: !crate::simd::simd_enabled() }
-    }
-
     /// Returns the config with the worker-thread count set (clamped to at
     /// least 1).
     pub fn with_threads(mut self, threads: usize) -> EngineConfig {
@@ -86,36 +73,6 @@ impl EngineConfig {
         self.force_scalar = force;
         self
     }
-}
-
-/// Sets the worker-thread count of the batched engine, process-wide.
-///
-/// When set above 1, the batched forward engine shards large batched
-/// convolution and linear sweeps across that many scoped worker threads by
-/// contiguous batch-row ranges. Sharding never changes results: each
-/// output's accumulation chain is untouched, every thread writes a disjoint
-/// row range of the back slab, and hooks still run on the calling thread in
-/// per-row program order — so evaluators and campaign cells benefit without
-/// any caller change. Values are clamped to at least 1; small sweeps stay
-/// serial regardless.
-///
-/// This is a process-wide compat shim read once per pass by the non-`_cfg`
-/// entry points; code that shares a process with other engine users (tests,
-/// serving daemons) should pass an explicit [`EngineConfig`] to the `*_cfg`
-/// entry points instead.
-#[deprecated(
-    since = "0.1.0",
-    note = "process-wide engine state leaks across callers; pass an explicit \
-            `EngineConfig::default().with_threads(n)` to a `*_cfg` forward entry point"
-)]
-pub fn set_engine_threads(threads: usize) {
-    ENGINE_THREADS.store(threads.max(1), Ordering::Relaxed);
-}
-
-/// The configured worker-thread count of the batched engine (see
-/// [`set_engine_threads`]).
-pub fn engine_threads() -> usize {
-    ENGINE_THREADS.load(Ordering::Relaxed)
 }
 
 /// How many threads a sweep of `rows` batch rows à `macs_per_row` MACs

@@ -115,10 +115,9 @@
 //!   count.
 //!
 //! Both knobs live in an explicit, caller-owned [`EngineConfig`] threaded
-//! through the `*_cfg` forward entry points; the historical process-wide
-//! setters (`set_engine_threads`, `set_force_scalar_kernels`) are
-//! deprecated compat shims snapshot once per pass by the non-`_cfg` entry
-//! points.
+//! through the `*_cfg` forward entry points; the non-`_cfg` entry points
+//! run under [`EngineConfig::default`] (serial, SIMD-dispatched). There is
+//! no process-wide engine state.
 //!
 //! Hooks map onto batches per row: [`ForwardHooks::on_batch_input`] and
 //! [`ForwardHooks::on_batch_activation`] receive `(batch_row, layer,
@@ -162,11 +161,7 @@ mod scratch;
 mod tensor;
 
 pub use element::{Element, I8Affine};
-pub use engine::{engine_threads, EngineConfig};
-// The deprecated process-wide compat shims stay exported until every
-// external caller has moved onto explicit `EngineConfig`s.
-#[allow(deprecated)]
-pub use engine::set_engine_threads;
+pub use engine::EngineConfig;
 pub use i8network::{I8Conv2d, I8ForwardHooks, I8Layer, I8Linear, I8Network, I8Scratch};
 pub use i8tensor::I8Tensor;
 pub use layer::{Conv2d, Linear};
@@ -181,7 +176,5 @@ pub use qnetwork::{
 };
 pub use qtensor::QTensor;
 pub use scratch::Scratch;
-#[allow(deprecated)]
-pub use simd::set_force_scalar_kernels;
 pub use simd::simd_kernel_name;
 pub use tensor::{argmax, Tensor, TensorBase};

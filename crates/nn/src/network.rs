@@ -579,14 +579,13 @@ impl<E: Element> NetworkBase<E> {
         scratch: &mut Scratch<E>,
         hooks: &mut H,
     ) {
-        self.run_batch(inputs, scratch, hooks, KernelPath::Blocked, EngineConfig::from_globals());
+        self.run_batch(inputs, scratch, hooks, KernelPath::Blocked, EngineConfig::default());
     }
 
     /// [`NetworkBase::forward_batch_into`] with an explicit, caller-owned
-    /// [`EngineConfig`] instead of the process-wide knobs — what concurrent
-    /// engine users (serving daemons, parallel tests) should call so they
-    /// cannot observe each other's settings. Results are bit-identical under
-    /// any config.
+    /// [`EngineConfig`] — what engine users that want in-engine batch
+    /// sharding or a scalar-kernel pin should call. Results are
+    /// bit-identical under any config.
     ///
     /// # Panics
     ///
@@ -617,7 +616,7 @@ impl<E: Element> NetworkBase<E> {
         scratch: &mut Scratch<E>,
         hooks: &mut H,
     ) {
-        self.run_batch(inputs, scratch, hooks, KernelPath::Naive, EngineConfig::from_globals());
+        self.run_batch(inputs, scratch, hooks, KernelPath::Naive, EngineConfig::default());
     }
 
     /// [`NetworkBase::forward_batch_naive_into`] with an explicit

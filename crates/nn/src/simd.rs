@@ -3,9 +3,10 @@
 //!
 //! The GEMM module's `gemm_bias` first offers every sweep to the backend's
 //! [`Element::gemm_simd`](crate::Element::gemm_simd) hook, which lands here;
-//! when no kernel fits the running CPU — or scalar execution is forced via
-//! [`set_force_scalar_kernels`] — the portable scalar register tiles run
-//! instead. Every kernel honours the crate's bit-exactness contract:
+//! when no kernel fits the running CPU — or the caller pins scalar
+//! execution via [`EngineConfig::with_force_scalar`] — the portable scalar
+//! register tiles run instead. Every kernel honours the crate's
+//! bit-exactness contract:
 //!
 //! * **`f32`** vectorizes across *output columns*: each vector lane owns one
 //!   output's full `K` chain, fed in ascending `k` order through explicit
@@ -45,44 +46,19 @@
 
 #![allow(unsafe_code)]
 
-use std::sync::atomic::{AtomicBool, Ordering};
-
 #[allow(unused_imports)]
 use crate::element::I8Affine;
 #[allow(unused_imports)]
+use crate::engine::EngineConfig;
+#[allow(unused_imports)]
 use navft_qformat::QFormat;
 
-static FORCE_SCALAR: AtomicBool = AtomicBool::new(false);
-
-/// Forces every GEMM sweep onto the portable scalar register tiles,
-/// process-wide, bypassing the SIMD microkernels. The equivalence tests and
-/// the perf baseline use this to pin `scalar == SIMD` and to measure the
-/// dispatch win.
-///
-/// Safe to toggle at any time: scalar and SIMD paths are bit-identical, so
-/// a pass that races the toggle cannot observe a numeric difference.
-#[deprecated(
-    since = "0.1.0",
-    note = "process-wide kernel state leaks across callers; pass an explicit \
-            `EngineConfig::default().with_force_scalar(true)` to a `*_cfg` forward entry point"
-)]
-pub fn set_force_scalar_kernels(force: bool) {
-    FORCE_SCALAR.store(force, Ordering::Relaxed);
-}
-
 /// The kernel tier runtime dispatch selects on this CPU right now:
-/// `"avx2"`, `"sse2"`, or `"scalar"` when no tier fits (non-x86-64 targets)
-/// or scalar execution is forced.
+/// `"avx2"`, `"sse2"`, or `"scalar"` when no tier fits (non-x86-64
+/// targets). Callers that pin [`EngineConfig::with_force_scalar`] run the
+/// scalar tiles regardless of the reported tier.
 pub fn simd_kernel_name() -> &'static str {
-    if !simd_enabled() {
-        return "scalar";
-    }
     best_tier_name()
-}
-
-/// Whether `gemm_bias` currently offers sweeps to the SIMD kernels at all.
-pub(crate) fn simd_enabled() -> bool {
-    !FORCE_SCALAR.load(Ordering::Relaxed)
 }
 
 #[cfg(target_arch = "x86_64")]
@@ -1359,13 +1335,7 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // pins that the compat shim still drives dispatch
-    fn kernel_name_reports_scalar_when_forced() {
-        // Serialized against other toggling tests by running in this module
-        // only; restore the default before returning.
-        set_force_scalar_kernels(true);
-        assert_eq!(simd_kernel_name(), "scalar");
-        set_force_scalar_kernels(false);
+    fn kernel_name_reports_a_known_tier() {
         let name = simd_kernel_name();
         assert!(["avx2", "sse2", "scalar"].contains(&name), "unknown tier {name}");
     }

@@ -265,32 +265,22 @@ fn q_madd_kernel_fallbacks_stay_bit_identical_under_fault_widened_words() {
     }
 }
 
-/// The deprecated process-wide setters must keep driving the non-`_cfg`
-/// entry points until they are removed: a forward pass under the shims is
-/// bit-identical to the explicit-config pass with the same settings.
+/// The non-`_cfg` entry points run under the default engine config: a plain
+/// `forward_batch_into` pass is bit-identical to the explicit
+/// `EngineConfig::default()` pass.
 #[test]
-#[allow(deprecated)]
-fn deprecated_global_shims_still_route_into_the_engine() {
-    use navft_nn::{set_engine_threads, set_force_scalar_kernels};
-
+fn plain_entry_points_match_default_config() {
     let mut rng = SmallRng::seed_from_u64(0xC0DE);
     let net = mlp(&[48, 32, 4], &mut rng);
     let batch = inputs(&[48], 16, 0xFACE);
 
-    let explicit = EngineConfig::default().with_threads(2).with_force_scalar(true);
     let mut expected = Scratch::new();
-    net.forward_batch_into_cfg(&batch, &mut expected, &mut NoHooks, explicit);
+    net.forward_batch_into_cfg(&batch, &mut expected, &mut NoHooks, EngineConfig::default());
 
-    set_force_scalar_kernels(true);
-    set_engine_threads(2);
-    let mut via_globals = Scratch::new();
-    net.forward_batch_into(&batch, &mut via_globals, &mut NoHooks);
-    // Restore the process defaults before asserting, so a failure cannot
-    // leak forced-scalar state into concurrently running tests.
-    set_force_scalar_kernels(false);
-    set_engine_threads(1);
+    let mut plain = Scratch::new();
+    net.forward_batch_into(&batch, &mut plain, &mut NoHooks);
 
     for b in 0..batch.len() {
-        assert_eq!(expected.row(b), via_globals.row(b), "row {b}");
+        assert_eq!(expected.row(b), plain.row(b), "row {b}");
     }
 }

@@ -4,34 +4,45 @@
 //! episode; the north star is serving those policies to many concurrent
 //! users. This crate is that serving layer:
 //!
-//! * [`Server`] owns one policy of any numeric backend and a **session
-//!   registry**: each open session carries its own forward hooks (fault
-//!   injection, range-guard scrubbing — see [`SessionHook`]) and at most one
-//!   in-flight request.
-//! * A **dynamic batcher** coalesces pending [`Server::submit`] requests —
-//!   up to [`ServeConfig::max_batch`], or whatever arrived within
-//!   [`ServeConfig::flush_after`] of the oldest pending request — into one
-//!   zero-alloc `forward_batch_into_cfg` sweep. Per-session hooks are routed
-//!   to their batch row through [`navft_nn::DynRowHooks`], so a served
-//!   request observes the *exact* hook call sequence of a single-sample
-//!   library forward: action traces are bit-identical to the library-only
-//!   path under any coalescing schedule.
-//! * A **bounded queue** provides backpressure: beyond
-//!   [`ServeConfig::queue_capacity`] pending requests, [`Server::submit`]
-//!   rejects with [`ServeError::Busy`] and hands the input back for a retry
-//!   ([`Server::act`] retries internally). Dropping or shutting the server
-//!   down drains every queued request before the worker exits.
+//! * [`Server`] owns one policy of any numeric backend and
+//!   [`ServeConfig::workers`] **shards**: each shard is an independent
+//!   service domain with its own session registry, bounded request queue,
+//!   dynamic-batcher worker thread, scratch arena and ingest buffer pool.
+//!   A session is pinned to one shard when opened (stable session-id hash)
+//!   and never migrates, so a session's trace depends only on its own
+//!   request order — per-session determinism is preserved by construction
+//!   at any worker count.
+//! * Each open session carries its own forward hooks (fault injection,
+//!   range-guard scrubbing — see [`SessionHook`]) and at most one in-flight
+//!   request.
+//! * A **dynamic batcher per shard** coalesces pending [`Server::submit`]
+//!   requests — up to [`ServeConfig::max_batch`], or whatever arrived
+//!   within [`ServeConfig::flush_after`] of the oldest pending request —
+//!   into one zero-alloc `forward_batch_into_cfg` sweep. Per-session hooks
+//!   are routed to their batch row through [`navft_nn::DynRowHooks`], so a
+//!   served request observes the *exact* hook call sequence of a
+//!   single-sample library forward: action traces are bit-identical to the
+//!   library-only path under any coalescing schedule × worker count.
+//! * A **bounded queue per shard** provides backpressure: beyond
+//!   [`ServeConfig::queue_capacity`] pending requests on a session's
+//!   shard, [`Server::submit`] rejects with [`ServeError::Busy`] and hands
+//!   the input back for a retry ([`Server::act`] retries internally).
+//!   Dropping or shutting the server down drains every shard's queued
+//!   requests before joining all workers.
 //! * **Quantize-on-ingest** entry points ([`Server::submit_obs`],
 //!   [`Server::submit_one_hot`] and their blocking [`Server::act_obs`] /
 //!   [`Server::act_one_hot`] forms) encode `f32` observations into the
 //!   served backend's storage representation exactly once at enqueue, into
-//!   pooled buffers recycled from served requests — integer backends never
-//!   round-trip through `f32` on the hot path, and steady-state ingest
-//!   performs no allocation.
+//!   shard-pooled buffers recycled from served requests — integer backends
+//!   never round-trip through `f32` on the hot path, and steady-state
+//!   ingest performs no allocation.
 //!
-//! [`client`] ships grid-world and drone episode drivers used as load
-//! generators, and [`LatencyWindow`] aggregates request latencies into the
-//! p50/p99 + rows/s summaries the bench harness writes to `BENCH_<rev>.json`.
+//! [`client`] ships the lockstep grid-world and drone episode drivers the
+//! determinism suite uses, plus a bursty open-loop generator
+//! ([`client::drive_bursty_load`]) with per-session Poisson-style arrival
+//! jitter and ramp/spike phases; [`LatencyWindow`] aggregates request
+//! latencies into the p50/p99/p99.9 + rows/s summaries the bench harness
+//! writes to `BENCH_<rev>.json`.
 //!
 //! # Examples
 //!
@@ -59,7 +70,9 @@ mod metrics;
 mod server;
 mod session;
 
-pub use client::{drive_discrete_episodes, drive_vision_episodes, LoadOutcome};
+pub use client::{
+    drive_bursty_load, drive_discrete_episodes, drive_vision_episodes, BurstyConfig, LoadOutcome,
+};
 pub use metrics::LatencyWindow;
 pub use server::{Decision, ServeConfig, ServeError, ServeStats, Server, SessionId, Ticket};
 pub use session::SessionHook;

@@ -59,10 +59,23 @@ impl LatencyWindow {
         self.percentile(99.0)
     }
 
+    /// 99.9th-percentile latency in microseconds (`NaN` when empty) — the
+    /// tail the bursty-load harness tracks, since spikes that barely move
+    /// p99 still show up here.
+    pub fn p999(&self) -> f64 {
+        self.percentile(99.9)
+    }
+
+    /// Folds another window's samples into this one — how per-driver windows
+    /// aggregate into one run-wide tail distribution.
+    pub fn merge(&mut self, other: &LatencyWindow) {
+        self.samples_us.extend_from_slice(&other.samples_us);
+    }
+
     /// Summarizes the window plus a row count and wall-clock span as a JSON
-    /// object: `requests`, `rows`, `p50_us`, `p99_us`, `rows_per_s`.
-    /// Non-finite entries (empty window, zero elapsed time) render as
-    /// `null`.
+    /// object: `requests`, `rows`, `p50_us`, `p99_us`, `p999_us`,
+    /// `rows_per_s`. Non-finite entries (empty window, zero elapsed time)
+    /// render as `null`.
     pub fn summary(&self, rows: usize, elapsed: Duration) -> Json {
         let secs = elapsed.as_secs_f64();
         let rows_per_s = if secs > 0.0 { rows as f64 / secs } else { f64::NAN };
@@ -71,6 +84,7 @@ impl LatencyWindow {
             ("rows", Json::num(rows as f64)),
             ("p50_us", Json::num(self.p50())),
             ("p99_us", Json::num(self.p99())),
+            ("p999_us", Json::num(self.p999())),
             ("rows_per_s", Json::num(rows_per_s)),
         ])
     }
@@ -89,7 +103,25 @@ mod tests {
         assert_eq!(window.len(), 5);
         assert_eq!(window.p50(), 300.0);
         assert_eq!(window.p99(), 10_000.0);
+        assert_eq!(window.p999(), 10_000.0);
         assert_eq!(window.percentile(0.0), 100.0);
+    }
+
+    #[test]
+    fn merge_folds_samples_and_p999_tracks_the_extreme_tail() {
+        // 299 fast samples in one window, one slow outlier in another: after
+        // the merge, p99's nearest rank stays in the fast cluster while
+        // p999's lands on the outlier.
+        let mut fast = LatencyWindow::new();
+        for _ in 0..299 {
+            fast.record(Duration::from_micros(100));
+        }
+        let mut slow = LatencyWindow::new();
+        slow.record(Duration::from_micros(50_000));
+        fast.merge(&slow);
+        assert_eq!(fast.len(), 300);
+        assert_eq!(fast.p99(), 100.0);
+        assert_eq!(fast.p999(), 50_000.0);
     }
 
     #[test]

@@ -1,5 +1,5 @@
-//! The serving daemon: session registry, bounded request queue, and the
-//! dynamic batcher worker.
+//! The serving daemon: sharded session registries, bounded per-shard request
+//! queues, and one dynamic-batcher worker per shard.
 
 use std::collections::VecDeque;
 use std::fmt;
@@ -12,15 +12,21 @@ use navft_nn::{argmax, DynRowHooks, Element, EngineConfig, HooksFor, NetworkBase
 use navft_nn::{Scratch, TensorBase};
 use navft_rl::EvalElement;
 
-/// Configuration of a [`Server`]'s dynamic batcher and queue.
+/// Configuration of a [`Server`]'s shard layout, dynamic batchers and queues.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServeConfig {
-    /// Largest number of requests coalesced into one engine sweep.
+    /// Number of sharded batcher workers. Sessions are pinned to one shard
+    /// at open (stable session-id hash) and never migrate, so each shard is
+    /// an independent service domain: its own bounded queue, batcher thread,
+    /// scratch arena and ingest pool.
+    pub workers: usize,
+    /// Largest number of requests coalesced into one engine sweep (per
+    /// shard).
     pub max_batch: usize,
-    /// Pending-request bound beyond which [`Server::submit`] rejects with
-    /// [`ServeError::Busy`].
+    /// Per-shard pending-request bound beyond which [`Server::submit`]
+    /// rejects with [`ServeError::Busy`].
     pub queue_capacity: usize,
-    /// How long the batcher waits for more requests after the oldest pending
+    /// How long a batcher waits for more requests after the oldest pending
     /// one before flushing a partial batch.
     pub flush_after: Duration,
     /// Engine configuration of the batched sweeps (threads, kernel choice) —
@@ -30,10 +36,11 @@ pub struct ServeConfig {
 }
 
 impl Default for ServeConfig {
-    /// Batches of up to 64 rows, a 256-request queue, a 200 µs flush
-    /// deadline, the default (serial, SIMD-dispatched) engine.
+    /// One worker, batches of up to 64 rows, a 256-request queue, a 200 µs
+    /// flush deadline, the default (serial, SIMD-dispatched) engine.
     fn default() -> Self {
         ServeConfig {
+            workers: 1,
             max_batch: 64,
             queue_capacity: 256,
             flush_after: Duration::from_micros(200),
@@ -43,13 +50,21 @@ impl Default for ServeConfig {
 }
 
 impl ServeConfig {
+    /// Returns the config with the sharded worker count set (clamped to
+    /// ≥ 1).
+    pub fn with_workers(mut self, workers: usize) -> ServeConfig {
+        self.workers = workers.max(1);
+        self
+    }
+
     /// Returns the config with the coalescing bound set (clamped to ≥ 1).
     pub fn with_max_batch(mut self, max_batch: usize) -> ServeConfig {
         self.max_batch = max_batch.max(1);
         self
     }
 
-    /// Returns the config with the queue bound set (clamped to ≥ 1).
+    /// Returns the config with the per-shard queue bound set (clamped to
+    /// ≥ 1).
     pub fn with_queue_capacity(mut self, capacity: usize) -> ServeConfig {
         self.queue_capacity = capacity.max(1);
         self
@@ -71,7 +86,7 @@ impl ServeConfig {
 /// Why the server declined a request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ServeError {
-    /// The bounded queue is full — back off and retry.
+    /// The session's shard queue is full — back off and retry.
     Busy,
     /// The server is draining towards shutdown; no new requests.
     ShuttingDown,
@@ -109,10 +124,16 @@ pub struct Decision<W: Element> {
 }
 
 /// Handle to an open session of a [`Server`].
+///
+/// The id encodes the session's shard (`id % workers`) and its slot within
+/// that shard's registry (`id / workers`); a session stays on its shard for
+/// its whole lifetime, which is what makes per-session traces independent of
+/// every other shard's traffic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SessionId(usize);
 
-/// A pending reply to a submitted request; resolves via [`Ticket::wait`].
+/// A pending reply to a submitted request; resolves via [`Ticket::wait`] or
+/// non-blocking [`Ticket::poll`].
 pub struct Ticket<W: Element> {
     rx: mpsc::Receiver<Result<Decision<W>, ServeError>>,
 }
@@ -128,18 +149,31 @@ impl<W: Element> Ticket<W> {
     pub fn wait(self) -> Result<Decision<W>, ServeError> {
         self.rx.recv().unwrap_or(Err(ServeError::ShuttingDown))
     }
+
+    /// Checks for the decision without blocking: `None` while the request is
+    /// still queued or sweeping, `Some(result)` exactly once when it has
+    /// resolved (a later [`Ticket::wait`] would then block forever — the
+    /// reply is consumed here).
+    pub fn poll(&self) -> Option<Result<Decision<W>, ServeError>> {
+        match self.rx.try_recv() {
+            Ok(result) => Some(result),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(ServeError::ShuttingDown)),
+        }
+    }
 }
 
-/// Counters of a server's lifetime activity (see [`Server::stats`]).
+/// Counters of a server's lifetime activity (see [`Server::stats`]),
+/// aggregated across all shards.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ServeStats {
     /// Requests served (batch rows swept through the engine).
     pub rows: usize,
-    /// Engine sweeps run (batches flushed).
+    /// Engine sweeps run (batches flushed), across all shards.
     pub batches: usize,
     /// Submissions rejected with [`ServeError::Busy`].
     pub rejected: usize,
-    /// Largest batch coalesced so far.
+    /// Largest batch coalesced so far on any shard.
     pub max_rows_per_batch: usize,
 }
 
@@ -167,45 +201,50 @@ struct QueueState<W: Element> {
     shutdown: bool,
 }
 
-struct Shared<W: Element> {
-    network: NetworkBase<W>,
-    input_shape: Vec<usize>,
-    config: ServeConfig,
-    registry: Mutex<Vec<Option<SessionState<W>>>>,
+/// A shard's session slots plus the free-list of closed ones, so opening a
+/// session is O(1) even after hundreds of thousands of opens (the scale
+/// bench opens 32k+) — no linear scan for a free slot.
+struct Registry<W: Element> {
+    slots: Vec<Option<SessionState<W>>>,
+    free: Vec<usize>,
+}
+
+impl<W: Element> Registry<W> {
+    fn open(&mut self, state: SessionState<W>) -> usize {
+        match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot] = Some(state);
+                slot
+            }
+            None => {
+                self.slots.push(Some(state));
+                self.slots.len() - 1
+            }
+        }
+    }
+}
+
+/// One independent service domain: a shard owns its session registry, its
+/// bounded queue, its ingest pool and the condvar its batcher worker sleeps
+/// on. Nothing here is shared between shards, so enqueue/dequeue contention
+/// and engine sweeps parallelize across workers.
+struct Shard<W: Element> {
+    registry: Mutex<Registry<W>>,
     queue: Mutex<QueueState<W>>,
     /// Recycled input buffers for the quantize-on-ingest entry points
     /// ([`Server::submit_obs`] and friends): served requests return their
     /// tensors here, so steady-state ingest allocates nothing. Bounded by
-    /// `queue_capacity` — the most inputs that can be in flight at once.
+    /// `queue_capacity` — the most inputs this shard can have in flight.
     pool: Mutex<Vec<TensorBase<W>>>,
     wake: Condvar,
+    /// Rows served by this shard alone (see [`Server::shard_rows`]).
     rows: AtomicUsize,
-    batches: AtomicUsize,
-    rejected: AtomicUsize,
-    max_rows_per_batch: AtomicUsize,
 }
 
-/// A policy-serving daemon: one policy, many sessions, one dynamic-batcher
-/// worker thread coalescing concurrent requests into batched engine sweeps.
-///
-/// See the [crate docs](crate) for the architecture. Dropping the server
-/// drains every queued request, then joins the worker.
-pub struct Server<W: Element> {
-    shared: Arc<Shared<W>>,
-    worker: Option<JoinHandle<()>>,
-}
-
-impl<W: Element> Server<W> {
-    /// Starts a server for `network`, whose sessions submit observations of
-    /// `input_shape`, and spawns the batcher worker.
-    pub fn start(network: NetworkBase<W>, input_shape: &[usize], config: ServeConfig) -> Server<W> {
-        assert!(config.max_batch >= 1, "max_batch must be at least 1");
-        assert!(config.queue_capacity >= 1, "queue_capacity must be at least 1");
-        let shared = Arc::new(Shared {
-            network,
-            input_shape: input_shape.to_vec(),
-            config,
-            registry: Mutex::new(Vec::new()),
+impl<W: Element> Shard<W> {
+    fn new() -> Shard<W> {
+        Shard {
+            registry: Mutex::new(Registry { slots: Vec::new(), free: Vec::new() }),
             queue: Mutex::new(QueueState {
                 pending: VecDeque::new(),
                 oldest: None,
@@ -214,16 +253,79 @@ impl<W: Element> Server<W> {
             pool: Mutex::new(Vec::new()),
             wake: Condvar::new(),
             rows: AtomicUsize::new(0),
+        }
+    }
+}
+
+struct Shared<W: Element> {
+    network: NetworkBase<W>,
+    input_shape: Vec<usize>,
+    config: ServeConfig,
+    shards: Vec<Shard<W>>,
+    /// Monotonic session-open counter; its hash picks the opening session's
+    /// shard.
+    next_ordinal: AtomicUsize,
+    rows: AtomicUsize,
+    batches: AtomicUsize,
+    rejected: AtomicUsize,
+    max_rows_per_batch: AtomicUsize,
+}
+
+/// The stable shard assignment: FNV-1a over the session-open ordinal,
+/// reduced modulo the worker count. Hash-based (rather than round-robin
+/// modulo alone) so the spread does not correlate with any open-order
+/// pattern in the client.
+fn shard_of(ordinal: usize, workers: usize) -> usize {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in (ordinal as u64).to_le_bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (hash % workers as u64) as usize
+}
+
+/// A policy-serving daemon: one policy, many sessions, N sharded
+/// dynamic-batcher worker threads coalescing concurrent requests into
+/// batched engine sweeps.
+///
+/// Sessions are pinned to a shard when opened and never migrate, so a
+/// session's episode trace depends only on its own request order — never on
+/// which other sessions exist or how traffic interleaves across shards. See
+/// the [crate docs](crate) for the architecture. Dropping the server drains
+/// every shard's queued requests, then joins all workers.
+pub struct Server<W: Element> {
+    shared: Arc<Shared<W>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<W: Element> Server<W> {
+    /// Starts a server for `network`, whose sessions submit observations of
+    /// `input_shape`, and spawns `config.workers` batcher workers.
+    pub fn start(network: NetworkBase<W>, input_shape: &[usize], config: ServeConfig) -> Server<W> {
+        assert!(config.workers >= 1, "workers must be at least 1");
+        assert!(config.max_batch >= 1, "max_batch must be at least 1");
+        assert!(config.queue_capacity >= 1, "queue_capacity must be at least 1");
+        let shared = Arc::new(Shared {
+            network,
+            input_shape: input_shape.to_vec(),
+            config,
+            shards: (0..config.workers).map(|_| Shard::new()).collect(),
+            next_ordinal: AtomicUsize::new(0),
+            rows: AtomicUsize::new(0),
             batches: AtomicUsize::new(0),
             rejected: AtomicUsize::new(0),
             max_rows_per_batch: AtomicUsize::new(0),
         });
-        let worker_shared = Arc::clone(&shared);
-        let worker = std::thread::Builder::new()
-            .name("navft-serve-batcher".into())
-            .spawn(move || worker_loop(worker_shared))
-            .expect("spawn batcher worker");
-        Server { shared, worker: Some(worker) }
+        let workers = (0..config.workers)
+            .map(|shard| {
+                let worker_shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("navft-serve-batcher-{shard}"))
+                    .spawn(move || worker_loop(worker_shared, shard))
+                    .expect("spawn batcher worker")
+            })
+            .collect();
+        Server { shared, workers }
     }
 
     /// The served policy.
@@ -236,22 +338,33 @@ impl<W: Element> Server<W> {
         &self.shared.input_shape
     }
 
+    /// The number of sharded batcher workers.
+    pub fn workers(&self) -> usize {
+        self.shared.config.workers
+    }
+
+    /// The shard a session is pinned to (stable for the session's lifetime).
+    pub fn session_shard(&self, session: SessionId) -> usize {
+        session.0 % self.shared.config.workers
+    }
+
+    fn shard_slot(&self, session: SessionId) -> (&Shard<W>, usize) {
+        let workers = self.shared.config.workers;
+        (&self.shared.shards[session.0 % workers], session.0 / workers)
+    }
+
     /// Opens a session carrying `hooks`, which observe (and may corrupt or
     /// scrub) every forward pass this session's requests ride in — the
-    /// per-tenant fault-injection and mitigation surface.
+    /// per-tenant fault-injection and mitigation surface. The session is
+    /// pinned to a shard here and stays on it until closed.
     pub fn open_session(&self, hooks: Box<dyn HooksFor<W> + Send>) -> SessionId {
-        let mut registry = self.shared.registry.lock().expect("registry lock");
-        let state = SessionState { hooks: Some(hooks), in_flight: false };
-        match registry.iter().position(|slot| slot.is_none()) {
-            Some(index) => {
-                registry[index] = Some(state);
-                SessionId(index)
-            }
-            None => {
-                registry.push(Some(state));
-                SessionId(registry.len() - 1)
-            }
-        }
+        let workers = self.shared.config.workers;
+        let ordinal = self.shared.next_ordinal.fetch_add(1, Ordering::Relaxed);
+        let shard_index = shard_of(ordinal, workers);
+        let shard = &self.shared.shards[shard_index];
+        let mut registry = shard.registry.lock().expect("registry lock");
+        let slot = registry.open(SessionState { hooks: Some(hooks), in_flight: false });
+        SessionId(slot * workers + shard_index)
     }
 
     /// Opens a session with no hooks (a clean tenant).
@@ -265,12 +378,14 @@ impl<W: Element> Server<W> {
     /// Closes a session. Fails with [`ServeError::InFlight`] while the
     /// session has an unserved request.
     pub fn close_session(&self, session: SessionId) -> Result<(), ServeError> {
-        let mut registry = self.shared.registry.lock().expect("registry lock");
-        match registry.get_mut(session.0) {
-            Some(slot) => match slot {
+        let (shard, slot) = self.shard_slot(session);
+        let mut registry = shard.registry.lock().expect("registry lock");
+        match registry.slots.get_mut(slot) {
+            Some(entry) => match entry {
                 Some(state) if state.in_flight => Err(ServeError::InFlight),
                 Some(_) => {
-                    *slot = None;
+                    *entry = None;
+                    registry.free.push(slot);
                     Ok(())
                 }
                 None => Err(ServeError::UnknownSession),
@@ -279,13 +394,20 @@ impl<W: Element> Server<W> {
         }
     }
 
-    /// Number of currently open sessions.
+    /// Number of currently open sessions, across all shards.
     pub fn session_count(&self) -> usize {
-        self.shared.registry.lock().expect("registry lock").iter().flatten().count()
+        self.shared
+            .shards
+            .iter()
+            .map(|shard| {
+                shard.registry.lock().expect("registry lock").slots.iter().flatten().count()
+            })
+            .sum()
     }
 
-    /// Enqueues one observation for `session` and returns a [`Ticket`] that
-    /// resolves when the batcher serves it.
+    /// Enqueues one observation for `session` on its shard's queue and
+    /// returns a [`Ticket`] that resolves when the shard's batcher serves
+    /// it.
     ///
     /// On rejection the observation is handed back alongside the error, so a
     /// [`ServeError::Busy`] caller can retry without re-building it. Each
@@ -298,16 +420,17 @@ impl<W: Element> Server<W> {
         if input.shape() != self.shared.input_shape.as_slice() {
             return Err((ServeError::BadShape, input));
         }
+        let (shard, slot) = self.shard_slot(session);
         {
-            let mut registry = self.shared.registry.lock().expect("registry lock");
-            match registry.get_mut(session.0).and_then(|slot| slot.as_mut()) {
+            let mut registry = shard.registry.lock().expect("registry lock");
+            match registry.slots.get_mut(slot).and_then(|entry| entry.as_mut()) {
                 None => return Err((ServeError::UnknownSession, input)),
                 Some(state) if state.in_flight => return Err((ServeError::InFlight, input)),
                 Some(state) => state.in_flight = true,
             }
         }
         let (reply, rx) = mpsc::channel();
-        let mut queue = self.shared.queue.lock().expect("queue lock");
+        let mut queue = shard.queue.lock().expect("queue lock");
         if queue.shutdown {
             drop(queue);
             self.clear_in_flight(session);
@@ -323,13 +446,13 @@ impl<W: Element> Server<W> {
             queue.oldest = Some(Instant::now());
         }
         queue.pending.push_back(Request { session, input, reply });
-        self.shared.wake.notify_one();
+        shard.wake.notify_one();
         drop(queue);
         Ok(Ticket { rx })
     }
 
     /// Submits one observation and blocks for the decision, retrying
-    /// (with a scheduler yield) while the queue is full.
+    /// (with a scheduler yield) while the shard's queue is full.
     pub fn act(&self, session: SessionId, input: TensorBase<W>) -> Result<Decision<W>, ServeError> {
         let mut input = input;
         loop {
@@ -344,12 +467,17 @@ impl<W: Element> Server<W> {
         }
     }
 
-    /// Number of requests waiting in the queue right now.
+    /// Number of requests waiting in the queues right now, across all
+    /// shards.
     pub fn pending(&self) -> usize {
-        self.shared.queue.lock().expect("queue lock").pending.len()
+        self.shared
+            .shards
+            .iter()
+            .map(|shard| shard.queue.lock().expect("queue lock").pending.len())
+            .sum()
     }
 
-    /// Lifetime activity counters.
+    /// Lifetime activity counters, aggregated across shards.
     pub fn stats(&self) -> ServeStats {
         ServeStats {
             rows: self.shared.rows.load(Ordering::Relaxed),
@@ -359,40 +487,50 @@ impl<W: Element> Server<W> {
         }
     }
 
-    /// Stops accepting new requests, drains every queued one, and joins the
-    /// worker. (Dropping the server does the same.)
+    /// Rows served by each shard (index = shard = worker). The skew
+    /// diagnostics: a uniform session mix serves roughly `rows / workers`
+    /// per entry, while adversarial pinning shows up as one hot entry.
+    pub fn shard_rows(&self) -> Vec<usize> {
+        self.shared.shards.iter().map(|shard| shard.rows.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Stops accepting new requests, drains every shard's queued requests,
+    /// and joins all workers. (Dropping the server does the same.)
     pub fn shutdown(mut self) {
         self.stop();
     }
 
     fn clear_in_flight(&self, session: SessionId) {
-        let mut registry = self.shared.registry.lock().expect("registry lock");
-        if let Some(Some(state)) = registry.get_mut(session.0).map(|slot| slot.as_mut()) {
+        let (shard, slot) = self.shard_slot(session);
+        let mut registry = shard.registry.lock().expect("registry lock");
+        if let Some(Some(state)) = registry.slots.get_mut(slot).map(|entry| entry.as_mut()) {
             state.in_flight = false;
         }
     }
 
     fn stop(&mut self) {
-        {
-            let mut queue = self.shared.queue.lock().expect("queue lock");
+        for shard in &self.shared.shards {
+            let mut queue = shard.queue.lock().expect("queue lock");
             queue.shutdown = true;
+            drop(queue);
+            shard.wake.notify_all();
         }
-        self.shared.wake.notify_all();
-        if let Some(worker) = self.worker.take() {
+        for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
     }
 }
 
 impl<W: EvalElement> Server<W> {
-    /// Pops a recycled input buffer, or allocates one on a cold pool.
-    fn ingest_buffer(&self) -> TensorBase<W> {
-        let recycled = self.shared.pool.lock().expect("pool lock").pop();
+    /// Pops a recycled input buffer from `shard`'s pool, or allocates one on
+    /// a cold pool.
+    fn ingest_buffer(&self, shard: &Shard<W>) -> TensorBase<W> {
+        let recycled = shard.pool.lock().expect("pool lock").pop();
         recycled.unwrap_or_else(|| W::input_buffer(&self.shared.input_shape, &self.shared.network))
     }
 
-    fn recycle(&self, input: TensorBase<W>) {
-        let mut pool = self.shared.pool.lock().expect("pool lock");
+    fn recycle(&self, shard: &Shard<W>, input: TensorBase<W>) {
+        let mut pool = shard.pool.lock().expect("pool lock");
         if pool.len() < self.shared.config.queue_capacity {
             pool.push(input);
         }
@@ -401,8 +539,8 @@ impl<W: EvalElement> Server<W> {
     /// Enqueues an `f32` observation for `session`, quantizing it into the
     /// backend's storage representation **once, here at ingest** — the
     /// batcher sweep then reads the staged words directly. Buffers come
-    /// from (and return to) an internal pool, so the steady state neither
-    /// allocates nor re-encodes.
+    /// from (and return to) the session's shard pool, so the steady state
+    /// neither allocates nor re-encodes.
     pub fn submit_obs(
         &self,
         session: SessionId,
@@ -411,12 +549,13 @@ impl<W: EvalElement> Server<W> {
         if observation.shape() != self.shared.input_shape.as_slice() {
             return Err(ServeError::BadShape);
         }
-        let mut input = self.ingest_buffer();
+        let (shard, _) = self.shard_slot(session);
+        let mut input = self.ingest_buffer(shard);
         W::encode_into(observation, &mut input);
         match self.submit(session, input) {
             Ok(ticket) => Ok(ticket),
             Err((error, returned)) => {
-                self.recycle(returned);
+                self.recycle(shard, returned);
                 Err(error)
             }
         }
@@ -430,16 +569,17 @@ impl<W: EvalElement> Server<W> {
         session: SessionId,
         state: usize,
     ) -> Result<Ticket<W>, ServeError> {
-        let mut input = self.ingest_buffer();
+        let (shard, _) = self.shard_slot(session);
+        let mut input = self.ingest_buffer(shard);
         if state >= input.len() {
-            self.recycle(input);
+            self.recycle(shard, input);
             return Err(ServeError::BadShape);
         }
         W::one_hot(state, &mut input);
         match self.submit(session, input) {
             Ok(ticket) => Ok(ticket),
             Err((error, returned)) => {
-                self.recycle(returned);
+                self.recycle(shard, returned);
                 Err(error)
             }
         }
@@ -456,7 +596,8 @@ impl<W: EvalElement> Server<W> {
         if observation.shape() != self.shared.input_shape.as_slice() {
             return Err(ServeError::BadShape);
         }
-        let mut input = self.ingest_buffer();
+        let (shard, _) = self.shard_slot(session);
+        let mut input = self.ingest_buffer(shard);
         W::encode_into(observation, &mut input);
         self.act_staged(session, input)
     }
@@ -464,9 +605,10 @@ impl<W: EvalElement> Server<W> {
     /// [`Server::submit_one_hot`] + blocking wait, retrying while the queue
     /// is full.
     pub fn act_one_hot(&self, session: SessionId, state: usize) -> Result<Decision<W>, ServeError> {
-        let mut input = self.ingest_buffer();
+        let (shard, _) = self.shard_slot(session);
+        let mut input = self.ingest_buffer(shard);
         if state >= input.len() {
-            self.recycle(input);
+            self.recycle(shard, input);
             return Err(ServeError::BadShape);
         }
         W::one_hot(state, &mut input);
@@ -487,7 +629,8 @@ impl<W: EvalElement> Server<W> {
                     std::thread::yield_now();
                 }
                 Err((error, returned)) => {
-                    self.recycle(returned);
+                    let (shard, _) = self.shard_slot(session);
+                    self.recycle(shard, returned);
                     return Err(error);
                 }
             }
@@ -501,13 +644,15 @@ impl<W: Element> Drop for Server<W> {
     }
 }
 
-/// The batcher worker: wait for a full batch or a flush deadline, drain up
-/// to `max_batch` requests, sweep them through the engine, reply per row.
-fn worker_loop<W: Element>(shared: Arc<Shared<W>>) {
+/// One shard's batcher worker: wait for a full batch or a flush deadline on
+/// the shard's own queue, drain up to `max_batch` requests, sweep them
+/// through the engine against the shard-private scratch, reply per row.
+fn worker_loop<W: Element>(shared: Arc<Shared<W>>, shard_index: usize) {
+    let shard = &shared.shards[shard_index];
     let mut scratch = Scratch::new();
     loop {
         let batch: Vec<Request<W>> = {
-            let mut queue = shared.queue.lock().expect("queue lock");
+            let mut queue = shard.queue.lock().expect("queue lock");
             loop {
                 let full = queue.pending.len() >= shared.config.max_batch;
                 // On shutdown, flush whatever is queued (graceful drain)
@@ -519,7 +664,7 @@ fn worker_loop<W: Element>(shared: Arc<Shared<W>>) {
                     return;
                 }
                 if queue.pending.is_empty() {
-                    queue = shared.wake.wait(queue).expect("queue lock");
+                    queue = shard.wake.wait(queue).expect("queue lock");
                     continue;
                 }
                 let waited = queue.oldest.map(|t| t.elapsed()).unwrap_or(Duration::ZERO);
@@ -527,7 +672,7 @@ fn worker_loop<W: Element>(shared: Arc<Shared<W>>) {
                     break;
                 }
                 let remaining = shared.config.flush_after - waited;
-                let (guard, _) = shared.wake.wait_timeout(queue, remaining).expect("queue lock");
+                let (guard, _) = shard.wake.wait_timeout(queue, remaining).expect("queue lock");
                 queue = guard;
             }
             let take = queue.pending.len().min(shared.config.max_batch);
@@ -535,25 +680,33 @@ fn worker_loop<W: Element>(shared: Arc<Shared<W>>) {
             queue.oldest = if queue.pending.is_empty() { None } else { Some(Instant::now()) };
             batch
         };
-        process_batch(&shared, &mut scratch, batch);
+        process_batch(&shared, shard, &mut scratch, batch);
     }
 }
 
-fn process_batch<W: Element>(shared: &Shared<W>, scratch: &mut Scratch<W>, batch: Vec<Request<W>>) {
-    // Take each session's hook box out of the registry for the sweep; the
-    // in-flight flag (set at submit) keeps the slot reserved meanwhile, so
-    // no aliasing is possible. A session can only vanish here if the
+fn process_batch<W: Element>(
+    shared: &Shared<W>,
+    shard: &Shard<W>,
+    scratch: &mut Scratch<W>,
+    batch: Vec<Request<W>>,
+) {
+    let workers = shared.config.workers;
+    // Take each session's hook box out of the shard registry for the sweep;
+    // the in-flight flag (set at submit) keeps the slot reserved meanwhile,
+    // so no aliasing is possible. A session can only vanish here if the
     // registry raced a close — refuse its request rather than serving it
     // hookless.
     let mut inputs: Vec<TensorBase<W>> = Vec::with_capacity(batch.len());
     let mut rows: Vec<(SessionId, ReplySender<W>)> = Vec::with_capacity(batch.len());
     let mut hooks: Vec<Box<dyn HooksFor<W> + Send>> = Vec::with_capacity(batch.len());
     {
-        let mut registry = shared.registry.lock().expect("registry lock");
+        let mut registry = shard.registry.lock().expect("registry lock");
         for request in batch {
+            let slot = request.session.0 / workers;
             let taken = registry
-                .get_mut(request.session.0)
-                .and_then(|slot| slot.as_mut())
+                .slots
+                .get_mut(slot)
+                .and_then(|entry| entry.as_mut())
                 .and_then(|state| state.hooks.take());
             match taken {
                 Some(hook) => {
@@ -585,16 +738,17 @@ fn process_batch<W: Element>(shared: &Shared<W>, scratch: &mut Scratch<W>, batch
             let values = scratch.row(row);
             decisions.push(Decision { action: argmax(values), values: values.to_vec() });
         }
+        shard.rows.fetch_add(inputs.len(), Ordering::Relaxed);
         shared.rows.fetch_add(inputs.len(), Ordering::Relaxed);
         shared.batches.fetch_add(1, Ordering::Relaxed);
         shared.max_rows_per_batch.fetch_max(inputs.len(), Ordering::Relaxed);
     }
 
-    // Recycle the served input tensors so the ingest entry points can reuse
-    // them instead of allocating. Bounded by the queue capacity — the most
-    // buffers that can ever be in flight concurrently.
+    // Recycle the served input tensors so the shard's ingest entry points
+    // can reuse them instead of allocating. Bounded by the queue capacity —
+    // the most buffers this shard can ever have in flight concurrently.
     {
-        let mut pool = shared.pool.lock().expect("pool lock");
+        let mut pool = shard.pool.lock().expect("pool lock");
         for input in inputs {
             if pool.len() >= shared.config.queue_capacity {
                 break;
@@ -607,9 +761,10 @@ fn process_batch<W: Element>(shared: &Shared<W>, scratch: &mut Scratch<W>, batch
     // *before* replying: once a client sees its decision it may immediately
     // resubmit, so the slot must already be free by then.
     {
-        let mut registry = shared.registry.lock().expect("registry lock");
+        let mut registry = shard.registry.lock().expect("registry lock");
         for ((session, _), hook) in rows.iter().zip(hooks) {
-            if let Some(Some(state)) = registry.get_mut(session.0).map(|slot| slot.as_mut()) {
+            let slot = session.0 / workers;
+            if let Some(Some(state)) = registry.slots.get_mut(slot).map(|entry| entry.as_mut()) {
                 state.hooks = Some(hook);
                 state.in_flight = false;
             }
@@ -748,6 +903,57 @@ mod tests {
     }
 
     #[test]
+    fn sessions_are_pinned_to_shards_and_served_on_them() {
+        let config = ServeConfig::default().with_workers(4);
+        let server = Server::start(policy(), &[4], config);
+        let sessions: Vec<SessionId> = (0..32).map(|_| server.open_clean_session()).collect();
+        assert_eq!(server.workers(), 4);
+        assert_eq!(server.session_count(), 32);
+        // Every shard id is in range and stable across calls.
+        let shards: Vec<usize> = sessions.iter().map(|&s| server.session_shard(s)).collect();
+        assert!(shards.iter().all(|&s| s < 4));
+        for (&session, &shard) in sessions.iter().zip(&shards) {
+            assert_eq!(server.session_shard(session), shard);
+        }
+        // The hash spreads 32 ordinals over more than one shard.
+        let mut counts = [0usize; 4];
+        for &s in &shards {
+            counts[s] += 1;
+        }
+        assert!(counts.iter().filter(|&&c| c > 0).count() > 1, "all on one shard: {counts:?}");
+        // Decisions land regardless of which shard serves them, and the
+        // per-shard row counters account for every request.
+        for (i, &session) in sessions.iter().enumerate() {
+            let decision = server.act(session, obs(i as f32 * 0.05)).expect("decision");
+            assert_eq!(decision.values.len(), 3);
+        }
+        let per_shard = server.shard_rows();
+        assert_eq!(per_shard.iter().sum::<usize>(), 32);
+        assert_eq!(server.stats().rows, 32);
+        for (shard, &rows) in per_shard.iter().enumerate() {
+            assert_eq!(rows, counts[shard], "shard {shard} row count");
+        }
+    }
+
+    #[test]
+    fn tickets_poll_without_blocking() {
+        let config = ServeConfig::default().with_flush_after(Duration::from_secs(5));
+        let server = Server::start(policy(), &[4], config);
+        let session = server.open_clean_session();
+        let ticket = server.submit(session, obs(0.2)).expect("submit");
+        // The batcher is stalled on the 5 s deadline: poll sees nothing.
+        assert!(ticket.poll().is_none());
+        server.shutdown(); // graceful drain serves the request
+        let polled = loop {
+            if let Some(result) = ticket.poll() {
+                break result;
+            }
+            std::thread::yield_now();
+        };
+        assert!(polled.is_ok());
+    }
+
+    #[test]
     fn ingest_entry_points_match_explicit_submission_and_reject_bad_inputs() {
         use navft_nn::{QNetwork, QTensor};
         use navft_qformat::QFormat;
@@ -787,8 +993,8 @@ mod tests {
             ServeError::UnknownSession
         );
 
-        // Served buffers were recycled into the ingest pool.
-        assert!(!server.shared.pool.lock().expect("pool lock").is_empty());
+        // Served buffers were recycled into the shard's ingest pool.
+        assert!(!server.shared.shards[0].pool.lock().expect("pool lock").is_empty());
     }
 
     #[test]
@@ -796,7 +1002,7 @@ mod tests {
         let server = Server::start(policy(), &[4], ServeConfig::default());
         let session = server.open_clean_session();
         {
-            let mut queue = server.shared.queue.lock().expect("queue lock");
+            let mut queue = server.shared.shards[0].queue.lock().expect("queue lock");
             queue.shutdown = true;
         }
         let (err, _) = server.submit(session, obs(0.0)).expect_err("shutting down");
